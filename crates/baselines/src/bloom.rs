@@ -1,0 +1,221 @@
+//! Traditional Bloom filter and its set-membership wrapper.
+//!
+//! The competitor of the paper's §8.4: a bit array with `k` double-hashed
+//! probes, sized from a target false-positive rate, indexing *all element
+//! combinations* of the stored sets up to a size cap (the paper's
+//! permutation-invariant adaptation).
+
+use crate::hash::{set_hash, splitmix64};
+use serde::{Deserialize, Serialize};
+use setlearn_data::{set::for_each_subset, SetCollection};
+
+/// Optimal number of bits for `n` items at false-positive rate `fp`.
+pub fn optimal_bits(n: usize, fp: f64) -> usize {
+    assert!(fp > 0.0 && fp < 1.0, "fp rate must be in (0,1)");
+    let n = n.max(1) as f64;
+    (-(n * fp.ln()) / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil() as usize
+}
+
+/// Optimal number of hash functions for `m` bits over `n` items.
+pub fn optimal_hashes(m: usize, n: usize) -> u32 {
+    let k = (m as f64 / n.max(1) as f64 * std::f64::consts::LN_2).round();
+    (k as u32).max(1)
+}
+
+/// A classic Bloom filter over 64-bit item digests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected_items` at the target fp rate.
+    pub fn new(expected_items: usize, fp_rate: f64) -> Self {
+        let num_bits = optimal_bits(expected_items, fp_rate).max(64);
+        let num_hashes = optimal_hashes(num_bits, expected_items);
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            num_hashes,
+            items: 0,
+        }
+    }
+
+    /// Inserts a pre-hashed item.
+    pub fn insert_hash(&mut self, h: u64) {
+        let (h1, h2) = (h, splitmix64(h) | 1);
+        for i in 0..self.num_hashes as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits as u64) as usize;
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Membership probe for a pre-hashed item.
+    pub fn contains_hash(&self, h: u64) -> bool {
+        let (h1, h2) = (h, splitmix64(h) | 1);
+        (0..self.num_hashes as u64).all(|i| {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits as u64) as usize;
+            self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Inserts a canonical set.
+    pub fn insert_set(&mut self, set: &[u32]) {
+        self.insert_hash(set_hash(set));
+    }
+
+    /// Probes a canonical set.
+    pub fn contains_set(&self, set: &[u32]) -> bool {
+        self.contains_hash(set_hash(set))
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether no items were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Bit-array size in bytes (the paper's memory measure for BF).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// Bloom filter answering subset-membership queries over a [`SetCollection`]
+/// by indexing all subsets up to `max_query_size` elements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetMembershipBloom {
+    filter: BloomFilter,
+    max_query_size: usize,
+}
+
+impl SetMembershipBloom {
+    /// Builds the filter over every subset (size ≤ `max_query_size`) of every
+    /// set in the collection.
+    pub fn build(collection: &SetCollection, max_query_size: usize, fp_rate: f64) -> Self {
+        // Estimate distinct insertions by enumerating once: acceptable at our
+        // scales and exact, so the fp sizing is honest.
+        let mut distinct = std::collections::HashSet::new();
+        for (_, set) in collection.iter() {
+            for_each_subset(set, max_query_size, |sub| {
+                distinct.insert(set_hash(sub));
+            });
+        }
+        let mut filter = BloomFilter::new(distinct.len(), fp_rate);
+        for h in distinct {
+            filter.insert_hash(h);
+        }
+        SetMembershipBloom { filter, max_query_size }
+    }
+
+    /// Probes a canonical query. Queries longer than the build cap report
+    /// `false` deterministically (out of the structure's contract).
+    pub fn contains(&self, q: &[u32]) -> bool {
+        if q.len() > self.max_query_size {
+            return false;
+        }
+        self.filter.contains_set(q)
+    }
+
+    /// Size cap the filter was built with.
+    pub fn max_query_size(&self) -> usize {
+        self.max_query_size
+    }
+
+    /// Underlying bit-array size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.filter.size_bytes()
+    }
+
+    /// Number of distinct subsets indexed.
+    pub fn len(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// Whether the filter indexed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.filter.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use setlearn_data::GeneratorConfig;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(1_000, 0.01);
+        for i in 0..1_000u64 {
+            bf.insert_hash(splitmix64(i));
+        }
+        for i in 0..1_000u64 {
+            assert!(bf.contains_hash(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn fp_rate_is_close_to_target() {
+        let mut bf = BloomFilter::new(10_000, 0.01);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inserted: std::collections::HashSet<u64> =
+            (0..10_000).map(|_| rng.gen()).collect();
+        for &h in &inserted {
+            bf.insert_hash(h);
+        }
+        let mut fps = 0;
+        let probes = 50_000;
+        for _ in 0..probes {
+            let h: u64 = rng.gen();
+            if !inserted.contains(&h) && bf.contains_hash(h) {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / probes as f64;
+        assert!(rate < 0.03, "fp rate {rate}");
+    }
+
+    #[test]
+    fn sizing_matches_theory() {
+        // ~9.59 bits/item at 1% fp.
+        let bits = optimal_bits(1_000, 0.01);
+        assert!((9_000..10_500).contains(&bits), "bits {bits}");
+        assert_eq!(optimal_hashes(bits, 1_000), 7);
+    }
+
+    #[test]
+    fn lower_fp_needs_more_memory() {
+        let a = BloomFilter::new(5_000, 0.1).size_bytes();
+        let b = BloomFilter::new(5_000, 0.01).size_bytes();
+        let c = BloomFilter::new(5_000, 0.001).size_bytes();
+        assert!(a < b && b < c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn membership_bloom_answers_positive_subsets() {
+        let c = GeneratorConfig::rw(500, 3).generate();
+        let bloom = SetMembershipBloom::build(&c, 3, 0.01);
+        for (_, set) in c.iter().take(50) {
+            for_each_subset(set, 3, |sub| {
+                assert!(bloom.contains(sub), "missing subset {sub:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn membership_bloom_rejects_oversized_queries() {
+        let c = GeneratorConfig::rw(100, 3).generate();
+        let bloom = SetMembershipBloom::build(&c, 2, 0.01);
+        assert!(!bloom.contains(&[0, 1, 2, 3]));
+    }
+}

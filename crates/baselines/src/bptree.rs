@@ -1,0 +1,413 @@
+//! In-memory B+ tree over 64-bit set hashes with duplicate-key support.
+//!
+//! The paper's index-task competitor (§8.1.2): keys are permutation-invariant
+//! hashes of sets, values are collection positions; duplicate keys (the same
+//! set stored at several positions, or a hash shared by several subsets) all
+//! retain their positions. Leaves are chained for ordered scans.
+
+use serde::{Deserialize, Serialize};
+
+/// Arena index of a node.
+type NodeId = usize;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Internal {
+        /// Separator keys; `children.len() == keys.len() + 1`.
+        keys: Vec<u64>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        /// Positions per key, ascending (first occurrence first).
+        values: Vec<Vec<u32>>,
+        next: Option<NodeId>,
+    },
+}
+
+/// A B+ tree multimap `u64 -> [u32]`.
+///
+/// ```
+/// use setlearn_baselines::{set_hash, BPlusTree};
+///
+/// let mut index = BPlusTree::new(100);
+/// index.insert(set_hash(&[1, 2, 3]), 7);
+/// index.insert(set_hash(&[1, 2, 3]), 2); // duplicate key, earlier position
+/// assert_eq!(index.first_position(set_hash(&[1, 2, 3])), Some(2));
+/// assert_eq!(index.last_position(set_hash(&[1, 2, 3])), Some(7));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Maximum number of keys per node before splitting.
+    max_keys: usize,
+    /// Total number of (key, position) pairs.
+    len: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree. `order` is the branching factor (maximum
+    /// children per internal node); the paper's competitor uses 100.
+    ///
+    /// # Panics
+    /// If `order < 4`.
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 4, "B+ tree order must be at least 4");
+        BPlusTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            root: 0,
+            max_keys: order - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of stored (key, position) pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a (key, position) pair; duplicates accumulate in insertion
+    /// order of positions (kept sorted ascending).
+    pub fn insert(&mut self, key: u64, pos: u32) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, pos) {
+            let old_root = self.root;
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+    }
+
+    fn insert_rec(&mut self, node: NodeId, key: u64, pos: u32) -> Option<(u64, NodeId)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let v = &mut values[i];
+                        let at = v.partition_point(|&p| p < pos);
+                        v.insert(at, pos);
+                        None
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, vec![pos]);
+                        if keys.len() > self.max_keys {
+                            Some(self.split_leaf(node))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = children[idx];
+                let split = self.insert_rec(child, key, pos)?;
+                let (sep, right) = split;
+                if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                    let at = keys.partition_point(|&k| k <= sep);
+                    keys.insert(at, sep);
+                    children.insert(at + 1, right);
+                    if keys.len() > self.max_keys {
+                        return Some(self.split_internal(node));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> (u64, NodeId) {
+        let new_id = self.nodes.len();
+        if let Node::Leaf { keys, values, next } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid);
+            let right_values = values.split_off(mid);
+            let sep = right_keys[0];
+            let right_next = *next;
+            *next = Some(new_id);
+            self.nodes.push(Node::Leaf {
+                keys: right_keys,
+                values: right_values,
+                next: right_next,
+            });
+            (sep, new_id)
+        } else {
+            unreachable!("split_leaf on internal node")
+        }
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> (u64, NodeId) {
+        let new_id = self.nodes.len();
+        if let Node::Internal { keys, children } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let sep = keys[mid];
+            let right_keys = keys.split_off(mid + 1);
+            keys.pop(); // remove promoted separator
+            let right_children = children.split_off(mid + 1);
+            self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+            (sep, new_id)
+        } else {
+            unreachable!("split_internal on leaf node")
+        }
+    }
+
+    fn find_leaf(&self, key: u64) -> NodeId {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Internal { keys, children } => {
+                    node = children[keys.partition_point(|&k| k <= key)];
+                }
+            }
+        }
+    }
+
+    /// All positions stored under `key`, ascending.
+    pub fn get(&self, key: u64) -> Option<&[u32]> {
+        if let Node::Leaf { keys, values, .. } = &self.nodes[self.find_leaf(key)] {
+            keys.binary_search(&key).ok().map(|i| values[i].as_slice())
+        } else {
+            unreachable!()
+        }
+    }
+
+    /// Smallest position stored under `key` — the "first occurrence" answer
+    /// of the index task.
+    pub fn first_position(&self, key: u64) -> Option<u32> {
+        self.get(key).map(|v| v[0])
+    }
+
+    /// Largest position stored under `key` — the "last occurrence" answer.
+    pub fn last_position(&self, key: u64) -> Option<u32> {
+        self.get(key).map(|v| *v.last().expect("non-empty positions"))
+    }
+
+    /// Iterates `(key, positions)` in ascending key order via the leaf chain.
+    pub fn iter(&self) -> BPlusIter<'_> {
+        // Find leftmost leaf.
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => break,
+                Node::Internal { children, .. } => node = children[0],
+            }
+        }
+        BPlusIter { tree: self, leaf: Some(node), idx: 0 }
+    }
+
+    /// All positions for keys in `[lo, hi]`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, &[u32])> {
+        let mut out = Vec::new();
+        let mut leaf = Some(self.find_leaf(lo));
+        while let Some(id) = leaf {
+            if let Node::Leaf { keys, values, next } = &self.nodes[id] {
+                for (k, v) in keys.iter().zip(values.iter()) {
+                    if *k > hi {
+                        return out;
+                    }
+                    if *k >= lo {
+                        out.push((*k, v.as_slice()));
+                    }
+                }
+                leaf = *next;
+            }
+        }
+        out
+    }
+
+    /// Tree height (1 = a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[node] {
+            node = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Approximate resident bytes: keys, position vectors, child pointers and
+    /// per-node overhead. This mirrors how the paper reports competitor
+    /// memory (structure size, not process RSS).
+    pub fn size_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for n in &self.nodes {
+            total += std::mem::size_of::<Node>();
+            match n {
+                Node::Internal { keys, children } => {
+                    total += keys.len() * 8 + children.len() * std::mem::size_of::<NodeId>();
+                }
+                Node::Leaf { keys, values, .. } => {
+                    total += keys.len() * 8;
+                    total += values
+                        .iter()
+                        .map(|v| v.len() * 4 + std::mem::size_of::<Vec<u32>>())
+                        .sum::<usize>();
+                }
+            }
+        }
+        total
+    }
+
+    /// Validates B+ tree invariants (test/debug helper): sorted keys, child
+    /// counts, and leaf-chain ordering. Panics on violation.
+    pub fn check_invariants(&self) {
+        self.check_node(self.root, None, None);
+        // Leaf chain strictly ascending.
+        let mut prev: Option<u64> = None;
+        for (k, _) in self.iter() {
+            if let Some(p) = prev {
+                assert!(p < k, "leaf chain out of order: {p} !< {k}");
+            }
+            prev = Some(k);
+        }
+    }
+
+    fn check_node(&self, node: NodeId, lo: Option<u64>, hi: Option<u64>) {
+        match &self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                assert_eq!(keys.len(), values.len());
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted leaf");
+                for &k in keys {
+                    assert!(lo.is_none_or(|l| k >= l), "leaf key below bound");
+                    assert!(hi.is_none_or(|h| k < h), "leaf key above bound");
+                }
+                for v in values {
+                    assert!(!v.is_empty());
+                    assert!(v.windows(2).all(|w| w[0] <= w[1]), "positions unsorted");
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "child count");
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted internal");
+                for (i, &c) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                    self.check_node(c, clo, chi);
+                }
+            }
+        }
+    }
+}
+
+/// Ordered iterator over `(key, positions)`.
+pub struct BPlusIter<'a> {
+    tree: &'a BPlusTree,
+    leaf: Option<NodeId>,
+    idx: usize,
+}
+
+impl<'a> Iterator for BPlusIter<'a> {
+    type Item = (u64, &'a [u32]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let id = self.leaf?;
+            if let Node::Leaf { keys, values, next } = &self.tree.nodes[id] {
+                if self.idx < keys.len() {
+                    let out = (keys[self.idx], values[self.idx].as_slice());
+                    self.idx += 1;
+                    return Some(out);
+                }
+                self.leaf = *next;
+                self.idx = 0;
+            } else {
+                unreachable!()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    #[test]
+    fn insert_and_get_small() {
+        let mut t = BPlusTree::new(4);
+        for (k, v) in [(5u64, 50u32), (1, 10), (9, 90), (3, 30)] {
+            t.insert(k, v);
+        }
+        assert_eq!(t.get(5), Some(&[50u32][..]));
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.len(), 4);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_keys_keep_all_positions_sorted() {
+        let mut t = BPlusTree::new(4);
+        t.insert(7, 30);
+        t.insert(7, 10);
+        t.insert(7, 20);
+        assert_eq!(t.get(7), Some(&[10u32, 20, 30][..]));
+        assert_eq!(t.first_position(7), Some(10));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn many_random_inserts_stay_consistent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut keys: Vec<u64> = (0..5_000).collect();
+        keys.shuffle(&mut rng);
+        let mut t = BPlusTree::new(8);
+        for &k in &keys {
+            t.insert(k, (k * 2) as u32);
+        }
+        t.check_invariants();
+        assert!(t.height() > 2, "height {}", t.height());
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(&[(k * 2) as u32][..]));
+        }
+        // Ordered iteration covers everything exactly once.
+        let collected: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(collected, (0..5_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..100u64 {
+            t.insert(k, k as u32);
+        }
+        let r = t.range(10, 19);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, 10);
+        assert_eq!(r[9].0, 19);
+        assert!(t.range(200, 300).is_empty());
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn size_grows_with_content() {
+        let mut t = BPlusTree::new(16);
+        let base = t.size_bytes();
+        for k in 0..1000u64 {
+            t.insert(k, k as u32);
+        }
+        assert!(t.size_bytes() > base + 1000 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 4")]
+    fn tiny_order_panics() {
+        let _ = BPlusTree::new(2);
+    }
+}

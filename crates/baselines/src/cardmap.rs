@@ -1,0 +1,104 @@
+//! HashMap competitor for the cardinality task (§8.1.2).
+//!
+//! Stores every subset of every set (up to a size cap) with its exact count.
+//! Accuracy is always 1 — the paper's point is the enormous memory this
+//! costs relative to the learned estimators (Table 3).
+
+use crate::hash::set_hash;
+use serde::{Deserialize, Serialize};
+use setlearn_data::{set::for_each_subset, SetCollection};
+use std::collections::HashMap;
+
+/// Exact subset-cardinality store keyed by permutation-invariant set hash.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CardinalityMap {
+    counts: HashMap<u64, u64>,
+    max_query_size: usize,
+}
+
+impl CardinalityMap {
+    /// Enumerates and counts all subsets up to `max_query_size`.
+    pub fn build(collection: &SetCollection, max_query_size: usize) -> Self {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for (_, set) in collection.iter() {
+            for_each_subset(set, max_query_size, |sub| {
+                *counts.entry(set_hash(sub)).or_insert(0) += 1;
+            });
+        }
+        CardinalityMap { counts, max_query_size }
+    }
+
+    /// Exact cardinality of a canonical query; 0 for unseen or oversized
+    /// queries.
+    pub fn cardinality(&self, q: &[u32]) -> u64 {
+        if q.len() > self.max_query_size {
+            return 0;
+        }
+        self.counts.get(&set_hash(q)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct subsets stored.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Size cap the map was built with.
+    pub fn max_query_size(&self) -> usize {
+        self.max_query_size
+    }
+
+    /// Approximate resident bytes: hashmap buckets at observed load plus
+    /// key/value payload.
+    pub fn size_bytes(&self) -> usize {
+        // Each occupied entry: 8B key + 8B value + ~1B control byte; capacity
+        // overhead approximated by the 7/8 max load factor of hashbrown.
+        let cap = (self.counts.len() as f64 / 0.875).ceil() as usize;
+        std::mem::size_of::<Self>() + cap * (8 + 8 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn_data::GeneratorConfig;
+
+    #[test]
+    fn exact_counts_match_oracle() {
+        let c = GeneratorConfig::rw(300, 5).generate();
+        let m = CardinalityMap::build(&c, 3);
+        for (_, set) in c.iter().take(30) {
+            for_each_subset(set, 3, |sub| {
+                assert_eq!(m.cardinality(sub), c.cardinality(sub), "subset {sub:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn unseen_query_is_zero() {
+        let c = SetCollection::new(vec![vec![0, 1], vec![1, 2]], 4);
+        let m = CardinalityMap::build(&c, 2);
+        assert_eq!(m.cardinality(&[0, 2]), 0);
+        assert_eq!(m.cardinality(&[3]), 0);
+    }
+
+    #[test]
+    fn oversized_query_is_zero() {
+        let c = SetCollection::new(vec![vec![0, 1, 2]], 4);
+        let m = CardinalityMap::build(&c, 2);
+        assert_eq!(m.cardinality(&[0, 1, 2]), 0);
+    }
+
+    #[test]
+    fn memory_scales_with_subset_count() {
+        let c = GeneratorConfig::rw(2_000, 5).generate();
+        let small = CardinalityMap::build(&c, 2);
+        let large = CardinalityMap::build(&c, 4);
+        assert!(large.len() > small.len());
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+}

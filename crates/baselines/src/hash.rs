@@ -1,0 +1,86 @@
+//! Permutation-invariant hashing of sets (paper §8.1.2).
+//!
+//! Traditional structures index a set through a single key. Two options
+//! fulfill permutation invariance:
+//!
+//! * [`set_hash`] — hash the *canonically sorted* elements with FNV-1a; this
+//!   is the "concatenate sorted elements and hash them" strategy and is the
+//!   default used by the competitors.
+//! * [`commutative_hash`] — order-free combination of per-element hashes
+//!   (sum/xor mix), usable when inputs cannot be sorted first.
+
+/// FNV-1a over the sorted element ids.
+///
+/// # Panics (debug)
+/// If the input is not canonical (sorted, duplicate-free).
+pub fn set_hash(set: &[u32]) -> u64 {
+    debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be canonical");
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &e in set {
+        for b in e.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Order-independent hash: combines per-element avalanche hashes with
+/// wrapping addition and xor, so any permutation yields the same digest.
+pub fn commutative_hash(set: &[u32]) -> u64 {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for &e in set {
+        let h = splitmix64(e as u64);
+        sum = sum.wrapping_add(h);
+        xor ^= h.rotate_left(17);
+    }
+    splitmix64(sum ^ xor ^ (set.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// SplitMix64 finalizer — a cheap full-avalanche mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_hash_distinguishes_sets() {
+        assert_ne!(set_hash(&[1, 2, 3]), set_hash(&[1, 2, 4]));
+        assert_ne!(set_hash(&[1, 2]), set_hash(&[1, 2, 3]));
+        assert_ne!(set_hash(&[]), set_hash(&[0]));
+    }
+
+    #[test]
+    fn commutative_hash_is_order_free() {
+        // commutative_hash does not require canonical input.
+        assert_eq!(commutative_hash(&[3, 1, 2]), commutative_hash(&[2, 3, 1]));
+        assert_eq!(commutative_hash(&[7]), commutative_hash(&[7]));
+    }
+
+    #[test]
+    fn commutative_hash_distinguishes_multiplicity_via_len() {
+        assert_ne!(commutative_hash(&[1, 2]), commutative_hash(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn hashes_agree_between_calls() {
+        let s = [5u32, 9, 1000];
+        assert_eq!(set_hash(&s), set_hash(&s));
+    }
+
+    #[test]
+    fn splitmix_avalanche_nonzero() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,0 +1,96 @@
+//! Independence-assumption cardinality estimator — the "textbook" baseline
+//! that learned estimators are built to beat.
+//!
+//! It stores only per-element selectivities and estimates
+//! `card(q) ≈ N · Π_e sel(e)`, which is exact when elements co-occur
+//! independently and arbitrarily wrong when they are correlated (the
+//! `abl_correlation` bench shows the gap against the learned model).
+
+use serde::{Deserialize, Serialize};
+use setlearn_data::SetCollection;
+
+/// Per-element-selectivity estimator under the independence assumption.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndependenceEstimator {
+    /// `freq[e] / N` per element.
+    selectivity: Vec<f64>,
+    num_sets: f64,
+}
+
+impl IndependenceEstimator {
+    /// Computes per-element selectivities from the collection.
+    pub fn build(collection: &SetCollection) -> Self {
+        let mut freq = vec![0u64; collection.num_elements() as usize];
+        for (_, s) in collection.iter() {
+            for &e in s {
+                freq[e as usize] += 1;
+            }
+        }
+        let n = collection.len().max(1) as f64;
+        IndependenceEstimator {
+            selectivity: freq.iter().map(|&f| f as f64 / n).collect(),
+            num_sets: collection.len() as f64,
+        }
+    }
+
+    /// `N · Π sel(e)` over the (canonical) query elements; out-of-vocabulary
+    /// elements contribute selectivity 0.
+    pub fn estimate(&self, q: &[u32]) -> f64 {
+        let mut sel = 1.0;
+        for &e in q {
+            sel *= self.selectivity.get(e as usize).copied().unwrap_or(0.0);
+        }
+        self.num_sets * sel
+    }
+
+    /// Struct bytes (one f64 per vocabulary entry).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.selectivity.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn_data::GeneratorConfig;
+
+    #[test]
+    fn exact_for_single_elements() {
+        let c = GeneratorConfig::rw(500, 3).generate();
+        let est = IndependenceEstimator::build(&c);
+        for e in 0..20u32 {
+            let truth = c.cardinality(&[e]) as f64;
+            assert!((est.estimate(&[e]) - truth).abs() < 1e-6, "element {e}");
+        }
+    }
+
+    #[test]
+    fn underestimates_correlated_pairs() {
+        let c = GeneratorConfig {
+            num_sets: 3_000,
+            vocab: 64,
+            zipf_s: 0.5,
+            min_set_size: 4,
+            max_set_size: 6,
+            seed: 7,
+        }
+        .generate_correlated(0.95);
+        let est = IndependenceEstimator::build(&c);
+        // Pick the most frequent correlated pair.
+        let truth = c.cardinality(&[0, 1]) as f64;
+        if truth >= 10.0 {
+            let guess = est.estimate(&[0, 1]);
+            assert!(
+                guess < truth * 0.8,
+                "independence should underestimate a correlated pair: {guess} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_vocabulary_is_zero() {
+        let c = GeneratorConfig::sd(100, 1).generate();
+        let est = IndependenceEstimator::build(&c);
+        assert_eq!(est.estimate(&[c.num_elements() + 5]), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # setlearn-baselines
+//!
+//! The traditional competitors of the paper's §8.1.2, adapted to sets via
+//! permutation-invariant hashing:
+//!
+//! * [`bptree::BPlusTree`] — the index-task competitor (keys are set hashes,
+//!   duplicate keys keep all positions) and the hybrid structure's auxiliary
+//!   index.
+//! * [`bloom::BloomFilter`] / [`bloom::SetMembershipBloom`] — the
+//!   Bloom-filter-task competitor and the learned filter's backup.
+//! * [`cardmap::CardinalityMap`] — the exact subset-count HashMap competitor
+//!   for the cardinality task.
+//! * [`hash`] — sorted-FNV and commutative set hashing.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod bptree;
+pub mod cardmap;
+pub mod hash;
+pub mod independence;
+
+pub use bloom::{BloomFilter, SetMembershipBloom};
+pub use bptree::BPlusTree;
+pub use cardmap::CardinalityMap;
+pub use independence::IndependenceEstimator;
+pub use hash::{commutative_hash, set_hash};

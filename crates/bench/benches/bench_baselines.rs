@@ -1,0 +1,63 @@
+//! Microbenchmarks for the traditional structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setlearn_baselines::{set_hash, BPlusTree, BloomFilter};
+use setlearn_data::set::for_each_subset;
+use std::hint::black_box;
+
+fn bench_set_hash(c: &mut Criterion) {
+    let set = [5u32, 99, 1_000, 54_321, 999_999];
+    c.bench_function("set_hash_5_elems", |b| {
+        b.iter(|| black_box(set_hash(&set)));
+    });
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut tree = BPlusTree::new(100);
+    for k in 0..50_000u64 {
+        tree.insert(k.wrapping_mul(0x9e3779b97f4a7c15), k as u32);
+    }
+    let probe = 777u64.wrapping_mul(0x9e3779b97f4a7c15);
+    c.bench_function("bptree_get_50k", |b| {
+        b.iter(|| black_box(tree.get(probe)));
+    });
+    c.bench_function("bptree_insert_50k", |b| {
+        let mut k = 50_000u64;
+        b.iter(|| {
+            tree.insert(k.wrapping_mul(0x9e3779b97f4a7c15), k as u32);
+            k += 1;
+        });
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut bf = BloomFilter::new(100_000, 0.01);
+    for i in 0..100_000u64 {
+        bf.insert_hash(i.wrapping_mul(0x9e3779b97f4a7c15));
+    }
+    c.bench_function("bloom_contains_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(bf.contains_hash(i.wrapping_mul(0x9e3779b97f4a7c15)))
+        });
+    });
+}
+
+fn bench_subset_enum(c: &mut Criterion) {
+    let set: Vec<u32> = (0..8).collect();
+    c.bench_function("subset_enum_8_cap3", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for_each_subset(&set, 3, |s| n += s.len() as u32);
+            black_box(n)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_set_hash, bench_bptree, bench_bloom, bench_subset_enum
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 11's latency comparison as a criterion benchmark: learned Bloom
+//! filter probes vs the traditional filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setlearn::tasks::LearnedBloom;
+use setlearn_baselines::SetMembershipBloom;
+use setlearn_bench::configs::{bloom_config, Variant};
+use setlearn_data::{workload::membership_queries, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_bloom(c: &mut Criterion) {
+    let collection = GeneratorConfig::rw(2_000, 3).generate();
+    let workload = membership_queries(&collection, 500, 500, 4, 7);
+    let mut cfg = bloom_config(collection.num_elements(), Variant::Clsm);
+    cfg.epochs = 5;
+    let (learned, _) = LearnedBloom::build(&workload, &cfg);
+    let traditional = SetMembershipBloom::build(&collection, 4, 0.01);
+
+    let q = &collection.get(11)[..2];
+    c.bench_function("bloom_learned_contains", |b| {
+        b.iter(|| black_box(learned.contains(q)));
+    });
+    c.bench_function("bloom_traditional_contains", |b| {
+        b.iter(|| black_box(traditional.contains(q)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bloom
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 4's latency comparison as a criterion benchmark: learned estimators
+//! vs the exact HashMap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setlearn::hybrid::GuidedConfig;
+use setlearn::tasks::LearnedCardinality;
+use setlearn_baselines::CardinalityMap;
+use setlearn_bench::configs::{cardinality_config, Variant};
+use setlearn_data::{GeneratorConfig, SubsetIndex};
+use std::hint::black_box;
+
+fn quick_guided() -> GuidedConfig {
+    GuidedConfig {
+        warmup_epochs: 3,
+        rounds: 1,
+        epochs_per_round: 2,
+        percentile: 0.9,
+        batch_size: 128,
+        learning_rate: 3e-3,
+        seed: 1,
+    }
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let collection = GeneratorConfig::rw(2_000, 5).generate();
+    let subsets = SubsetIndex::build(&collection, 3);
+    let vocab = collection.num_elements();
+
+    let mut lsm_cfg = cardinality_config(vocab, Variant::Lsm, 0.9);
+    lsm_cfg.guided = quick_guided();
+    let (lsm, _) = LearnedCardinality::build_from_subsets(&subsets, &lsm_cfg);
+
+    let mut clsm_cfg = cardinality_config(vocab, Variant::Clsm, 0.9);
+    clsm_cfg.guided = quick_guided();
+    let (clsm, _) = LearnedCardinality::build_from_subsets(&subsets, &clsm_cfg);
+
+    let map = CardinalityMap::build(&collection, 3);
+    let q = &collection.get(7)[..2];
+
+    c.bench_function("cardinality_lsm_estimate", |b| {
+        b.iter(|| black_box(lsm.estimate(q)));
+    });
+    c.bench_function("cardinality_clsm_estimate", |b| {
+        b.iter(|| black_box(clsm.estimate(q)));
+    });
+    c.bench_function("cardinality_hashmap_lookup", |b| {
+        b.iter(|| black_box(map.cardinality(q)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_estimators
+);
+criterion_main!(benches);

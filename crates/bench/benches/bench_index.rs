@@ -1,0 +1,47 @@
+//! Table 8's latency comparison as a criterion benchmark: hybrid learned
+//! index lookups vs the B+ tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setlearn::hybrid::GuidedConfig;
+use setlearn::tasks::LearnedSetIndex;
+use setlearn_baselines::{set_hash, BPlusTree};
+use setlearn_bench::configs::{index_config, Variant};
+use setlearn_data::{GeneratorConfig, SubsetIndex};
+use std::hint::black_box;
+
+fn bench_index(c: &mut Criterion) {
+    let collection = GeneratorConfig::rw(2_000, 9).generate();
+    let subsets = SubsetIndex::build(&collection, 2);
+    let mut cfg = index_config(collection.num_elements(), Variant::Clsm, 0.9);
+    cfg.guided = GuidedConfig {
+        warmup_epochs: 3,
+        rounds: 1,
+        epochs_per_round: 2,
+        percentile: 0.9,
+        batch_size: 128,
+        learning_rate: 3e-3,
+        seed: 1,
+    };
+    let (index, _) = LearnedSetIndex::build_from_subsets(&collection, &subsets, &cfg);
+
+    let mut tree = BPlusTree::new(100);
+    for (pos, set) in collection.iter() {
+        tree.insert(set_hash(set), pos as u32);
+    }
+
+    let q = &collection.get(42)[..2];
+    let whole = collection.get(42);
+    c.bench_function("index_hybrid_lookup", |b| {
+        b.iter(|| black_box(index.lookup(&collection, q)));
+    });
+    c.bench_function("index_btree_equality_lookup", |b| {
+        b.iter(|| black_box(tree.first_position(set_hash(whole))));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_index
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: learned estimator vs the independence assumption on correlated
+//! data — the classic motivation for learned cardinality estimation. On a
+//! collection where element pairs co-occur, the independence baseline
+//! systematically underestimates pair queries; the DeepSets model learns the
+//! correlation.
+
+use setlearn::tasks::LearnedCardinality;
+use setlearn_baselines::IndependenceEstimator;
+use setlearn_bench::configs::{cardinality_config, Variant};
+use setlearn_bench::metrics::avg_q_error;
+use setlearn_bench::report::{qe, Table};
+use setlearn_data::{GeneratorConfig, SubsetIndex};
+
+fn main() {
+    let collection = GeneratorConfig {
+        num_sets: 6_000,
+        vocab: 256,
+        zipf_s: 0.6,
+        min_set_size: 4,
+        max_set_size: 6,
+        seed: 5,
+    }
+    .generate_correlated(0.9);
+    let subsets = SubsetIndex::build(&collection, 2);
+
+    let mut cfg = cardinality_config(collection.num_elements(), Variant::Lsm, 1.0);
+    // Correlations need more optimization than the marginal patterns of the
+    // main suite; give the model a longer schedule.
+    cfg.guided.warmup_epochs = 60;
+    cfg.guided.epochs_per_round = 20;
+    cfg.guided.learning_rate = 5e-3;
+    let (learned, _) = LearnedCardinality::build_from_subsets(&subsets, &cfg);
+    let indep = IndependenceEstimator::build(&collection);
+
+    // Evaluate on the correlated pairs specifically, and on all subsets.
+    let mut pair_l = Vec::new();
+    let mut pair_i = Vec::new();
+    let mut all_l = Vec::new();
+    let mut all_i = Vec::new();
+    for (s, info) in subsets.iter() {
+        let truth = info.count as f64;
+        let l = (learned.estimate_model_only(s), truth);
+        let i = (indep.estimate(s), truth);
+        // Focus the pair bucket on pairs frequent enough to carry a real
+        // correlation signal (rare tail pairs are noise for both).
+        if s.len() == 2 && s[1] == s[0] + 1 && s[0] % 2 == 0 && info.count >= 10 {
+            pair_l.push(l);
+            pair_i.push(i);
+        }
+        all_l.push(l);
+        all_i.push(i);
+    }
+
+    let mut t = Table::new(vec!["estimator", "qerr (correlated pairs)", "qerr (all subsets)"]);
+    t.row(vec![
+        "learned (LSM)".to_string(),
+        qe(avg_q_error(&pair_l)),
+        qe(avg_q_error(&all_l)),
+    ]);
+    t.row(vec![
+        "independence".to_string(),
+        qe(avg_q_error(&pair_i)),
+        qe(avg_q_error(&all_i)),
+    ]);
+    t.print(&format!(
+        "Ablation — learned vs independence assumption ({} correlated-pair queries)",
+        pair_l.len()
+    ));
+    println!(
+        "Independence multiplies marginal selectivities and misses the pair \
+         correlation entirely; the set model learns it from the subsets."
+    );
+}

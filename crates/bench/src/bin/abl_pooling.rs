@@ -1,0 +1,35 @@
+//! Ablation: sum vs mean vs max pooling on the cardinality task
+//! (DESIGN.md §4 — the paper's compressed architecture uses sum).
+
+use setlearn::model::Pooling;
+use setlearn::tasks::LearnedCardinality;
+use setlearn_bench::configs::{cardinality_config, Variant};
+use setlearn_bench::datasets::BenchDataset;
+use setlearn_bench::metrics::avg_q_error;
+use setlearn_bench::report::{qe, Table};
+use setlearn_bench::suites::cardinality::eval_sample;
+use setlearn_data::{Dataset, SubsetIndex};
+
+fn main() {
+    let bench = BenchDataset::load(Dataset::Rw200k);
+    let collection = &bench.collection;
+    let subsets = SubsetIndex::build(collection, 3);
+    let eval = eval_sample(&subsets, 2_000);
+
+    let mut t = Table::new(vec!["pooling", "avg q-error (eval)"]);
+    for (name, pooling) in
+        [("sum", Pooling::Sum), ("mean", Pooling::Mean), ("max", Pooling::Max)]
+    {
+        let mut cfg = cardinality_config(collection.num_elements(), Variant::Lsm, 1.0);
+        cfg.model.pooling = pooling;
+        let (est, _) = LearnedCardinality::build_from_subsets(&subsets, &cfg);
+        let p: Vec<(f64, f64)> =
+            eval.iter().map(|(s, c)| (est.estimate_model_only(s), *c as f64)).collect();
+        t.row(vec![name.to_string(), qe(avg_q_error(&p))]);
+    }
+    t.print("Ablation — pooling operator (cardinality, RW-200k shape)");
+    println!(
+        "Sum pooling carries set-size information that cardinality estimation \
+         needs; mean discards it and max keeps only feature extrema."
+    );
+}

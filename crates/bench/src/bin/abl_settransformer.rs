@@ -1,0 +1,96 @@
+//! Ablation: DeepSets vs Set Transformer (paper §3.2) — accuracy, latency,
+//! and model size on the cardinality task. The paper chooses DeepSets
+//! because the attention model's accuracy edge on simple tasks does not
+//! justify its cost.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setlearn::model::DeepSets;
+use setlearn::settransformer::{SetTransformer, SetTransformerConfig};
+use setlearn_bench::configs::{cardinality_config, Variant};
+use setlearn_bench::datasets::BenchDataset;
+use setlearn_bench::metrics::avg_q_error;
+use setlearn_bench::report::{mb, ms, qe, Table};
+use setlearn_bench::suites::cardinality::eval_sample;
+use setlearn_bench::timing::{avg_latency_ms, timed};
+use setlearn_data::{Dataset, ElementSet, SubsetIndex};
+use setlearn_nn::{LogMinMaxScaler, Loss, Optimizer};
+
+fn main() {
+    let bench = BenchDataset::load(Dataset::Rw200k);
+    let collection = &bench.collection;
+    let vocab = collection.num_elements();
+    let subsets = SubsetIndex::build(collection, 3);
+    let pairs = subsets.cardinality_pairs();
+    let scaler = LogMinMaxScaler::from_range(1.0, subsets.max_cardinality() as f64);
+    let data: Vec<(ElementSet, f32)> =
+        pairs.iter().map(|(s, c)| (s.clone(), scaler.scale(*c))).collect();
+    let eval = eval_sample(&subsets, 2_000);
+    let loss = Loss::QError { span: scaler.span() };
+    let epochs = 25;
+
+    let mut t = Table::new(vec![
+        "model",
+        "avg q-error",
+        "ms/query",
+        "size (MB)",
+        "train (s)",
+    ]);
+
+    // DeepSets (LSM).
+    let cfg = cardinality_config(vocab, Variant::Lsm, 1.0);
+    let mut ds = DeepSets::new(cfg.model.clone());
+    ds.zero_grad();
+    let mut opt = Optimizer::adam(3e-3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let (_, ds_train) = timed(|| {
+        for _ in 0..epochs {
+            ds.train_epoch(&data, loss, &mut opt, 128, &mut rng);
+        }
+    });
+    let p: Vec<(f64, f64)> = eval
+        .iter()
+        .map(|(s, c)| (scaler.unscale(ds.predict_one(s)), *c as f64))
+        .collect();
+    let lat = avg_latency_ms(&eval, |(s, _)| {
+        std::hint::black_box(ds.predict_one(s));
+    });
+    t.row(vec![
+        "DeepSets".to_string(),
+        qe(avg_q_error(&p)),
+        ms(lat),
+        mb(ds.size_bytes()),
+        format!("{ds_train:.1}"),
+    ]);
+
+    // Set Transformer.
+    let mut st = SetTransformer::new(SetTransformerConfig::new(vocab));
+    st.zero_grad();
+    let mut opt = Optimizer::adam(3e-3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let (_, st_train) = timed(|| {
+        for _ in 0..epochs {
+            st.train_epoch(&data, loss, &mut opt, 128, &mut rng);
+        }
+    });
+    let p: Vec<(f64, f64)> = eval
+        .iter()
+        .map(|(s, c)| (scaler.unscale(st.predict_one(s)), *c as f64))
+        .collect();
+    let lat = avg_latency_ms(&eval, |(s, _)| {
+        std::hint::black_box(st.predict_one(s));
+    });
+    t.row(vec![
+        "SetTransformer".to_string(),
+        qe(avg_q_error(&p)),
+        ms(lat),
+        mb(st.size_bytes()),
+        format!("{st_train:.1}"),
+    ]);
+
+    t.print("Ablation — DeepSets vs Set Transformer (cardinality, RW-200k shape)");
+    println!(
+        "The paper (§3.2) picks DeepSets: comparable accuracy on these tasks at a \
+         fraction of the execution time and memory."
+    );
+}

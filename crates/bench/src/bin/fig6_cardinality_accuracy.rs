@@ -1,0 +1,9 @@
+//! Figure 6: cardinality-estimation accuracy per query-result-size range.
+
+use setlearn_bench::printers::print_fig6;
+use setlearn_bench::suites::cardinality;
+
+fn main() {
+    let results = cardinality::run_all(2_000);
+    print_fig6(&results);
+}

@@ -1,0 +1,12 @@
+//! Figure 7: digit-sum generalization — DeepSets and compressed DeepSets vs
+//! LSTM and GRU.
+
+use setlearn_bench::printers::print_fig7;
+use setlearn_bench::suites::digits::{run, DigitSuiteConfig};
+
+fn main() {
+    let a = run(&DigitSuiteConfig::new(10));
+    print_fig7("Figure 7a — digit-sum MAE, values in [1, 10]", &a);
+    let b = run(&DigitSuiteConfig::new(100));
+    print_fig7("Figure 7b — digit-sum MAE, values in [1, 100]", &b);
+}

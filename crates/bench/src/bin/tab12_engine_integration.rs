@@ -1,0 +1,9 @@
+//! Table 12: the CLSM estimator as a UDF inside the mini engine vs exact
+//! COUNTs with and without an inverted index.
+
+use setlearn_bench::printers::print_tab12;
+use setlearn_bench::suites::engine;
+
+fn main() {
+    print_tab12(&engine::run(2_000));
+}

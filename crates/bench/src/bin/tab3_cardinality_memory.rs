@@ -1,0 +1,9 @@
+//! Table 3: memory consumption for the cardinality-estimation task.
+
+use setlearn_bench::printers::print_tab3;
+use setlearn_bench::suites::cardinality;
+
+fn main() {
+    let results = cardinality::run_all(2_000);
+    print_tab3(&results);
+}

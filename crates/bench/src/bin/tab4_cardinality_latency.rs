@@ -1,0 +1,9 @@
+//! Table 4: per-query execution time for the cardinality-estimation task.
+
+use setlearn_bench::printers::print_tab4;
+use setlearn_bench::suites::cardinality;
+
+fn main() {
+    let results = cardinality::run_all(2_000);
+    print_tab4(&results);
+}

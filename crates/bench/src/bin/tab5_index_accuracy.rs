@@ -1,0 +1,13 @@
+//! Table 5: index accuracy across outlier-removal percentiles.
+
+use setlearn_bench::printers::print_tab5;
+use setlearn_bench::suites::index;
+use setlearn_data::Dataset;
+
+fn main() {
+    let mut rows = Vec::new();
+    for d in Dataset::ALL {
+        rows.extend(index::run_accuracy(d, 2_000));
+    }
+    print_tab5(&rows);
+}

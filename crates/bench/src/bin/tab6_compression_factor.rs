@@ -1,0 +1,8 @@
+//! Table 6: impact of the tunable compression divisor sv_d (Tweets, index).
+
+use setlearn_bench::printers::print_tab6;
+use setlearn_bench::suites::index;
+
+fn main() {
+    print_tab6(&index::run_compression_factor(2_000));
+}

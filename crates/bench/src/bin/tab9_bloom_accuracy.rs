@@ -1,0 +1,8 @@
+//! Table 9: binary accuracy for the Bloom-filter task.
+
+use setlearn_bench::printers::print_bloom;
+use setlearn_bench::suites::bloom;
+
+fn main() {
+    print_bloom(&bloom::run_all(2_000, 2_000));
+}

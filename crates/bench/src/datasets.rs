@@ -1,0 +1,80 @@
+//! Bench-scale dataset instantiation.
+//!
+//! The paper's collections (Table 2) range up to 3M sets; the default bench
+//! scale keeps their *relative* sizes and distribution shapes while running
+//! the whole suite on a laptop-class CPU. `SETLEARN_SCALE` multiplies the
+//! bench sizes (e.g. `SETLEARN_SCALE=10` approaches paper scale for the
+//! smaller datasets); see EXPERIMENTS.md.
+
+use setlearn_data::{Dataset, SetCollection};
+
+/// Default bench-mode number of sets per dataset (paper sizes ÷ ~250,
+/// ordering preserved).
+pub fn bench_num_sets(dataset: Dataset) -> usize {
+    match dataset {
+        Dataset::Rw200k => 4_000,
+        Dataset::Rw1500k => 8_000,
+        Dataset::Rw3000k => 12_000,
+        Dataset::Tweets => 8_000,
+        Dataset::Sd => 3_000,
+    }
+}
+
+/// Scale multiplier from the `SETLEARN_SCALE` environment variable
+/// (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("SETLEARN_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// A generated bench dataset.
+pub struct BenchDataset {
+    /// Which of the paper's datasets this instantiates.
+    pub dataset: Dataset,
+    /// The generated collection.
+    pub collection: SetCollection,
+}
+
+impl BenchDataset {
+    /// Generates the dataset at the current bench scale.
+    pub fn load(dataset: Dataset) -> Self {
+        Self::load_scaled(dataset, scale_from_env())
+    }
+
+    /// Generates the dataset at an explicit multiple of the bench size.
+    pub fn load_scaled(dataset: Dataset, scale: f64) -> Self {
+        let n = ((bench_num_sets(dataset) as f64 * scale).round() as usize).max(64);
+        let paper_fraction = (n as f64 / dataset.paper_num_sets() as f64).min(1.0);
+        let collection = dataset.generate(paper_fraction, 0xD5EA5E + dataset as u64);
+        BenchDataset { dataset, collection }
+    }
+
+    /// The paper's label.
+    pub fn name(&self) -> &'static str {
+        self.dataset.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_ordering_is_preserved() {
+        let sizes: Vec<usize> = [Dataset::Rw200k, Dataset::Rw1500k, Dataset::Rw3000k]
+            .iter()
+            .map(|&d| BenchDataset::load_scaled(d, 0.2).collection.len())
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = BenchDataset::load_scaled(Dataset::Sd, 0.1);
+        let b = BenchDataset::load_scaled(Dataset::Sd, 0.1);
+        assert_eq!(a.collection.sets(), b.collection.sets());
+    }
+}

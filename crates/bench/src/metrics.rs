@@ -1,0 +1,84 @@
+//! Accuracy metrics: q-error aggregation and Figure 6's result-size buckets.
+
+use setlearn_nn::q_error;
+
+/// The query-result-size ranges Figure 6 groups by (powers of ten).
+pub const RESULT_SIZE_BUCKETS: [(u64, u64); 5] =
+    [(1, 1), (2, 9), (10, 99), (100, 999), (1_000, u64::MAX)];
+
+/// Human label for a bucket.
+pub fn bucket_label(bucket: (u64, u64)) -> String {
+    if bucket.1 == u64::MAX {
+        format!(">={}", bucket.0)
+    } else if bucket.0 == bucket.1 {
+        format!("{}", bucket.0)
+    } else {
+        format!("{}-{}", bucket.0, bucket.1)
+    }
+}
+
+/// Mean q-error of `(estimate, truth)` pairs.
+pub fn avg_q_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    pairs.iter().map(|&(e, t)| q_error(e, t, 1.0)).sum::<f64>() / pairs.len() as f64
+}
+
+/// Mean absolute error of `(estimate, truth)` pairs.
+pub fn avg_abs_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    pairs.iter().map(|&(e, t)| (e - t).abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Buckets `(estimate, truth)` pairs by truth into [`RESULT_SIZE_BUCKETS`]
+/// and returns the mean q-error per bucket (NaN where a bucket is empty).
+pub fn q_error_by_result_size(pairs: &[(f64, f64)]) -> Vec<(String, f64, usize)> {
+    RESULT_SIZE_BUCKETS
+        .iter()
+        .map(|&(lo, hi)| {
+            let in_bucket: Vec<(f64, f64)> = pairs
+                .iter()
+                .copied()
+                .filter(|&(_, t)| (t as u64) >= lo && (t as u64) <= hi)
+                .collect();
+            (bucket_label((lo, hi)), avg_q_error(&in_bucket), in_bucket.len())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_q_error_of_perfect_predictions_is_one() {
+        assert_eq!(avg_q_error(&[(3.0, 3.0), (10.0, 10.0)]), 1.0);
+    }
+
+    #[test]
+    fn bucketing_routes_by_truth() {
+        let pairs = [(1.0, 1.0), (20.0, 10.0), (2_000.0, 1_000.0)];
+        let buckets = q_error_by_result_size(&pairs);
+        assert_eq!(buckets[0].2, 1); // truth 1
+        assert_eq!(buckets[2].2, 1); // truth 10
+        assert_eq!(buckets[4].2, 1); // truth 1000
+        assert_eq!(buckets[1].2, 0);
+        assert!((buckets[2].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(bucket_label((1, 1)), "1");
+        assert_eq!(bucket_label((2, 9)), "2-9");
+        assert_eq!(bucket_label((1_000, u64::MAX)), ">=1000");
+    }
+
+    #[test]
+    fn empty_bucket_is_nan() {
+        assert!(avg_q_error(&[]).is_nan());
+        assert!(avg_abs_error(&[]).is_nan());
+    }
+}

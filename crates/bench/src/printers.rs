@@ -1,0 +1,280 @@
+//! Shared table printers for the experiment binaries.
+
+use crate::report::{mb, ms, qe, Table};
+use crate::suites::bloom::BloomDatasetResult;
+use crate::suites::cardinality::CardinalityDatasetResult;
+use crate::suites::digits::DigitRun;
+use crate::suites::engine::EngineIntegrationResult;
+use crate::suites::index::{CompressionFactorRow, IndexAccuracyRow, IndexStructureResult};
+
+/// Figure 6: q-error per result-size bucket, per dataset.
+pub fn print_fig6(results: &[CardinalityDatasetResult]) {
+    for r in results {
+        let mut headers = vec!["variant".to_string()];
+        if let Some(first) = r.runs.first() {
+            headers.extend(first.q_error_buckets.iter().map(|(l, _, _)| format!("qerr[{l}]")));
+        }
+        headers.push("avg".into());
+        let mut t = Table::new(headers);
+        for run in &r.runs {
+            let mut row = vec![run.label.clone()];
+            row.extend(run.q_error_buckets.iter().map(|(_, q, n)| {
+                if *n == 0 {
+                    "-".to_string()
+                } else {
+                    qe(*q)
+                }
+            }));
+            row.push(qe(run.avg_q_error));
+            t.row(row);
+        }
+        t.print(&format!(
+            "Figure 6 — cardinality accuracy by query result size ({}, {} queries)",
+            r.dataset, r.num_queries
+        ));
+    }
+}
+
+/// Table 3: memory for the cardinality task.
+pub fn print_tab3(results: &[CardinalityDatasetResult]) {
+    let mut headers = vec!["Datasets".to_string()];
+    if let Some(first) = results.first() {
+        headers.extend(first.runs.iter().map(|run| run.label.clone()));
+    }
+    headers.push("HashMap".into());
+    let mut t = Table::new(headers);
+    for r in results {
+        let mut row = vec![r.dataset.to_string()];
+        row.extend(r.runs.iter().map(|run| mb(run.memory_bytes)));
+        row.push(mb(r.hashmap_bytes));
+        t.row(row);
+    }
+    t.print("Table 3 — memory consumption (MB), cardinality estimation");
+}
+
+/// Table 4: execution time for the cardinality task.
+pub fn print_tab4(results: &[CardinalityDatasetResult]) {
+    let mut headers = vec!["Datasets".to_string()];
+    if let Some(first) = results.first() {
+        headers.extend(first.runs.iter().map(|run| run.label.clone()));
+    }
+    headers.push("HashMap".into());
+    let mut t = Table::new(headers);
+    for r in results {
+        let mut row = vec![r.dataset.to_string()];
+        row.extend(r.runs.iter().map(|run| ms(run.latency_ms)));
+        row.push(ms(r.hashmap_latency_ms));
+        t.row(row);
+    }
+    t.print("Table 4 — execution time (ms/query), cardinality estimation");
+    // §8.1 training-time commentary.
+    let mut tt = Table::new(vec!["Datasets", "variant", "s/epoch", "HashMap build (s)"]);
+    for r in results {
+        for run in &r.runs {
+            tt.row(vec![
+                r.dataset.to_string(),
+                run.label.clone(),
+                format!("{:.3}", run.seconds_per_epoch),
+                format!("{:.3}", r.hashmap_build_secs),
+            ]);
+        }
+    }
+    tt.print("§8.1 — cardinality training time per epoch / competitor build time");
+}
+
+/// Table 5: index accuracy across outlier-removal percentiles.
+pub fn print_tab5(rows: &[IndexAccuracyRow]) {
+    if rows.is_empty() {
+        return;
+    }
+    let mut headers = vec!["Datasets".to_string(), "variant".into(), "metric".into()];
+    headers.extend(rows[0].cells.iter().map(|c| c.percentile.clone()));
+    let mut t = Table::new(headers);
+    for row in rows {
+        let mut q = vec![row.dataset.to_string(), row.variant.clone(), "avg q-error".into()];
+        q.extend(row.cells.iter().map(|c| qe(c.avg_q_error)));
+        t.row(q);
+        let mut a = vec![row.dataset.to_string(), row.variant.clone(), "avg abs-error".into()];
+        a.extend(row.cells.iter().map(|c| format!("{:.2}", c.avg_abs_error)));
+        t.row(a);
+    }
+    t.print("Table 5 — index accuracy (q-error / abs-error) vs percentile threshold");
+}
+
+/// Table 6: tunable compression divisor.
+pub fn print_tab6(rows: &[CompressionFactorRow]) {
+    let mut t = Table::new(vec!["sv_d", "Accuracy (Q-error)", "Memory (MB)", "Training Time (s)"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            qe(r.avg_q_error),
+            mb(r.model_bytes),
+            format!("{:.2}", r.training_secs),
+        ]);
+    }
+    t.print("Table 6 — impact of compression factor sv_d (Tweets, index task)");
+}
+
+/// Table 7: index memory.
+pub fn print_tab7(results: &[IndexStructureResult]) {
+    let mut t = Table::new(vec![
+        "Datasets",
+        "variant",
+        "Model (MB)",
+        "Aux.Str. (MB)",
+        "Err (MB)",
+        "B+ Tree (MB)",
+    ]);
+    for r in results {
+        for (label, model, aux, err) in &r.hybrid_memory {
+            t.row(vec![
+                r.dataset.to_string(),
+                label.clone(),
+                mb(*model),
+                mb(*aux),
+                mb(*err),
+                mb(r.btree_bytes),
+            ]);
+        }
+    }
+    t.print("Table 7 — memory consumption (MB), index task");
+}
+
+/// Table 8: index execution time plus the §8.3.3 local-vs-global analysis.
+pub fn print_tab8(results: &[IndexStructureResult]) {
+    let mut t = Table::new(vec!["Datasets", "variant", "ms/query", "B+ Tree ms/query"]);
+    for r in results {
+        for (label, latency) in &r.hybrid_latency {
+            t.row(vec![
+                r.dataset.to_string(),
+                label.clone(),
+                ms(*latency),
+                ms(r.btree_latency_ms),
+            ]);
+        }
+    }
+    t.print("Table 8 — execution time (ms/query), index task");
+
+    let mut l = Table::new(vec![
+        "Datasets",
+        "global max error",
+        "mean local bound",
+        "scanned/query (local)",
+        "scan window (global)",
+    ]);
+    for r in results {
+        l.row(vec![
+            r.dataset.to_string(),
+            format!("{:.0}", r.global_error),
+            format!("{:.0}", r.mean_local_error),
+            format!("{:.1}", r.mean_scanned_local),
+            format!("{:.0}", r.mean_scanned_global),
+        ]);
+    }
+    l.print("§8.3.3 — local vs global error bounds (LSM-Hybrid)");
+}
+
+/// Tables 9, 10, 11: the Bloom-filter task.
+pub fn print_bloom(results: &[BloomDatasetResult]) {
+    let mut t9 = Table::new(vec!["Datasets", "LSM", "CLSM"]);
+    for r in results {
+        t9.row(vec![
+            r.dataset.to_string(),
+            format!("{:.4}", r.accuracy[0].1),
+            format!("{:.4}", r.accuracy[1].1),
+        ]);
+    }
+    t9.print("Table 9 — binary accuracy, Bloom filter task");
+
+    let mut t10 = Table::new(vec![
+        "Datasets",
+        "LSM",
+        "CLSM",
+        "BF 0.1",
+        "BF 0.01",
+        "BF 0.001",
+    ]);
+    for r in results {
+        t10.row(vec![
+            r.dataset.to_string(),
+            mb(r.memory[0].1),
+            mb(r.memory[1].1),
+            mb(r.bloom[0].1),
+            mb(r.bloom[1].1),
+            mb(r.bloom[2].1),
+        ]);
+    }
+    t10.print("Table 10 — memory consumption (MB), Bloom filter task");
+
+    let mut t11 = Table::new(vec![
+        "Datasets",
+        "LSM",
+        "CLSM",
+        "BF 0.1",
+        "BF 0.01",
+        "BF 0.001",
+    ]);
+    for r in results {
+        t11.row(vec![
+            r.dataset.to_string(),
+            ms(r.latency[0].1),
+            ms(r.latency[1].1),
+            ms(r.bloom[0].2),
+            ms(r.bloom[1].2),
+            ms(r.bloom[2].2),
+        ]);
+    }
+    t11.print("Table 11 — execution time (ms/query), Bloom filter task");
+}
+
+/// Figure 7: digit-sum MAE series.
+pub fn print_fig7(title: &str, runs: &[DigitRun]) {
+    if runs.is_empty() {
+        return;
+    }
+    let mut headers = vec!["M (test set size)".to_string()];
+    headers.extend(runs.iter().map(|r| r.model.name().to_string()));
+    let mut t = Table::new(headers);
+    for (i, &(m, _)) in runs[0].mae_by_size.iter().enumerate() {
+        let mut row = vec![m.to_string()];
+        row.extend(runs.iter().map(|r| format!("{:.2}", r.mae_by_size[i].1)));
+        t.row(row);
+    }
+    t.print(title);
+    let mut m = Table::new(vec!["model", "memory (KB)", "training (s)"]);
+    for r in runs {
+        m.row(vec![
+            r.model.name().to_string(),
+            format!("{:.3}", r.memory_bytes as f64 / 1_000.0),
+            format!("{:.1}", r.training_secs),
+        ]);
+    }
+    m.print("Figure 7 — model memory and training time");
+}
+
+/// Table 12: engine integration.
+pub fn print_tab12(r: &EngineIntegrationResult) {
+    let mut t = Table::new(vec!["", "Engine w/o Index", "Engine w/ Index", "CLSM"]);
+    t.row(vec![
+        "Avg. Exec. Time (ms)".to_string(),
+        ms(r.seqscan_ms),
+        ms(r.index_ms),
+        ms(r.clsm_ms),
+    ]);
+    t.row(vec![
+        "Memory (MB)".to_string(),
+        "-".into(),
+        mb(r.index_bytes),
+        mb(r.clsm_bytes),
+    ]);
+    t.row(vec![
+        "Build Time (s)".to_string(),
+        "-".into(),
+        format!("{:.2}", r.index_build_secs),
+        format!("{:.2}", r.clsm_build_secs),
+    ]);
+    t.print(&format!(
+        "Table 12 — estimator inside the engine ({}, {} queries; CLSM avg q-error {:.3})",
+        r.dataset, r.num_queries, r.clsm_avg_q_error
+    ));
+}

@@ -1,0 +1,108 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::io::Write;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table under a title.
+    pub fn print(&self, title: &str) {
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(stdout, "\n== {title} ==\n{}", self.render());
+    }
+}
+
+/// Formats bytes as MB with three decimals (the paper's unit).
+pub fn mb(bytes: usize) -> String {
+    format!("{:.3}", bytes as f64 / 1_000_000.0)
+}
+
+/// Formats a duration-per-query in milliseconds.
+pub fn ms(v: f64) -> String {
+    if v < 0.01 {
+        format!("{v:.5}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a q-error.
+pub fn qe(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Dataset", "QErr"]);
+        t.row(vec!["RW-200k", "1.01"]);
+        t.row(vec!["SD", "2.3456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Dataset"));
+        assert!(lines[2].starts_with("RW-200k"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(mb(3_817_000), "3.817");
+        assert_eq!(ms(0.00059), "0.00059");
+        assert_eq!(ms(0.53), "0.530");
+        assert_eq!(qe(1.00123), "1.0012");
+    }
+}

@@ -1,0 +1,95 @@
+//! System-integration suite (Table 12): the learned estimator as a UDF
+//! inside the mini engine, against exact COUNTs with and without an index.
+
+use crate::configs::{cardinality_config, Variant};
+use crate::datasets::BenchDataset;
+use crate::timing::{avg_latency_ms, timed};
+use setlearn::tasks::LearnedCardinality;
+use setlearn_data::{Dataset, ElementSet, SubsetIndex};
+use setlearn_engine::{Engine, SetTable};
+
+/// Table 12's three columns.
+#[derive(Debug, Clone)]
+pub struct EngineIntegrationResult {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Avg COUNT latency without an index (seq scan), ms.
+    pub seqscan_ms: f64,
+    /// Avg COUNT latency with the inverted index, ms.
+    pub index_ms: f64,
+    /// Avg latency of the CLSM estimator UDF, ms.
+    pub clsm_ms: f64,
+    /// Inverted-index bytes.
+    pub index_bytes: usize,
+    /// CLSM structure bytes.
+    pub clsm_bytes: usize,
+    /// Index build seconds.
+    pub index_build_secs: f64,
+    /// CLSM build (training) seconds.
+    pub clsm_build_secs: f64,
+    /// Mean q-error of the CLSM estimates on the workload.
+    pub clsm_avg_q_error: f64,
+    /// Number of queries.
+    pub num_queries: usize,
+}
+
+/// Runs Table 12 on the RW-3M-shaped dataset (the paper's choice).
+pub fn run(num_queries: usize) -> EngineIntegrationResult {
+    let bench = BenchDataset::load(Dataset::Rw3000k);
+    let collection = bench.collection.clone();
+    let vocab = collection.num_elements();
+
+    // Workload: subsets of stored sets with their true counts.
+    let subsets = SubsetIndex::build(&collection, 3);
+    let eval = crate::suites::cardinality::eval_sample(&subsets, num_queries);
+    let queries: Vec<ElementSet> = eval.iter().map(|(s, _)| s.clone()).collect();
+
+    let engine = Engine::new();
+    engine.create_table(SetTable::from_collection("rw", collection.clone()), "tags");
+
+    let mk_sql = |q: &[u32], mode: &str| {
+        format!(
+            "SELECT COUNT(*) FROM rw WHERE tags @> {{{}}} USING {mode}",
+            q.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        )
+    };
+
+    let seqscan_ms = avg_latency_ms(&queries, |q| {
+        std::hint::black_box(engine.execute_sql(&mk_sql(q, "seqscan")).unwrap());
+    });
+
+    let (_, index_build_secs) = timed(|| engine.create_index("rw").unwrap());
+    let index_ms = avg_latency_ms(&queries, |q| {
+        std::hint::black_box(engine.execute_sql(&mk_sql(q, "index")).unwrap());
+    });
+    let index_bytes = engine.index_size_bytes("rw").unwrap();
+
+    // Table 12's CLSM column is the pure compressed model (its memory in the
+    // paper matches Table 3's model-only CLSM figure), so no outlier store.
+    let cfg = cardinality_config(vocab, Variant::Clsm, 1.0);
+    let ((clsm, _report), clsm_build_secs) =
+        timed(|| LearnedCardinality::build_from_subsets(&subsets, &cfg));
+    let clsm_bytes = clsm.model_size_bytes();
+    // Q-error of the UDF's answers against the exact counts.
+    let pairs: Vec<(f64, f64)> =
+        eval.iter().map(|(s, c)| (clsm.estimate(s), *c as f64)).collect();
+    let clsm_avg_q_error = crate::metrics::avg_q_error(&pairs);
+
+    engine.register_estimator("rw", clsm).unwrap();
+    let clsm_ms = avg_latency_ms(&queries, |q| {
+        std::hint::black_box(engine.execute_sql(&mk_sql(q, "estimate")).unwrap());
+    });
+
+    EngineIntegrationResult {
+        dataset: bench.name(),
+        seqscan_ms,
+        index_ms,
+        clsm_ms,
+        index_bytes,
+        clsm_bytes,
+        index_build_secs,
+        clsm_build_secs,
+        clsm_avg_q_error,
+        num_queries: queries.len(),
+    }
+}

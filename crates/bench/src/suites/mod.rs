@@ -1,0 +1,7 @@
+//! Experiment suites, one per paper table/figure group.
+
+pub mod bloom;
+pub mod cardinality;
+pub mod digits;
+pub mod engine;
+pub mod index;

@@ -1,0 +1,105 @@
+//! Wall-clock helpers: the paper reports per-query latency measured one
+//! query at a time ("to mimic the behavior of a real query system").
+
+use std::time::Instant;
+
+/// Runs `f` once per item and returns the mean latency in milliseconds.
+pub fn avg_latency_ms<T, F: FnMut(&T)>(items: &[T], mut f: F) -> f64 {
+    assert!(!items.is_empty(), "no items to time");
+    let start = Instant::now();
+    for item in items {
+        f(item);
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / items.len() as f64
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Per-query latency distribution in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyProfile {
+    /// Mean latency.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+/// Times `f` per item individually and returns the latency distribution —
+/// tail latencies matter for the hybrid index, whose scan window varies per
+/// query (§8.3.3).
+pub fn latency_profile<T, F: FnMut(&T)>(items: &[T], mut f: F) -> LatencyProfile {
+    assert!(!items.is_empty(), "no items to profile");
+    let mut samples: Vec<f64> = items
+        .iter()
+        .map(|item| {
+            let start = Instant::now();
+            f(item);
+            start.elapsed().as_secs_f64() * 1_000.0
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| samples[((samples.len() as f64 - 1.0) * p).round() as usize];
+    LatencyProfile {
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        max: *samples.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_positive_and_finite() {
+        let items = vec![1u32; 100];
+        let ms = avg_latency_ms(&items, |x| {
+            std::hint::black_box(x * 2);
+        });
+        assert!(ms >= 0.0 && ms.is_finite());
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn latency_profile_is_ordered() {
+        let items: Vec<u64> = (0..200).collect();
+        let p = latency_profile(&items, |&x| {
+            // Make latency grow with the item so the tail is real.
+            let mut acc = 0u64;
+            for i in 0..x * 50 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(p.p50 <= p.p95);
+        assert!(p.p95 <= p.p99);
+        assert!(p.p99 <= p.max);
+        assert!(p.mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no items to profile")]
+    fn empty_profile_panics() {
+        let empty: Vec<u32> = Vec::new();
+        let _ = latency_profile(&empty, |_| {});
+    }
+}

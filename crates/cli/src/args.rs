@@ -1,0 +1,140 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: one subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `setlearn help`".into()))?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = iter.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("unexpected argument '{tok}'")))?
+                .to_string();
+            if key.is_empty() {
+                return Err(ArgError("empty option name".into()));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    if options.insert(key.clone(), value).is_some() {
+                        return Err(ArgError(format!("duplicate option --{key}")));
+                    }
+                }
+                _ => flags.push(key),
+            }
+        }
+        Ok(Args { command, options, flags })
+    }
+
+    /// Required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value '{v}' for --{key}"))),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parses a comma-separated id list (`--query 1,2,3`).
+    pub fn id_list(&self, key: &str) -> Result<Vec<u32>, ArgError> {
+        let raw = self.required(key)?;
+        raw.split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .map_err(|_| ArgError(format!("invalid id '{t}' in --{key}")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["train", "--task", "cardinality", "--compressed", "--epochs", "30"])
+            .unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.required("task").unwrap(), "cardinality");
+        assert!(a.has_flag("compressed"));
+        assert_eq!(a.get_or("epochs", 10usize).unwrap(), 30);
+        assert_eq!(a.get_or("batch", 64usize).unwrap(), 64);
+    }
+
+    #[test]
+    fn id_list_parses_and_rejects() {
+        let a = parse(&["q", "--query", "3, 1,2"]).unwrap();
+        assert_eq!(a.id_list("query").unwrap(), vec![3, 1, 2]);
+        let bad = parse(&["q", "--query", "1,x"]).unwrap();
+        assert!(bad.id_list("query").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["cmd", "loose"]).is_err());
+        assert!(parse(&["cmd", "--a", "1", "--a", "2"]).is_err());
+        let a = parse(&["cmd"]).unwrap();
+        assert!(a.required("missing").is_err());
+    }
+
+    #[test]
+    fn trailing_flag_is_a_flag() {
+        let a = parse(&["cmd", "--verbose"]).unwrap();
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.optional("verbose"), None);
+    }
+}

@@ -1,0 +1,428 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{
+    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
+    LearnedSetIndex,
+};
+use setlearn_data::{normalize, GeneratorConfig, SetCollection};
+use setlearn_engine::{Engine, SetTable};
+
+/// Uniform CLI error type.
+pub type CliError = Box<dyn std::error::Error>;
+
+fn load_collection(path: &str) -> Result<SetCollection, CliError> {
+    let file = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+fn save<T: serde::Serialize>(value: &T, path: &str) -> Result<(), CliError> {
+    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    serde_json::to_writer(file, value)?;
+    Ok(())
+}
+
+fn load<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let file = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+/// `setlearn generate --dataset rw|tweets|sd --sets N [--seed S] --out FILE`
+pub fn generate(args: &Args) -> Result<(), CliError> {
+    let dataset = args.required("dataset")?;
+    let n = args.get_or("sets", 2_000usize)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let out = args.required("out")?;
+    let cfg = match dataset {
+        "rw" => GeneratorConfig::rw(n, seed),
+        "tweets" => GeneratorConfig::tweets(n, seed),
+        "sd" => GeneratorConfig::sd(n, seed),
+        other => return Err(ArgError(format!("unknown dataset '{other}' (rw|tweets|sd)")).into()),
+    };
+    let collection = cfg.generate();
+    save(&collection, out)?;
+    let stats = collection.stats();
+    println!(
+        "wrote {} sets ({} unique elements, sizes {}-{}) to {out}",
+        stats.num_sets, stats.unique_elements, stats.min_set_size, stats.max_set_size
+    );
+    Ok(())
+}
+
+/// `setlearn import --text FILE --out FILE [--dict FILE] [--comment PREFIX]`
+pub fn import(args: &Args) -> Result<(), CliError> {
+    let text_path = args.required("text")?;
+    let out = args.required("out")?;
+    let mut format = setlearn_data::io::TextFormat::default();
+    if let Some(prefix) = args.optional("comment") {
+        format.comment_prefix = Some(prefix.to_string());
+    }
+    let (collection, dict) =
+        setlearn_data::io::read_sets_file(std::path::Path::new(text_path), &format)?;
+    save(&collection, out)?;
+    if let Some(dict_path) = args.optional("dict") {
+        save(&dict, dict_path)?;
+    }
+    let stats = collection.stats();
+    println!(
+        "imported {} sets ({} distinct tokens) from {text_path} into {out}",
+        stats.num_sets, stats.unique_elements
+    );
+    Ok(())
+}
+
+/// `setlearn export --collection FILE --dict FILE --out FILE`
+pub fn export(args: &Args) -> Result<(), CliError> {
+    let collection = load_collection(args.required("collection")?)?;
+    let dict: setlearn_data::Dictionary = load(args.required("dict")?)?;
+    let out = args.required("out")?;
+    let file = std::fs::File::create(out)?;
+    setlearn_data::io::write_sets(file, &collection, &dict, ' ')?;
+    println!("exported {} sets to {out}", collection.len());
+    Ok(())
+}
+
+/// `setlearn reorder --collection FILE --out FILE --strategy lex|head|random [--seed S]`
+pub fn reorder_cmd(args: &Args) -> Result<(), CliError> {
+    let collection = load_collection(args.required("collection")?)?;
+    let out = args.required("out")?;
+    let strategy = args.optional("strategy").unwrap_or("lex");
+    let (reordered, _) = match strategy {
+        "lex" => setlearn_data::reorder::lexicographic(&collection),
+        "head" => setlearn_data::reorder::by_head_element(&collection),
+        "random" => setlearn_data::reorder::random(&collection, args.get_or("seed", 1u64)?),
+        other => {
+            return Err(ArgError(format!("unknown strategy '{other}' (lex|head|random)")).into())
+        }
+    };
+    save(&reordered, out)?;
+    println!("reordered {} sets ({strategy}) into {out}", reordered.len());
+    Ok(())
+}
+
+/// `setlearn stats --collection FILE`
+pub fn stats(args: &Args) -> Result<(), CliError> {
+    let collection = load_collection(args.required("collection")?)?;
+    let s = collection.stats();
+    println!("sets:            {}", s.num_sets);
+    println!("unique elements: {}", s.unique_elements);
+    println!("max cardinality: {}", s.max_cardinality);
+    println!("set sizes:       {}-{}", s.min_set_size, s.max_set_size);
+    println!("resident bytes:  {}", collection.size_bytes());
+    Ok(())
+}
+
+fn guided_from_args(args: &Args) -> Result<GuidedConfig, CliError> {
+    Ok(GuidedConfig {
+        warmup_epochs: args.get_or("epochs", 15usize)?,
+        rounds: 1,
+        epochs_per_round: args.get_or("refine-epochs", 10usize)?,
+        percentile: args.get_or("percentile", 0.9f64)?,
+        batch_size: args.get_or("batch", 128usize)?,
+        learning_rate: args.get_or("lr", 3e-3f32)?,
+        seed: args.get_or("seed", 7u64)?,
+    })
+}
+
+fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> {
+    let mut model = if args.has_flag("compressed") {
+        DeepSetsConfig::clsm(vocab)
+    } else {
+        DeepSetsConfig::lsm(vocab)
+    };
+    let neurons = args.get_or("neurons", 32usize)?;
+    model.phi_hidden = vec![neurons];
+    model.rho_hidden = vec![neurons];
+    model.embedding_dim = args.get_or("embedding", 8usize)?;
+    Ok(model)
+}
+
+/// `setlearn train --task cardinality|index|bloom --collection FILE --out FILE
+///  [--compressed] [--epochs N] [--percentile P] [--neurons N] [--embedding D]`
+pub fn train(args: &Args) -> Result<(), CliError> {
+    let task = args.required("task")?.to_string();
+    let collection = load_collection(args.required("collection")?)?;
+    let out = args.required("out")?;
+    let vocab = collection.num_elements();
+    let model = model_from_args(args, vocab)?;
+    match task.as_str() {
+        "cardinality" => {
+            let cfg = CardinalityConfig {
+                model,
+                guided: guided_from_args(args)?,
+                max_subset_size: args.get_or("max-subset", 3usize)?,
+            };
+            let (est, report) = LearnedCardinality::build(&collection, &cfg);
+            save(&est, out)?;
+            println!(
+                "trained cardinality estimator on {} subsets ({} outliers); saved to {out} ({:.3} MB)",
+                report.training_subsets,
+                report.outliers,
+                est.size_bytes() as f64 / 1e6
+            );
+        }
+        "index" => {
+            let cfg = IndexConfig {
+                model,
+                guided: guided_from_args(args)?,
+                max_subset_size: args.get_or("max-subset", 2usize)?,
+                range_length: args.get_or("range", 100.0f64)?,
+                target: if args.has_flag("last") {
+                    setlearn::tasks::PositionTarget::Last
+                } else {
+                    setlearn::tasks::PositionTarget::First
+                },
+            };
+            let (index, report) = LearnedSetIndex::build(&collection, &cfg);
+            save(&index, out)?;
+            println!(
+                "trained set index on {} subsets ({} outliers, global error {:.0}); saved to {out} ({:.3} MB)",
+                report.training_subsets,
+                report.outliers,
+                report.global_error,
+                index.size_bytes() as f64 / 1e6
+            );
+        }
+        "bloom" => {
+            let mut cfg = BloomConfig::new(model);
+            cfg.epochs = args.get_or("epochs", 30usize)?;
+            cfg.learning_rate = args.get_or("lr", 5e-3f32)?;
+            let n = args.get_or("samples", 2_000usize)?;
+            let (filter, report) = LearnedBloom::build_from_collection(
+                &collection,
+                n,
+                n,
+                args.get_or("max-subset", 4usize)?,
+                &cfg,
+            );
+            save(&filter, out)?;
+            println!(
+                "trained bloom filter (accuracy {:.4}, {} backed-up false negatives); saved to {out} ({:.1} KB)",
+                report.training_accuracy,
+                report.false_negatives,
+                filter.size_bytes() as f64 / 1e3
+            );
+        }
+        other => {
+            return Err(
+                ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
+            )
+        }
+    }
+    Ok(())
+}
+
+/// `setlearn estimate --model FILE --query 1,2,3`
+pub fn estimate(args: &Args) -> Result<(), CliError> {
+    let est: LearnedCardinality = load(args.required("model")?)?;
+    let q = normalize(args.id_list("query")?);
+    println!("{:.1}", est.estimate(&q));
+    Ok(())
+}
+
+/// `setlearn lookup --model FILE --collection FILE --query 1,2,3`
+pub fn lookup(args: &Args) -> Result<(), CliError> {
+    let index: LearnedSetIndex = load(args.required("model")?)?;
+    let collection = load_collection(args.required("collection")?)?;
+    let q = normalize(args.id_list("query")?);
+    let profile = index.lookup_profiled(&collection, &q);
+    match profile.position {
+        Some(pos) => println!(
+            "position {pos} (scanned {} sets, aux: {})",
+            profile.scanned, profile.from_aux
+        ),
+        None => println!("not found (scanned {} sets)", profile.scanned),
+    }
+    Ok(())
+}
+
+/// `setlearn member --model FILE --query 1,2,3`
+pub fn member(args: &Args) -> Result<(), CliError> {
+    let filter: LearnedBloom = load(args.required("model")?)?;
+    let q = normalize(args.id_list("query")?);
+    println!(
+        "{} (score {:.4})",
+        if filter.contains(&q) { "present" } else { "absent" },
+        filter.score(&q)
+    );
+    Ok(())
+}
+
+/// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]`
+pub fn sql(args: &Args) -> Result<(), CliError> {
+    let collection = load_collection(args.required("collection")?)?;
+    let query = args.required("query")?;
+    let engine = Engine::new();
+    // The table name must match the FROM clause; parse first to learn it.
+    let parsed = setlearn_engine::parse_count(query)?;
+    engine.create_table(
+        SetTable::from_collection(parsed.table.clone(), collection),
+        parsed.column.clone(),
+    );
+    engine.create_index(&parsed.table)?;
+    if let Some(model_path) = args.optional("model") {
+        let est: LearnedCardinality = load(model_path)?;
+        engine.register_estimator(&parsed.table, est)?;
+    }
+    let result = engine.execute(&parsed)?;
+    println!(
+        "count: {:.1} ({}, {:?})",
+        result.count,
+        if result.exact { "exact" } else { "estimate" },
+        result.mode
+    );
+    Ok(())
+}
+
+/// `setlearn help`
+pub fn help() {
+    println!(
+        "setlearn — learned data structures over collections of sets (EDBT 2024)
+
+USAGE: setlearn <command> [--option value] [--flag]
+
+COMMANDS:
+  generate  --dataset rw|tweets|sd --sets N [--seed S] --out FILE
+  import    --text FILE --out FILE [--dict FILE] [--comment PREFIX]
+  export    --collection FILE --dict FILE --out FILE
+  reorder   --collection FILE --out FILE [--strategy lex|head|random]
+  stats     --collection FILE
+  train     --task cardinality|index|bloom --collection FILE --out FILE
+            [--compressed] [--epochs N] [--percentile P] [--neurons N]
+            [--embedding D] [--max-subset K] [--lr F] [--batch N]
+  estimate  --model FILE --query 1,2,3
+  lookup    --model FILE --collection FILE --query 1,2,3
+  member    --model FILE --query 1,2,3
+  sql       --collection FILE --query \"SELECT COUNT(*) FROM t WHERE tags @> {{1,2}} [USING mode]\"
+            [--model FILE]
+  help"
+    );
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "import" => import(args),
+        "export" => export(args),
+        "reorder" => reorder_cmd(args),
+        "stats" => stats(args),
+        "train" => train(args),
+        "estimate" => estimate(args),
+        "lookup" => lookup(args),
+        "member" => member(args),
+        "sql" => sql(args),
+        "help" | "--help" | "-h" => {
+            help();
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command '{other}'; try `setlearn help`")).into()),
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let mut p: std::path::PathBuf = std::env::temp_dir();
+        p.push(format!("setlearn-cli-{name}-{}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn generate_stats_train_estimate_pipeline() {
+        let coll = tmp("pipe.json");
+        let model = tmp("pipe-model.json");
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "200", "--seed", "3", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&["stats", "--collection", &coll])).unwrap();
+        run(&args(&[
+            "train",
+            "--task",
+            "cardinality",
+            "--collection",
+            &coll,
+            "--out",
+            &model,
+            "--compressed",
+            "--epochs",
+            "3",
+            "--refine-epochs",
+            "2",
+            "--max-subset",
+            "2",
+        ]))
+        .unwrap();
+        run(&args(&["estimate", "--model", &model, "--query", "1,2"])).unwrap();
+        let _ = std::fs::remove_file(coll);
+        let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn sql_command_runs_exact_plans() {
+        let coll = tmp("sql.json");
+        run(&args(&[
+            "generate", "--dataset", "rw", "--sets", "300", "--seed", "1", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "sql",
+            "--collection",
+            &coll,
+            "--query",
+            "SELECT COUNT(*) FROM logs WHERE tags @> {1} USING index",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(coll);
+    }
+
+    #[test]
+    fn import_export_reorder_pipeline() {
+        let text_in = tmp("tags.txt");
+        let coll = tmp("imported.json");
+        let dict = tmp("dict.json");
+        let text_out = tmp("exported.txt");
+        let sorted = tmp("sorted.json");
+        std::fs::write(&text_in, "#a #b\n#b #c\n#a #b #c\n").unwrap();
+        run(&args(&[
+            "import", "--text", &text_in, "--out", &coll, "--dict", &dict,
+        ]))
+        .unwrap();
+        run(&args(&["export", "--collection", &coll, "--dict", &dict, "--out", &text_out]))
+            .unwrap();
+        let exported = std::fs::read_to_string(&text_out).unwrap();
+        assert_eq!(exported.lines().count(), 3);
+        run(&args(&[
+            "reorder", "--collection", &coll, "--out", &sorted, "--strategy", "lex",
+        ]))
+        .unwrap();
+        for f in [&text_in, &coll, &dict, &text_out, &sorted] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_task_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        let coll = tmp("err.json");
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "100", "--seed", "2", "--out", &coll,
+        ]))
+        .unwrap();
+        assert!(run(&args(&[
+            "train", "--task", "nope", "--collection", &coll, "--out", "/dev/null"
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(coll);
+    }
+}

@@ -1,0 +1,20 @@
+//! `setlearn` — command-line front end for the learned set structures.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::help();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::run(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

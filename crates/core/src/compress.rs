@@ -1,0 +1,225 @@
+//! Per-element lossless compression (paper §5, Algorithm 1).
+//!
+//! Every element id is decomposed into `ns` sub-elements by repeated
+//! division: with divisor `sv_d`, an element `x` becomes
+//! `(r_1, r_2, ..., r_{ns-1}, q)` where each `r_i` is a remainder and `q`
+//! the final quotient. Instead of one `vocab × dim` embedding matrix, the
+//! model then keeps `ns` matrices whose vocabularies are bounded by `sv_d`
+//! (and the final quotient bound) — e.g. 1,000,000 ids at `ns = 2` shrink
+//! from one `1000000 × d` table to `1000 × d` + `1000 × d`.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed compression scheme: how ids are split and the sub-vocabularies.
+///
+/// ```
+/// use setlearn::compress::CompressionSpec;
+///
+/// // Figure 4: max id 100, ns = 2 -> divisor 10.
+/// let spec = CompressionSpec::optimal(100, 2);
+/// assert_eq!(spec.compress(91), vec![1, 9]); // (remainder, quotient)
+/// assert_eq!(spec.decompress(&[1, 9]), 91);  // lossless
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressionSpec {
+    /// Number of sub-elements each id is split into (`ns >= 2`).
+    pub ns: usize,
+    /// The divisor `sv_d`.
+    pub divisor: u32,
+    /// Largest representable id (`max_v_id`).
+    pub max_id: u32,
+}
+
+impl CompressionSpec {
+    /// The paper's optimal setting: `sv_d = ceil(ns-th root of max_id)`,
+    /// giving maximal compression for the chosen `ns`.
+    ///
+    /// # Panics
+    /// If `ns < 2` or `max_id == 0`.
+    pub fn optimal(max_id: u32, ns: usize) -> Self {
+        assert!(ns >= 2, "compression needs at least 2 sub-elements");
+        assert!(max_id > 0, "need a non-trivial id space");
+        let divisor = ((max_id as f64).powf(1.0 / ns as f64).ceil() as u32).max(2);
+        CompressionSpec { ns, divisor, max_id }
+    }
+
+    /// A tunable divisor between maximal compression and none (Table 6).
+    /// Any `divisor >= 2` stays lossless: larger divisors grow the remainder
+    /// tables and shrink the quotient table; the optimal divisor balances
+    /// them for minimum total size.
+    ///
+    /// # Panics
+    /// If `ns < 2`, `max_id == 0`, or `divisor < 2`.
+    pub fn with_divisor(max_id: u32, ns: usize, divisor: u32) -> Self {
+        assert!(ns >= 2 && max_id > 0, "invalid compression parameters");
+        assert!(divisor >= 2, "divisor must be at least 2");
+        CompressionSpec { ns, divisor, max_id }
+    }
+
+    /// Compresses an element into its `ns` sub-elements
+    /// (Algorithm 1, `compress_elem_ns`): `[r_1, ..., r_{ns-1}, q]`.
+    ///
+    /// # Panics
+    /// If `elem > max_id`.
+    pub fn compress(&self, elem: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.ns);
+        self.compress_into(elem, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`CompressionSpec::compress`].
+    pub fn compress_into(&self, elem: u32, out: &mut Vec<u32>) {
+        assert!(elem <= self.max_id, "element {elem} exceeds max_id {}", self.max_id);
+        out.clear();
+        let mut current = elem;
+        for _ in 0..self.ns - 1 {
+            out.push(current % self.divisor);
+            current /= self.divisor;
+        }
+        out.push(current);
+    }
+
+    /// Inverse of [`CompressionSpec::compress`] — the compression is
+    /// lossless.
+    pub fn decompress(&self, subs: &[u32]) -> u32 {
+        assert_eq!(subs.len(), self.ns, "wrong sub-element count");
+        let mut v = subs[self.ns - 1];
+        for i in (0..self.ns - 1).rev() {
+            v = v * self.divisor + subs[i];
+        }
+        v
+    }
+
+    /// Vocabulary bound of sub-element `i` (embedding-table rows): remainders
+    /// are `< divisor`, the final quotient is `<= max_id / divisor^(ns-1)`.
+    pub fn sub_vocab(&self, i: usize) -> u32 {
+        assert!(i < self.ns, "sub-element index out of range");
+        if i + 1 < self.ns {
+            self.divisor
+        } else {
+            let mut q = self.max_id as u64;
+            for _ in 0..self.ns - 1 {
+                q /= self.divisor as u64;
+            }
+            (q + 1) as u32
+        }
+    }
+
+    /// Total one-hot input dimensionality after compression — the Figure 8
+    /// quantity (`Σ_i sub_vocab(i)` vs the uncompressed `max_id + 1`).
+    pub fn input_dims(&self) -> u64 {
+        (0..self.ns).map(|i| self.sub_vocab(i) as u64).sum()
+    }
+
+    /// Input dimensionality without compression.
+    pub fn uncompressed_input_dims(max_id: u32) -> u64 {
+        max_id as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_figure_4() {
+        // max_v_id = 100, ns = 2 -> sv_d = 10; {91, 12, 23} compresses to
+        // (9,1),(1,2),(2,3) as quotient/remainder pairs.
+        let spec = CompressionSpec::optimal(100, 2);
+        assert_eq!(spec.divisor, 10);
+        // Our layout is [remainder, quotient].
+        assert_eq!(spec.compress(91), vec![1, 9]);
+        assert_eq!(spec.compress(12), vec![2, 1]);
+        assert_eq!(spec.compress(23), vec![3, 2]);
+    }
+
+    #[test]
+    fn paper_example_million_ids() {
+        // 1,000,000 distinct elements, ns = 2 -> tables of ~1000 and ~1001.
+        let spec = CompressionSpec::optimal(999_999, 2);
+        assert_eq!(spec.divisor, 1000);
+        assert_eq!(spec.sub_vocab(0), 1000);
+        assert_eq!(spec.sub_vocab(1), 1000);
+        assert_eq!(spec.input_dims(), 2000);
+        assert_eq!(CompressionSpec::uncompressed_input_dims(999_999), 1_000_000);
+    }
+
+    #[test]
+    fn ns3_roundtrip_and_vocab() {
+        let spec = CompressionSpec::optimal(100_000, 3);
+        for e in [0u32, 1, 47, 99_999, 100_000] {
+            let subs = spec.compress(e);
+            assert_eq!(subs.len(), 3);
+            assert_eq!(spec.decompress(&subs), e);
+            for (i, &s) in subs.iter().enumerate() {
+                assert!(s < spec.sub_vocab(i), "sub {s} >= vocab {}", spec.sub_vocab(i));
+            }
+        }
+    }
+
+    #[test]
+    fn tunable_divisor_reduces_compression() {
+        let tight = CompressionSpec::optimal(1_000_000, 2);
+        let loose = CompressionSpec::with_divisor(1_000_000, 2, 10_000);
+        assert!(loose.input_dims() > tight.input_dims());
+    }
+
+    #[test]
+    fn under_optimal_divisor_is_still_lossless() {
+        // A divisor below the optimal root grows the quotient table but
+        // remains invertible.
+        let spec = CompressionSpec::with_divisor(1_000_000, 2, 100);
+        assert_eq!(spec.sub_vocab(1), 10_001);
+        for e in [0u32, 99, 123_456, 1_000_000] {
+            assert_eq!(spec.decompress(&spec.compress(e)), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be at least 2")]
+    fn divisor_one_rejected() {
+        let _ = CompressionSpec::with_divisor(100, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_id")]
+    fn out_of_range_element_rejected() {
+        let spec = CompressionSpec::optimal(100, 2);
+        let _ = spec.compress(101);
+    }
+
+    #[test]
+    fn input_dims_shrink_with_ns() {
+        // Figure 8: increasing ns drastically reduces input dims.
+        let max_id = 1_000_000u32;
+        let dims: Vec<u64> = (2..=5)
+            .map(|ns| CompressionSpec::optimal(max_id, ns).input_dims())
+            .collect();
+        for w in dims.windows(2) {
+            assert!(w[1] <= w[0], "dims should be non-increasing: {dims:?}");
+        }
+        assert!(dims[0] < CompressionSpec::uncompressed_input_dims(max_id));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_is_lossless(max_id in 1u32..2_000_000, ns in 2usize..5, elem_frac in 0.0f64..1.0) {
+            let elem = (max_id as f64 * elem_frac) as u32;
+            let spec = CompressionSpec::optimal(max_id, ns);
+            let subs = spec.compress(elem);
+            prop_assert_eq!(spec.decompress(&subs), elem);
+            for (i, &s) in subs.iter().enumerate() {
+                prop_assert!(s < spec.sub_vocab(i));
+            }
+        }
+
+        #[test]
+        fn distinct_elements_have_distinct_codes(max_id in 10u32..100_000, ns in 2usize..4) {
+            let spec = CompressionSpec::optimal(max_id, ns);
+            let a = spec.compress(max_id / 3);
+            let b = spec.compress(max_id / 3 + 1);
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Element encoders: the plain shared embedding of DeepSets (Figure 2) and
+//! the compressed multi-table encoder of the modified architecture
+//! (Figure 4).
+
+use crate::compress::CompressionSpec;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use setlearn_nn::{Embedding, HashEmbedding, Matrix, ParamBuf};
+
+/// Maps a flat batch of element ids to per-element feature rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ElementEncoder {
+    /// One shared `vocab × dim` table (the LSM variant).
+    Plain(Embedding),
+    /// `ns` shared sub-element tables whose outputs are concatenated per
+    /// element (the CLSM variant). The concatenation preserves the
+    /// quotient/remainder pairing; the φ network that follows is what keeps
+    /// the pairing from being destroyed by pooling (paper §5).
+    Compressed {
+        /// The compression scheme.
+        spec: CompressionSpec,
+        /// One embedding per sub-element position.
+        tables: Vec<Embedding>,
+    },
+    /// Hashing-trick encoder: `k` probes into one small bucket table
+    /// (lossy; the `abl_hash_encoder` bench compares it against the
+    /// lossless Algorithm 1 decomposition).
+    Hashed(HashEmbedding),
+}
+
+impl ElementEncoder {
+    /// Plain shared embedding for ids `0..vocab`.
+    pub fn plain(rng: &mut StdRng, vocab: u32, dim: usize) -> Self {
+        ElementEncoder::Plain(Embedding::new(rng, vocab as usize, dim))
+    }
+
+    /// Compressed encoder with one table per sub-element.
+    pub fn compressed(rng: &mut StdRng, spec: CompressionSpec, dim: usize) -> Self {
+        let tables = (0..spec.ns)
+            .map(|i| Embedding::new(rng, spec.sub_vocab(i) as usize, dim))
+            .collect();
+        ElementEncoder::Compressed { spec, tables }
+    }
+
+    /// Hashing-trick encoder over `buckets` rows with `num_hashes` probes.
+    pub fn hashed(rng: &mut StdRng, buckets: usize, dim: usize, num_hashes: usize) -> Self {
+        ElementEncoder::Hashed(HashEmbedding::new(rng, buckets, dim, num_hashes))
+    }
+
+    /// Output feature width per element: `dim` (plain) or `ns * dim`
+    /// (compressed, after concatenation).
+    pub fn out_dim(&self) -> usize {
+        match self {
+            ElementEncoder::Plain(e) => e.dim(),
+            ElementEncoder::Compressed { spec, tables } => spec.ns * tables[0].dim(),
+            ElementEncoder::Hashed(h) => h.dim(),
+        }
+    }
+
+    /// Encodes a flat batch of element ids into `[N x out_dim]`, caching
+    /// lookup state for [`ElementEncoder::backward`].
+    pub fn forward(&mut self, ids: &[u32]) -> Matrix {
+        match self {
+            ElementEncoder::Plain(e) => e.forward(ids),
+            ElementEncoder::Hashed(h) => h.forward(ids),
+            ElementEncoder::Compressed { spec, tables } => {
+                let parts = split_ids(spec, ids);
+                let encoded: Vec<Matrix> = tables
+                    .iter_mut()
+                    .zip(parts.iter())
+                    .map(|(t, p)| t.forward(p))
+                    .collect();
+                let refs: Vec<&Matrix> = encoded.iter().collect();
+                Matrix::hconcat(&refs)
+            }
+        }
+    }
+
+    /// Inference-only encoding.
+    pub fn predict(&self, ids: &[u32]) -> Matrix {
+        match self {
+            ElementEncoder::Plain(e) => e.predict(ids),
+            ElementEncoder::Hashed(h) => h.predict(ids),
+            ElementEncoder::Compressed { spec, tables } => {
+                let parts = split_ids(spec, ids);
+                let encoded: Vec<Matrix> =
+                    tables.iter().zip(parts.iter()).map(|(t, p)| t.predict(p)).collect();
+                let refs: Vec<&Matrix> = encoded.iter().collect();
+                Matrix::hconcat(&refs)
+            }
+        }
+    }
+
+    /// Scatter-adds the per-element gradient back into the tables.
+    pub fn backward(&mut self, grad: &Matrix) {
+        match self {
+            ElementEncoder::Plain(e) => e.backward(grad),
+            ElementEncoder::Hashed(h) => h.backward(grad),
+            ElementEncoder::Compressed { tables, .. } => {
+                let dim = tables[0].dim();
+                let widths = vec![dim; tables.len()];
+                for (t, g) in tables.iter_mut().zip(grad.hsplit(&widths)) {
+                    t.backward(&g);
+                }
+            }
+        }
+    }
+
+    /// All parameter buffers.
+    pub fn params_mut(&mut self) -> Vec<&mut ParamBuf> {
+        match self {
+            ElementEncoder::Plain(e) => e.params_mut().into_iter().collect(),
+            ElementEncoder::Hashed(h) => h.params_mut().into_iter().collect(),
+            ElementEncoder::Compressed { tables, .. } => {
+                tables.iter_mut().flat_map(|t| t.params_mut()).collect()
+            }
+        }
+    }
+
+    /// Immutable parameter buffers.
+    pub fn params(&self) -> Vec<&ParamBuf> {
+        match self {
+            ElementEncoder::Plain(e) => e.params().into_iter().collect(),
+            ElementEncoder::Hashed(h) => h.params().into_iter().collect(),
+            ElementEncoder::Compressed { tables, .. } => {
+                tables.iter().flat_map(|t| t.params()).collect()
+            }
+        }
+    }
+
+    /// Scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        match self {
+            ElementEncoder::Plain(e) => e.zero_grad(),
+            ElementEncoder::Hashed(h) => h.zero_grad(),
+            ElementEncoder::Compressed { tables, .. } => {
+                tables.iter_mut().for_each(Embedding::zero_grad)
+            }
+        }
+    }
+}
+
+/// Splits a flat id batch into `ns` parallel sub-element id batches.
+fn split_ids(spec: &CompressionSpec, ids: &[u32]) -> Vec<Vec<u32>> {
+    let mut parts: Vec<Vec<u32>> = (0..spec.ns).map(|_| Vec::with_capacity(ids.len())).collect();
+    let mut scratch = Vec::with_capacity(spec.ns);
+    for &id in ids {
+        spec.compress_into(id, &mut scratch);
+        for (p, &s) in parts.iter_mut().zip(scratch.iter()) {
+            p.push(s);
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plain_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = ElementEncoder::plain(&mut rng, 100, 8);
+        assert_eq!(enc.out_dim(), 8);
+        assert_eq!(enc.num_params(), 800);
+        let out = enc.predict(&[0, 99]);
+        assert_eq!((out.rows(), out.cols()), (2, 8));
+    }
+
+    #[test]
+    fn compressed_width_and_param_reduction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = CompressionSpec::optimal(9_999, 2);
+        let enc = ElementEncoder::compressed(&mut rng, spec, 4);
+        assert_eq!(enc.out_dim(), 8); // 2 tables * dim 4, concatenated
+        // Tables: 100 x 4 + 100 x 4 = 800 params, vs plain 10_000 x 4 = 40_000.
+        assert!(enc.num_params() <= 810, "params {}", enc.num_params());
+    }
+
+    #[test]
+    fn compressed_rows_concatenate_sub_embeddings() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = CompressionSpec::optimal(99, 2);
+        let mut enc = ElementEncoder::compressed(&mut rng, spec.clone(), 3);
+        let out = enc.forward(&[91]);
+        assert_eq!((out.rows(), out.cols()), (1, 6));
+        // Same sub-elements ⇒ identical slices: 91 = (1, 9); 21 = (1, 2)
+        // shares the remainder 1, so the first 3 columns must match.
+        let out2 = enc.predict(&[21]);
+        assert_eq!(&out.row(0)[..3], &out2.row(0)[..3]);
+        assert_ne!(&out.row(0)[3..], &out2.row(0)[3..]);
+    }
+
+    #[test]
+    fn backward_routes_gradients_to_each_table() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = CompressionSpec::optimal(99, 2);
+        let mut enc = ElementEncoder::compressed(&mut rng, spec, 2);
+        enc.zero_grad();
+        enc.forward(&[91]); // (1, 9)
+        let grad = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        enc.backward(&grad);
+        let params = enc.params();
+        // Remainder table row 1 gets [1,2]; quotient table row 9 gets [3,4].
+        assert_eq!(&params[0].grad[2..4], &[1.0, 2.0]);
+        assert_eq!(&params[1].grad[18..20], &[3.0, 4.0]);
+    }
+}

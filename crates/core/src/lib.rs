@@ -1,0 +1,63 @@
+//! # setlearn
+//!
+//! A Rust implementation of *Learning over Sets for Databases*
+//! (Davitkova, Gjurovski, Michel — EDBT 2024): learned replacements for a
+//! set index, a cardinality estimator and a Bloom filter over collections of
+//! sets.
+//!
+//! ## Architecture
+//!
+//! * [`model::DeepSets`] — the permutation-invariant model (§3.2):
+//!   shared element encoder → per-element φ MLP → sum/mean/max pooling →
+//!   ρ head with a sigmoid scalar output.
+//! * [`compress::CompressionSpec`] — Algorithm 1's per-element lossless
+//!   quotient/remainder decomposition; plugging it into the encoder yields
+//!   the compressed CLSM variant (§5, Figure 4) whose embedding tables are
+//!   orders of magnitude smaller.
+//! * [`hybrid`] — guided learning with outlier removal and per-range local
+//!   error bounds (§6), which restore exactness guarantees.
+//! * [`tasks`] — the three database tasks (Table 1):
+//!   [`tasks::LearnedSetIndex`] (§4.1), [`tasks::LearnedCardinality`]
+//!   (§4.2), [`tasks::LearnedBloom`] (§4.3).
+//! * [`memory`] — the analytic size models behind Figures 3 and 8.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use setlearn::model::DeepSetsConfig;
+//! use setlearn::hybrid::GuidedConfig;
+//! use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+//! use setlearn_data::GeneratorConfig;
+//!
+//! let collection = GeneratorConfig::sd(200, 1).generate();
+//! let mut cfg = CardinalityConfig::new(DeepSetsConfig::clsm(collection.num_elements()));
+//! cfg.guided = GuidedConfig { warmup_epochs: 5, rounds: 1, epochs_per_round: 2,
+//!     percentile: 0.9, batch_size: 64, learning_rate: 5e-3, seed: 1 };
+//! cfg.max_subset_size = 2;
+//! let (estimator, _report) = LearnedCardinality::build(&collection, &cfg);
+//! let q = &collection.get(0)[..1];
+//! assert!(estimator.estimate(q) >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod encoder;
+pub mod hybrid;
+pub mod memory;
+pub mod model;
+pub mod monitor;
+pub mod persist;
+pub mod quantize;
+pub mod settransformer;
+pub mod tasks;
+
+pub use compress::CompressionSpec;
+pub use hybrid::{GuidedConfig, LocalErrorBounds};
+pub use monitor::{DriftMonitor, MonitorConfig, RetrainReason};
+pub use model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
+pub use settransformer::{SetTransformer, SetTransformerConfig};
+pub use tasks::{
+    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
+    LearnedSetIndex,
+};

@@ -1,0 +1,88 @@
+//! Analytic size models for the embedding-vs-Bloom comparison (Figure 3)
+//! and the compression-dimension analysis (Figure 8).
+
+use crate::compress::CompressionSpec;
+use setlearn_baselines::bloom::optimal_bits;
+
+/// Bytes of a `num_items x dim` `f32` embedding matrix.
+pub fn embedding_bytes(num_items: usize, dim: usize) -> usize {
+    num_items * dim * std::mem::size_of::<f32>()
+}
+
+/// Bytes of a Bloom filter sized for `num_items` at `fp_rate`.
+pub fn bloom_bytes(num_items: usize, fp_rate: f64) -> usize {
+    optimal_bits(num_items, fp_rate).div_ceil(8)
+}
+
+/// Bytes of the compressed embedding tables for `max_id` under `spec`.
+pub fn compressed_embedding_bytes(spec: &CompressionSpec, dim: usize) -> usize {
+    (0..spec.ns)
+        .map(|i| embedding_bytes(spec.sub_vocab(i) as usize, dim))
+        .sum()
+}
+
+/// One row of the Figure 3 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Row {
+    /// Number of distinct items.
+    pub items: usize,
+    /// Embedding matrix bytes at this dimension.
+    pub embedding: usize,
+    /// Bloom filter bytes at this fp rate.
+    pub bloom: usize,
+}
+
+/// Computes the Figure 3 series for one `(embedding dim, fp rate)` pair over
+/// a range of item counts.
+pub fn fig3_series(dim: usize, fp_rate: f64, item_counts: &[usize]) -> Vec<Fig3Row> {
+    item_counts
+        .iter()
+        .map(|&items| Fig3Row {
+            items,
+            embedding: embedding_bytes(items, dim),
+            bloom: bloom_bytes(items, fp_rate),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_bloom_always_wins_at_scale() {
+        // The paper's takeaway: the uncompressed embedding matrix always
+        // overtakes the Bloom filter as items grow.
+        for dim in [25, 50, 100] {
+            for fp in [0.1, 0.01, 0.001] {
+                let rows = fig3_series(dim, fp, &[1_000, 10_000, 100_000, 1_000_000]);
+                let last = rows.last().unwrap();
+                assert!(
+                    last.embedding > last.bloom,
+                    "dim {dim} fp {fp}: emb {} vs bloom {}",
+                    last.embedding,
+                    last.bloom
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_tables_undercut_the_bloom_filter() {
+        // §5's motivation: after compression the tables are tiny.
+        let spec = CompressionSpec::optimal(999_999, 2);
+        let compressed = compressed_embedding_bytes(&spec, 2);
+        let bloom = bloom_bytes(1_000_000, 0.01);
+        assert!(compressed < bloom, "compressed {compressed} vs bloom {bloom}");
+    }
+
+    #[test]
+    fn embedding_bytes_formula() {
+        assert_eq!(embedding_bytes(1_000, 100), 400_000);
+    }
+
+    #[test]
+    fn bloom_bytes_monotone_in_fp() {
+        assert!(bloom_bytes(10_000, 0.001) > bloom_bytes(10_000, 0.1));
+    }
+}

@@ -1,0 +1,216 @@
+//! Distribution-drift monitoring (paper §7.2): "after a prespecified number
+//! of updates, the accuracy is measured; if a significant drop in the
+//! accuracy is detected, the models are retrained."
+//!
+//! The monitor tracks a rolling window of observed estimation errors against
+//! the accuracy measured at build time, counts structural updates, and
+//! raises the retrain signal when either (a) accuracy degrades beyond a
+//! factor of the baseline or (b) the auxiliary structure has absorbed more
+//! updates than the configured budget.
+
+use serde::{Deserialize, Serialize};
+use setlearn_nn::q_error;
+use std::collections::VecDeque;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Rolling window of recent per-query q-errors.
+    pub window: usize,
+    /// Retrain when the rolling mean q-error exceeds
+    /// `baseline * degradation_factor`.
+    pub degradation_factor: f64,
+    /// Retrain after this many structural updates regardless of accuracy.
+    pub max_updates: usize,
+    /// Require at least this many observations before the accuracy trigger
+    /// can fire (avoids deciding on noise).
+    pub min_observations: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 512,
+            degradation_factor: 2.0,
+            max_updates: 1_000,
+            min_observations: 64,
+        }
+    }
+}
+
+/// Why a retrain was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetrainReason {
+    /// Rolling accuracy degraded past the configured factor.
+    AccuracyDrop,
+    /// The update budget was exhausted.
+    UpdateBudget,
+}
+
+/// Rolling accuracy/update tracker for a deployed learned structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    config: MonitorConfig,
+    baseline_q_error: f64,
+    recent: VecDeque<f64>,
+    recent_sum: f64,
+    updates: usize,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor around the build-time accuracy baseline.
+    ///
+    /// # Panics
+    /// If `baseline_q_error < 1` (q-errors are ≥ 1 by definition) or the
+    /// window is empty.
+    pub fn new(baseline_q_error: f64, config: MonitorConfig) -> Self {
+        assert!(baseline_q_error >= 1.0, "q-error baselines are >= 1");
+        assert!(config.window > 0, "window must be positive");
+        DriftMonitor {
+            config,
+            baseline_q_error,
+            recent: VecDeque::new(),
+            recent_sum: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// Feeds one observed `(estimate, truth)` pair — e.g. whenever the
+    /// application learns the true count behind an estimate it served.
+    pub fn observe(&mut self, estimate: f64, truth: f64) {
+        let qe = q_error(estimate, truth, 1.0);
+        self.recent.push_back(qe);
+        self.recent_sum += qe;
+        if self.recent.len() > self.config.window {
+            if let Some(old) = self.recent.pop_front() {
+                self.recent_sum -= old;
+            }
+        }
+    }
+
+    /// Registers one structural update (insert/delete routed to the
+    /// auxiliary structure).
+    pub fn record_update(&mut self) {
+        self.updates += 1;
+    }
+
+    /// Rolling mean q-error over the window (baseline when no observations).
+    pub fn rolling_q_error(&self) -> f64 {
+        if self.recent.is_empty() {
+            self.baseline_q_error
+        } else {
+            self.recent_sum / self.recent.len() as f64
+        }
+    }
+
+    /// Number of updates since the last reset.
+    pub fn pending_updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Whether retraining should be triggered, and why.
+    pub fn should_retrain(&self) -> Option<RetrainReason> {
+        if self.updates >= self.config.max_updates {
+            return Some(RetrainReason::UpdateBudget);
+        }
+        if self.recent.len() >= self.config.min_observations
+            && self.rolling_q_error() > self.baseline_q_error * self.config.degradation_factor
+        {
+            return Some(RetrainReason::AccuracyDrop);
+        }
+        None
+    }
+
+    /// Resets the monitor after a rebuild, adopting a new baseline.
+    pub fn reset(&mut self, new_baseline: f64) {
+        assert!(new_baseline >= 1.0);
+        self.baseline_q_error = new_baseline;
+        self.recent.clear();
+        self.recent_sum = 0.0;
+        self.updates = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            window: 16,
+            degradation_factor: 2.0,
+            max_updates: 10,
+            min_observations: 8,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_triggers() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..100 {
+            m.observe(10.0, 9.5); // q-error ~1.05
+        }
+        assert_eq!(m.should_retrain(), None);
+        assert!(m.rolling_q_error() < 1.2);
+    }
+
+    #[test]
+    fn degraded_stream_triggers_accuracy_drop() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..20 {
+            m.observe(30.0, 10.0); // q-error 3.0 > 1.2 * 2
+        }
+        assert_eq!(m.should_retrain(), Some(RetrainReason::AccuracyDrop));
+    }
+
+    #[test]
+    fn needs_minimum_observations() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..4 {
+            m.observe(100.0, 1.0);
+        }
+        assert_eq!(m.should_retrain(), None, "too few observations");
+    }
+
+    #[test]
+    fn update_budget_triggers() {
+        let mut m = DriftMonitor::new(1.1, cfg());
+        for _ in 0..10 {
+            m.record_update();
+        }
+        assert_eq!(m.should_retrain(), Some(RetrainReason::UpdateBudget));
+    }
+
+    #[test]
+    fn window_forgets_old_errors() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..16 {
+            m.observe(50.0, 1.0); // terrible
+        }
+        assert!(m.should_retrain().is_some());
+        for _ in 0..16 {
+            m.observe(10.0, 10.0); // perfect, flushes the window
+        }
+        assert_eq!(m.should_retrain(), None);
+        assert!((m.rolling_q_error() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_adopts_new_baseline() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..10 {
+            m.record_update();
+            m.observe(9.0, 3.0);
+        }
+        m.reset(1.5);
+        assert_eq!(m.pending_updates(), 0);
+        assert_eq!(m.rolling_q_error(), 1.5);
+        assert_eq!(m.should_retrain(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "q-error baselines are >= 1")]
+    fn invalid_baseline_rejected() {
+        let _ = DriftMonitor::new(0.5, cfg());
+    }
+}

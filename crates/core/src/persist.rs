@@ -1,0 +1,209 @@
+//! Model persistence: human-readable JSON dumps of whole structures, plus a
+//! compact binary weight format (the analogue of the paper's weights-only
+//! pickle files used for its memory measurements).
+//!
+//! Binary layout (little-endian):
+//!
+//! ```text
+//! magic  "SLW1"            4 bytes
+//! json_len: u32            length of the config JSON
+//! config JSON              model architecture (to rebuild the skeleton)
+//! num_bufs: u32
+//! per buffer: len: u32, then len * f32 weights
+//! ```
+
+use crate::model::{DeepSets, DeepSetsConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Structural mismatch in a binary weight file.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+const MAGIC: &[u8; 4] = b"SLW1";
+
+/// Saves any serializable structure as pretty JSON.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    serde_json::to_writer(&mut file, value)?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Loads a JSON-persisted structure.
+pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
+    let file = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(serde_json::from_reader(file)?)
+}
+
+/// Encodes a DeepSets model into the compact binary weight format.
+pub fn encode_weights(model: &DeepSets) -> Result<Bytes, PersistError> {
+    let config_json = serde_json::to_vec(model.config())?;
+    let bufs = model.weight_buffers();
+    let mut out = BytesMut::with_capacity(
+        8 + config_json.len() + bufs.iter().map(|b| 4 + b.len() * 4).sum::<usize>(),
+    );
+    out.put_slice(MAGIC);
+    out.put_u32_le(config_json.len() as u32);
+    out.put_slice(&config_json);
+    out.put_u32_le(bufs.len() as u32);
+    for b in bufs {
+        out.put_u32_le(b.len() as u32);
+        for &w in b {
+            out.put_f32_le(w);
+        }
+    }
+    Ok(out.freeze())
+}
+
+/// Decodes a model from the binary weight format: rebuilds the skeleton from
+/// the embedded config, then overwrites every weight buffer.
+pub fn decode_weights(mut data: Bytes) -> Result<DeepSets, PersistError> {
+    let err = |m: &str| PersistError::Format(m.to_string());
+    if data.remaining() < 8 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let json_len = data.get_u32_le() as usize;
+    if data.remaining() < json_len {
+        return Err(err("truncated config"));
+    }
+    let config: DeepSetsConfig = serde_json::from_slice(&data.copy_to_bytes(json_len))?;
+    let mut model = DeepSets::new(config);
+    if data.remaining() < 4 {
+        return Err(err("truncated buffer count"));
+    }
+    let num_bufs = data.get_u32_le() as usize;
+    let mut weights: Vec<Vec<f32>> = Vec::with_capacity(num_bufs);
+    for _ in 0..num_bufs {
+        if data.remaining() < 4 {
+            return Err(err("truncated buffer length"));
+        }
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len * 4 {
+            return Err(err("truncated weights"));
+        }
+        let mut buf = Vec::with_capacity(len);
+        for _ in 0..len {
+            buf.push(data.get_f32_le());
+        }
+        weights.push(buf);
+    }
+    model
+        .load_weight_buffers(&weights)
+        .map_err(PersistError::Format)?;
+    Ok(model)
+}
+
+/// Saves a model's weights in the binary format.
+pub fn save_weights(model: &DeepSets, path: &Path) -> Result<(), PersistError> {
+    let bytes = encode_weights(model)?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(&bytes)?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Loads a model from the binary weight format.
+pub fn load_weights(path: &Path) -> Result<DeepSets, PersistError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+    decode_weights(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeepSetsConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("setlearn-persist-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_predictions() {
+        let model = DeepSets::new(DeepSetsConfig::clsm(5_000));
+        let bytes = encode_weights(&model).unwrap();
+        let back = decode_weights(bytes).unwrap();
+        for q in [&[1u32, 2][..], &[4_999u32][..], &[7u32, 70, 700][..]] {
+            assert_eq!(model.predict_one(q), back.predict_one(q));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_json_and_binary() {
+        let model = DeepSets::new(DeepSetsConfig::lsm(200));
+        let jpath = tmp("model.json");
+        let bpath = tmp("model.slw");
+        save_json(&model, &jpath).unwrap();
+        save_weights(&model, &bpath).unwrap();
+        let via_json: DeepSets = load_json(&jpath).unwrap();
+        let via_bin = load_weights(&bpath).unwrap();
+        assert_eq!(model.predict_one(&[3, 7]), via_json.predict_one(&[3, 7]));
+        assert_eq!(model.predict_one(&[3, 7]), via_bin.predict_one(&[3, 7]));
+        // The binary format is the compact one.
+        let jlen = std::fs::metadata(&jpath).unwrap().len();
+        let blen = std::fs::metadata(&bpath).unwrap().len();
+        assert!(blen < jlen, "binary {blen} vs json {jlen}");
+        let _ = std::fs::remove_file(jpath);
+        let _ = std::fs::remove_file(bpath);
+    }
+
+    #[test]
+    fn corrupted_inputs_are_rejected() {
+        assert!(matches!(
+            decode_weights(Bytes::from_static(b"nope")),
+            Err(PersistError::Format(_))
+        ));
+        assert!(matches!(
+            decode_weights(Bytes::from_static(b"SLW1\xff\xff\xff\xff")),
+            Err(PersistError::Format(_))
+        ));
+        let model = DeepSets::new(DeepSetsConfig::lsm(50));
+        let mut bytes = encode_weights(&model).unwrap().to_vec();
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode_weights(Bytes::from(bytes)).is_err());
+    }
+}

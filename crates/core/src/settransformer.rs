@@ -1,0 +1,312 @@
+//! Set Transformer (Lee et al., ICML 2019) — the attention-based
+//! alternative the paper weighs against DeepSets in §3.2 before choosing
+//! DeepSets for its speed and smaller footprint. This implementation backs
+//! the `abl_settransformer` bench that reproduces that trade-off.
+//!
+//! Architecture: shared embedding → `num_sabs` Set Attention Blocks →
+//! PMA pooling (one learned seed) → ρ MLP → scalar head.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use setlearn_nn::attention::{PmaCache, SabCache};
+use setlearn_nn::{Activation, Embedding, Loss, Matrix, Mlp, Optimizer, PmaPool, Sab};
+
+/// Hyper-parameters of a Set Transformer regressor/classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetTransformerConfig {
+    /// Vocabulary size (ids `0..vocab`).
+    pub vocab: u32,
+    /// Embedding and attention width.
+    pub dim: usize,
+    /// Number of stacked Set Attention Blocks.
+    pub num_sabs: usize,
+    /// Hidden widths of the ρ head.
+    pub rho_hidden: Vec<usize>,
+    /// Output activation (sigmoid for the paper's tasks).
+    pub output_activation: Activation,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl SetTransformerConfig {
+    /// A small default comparable to [`crate::model::DeepSetsConfig::lsm`].
+    pub fn new(vocab: u32) -> Self {
+        SetTransformerConfig {
+            vocab,
+            dim: 16,
+            num_sabs: 1,
+            rho_hidden: vec![32],
+            output_activation: Activation::Sigmoid,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-set cache for the backward pass.
+struct SetCache {
+    ids: Vec<u32>,
+    sabs: Vec<SabCache>,
+    pma: PmaCache,
+}
+
+/// The Set Transformer model. Mirrors the training/inference API of
+/// [`crate::model::DeepSets`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetTransformer {
+    config: SetTransformerConfig,
+    embedding: Embedding,
+    sabs: Vec<Sab>,
+    pma: PmaPool,
+    rho: Mlp,
+    #[serde(skip)]
+    caches: Vec<SetCache>,
+}
+
+impl std::fmt::Debug for SetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetCache").field("ids", &self.ids).finish_non_exhaustive()
+    }
+}
+
+impl Clone for SetCache {
+    fn clone(&self) -> Self {
+        SetCache { ids: self.ids.clone(), sabs: self.sabs.clone(), pma: self.pma.clone() }
+    }
+}
+
+impl SetTransformer {
+    /// Builds the model.
+    ///
+    /// # Panics
+    /// If `vocab == 0` or `num_sabs == 0`.
+    pub fn new(config: SetTransformerConfig) -> Self {
+        assert!(config.vocab > 0, "empty vocabulary");
+        assert!(config.num_sabs > 0, "need at least one SAB");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let embedding = Embedding::new(&mut rng, config.vocab as usize, config.dim);
+        let sabs = (0..config.num_sabs).map(|_| Sab::new(&mut rng, config.dim)).collect();
+        let pma = PmaPool::new(&mut rng, config.dim);
+        let mut rho_dims = vec![config.dim];
+        rho_dims.extend_from_slice(&config.rho_hidden);
+        rho_dims.push(1);
+        let rho = Mlp::new(&mut rng, &rho_dims, Activation::Relu, config.output_activation);
+        SetTransformer { config, embedding, sabs, pma, rho, caches: Vec::new() }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &SetTransformerConfig {
+        &self.config
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.embedding.num_params()
+            + self.sabs.iter().map(Sab::num_params).sum::<usize>()
+            + self.pma.num_params()
+            + self.rho.num_params()
+    }
+
+    /// Serialized weight bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
+    }
+
+    fn encode_set(&self, ids: &[u32]) -> (Matrix, Vec<SabCache>, Matrix, PmaCache) {
+        let mut x = self.embedding.predict(ids);
+        let mut sab_caches = Vec::with_capacity(self.sabs.len());
+        for sab in &self.sabs {
+            let (next, cache) = sab.forward(&x);
+            sab_caches.push(cache);
+            x = next;
+        }
+        let (pooled, pma_cache) = self.pma.forward(&x);
+        (x, sab_caches, pooled, pma_cache)
+    }
+
+    /// Training forward pass; caches per-set state.
+    pub fn forward_batch<S: AsRef<[u32]>>(&mut self, sets: &[S]) -> Vec<f32> {
+        self.caches.clear();
+        let mut pooled_rows = Matrix::zeros(sets.len(), self.config.dim);
+        for (i, s) in sets.iter().enumerate() {
+            let ids = s.as_ref();
+            assert!(!ids.is_empty(), "cannot encode an empty set");
+            let (_, sabs, pooled, pma) = self.encode_set(ids);
+            pooled_rows.row_mut(i).copy_from_slice(pooled.row(0));
+            self.caches.push(SetCache { ids: ids.to_vec(), sabs, pma });
+        }
+        self.rho.forward(&pooled_rows).into_vec()
+    }
+
+    /// Backward pass from per-set output gradients.
+    pub fn backward_batch(&mut self, grad_out: &[f32]) {
+        assert_eq!(grad_out.len(), self.caches.len(), "gradient count mismatch");
+        let grad = Matrix::from_vec(grad_out.len(), 1, grad_out.to_vec());
+        let grad_pooled = self.rho.backward(&grad);
+        let caches = std::mem::take(&mut self.caches);
+        for (i, cache) in caches.iter().enumerate() {
+            let g = Matrix::from_vec(1, self.config.dim, grad_pooled.row(i).to_vec());
+            let mut gx = self.pma.backward(&cache.pma, &g);
+            for (sab, sab_cache) in self.sabs.iter_mut().zip(cache.sabs.iter()).rev() {
+                gx = sab.backward(sab_cache, &gx);
+            }
+            self.embedding.accumulate_grad(&cache.ids, &gx);
+        }
+    }
+
+    /// Inference for a batch of sets.
+    pub fn predict_batch<S: AsRef<[u32]>>(&self, sets: &[S]) -> Vec<f32> {
+        let mut pooled_rows = Matrix::zeros(sets.len(), self.config.dim);
+        for (i, s) in sets.iter().enumerate() {
+            let ids = s.as_ref();
+            assert!(!ids.is_empty(), "cannot encode an empty set");
+            let (_, _, pooled, _) = self.encode_set(ids);
+            pooled_rows.row_mut(i).copy_from_slice(pooled.row(0));
+        }
+        self.rho.predict(&pooled_rows).into_vec()
+    }
+
+    /// Inference for one set.
+    pub fn predict_one(&self, set: &[u32]) -> f32 {
+        self.predict_batch(&[set])[0]
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.embedding.zero_grad();
+        for sab in &mut self.sabs {
+            sab.zero_grad();
+        }
+        self.pma.zero_grad();
+        self.rho.zero_grad();
+    }
+
+    /// One optimizer step over all parameters.
+    pub fn step(&mut self, opt: &mut Optimizer) {
+        opt.begin_step();
+        for p in self.embedding.params_mut() {
+            opt.step(p);
+        }
+        for sab in &mut self.sabs {
+            for p in sab.params_mut() {
+                opt.step(p);
+            }
+        }
+        for p in self.pma.params_mut() {
+            opt.step(p);
+        }
+        for p in self.rho.params_mut() {
+            opt.step(p);
+        }
+    }
+
+    /// One shuffled mini-batch epoch; returns the mean batch loss.
+    pub fn train_epoch<S: AsRef<[u32]>>(
+        &mut self,
+        data: &[(S, f32)],
+        loss: Loss,
+        opt: &mut Optimizer,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        assert!(!data.is_empty() && batch_size > 0);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch_size) {
+            let sets: Vec<&[u32]> = chunk.iter().map(|&i| data[i].0.as_ref()).collect();
+            let targets: Vec<f32> = chunk.iter().map(|&i| data[i].1).collect();
+            let pred = self.forward_batch(&sets);
+            let (l, grad) = loss.loss_and_grad(&pred, &targets);
+            self.backward_batch(&grad);
+            self.step(opt);
+            total += l as f64;
+            batches += 1;
+        }
+        (total / batches as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetTransformer {
+        SetTransformer::new(SetTransformerConfig {
+            vocab: 64,
+            dim: 8,
+            num_sabs: 1,
+            rho_hidden: vec![8],
+            output_activation: Activation::Sigmoid,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let m = tiny();
+        assert_eq!(m.predict_one(&[1, 5, 9]), m.predict_one(&[9, 1, 5]));
+        assert_eq!(m.predict_one(&[3, 60]), m.predict_one(&[60, 3]));
+    }
+
+    #[test]
+    fn variable_sizes_and_batching() {
+        let m = tiny();
+        let batch = m.predict_batch(&[&[1u32][..], &[2u32, 3, 4, 5, 6][..]]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], m.predict_one(&[1]));
+        assert_eq!(batch[1], m.predict_one(&[2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = tiny();
+        m.zero_grad();
+        let mut data: Vec<(Vec<u32>, f32)> = Vec::new();
+        for i in 1..30u32 {
+            data.push((vec![0, i], 0.9));
+            data.push((vec![i, i + 30], 0.1));
+        }
+        let mut opt = Optimizer::adam(5e-3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = m.train_epoch(&data, Loss::Mse, &mut opt, 8, &mut rng);
+        let mut last = first;
+        for _ in 0..40 {
+            last = m.train_epoch(&data, Loss::Mse, &mut opt, 8, &mut rng);
+        }
+        assert!(last < first * 0.6, "loss {first} -> {last}");
+        assert!(m.predict_one(&[0, 7]) > m.predict_one(&[7, 37]));
+    }
+
+    #[test]
+    fn stacked_sabs_work() {
+        let m = SetTransformer::new(SetTransformerConfig {
+            vocab: 32,
+            dim: 4,
+            num_sabs: 3,
+            rho_hidden: vec![],
+            output_activation: Activation::Identity,
+            seed: 5,
+        });
+        let v = m.predict_one(&[1, 2, 3]);
+        assert!(v.is_finite());
+        assert_eq!(v, m.predict_one(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = tiny();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SetTransformer = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.predict_one(&[4, 5]), back.predict_one(&[4, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_set_rejected() {
+        let m = tiny();
+        let _ = m.predict_one(&[]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Learned set Bloom filter (paper §4.3): a DeepSets classifier over subset
+//! membership with a backup Bloom filter eliminating false negatives.
+
+use crate::model::{DeepSets, DeepSetsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use setlearn_baselines::BloomFilter;
+use setlearn_data::{ElementSet, SetCollection};
+use setlearn_nn::{Loss, Optimizer};
+
+/// Training configuration for the learned Bloom filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BloomConfig {
+    /// DeepSets hyper-parameters (paper §8.4: embedding 2, two 8-neuron
+    /// layers).
+    pub model: DeepSetsConfig,
+    /// Training epochs (paper uses 50).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Classification threshold τ.
+    pub threshold: f32,
+    /// Backup-filter false-positive rate.
+    pub backup_fp_rate: f64,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl BloomConfig {
+    /// The paper's §8.4 setting on the given model.
+    pub fn new(mut model: DeepSetsConfig) -> Self {
+        model.embedding_dim = 2;
+        model.phi_hidden = vec![8];
+        model.rho_hidden = vec![8];
+        BloomConfig {
+            model,
+            epochs: 50,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            threshold: 0.5,
+            backup_fp_rate: 0.01,
+            seed: 11,
+        }
+    }
+}
+
+/// Learned Bloom filter = classifier + backup filter over its false
+/// negatives, guaranteeing no false negatives on the trained positives.
+///
+/// ```
+/// use setlearn::model::DeepSetsConfig;
+/// use setlearn::tasks::{BloomConfig, LearnedBloom};
+/// use setlearn_data::normalize;
+///
+/// let mut cfg = BloomConfig::new(DeepSetsConfig::clsm(64));
+/// cfg.epochs = 5;
+/// let workload = vec![
+///     (normalize(vec![1, 2]), true),
+///     (normalize(vec![3, 4]), true),
+///     (normalize(vec![1, 4]), false),
+/// ];
+/// let (filter, _report) = LearnedBloom::build(&workload, &cfg);
+/// assert!(filter.contains(&[1, 2])); // never a false negative on positives
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnedBloom {
+    model: DeepSets,
+    threshold: f32,
+    backup: BloomFilter,
+}
+
+/// Build artifacts for reporting.
+#[derive(Debug, Clone)]
+pub struct BloomBuildReport {
+    /// Loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Positives the model missed (inserted into the backup filter).
+    pub false_negatives: usize,
+    /// Binary accuracy over the training workload after the final epoch.
+    pub training_accuracy: f64,
+}
+
+impl LearnedBloom {
+    /// Trains the classifier on a labeled workload of `(query, present)`
+    /// pairs and builds the backup filter from the resulting false
+    /// negatives.
+    pub fn build(workload: &[(ElementSet, bool)], cfg: &BloomConfig) -> (Self, BloomBuildReport) {
+        assert!(!workload.is_empty(), "empty training workload");
+        assert!(workload.iter().any(|(_, l)| *l), "need positive samples");
+        let data: Vec<(ElementSet, f32)> = workload
+            .iter()
+            .map(|(s, l)| (s.clone(), if *l { 1.0 } else { 0.0 }))
+            .collect();
+
+        let mut model = DeepSets::new(cfg.model.clone());
+        model.zero_grad();
+        let mut opt = Optimizer::adam(cfg.learning_rate);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut loss_history = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            loss_history.push(model.train_epoch(
+                &data,
+                Loss::BinaryCrossEntropy,
+                &mut opt,
+                cfg.batch_size,
+                &mut rng,
+            ));
+        }
+
+        // Collect false negatives among the positives and back them up.
+        let positives: Vec<&ElementSet> =
+            workload.iter().filter(|(_, l)| *l).map(|(s, _)| s).collect();
+        let missed: Vec<&ElementSet> = positives
+            .iter()
+            .copied()
+            .filter(|s| model.predict_one(s) < cfg.threshold)
+            .collect();
+        let mut backup = BloomFilter::new(missed.len().max(8), cfg.backup_fp_rate);
+        for s in &missed {
+            backup.insert_set(s);
+        }
+
+        let correct = workload
+            .iter()
+            .filter(|(s, l)| {
+                let pred = model.predict_one(s) >= cfg.threshold;
+                pred == *l
+            })
+            .count();
+        let report = BloomBuildReport {
+            loss_history,
+            false_negatives: missed.len(),
+            training_accuracy: correct as f64 / workload.len() as f64,
+        };
+        (LearnedBloom { model, threshold: cfg.threshold, backup }, report)
+    }
+
+    /// Convenience constructor: builds a workload from the collection
+    /// (positive subsets + sampled negatives) and trains on it.
+    pub fn build_from_collection(
+        collection: &SetCollection,
+        n_pos: usize,
+        n_neg: usize,
+        max_query_size: usize,
+        cfg: &BloomConfig,
+    ) -> (Self, BloomBuildReport) {
+        let workload = setlearn_data::workload::membership_queries(
+            collection,
+            n_pos,
+            n_neg,
+            max_query_size,
+            cfg.seed,
+        );
+        Self::build(&workload, cfg)
+    }
+
+    /// Membership probe: classifier score, with the backup filter rescuing
+    /// model false negatives.
+    pub fn contains(&self, q: &[u32]) -> bool {
+        self.model.predict_one(q) >= self.threshold || self.backup.contains_set(q)
+    }
+
+    /// Multi-set multi-membership querying (the paper's §9 future-work
+    /// direction): answers every query in one batched forward pass through
+    /// the shared model, then rescues per-query false negatives from the
+    /// backup filter.
+    pub fn contains_many<S: AsRef<[u32]>>(&self, queries: &[S]) -> Vec<bool> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        self.model
+            .predict_batch(queries)
+            .into_iter()
+            .zip(queries.iter())
+            .map(|(score, q)| score >= self.threshold || self.backup.contains_set(q.as_ref()))
+            .collect()
+    }
+
+    /// Raw classifier probability (for threshold tuning / diagnostics).
+    pub fn score(&self, q: &[u32]) -> f32 {
+        self.model.predict_one(q)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &DeepSets {
+        &self.model
+    }
+
+    /// Model weight bytes (the paper's LSM/CLSM memory columns; the backup
+    /// is reported as negligible in §8.4.2 but we count it in
+    /// [`LearnedBloom::size_bytes`]).
+    pub fn model_size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+
+    /// Total bytes: model + backup filter.
+    pub fn size_bytes(&self) -> usize {
+        self.model.size_bytes() + self.backup.size_bytes()
+    }
+
+    /// Binary accuracy over a labeled workload (Table 9's metric).
+    pub fn binary_accuracy(&self, workload: &[(ElementSet, bool)]) -> f64 {
+        assert!(!workload.is_empty());
+        let correct = workload
+            .iter()
+            .filter(|(s, l)| {
+                (self.model.predict_one(s) >= self.threshold) == *l
+            })
+            .count();
+        correct as f64 / workload.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn_data::{workload::membership_queries, GeneratorConfig};
+
+    fn quick_cfg(vocab: u32) -> BloomConfig {
+        let mut cfg = BloomConfig::new(DeepSetsConfig::lsm(vocab));
+        cfg.epochs = 40;
+        cfg.learning_rate = 1e-2;
+        cfg
+    }
+
+    #[test]
+    fn no_false_negatives_on_trained_positives() {
+        let c = GeneratorConfig::rw(500, 31).generate();
+        let workload = membership_queries(&c, 400, 400, 4, 3);
+        let (filter, _) = LearnedBloom::build(&workload, &quick_cfg(c.num_elements()));
+        for (q, label) in &workload {
+            if *label {
+                assert!(filter.contains(q), "false negative on {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_is_high_on_training_workload() {
+        let c = GeneratorConfig::rw(500, 7).generate();
+        let workload = membership_queries(&c, 300, 300, 4, 9);
+        let (filter, report) = LearnedBloom::build(&workload, &quick_cfg(c.num_elements()));
+        assert!(
+            report.training_accuracy > 0.8,
+            "accuracy {}",
+            report.training_accuracy
+        );
+        assert_eq!(filter.binary_accuracy(&workload), report.training_accuracy);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let c = GeneratorConfig::rw(300, 2).generate();
+        let workload = membership_queries(&c, 200, 200, 4, 5);
+        let (_, report) = LearnedBloom::build(&workload, &quick_cfg(c.num_elements()));
+        let first = report.loss_history[0];
+        let last = *report.loss_history.last().unwrap();
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn build_from_collection_runs() {
+        let c = GeneratorConfig::sd(200, 4).generate();
+        let (filter, _) =
+            LearnedBloom::build_from_collection(&c, 150, 150, 4, &quick_cfg(c.num_elements()));
+        // Whole stored sets are positives by definition.
+        assert!(filter.contains(c.get(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "need positive samples")]
+    fn all_negative_workload_rejected() {
+        let cfg = quick_cfg(16);
+        let workload = vec![(setlearn_data::normalize(vec![1, 2]), false)];
+        let _ = LearnedBloom::build(&workload, &cfg);
+    }
+}

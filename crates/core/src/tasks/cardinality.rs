@@ -1,0 +1,298 @@
+//! Learned set cardinality estimation (paper §4.2) and its hybrid variant.
+
+use crate::hybrid::{guided_train, GuidedConfig, GuidedOutcome};
+use crate::model::{DeepSets, DeepSetsConfig};
+use serde::{Deserialize, Serialize};
+use setlearn_baselines::set_hash;
+use setlearn_data::{ElementSet, SetCollection, SubsetIndex};
+use setlearn_nn::{Loss, LogMinMaxScaler};
+use std::collections::HashMap;
+
+/// Training configuration for the cardinality estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CardinalityConfig {
+    /// The DeepSets model hyper-parameters.
+    pub model: DeepSetsConfig,
+    /// Guided-learning schedule. Set `percentile = 1.0` for the pure
+    /// (non-hybrid) estimator.
+    pub guided: GuidedConfig,
+    /// Subset-enumeration cap for training data (paper §7.1.1 uses 6).
+    pub max_subset_size: usize,
+}
+
+impl CardinalityConfig {
+    /// Defaults for a given vocabulary: LSM model, hybrid at the 90th
+    /// percentile, subsets up to size 4.
+    pub fn new(model: DeepSetsConfig) -> Self {
+        CardinalityConfig { model, guided: GuidedConfig::default(), max_subset_size: 4 }
+    }
+}
+
+/// A learned cardinality estimator with an optional exact outlier store —
+/// `LSM`/`CLSM`(`-Hybrid`) depending on the model config and percentile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnedCardinality {
+    model: DeepSets,
+    scaler: LogMinMaxScaler,
+    /// Exact counts for exiled outliers, keyed by set hash.
+    outliers: HashMap<u64, u64>,
+    /// Delta layer absorbing updates until retraining (§7.2).
+    deltas: HashMap<u64, i64>,
+    max_subset_size: usize,
+}
+
+/// Build artifacts useful for reporting (training curves, outlier count).
+#[derive(Debug, Clone)]
+pub struct CardinalityBuildReport {
+    /// Loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Number of training subsets enumerated.
+    pub training_subsets: usize,
+    /// Number of subsets moved to the outlier store.
+    pub outliers: usize,
+}
+
+impl LearnedCardinality {
+    /// Enumerates training data from the collection, trains with guided
+    /// learning, and stores exact counts for the exiled outliers.
+    pub fn build(
+        collection: &SetCollection,
+        cfg: &CardinalityConfig,
+    ) -> (Self, CardinalityBuildReport) {
+        let subsets = SubsetIndex::build(collection, cfg.max_subset_size);
+        Self::build_from_subsets(&subsets, cfg)
+    }
+
+    /// Builds from pre-enumerated subset statistics (lets callers share the
+    /// enumeration across tasks).
+    pub fn build_from_subsets(
+        subsets: &SubsetIndex,
+        cfg: &CardinalityConfig,
+    ) -> (Self, CardinalityBuildReport) {
+        let pairs = subsets.cardinality_pairs();
+        assert!(!pairs.is_empty(), "no training subsets enumerated");
+        // §4.2: the maximum observed cardinality is always attained by a
+        // single element, so the scaler range is [1, max single-element
+        // frequency].
+        let scaler = LogMinMaxScaler::from_range(1.0, subsets.max_cardinality() as f64);
+        let data: Vec<(ElementSet, f32)> =
+            pairs.iter().map(|(s, c)| (s.clone(), scaler.scale(*c))).collect();
+
+        let mut model = DeepSets::new(cfg.model.clone());
+        let loss = Loss::QError { span: scaler.span() };
+        let GuidedOutcome { outlier_indices, loss_history } =
+            guided_train(&mut model, &data, loss, &cfg.guided);
+
+        let outliers: HashMap<u64, u64> = outlier_indices
+            .iter()
+            .map(|&i| (set_hash(&pairs[i].0), pairs[i].1 as u64))
+            .collect();
+        let report = CardinalityBuildReport {
+            loss_history,
+            training_subsets: pairs.len(),
+            outliers: outliers.len(),
+        };
+        (
+            LearnedCardinality {
+                model,
+                scaler,
+                outliers,
+                deltas: HashMap::new(),
+                max_subset_size: cfg.max_subset_size,
+            },
+            report,
+        )
+    }
+
+    /// Estimates the cardinality of a canonical query set: outlier store
+    /// first, then the model (Figure 5's query path), plus any update deltas.
+    pub fn estimate(&self, q: &[u32]) -> f64 {
+        let h = set_hash(q);
+        let base = match self.outliers.get(&h) {
+            Some(&exact) => exact as f64,
+            None => self.scaler.unscale(self.model.predict_one(q)),
+        };
+        let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
+        (base + delta).max(0.0)
+    }
+
+    /// Model-only estimate, bypassing the outlier store (for ablations).
+    pub fn estimate_model_only(&self, q: &[u32]) -> f64 {
+        self.scaler.unscale(self.model.predict_one(q))
+    }
+
+    /// Batched estimation: one forward pass through the model for all
+    /// queries, with outlier-store and delta-layer corrections applied per
+    /// query. Equivalent to mapping [`LearnedCardinality::estimate`].
+    pub fn estimate_batch<S: AsRef<[u32]>>(&self, queries: &[S]) -> Vec<f64> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch(queries);
+        queries
+            .iter()
+            .zip(scores)
+            .map(|(q, s)| {
+                let h = set_hash(q.as_ref());
+                let base = match self.outliers.get(&h) {
+                    Some(&exact) => exact as f64,
+                    None => self.scaler.unscale(s),
+                };
+                let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
+                (base + delta).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Registers an inserted set (§7.2): all its subsets gain one occurrence
+    /// in the delta layer until the model is retrained.
+    pub fn note_inserted_set(&mut self, set: &[u32]) {
+        setlearn_data::set::for_each_subset(set, self.max_subset_size, |sub| {
+            *self.deltas.entry(set_hash(sub)).or_insert(0) += 1;
+        });
+    }
+
+    /// Registers a deleted set (§7.2).
+    pub fn note_deleted_set(&mut self, set: &[u32]) {
+        setlearn_data::set::for_each_subset(set, self.max_subset_size, |sub| {
+            *self.deltas.entry(set_hash(sub)).or_insert(0) -= 1;
+        });
+    }
+
+    /// Number of pending update deltas; large values suggest retraining.
+    pub fn pending_updates(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &DeepSets {
+        &self.model
+    }
+
+    /// Rounds every model weight to f16 precision in place (see
+    /// [`crate::quantize`]): halves the storable footprint at a tiny output
+    /// perturbation. The outlier store is untouched.
+    pub fn quantize_weights(&mut self) {
+        crate::quantize::quantize_in_place(&mut self.model);
+    }
+
+    /// Number of exiled outliers.
+    pub fn num_outliers(&self) -> usize {
+        self.outliers.len()
+    }
+
+    /// Model weight bytes only (the paper's `LSM`/`CLSM` memory columns).
+    pub fn model_size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+
+    /// Total structure bytes: model + outlier store + delta layer (the
+    /// `-Hybrid` memory columns).
+    pub fn size_bytes(&self) -> usize {
+        let map_entry = 8 + 8 + 1; // key + value + control byte
+        self.model.size_bytes()
+            + (self.outliers.len() as f64 / 0.875) as usize * map_entry
+            + (self.deltas.len() as f64 / 0.875) as usize * map_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CompressionKind;
+    use setlearn_data::GeneratorConfig;
+    use setlearn_nn::q_error;
+
+    fn quick_cfg(vocab: u32, compression: CompressionKind) -> CardinalityConfig {
+        let mut model = DeepSetsConfig::lsm(vocab);
+        model.compression = compression;
+        model.embedding_dim = 8;
+        model.phi_hidden = vec![32];
+        model.rho_hidden = vec![32];
+        CardinalityConfig {
+            model,
+            guided: GuidedConfig {
+                warmup_epochs: 25,
+                rounds: 1,
+                epochs_per_round: 15,
+                percentile: 0.9,
+                batch_size: 64,
+                learning_rate: 5e-3,
+                seed: 5,
+            },
+            max_subset_size: 3,
+        }
+    }
+
+    #[test]
+    fn hybrid_estimator_reaches_low_qerror_on_small_collection() {
+        let collection = GeneratorConfig::sd(400, 11).generate();
+        let (est, report) = LearnedCardinality::build(
+            &collection,
+            &quick_cfg(collection.num_elements(), CompressionKind::None),
+        );
+        assert!(report.training_subsets > 100);
+        let subsets = SubsetIndex::build(&collection, 3);
+        let mut qe = 0.0;
+        let mut n = 0;
+        for (s, info) in subsets.iter().take(300) {
+            qe += q_error(est.estimate(s), info.count as f64, 1.0);
+            n += 1;
+        }
+        let avg = qe / n as f64;
+        assert!(avg < 3.0, "avg q-error {avg}");
+    }
+
+    #[test]
+    fn outliers_answer_exactly() {
+        let collection = GeneratorConfig::sd(300, 3).generate();
+        let (est, _) = LearnedCardinality::build(
+            &collection,
+            &quick_cfg(collection.num_elements(), CompressionKind::None),
+        );
+        assert!(est.num_outliers() > 0);
+        // Every outlier must produce its exact stored count.
+        let subsets = SubsetIndex::build(&collection, 3);
+        let mut checked = 0;
+        for (s, info) in subsets.iter() {
+            let h = set_hash(s);
+            if est.outliers.contains_key(&h) {
+                assert_eq!(est.estimate(s), info.count as f64);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn compressed_variant_trains_and_is_smaller() {
+        let collection = GeneratorConfig::rw(400, 4).generate();
+        // Use a large declared id space so the embedding-table savings
+        // dominate the φ-width overhead (see the paper's SD discussion).
+        let vocab = collection.num_elements().max(50_000);
+        let (lsm, _) =
+            LearnedCardinality::build(&collection, &quick_cfg(vocab, CompressionKind::None));
+        let (clsm, _) = LearnedCardinality::build(
+            &collection,
+            &quick_cfg(vocab, CompressionKind::Optimal { ns: 2 }),
+        );
+        assert!(clsm.model_size_bytes() < lsm.model_size_bytes());
+    }
+
+    #[test]
+    fn updates_adjust_estimates() {
+        let collection = GeneratorConfig::sd(200, 9).generate();
+        let (mut est, _) = LearnedCardinality::build(
+            &collection,
+            &quick_cfg(collection.num_elements(), CompressionKind::None),
+        );
+        let q = &collection.get(0)[..2];
+        let before = est.estimate(q);
+        let inserted: Vec<u32> = q.to_vec();
+        est.note_inserted_set(&inserted);
+        assert_eq!(est.estimate(q), before + 1.0);
+        est.note_deleted_set(&inserted);
+        assert_eq!(est.estimate(q), before);
+        assert!(est.pending_updates() > 0);
+    }
+}

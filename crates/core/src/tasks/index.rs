@@ -1,0 +1,425 @@
+//! Learned set index (paper §4.1) with the hybrid search of §6/Algorithm 2.
+//!
+//! The model regresses a query subset to its first position in the
+//! (arbitrarily ordered) collection; per-range local error bounds turn the
+//! estimate into a bounded scan window, and an auxiliary B+ tree answers the
+//! outliers the model could not fit.
+
+use crate::hybrid::{guided_train, GuidedConfig, GuidedOutcome, LocalErrorBounds};
+use crate::model::{DeepSets, DeepSetsConfig};
+use serde::{Deserialize, Serialize};
+use setlearn_baselines::{set_hash, BPlusTree};
+use setlearn_data::{is_subset, ElementSet, SetCollection, SubsetIndex};
+use setlearn_nn::{Loss, LogMinMaxScaler};
+
+/// Which occurrence the index targets (paper §4.1 supports either).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PositionTarget {
+    /// The first position containing the query subset.
+    #[default]
+    First,
+    /// The last position containing the query subset.
+    Last,
+}
+
+/// Training configuration for the learned set index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// DeepSets hyper-parameters.
+    pub model: DeepSetsConfig,
+    /// Guided-learning schedule (`percentile = 1.0` = "No Removal").
+    pub guided: GuidedConfig,
+    /// Subset-enumeration cap. The paper generates *all* subsets for the
+    /// index task to guarantee findability; the cap bounds that guarantee to
+    /// queries of at most this many elements.
+    pub max_subset_size: usize,
+    /// Width of the local-error buckets (the paper uses 100).
+    pub range_length: f64,
+    /// Which occurrence to index.
+    pub target: PositionTarget,
+}
+
+impl IndexConfig {
+    /// Defaults: given model, 90th-percentile hybrid, subsets ≤ 4, range 100.
+    pub fn new(model: DeepSetsConfig) -> Self {
+        IndexConfig {
+            model,
+            guided: GuidedConfig::default(),
+            max_subset_size: 4,
+            range_length: 100.0,
+            target: PositionTarget::First,
+        }
+    }
+}
+
+/// Result of a profiled lookup: the answer plus the work done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupProfile {
+    /// First matching position, if found.
+    pub position: Option<usize>,
+    /// Number of collection sets examined during the local scan (0 when the
+    /// auxiliary structure answered).
+    pub scanned: usize,
+    /// Whether the auxiliary structure answered.
+    pub from_aux: bool,
+}
+
+/// The hybrid learned set index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnedSetIndex {
+    model: DeepSets,
+    scaler: LogMinMaxScaler,
+    /// Outlier subsets (and §7.2 updates), keyed by set hash.
+    aux: BPlusTree,
+    bounds: LocalErrorBounds,
+    max_subset_size: usize,
+    target: PositionTarget,
+}
+
+/// Build artifacts for reporting.
+#[derive(Debug, Clone)]
+pub struct IndexBuildReport {
+    /// Loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Number of training subsets.
+    pub training_subsets: usize,
+    /// Subsets moved to the auxiliary tree.
+    pub outliers: usize,
+    /// Global max absolute error of the retained model predictions.
+    pub global_error: f64,
+    /// Mean local bound (what the scan actually pays, §8.3.3).
+    pub mean_local_error: f64,
+}
+
+impl LearnedSetIndex {
+    /// Enumerates subsets, trains with guided learning, exiles outliers to a
+    /// B+ tree and computes local error bounds over the retained subsets.
+    pub fn build(collection: &SetCollection, cfg: &IndexConfig) -> (Self, IndexBuildReport) {
+        let subsets = SubsetIndex::build(collection, cfg.max_subset_size);
+        Self::build_from_subsets(collection, &subsets, cfg)
+    }
+
+    /// Builds from pre-enumerated subset statistics.
+    pub fn build_from_subsets(
+        collection: &SetCollection,
+        subsets: &SubsetIndex,
+        cfg: &IndexConfig,
+    ) -> (Self, IndexBuildReport) {
+        let pairs = match cfg.target {
+            PositionTarget::First => subsets.index_pairs(),
+            PositionTarget::Last => subsets.index_pairs_last(),
+        };
+        assert!(!pairs.is_empty(), "no training subsets enumerated");
+        let scaler = LogMinMaxScaler::from_range(0.0, collection.len().saturating_sub(1) as f64);
+        let data: Vec<(ElementSet, f32)> =
+            pairs.iter().map(|(s, p)| (s.clone(), scaler.scale(*p))).collect();
+
+        let mut model = DeepSets::new(cfg.model.clone());
+        let loss = Loss::QError { span: scaler.span() };
+        let GuidedOutcome { outlier_indices, loss_history } =
+            guided_train(&mut model, &data, loss, &cfg.guided);
+
+        // Exile outliers into the auxiliary B+ tree.
+        let mut aux = BPlusTree::new(100);
+        let outlier_set: std::collections::HashSet<usize> =
+            outlier_indices.iter().copied().collect();
+        for &i in &outlier_indices {
+            aux.insert(set_hash(&pairs[i].0), pairs[i].1 as u32);
+        }
+
+        // Error bounds over the *retained* subsets: outliers are answered by
+        // the tree, so they must not widen the scan windows.
+        let retained: Vec<(f64, f64)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !outlier_set.contains(i))
+            .map(|(_, (s, p))| (scaler.unscale(model.predict_one(s)), *p))
+            .collect();
+        let bounds = if retained.is_empty() {
+            // Degenerate hybrid: everything is in the tree.
+            LocalErrorBounds::compute(&[(0.0, 0.0)], cfg.range_length)
+        } else {
+            LocalErrorBounds::compute(&retained, cfg.range_length)
+        };
+
+        let report = IndexBuildReport {
+            loss_history,
+            training_subsets: pairs.len(),
+            outliers: outlier_indices.len(),
+            global_error: bounds.global_bound(),
+            mean_local_error: bounds.mean_bound(),
+        };
+        (
+            LearnedSetIndex {
+                model,
+                scaler,
+                aux,
+                bounds,
+                max_subset_size: cfg.max_subset_size,
+                target: cfg.target,
+            },
+            report,
+        )
+    }
+
+    /// Algorithm 2: auxiliary structure first, then model estimate + bounded
+    /// local scan for the first position containing `q`.
+    pub fn lookup(&self, collection: &SetCollection, q: &[u32]) -> Option<usize> {
+        self.lookup_profiled(collection, q).position
+    }
+
+    fn aux_position(&self, q: &[u32]) -> Option<u32> {
+        match self.target {
+            PositionTarget::First => self.aux.first_position(set_hash(q)),
+            PositionTarget::Last => self.aux.last_position(set_hash(q)),
+        }
+    }
+
+    /// [`LearnedSetIndex::lookup`] with scan-effort accounting.
+    pub fn lookup_profiled(&self, collection: &SetCollection, q: &[u32]) -> LookupProfile {
+        // Line 2: auxiliary structure (outliers + pending updates).
+        if let Some(pos) = self.aux_position(q) {
+            return LookupProfile { position: Some(pos as usize), scanned: 0, from_aux: true };
+        }
+        // Lines 4–7: model estimate, local bound, bounded scan.
+        let est = self.scaler.unscale(self.model.predict_one(q));
+        let e_r = self.bounds.bound_for(est);
+        let lo = ((est - e_r).floor().max(0.0)) as usize;
+        let hi = ((est + e_r).ceil() as usize).min(collection.len().saturating_sub(1));
+        let mut scanned = 0;
+        // First-occurrence queries scan the window upward; last-occurrence
+        // queries downward. In both directions the first match is the true
+        // endpoint whenever it lies inside the window (nothing beyond the
+        // endpoint matches, by definition).
+        let mut probe = |i: usize| -> Option<LookupProfile> {
+            scanned += 1;
+            if is_subset(q, collection.get(i)) {
+                Some(LookupProfile { position: Some(i), scanned, from_aux: false })
+            } else {
+                None
+            }
+        };
+        match self.target {
+            PositionTarget::First => {
+                for i in lo..=hi {
+                    if let Some(hit) = probe(i) {
+                        return hit;
+                    }
+                }
+            }
+            PositionTarget::Last => {
+                for i in (lo..=hi).rev() {
+                    if let Some(hit) = probe(i) {
+                        return hit;
+                    }
+                }
+            }
+        }
+        LookupProfile { position: None, scanned, from_aux: false }
+    }
+
+    /// Batched lookup: one model forward pass for all queries, followed by
+    /// per-query bounded scans. Equivalent to mapping
+    /// [`LearnedSetIndex::lookup`].
+    pub fn lookup_batch<S: AsRef<[u32]>>(
+        &self,
+        collection: &SetCollection,
+        queries: &[S],
+    ) -> Vec<Option<usize>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch(queries);
+        queries
+            .iter()
+            .zip(scores)
+            .map(|(q, s)| {
+                let q = q.as_ref();
+                if let Some(pos) = self.aux_position(q) {
+                    return Some(pos as usize);
+                }
+                let est = self.scaler.unscale(s);
+                let e_r = self.bounds.bound_for(est);
+                let lo = ((est - e_r).floor().max(0.0)) as usize;
+                let hi = ((est + e_r).ceil() as usize).min(collection.len().saturating_sub(1));
+                match self.target {
+                    PositionTarget::First => {
+                        (lo..=hi).find(|&i| is_subset(q, collection.get(i)))
+                    }
+                    PositionTarget::Last => {
+                        (lo..=hi).rev().find(|&i| is_subset(q, collection.get(i)))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Raw model estimate of the position (no scan) — for accuracy metrics.
+    pub fn estimate_position(&self, q: &[u32]) -> f64 {
+        self.model_estimate_or_aux(q)
+    }
+
+    fn model_estimate_or_aux(&self, q: &[u32]) -> f64 {
+        if let Some(pos) = self.aux_position(q) {
+            return pos as f64;
+        }
+        self.scaler.unscale(self.model.predict_one(q))
+    }
+
+    /// Registers a §7.2 update: the set now (also) appears at `pos`. Queries
+    /// consult the auxiliary tree first, so the new position wins.
+    pub fn record_update(&mut self, set: &[u32], pos: usize) {
+        setlearn_data::set::for_each_subset(set, self.max_subset_size, |sub| {
+            self.aux.insert(set_hash(sub), pos as u32);
+        });
+    }
+
+    /// Fraction of known subsets served by the auxiliary tree; near 1.0 the
+    /// hybrid has degenerated to a traditional index and should be rebuilt.
+    pub fn aux_fraction(&self, training_subsets: usize) -> f64 {
+        if training_subsets == 0 {
+            return 1.0;
+        }
+        self.aux.len() as f64 / training_subsets as f64
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &DeepSets {
+        &self.model
+    }
+
+    /// The local error bounds.
+    pub fn bounds(&self) -> &LocalErrorBounds {
+        &self.bounds
+    }
+
+    /// Number of entries in the auxiliary tree.
+    pub fn aux_len(&self) -> usize {
+        self.aux.len()
+    }
+
+    /// Model weight bytes.
+    pub fn model_size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+
+    /// Auxiliary-tree bytes.
+    pub fn aux_size_bytes(&self) -> usize {
+        self.aux.size_bytes()
+    }
+
+    /// Error-bound table bytes.
+    pub fn bounds_size_bytes(&self) -> usize {
+        self.bounds.size_bytes()
+    }
+
+    /// Total structure bytes (Table 7's Model + Aux.Str. + Err).
+    pub fn size_bytes(&self) -> usize {
+        self.model_size_bytes() + self.aux_size_bytes() + self.bounds_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CompressionKind;
+    use setlearn_data::GeneratorConfig;
+
+    fn quick_cfg(vocab: u32, compression: CompressionKind) -> IndexConfig {
+        let mut model = DeepSetsConfig::lsm(vocab);
+        model.compression = compression;
+        IndexConfig {
+            model,
+            guided: GuidedConfig {
+                warmup_epochs: 25,
+                rounds: 1,
+                epochs_per_round: 15,
+                percentile: 0.9,
+                batch_size: 64,
+                learning_rate: 5e-3,
+                seed: 5,
+            },
+            max_subset_size: 3,
+            range_length: 16.0,
+            target: PositionTarget::First,
+        }
+    }
+
+    #[test]
+    fn every_trained_subset_is_found_at_its_true_first_position() {
+        let collection = GeneratorConfig::rw(300, 21).generate();
+        let (index, report) =
+            LearnedSetIndex::build(&collection, &quick_cfg(collection.num_elements(), CompressionKind::None));
+        assert!(report.training_subsets > 0);
+        let subsets = SubsetIndex::build(&collection, 3);
+        for (s, info) in subsets.iter() {
+            let got = index.lookup(&collection, s);
+            assert_eq!(
+                got,
+                Some(info.first_pos as usize),
+                "subset {s:?}: expected {} got {got:?}",
+                info.first_pos
+            );
+        }
+    }
+
+    #[test]
+    fn local_bounds_cut_scanning_versus_global() {
+        let collection = GeneratorConfig::rw(400, 2).generate();
+        let (_index, report) =
+            LearnedSetIndex::build(&collection, &quick_cfg(collection.num_elements(), CompressionKind::None));
+        assert!(
+            report.mean_local_error <= report.global_error,
+            "mean {} vs global {}",
+            report.mean_local_error,
+            report.global_error
+        );
+    }
+
+    #[test]
+    fn aux_answers_have_zero_scan_cost() {
+        let collection = GeneratorConfig::rw(300, 8).generate();
+        let (index, _) =
+            LearnedSetIndex::build(&collection, &quick_cfg(collection.num_elements(), CompressionKind::None));
+        assert!(index.aux_len() > 0, "expected some outliers");
+        let subsets = SubsetIndex::build(&collection, 3);
+        let mut aux_hits = 0;
+        for (s, _) in subsets.iter() {
+            let prof = index.lookup_profiled(&collection, s);
+            if prof.from_aux {
+                assert_eq!(prof.scanned, 0);
+                aux_hits += 1;
+            }
+        }
+        assert!(aux_hits > 0);
+    }
+
+    #[test]
+    fn updates_take_precedence() {
+        let collection = GeneratorConfig::rw(200, 5).generate();
+        let (mut index, _) =
+            LearnedSetIndex::build(&collection, &quick_cfg(collection.num_elements(), CompressionKind::None));
+        let q: Vec<u32> = collection.get(50)[..2].to_vec();
+        index.record_update(&q, 3);
+        let prof = index.lookup_profiled(&collection, &q);
+        assert!(prof.from_aux);
+        assert_eq!(prof.position, Some(3));
+    }
+
+    #[test]
+    fn compressed_index_is_smaller_and_still_sound() {
+        let collection = GeneratorConfig::rw(250, 13).generate();
+        // Compression pays off for large vocabularies (the paper's SD
+        // discussion: small vocabularies don't need it). Declare a large id
+        // space; the collection only uses a prefix of it.
+        let vocab = collection.num_elements().max(50_000);
+        let (lsm, _) = LearnedSetIndex::build(&collection, &quick_cfg(vocab, CompressionKind::None));
+        let (clsm, _) =
+            LearnedSetIndex::build(&collection, &quick_cfg(vocab, CompressionKind::Optimal { ns: 2 }));
+        assert!(clsm.model_size_bytes() < lsm.model_size_bytes());
+        let subsets = SubsetIndex::build(&collection, 3);
+        for (s, info) in subsets.iter() {
+            assert_eq!(clsm.lookup(&collection, s), Some(info.first_pos as usize));
+        }
+    }
+}

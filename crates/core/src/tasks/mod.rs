@@ -1,0 +1,15 @@
+//! The three database tasks of Table 1, each built on the same DeepSets
+//! model: regression heads for indexing (§4.1) and cardinality estimation
+//! (§4.2), a classification head for membership (§4.3).
+
+pub mod bloom;
+pub mod cardinality;
+pub mod index;
+pub mod partitioned;
+pub mod sandwich;
+
+pub use bloom::{BloomBuildReport, BloomConfig, LearnedBloom};
+pub use cardinality::{CardinalityBuildReport, CardinalityConfig, LearnedCardinality};
+pub use index::{IndexBuildReport, IndexConfig, LearnedSetIndex, LookupProfile, PositionTarget};
+pub use partitioned::{PartitionedBloom, PartitionedConfig};
+pub use sandwich::{SandwichConfig, SandwichedBloom};

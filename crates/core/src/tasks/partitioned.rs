@@ -1,0 +1,202 @@
+//! Partitioned Learned Bloom Filter (Vaidya et al., ICLR 2021 — the paper's
+//! reference [20]): instead of one threshold and one backup filter, the
+//! classifier's score range is split into segments, each with its own backup
+//! filter.
+//!
+//! Positives scoring in the top segment are accepted outright; positives in
+//! every lower segment are stored in that segment's Bloom filter. A query
+//! only probes the filter of *its own* score segment, so confident-negative
+//! queries hit near-empty filters and the false-positive rate concentrates
+//! where the classifier is genuinely unsure.
+
+use crate::tasks::bloom::{BloomBuildReport, BloomConfig, LearnedBloom};
+use serde::{Deserialize, Serialize};
+use setlearn_baselines::BloomFilter;
+use setlearn_data::ElementSet;
+
+/// Configuration for the partitioned filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionedConfig {
+    /// Configuration of the underlying classifier.
+    pub learned: BloomConfig,
+    /// Number of score segments (≥ 2). The top segment accepts directly.
+    pub num_segments: usize,
+    /// Per-segment backup false-positive rate.
+    pub segment_fp_rate: f64,
+}
+
+impl PartitionedConfig {
+    /// Default: 4 segments at 1% per-segment fp.
+    pub fn new(learned: BloomConfig) -> Self {
+        PartitionedConfig { learned, num_segments: 4, segment_fp_rate: 0.01 }
+    }
+}
+
+/// The partitioned learned Bloom filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionedBloom {
+    learned: LearnedBloom,
+    /// Segment boundaries over the score range `[0, 1)`: segment `i` covers
+    /// `[bounds[i], bounds[i+1])`; the top segment accepts directly.
+    boundaries: Vec<f32>,
+    /// One backup filter per non-top segment.
+    backups: Vec<BloomFilter>,
+}
+
+impl PartitionedBloom {
+    /// Trains the classifier and distributes positives into per-segment
+    /// backup filters by their score.
+    ///
+    /// # Panics
+    /// If `num_segments < 2`.
+    pub fn build(
+        workload: &[(ElementSet, bool)],
+        cfg: &PartitionedConfig,
+    ) -> (Self, BloomBuildReport) {
+        assert!(cfg.num_segments >= 2, "need at least 2 score segments");
+        let (learned, report) = LearnedBloom::build(workload, &cfg.learned);
+
+        // Equal-width segments over [0, 1).
+        let k = cfg.num_segments;
+        let boundaries: Vec<f32> = (0..=k).map(|i| i as f32 / k as f32).collect();
+
+        // Bucket positives by score; the top segment needs no filter.
+        let mut buckets: Vec<Vec<&ElementSet>> = vec![Vec::new(); k - 1];
+        for (q, label) in workload {
+            if !*label {
+                continue;
+            }
+            let s = learned.score(q);
+            let seg = Self::segment_of(&boundaries, s);
+            if seg < k - 1 {
+                buckets[seg].push(q);
+            }
+        }
+        let backups = buckets
+            .iter()
+            .map(|b| {
+                let mut bf = BloomFilter::new(b.len().max(8), cfg.segment_fp_rate);
+                for q in b {
+                    bf.insert_set(q);
+                }
+                bf
+            })
+            .collect();
+        (PartitionedBloom { learned, boundaries, backups }, report)
+    }
+
+    fn segment_of(boundaries: &[f32], score: f32) -> usize {
+        let k = boundaries.len() - 1;
+        let seg = (score.clamp(0.0, 1.0) * k as f32) as usize;
+        seg.min(k - 1)
+    }
+
+    /// Membership probe: top-segment scores accept directly, anything else
+    /// probes only its own segment's backup filter.
+    pub fn contains(&self, q: &[u32]) -> bool {
+        let s = self.learned.score(q);
+        let k = self.boundaries.len() - 1;
+        let seg = Self::segment_of(&self.boundaries, s);
+        if seg == k - 1 {
+            return true;
+        }
+        self.backups[seg].contains_set(q)
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Total bytes: model + all per-segment filters.
+    pub fn size_bytes(&self) -> usize {
+        self.learned.model_size_bytes()
+            + self.backups.iter().map(BloomFilter::size_bytes).sum::<usize>()
+    }
+
+    /// The inner classifier.
+    pub fn learned(&self) -> &LearnedBloom {
+        &self.learned
+    }
+
+    /// Per-segment backup sizes (items, bytes) — diagnostics.
+    pub fn segment_stats(&self) -> Vec<(usize, usize)> {
+        self.backups.iter().map(|b| (b.len(), b.size_bytes())).collect()
+    }
+
+    /// False-positive rate over a labeled workload.
+    pub fn fp_rate(&self, workload: &[(ElementSet, bool)]) -> f64 {
+        let negatives: Vec<&ElementSet> =
+            workload.iter().filter(|(_, l)| !*l).map(|(s, _)| s).collect();
+        if negatives.is_empty() {
+            return 0.0;
+        }
+        negatives.iter().filter(|q| self.contains(q)).count() as f64 / negatives.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeepSetsConfig;
+    use setlearn_data::{workload::membership_queries, GeneratorConfig};
+
+    fn cfg(vocab: u32) -> PartitionedConfig {
+        let mut learned = BloomConfig::new(DeepSetsConfig::clsm(vocab));
+        learned.epochs = 25;
+        learned.learning_rate = 1e-2;
+        PartitionedConfig::new(learned)
+    }
+
+    #[test]
+    fn no_false_negatives_on_trained_positives() {
+        let c = GeneratorConfig::rw(500, 3).generate();
+        let workload = membership_queries(&c, 400, 400, 4, 7);
+        let (p, _) = PartitionedBloom::build(&workload, &cfg(c.num_elements()));
+        for (q, label) in &workload {
+            if *label {
+                assert!(p.contains(q), "false negative on {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_partition_the_positives() {
+        let c = GeneratorConfig::rw(500, 9).generate();
+        let workload = membership_queries(&c, 300, 300, 4, 5);
+        let (p, _) = PartitionedBloom::build(&workload, &cfg(c.num_elements()));
+        assert_eq!(p.num_segments(), 4);
+        let in_filters: usize = p.segment_stats().iter().map(|&(n, _)| n).sum();
+        let positives = workload.iter().filter(|(_, l)| *l).count();
+        // Everything not in the top segment sits in exactly one filter.
+        assert!(in_filters <= positives);
+    }
+
+    #[test]
+    fn confident_negatives_rarely_pass() {
+        let c = GeneratorConfig::rw(800, 11).generate();
+        let train = membership_queries(&c, 400, 400, 4, 13);
+        let (p, _) = PartitionedBloom::build(&train, &cfg(c.num_elements()));
+        let fresh: Vec<(ElementSet, bool)> =
+            setlearn_data::negative::sample_negatives(&c, 300, 4, 99)
+                .into_iter()
+                .map(|q| (q, false))
+                .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        // Not a hard bound (unseen negatives), but the partitioning should
+        // keep the rate well below coin-flip.
+        assert!(p.fp_rate(&fresh) < 0.5, "fp rate {}", p.fp_rate(&fresh));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 score segments")]
+    fn single_segment_rejected() {
+        let c = GeneratorConfig::sd(100, 1).generate();
+        let workload = membership_queries(&c, 50, 50, 3, 1);
+        let mut bad = cfg(c.num_elements());
+        bad.num_segments = 1;
+        let _ = PartitionedBloom::build(&workload, &bad);
+    }
+}

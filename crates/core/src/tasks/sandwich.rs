@@ -1,0 +1,163 @@
+//! Sandwiched Learned Bloom Filter (Mitzenmacher, NeurIPS 2018 — the
+//! paper's reference [17]): an *initial* Bloom filter in front of the
+//! learned classifier plus the usual backup filter behind it.
+//!
+//! The front filter cheaply rejects most true negatives before they reach
+//! the model, which both sharpens the effective false-positive rate and cuts
+//! average probe latency; the backup filter keeps the no-false-negative
+//! guarantee on trained positives.
+
+use crate::tasks::bloom::{BloomBuildReport, BloomConfig, LearnedBloom};
+use serde::{Deserialize, Serialize};
+use setlearn_baselines::BloomFilter;
+use setlearn_data::ElementSet;
+
+/// Configuration of the sandwich: the inner learned filter plus the front
+/// filter's false-positive rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SandwichConfig {
+    /// Configuration of the learned middle layer.
+    pub learned: BloomConfig,
+    /// False-positive rate of the *front* filter. The front filter only has
+    /// to be permissive — it sees every query — so rates around 0.05–0.2
+    /// keep it tiny while still rejecting most negatives.
+    pub front_fp_rate: f64,
+}
+
+impl SandwichConfig {
+    /// Default sandwich over a learned-filter configuration.
+    pub fn new(learned: BloomConfig) -> Self {
+        SandwichConfig { learned, front_fp_rate: 0.1 }
+    }
+}
+
+/// Front BF → learned classifier → backup BF.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SandwichedBloom {
+    front: BloomFilter,
+    learned: LearnedBloom,
+}
+
+impl SandwichedBloom {
+    /// Trains the middle classifier on the workload and builds the front
+    /// filter over all its positives.
+    pub fn build(
+        workload: &[(ElementSet, bool)],
+        cfg: &SandwichConfig,
+    ) -> (Self, BloomBuildReport) {
+        let (learned, report) = LearnedBloom::build(workload, &cfg.learned);
+        let positives: Vec<&ElementSet> =
+            workload.iter().filter(|(_, l)| *l).map(|(s, _)| s).collect();
+        let mut front = BloomFilter::new(positives.len().max(8), cfg.front_fp_rate);
+        for p in &positives {
+            front.insert_set(p);
+        }
+        (SandwichedBloom { front, learned }, report)
+    }
+
+    /// Membership probe. The front filter short-circuits most negatives;
+    /// positives always pass it (Bloom filters have no false negatives), so
+    /// the inner guarantee is preserved.
+    pub fn contains(&self, q: &[u32]) -> bool {
+        self.front.contains_set(q) && self.learned.contains(q)
+    }
+
+    /// Whether a probe would be rejected by the front filter alone.
+    pub fn rejected_by_front(&self, q: &[u32]) -> bool {
+        !self.front.contains_set(q)
+    }
+
+    /// Total bytes: front + model + backup.
+    pub fn size_bytes(&self) -> usize {
+        self.front.size_bytes() + self.learned.size_bytes()
+    }
+
+    /// Bytes of the front filter alone.
+    pub fn front_size_bytes(&self) -> usize {
+        self.front.size_bytes()
+    }
+
+    /// The inner learned filter.
+    pub fn learned(&self) -> &LearnedBloom {
+        &self.learned
+    }
+
+    /// False-positive rate over a labeled workload (fraction of negatives
+    /// accepted).
+    pub fn fp_rate(&self, workload: &[(ElementSet, bool)]) -> f64 {
+        let negatives: Vec<&ElementSet> =
+            workload.iter().filter(|(_, l)| !*l).map(|(s, _)| s).collect();
+        if negatives.is_empty() {
+            return 0.0;
+        }
+        let fps = negatives.iter().filter(|q| self.contains(q)).count();
+        fps as f64 / negatives.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeepSetsConfig;
+    use setlearn_data::{workload::membership_queries, GeneratorConfig};
+
+    fn cfg(vocab: u32) -> SandwichConfig {
+        let mut learned = BloomConfig::new(DeepSetsConfig::clsm(vocab));
+        learned.epochs = 25;
+        learned.learning_rate = 1e-2;
+        SandwichConfig::new(learned)
+    }
+
+    #[test]
+    fn no_false_negatives_on_trained_positives() {
+        let c = GeneratorConfig::rw(500, 3).generate();
+        let workload = membership_queries(&c, 400, 400, 4, 7);
+        let (s, _) = SandwichedBloom::build(&workload, &cfg(c.num_elements()));
+        for (q, label) in &workload {
+            if *label {
+                assert!(s.contains(q), "false negative on {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn front_filter_rejects_most_fresh_negatives() {
+        let c = GeneratorConfig::rw(800, 5).generate();
+        let train = membership_queries(&c, 400, 400, 4, 9);
+        let (s, _) = SandwichedBloom::build(&train, &cfg(c.num_elements()));
+        // Fresh negatives unseen during training.
+        let fresh = setlearn_data::negative::sample_negatives(&c, 400, 4, 77);
+        assert!(!fresh.is_empty());
+        let rejected = fresh.iter().filter(|q| s.rejected_by_front(q)).count();
+        assert!(
+            rejected * 2 > fresh.len(),
+            "front filter rejected only {rejected}/{}",
+            fresh.len()
+        );
+    }
+
+    #[test]
+    fn sandwich_fp_rate_not_worse_than_learned_alone() {
+        let c = GeneratorConfig::rw(600, 11).generate();
+        let train = membership_queries(&c, 300, 300, 4, 13);
+        let (s, _) = SandwichedBloom::build(&train, &cfg(c.num_elements()));
+        let fresh: Vec<(setlearn_data::ElementSet, bool)> =
+            setlearn_data::negative::sample_negatives(&c, 300, 4, 55)
+                .into_iter()
+                .map(|q| (q, false))
+                .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        let sandwich_fp = s.fp_rate(&fresh);
+        let learned_fp = fresh
+            .iter()
+            .filter(|(q, _)| s.learned().contains(q))
+            .count() as f64
+            / fresh.len() as f64;
+        assert!(
+            sandwich_fp <= learned_fp + 1e-9,
+            "sandwich {sandwich_fp} vs learned alone {learned_fp}"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The central data object: an ordered collection of sets.
+
+use crate::set::{is_subset, normalize, ElementSet};
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection `S = [X_1, ..., X_N]` of sets of element ids
+/// (the paper's §1.1 problem statement). The collection may contain
+/// duplicate sets; individual sets contain no duplicate elements.
+///
+/// ```
+/// use setlearn_data::SetCollection;
+///
+/// // Figure 1's four tweets, dictionary-encoded.
+/// let tweets = SetCollection::new(
+///     vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 1, 3], vec![0, 1, 6]], 7);
+/// assert_eq!(tweets.cardinality(&[0, 1]), 3);      // {#pizza, #dinner}
+/// assert_eq!(tweets.first_position(&[3]), Some(1));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetCollection {
+    sets: Vec<ElementSet>,
+    num_elements: u32,
+}
+
+/// Summary statistics mirroring the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Number of sets in the collection.
+    pub num_sets: usize,
+    /// Number of distinct elements appearing in at least one set.
+    pub unique_elements: usize,
+    /// Largest single-element frequency — the maximum possible cardinality
+    /// of any query (paper §4.2).
+    pub max_cardinality: u64,
+    /// Smallest set size.
+    pub min_set_size: usize,
+    /// Largest set size.
+    pub max_set_size: usize,
+}
+
+impl SetCollection {
+    /// Builds a collection from raw sets, canonicalizing each one.
+    /// `num_elements` is the vocabulary bound; every id must be below it.
+    ///
+    /// # Panics
+    /// If a set references an id `>= num_elements` or any set is empty.
+    pub fn new(raw: Vec<Vec<u32>>, num_elements: u32) -> Self {
+        let sets: Vec<ElementSet> = raw.into_iter().map(normalize).collect();
+        for (i, s) in sets.iter().enumerate() {
+            assert!(!s.is_empty(), "set {i} is empty after normalization");
+            assert!(
+                s.iter().all(|&e| e < num_elements),
+                "set {i} references id >= vocabulary bound {num_elements}"
+            );
+        }
+        SetCollection { sets, num_elements }
+    }
+
+    /// Number of sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Vocabulary bound (ids are `0..num_elements`).
+    pub fn num_elements(&self) -> u32 {
+        self.num_elements
+    }
+
+    /// The set at position `i`.
+    pub fn get(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+
+    /// All sets in collection order.
+    pub fn sets(&self) -> &[ElementSet] {
+        &self.sets
+    }
+
+    /// Iterator over `(position, set)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.sets.iter().enumerate().map(|(i, s)| (i, &**s))
+    }
+
+    /// Ground-truth cardinality of query `q`: the number of sets `q` is a
+    /// subset of (linear scan; used for labels and test oracles).
+    pub fn cardinality(&self, q: &[u32]) -> u64 {
+        self.sets.iter().filter(|s| is_subset(q, s)).count() as u64
+    }
+
+    /// Ground-truth first position `i` with `q ⊆ S[i]`, if any.
+    pub fn first_position(&self, q: &[u32]) -> Option<usize> {
+        self.sets.iter().position(|s| is_subset(q, s))
+    }
+
+    /// Whether any set contains `q` (membership oracle).
+    pub fn contains_subset(&self, q: &[u32]) -> bool {
+        self.first_position(q).is_some()
+    }
+
+    /// Table 2-style statistics.
+    pub fn stats(&self) -> CollectionStats {
+        let mut freq = vec![0u64; self.num_elements as usize];
+        let mut seen = vec![false; self.num_elements as usize];
+        let mut min_size = usize::MAX;
+        let mut max_size = 0usize;
+        for s in &self.sets {
+            min_size = min_size.min(s.len());
+            max_size = max_size.max(s.len());
+            for &e in s.iter() {
+                freq[e as usize] += 1;
+                seen[e as usize] = true;
+            }
+        }
+        CollectionStats {
+            num_sets: self.sets.len(),
+            unique_elements: seen.iter().filter(|&&b| b).count(),
+            max_cardinality: freq.iter().copied().max().unwrap_or(0),
+            min_set_size: if self.sets.is_empty() { 0 } else { min_size },
+            max_set_size: max_size,
+        }
+    }
+
+    /// Approximate resident bytes of the stored sets (for competitor-memory
+    /// comparisons).
+    pub fn size_bytes(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<u32>() + std::mem::size_of::<ElementSet>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SetCollection {
+        // Figure 1's four hashtag sets, dictionary-encoded:
+        // pizza=0 dinner=1 yummy=2 restaurant=3 bbq=4 steak=5 dessert=6
+        SetCollection::new(
+            vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![0, 1, 3],
+                vec![0, 1, 6],
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn cardinality_matches_figure_1() {
+        let c = sample();
+        // Q = {pizza, dinner} appears in T1, T3, T4.
+        assert_eq!(c.cardinality(&[0, 1]), 3);
+        assert_eq!(c.cardinality(&[4]), 1);
+        assert_eq!(c.cardinality(&[2, 6]), 0);
+    }
+
+    #[test]
+    fn first_position_finds_earliest() {
+        let c = sample();
+        assert_eq!(c.first_position(&[0, 1]), Some(0));
+        assert_eq!(c.first_position(&[3]), Some(1));
+        assert_eq!(c.first_position(&[6]), Some(3));
+        assert_eq!(c.first_position(&[2, 4]), None);
+    }
+
+    #[test]
+    fn stats_table2_fields() {
+        let c = sample();
+        let st = c.stats();
+        assert_eq!(st.num_sets, 4);
+        assert_eq!(st.unique_elements, 7);
+        assert_eq!(st.max_cardinality, 3); // pizza and dinner each appear 3x
+        assert_eq!(st.min_set_size, 3);
+        assert_eq!(st.max_set_size, 3);
+    }
+
+    #[test]
+    fn duplicate_sets_are_allowed() {
+        let c = SetCollection::new(vec![vec![1, 2], vec![1, 2]], 3);
+        assert_eq!(c.cardinality(&[1, 2]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty after normalization")]
+    fn empty_set_rejected() {
+        let _ = SetCollection::new(vec![vec![]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary bound")]
+    fn out_of_vocab_rejected() {
+        let _ = SetCollection::new(vec![vec![5]], 3);
+    }
+}

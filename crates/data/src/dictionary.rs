@@ -1,0 +1,95 @@
+//! String-to-id dictionary encoding.
+//!
+//! The paper's compression (Algorithm 1) requires set elements to be
+//! represented as integers; this dictionary performs that mapping for
+//! string-valued elements such as hashtags or log tokens.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional string ⇄ `u32` dictionary with insertion-ordered ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dictionary {
+    to_id: HashMap<String, u32>,
+    to_str: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `s`, inserting it if unseen.
+    pub fn encode(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.to_id.get(s) {
+            return id;
+        }
+        let id = self.to_str.len() as u32;
+        self.to_id.insert(s.to_owned(), id);
+        self.to_str.push(s.to_owned());
+        id
+    }
+
+    /// Encodes a whole set of strings.
+    pub fn encode_set<S: AsRef<str>>(&mut self, items: &[S]) -> Vec<u32> {
+        items.iter().map(|s| self.encode(s.as_ref())).collect()
+    }
+
+    /// Looks up an existing id without inserting.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.to_id.get(s).copied()
+    }
+
+    /// Reverse lookup.
+    pub fn decode(&self, id: u32) -> Option<&str> {
+        self.to_str.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct strings seen.
+    pub fn len(&self) -> usize {
+        self.to_str.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_str.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("#pizza");
+        let b = d.encode("#dinner");
+        assert_eq!(d.encode("#pizza"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let mut d = Dictionary::new();
+        let id = d.encode("#bbq");
+        assert_eq!(d.decode(id), Some("#bbq"));
+        assert_eq!(d.decode(99), None);
+    }
+
+    #[test]
+    fn encode_set_maps_each_item() {
+        let mut d = Dictionary::new();
+        let ids = d.encode_set(&["a", "b", "a"]);
+        assert_eq!(ids, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let d = Dictionary::new();
+        assert_eq!(d.get("missing"), None);
+        assert!(d.is_empty());
+    }
+}

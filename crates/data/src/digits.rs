@@ -1,0 +1,78 @@
+//! The digit-sum generalization task of Figure 7 (from the original
+//! DeepSets paper): sets of numbers labeled with their sum.
+//!
+//! Training sets contain up to `max_train_size` numbers drawn from
+//! `[1, max_value]`; test sets contain exactly `m` numbers, with `m` pushed
+//! far beyond the training sizes to probe length generalization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One labeled example: multiset of values (ids `1..=max_value`) and their sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumExample {
+    /// The numbers in the set (order irrelevant; duplicates allowed, as in
+    /// the original experiment).
+    pub values: Vec<u32>,
+    /// Sum of the values.
+    pub label: f64,
+}
+
+/// Generates `n` training examples with sizes `1..=max_train_size`.
+pub fn training_sets(
+    n: usize,
+    max_train_size: usize,
+    max_value: u32,
+    seed: u64,
+) -> Vec<SumExample> {
+    assert!(max_value >= 1 && max_train_size >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let size = rng.gen_range(1..=max_train_size);
+            let values: Vec<u32> = (0..size).map(|_| rng.gen_range(1..=max_value)).collect();
+            let label = values.iter().map(|&v| v as f64).sum();
+            SumExample { values, label }
+        })
+        .collect()
+}
+
+/// Generates `n` test examples of exactly `m` numbers each.
+pub fn test_sets(n: usize, m: usize, max_value: u32, seed: u64) -> Vec<SumExample> {
+    assert!(max_value >= 1 && m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let values: Vec<u32> = (0..m).map(|_| rng.gen_range(1..=max_value)).collect();
+            let label = values.iter().map(|&v| v as f64).sum();
+            SumExample { values, label }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_sums() {
+        for ex in training_sets(100, 10, 10, 3) {
+            assert_eq!(ex.label, ex.values.iter().map(|&v| v as f64).sum::<f64>());
+            assert!(ex.values.iter().all(|&v| (1..=10).contains(&v)));
+            assert!(!ex.values.is_empty() && ex.values.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn test_sets_have_exact_size() {
+        for ex in test_sets(50, 37, 10, 4) {
+            assert_eq!(ex.values.len(), 37);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(training_sets(10, 5, 10, 1), training_sets(10, 5, 10, 1));
+        assert_ne!(training_sets(10, 5, 10, 1), training_sets(10, 5, 10, 2));
+    }
+}

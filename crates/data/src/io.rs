@@ -1,0 +1,211 @@
+//! Text import/export of set collections.
+//!
+//! The paper's real datasets arrive as text — hashtag lists from a Twitter
+//! crawl, token sets from server logs. This module reads such files (one set
+//! per line, whitespace- or comma-separated tokens), dictionary-encodes the
+//! tokens, and writes them back, so the library can be pointed at real data
+//! without custom glue.
+
+use crate::collection::SetCollection;
+use crate::dictionary::Dictionary;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Import errors.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A line produced no tokens (empty sets are not representable).
+    EmptyLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The file contained no sets at all.
+    EmptyFile,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::EmptyLine { line } => write!(f, "line {line} contains no tokens"),
+            IoError::EmptyFile => write!(f, "no sets in input"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Options for text import.
+#[derive(Debug, Clone)]
+pub struct TextFormat {
+    /// Token separators (any of these characters splits).
+    pub separators: Vec<char>,
+    /// Lines starting with this prefix are skipped (e.g. `#` headers) —
+    /// checked before tokenization.
+    pub comment_prefix: Option<String>,
+    /// Skip (rather than error on) lines with no tokens.
+    pub skip_empty_lines: bool,
+}
+
+impl Default for TextFormat {
+    fn default() -> Self {
+        TextFormat {
+            separators: vec![' ', '\t', ','],
+            comment_prefix: None,
+            skip_empty_lines: true,
+        }
+    }
+}
+
+/// Reads a collection from a reader: one set per line, dictionary-encoding
+/// every token. Returns the collection and the dictionary.
+pub fn read_sets<R: Read>(
+    reader: R,
+    format: &TextFormat,
+) -> Result<(SetCollection, Dictionary), IoError> {
+    let mut dict = Dictionary::new();
+    let mut sets: Vec<Vec<u32>> = Vec::new();
+    let buf = BufReader::new(reader);
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        if let Some(prefix) = &format.comment_prefix {
+            if line.trim_start().starts_with(prefix.as_str()) {
+                continue;
+            }
+        }
+        let tokens: Vec<&str> = line
+            .split(|c| format.separators.contains(&c))
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        if tokens.is_empty() {
+            if format.skip_empty_lines {
+                continue;
+            }
+            return Err(IoError::EmptyLine { line: i + 1 });
+        }
+        sets.push(tokens.iter().map(|t| dict.encode(t)).collect());
+    }
+    if sets.is_empty() {
+        return Err(IoError::EmptyFile);
+    }
+    let vocab = dict.len() as u32;
+    Ok((SetCollection::new(sets, vocab), dict))
+}
+
+/// Reads a collection from a file path.
+pub fn read_sets_file(
+    path: &Path,
+    format: &TextFormat,
+) -> Result<(SetCollection, Dictionary), IoError> {
+    read_sets(std::fs::File::open(path)?, format)
+}
+
+/// Writes a collection back to text, one set per line, decoding ids through
+/// the dictionary (ids without a dictionary entry print as `_<id>`).
+pub fn write_sets<W: Write>(
+    writer: W,
+    collection: &SetCollection,
+    dict: &Dictionary,
+    separator: char,
+) -> Result<(), IoError> {
+    let mut out = BufWriter::new(writer);
+    let mut line = String::new();
+    for (_, set) in collection.iter() {
+        line.clear();
+        for (i, &e) in set.iter().enumerate() {
+            if i > 0 {
+                line.push(separator);
+            }
+            match dict.decode(e) {
+                Some(tok) => line.push_str(tok),
+                None => {
+                    line.push('_');
+                    line.push_str(&e.to_string());
+                }
+            }
+        }
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_hashtag_lines() {
+        let text = "#pizza #dinner #yummy\n#restaurant,#bbq,#steak\n#pizza #dinner\n";
+        let (c, dict) = read_sets(text.as_bytes(), &TextFormat::default()).unwrap();
+        assert_eq!(c.len(), 3);
+        // pizza, dinner, yummy, restaurant, bbq, steak
+        assert_eq!(dict.len(), 6);
+        let pizza = dict.get("#pizza").unwrap();
+        let dinner = dict.get("#dinner").unwrap();
+        let mut q = vec![pizza, dinner];
+        q.sort_unstable();
+        assert_eq!(c.cardinality(&q), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header line\n\na b\n# another\nc\n";
+        let format = TextFormat {
+            comment_prefix: Some("#".into()),
+            ..TextFormat::default()
+        };
+        let (c, _) = read_sets(text.as_bytes(), &format).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn errors_on_empty_line_when_strict() {
+        let format = TextFormat { skip_empty_lines: false, ..TextFormat::default() };
+        let err = read_sets("a b\n\nc\n".as_bytes(), &format).unwrap_err();
+        assert!(matches!(err, IoError::EmptyLine { line: 2 }));
+    }
+
+    #[test]
+    fn errors_on_empty_file() {
+        assert!(matches!(
+            read_sets("".as_bytes(), &TextFormat::default()),
+            Err(IoError::EmptyFile)
+        ));
+    }
+
+    #[test]
+    fn duplicate_tokens_in_a_line_collapse() {
+        let (c, _) = read_sets("a a b\n".as_bytes(), &TextFormat::default()).unwrap();
+        assert_eq!(c.get(0).len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_sets() {
+        let text = "alpha beta\ngamma\nbeta alpha gamma\n";
+        let (c, dict) = read_sets(text.as_bytes(), &TextFormat::default()).unwrap();
+        let mut out = Vec::new();
+        write_sets(&mut out, &c, &dict, ' ').unwrap();
+        let (back, dict2) = read_sets(out.as_slice(), &TextFormat::default()).unwrap();
+        assert_eq!(back.len(), c.len());
+        for (i, set) in c.iter() {
+            // Compare decoded token sets (ids may be permuted between dicts).
+            let orig: std::collections::BTreeSet<&str> =
+                set.iter().map(|&e| dict.decode(e).unwrap()).collect();
+            let round: std::collections::BTreeSet<&str> =
+                back.get(i).iter().map(|&e| dict2.decode(e).unwrap()).collect();
+            assert_eq!(orig, round);
+        }
+    }
+}

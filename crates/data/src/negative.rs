@@ -1,0 +1,121 @@
+//! Negative training data for the learned Bloom filter (paper §7.1.2).
+//!
+//! Negatives are combinations of *existing* elements whose co-occurrence is
+//! absent from the collection. Generating the complete negative set is a
+//! combinatorial explosion, so — like the paper — we sample up to a target
+//! count, restricted to a maximum query size.
+
+use crate::collection::SetCollection;
+use crate::set::{normalize, ElementSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples up to `target` negative queries of size `2..=max_size` whose
+/// elements all exist in the collection but never co-occur as a subset.
+///
+/// Returns fewer than `target` samples if the attempt budget is exhausted —
+/// e.g. on tiny dense collections where almost every combination is present.
+pub fn sample_negatives(
+    collection: &SetCollection,
+    target: usize,
+    max_size: usize,
+    seed: u64,
+) -> Vec<ElementSet> {
+    assert!(max_size >= 2, "size-1 negatives would be out-of-vocabulary");
+    // Pool of elements that actually occur.
+    let mut present = vec![false; collection.num_elements() as usize];
+    for (_, s) in collection.iter() {
+        for &e in s {
+            present[e as usize] = true;
+        }
+    }
+    let pool: Vec<u32> =
+        (0..collection.num_elements()).filter(|&e| present[e as usize]).collect();
+    if pool.len() < 2 {
+        return Vec::new();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<ElementSet> = Vec::with_capacity(target);
+    let mut seen: HashSet<ElementSet> = HashSet::with_capacity(target);
+    let budget = target.saturating_mul(64).max(1024);
+    let mut attempts = 0usize;
+    while out.len() < target && attempts < budget {
+        attempts += 1;
+        let size = rng.gen_range(2..=max_size.min(pool.len()));
+        let mut ids = Vec::with_capacity(size);
+        while ids.len() < size {
+            let e = pool[rng.gen_range(0..pool.len())];
+            if !ids.contains(&e) {
+                ids.push(e);
+            }
+        }
+        let q = normalize(ids);
+        if seen.contains(&q) || collection.contains_subset(&q) {
+            continue;
+        }
+        seen.insert(q.clone());
+        out.push(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GeneratorConfig;
+
+    #[test]
+    fn negatives_are_absent_from_collection() {
+        let c = GeneratorConfig::rw(2_000, 17).generate();
+        let negs = sample_negatives(&c, 200, 4, 5);
+        assert!(!negs.is_empty());
+        for q in &negs {
+            assert!(!c.contains_subset(q), "negative {q:?} present");
+            assert!(q.len() >= 2 && q.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn negatives_use_existing_elements() {
+        let c = GeneratorConfig::rw(2_000, 17).generate();
+        let mut present = vec![false; c.num_elements() as usize];
+        for (_, s) in c.iter() {
+            for &e in s {
+                present[e as usize] = true;
+            }
+        }
+        for q in sample_negatives(&c, 100, 3, 5) {
+            assert!(q.iter().all(|&e| present[e as usize]));
+        }
+    }
+
+    #[test]
+    fn negatives_are_distinct() {
+        let c = GeneratorConfig::rw(2_000, 3).generate();
+        let negs = sample_negatives(&c, 300, 4, 9);
+        let set: HashSet<_> = negs.iter().cloned().collect();
+        assert_eq!(set.len(), negs.len());
+    }
+
+    #[test]
+    fn dense_tiny_collection_yields_few_or_none() {
+        // Vocabulary of 4 and every pair present: no size-2 negatives exist.
+        let c = SetCollection::new(
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]],
+            4,
+        );
+        let negs = sample_negatives(&c, 50, 2, 7);
+        assert!(negs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = GeneratorConfig::rw(1_000, 8).generate();
+        assert_eq!(
+            sample_negatives(&c, 64, 4, 2),
+            sample_negatives(&c, 64, 4, 2)
+        );
+    }
+}

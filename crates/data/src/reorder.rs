@@ -1,0 +1,119 @@
+//! Collection reordering strategies.
+//!
+//! The paper stresses that a collection of sets is stored in *arbitrary
+//! order* (§1), which is precisely what makes the learned index's
+//! key→position mapping hard — unlike one-dimensional learned indexes that
+//! sort their keys first. When the application is free to choose the storage
+//! order, reordering the collection can restore much of that learnability;
+//! the `abl_ordering` bench quantifies it. Each strategy returns the
+//! reordered collection plus the permutation (`new position -> old
+//! position`) so external row ids can be remapped.
+
+use crate::collection::SetCollection;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Applies a permutation: entry `i` of the result is `collection[perm[i]]`.
+fn apply(collection: &SetCollection, perm: &[usize]) -> SetCollection {
+    let sets: Vec<Vec<u32>> = perm.iter().map(|&i| collection.get(i).to_vec()).collect();
+    SetCollection::new(sets, collection.num_elements())
+}
+
+/// Sorts sets lexicographically by their canonical element sequence — the
+/// strongest order signal a model can exploit (similar sets land at similar
+/// positions).
+pub fn lexicographic(collection: &SetCollection) -> (SetCollection, Vec<usize>) {
+    let mut perm: Vec<usize> = (0..collection.len()).collect();
+    perm.sort_by(|&a, &b| collection.get(a).cmp(collection.get(b)));
+    (apply(collection, &perm), perm)
+}
+
+/// Sorts sets by their globally most frequent element (ties broken
+/// lexicographically) — clusters sets sharing popular elements.
+pub fn by_head_element(collection: &SetCollection) -> (SetCollection, Vec<usize>) {
+    let mut freq = vec![0u64; collection.num_elements() as usize];
+    for (_, s) in collection.iter() {
+        for &e in s {
+            freq[e as usize] += 1;
+        }
+    }
+    let head = |i: usize| -> u32 {
+        *collection
+            .get(i)
+            .iter()
+            .max_by_key(|&&e| (freq[e as usize], std::cmp::Reverse(e)))
+            .expect("non-empty set")
+    };
+    let mut perm: Vec<usize> = (0..collection.len()).collect();
+    perm.sort_by(|&a, &b| head(a).cmp(&head(b)).then_with(|| collection.get(a).cmp(collection.get(b))));
+    (apply(collection, &perm), perm)
+}
+
+/// Uniform random shuffle — the adversarial control case.
+pub fn random(collection: &SetCollection, seed: u64) -> (SetCollection, Vec<usize>) {
+    let mut perm: Vec<usize> = (0..collection.len()).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    (apply(collection, &perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GeneratorConfig;
+
+    fn is_permutation(perm: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        perm.iter().all(|&i| {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+            true
+        }) && perm.len() == n
+    }
+
+    #[test]
+    fn lexicographic_orders_sets() {
+        let c = GeneratorConfig::rw(500, 3).generate();
+        let (sorted, perm) = lexicographic(&c);
+        assert!(is_permutation(&perm, c.len()));
+        for i in 1..sorted.len() {
+            assert!(sorted.get(i - 1) <= sorted.get(i), "row {i} out of order");
+        }
+    }
+
+    #[test]
+    fn permutation_maps_back_to_originals() {
+        let c = GeneratorConfig::sd(200, 5).generate();
+        let (sorted, perm) = lexicographic(&c);
+        for (new_pos, &old_pos) in perm.iter().enumerate() {
+            assert_eq!(sorted.get(new_pos), c.get(old_pos));
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_cardinalities() {
+        let c = GeneratorConfig::rw(300, 9).generate();
+        let q = &c.get(0)[..2];
+        let truth = c.cardinality(q);
+        for (re, _) in [lexicographic(&c), by_head_element(&c), random(&c, 1)] {
+            assert_eq!(re.cardinality(q), truth);
+        }
+    }
+
+    #[test]
+    fn head_element_clusters_popular_elements() {
+        let c = GeneratorConfig::tweets(500, 7).generate();
+        let (re, perm) = by_head_element(&c);
+        assert!(is_permutation(&perm, c.len()));
+        assert_eq!(re.len(), c.len());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let c = GeneratorConfig::sd(100, 1).generate();
+        assert_eq!(random(&c, 5).1, random(&c, 5).1);
+        assert_ne!(random(&c, 5).1, random(&c, 6).1);
+    }
+}

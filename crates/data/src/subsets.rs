@@ -1,0 +1,209 @@
+//! Training-data creation: exhaustive subset statistics (paper §7.1.1).
+//!
+//! For the regression tasks the model trains on subsets of the stored sets,
+//! labeled with their cardinality or first index position. Following the
+//! paper's observation that subsets above size six are already infrequent,
+//! enumeration is capped by `max_subset_size`.
+
+use crate::collection::SetCollection;
+use crate::set::{for_each_subset, ElementSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics for one enumerated subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsetInfo {
+    /// Number of sets the subset occurs in.
+    pub count: u64,
+    /// First collection position containing the subset.
+    pub first_pos: u32,
+    /// Last collection position containing the subset.
+    pub last_pos: u32,
+}
+
+/// Exhaustive subset → (cardinality, first position) statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SubsetIndex {
+    map: HashMap<ElementSet, SubsetInfo>,
+    max_subset_size: usize,
+}
+
+impl SubsetIndex {
+    /// Enumerates all subsets of every set in `collection` up to
+    /// `max_subset_size` elements, accumulating counts and first positions.
+    pub fn build(collection: &SetCollection, max_subset_size: usize) -> Self {
+        assert!(max_subset_size >= 1, "max_subset_size must be >= 1");
+        let mut map: HashMap<ElementSet, SubsetInfo> = HashMap::new();
+        for (pos, set) in collection.iter() {
+            for_each_subset(set, max_subset_size, |sub| {
+                map.entry(sub.into())
+                    .and_modify(|info| {
+                        info.count += 1;
+                        info.last_pos = pos as u32;
+                    })
+                    .or_insert(SubsetInfo {
+                        count: 1,
+                        first_pos: pos as u32,
+                        last_pos: pos as u32,
+                    });
+            });
+        }
+        SubsetIndex { map, max_subset_size }
+    }
+
+    /// Number of distinct subsets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Enumeration cap this index was built with.
+    pub fn max_subset_size(&self) -> usize {
+        self.max_subset_size
+    }
+
+    /// Lookup of a canonical (sorted) query.
+    pub fn get(&self, q: &[u32]) -> Option<SubsetInfo> {
+        self.map.get(q).copied()
+    }
+
+    /// Iterates `(subset, info)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ElementSet, &SubsetInfo)> {
+        self.map.iter()
+    }
+
+    /// Training pairs for the cardinality task: `(subset, count)`, sorted by
+    /// subset so downstream shuffling is reproducible across processes
+    /// (std's HashMap iteration order is randomized per run).
+    pub fn cardinality_pairs(&self) -> Vec<(ElementSet, f64)> {
+        let mut pairs: Vec<(ElementSet, f64)> = self
+            .map
+            .iter()
+            .map(|(s, info)| (s.clone(), info.count as f64))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// Training pairs for the index task: `(subset, first position)`,
+    /// deterministically ordered (see [`SubsetIndex::cardinality_pairs`]).
+    pub fn index_pairs(&self) -> Vec<(ElementSet, f64)> {
+        let mut pairs: Vec<(ElementSet, f64)> = self
+            .map
+            .iter()
+            .map(|(s, info)| (s.clone(), info.first_pos as f64))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// Training pairs targeting the *last* occurrence (paper §4.1 supports
+    /// either endpoint), deterministically ordered.
+    pub fn index_pairs_last(&self) -> Vec<(ElementSet, f64)> {
+        let mut pairs: Vec<(ElementSet, f64)> = self
+            .map
+            .iter()
+            .map(|(s, info)| (s.clone(), info.last_pos as f64))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// The largest observed cardinality (always attained by some single
+    /// element — paper §4.2).
+    pub fn max_cardinality(&self) -> u64 {
+        self.map.values().map(|i| i.count).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SetCollection {
+        SetCollection::new(
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 1, 3], vec![0, 1, 6]],
+            7,
+        )
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let c = sample();
+        let idx = SubsetIndex::build(&c, 3);
+        for (sub, info) in idx.iter() {
+            assert_eq!(info.count, c.cardinality(sub), "subset {sub:?}");
+            assert_eq!(
+                info.first_pos as usize,
+                c.first_position(sub).unwrap(),
+                "subset {sub:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_query() {
+        let idx = SubsetIndex::build(&sample(), 3);
+        let info = idx.get(&[0, 1]).unwrap();
+        assert_eq!(info.count, 3);
+        assert_eq!(info.first_pos, 0);
+    }
+
+    #[test]
+    fn cap_limits_subset_size() {
+        let idx = SubsetIndex::build(&sample(), 2);
+        assert!(idx.get(&[0, 1, 2]).is_none());
+        assert!(idx.get(&[0, 1]).is_some());
+    }
+
+    #[test]
+    fn subset_count_totals() {
+        // Each of the 4 size-3 sets yields 7 subsets at cap 3; overlaps merge.
+        let idx = SubsetIndex::build(&sample(), 3);
+        let mut distinct = std::collections::HashSet::new();
+        for (_, set) in sample().iter() {
+            crate::set::for_each_subset(set, 3, |s| {
+                distinct.insert(s.to_vec());
+            });
+        }
+        assert_eq!(idx.len(), distinct.len());
+    }
+
+    #[test]
+    fn max_cardinality_is_single_element_frequency() {
+        let idx = SubsetIndex::build(&sample(), 3);
+        assert_eq!(idx.max_cardinality(), 3);
+        assert_eq!(idx.max_cardinality(), sample().stats().max_cardinality);
+    }
+
+    #[test]
+    fn pairs_have_consistent_lengths() {
+        let idx = SubsetIndex::build(&sample(), 2);
+        assert_eq!(idx.cardinality_pairs().len(), idx.len());
+        assert_eq!(idx.index_pairs().len(), idx.len());
+        assert_eq!(idx.index_pairs_last().len(), idx.len());
+    }
+
+    #[test]
+    fn last_position_matches_brute_force() {
+        let c = sample();
+        let idx = SubsetIndex::build(&c, 3);
+        // {0, 1} appears at positions 0, 2, 3 -> last is 3.
+        let info = idx.get(&[0, 1]).unwrap();
+        assert_eq!(info.last_pos, 3);
+        // Singletons occurring once have first == last.
+        let info = idx.get(&[4]).unwrap();
+        assert_eq!(info.first_pos, info.last_pos);
+        for (sub, info) in idx.iter() {
+            let brute_last = (0..c.len())
+                .rev()
+                .find(|&i| crate::set::is_subset(sub, c.get(i)))
+                .unwrap();
+            assert_eq!(info.last_pos as usize, brute_last, "subset {sub:?}");
+        }
+    }
+}

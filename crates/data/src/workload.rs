@@ -1,0 +1,98 @@
+//! Query workloads: subsets of stored sets "having both few and many
+//! elements" (paper §8.1.1), plus mixed positive/negative membership
+//! workloads for the Bloom-filter task.
+
+use crate::collection::SetCollection;
+use crate::negative::sample_negatives;
+use crate::set::ElementSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `n` positive queries: random-size subsets of randomly chosen sets.
+pub fn positive_queries(collection: &SetCollection, n: usize, seed: u64) -> Vec<ElementSet> {
+    assert!(!collection.is_empty(), "cannot sample queries from an empty collection");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let set = collection.get(rng.gen_range(0..collection.len()));
+        let size = rng.gen_range(1..=set.len());
+        // Reservoir-free subset draw: shuffle indices and take a prefix of
+        // the (already canonical) set, then re-sort.
+        let mut picked: Vec<u32> = Vec::with_capacity(size);
+        let mut indices: Vec<usize> = (0..set.len()).collect();
+        for i in 0..size {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+            picked.push(set[indices[i]]);
+        }
+        picked.sort_unstable();
+        out.push(picked.into_boxed_slice());
+    }
+    out
+}
+
+/// A labeled membership workload: `(query, exists_in_collection)`.
+pub fn membership_queries(
+    collection: &SetCollection,
+    n_pos: usize,
+    n_neg: usize,
+    max_neg_size: usize,
+    seed: u64,
+) -> Vec<(ElementSet, bool)> {
+    let mut out: Vec<(ElementSet, bool)> = Vec::with_capacity(n_pos + n_neg);
+    for q in positive_queries(collection, n_pos, seed) {
+        out.push((q, true));
+    }
+    for q in sample_negatives(collection, n_neg, max_neg_size, seed.wrapping_add(1)) {
+        out.push((q, false));
+    }
+    // Deterministic interleave so batching sees both classes.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GeneratorConfig;
+
+    #[test]
+    fn positives_are_subsets_of_some_set() {
+        let c = GeneratorConfig::rw(1_000, 4).generate();
+        for q in positive_queries(&c, 200, 9) {
+            assert!(c.contains_subset(&q), "query {q:?} not found");
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn positives_span_small_and_large_sizes() {
+        let c = GeneratorConfig::rw(2_000, 4).generate();
+        let qs = positive_queries(&c, 500, 10);
+        let min = qs.iter().map(|q| q.len()).min().unwrap();
+        let max = qs.iter().map(|q| q.len()).max().unwrap();
+        assert_eq!(min, 1);
+        assert!(max >= 5, "max query size {max}");
+    }
+
+    #[test]
+    fn membership_labels_are_correct() {
+        let c = GeneratorConfig::rw(1_000, 4).generate();
+        let w = membership_queries(&c, 100, 100, 4, 21);
+        assert!(w.iter().any(|(_, l)| *l));
+        assert!(w.iter().any(|(_, l)| !*l));
+        for (q, label) in &w {
+            assert_eq!(c.contains_subset(q), *label);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let c = GeneratorConfig::sd(500, 1).generate();
+        assert_eq!(positive_queries(&c, 50, 3), positive_queries(&c, 50, 3));
+    }
+}

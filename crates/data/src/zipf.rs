@@ -1,0 +1,103 @@
+//! Zipf-distributed sampling over a finite vocabulary.
+//!
+//! The paper's real-world datasets are heavy-tailed — "hashtag frequency
+//! distribution follows Zipf's law" (§7.1.1) — so the synthetic stand-ins
+//! sample elements from a Zipf(s) distribution via an inverse-CDF table.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inverse-CDF Zipf sampler over ranks `0..n` with exponent `s`.
+///
+/// Rank `k` (0-based) has probability proportional to `1 / (k+1)^s`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use setlearn_data::Zipf;
+///
+/// let zipf = Zipf::new(1_000, 1.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be positive; `s >= 0` (0 = uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_large() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 10 by roughly 11^1.5 ≈ 36x.
+        assert!(counts[0] > counts[10] * 10, "rank0={} rank10={}", counts[0], counts[10]);
+        // All samples in range.
+        assert_eq!(counts.iter().sum::<usize>(), 50_000);
+    }
+
+    #[test]
+    fn single_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,494 @@
+//! The query engine: tables, optional inverted indexes, estimator UDFs, and
+//! the three COUNT execution strategies of Table 12.
+
+use crate::inverted::InvertedIndex;
+use crate::sql::{parse_count, CountQuery, ExecMode, ParseError, Verb};
+use crate::table::SetTable;
+use parking_lot::RwLock;
+use setlearn::tasks::{LearnedBloom, LearnedCardinality, LearnedSetIndex};
+use setlearn_data::normalize;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An estimator UDF: canonical query set → estimated count.
+pub type EstimatorUdf = Arc<dyn Fn(&[u32]) -> f64 + Send + Sync>;
+
+/// Engine errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Unknown table.
+    NoSuchTable(String),
+    /// The queried column does not exist on the table.
+    NoSuchColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// `USING index` without a built index.
+    NoIndex(String),
+    /// `USING estimate` without a registered estimator.
+    NoEstimator(String),
+    /// `SELECT EXISTS ... USING estimate` without a registered membership
+    /// filter.
+    NoMembershipFilter(String),
+    /// `SELECT FIRST ... USING estimate` without a registered learned index.
+    NoLearnedIndex(String),
+    /// Query text failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            EngineError::NoSuchColumn { table, column } => {
+                write!(f, "no column '{column}' on table '{table}'")
+            }
+            EngineError::NoIndex(t) => write!(f, "no inverted index on table '{t}'"),
+            EngineError::NoEstimator(t) => write!(f, "no estimator registered on table '{t}'"),
+            EngineError::NoMembershipFilter(t) => {
+                write!(f, "no membership filter registered on table '{t}'")
+            }
+            EngineError::NoLearnedIndex(t) => {
+                write!(f, "no learned index registered on table '{t}'")
+            }
+            EngineError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+/// Result of a query execution. The meaning of `count` depends on the verb:
+/// COUNT → the (possibly estimated) count; EXISTS → 1.0 / 0.0;
+/// FIRST → the position, or -1.0 when no set contains the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountResult {
+    /// Verb-dependent result value (see the struct docs).
+    pub count: f64,
+    /// Whether the answer is exact.
+    pub exact: bool,
+    /// The strategy that produced it.
+    pub mode: ExecMode,
+    /// The executed verb.
+    pub verb: Verb,
+}
+
+struct TableEntry {
+    table: SetTable,
+    column: String,
+    index: Option<InvertedIndex>,
+    estimator: Option<EstimatorUdf>,
+    membership: Option<LearnedBloom>,
+    learned_index: Option<LearnedSetIndex>,
+}
+
+/// An in-memory engine hosting set-valued tables.
+///
+/// Concurrency: reads take a shared lock; registration takes an exclusive
+/// lock, mirroring a catalog.
+pub struct Engine {
+    tables: RwLock<HashMap<String, TableEntry>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine { tables: RwLock::new(HashMap::new()) }
+    }
+
+    /// Registers a table; `column` names its set-valued column.
+    pub fn create_table(&self, table: SetTable, column: impl Into<String>) {
+        let name = table.name().to_owned();
+        self.tables.write().insert(
+            name,
+            TableEntry {
+                table,
+                column: column.into(),
+                index: None,
+                estimator: None,
+                membership: None,
+                learned_index: None,
+            },
+        );
+    }
+
+    /// Builds the inverted index on a table (Table 12's "with index").
+    pub fn create_index(&self, table: &str) -> Result<(), EngineError> {
+        let mut tables = self.tables.write();
+        let entry =
+            tables.get_mut(table).ok_or_else(|| EngineError::NoSuchTable(table.into()))?;
+        entry.index = Some(InvertedIndex::build(entry.table.collection()));
+        Ok(())
+    }
+
+    /// Registers a learned cardinality estimator as the table's UDF.
+    pub fn register_estimator(
+        &self,
+        table: &str,
+        estimator: LearnedCardinality,
+    ) -> Result<(), EngineError> {
+        self.register_estimator_udf(table, Arc::new(move |q| estimator.estimate(q)))
+    }
+
+    /// Registers a learned Bloom filter as the table's membership structure
+    /// (`SELECT EXISTS ... USING estimate`).
+    pub fn register_membership(
+        &self,
+        table: &str,
+        filter: LearnedBloom,
+    ) -> Result<(), EngineError> {
+        let mut tables = self.tables.write();
+        let entry =
+            tables.get_mut(table).ok_or_else(|| EngineError::NoSuchTable(table.into()))?;
+        entry.membership = Some(filter);
+        Ok(())
+    }
+
+    /// Registers a learned set index as the table's position structure
+    /// (`SELECT FIRST ... USING estimate`).
+    pub fn register_learned_index(
+        &self,
+        table: &str,
+        index: LearnedSetIndex,
+    ) -> Result<(), EngineError> {
+        let mut tables = self.tables.write();
+        let entry =
+            tables.get_mut(table).ok_or_else(|| EngineError::NoSuchTable(table.into()))?;
+        entry.learned_index = Some(index);
+        Ok(())
+    }
+
+    /// Registers an arbitrary estimator UDF.
+    pub fn register_estimator_udf(
+        &self,
+        table: &str,
+        udf: EstimatorUdf,
+    ) -> Result<(), EngineError> {
+        let mut tables = self.tables.write();
+        let entry =
+            tables.get_mut(table).ok_or_else(|| EngineError::NoSuchTable(table.into()))?;
+        entry.estimator = Some(udf);
+        Ok(())
+    }
+
+    /// Executes a SQL COUNT query (see [`crate::sql`] for the grammar).
+    /// Without a `USING` clause the engine picks the cheapest available
+    /// exact plan: index if built, else sequential scan.
+    pub fn execute_sql(&self, sql: &str) -> Result<CountResult, EngineError> {
+        self.execute(&parse_count(sql)?)
+    }
+
+    /// Executes a parsed COUNT query.
+    pub fn execute(&self, q: &CountQuery) -> Result<CountResult, EngineError> {
+        let tables = self.tables.read();
+        let entry =
+            tables.get(&q.table).ok_or_else(|| EngineError::NoSuchTable(q.table.clone()))?;
+        if entry.column != q.column {
+            return Err(EngineError::NoSuchColumn {
+                table: q.table.clone(),
+                column: q.column.clone(),
+            });
+        }
+        let canonical = normalize(q.elements.clone());
+        let mode = q.mode.unwrap_or(if entry.index.is_some() {
+            ExecMode::Index
+        } else {
+            ExecMode::SeqScan
+        });
+        let verb = q.verb;
+        let done = |count: f64, exact: bool| CountResult { count, exact, mode, verb };
+        match (verb, mode) {
+            (Verb::Count, ExecMode::SeqScan) => {
+                Ok(done(entry.table.seq_scan_count(&canonical) as f64, true))
+            }
+            (Verb::Count, ExecMode::Index) => {
+                let idx =
+                    entry.index.as_ref().ok_or_else(|| EngineError::NoIndex(q.table.clone()))?;
+                Ok(done(idx.count_subset(&canonical) as f64, true))
+            }
+            (Verb::Count, ExecMode::Estimate) => {
+                let est = entry
+                    .estimator
+                    .as_ref()
+                    .ok_or_else(|| EngineError::NoEstimator(q.table.clone()))?;
+                Ok(done(est(&canonical), false))
+            }
+            (Verb::Exists, ExecMode::SeqScan) => Ok(done(
+                entry.table.collection().contains_subset(&canonical) as u8 as f64,
+                true,
+            )),
+            (Verb::Exists, ExecMode::Index) => {
+                let idx =
+                    entry.index.as_ref().ok_or_else(|| EngineError::NoIndex(q.table.clone()))?;
+                Ok(done((idx.count_subset(&canonical) > 0) as u8 as f64, true))
+            }
+            (Verb::Exists, ExecMode::Estimate) => {
+                let filter = entry
+                    .membership
+                    .as_ref()
+                    .ok_or_else(|| EngineError::NoMembershipFilter(q.table.clone()))?;
+                Ok(done(filter.contains(&canonical) as u8 as f64, false))
+            }
+            (Verb::First, ExecMode::SeqScan) => Ok(done(
+                entry
+                    .table
+                    .collection()
+                    .first_position(&canonical)
+                    .map_or(-1.0, |p| p as f64),
+                true,
+            )),
+            (Verb::First, ExecMode::Index) => {
+                let idx =
+                    entry.index.as_ref().ok_or_else(|| EngineError::NoIndex(q.table.clone()))?;
+                Ok(done(
+                    idx.rows_with_subset(&canonical)
+                        .first()
+                        .map_or(-1.0, |&p| p as f64),
+                    true,
+                ))
+            }
+            (Verb::First, ExecMode::Estimate) => {
+                let li = entry
+                    .learned_index
+                    .as_ref()
+                    .ok_or_else(|| EngineError::NoLearnedIndex(q.table.clone()))?;
+                Ok(done(
+                    li.lookup(entry.table.collection(), &canonical)
+                        .map_or(-1.0, |p| p as f64),
+                    // The hybrid index verifies by scanning: answers are
+                    // exact for queries within its trained contract.
+                    true,
+                ))
+            }
+        }
+    }
+
+    /// Inverted-index bytes for a table (0 when not built).
+    pub fn index_size_bytes(&self, table: &str) -> Result<usize, EngineError> {
+        let tables = self.tables.read();
+        let entry =
+            tables.get(table).ok_or_else(|| EngineError::NoSuchTable(table.into()))?;
+        Ok(entry.index.as_ref().map_or(0, InvertedIndex::size_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn_data::{GeneratorConfig, SetCollection};
+
+    fn engine_with(c: SetCollection) -> Engine {
+        let e = Engine::new();
+        e.create_table(SetTable::from_collection("t", c), "tags");
+        e
+    }
+
+    #[test]
+    fn seqscan_and_index_agree() {
+        let c = GeneratorConfig::rw(800, 5).generate();
+        let e = engine_with(c.clone());
+        e.create_index("t").unwrap();
+        for (_, set) in c.iter().take(30) {
+            let q = format!(
+                "SELECT COUNT(*) FROM t WHERE tags @> {{{}}}",
+                set.iter()
+                    .take(3)
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let seq = e.execute_sql(&format!("{q} USING seqscan")).unwrap();
+            let idx = e.execute_sql(&format!("{q} USING index")).unwrap();
+            assert_eq!(seq.count, idx.count);
+            assert!(seq.exact && idx.exact);
+        }
+    }
+
+    #[test]
+    fn default_plan_prefers_index_when_built() {
+        let c = GeneratorConfig::sd(200, 2).generate();
+        let e = engine_with(c);
+        let r = e.execute_sql("SELECT COUNT(*) FROM t WHERE tags @> {1}").unwrap();
+        assert_eq!(r.mode, ExecMode::SeqScan);
+        e.create_index("t").unwrap();
+        let r = e.execute_sql("SELECT COUNT(*) FROM t WHERE tags @> {1}").unwrap();
+        assert_eq!(r.mode, ExecMode::Index);
+    }
+
+    #[test]
+    fn estimator_udf_plugs_in() {
+        let c = GeneratorConfig::sd(200, 2).generate();
+        let e = engine_with(c);
+        e.register_estimator_udf("t", Arc::new(|q| q.len() as f64 * 10.0)).unwrap();
+        let r = e
+            .execute_sql("SELECT COUNT(*) FROM t WHERE tags @> {1, 2} USING estimate")
+            .unwrap();
+        assert_eq!(r.count, 20.0);
+        assert!(!r.exact);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let c = GeneratorConfig::sd(100, 2).generate();
+        let e = engine_with(c);
+        assert!(matches!(
+            e.execute_sql("SELECT COUNT(*) FROM nope WHERE tags @> {1}"),
+            Err(EngineError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            e.execute_sql("SELECT COUNT(*) FROM t WHERE wrong @> {1}"),
+            Err(EngineError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            e.execute_sql("SELECT COUNT(*) FROM t WHERE tags @> {1} USING index"),
+            Err(EngineError::NoIndex(_))
+        ));
+        assert!(matches!(
+            e.execute_sql("SELECT COUNT(*) FROM t WHERE tags @> {1} USING estimate"),
+            Err(EngineError::NoEstimator(_))
+        ));
+        assert!(matches!(
+            e.execute_sql("SELECT BANANA"),
+            Err(EngineError::Parse(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod verb_tests {
+    use super::*;
+    use crate::table::SetTable;
+    use setlearn::hybrid::GuidedConfig;
+    use setlearn::model::DeepSetsConfig;
+    use setlearn::tasks::{BloomConfig, IndexConfig, LearnedBloom, LearnedSetIndex};
+    use setlearn_data::{workload::membership_queries, GeneratorConfig};
+
+    fn quick_guided() -> GuidedConfig {
+        GuidedConfig {
+            warmup_epochs: 8,
+            rounds: 1,
+            epochs_per_round: 4,
+            percentile: 0.9,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn exists_verb_matches_oracle_on_exact_plans() {
+        let c = GeneratorConfig::rw(400, 6).generate();
+        let e = Engine::new();
+        e.create_table(SetTable::from_collection("t", c.clone()), "tags");
+        e.create_index("t").unwrap();
+        for (_, set) in c.iter().take(20) {
+            let lit = set[..2.min(set.len())]
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let seq = e
+                .execute_sql(&format!("SELECT EXISTS FROM t WHERE tags @> {{{lit}}} USING seqscan"))
+                .unwrap();
+            let idx = e
+                .execute_sql(&format!("SELECT EXISTS FROM t WHERE tags @> {{{lit}}} USING index"))
+                .unwrap();
+            assert_eq!(seq.count, 1.0);
+            assert_eq!(idx.count, 1.0);
+            assert_eq!(seq.verb, Verb::Exists);
+        }
+        // A guaranteed-absent combination.
+        let absent = e
+            .execute_sql("SELECT EXISTS FROM t WHERE tags @> {0, 1, 2, 3, 4, 5, 6, 7, 8}")
+            .unwrap();
+        assert_eq!(absent.count, 0.0);
+    }
+
+    #[test]
+    fn first_verb_matches_oracle_on_exact_plans() {
+        let c = GeneratorConfig::rw(300, 9).generate();
+        let e = Engine::new();
+        e.create_table(SetTable::from_collection("t", c.clone()), "tags");
+        e.create_index("t").unwrap();
+        for (_, set) in c.iter().take(20) {
+            let lit = set[..2.min(set.len())]
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let q: Vec<u32> = set[..2.min(set.len())].to_vec();
+            let want = c.first_position(&q).map_or(-1.0, |p| p as f64);
+            let seq = e
+                .execute_sql(&format!("SELECT FIRST FROM t WHERE tags @> {{{lit}}} USING seqscan"))
+                .unwrap();
+            let idx = e
+                .execute_sql(&format!("SELECT FIRST FROM t WHERE tags @> {{{lit}}} USING index"))
+                .unwrap();
+            assert_eq!(seq.count, want);
+            assert_eq!(idx.count, want);
+        }
+    }
+
+    #[test]
+    fn learned_structures_serve_exists_and_first_estimates() {
+        let c = GeneratorConfig::rw(400, 11).generate();
+        let e = Engine::new();
+        e.create_table(SetTable::from_collection("t", c.clone()), "tags");
+
+        let workload = membership_queries(&c, 300, 300, 4, 3);
+        let mut bcfg = BloomConfig::new(DeepSetsConfig::clsm(c.num_elements()));
+        bcfg.epochs = 15;
+        let (filter, _) = LearnedBloom::build(&workload, &bcfg);
+        e.register_membership("t", filter).unwrap();
+
+        let mut icfg = IndexConfig::new(DeepSetsConfig::clsm(c.num_elements()));
+        icfg.guided = quick_guided();
+        icfg.max_subset_size = 2;
+        let (index, _) = LearnedSetIndex::build(&c, &icfg);
+        e.register_learned_index("t", index).unwrap();
+
+        let set = c.get(42);
+        let lit = set[..2].iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+        let exists = e
+            .execute_sql(&format!("SELECT EXISTS FROM t WHERE tags @> {{{lit}}} USING estimate"))
+            .unwrap();
+        assert_eq!(exists.count, 1.0, "trained positive must pass");
+        assert!(!exists.exact);
+
+        let first = e
+            .execute_sql(&format!("SELECT FIRST FROM t WHERE tags @> {{{lit}}} USING estimate"))
+            .unwrap();
+        let q: Vec<u32> = set[..2].to_vec();
+        assert_eq!(first.count, c.first_position(&q).unwrap() as f64);
+    }
+
+    #[test]
+    fn missing_learned_structures_error_specifically() {
+        let c = GeneratorConfig::sd(100, 2).generate();
+        let e = Engine::new();
+        e.create_table(SetTable::from_collection("t", c), "tags");
+        assert!(matches!(
+            e.execute_sql("SELECT EXISTS FROM t WHERE tags @> {1} USING estimate"),
+            Err(EngineError::NoMembershipFilter(_))
+        ));
+        assert!(matches!(
+            e.execute_sql("SELECT FIRST FROM t WHERE tags @> {1} USING estimate"),
+            Err(EngineError::NoLearnedIndex(_))
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! Inverted index over the set column — the engine's analogue of
+//! PostgreSQL's hstore/GIN index in Table 12.
+
+use setlearn_data::SetCollection;
+
+/// Element → sorted posting list of row positions.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<u32>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index over the collection.
+    pub fn build(collection: &SetCollection) -> Self {
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); collection.num_elements() as usize];
+        for (pos, set) in collection.iter() {
+            for &e in set {
+                postings[e as usize].push(pos as u32);
+            }
+        }
+        InvertedIndex { postings }
+    }
+
+    /// Exact COUNT of rows containing all of `query` via posting-list
+    /// intersection (smallest list drives the probe order).
+    pub fn count_subset(&self, query: &[u32]) -> u64 {
+        if query.is_empty() {
+            return 0;
+        }
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(query.len());
+        for &e in query {
+            match self.postings.get(e as usize) {
+                Some(l) if !l.is_empty() => lists.push(l),
+                _ => return 0,
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let (first, rest) = lists.split_first().expect("non-empty");
+        let mut count = 0u64;
+        'outer: for &row in *first {
+            for l in rest {
+                if l.binary_search(&row).is_err() {
+                    continue 'outer;
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Rows containing all of `query` (for SELECT-style access).
+    pub fn rows_with_subset(&self, query: &[u32]) -> Vec<u32> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(query.len());
+        for &e in query {
+            match self.postings.get(e as usize) {
+                Some(l) if !l.is_empty() => lists.push(l),
+                _ => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let (first, rest) = lists.split_first().expect("non-empty");
+        first
+            .iter()
+            .copied()
+            .filter(|row| rest.iter().all(|l| l.binary_search(row).is_ok()))
+            .collect()
+    }
+
+    /// Approximate resident bytes of the posting lists.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .postings
+                .iter()
+                .map(|p| p.len() * 4 + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn_data::GeneratorConfig;
+
+    #[test]
+    fn intersection_counts_match_seq_scan() {
+        let c = GeneratorConfig::rw(1_000, 77).generate();
+        let idx = InvertedIndex::build(&c);
+        for (_, set) in c.iter().take(50) {
+            let q = &set[..set.len().min(3)];
+            assert_eq!(idx.count_subset(q), c.cardinality(q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn rows_are_exactly_the_matching_ones() {
+        let c = SetCollection::new(vec![vec![0, 1], vec![1, 2], vec![0, 1, 2]], 3);
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.rows_with_subset(&[0, 1]), vec![0, 2]);
+        assert_eq!(idx.rows_with_subset(&[2]), vec![1, 2]);
+        assert!(idx.rows_with_subset(&[0, 2, 1, 0]).contains(&2));
+    }
+
+    #[test]
+    fn missing_or_empty_queries() {
+        let c = SetCollection::new(vec![vec![0, 1]], 5);
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.count_subset(&[]), 0);
+        assert_eq!(idx.count_subset(&[4]), 0);
+        assert_eq!(idx.count_subset(&[9]), 0); // out of vocabulary entirely
+    }
+}

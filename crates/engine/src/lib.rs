@@ -1,0 +1,36 @@
+//! # setlearn-engine
+//!
+//! A small in-memory query engine with a set-valued column type, standing in
+//! for the paper's PostgreSQL 13 + hstore integration experiment (§8.5.3,
+//! Table 12). It supports three COUNT strategies over subset-containment
+//! predicates:
+//!
+//! * sequential scan (PostgreSQL without an index),
+//! * inverted-index posting-list intersection (PostgreSQL's hstore index),
+//! * a pluggable learned-estimator UDF ([`setlearn::tasks::LearnedCardinality`]).
+//!
+//! Queries are expressed in a tiny SQL dialect:
+//!
+//! ```
+//! use setlearn_engine::{Engine, SetTable};
+//! use setlearn_data::GeneratorConfig;
+//!
+//! let collection = GeneratorConfig::sd(100, 1).generate();
+//! let engine = Engine::new();
+//! engine.create_table(SetTable::from_collection("tweets", collection), "tags");
+//! engine.create_index("tweets").unwrap();
+//! let r = engine.execute_sql("SELECT COUNT(*) FROM tweets WHERE tags @> {1, 2}").unwrap();
+//! assert!(r.exact);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod inverted;
+pub mod sql;
+pub mod table;
+
+pub use engine::{CountResult, Engine, EngineError, EstimatorUdf};
+pub use inverted::InvertedIndex;
+pub use sql::{parse_count, CountQuery, ExecMode, ParseError, Verb};
+pub use table::SetTable;

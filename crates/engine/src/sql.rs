@@ -1,0 +1,296 @@
+//! A tiny SQL-flavored query language for subset queries:
+//!
+//! ```text
+//! SELECT COUNT(*) FROM tweets WHERE tags @> {3, 17, 42} [USING seqscan|index|estimate]
+//! SELECT EXISTS   FROM tweets WHERE tags @> {3, 17}     [USING ...]
+//! SELECT FIRST    FROM tweets WHERE tags @> {3, 17}     [USING ...]
+//! ```
+//!
+//! `@>` is PostgreSQL's containment operator; the optional `USING` clause
+//! pins the execution strategy (Table 12 compares all three). The three verbs
+//! map onto the paper's three tasks: COUNT → cardinality estimation,
+//! EXISTS → membership, FIRST → indexing.
+
+use std::fmt;
+
+/// Execution strategy for a COUNT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Full scan of the table (PostgreSQL without an index).
+    SeqScan,
+    /// Inverted-index intersection (PostgreSQL with an index).
+    Index,
+    /// Learned estimator UDF (approximate).
+    Estimate,
+}
+
+/// The query verb: which of the paper's three tasks the query exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// `SELECT COUNT(*)` — cardinality.
+    Count,
+    /// `SELECT EXISTS` — membership.
+    Exists,
+    /// `SELECT FIRST` — first-occurrence position.
+    First,
+}
+
+/// A parsed `SELECT <verb> ... WHERE col @> {..}` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountQuery {
+    /// The query verb.
+    pub verb: Verb,
+    /// Target table.
+    pub table: String,
+    /// Set-valued column name.
+    pub column: String,
+    /// Queried element ids.
+    pub elements: Vec<u32>,
+    /// Execution strategy, if pinned by `USING`.
+    pub mode: Option<ExecMode>,
+}
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u32),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Star,
+    Contains, // @>
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token::RBrace);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            ';' => {
+                chars.next();
+            }
+            '@' => {
+                chars.next();
+                if chars.next() != Some('>') {
+                    return Err(ParseError("expected '>' after '@'".into()));
+                }
+                tokens.push(Token::Contains);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n * 10 + v as u64;
+                        if n > u32::MAX as u64 {
+                            return Err(ParseError("element id overflows u32".into()));
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Number(n as u32));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(ParseError(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn next(&mut self) -> Result<&Token, ParseError> {
+        let t = self.tokens.get(self.pos).ok_or_else(|| ParseError("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if *got == t {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s.clone()),
+            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a COUNT/EXISTS/FIRST query.
+pub fn parse_count(input: &str) -> Result<CountQuery, ParseError> {
+    let mut p = Parser { tokens: tokenize(input)?, pos: 0 };
+    p.expect_keyword("SELECT")?;
+    let verb_token = p.next()?.clone();
+    let verb = match verb_token {
+        Token::Ident(s) if s.eq_ignore_ascii_case("COUNT") => {
+            p.expect(Token::LParen)?;
+            p.expect(Token::Star)?;
+            p.expect(Token::RParen)?;
+            Verb::Count
+        }
+        Token::Ident(s) if s.eq_ignore_ascii_case("EXISTS") => Verb::Exists,
+        Token::Ident(s) if s.eq_ignore_ascii_case("FIRST") => Verb::First,
+        other => {
+            return Err(ParseError(format!(
+                "expected COUNT(*), EXISTS or FIRST, found {other:?}"
+            )))
+        }
+    };
+    p.expect_keyword("FROM")?;
+    let table = p.ident()?;
+    p.expect_keyword("WHERE")?;
+    let column = p.ident()?;
+    p.expect(Token::Contains)?;
+    p.expect(Token::LBrace)?;
+    let mut elements = Vec::new();
+    loop {
+        match p.next()? {
+            Token::Number(n) => elements.push(*n),
+            other => return Err(ParseError(format!("expected element id, found {other:?}"))),
+        }
+        match p.next()? {
+            Token::Comma => continue,
+            Token::RBrace => break,
+            other => return Err(ParseError(format!("expected ',' or '}}', found {other:?}"))),
+        }
+    }
+    if elements.is_empty() {
+        return Err(ParseError("empty set literal".into()));
+    }
+    let mode = if p.pos < p.tokens.len() {
+        p.expect_keyword("USING")?;
+        let m = p.ident()?;
+        Some(match m.to_ascii_lowercase().as_str() {
+            "seqscan" => ExecMode::SeqScan,
+            "index" => ExecMode::Index,
+            "estimate" => ExecMode::Estimate,
+            other => return Err(ParseError(format!("unknown mode '{other}'"))),
+        })
+    } else {
+        None
+    };
+    if p.pos != p.tokens.len() {
+        return Err(ParseError("trailing tokens after query".into()));
+    }
+    Ok(CountQuery { verb, table, column, elements, mode })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_count() {
+        let q = parse_count("SELECT COUNT(*) FROM tweets WHERE tags @> {3, 17, 42}").unwrap();
+        assert_eq!(q.verb, Verb::Count);
+        assert_eq!(q.table, "tweets");
+        assert_eq!(q.column, "tags");
+        assert_eq!(q.elements, vec![3, 17, 42]);
+        assert_eq!(q.mode, None);
+    }
+
+    #[test]
+    fn parses_exists_and_first_verbs() {
+        let q = parse_count("SELECT EXISTS FROM t WHERE s @> {1,2}").unwrap();
+        assert_eq!(q.verb, Verb::Exists);
+        let q = parse_count("select first from t where s @> {5} using estimate").unwrap();
+        assert_eq!(q.verb, Verb::First);
+        assert_eq!(q.mode, Some(ExecMode::Estimate));
+        assert!(parse_count("SELECT AVG FROM t WHERE s @> {1}").is_err());
+    }
+
+    #[test]
+    fn parses_using_clause_case_insensitively() {
+        let q = parse_count("select count(*) from t where s @> {1} USING Estimate;").unwrap();
+        assert_eq!(q.mode, Some(ExecMode::Estimate));
+        let q = parse_count("SELECT COUNT(*) FROM t WHERE s @> {1} using seqscan").unwrap();
+        assert_eq!(q.mode, Some(ExecMode::SeqScan));
+        let q = parse_count("SELECT COUNT(*) FROM t WHERE s @> {1} using index").unwrap();
+        assert_eq!(q.mode, Some(ExecMode::Index));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_count("SELECT * FROM t").is_err());
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {}").is_err());
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {1,}").is_err());
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @ {1}").is_err());
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {1} USING magic").is_err());
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {1} garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_ids() {
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {99999999999}").is_err());
+    }
+}

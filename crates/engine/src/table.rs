@@ -1,0 +1,66 @@
+//! A table with a set-valued column — the engine's analogue of the paper's
+//! PostgreSQL `hstore` import (§8.5.3).
+
+use setlearn_data::{normalize, SetCollection};
+
+/// An append-only table of rows whose single payload column is a set of
+/// element ids.
+#[derive(Debug, Clone)]
+pub struct SetTable {
+    name: String,
+    collection: SetCollection,
+}
+
+impl SetTable {
+    /// Wraps an existing collection as a table.
+    pub fn from_collection(name: impl Into<String>, collection: SetCollection) -> Self {
+        SetTable { name: name.into(), collection }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.collection.len()
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &SetCollection {
+        &self.collection
+    }
+
+    /// Row payload at `row`.
+    pub fn get(&self, row: usize) -> &[u32] {
+        self.collection.get(row)
+    }
+
+    /// Exact COUNT of rows whose set contains `query` — sequential scan
+    /// (PostgreSQL without an index).
+    pub fn seq_scan_count(&self, query: &[u32]) -> u64 {
+        let q = normalize(query.to_vec());
+        self.collection.cardinality(&q)
+    }
+
+    /// Approximate resident bytes of the stored rows.
+    pub fn size_bytes(&self) -> usize {
+        self.collection.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_scan_counts_subset_rows() {
+        let c = SetCollection::new(vec![vec![0, 1, 2], vec![1, 2], vec![2, 3]], 4);
+        let t = SetTable::from_collection("tags", c);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.seq_scan_count(&[1, 2]), 2);
+        assert_eq!(t.seq_scan_count(&[2, 1]), 2); // order-insensitive input
+        assert_eq!(t.seq_scan_count(&[0, 3]), 0);
+    }
+}

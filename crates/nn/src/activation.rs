@@ -1,0 +1,115 @@
+//! Activation functions with pointwise derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Pointwise activation applied by dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`
+    Identity,
+    /// `f(x) = max(0, x)`
+    Relu,
+    /// `f(x) = 1 / (1 + e^{-x})` — the output activation for every task in
+    /// the paper (Table 1).
+    Sigmoid,
+    /// `f(x) = tanh(x)`
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// All four activations admit this form, which lets layers cache only
+    /// their outputs for the backward pass.
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Applies the activation to a buffer in place.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        if self == Activation::Identity {
+            return;
+        }
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relu_and_derivative() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(3.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
+            for &x in &[-1.7f32, -0.3, 0.4, 1.9] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 2e-3,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut xs = [-1.0f32, 0.0, 2.0];
+        Activation::Sigmoid.apply_slice(&mut xs);
+        assert!((xs[0] - sigmoid(-1.0)).abs() < 1e-7);
+        assert!((xs[2] - sigmoid(2.0)).abs() < 1e-7);
+    }
+}

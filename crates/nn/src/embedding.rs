@@ -1,0 +1,149 @@
+//! Shared embedding table with scatter-add backward.
+
+use crate::init;
+use crate::matrix::Matrix;
+use crate::param::ParamBuf;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A `vocab x dim` embedding matrix shared across all set elements — the
+/// core weight-sharing trick that makes DeepSets permutation invariant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    vocab: usize,
+    dim: usize,
+    table: ParamBuf,
+    #[serde(skip)]
+    cached_ids: Option<Vec<u32>>,
+}
+
+impl Embedding {
+    /// Creates a table for `vocab` ids with `dim`-dimensional vectors.
+    pub fn new(rng: &mut StdRng, vocab: usize, dim: usize) -> Self {
+        assert!(vocab > 0, "embedding vocabulary must be non-empty");
+        assert!(dim > 0, "embedding dimension must be positive");
+        Embedding {
+            vocab,
+            dim,
+            table: ParamBuf::new(init::embedding_uniform(rng, vocab, dim)),
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a batch of ids: `[N] -> [N x dim]`, caching ids for backward.
+    ///
+    /// # Panics
+    /// If any id is out of vocabulary; callers own vocabulary mapping.
+    pub fn forward(&mut self, ids: &[u32]) -> Matrix {
+        let out = self.predict(ids);
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Inference-only lookup, no state cached.
+    pub fn predict(&self, ids: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+            out.row_mut(r)
+                .copy_from_slice(&self.table.value[id * self.dim..(id + 1) * self.dim]);
+        }
+        out
+    }
+
+    /// Scatter-adds `dL/dE` rows into the table gradient.
+    pub fn backward(&mut self, grad_output: &Matrix) {
+        let ids = self.cached_ids.take().expect("backward before forward");
+        self.accumulate_grad(&ids, grad_output);
+    }
+
+    /// Cache-free gradient accumulation for callers that manage their own
+    /// per-set caches (e.g. the Set Transformer's per-set loops).
+    pub fn accumulate_grad(&mut self, ids: &[u32], grad_output: &Matrix) {
+        assert_eq!(grad_output.rows(), ids.len());
+        assert_eq!(grad_output.cols(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            let dst = &mut self.table.grad[id * self.dim..(id + 1) * self.dim];
+            for (g, &d) in dst.iter_mut().zip(grad_output.row(r).iter()) {
+                *g += d;
+            }
+        }
+    }
+
+    /// Mutable parameter buffer access for the optimizer.
+    pub fn params_mut(&mut self) -> [&mut ParamBuf; 1] {
+        [&mut self.table]
+    }
+
+    /// Immutable parameter buffer access.
+    pub fn params(&self) -> [&ParamBuf; 1] {
+        [&self.table]
+    }
+
+    /// Scalar parameter count (`vocab * dim`).
+    pub fn num_params(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.table.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embedding::new(&mut rng, 4, 3);
+        let out = emb.predict(&[2, 0, 2]);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.row(0), out.row(2));
+        assert_eq!(out.row(1), &emb.params()[0].value[0..3]);
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new(&mut rng, 3, 2);
+        emb.zero_grad();
+        emb.forward(&[1, 1]);
+        let grad = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        emb.backward(&grad);
+        assert_eq!(&emb.params()[0].grad[2..4], &[4.0, 6.0]);
+        assert_eq!(&emb.params()[0].grad[0..2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embedding::new(&mut rng, 3, 2);
+        let _ = emb.predict(&[3]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let emb = Embedding::new(&mut rng, 5, 2);
+        let json = serde_json::to_string(&emb).unwrap();
+        let back: Embedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(emb.predict(&[0, 4]), back.predict(&[0, 4]));
+    }
+}

@@ -1,0 +1,290 @@
+//! GRU cell — a Figure 7 baseline for the digit-sum experiment.
+//!
+//! Uses the original Cho et al. formulation where the candidate state sees
+//! `r ⊙ h_prev`:
+//!
+//! ```text
+//! z = σ(x·W_z + h·U_z + b_z)
+//! r = σ(x·W_r + h·U_r + b_r)
+//! n = tanh(x·W_n + (r ⊙ h)·U_n + b_n)
+//! h' = (1 - z) ⊙ n + z ⊙ h
+//! ```
+
+use crate::activation::sigmoid;
+use crate::init;
+use crate::matrix::Matrix;
+use crate::param::ParamBuf;
+use crate::rnn_util::{matvec_acc, matvec_backward};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    rh: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    n: Vec<f32>,
+}
+
+/// A single-layer GRU. Gate order in the fused matrices: `z, r, n`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gru {
+    in_dim: usize,
+    hidden: usize,
+    /// `[in x 3h]` input weights.
+    w: ParamBuf,
+    /// `[h x 3h]` recurrent weights.
+    u: ParamBuf,
+    /// `[3h]` bias.
+    b: ParamBuf,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a GRU with Glorot-initialized weights.
+    pub fn new(rng: &mut StdRng, in_dim: usize, hidden: usize) -> Self {
+        Gru {
+            in_dim,
+            hidden,
+            w: ParamBuf::new(init::glorot_uniform(rng, in_dim, 3 * hidden)),
+            u: ParamBuf::new(init::glorot_uniform(rng, hidden, 3 * hidden)),
+            b: ParamBuf::new(vec![0.0; 3 * hidden]),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the sequence `[T x in]`, returning the final hidden state and
+    /// caching steps for [`Gru::backward`].
+    pub fn forward(&mut self, seq: &Matrix) -> Matrix {
+        let mut cache = Vec::with_capacity(seq.rows());
+        let h = self.run(seq, Some(&mut cache));
+        self.cache = cache;
+        Matrix::from_vec(1, self.hidden, h)
+    }
+
+    /// Inference-only forward pass.
+    pub fn predict(&self, seq: &Matrix) -> Matrix {
+        let h = self.run(seq, None);
+        Matrix::from_vec(1, self.hidden, h)
+    }
+
+    fn run(&self, seq: &Matrix, mut cache: Option<&mut Vec<StepCache>>) -> Vec<f32> {
+        assert_eq!(seq.cols(), self.in_dim, "gru input width mismatch");
+        let hdim = self.hidden;
+        let mut h = vec![0.0f32; hdim];
+        for t in 0..seq.rows() {
+            let x = seq.row(t);
+            // z and r gates use h directly.
+            let mut pre = self.b.value.clone();
+            matvec_acc(&self.w.value, x, &mut pre);
+            // Recurrent contribution: z,r slices use h; n slice uses r⊙h and
+            // must wait until r is known. Accumulate U·h into a scratch and
+            // use only its z/r slices.
+            let mut uh = vec![0.0f32; 3 * hdim];
+            matvec_acc(&self.u.value, &h, &mut uh);
+            let mut z = vec![0.0; hdim];
+            let mut r = vec![0.0; hdim];
+            for k in 0..hdim {
+                z[k] = sigmoid(pre[k] + uh[k]);
+                r[k] = sigmoid(pre[hdim + k] + uh[hdim + k]);
+            }
+            // Candidate with reset-gated hidden state.
+            let rh: Vec<f32> = r.iter().zip(h.iter()).map(|(&rk, &hk)| rk * hk).collect();
+            let mut n_pre: Vec<f32> = pre[2 * hdim..3 * hdim].to_vec();
+            let u_n = &self.u.value[..]; // full matrix; offset the column slice below
+            // U is [h x 3h]; the n-columns are the last hdim of each row.
+            for (i, &rhi) in rh.iter().enumerate() {
+                if rhi == 0.0 {
+                    continue;
+                }
+                let row = &u_n[i * 3 * hdim + 2 * hdim..i * 3 * hdim + 3 * hdim];
+                for (o, &wv) in n_pre.iter_mut().zip(row.iter()) {
+                    *o += rhi * wv;
+                }
+            }
+            let n: Vec<f32> = n_pre.iter().map(|&v| v.tanh()).collect();
+            let h_prev = h.clone();
+            for k in 0..hdim {
+                h[k] = (1.0 - z[k]) * n[k] + z[k] * h_prev[k];
+            }
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.push(StepCache {
+                    x: x.to_vec(),
+                    h_prev,
+                    rh,
+                    z: z.clone(),
+                    r: r.clone(),
+                    n: n.clone(),
+                });
+            }
+        }
+        h
+    }
+
+    /// BPTT from `dL/dh_T`; returns `dL/dX` and accumulates weight grads.
+    // The index loops below walk several same-length gate vectors plus
+    // strided weight slices at once; iterator zips would obscure the math.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(&mut self, grad_h_final: &Matrix) -> Matrix {
+        assert!(!self.cache.is_empty(), "backward before forward");
+        assert_eq!(grad_h_final.cols(), self.hidden);
+        let hdim = self.hidden;
+        let steps = self.cache.len();
+        let mut grad_x = Matrix::zeros(steps, self.in_dim);
+        let mut dh = grad_h_final.row(0).to_vec();
+
+        let cache = std::mem::take(&mut self.cache);
+        for (t, s) in cache.iter().enumerate().rev() {
+            let mut dz_pre = vec![0.0f32; hdim];
+            let mut dn_pre = vec![0.0f32; hdim];
+            let mut dh_prev = vec![0.0f32; hdim];
+            for k in 0..hdim {
+                let dz = dh[k] * (s.h_prev[k] - s.n[k]);
+                dz_pre[k] = dz * s.z[k] * (1.0 - s.z[k]);
+                let dn = dh[k] * (1.0 - s.z[k]);
+                dn_pre[k] = dn * (1.0 - s.n[k] * s.n[k]);
+                dh_prev[k] = dh[k] * s.z[k];
+            }
+            // n path: n_pre = x·W_n + rh·U_n + b_n.
+            // d(rh) = dn_pre · U_nᵀ and dU_n += rhᵀ·dn_pre.
+            let mut drh = vec![0.0f32; hdim];
+            for i in 0..hdim {
+                let row = &self.u.value[i * 3 * hdim + 2 * hdim..i * 3 * hdim + 3 * hdim];
+                let grow = &mut self.u.grad[i * 3 * hdim + 2 * hdim..i * 3 * hdim + 3 * hdim];
+                let mut acc = 0.0;
+                for j in 0..hdim {
+                    grow[j] += s.rh[i] * dn_pre[j];
+                    acc += row[j] * dn_pre[j];
+                }
+                drh[i] = acc;
+            }
+            let mut dr_pre = vec![0.0f32; hdim];
+            for k in 0..hdim {
+                let dr = drh[k] * s.h_prev[k];
+                dh_prev[k] += drh[k] * s.r[k];
+                dr_pre[k] = dr * s.r[k] * (1.0 - s.r[k]);
+            }
+            // z, r recurrent paths (first 2h columns of U).
+            for i in 0..hdim {
+                let row = &self.u.value[i * 3 * hdim..i * 3 * hdim + 2 * hdim];
+                let grow = &mut self.u.grad[i * 3 * hdim..i * 3 * hdim + 2 * hdim];
+                let hp = s.h_prev[i];
+                let mut acc = 0.0;
+                for j in 0..hdim {
+                    grow[j] += hp * dz_pre[j];
+                    grow[hdim + j] += hp * dr_pre[j];
+                    acc += row[j] * dz_pre[j] + row[hdim + j] * dr_pre[j];
+                }
+                dh_prev[i] += acc;
+            }
+            // Input path: fused gate gradient [dz_pre, dr_pre, dn_pre].
+            let mut dgates = Vec::with_capacity(3 * hdim);
+            dgates.extend_from_slice(&dz_pre);
+            dgates.extend_from_slice(&dr_pre);
+            dgates.extend_from_slice(&dn_pre);
+            for (bg, &d) in self.b.grad.iter_mut().zip(dgates.iter()) {
+                *bg += d;
+            }
+            let mut dx = vec![0.0f32; self.in_dim];
+            matvec_backward(&self.w.value, &mut self.w.grad, &s.x, &mut dx, &dgates);
+            grad_x.row_mut(t).copy_from_slice(&dx);
+            dh = dh_prev;
+        }
+        grad_x
+    }
+
+    /// Parameter buffers for the optimizer.
+    pub fn params_mut(&mut self) -> [&mut ParamBuf; 3] {
+        [&mut self.w, &mut self.u, &mut self.b]
+    }
+
+    /// Immutable parameter buffers.
+    pub fn params(&self) -> [&ParamBuf; 3] {
+        [&self.w, &self.u, &self.b]
+    }
+
+    /// Scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.u.len() + self.b.len()
+    }
+
+    /// Zeroes gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.u.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut gru = Gru::new(&mut rng, 3, 4);
+        let seq = Matrix::from_vec(5, 3, (0..15).map(|i| (i as f32) * 0.05 - 0.3).collect());
+        let h1 = gru.forward(&seq);
+        assert_eq!((h1.rows(), h1.cols()), (1, 4));
+        assert_eq!(h1, gru.predict(&seq));
+    }
+
+    fn numeric_grad(gru: &mut Gru, seq: &Matrix, buf: usize, idx: usize) -> f32 {
+        let eps = 1e-3;
+        let orig = gru.params()[buf].value[idx];
+        gru.params_mut()[buf].value[idx] = orig + eps;
+        let plus: f32 = gru.predict(seq).data().iter().sum();
+        gru.params_mut()[buf].value[idx] = orig - eps;
+        let minus: f32 = gru.predict(seq).data().iter().sum();
+        gru.params_mut()[buf].value[idx] = orig;
+        (plus - minus) / (2.0 * eps)
+    }
+
+    #[test]
+    fn gradient_check_all_weight_groups() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut gru = Gru::new(&mut rng, 2, 3);
+        let seq = Matrix::from_vec(3, 2, vec![0.4, -0.2, 0.1, 0.9, -0.7, 0.3]);
+        gru.zero_grad();
+        gru.forward(&seq);
+        gru.backward(&Matrix::from_vec(1, 3, vec![1.0; 3]));
+        // One index from W (input), U (recurrent, incl. the n-slice), b.
+        for (buf, idx) in [(0usize, 3usize), (1, 7), (1, 2 * 3 + 1), (2, 4)] {
+            let analytic = gru.params()[buf].grad[idx];
+            let numeric = numeric_grad(&mut gru, &seq, buf, idx);
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "buf {buf} idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_x_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut gru = Gru::new(&mut rng, 2, 3);
+        gru.zero_grad();
+        let seq = Matrix::from_vec(2, 2, vec![0.2, -0.1, 0.5, 0.3]);
+        gru.forward(&seq);
+        let gx = gru.backward(&Matrix::from_vec(1, 3, vec![1.0; 3]));
+
+        let eps = 1e-3;
+        let mut bumped = seq.clone();
+        bumped.data_mut()[1] += eps;
+        let plus: f32 = gru.predict(&bumped).data().iter().sum();
+        bumped.data_mut()[1] -= 2.0 * eps;
+        let minus: f32 = gru.predict(&bumped).data().iter().sum();
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((numeric - gx.data()[1]).abs() < 5e-2 * (1.0 + numeric.abs()));
+    }
+}

@@ -1,0 +1,217 @@
+//! Hash embeddings — the "hashing trick" alternative to the paper's
+//! quotient/remainder compression (§5).
+//!
+//! Instead of decomposing ids arithmetically, each id is mapped by `k`
+//! independent hash functions into a small shared bucket table and its
+//! representation is the sum of the hit rows. Collisions blur rare elements
+//! together (lossy), whereas Algorithm 1 is lossless — the
+//! `abl_hash_encoder` bench quantifies that trade-off at equal parameter
+//! budgets.
+
+use crate::matrix::Matrix;
+use crate::param::ParamBuf;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 avalanche (kept local to avoid a cross-crate dependency).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A `buckets x dim` table addressed through `k` seeded hash functions;
+/// an element's vector is the sum of its `k` bucket rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashEmbedding {
+    buckets: usize,
+    dim: usize,
+    seeds: Vec<u64>,
+    table: ParamBuf,
+    #[serde(skip)]
+    cached_ids: Option<Vec<u32>>,
+}
+
+impl HashEmbedding {
+    /// Creates a hashed table with `num_hashes` probe functions.
+    ///
+    /// # Panics
+    /// If any dimension is zero.
+    pub fn new(rng: &mut StdRng, buckets: usize, dim: usize, num_hashes: usize) -> Self {
+        assert!(buckets > 0 && dim > 0 && num_hashes > 0, "degenerate hash embedding");
+        let seeds = (0..num_hashes).map(|_| rng.gen()).collect();
+        HashEmbedding {
+            buckets,
+            dim,
+            seeds,
+            table: ParamBuf::new(crate::init::embedding_uniform(rng, buckets, dim)),
+            cached_ids: None,
+        }
+    }
+
+    /// Output feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bucket count.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Number of hash probes per element.
+    pub fn num_hashes(&self) -> usize {
+        self.seeds.len()
+    }
+
+    #[inline]
+    fn bucket(&self, id: u32, probe: usize) -> usize {
+        (splitmix64(id as u64 ^ self.seeds[probe]) % self.buckets as u64) as usize
+    }
+
+    /// Looks up a flat id batch: `[N] -> [N x dim]`, caching for backward.
+    pub fn forward(&mut self, ids: &[u32]) -> Matrix {
+        let out = self.predict(ids);
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Inference-only lookup.
+    pub fn predict(&self, ids: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            let row = out.row_mut(r);
+            for probe in 0..self.seeds.len() {
+                let b = self.bucket(id, probe);
+                let src = &self.table.value[b * self.dim..(b + 1) * self.dim];
+                for (o, &v) in row.iter_mut().zip(src.iter()) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scatter-adds gradients into every probed bucket row.
+    pub fn backward(&mut self, grad_output: &Matrix) {
+        let ids = self.cached_ids.take().expect("backward before forward");
+        self.accumulate_grad(&ids, grad_output);
+    }
+
+    /// Cache-free gradient accumulation.
+    pub fn accumulate_grad(&mut self, ids: &[u32], grad_output: &Matrix) {
+        assert_eq!(grad_output.rows(), ids.len());
+        assert_eq!(grad_output.cols(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            for probe in 0..self.seeds.len() {
+                let b = self.bucket(id, probe);
+                let dst = &mut self.table.grad[b * self.dim..(b + 1) * self.dim];
+                for (g, &d) in dst.iter_mut().zip(grad_output.row(r).iter()) {
+                    *g += d;
+                }
+            }
+        }
+    }
+
+    /// Parameter buffers.
+    pub fn params_mut(&mut self) -> [&mut ParamBuf; 1] {
+        [&mut self.table]
+    }
+
+    /// Immutable parameter buffers.
+    pub fn params(&self) -> [&ParamBuf; 1] {
+        [&self.table]
+    }
+
+    /// Scalar parameter count (`buckets * dim`).
+    pub fn num_params(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.table.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_lookup_independent_of_vocab_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let he = HashEmbedding::new(&mut rng, 32, 4, 2);
+        // Ids far beyond the bucket count still resolve.
+        let a = he.predict(&[1_000_000]);
+        let b = he.predict(&[1_000_000]);
+        assert_eq!(a, b);
+        assert_eq!((a.rows(), a.cols()), (1, 4));
+    }
+
+    #[test]
+    fn different_ids_usually_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let he = HashEmbedding::new(&mut rng, 64, 4, 2);
+        let mut distinct = 0;
+        for i in 0..50u32 {
+            if he.predict(&[i]) != he.predict(&[i + 1]) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 45, "only {distinct} of 50 adjacent pairs distinct");
+    }
+
+    #[test]
+    fn backward_accumulates_into_probed_buckets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut he = HashEmbedding::new(&mut rng, 16, 2, 3);
+        he.zero_grad();
+        he.forward(&[7]);
+        let grad = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        he.backward(&grad);
+        // Total accumulated gradient mass = num_hashes * per-row grad
+        // (buckets may coincide, but sums are preserved).
+        let sum: f32 = he.params()[0].grad.iter().sum();
+        assert!((sum - 3.0 * 3.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn gradient_check_through_the_table() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut he = HashEmbedding::new(&mut rng, 8, 3, 2);
+        he.zero_grad();
+        he.forward(&[5, 9]);
+        let grad = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        he.backward(&grad);
+        let eps = 1e-3;
+        // Pick a parameter with nonzero gradient and check numerically.
+        let idx = he.params()[0]
+            .grad
+            .iter()
+            .position(|&g| g != 0.0)
+            .expect("some bucket touched");
+        let analytic = he.params()[0].grad[idx];
+        let orig = he.params()[0].value[idx];
+        he.params_mut()[0].value[idx] = orig + eps;
+        let plus: f32 = he.predict(&[5, 9]).data().iter().sum();
+        he.params_mut()[0].value[idx] = orig - eps;
+        let minus: f32 = he.predict(&[5, 9]).data().iter().sum();
+        he.params_mut()[0].value[idx] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((numeric - analytic).abs() < 1e-2, "{numeric} vs {analytic}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let he = HashEmbedding::new(&mut rng, 16, 2, 2);
+        let json = serde_json::to_string(&he).unwrap();
+        let back: HashEmbedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(he.predict(&[3, 12]), back.predict(&[3, 12]));
+    }
+}

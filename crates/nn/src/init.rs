@@ -1,0 +1,62 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The standard choice for the
+/// sigmoid/tanh heads used throughout the paper's models.
+pub fn glorot_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// He uniform initialization, suited to ReLU hidden layers:
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn he_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    let a = (6.0 / fan_in as f32).sqrt();
+    (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// Small-uniform embedding initialization `U(-0.05, 0.05)`, matching the
+/// Keras `RandomUniform` default used by the reference implementation.
+pub fn embedding_uniform(rng: &mut StdRng, vocab: usize, dim: usize) -> Vec<f32> {
+    (0..vocab * dim).map(|_| rng.gen_range(-0.05..0.05)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = glorot_uniform(&mut rng, 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert_eq!(w.len(), 200);
+        assert!(w.iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn he_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = he_uniform(&mut rng, 6, 4);
+        let a = 1.0f32;
+        assert!(w.iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(glorot_uniform(&mut a, 3, 3), glorot_uniform(&mut b, 3, 3));
+    }
+
+    #[test]
+    fn embedding_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = embedding_uniform(&mut rng, 5, 4);
+        assert!(w.iter().all(|&x| (-0.05..0.05).contains(&x)));
+    }
+}

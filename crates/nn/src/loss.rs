@@ -1,0 +1,180 @@
+//! Loss functions: MSE, MAE, binary cross-entropy, and the q-error loss the
+//! paper trains its regression tasks with (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar loss over a batch of predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Binary cross-entropy over sigmoid outputs (Bloom-filter task).
+    BinaryCrossEntropy,
+    /// Q-error in de-scaled log space (index / cardinality tasks).
+    ///
+    /// Both prediction and target are min-max-scaled log values in `[0, 1]`;
+    /// `span = max_log - min_log` de-scales the difference, so
+    /// `q = exp(|Δlog|) = max(ŷ/y, y/ŷ)` over the original values.
+    QError {
+        /// `max_log - min_log` from the target scaler.
+        span: f32,
+    },
+}
+
+impl Loss {
+    /// Computes the mean loss and `dL/dpred` for a batch.
+    ///
+    /// # Panics
+    /// If `pred` and `target` lengths differ or the batch is empty.
+    pub fn loss_and_grad(&self, pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+        assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+        assert!(!pred.is_empty(), "empty batch");
+        let n = pred.len() as f32;
+        let mut grad = vec![0.0f32; pred.len()];
+        let mut total = 0.0f32;
+        match *self {
+            Loss::Mse => {
+                for ((g, &p), &t) in grad.iter_mut().zip(pred).zip(target) {
+                    let d = p - t;
+                    total += d * d;
+                    *g = 2.0 * d / n;
+                }
+            }
+            Loss::Mae => {
+                for ((g, &p), &t) in grad.iter_mut().zip(pred).zip(target) {
+                    let d = p - t;
+                    total += d.abs();
+                    *g = d.signum() / n;
+                }
+            }
+            Loss::BinaryCrossEntropy => {
+                const EPS: f32 = 1e-7;
+                for ((g, &p), &t) in grad.iter_mut().zip(pred).zip(target) {
+                    let p = p.clamp(EPS, 1.0 - EPS);
+                    total += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+                    *g = (p - t) / (p * (1.0 - p)) / n;
+                }
+            }
+            Loss::QError { span } => {
+                // Cap the de-scaled log difference so exp() cannot overflow
+                // early in training; 20 nats is a q-error of ~4.8e8, far
+                // beyond anything informative.
+                const MAX_NATS: f32 = 20.0;
+                for ((g, &p), &t) in grad.iter_mut().zip(pred).zip(target) {
+                    let d = (p - t) * span;
+                    let a = d.abs().min(MAX_NATS);
+                    let q = a.exp();
+                    total += q;
+                    // f32::signum(0.0) is 1.0, so zero the gradient explicitly
+                    // at the loss minimum.
+                    let sign = if d == 0.0 { 0.0 } else { d.signum() };
+                    *g = sign * q * span / n;
+                }
+            }
+        }
+        (total / n, grad)
+    }
+
+    /// The batch-mean loss only.
+    pub fn loss(&self, pred: &[f32], target: &[f32]) -> f32 {
+        self.loss_and_grad(pred, target).0
+    }
+}
+
+/// The q-error metric `max(est/true, true/est)` over *original-scale* values,
+/// as reported throughout the paper's evaluation. Values below `floor` are
+/// clamped (the paper's convention of treating estimates under 1 as 1).
+pub fn q_error(estimate: f64, truth: f64, floor: f64) -> f64 {
+    let e = estimate.max(floor);
+    let t = truth.max(floor);
+    (e / t).max(t / e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_perfect_prediction_is_zero() {
+        let (l, g) = Loss::Mse.loss_and_grad(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(l, 0.0);
+        assert_eq!(g, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = [0.3f32, 0.8];
+        let target = [0.5f32, 0.1];
+        let (_, g) = Loss::Mse.loss_and_grad(&pred, &target);
+        let eps = 1e-3;
+        let mut p2 = pred;
+        p2[0] += eps;
+        let plus = Loss::Mse.loss(&p2, &target);
+        p2[0] -= 2.0 * eps;
+        let minus = Loss::Mse.loss(&p2, &target);
+        assert!((g[0] - (plus - minus) / (2.0 * eps)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bce_is_low_for_confident_correct_and_high_for_confident_wrong() {
+        let good = Loss::BinaryCrossEntropy.loss(&[0.99, 0.01], &[1.0, 0.0]);
+        let bad = Loss::BinaryCrossEntropy.loss(&[0.01, 0.99], &[1.0, 0.0]);
+        assert!(good < 0.1);
+        assert!(bad > 2.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let pred = [0.3f32];
+        let target = [1.0f32];
+        let (_, g) = Loss::BinaryCrossEntropy.loss_and_grad(&pred, &target);
+        let eps = 1e-4;
+        let plus = Loss::BinaryCrossEntropy.loss(&[0.3 + eps], &target);
+        let minus = Loss::BinaryCrossEntropy.loss(&[0.3 - eps], &target);
+        assert!((g[0] - (plus - minus) / (2.0 * eps)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn qerror_loss_is_one_at_perfect_prediction() {
+        let loss = Loss::QError { span: 5.0 };
+        let (l, g) = loss.loss_and_grad(&[0.4], &[0.4]);
+        assert_eq!(l, 1.0); // exp(0) = 1 — q-error's minimum.
+        assert_eq!(g, vec![0.0]);
+    }
+
+    #[test]
+    fn qerror_gradient_matches_finite_difference() {
+        let loss = Loss::QError { span: 3.0 };
+        let pred = [0.6f32];
+        let target = [0.4f32];
+        let (_, g) = loss.loss_and_grad(&pred, &target);
+        let eps = 1e-4;
+        let plus = loss.loss(&[0.6 + eps], &target);
+        let minus = loss.loss(&[0.6 - eps], &target);
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((g[0] - numeric).abs() < 1e-2 * numeric.abs().max(1.0));
+    }
+
+    #[test]
+    fn qerror_is_capped() {
+        let loss = Loss::QError { span: 100.0 };
+        let (l, _) = loss.loss_and_grad(&[1.0], &[0.0]);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    fn q_error_metric_symmetric_and_floored() {
+        assert_eq!(q_error(10.0, 5.0, 1.0), 2.0);
+        assert_eq!(q_error(5.0, 10.0, 1.0), 2.0);
+        assert_eq!(q_error(0.0, 1.0, 1.0), 1.0); // floored estimate
+        assert!(q_error(3.0, 3.0, 1.0) == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Loss::Mse.loss_and_grad(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,275 @@
+//! LSTM cell — a Figure 7 baseline for the digit-sum experiment.
+//!
+//! Processes one sequence at a time (batch 1) and returns the final hidden
+//! state; backpropagation-through-time consumes only `dL/dh_T`, which is all
+//! the set-sum regression head needs.
+
+use crate::activation::sigmoid;
+use crate::init;
+use crate::matrix::Matrix;
+use crate::param::ParamBuf;
+use crate::rnn_util::{matvec_acc, matvec_backward};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Cached per-step state for BPTT.
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    c: Vec<f32>,
+}
+
+/// A single-layer LSTM. Gate order in the fused weight matrices: `i, f, g, o`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    in_dim: usize,
+    hidden: usize,
+    /// `[in x 4h]` input weights.
+    w: ParamBuf,
+    /// `[h x 4h]` recurrent weights.
+    u: ParamBuf,
+    /// `[4h]` bias (forget-gate slice initialized to 1.0).
+    b: ParamBuf,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Glorot-initialized weights and forget bias 1.
+    pub fn new(rng: &mut StdRng, in_dim: usize, hidden: usize) -> Self {
+        let mut b = vec![0.0; 4 * hidden];
+        // Standard trick: start with an open forget gate.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Lstm {
+            in_dim,
+            hidden,
+            w: ParamBuf::new(init::glorot_uniform(rng, in_dim, 4 * hidden)),
+            u: ParamBuf::new(init::glorot_uniform(rng, hidden, 4 * hidden)),
+            b: ParamBuf::new(b),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the sequence `[T x in]` and returns the final hidden state
+    /// `[1 x h]`, caching every step for [`Lstm::backward`].
+    pub fn forward(&mut self, seq: &Matrix) -> Matrix {
+        let mut cache = Vec::with_capacity(seq.rows());
+        let h = self.run(seq, Some(&mut cache));
+        self.cache = cache;
+        Matrix::from_vec(1, self.hidden, h)
+    }
+
+    /// Inference-only forward pass.
+    pub fn predict(&self, seq: &Matrix) -> Matrix {
+        let h = self.run(seq, None);
+        Matrix::from_vec(1, self.hidden, h)
+    }
+
+    fn run(&self, seq: &Matrix, mut cache: Option<&mut Vec<StepCache>>) -> Vec<f32> {
+        assert_eq!(seq.cols(), self.in_dim, "lstm input width mismatch");
+        let hdim = self.hidden;
+        let mut h = vec![0.0f32; hdim];
+        let mut c = vec![0.0f32; hdim];
+        for t in 0..seq.rows() {
+            let x = seq.row(t);
+            let mut gates = self.b.value.clone();
+            matvec_acc(&self.w.value, x, &mut gates);
+            matvec_acc(&self.u.value, &h, &mut gates);
+            let (mut i, mut f, mut g, mut o) =
+                (vec![0.0; hdim], vec![0.0; hdim], vec![0.0; hdim], vec![0.0; hdim]);
+            for k in 0..hdim {
+                i[k] = sigmoid(gates[k]);
+                f[k] = sigmoid(gates[hdim + k]);
+                g[k] = gates[2 * hdim + k].tanh();
+                o[k] = sigmoid(gates[3 * hdim + k]);
+            }
+            let c_prev = c.clone();
+            for k in 0..hdim {
+                c[k] = f[k] * c_prev[k] + i[k] * g[k];
+            }
+            let h_prev = h.clone();
+            for k in 0..hdim {
+                h[k] = o[k] * c[k].tanh();
+            }
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.push(StepCache {
+                    x: x.to_vec(),
+                    h_prev,
+                    c_prev,
+                    i: i.clone(),
+                    f: f.clone(),
+                    g: g.clone(),
+                    o: o.clone(),
+                    c: c.clone(),
+                });
+            }
+        }
+        h
+    }
+
+    /// BPTT from the final-hidden-state gradient `[1 x h]`; returns
+    /// `dL/dX` as `[T x in]` and accumulates weight gradients.
+    pub fn backward(&mut self, grad_h_final: &Matrix) -> Matrix {
+        assert!(!self.cache.is_empty(), "backward before forward");
+        assert_eq!(grad_h_final.cols(), self.hidden);
+        let hdim = self.hidden;
+        let steps = self.cache.len();
+        let mut grad_x = Matrix::zeros(steps, self.in_dim);
+        let mut dh = grad_h_final.row(0).to_vec();
+        let mut dc = vec![0.0f32; hdim];
+
+        let cache = std::mem::take(&mut self.cache);
+        for (t, s) in cache.iter().enumerate().rev() {
+            let mut dgates = vec![0.0f32; 4 * hdim];
+            for k in 0..hdim {
+                let tc = s.c[k].tanh();
+                let do_ = dh[k] * tc;
+                dc[k] += dh[k] * s.o[k] * (1.0 - tc * tc);
+                let di = dc[k] * s.g[k];
+                let df = dc[k] * s.c_prev[k];
+                let dg = dc[k] * s.i[k];
+                dgates[k] = di * s.i[k] * (1.0 - s.i[k]);
+                dgates[hdim + k] = df * s.f[k] * (1.0 - s.f[k]);
+                dgates[2 * hdim + k] = dg * (1.0 - s.g[k] * s.g[k]);
+                dgates[3 * hdim + k] = do_ * s.o[k] * (1.0 - s.o[k]);
+            }
+            // Propagate cell state to t-1.
+            for (dcv, &fv) in dc.iter_mut().zip(s.f.iter()) {
+                *dcv *= fv;
+            }
+            // Bias gradient.
+            for (bg, &d) in self.b.grad.iter_mut().zip(dgates.iter()) {
+                *bg += d;
+            }
+            // Input path.
+            let mut dx = vec![0.0f32; self.in_dim];
+            matvec_backward(&self.w.value, &mut self.w.grad, &s.x, &mut dx, &dgates);
+            grad_x.row_mut(t).copy_from_slice(&dx);
+            // Recurrent path.
+            let mut dh_prev = vec![0.0f32; hdim];
+            matvec_backward(&self.u.value, &mut self.u.grad, &s.h_prev, &mut dh_prev, &dgates);
+            dh = dh_prev;
+        }
+        grad_x
+    }
+
+    /// Parameter buffers for the optimizer.
+    pub fn params_mut(&mut self) -> [&mut ParamBuf; 3] {
+        [&mut self.w, &mut self.u, &mut self.b]
+    }
+
+    /// Immutable parameter buffers.
+    pub fn params(&self) -> [&ParamBuf; 3] {
+        [&self.w, &self.u, &self.b]
+    }
+
+    /// Scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.u.len() + self.b.len()
+    }
+
+    /// Zeroes gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.u.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(&mut rng, 3, 5);
+        let seq = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.1).collect());
+        let h1 = lstm.forward(&seq);
+        let h2 = lstm.predict(&seq);
+        assert_eq!((h1.rows(), h1.cols()), (1, 5));
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn gradient_check_input_weight() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lstm = Lstm::new(&mut rng, 2, 3);
+        lstm.zero_grad();
+        let seq = Matrix::from_vec(3, 2, vec![0.5, -0.3, 0.2, 0.8, -0.6, 0.1]);
+        lstm.forward(&seq);
+        // Loss = sum(h_T)
+        lstm.backward(&Matrix::from_vec(1, 3, vec![1.0; 3]));
+        let analytic = lstm.params()[0].grad[1];
+
+        let eps = 1e-3;
+        let orig = lstm.params()[0].value[1];
+        lstm.params_mut()[0].value[1] = orig + eps;
+        let plus: f32 = lstm.predict(&seq).data().iter().sum();
+        lstm.params_mut()[0].value[1] = orig - eps;
+        let minus: f32 = lstm.predict(&seq).data().iter().sum();
+        lstm.params_mut()[0].value[1] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn gradient_check_recurrent_weight() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut lstm = Lstm::new(&mut rng, 2, 2);
+        lstm.zero_grad();
+        let seq = Matrix::from_vec(4, 2, vec![0.3, 0.9, -0.2, 0.4, 0.7, -0.5, 0.0, 0.6]);
+        lstm.forward(&seq);
+        lstm.backward(&Matrix::from_vec(1, 2, vec![1.0; 2]));
+        let analytic = lstm.params()[1].grad[0];
+
+        let eps = 1e-3;
+        let orig = lstm.params()[1].value[0];
+        lstm.params_mut()[1].value[0] = orig + eps;
+        let plus: f32 = lstm.predict(&seq).data().iter().sum();
+        lstm.params_mut()[1].value[0] = orig - eps;
+        let minus: f32 = lstm.predict(&seq).data().iter().sum();
+        lstm.params_mut()[1].value[0] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn grad_x_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut lstm = Lstm::new(&mut rng, 2, 3);
+        lstm.zero_grad();
+        let seq = Matrix::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]);
+        lstm.forward(&seq);
+        let gx = lstm.backward(&Matrix::from_vec(1, 3, vec![1.0; 3]));
+
+        let eps = 1e-3;
+        let mut bumped = seq.clone();
+        bumped.data_mut()[2] += eps;
+        let plus: f32 = lstm.predict(&bumped).data().iter().sum();
+        bumped.data_mut()[2] -= 2.0 * eps;
+        let minus: f32 = lstm.predict(&bumped).data().iter().sum();
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((numeric - gx.data()[2]).abs() < 5e-2 * (1.0 + numeric.abs()));
+    }
+}

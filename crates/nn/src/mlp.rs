@@ -1,0 +1,154 @@
+//! A stack of dense layers — the φ and ρ transformations of DeepSets.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::matrix::Matrix;
+use crate::param::ParamBuf;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward stack of [`Dense`] layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a layer-size chain. `dims = [in, h1, ..., out]`,
+    /// hidden layers use `hidden_act`, the final layer uses `output_act`.
+    ///
+    /// # Panics
+    /// If fewer than two dims are given.
+    pub fn new(
+        rng: &mut StdRng,
+        dims: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { output_act } else { hidden_act };
+            layers.push(Dense::new(rng, dims[i], dims[i + 1], act));
+        }
+        Mlp { layers }
+    }
+
+    /// Input width of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Training forward pass; caches per-layer state.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference-only forward pass.
+    pub fn predict(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.predict(&x);
+        }
+        x
+    }
+
+    /// Backward pass through all layers; returns `dL/dInput`.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All parameter buffers, first layer first.
+    pub fn params_mut(&mut self) -> Vec<&mut ParamBuf> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Immutable parameter buffers.
+    pub fn params(&self) -> Vec<&ParamBuf> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_dims() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&mut rng, &[4, 8, 8, 1], Activation::Relu, Activation::Sigmoid);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 1);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&mut rng, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        mlp.zero_grad();
+        let x = Matrix::from_vec(4, 3, vec![0.1; 12]);
+        let y = mlp.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        let g = mlp.backward(&Matrix::from_vec(4, 2, vec![1.0; 8]));
+        assert_eq!((g.rows(), g.cols()), (4, 3));
+    }
+
+    #[test]
+    fn gradient_check_through_two_layers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mlp = Mlp::new(&mut rng, &[2, 4, 1], Activation::Tanh, Activation::Sigmoid);
+        mlp.zero_grad();
+        let x = Matrix::from_vec(1, 2, vec![0.4, -0.6]);
+        let y = mlp.forward(&x);
+        mlp.backward(&Matrix::from_vec(1, 1, vec![1.0]));
+        let analytic = mlp.params()[0].grad[0];
+
+        let eps = 1e-3;
+        let orig = mlp.params()[0].value[0];
+        mlp.params_mut()[0].value[0] = orig + eps;
+        let plus = mlp.predict(&x).data()[0];
+        mlp.params_mut()[0].value[0] = orig - eps;
+        let minus = mlp.predict(&x).data()[0];
+        mlp.params_mut()[0].value[0] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 5e-3,
+            "numeric {numeric} vs analytic {analytic}, y={:?}",
+            y.data()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_dims_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = Mlp::new(&mut rng, &[4], Activation::Relu, Activation::Identity);
+    }
+}

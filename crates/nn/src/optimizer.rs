@@ -1,0 +1,136 @@
+//! Gradient-descent optimizers operating on [`ParamBuf`]s.
+
+use crate::param::ParamBuf;
+use serde::{Deserialize, Serialize};
+
+/// First-order optimizer. Adam is the default used across all tasks; plain
+/// SGD is kept for ablations and tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with optional gradient clipping.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Per-component gradient clip; `None` disables clipping.
+        clip: Option<f32>,
+    },
+    /// Adam (Kingma & Ba) with bias correction and optional clipping.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// Exponential decay for the first moment.
+        beta1: f32,
+        /// Exponential decay for the second moment.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+        /// Per-component gradient clip; `None` disables clipping.
+        clip: Option<f32>,
+        /// Step counter for bias correction.
+        t: u64,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the standard defaults (`lr=1e-3`) and clipping at 5.0 —
+    /// the q-error loss can produce large gradients early in training.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: Some(5.0), t: 0 }
+    }
+
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr, clip: Some(5.0) }
+    }
+
+    /// Advances the internal step counter. Call once per mini-batch, before
+    /// stepping the batch's parameter buffers.
+    pub fn begin_step(&mut self) {
+        if let Optimizer::Adam { t, .. } = self {
+            *t += 1;
+        }
+    }
+
+    /// Applies one update to a parameter buffer from its accumulated
+    /// gradient, then zeroes the gradient.
+    pub fn step(&mut self, p: &mut ParamBuf) {
+        match *self {
+            Optimizer::Sgd { lr, clip } => {
+                for (v, g) in p.value.iter_mut().zip(p.grad.iter()) {
+                    let mut g = *g;
+                    if let Some(c) = clip {
+                        g = g.clamp(-c, c);
+                    }
+                    *v -= lr * g;
+                }
+            }
+            Optimizer::Adam { lr, beta1, beta2, eps, clip, t } => {
+                debug_assert!(t > 0, "call begin_step before step");
+                if p.m.len() != p.value.len() {
+                    p.m = vec![0.0; p.value.len()];
+                    p.v = vec![0.0; p.value.len()];
+                }
+                let bc1 = 1.0 - beta1.powi(t as i32);
+                let bc2 = 1.0 - beta2.powi(t as i32);
+                for i in 0..p.value.len() {
+                    let mut g = p.grad[i];
+                    if let Some(c) = clip {
+                        g = g.clamp(-c, c);
+                    }
+                    p.m[i] = beta1 * p.m[i] + (1.0 - beta1) * g;
+                    p.v[i] = beta2 * p.v[i] + (1.0 - beta2) * g * g;
+                    let m_hat = p.m[i] / bc1;
+                    let v_hat = p.v[i] / bc2;
+                    p.value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 with each optimizer.
+    fn minimize(mut opt: Optimizer, steps: usize) -> f32 {
+        let mut p = ParamBuf::new(vec![0.0]);
+        for _ in 0..steps {
+            opt.begin_step();
+            p.grad[0] = 2.0 * (p.value[0] - 3.0);
+            opt.step(&mut p);
+        }
+        p.value[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(Optimizer::sgd(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(Optimizer::adam(0.05), 800);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn step_zeroes_gradient() {
+        let mut opt = Optimizer::sgd(0.1);
+        let mut p = ParamBuf::new(vec![1.0]);
+        p.grad[0] = 1.0;
+        opt.step(&mut p);
+        assert_eq!(p.grad[0], 0.0);
+    }
+
+    #[test]
+    fn clipping_bounds_the_update() {
+        let mut opt = Optimizer::Sgd { lr: 1.0, clip: Some(0.5) };
+        let mut p = ParamBuf::new(vec![0.0]);
+        p.grad[0] = 100.0;
+        opt.step(&mut p);
+        assert_eq!(p.value[0], -0.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Trainable parameter buffers.
+//!
+//! Every layer owns one or more [`ParamBuf`]s: a flat value vector paired with
+//! a gradient accumulator and (lazily allocated) Adam moment vectors. The
+//! optimizer visits buffers through [`crate::optimizer::Optimizer::step`];
+//! keeping moments inside the buffer avoids a global registry and keeps
+//! layers independently serializable.
+
+use serde::{Deserialize, Serialize};
+
+/// A flat trainable parameter vector with its gradient and optimizer state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamBuf {
+    /// Parameter values.
+    pub value: Vec<f32>,
+    /// Gradient accumulator, same length as `value`.
+    #[serde(skip)]
+    pub grad: Vec<f32>,
+    /// Adam first-moment estimates (empty until the optimizer touches it).
+    #[serde(skip)]
+    pub m: Vec<f32>,
+    /// Adam second-moment estimates (empty until the optimizer touches it).
+    #[serde(skip)]
+    pub v: Vec<f32>,
+}
+
+impl ParamBuf {
+    /// Creates a buffer from initial values with a zeroed gradient.
+    pub fn new(value: Vec<f32>) -> Self {
+        let n = value.len();
+        ParamBuf { value, grad: vec![0.0; n], m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of scalar parameters in the buffer.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the buffer holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Resets the gradient accumulator to zero (and re-allocates it after
+    /// deserialization, where `grad` is skipped).
+    pub fn zero_grad(&mut self) {
+        if self.grad.len() != self.value.len() {
+            self.grad = vec![0.0; self.value.len()];
+        } else {
+            self.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// Serialized size in bytes when storing the weights as `f32`s, the
+    /// measure the paper uses for model memory (weights-only pickle).
+    pub fn size_bytes(&self) -> usize {
+        self.value.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = ParamBuf::new(vec![1.0, 2.0]);
+        p.grad[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_reallocates_after_deserialize() {
+        let p = ParamBuf::new(vec![1.0, 2.0, 3.0]);
+        let json = serde_json::to_string(&p).unwrap();
+        let mut back: ParamBuf = serde_json::from_str(&json).unwrap();
+        assert!(back.grad.is_empty());
+        back.zero_grad();
+        assert_eq!(back.grad.len(), 3);
+    }
+
+    #[test]
+    fn size_bytes_counts_f32() {
+        let p = ParamBuf::new(vec![0.0; 10]);
+        assert_eq!(p.size_bytes(), 40);
+    }
+}

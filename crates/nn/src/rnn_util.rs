@@ -1,0 +1,88 @@
+//! Small vector/matrix helpers shared by the recurrent cells.
+//!
+//! The recurrent baselines run with batch size 1 over short sequences, so the
+//! cells operate on plain `Vec<f32>` states with `[in x out]` row-major
+//! weight matrices.
+
+/// `out[j] += Σ_i x[i] * w[i*out_dim + j]` — applies `xᵀW` into `out`.
+pub fn matvec_acc(w: &[f32], x: &[f32], out: &mut [f32]) {
+    let out_dim = out.len();
+    debug_assert_eq!(w.len(), x.len() * out_dim);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &w[i * out_dim..(i + 1) * out_dim];
+        for (o, &wv) in out.iter_mut().zip(row.iter()) {
+            *o += xi * wv;
+        }
+    }
+}
+
+/// Accumulates `dW[i][j] += x[i] * dout[j]` and `dx[i] += Σ_j w[i][j] * dout[j]`.
+pub fn matvec_backward(
+    w: &[f32],
+    grad_w: &mut [f32],
+    x: &[f32],
+    grad_x: &mut [f32],
+    dout: &[f32],
+) {
+    let out_dim = dout.len();
+    debug_assert_eq!(w.len(), x.len() * out_dim);
+    for i in 0..x.len() {
+        let row = &w[i * out_dim..(i + 1) * out_dim];
+        let grow = &mut grad_w[i * out_dim..(i + 1) * out_dim];
+        let xi = x[i];
+        let mut acc = 0.0;
+        for j in 0..out_dim {
+            grow[j] += xi * dout[j];
+            acc += row[j] * dout[j];
+        }
+        grad_x[i] += acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_acc_basic() {
+        // W is 2x3: [[1,2,3],[4,5,6]]
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, 2.0];
+        let mut out = [0.0; 3];
+        matvec_acc(&w, &x, &mut out);
+        assert_eq!(out, [9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_backward_matches_finite_difference() {
+        let w = [0.5, -0.2, 0.1, 0.3, 0.7, -0.4];
+        let x = [0.9f32, -1.1];
+        let dout = [1.0f32, 1.0, 1.0]; // loss = sum(out)
+        let mut grad_w = [0.0; 6];
+        let mut grad_x = [0.0; 2];
+        matvec_backward(&w, &mut grad_w, &x, &mut grad_x, &dout);
+
+        let eps = 1e-3;
+        let f = |w: &[f32], x: &[f32]| {
+            let mut out = [0.0; 3];
+            matvec_acc(w, x, &mut out);
+            out.iter().sum::<f32>()
+        };
+        let mut w2 = w;
+        w2[4] += eps;
+        let plus = f(&w2, &x);
+        w2[4] -= 2.0 * eps;
+        let minus = f(&w2, &x);
+        assert!((grad_w[4] - (plus - minus) / (2.0 * eps)).abs() < 1e-2);
+
+        let mut x2 = x;
+        x2[0] += eps;
+        let plus = f(&w, &x2);
+        x2[0] -= 2.0 * eps;
+        let minus = f(&w, &x2);
+        assert!((grad_x[0] - (plus - minus) / (2.0 * eps)).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Target scaling: log transform + min-max normalization (paper §4.1).
+//!
+//! Positions and cardinalities are log-transformed and scaled into `[0, 1]`
+//! so a sigmoid output head can represent them. The scaler remembers the
+//! observed log range for inversion and exposes the `span` the q-error loss
+//! needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Log + min-max scaler fitted on training targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogMinMaxScaler {
+    min_log: f64,
+    max_log: f64,
+}
+
+impl LogMinMaxScaler {
+    /// Fits the scaler on raw (non-negative) target values.
+    ///
+    /// Values are shifted by `+1` before the log so zero targets (position 0,
+    /// cardinality 0) stay finite.
+    ///
+    /// # Panics
+    /// If `values` is empty or contains negatives.
+    pub fn fit(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot fit scaler on empty targets");
+        let mut min_log = f64::INFINITY;
+        let mut max_log = f64::NEG_INFINITY;
+        for &v in values {
+            assert!(v >= 0.0, "scaler targets must be non-negative, got {v}");
+            let l = (v + 1.0).ln();
+            min_log = min_log.min(l);
+            max_log = max_log.max(l);
+        }
+        LogMinMaxScaler { min_log, max_log }
+    }
+
+    /// Constructs a scaler from a known raw range `[min_value, max_value]`.
+    pub fn from_range(min_value: f64, max_value: f64) -> Self {
+        assert!(min_value >= 0.0 && max_value >= min_value, "invalid range");
+        LogMinMaxScaler { min_log: (min_value + 1.0).ln(), max_log: (max_value + 1.0).ln() }
+    }
+
+    /// Scales a raw target into `[0, 1]` (clamped).
+    pub fn scale(&self, value: f64) -> f32 {
+        let l = (value + 1.0).ln();
+        if self.span() == 0.0 {
+            // Degenerate: all training targets identical.
+            return 0.5;
+        }
+        (((l - self.min_log) / (self.max_log - self.min_log)).clamp(0.0, 1.0)) as f32
+    }
+
+    /// Inverts a scaled prediction back to the raw value domain.
+    pub fn unscale(&self, scaled: f32) -> f64 {
+        if self.span() == 0.0 {
+            return self.min_log.exp() - 1.0;
+        }
+        let l = self.min_log + (scaled as f64).clamp(0.0, 1.0) * (self.max_log - self.min_log);
+        (l.exp() - 1.0).max(0.0)
+    }
+
+    /// `max_log - min_log`, the de-scaling factor for the q-error loss.
+    pub fn span(&self) -> f32 {
+        (self.max_log - self.min_log) as f32
+    }
+
+    /// Smallest raw value representable by the scaler.
+    pub fn min_value(&self) -> f64 {
+        self.min_log.exp() - 1.0
+    }
+
+    /// Largest raw value representable by the scaler.
+    pub fn max_value(&self) -> f64 {
+        self.max_log.exp() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_range() {
+        let s = LogMinMaxScaler::fit(&[0.0, 10.0, 100.0, 5000.0]);
+        for &v in &[0.0, 1.0, 10.0, 99.0, 5000.0] {
+            let back = s.unscale(s.scale(v));
+            assert!(
+                (back - v).abs() < 1e-2 * (v + 1.0),
+                "roundtrip {v} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_clamps_out_of_range() {
+        let s = LogMinMaxScaler::fit(&[1.0, 100.0]);
+        assert_eq!(s.scale(0.0), 0.0);
+        assert_eq!(s.scale(1e9), 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let s = LogMinMaxScaler::fit(&[7.0, 7.0]);
+        assert_eq!(s.scale(7.0), 0.5);
+        assert!((s.unscale(0.5) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn span_matches_log_range() {
+        let s = LogMinMaxScaler::from_range(0.0, (std::f64::consts::E - 1.0) * 1.0);
+        assert!((s.span() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty targets")]
+    fn empty_fit_panics() {
+        let _ = LogMinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_target_panics() {
+        let _ = LogMinMaxScaler::fit(&[-1.0]);
+    }
+}

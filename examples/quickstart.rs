@@ -1,0 +1,89 @@
+//! Quickstart: train the three learned structures of the paper on one small
+//! collection and query each of them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{
+    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
+    LearnedSetIndex,
+};
+use setlearn_data::GeneratorConfig;
+
+fn main() {
+    // 1. A collection of sets (synthetic server-log shape, 2000 sets).
+    let collection = GeneratorConfig::rw(2_000, 42).generate();
+    let stats = collection.stats();
+    println!(
+        "collection: {} sets, {} unique elements, set sizes {}-{}",
+        stats.num_sets, stats.unique_elements, stats.min_set_size, stats.max_set_size
+    );
+
+    let vocab = collection.num_elements();
+    let guided = GuidedConfig {
+        warmup_epochs: 15,
+        rounds: 1,
+        epochs_per_round: 10,
+        percentile: 0.9,
+        batch_size: 128,
+        learning_rate: 3e-3,
+        seed: 7,
+    };
+
+    // A query: the first two elements of a stored set.
+    let query: Vec<u32> = collection.get(17)[..2].to_vec();
+
+    // 2. Cardinality estimation (compressed hybrid — the paper's recommended
+    //    variant).
+    let mut card_cfg = CardinalityConfig::new(DeepSetsConfig::clsm(vocab));
+    card_cfg.guided = guided.clone();
+    card_cfg.max_subset_size = 3;
+    let (estimator, card_report) = LearnedCardinality::build(&collection, &card_cfg);
+    println!(
+        "\ncardinality: trained on {} subsets, {} outliers exiled",
+        card_report.training_subsets, card_report.outliers
+    );
+    println!(
+        "  estimate({query:?}) = {:.1}   (exact: {})",
+        estimator.estimate(&query),
+        collection.cardinality(&query)
+    );
+    println!("  structure size: {:.3} MB", estimator.size_bytes() as f64 / 1e6);
+
+    // 3. Set indexing: first position of the query subset.
+    let mut index_cfg = IndexConfig::new(DeepSetsConfig::clsm(vocab));
+    index_cfg.guided = guided;
+    index_cfg.max_subset_size = 2;
+    let (index, index_report) = LearnedSetIndex::build(&collection, &index_cfg);
+    let profile = index.lookup_profiled(&collection, &query);
+    println!(
+        "\nindex: global error {:.0}, mean local bound {:.0}",
+        index_report.global_error, index_report.mean_local_error
+    );
+    println!(
+        "  first position of {query:?}: {:?} (exact: {:?}, scanned {} sets, aux: {})",
+        profile.position,
+        collection.first_position(&query),
+        profile.scanned,
+        profile.from_aux
+    );
+
+    // 4. Membership (learned Bloom filter with backup — no false negatives).
+    let bloom_cfg = BloomConfig::new(DeepSetsConfig::clsm(vocab));
+    let (filter, bloom_report) =
+        LearnedBloom::build_from_collection(&collection, 1_000, 1_000, 4, &bloom_cfg);
+    println!(
+        "\nbloom: training accuracy {:.4}, {} false negatives backed up",
+        bloom_report.training_accuracy, bloom_report.false_negatives
+    );
+    println!("  contains({query:?}) = {}", filter.contains(&query));
+    let absent = vec![0u32, vocab - 1];
+    println!(
+        "  contains({absent:?}) = {} (exact: {})",
+        filter.contains(&absent),
+        collection.contains_subset(&absent)
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella facade for the `setlearn` workspace.
+//!
+//! Re-exports the public crates so examples and downstream users can depend on
+//! a single package. See the individual crates for full documentation:
+//!
+//! * [`setlearn`] — the learned set structures (the paper's contribution)
+//! * [`setlearn_nn`] — the neural-network substrate
+//! * [`setlearn_data`] — dataset generators and workloads
+//! * [`setlearn_baselines`] — traditional competitors
+//! * [`setlearn_engine`] — mini query engine integration
+
+pub use setlearn;
+pub use setlearn_baselines;
+pub use setlearn_data;
+pub use setlearn_engine;
+pub use setlearn_nn;

@@ -1,0 +1,67 @@
+//! End-to-end learned Bloom filter: the no-false-negative guarantee and the
+//! memory advantage of the compressed variant.
+
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{BloomConfig, LearnedBloom};
+use setlearn_baselines::SetMembershipBloom;
+use setlearn_data::{workload::membership_queries, GeneratorConfig};
+
+fn cfg(vocab: u32, clsm: bool) -> BloomConfig {
+    let base = if clsm { DeepSetsConfig::clsm(vocab) } else { DeepSetsConfig::lsm(vocab) };
+    let mut c = BloomConfig::new(base);
+    c.epochs = 30;
+    c.learning_rate = 1e-2;
+    c
+}
+
+#[test]
+fn learned_filter_has_no_false_negatives_like_the_traditional_one() {
+    let collection = GeneratorConfig::rw(800, 19).generate();
+    let workload = membership_queries(&collection, 600, 600, 4, 5);
+    let (learned, _) = LearnedBloom::build(&workload, &cfg(collection.num_elements(), true));
+    // The traditional filter only answers queries up to its build-time size
+    // cap, so size it to the workload's largest positive.
+    let max_query = workload.iter().map(|(q, _)| q.len()).max().unwrap();
+    let traditional = SetMembershipBloom::build(&collection, max_query, 0.01);
+    for (q, label) in &workload {
+        if *label {
+            assert!(learned.contains(q), "learned FN on {q:?}");
+            assert!(traditional.contains(q), "traditional FN on {q:?}");
+        }
+    }
+}
+
+#[test]
+fn compressed_filter_is_smaller_at_large_vocabularies() {
+    let collection = GeneratorConfig::rw(600, 3).generate();
+    let workload = membership_queries(&collection, 300, 300, 4, 9);
+    // Declare a large id space (the paper's Table 10 regime).
+    let vocab = 100_000u32;
+    let (lsm, _) = LearnedBloom::build(&workload, &cfg(vocab, false));
+    let (clsm, _) = LearnedBloom::build(&workload, &cfg(vocab, true));
+    assert!(
+        clsm.model_size_bytes() * 10 < lsm.model_size_bytes(),
+        "clsm {} vs lsm {}",
+        clsm.model_size_bytes(),
+        lsm.model_size_bytes()
+    );
+}
+
+#[test]
+fn scores_separate_classes_on_average() {
+    let collection = GeneratorConfig::sd(400, 8).generate();
+    let workload = membership_queries(&collection, 400, 400, 4, 3);
+    let (filter, report) = LearnedBloom::build(&workload, &cfg(collection.num_elements(), false));
+    assert!(report.training_accuracy > 0.75, "accuracy {}", report.training_accuracy);
+    let (mut pos, mut neg, mut np, mut nn) = (0.0f64, 0.0f64, 0, 0);
+    for (q, label) in &workload {
+        if *label {
+            pos += filter.score(q) as f64;
+            np += 1;
+        } else {
+            neg += filter.score(q) as f64;
+            nn += 1;
+        }
+    }
+    assert!(pos / np as f64 > neg / nn as f64 + 0.2, "weak separation");
+}

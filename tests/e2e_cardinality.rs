@@ -1,0 +1,88 @@
+//! End-to-end cardinality estimation across crates: generator → subset
+//! enumeration → guided training → estimates vs the exact oracle.
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+use setlearn_baselines::CardinalityMap;
+use setlearn_data::{GeneratorConfig, SubsetIndex};
+use setlearn_nn::q_error;
+
+fn quick_guided(percentile: f64) -> GuidedConfig {
+    GuidedConfig {
+        warmup_epochs: 20,
+        rounds: 1,
+        epochs_per_round: 10,
+        percentile,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        seed: 3,
+    }
+}
+
+fn avg_qerr(est: &LearnedCardinality, subsets: &SubsetIndex, model_only: bool) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (s, info) in subsets.iter() {
+        let e = if model_only { est.estimate_model_only(s) } else { est.estimate(s) };
+        total += q_error(e, info.count as f64, 1.0);
+        n += 1;
+    }
+    total / n as f64
+}
+
+#[test]
+fn hybrid_estimator_beats_model_only_and_stays_accurate() {
+    let collection = GeneratorConfig::sd(600, 5).generate();
+    let subsets = SubsetIndex::build(&collection, 3);
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = quick_guided(0.9);
+    cfg.max_subset_size = 3;
+    let (est, report) = LearnedCardinality::build_from_subsets(&subsets, &cfg);
+    assert!(report.outliers > 0, "hybrid should exile some outliers");
+
+    let hybrid = avg_qerr(&est, &subsets, false);
+    let model_only = avg_qerr(&est, &subsets, true);
+    assert!(hybrid <= model_only, "hybrid {hybrid} vs model-only {model_only}");
+    assert!(hybrid < 2.5, "avg q-error too high: {hybrid}");
+}
+
+#[test]
+fn learned_estimator_is_much_smaller_than_the_hashmap() {
+    let collection = GeneratorConfig::rw(1_500, 9).generate();
+    let subsets = SubsetIndex::build(&collection, 3);
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::clsm(collection.num_elements()));
+    cfg.guided = quick_guided(0.9);
+    let (est, _) = LearnedCardinality::build_from_subsets(&subsets, &cfg);
+    let map = CardinalityMap::build(&collection, 3);
+    assert!(
+        est.size_bytes() * 3 < map.size_bytes(),
+        "learned {} vs hashmap {}",
+        est.size_bytes(),
+        map.size_bytes()
+    );
+    // The map is exact; the estimator should still be in its ballpark.
+    let q = &collection.get(3)[..2];
+    let e = est.estimate(q);
+    let t = map.cardinality(q) as f64;
+    assert!(q_error(e, t, 1.0) < 16.0, "estimate {e} vs truth {t}");
+}
+
+#[test]
+fn estimates_are_permutation_invariant() {
+    let collection = GeneratorConfig::sd(300, 2).generate();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = quick_guided(1.0);
+    cfg.max_subset_size = 2;
+    let (est, _) = LearnedCardinality::build(&collection, &cfg);
+    let set = collection.get(0);
+    let fwd: Vec<u32> = set.to_vec();
+    let mut rev = fwd.clone();
+    rev.reverse();
+    // The estimator canonicalizes nothing itself — queries are canonical
+    // sets — but any canonical ordering of the same ids must agree.
+    assert_eq!(est.estimate(&fwd), est.estimate(&fwd));
+    let mut sorted = rev;
+    sorted.sort_unstable();
+    assert_eq!(est.estimate(&fwd), est.estimate(&sorted));
+}

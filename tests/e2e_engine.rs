@@ -1,0 +1,74 @@
+//! End-to-end engine integration: SQL plans agree with the oracle, and the
+//! learned UDF's answers track the exact counts.
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+use setlearn_data::GeneratorConfig;
+use setlearn_engine::{Engine, ExecMode, SetTable};
+use setlearn_nn::q_error;
+
+#[test]
+fn all_three_plans_run_and_exact_plans_agree() {
+    let collection = GeneratorConfig::rw(1_000, 21).generate();
+    let engine = Engine::new();
+    engine.create_table(SetTable::from_collection("logs", collection.clone()), "tags");
+    engine.create_index("logs").unwrap();
+
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::clsm(collection.num_elements()));
+    cfg.guided = GuidedConfig {
+        warmup_epochs: 20,
+        rounds: 1,
+        epochs_per_round: 10,
+        percentile: 0.9,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        seed: 1,
+    };
+    cfg.max_subset_size = 3;
+    let (estimator, _) = LearnedCardinality::build(&collection, &cfg);
+    engine.register_estimator("logs", estimator).unwrap();
+
+    let mut total_qerr = 0.0;
+    let mut n = 0;
+    for (_, set) in collection.iter().take(40) {
+        let lit = set[..set.len().min(2)]
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let base = format!("SELECT COUNT(*) FROM logs WHERE tags @> {{{lit}}}");
+        let seq = engine.execute_sql(&format!("{base} USING seqscan")).unwrap();
+        let idx = engine.execute_sql(&format!("{base} USING index")).unwrap();
+        let est = engine.execute_sql(&format!("{base} USING estimate")).unwrap();
+        assert_eq!(seq.count, idx.count, "exact plans disagree on {lit}");
+        assert_eq!(seq.mode, ExecMode::SeqScan);
+        assert_eq!(idx.mode, ExecMode::Index);
+        assert!(!est.exact);
+        total_qerr += q_error(est.count, seq.count.max(1.0), 1.0);
+        n += 1;
+    }
+    let avg = total_qerr / n as f64;
+    assert!(avg < 4.0, "estimator too far off inside the engine: {avg}");
+}
+
+#[test]
+fn udf_memory_is_smaller_than_the_index() {
+    let collection = GeneratorConfig::rw(2_000, 33).generate();
+    let engine = Engine::new();
+    engine.create_table(SetTable::from_collection("t", collection.clone()), "tags");
+    engine.create_index("t").unwrap();
+    let index_bytes = engine.index_size_bytes("t").unwrap();
+
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::clsm(collection.num_elements()));
+    cfg.guided.percentile = 1.0;
+    cfg.guided.warmup_epochs = 2;
+    cfg.guided.epochs_per_round = 1;
+    let (estimator, _) = LearnedCardinality::build(&collection, &cfg);
+    assert!(
+        estimator.model_size_bytes() < index_bytes,
+        "model {} vs index {}",
+        estimator.model_size_bytes(),
+        index_bytes
+    );
+}

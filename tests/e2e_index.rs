@@ -1,0 +1,117 @@
+//! End-to-end learned set index: soundness of the hybrid search, update
+//! handling, and the degenerate fall-back behaviour.
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{IndexConfig, LearnedSetIndex};
+use setlearn_data::{GeneratorConfig, SubsetIndex};
+
+fn cfg(vocab: u32, percentile: f64) -> IndexConfig {
+    let mut c = IndexConfig::new(DeepSetsConfig::clsm(vocab));
+    c.guided = GuidedConfig {
+        warmup_epochs: 15,
+        rounds: 1,
+        epochs_per_round: 10,
+        percentile,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        seed: 7,
+    };
+    c.max_subset_size = 2;
+    c.range_length = 32.0;
+    c
+}
+
+#[test]
+fn hybrid_index_finds_every_trained_subset_exactly() {
+    let collection = GeneratorConfig::tweets(800, 15).generate();
+    let subsets = SubsetIndex::build(&collection, 2);
+    let (index, _) = LearnedSetIndex::build_from_subsets(
+        &collection,
+        &subsets,
+        &cfg(collection.num_elements(), 0.9),
+    );
+    for (s, info) in subsets.iter() {
+        assert_eq!(
+            index.lookup(&collection, s),
+            Some(info.first_pos as usize),
+            "subset {s:?}"
+        );
+    }
+}
+
+#[test]
+fn no_removal_variant_is_also_sound_but_scans_more() {
+    let collection = GeneratorConfig::rw(500, 4).generate();
+    let subsets = SubsetIndex::build(&collection, 2);
+    let (hybrid, hybrid_report) = LearnedSetIndex::build_from_subsets(
+        &collection,
+        &subsets,
+        &cfg(collection.num_elements(), 0.9),
+    );
+    let (raw, raw_report) = LearnedSetIndex::build_from_subsets(
+        &collection,
+        &subsets,
+        &cfg(collection.num_elements(), 1.0),
+    );
+    // Both sound.
+    for (s, info) in subsets.iter().take(500) {
+        assert_eq!(hybrid.lookup(&collection, s), Some(info.first_pos as usize));
+        assert_eq!(raw.lookup(&collection, s), Some(info.first_pos as usize));
+    }
+    // Removal leaves nothing in the raw aux tree, everything answered by
+    // scanning; the hybrid exiles outliers.
+    assert_eq!(raw.aux_len(), 0);
+    assert!(hybrid.aux_len() > 0);
+    assert!(raw_report.outliers == 0 && hybrid_report.outliers > 0);
+}
+
+#[test]
+fn updates_survive_and_dominate_lookups() {
+    let collection = GeneratorConfig::rw(400, 6).generate();
+    let (mut index, _) =
+        LearnedSetIndex::build(&collection, &cfg(collection.num_elements(), 0.9));
+    let q: Vec<u32> = collection.get(100)[..2].to_vec();
+    let original = index.lookup(&collection, &q);
+    assert!(original.is_some());
+    index.record_update(&q, 1);
+    assert_eq!(index.lookup(&collection, &q), Some(1));
+    // aux_fraction grows with updates — the §7.2 rebuild signal.
+    assert!(index.aux_fraction(1_000) > 0.0);
+}
+
+#[test]
+fn last_occurrence_index_finds_the_last_position() {
+    let collection = GeneratorConfig::rw(400, 12).generate();
+    let mut c = cfg(collection.num_elements(), 0.9);
+    c.target = setlearn::tasks::PositionTarget::Last;
+    let subsets = SubsetIndex::build(&collection, 2);
+    let (index, _) = LearnedSetIndex::build_from_subsets(&collection, &subsets, &c);
+    for (s, info) in subsets.iter() {
+        assert_eq!(
+            index.lookup(&collection, s),
+            Some(info.last_pos as usize),
+            "subset {s:?}"
+        );
+    }
+    // Batch agrees.
+    let queries: Vec<setlearn_data::ElementSet> =
+        subsets.iter().take(100).map(|(s, _)| s.clone()).collect();
+    let batch = index.lookup_batch(&collection, &queries);
+    for (q, b) in queries.iter().zip(batch) {
+        assert_eq!(b, index.lookup(&collection, q));
+    }
+}
+
+#[test]
+fn out_of_contract_queries_do_not_panic() {
+    let collection = GeneratorConfig::rw(300, 8).generate();
+    let (index, _) =
+        LearnedSetIndex::build(&collection, &cfg(collection.num_elements(), 0.9));
+    // Larger than the trained subset cap: allowed to miss, must not panic.
+    let big: Vec<u32> = collection.get(0).to_vec();
+    let _ = index.lookup(&collection, &big);
+    // Non-existent combination.
+    let ghost = vec![0u32, collection.num_elements() - 1];
+    let _ = index.lookup(&collection, &ghost);
+}

@@ -1,0 +1,117 @@
+//! §7.2 lifecycle: a deployed estimator absorbs updates through its delta
+//! layer, the drift monitor watches accuracy and the update budget, and a
+//! rebuild restores the baseline.
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::monitor::{DriftMonitor, MonitorConfig, RetrainReason};
+use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+use setlearn_data::{GeneratorConfig, SetCollection, SubsetIndex};
+use setlearn_nn::q_error;
+
+fn build(collection: &SetCollection) -> LearnedCardinality {
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = GuidedConfig {
+        warmup_epochs: 20,
+        rounds: 1,
+        epochs_per_round: 10,
+        percentile: 0.9,
+        batch_size: 64,
+        learning_rate: 5e-3,
+        seed: 13,
+    };
+    cfg.max_subset_size = 2;
+    LearnedCardinality::build(collection, &cfg).0
+}
+
+fn baseline_q_error(est: &LearnedCardinality, collection: &SetCollection) -> f64 {
+    let subsets = SubsetIndex::build(collection, 2);
+    let mut total = 0.0;
+    let mut n = 0;
+    for (s, info) in subsets.iter() {
+        total += q_error(est.estimate(s), info.count as f64, 1.0);
+        n += 1;
+    }
+    total / n as f64
+}
+
+#[test]
+fn updates_monitor_and_rebuild_close_the_loop() {
+    // Phase 1: build on the initial collection and record the baseline.
+    let initial = GeneratorConfig::sd(500, 21).generate();
+    let mut est = build(&initial);
+    let baseline = baseline_q_error(&est, &initial);
+    let mut monitor = DriftMonitor::new(
+        baseline.max(1.0),
+        MonitorConfig {
+            window: 128,
+            degradation_factor: 1.5,
+            max_updates: 400,
+            min_observations: 32,
+        },
+    );
+    assert!(monitor.should_retrain().is_none());
+
+    // Phase 2: the collection grows — new sets arrive, routed through the
+    // delta layer; the application also feeds back observed truths.
+    let arrivals = GeneratorConfig::sd(400, 77).generate();
+    let mut grown_sets: Vec<Vec<u32>> = initial.sets().iter().map(|s| s.to_vec()).collect();
+    for (_, set) in arrivals.iter() {
+        // Remap arrivals into the existing vocabulary.
+        let remapped: Vec<u32> =
+            set.iter().map(|&e| e % initial.num_elements()).collect();
+        let remapped = setlearn_data::normalize(remapped);
+        if remapped.is_empty() {
+            continue;
+        }
+        est.note_inserted_set(&remapped);
+        monitor.record_update();
+        grown_sets.push(remapped.to_vec());
+    }
+    let grown = SetCollection::new(grown_sets, initial.num_elements());
+
+    // The delta layer keeps single-element estimates exactly in sync.
+    let subsets_after = SubsetIndex::build(&grown, 1);
+    for (s, info) in subsets_after.iter().take(200) {
+        monitor.observe(est.estimate(s), info.count as f64);
+    }
+    // Deltas make the estimator track the grown collection well...
+    let drifted = baseline_q_error(&est, &grown);
+    // ...but the update budget (400 arrivals) has been exhausted.
+    assert_eq!(monitor.pending_updates(), 400);
+    assert_eq!(monitor.should_retrain(), Some(RetrainReason::UpdateBudget));
+
+    // Phase 3: rebuild on the grown collection and reset the monitor.
+    let rebuilt = build(&grown);
+    let rebuilt_q = baseline_q_error(&rebuilt, &grown);
+    monitor.reset(rebuilt_q.max(1.0));
+    assert!(monitor.should_retrain().is_none());
+    assert_eq!(rebuilt.pending_updates(), 0);
+    assert!(
+        rebuilt_q <= drifted * 1.5,
+        "rebuild should not be worse than the drifted structure: {rebuilt_q} vs {drifted}"
+    );
+}
+
+#[test]
+fn accuracy_drop_alone_also_triggers() {
+    let collection = GeneratorConfig::sd(300, 9).generate();
+    let est = build(&collection);
+    let baseline = baseline_q_error(&est, &collection);
+    let mut monitor = DriftMonitor::new(
+        baseline.max(1.0),
+        MonitorConfig {
+            window: 64,
+            degradation_factor: 1.5,
+            max_updates: usize::MAX,
+            min_observations: 16,
+        },
+    );
+    // Feed estimates against *wrong* truths (simulating a distribution the
+    // model has never seen).
+    for (_, set) in collection.iter().take(64) {
+        let q = &set[..1];
+        monitor.observe(est.estimate(q), 10_000.0);
+    }
+    assert_eq!(monitor.should_retrain(), Some(RetrainReason::AccuracyDrop));
+}

@@ -1,0 +1,116 @@
+//! Property tests against independent oracles: the B+ tree against
+//! `BTreeMap`, the inverted index against brute-force scans, subset
+//! enumeration against the powerset, and the Zipf sampler's distribution
+//! bounds.
+
+use proptest::prelude::*;
+use setlearn_baselines::BPlusTree;
+use setlearn_data::set::{for_each_subset, normalize};
+use setlearn_data::{SetCollection, Zipf};
+use setlearn_engine::InvertedIndex;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// B+ tree behaves exactly like a BTreeMap<u64, Vec<u32>> multimap.
+    #[test]
+    fn bptree_matches_btreemap(
+        ops in proptest::collection::vec((0u64..2_000, 0u32..10_000), 1..600),
+        order in 4usize..64,
+    ) {
+        let mut tree = BPlusTree::new(order);
+        let mut oracle: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for &(k, v) in &ops {
+            tree.insert(k, v);
+            let bucket = oracle.entry(k).or_default();
+            let at = bucket.partition_point(|&p| p < v);
+            bucket.insert(at, v);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), ops.len());
+        for (k, vs) in &oracle {
+            prop_assert_eq!(tree.get(*k), Some(vs.as_slice()));
+            prop_assert_eq!(tree.first_position(*k), Some(vs[0]));
+            prop_assert_eq!(tree.last_position(*k), Some(*vs.last().unwrap()));
+        }
+        // Ordered iteration matches the oracle exactly.
+        let got: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
+        let want: Vec<u64> = oracle.keys().copied().collect();
+        prop_assert_eq!(got, want);
+        // Range scans agree on a random window.
+        if let (Some(&lo), Some(&hi)) = (oracle.keys().next(), oracle.keys().last()) {
+            let mid = lo + (hi - lo) / 2;
+            let got: Vec<u64> = tree.range(lo, mid).iter().map(|&(k, _)| k).collect();
+            let want: Vec<u64> = oracle.range(lo..=mid).map(|(&k, _)| k).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Inverted-index counts equal brute-force subset counts for arbitrary
+    /// collections and queries.
+    #[test]
+    fn inverted_index_matches_bruteforce(
+        raw_sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..40, 1..6), 1..60),
+        raw_query in proptest::collection::vec(0u32..40, 1..4),
+    ) {
+        let collection = SetCollection::new(raw_sets, 40);
+        let idx = InvertedIndex::build(&collection);
+        let q = normalize(raw_query);
+        prop_assert_eq!(idx.count_subset(&q), collection.cardinality(&q));
+        let rows = idx.rows_with_subset(&q);
+        prop_assert_eq!(rows.len() as u64, collection.cardinality(&q));
+        prop_assert_eq!(rows.first().map(|&r| r as usize), collection.first_position(&q));
+    }
+
+    /// Capped subset enumeration equals the filtered powerset.
+    #[test]
+    fn subset_enumeration_matches_powerset(
+        raw in proptest::collection::vec(0u32..30, 1..8),
+        cap in 1usize..5,
+    ) {
+        let set = normalize(raw);
+        prop_assume!(!set.is_empty());
+        let mut enumerated: Vec<Vec<u32>> = Vec::new();
+        for_each_subset(&set, cap, |s| enumerated.push(s.to_vec()));
+        // Powerset via bitmask.
+        let mut expected: Vec<Vec<u32>> = Vec::new();
+        for mask in 1u32..(1 << set.len()) {
+            if (mask.count_ones() as usize) <= cap {
+                expected.push(
+                    set.iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, &e)| e)
+                        .collect(),
+                );
+            }
+        }
+        enumerated.sort();
+        expected.sort();
+        prop_assert_eq!(enumerated, expected);
+    }
+
+    /// Zipf samples stay in range and rank-0 dominates the tail for s > 0.
+    #[test]
+    fn zipf_is_in_range_and_head_heavy(n in 2usize..200, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, 1.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..500 {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 {
+                head += 1;
+            } else if r >= n / 2 {
+                tail += 1;
+            }
+        }
+        // For s = 1.2 the single head rank should outweigh the entire upper
+        // half of the support on average; allow generous slack.
+        prop_assert!(head * 3 > tail, "head {head} vs tail-half {tail} (n {n})");
+    }
+}

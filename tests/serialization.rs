@@ -1,0 +1,57 @@
+//! Serialization roundtrips: trained structures keep their answers after a
+//! JSON dump/load (the paper persists weight-only model dumps).
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::{DeepSets, DeepSetsConfig};
+use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+use setlearn_data::GeneratorConfig;
+
+fn quick_guided() -> GuidedConfig {
+    GuidedConfig {
+        warmup_epochs: 5,
+        rounds: 1,
+        epochs_per_round: 3,
+        percentile: 0.9,
+        batch_size: 64,
+        learning_rate: 5e-3,
+        seed: 2,
+    }
+}
+
+#[test]
+fn deepsets_roundtrips_through_json() {
+    let model = DeepSets::new(DeepSetsConfig::clsm(1_000));
+    let json = serde_json::to_string(&model).expect("serialize");
+    let back: DeepSets = serde_json::from_str(&json).expect("deserialize");
+    for q in [&[1u32, 2][..], &[999u32][..], &[5u32, 50, 500][..]] {
+        assert_eq!(model.predict_one(q), back.predict_one(q));
+    }
+}
+
+#[test]
+fn trained_estimator_roundtrips_through_json() {
+    let collection = GeneratorConfig::sd(200, 6).generate();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = quick_guided();
+    cfg.max_subset_size = 2;
+    let (est, _) = LearnedCardinality::build(&collection, &cfg);
+    let json = serde_json::to_string(&est).expect("serialize");
+    let back: LearnedCardinality = serde_json::from_str(&json).expect("deserialize");
+    for (_, set) in collection.iter().take(20) {
+        let q = &set[..2.min(set.len())];
+        assert_eq!(est.estimate(q), back.estimate(q), "query {q:?}");
+    }
+}
+
+#[test]
+fn deserialized_model_can_keep_training() {
+    let model = DeepSets::new(DeepSetsConfig::lsm(100));
+    let json = serde_json::to_string(&model).unwrap();
+    let mut back: DeepSets = serde_json::from_str(&json).unwrap();
+    back.zero_grad(); // restores the skipped gradient buffers
+    let data = vec![(vec![1u32, 2], 0.7f32), (vec![3u32], 0.2)];
+    let mut opt = setlearn_nn::Optimizer::adam(0.01);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let loss = back.train_epoch(&data, setlearn_nn::Loss::Mse, &mut opt, 2, &mut rng);
+    assert!(loss.is_finite());
+}
