@@ -41,14 +41,13 @@ impl Args {
             if key.is_empty() {
                 return Err(ArgError("empty option name".into()));
             }
-            match iter.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let value = iter.next().expect("peeked");
+            match iter.next_if(|next| !next.starts_with("--")) {
+                Some(value) => {
                     if options.insert(key.clone(), value).is_some() {
                         return Err(ArgError(format!("duplicate option --{key}")));
                     }
                 }
-                _ => flags.push(key),
+                None => flags.push(key),
             }
         }
         Ok(Args { command, options, flags })

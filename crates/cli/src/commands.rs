@@ -13,20 +13,32 @@ use setlearn_engine::{Engine, SetTable};
 /// Uniform CLI error type.
 pub type CliError = Box<dyn std::error::Error>;
 
+/// Wraps an error with the file path it concerns, so `error: No such file
+/// or directory` becomes actionable.
+fn with_path<'a, E: std::fmt::Display>(
+    action: &'static str,
+    path: &'a str,
+) -> impl FnOnce(E) -> CliError + 'a {
+    move |e| format!("cannot {action} {path}: {e}").into()
+}
+
 fn load_collection(path: &str) -> Result<SetCollection, CliError> {
-    let file = std::io::BufReader::new(std::fs::File::open(path)?);
-    Ok(serde_json::from_reader(file)?)
+    load(path)
 }
 
 fn save<T: serde::Serialize>(value: &T, path: &str) -> Result<(), CliError> {
-    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    serde_json::to_writer(file, value)?;
+    let file = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(with_path("create", path))?,
+    );
+    serde_json::to_writer(file, value).map_err(with_path("write", path))?;
     Ok(())
 }
 
 fn load<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
-    let file = std::io::BufReader::new(std::fs::File::open(path)?);
-    Ok(serde_json::from_reader(file)?)
+    let file = std::io::BufReader::new(
+        std::fs::File::open(path).map_err(with_path("open", path))?,
+    );
+    serde_json::from_reader(file).map_err(with_path("parse", path))
 }
 
 /// `setlearn generate --dataset rw|tweets|sd --sets N [--seed S] --out FILE`
@@ -126,6 +138,15 @@ fn guided_from_args(args: &Args) -> Result<GuidedConfig, CliError> {
     })
 }
 
+/// Prints the harness training summary and warns (without failing the
+/// command) when training ended in a degraded state.
+fn report_training(train: &setlearn::TrainReport) {
+    println!("training: {train}");
+    if !train.is_healthy() {
+        eprintln!("warning: training degraded ({}); consider lowering --lr", train.stop_reason);
+    }
+}
+
 fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> {
     let mut model = if args.has_flag("compressed") {
         DeepSetsConfig::clsm(vocab)
@@ -156,6 +177,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             };
             let (est, report) = LearnedCardinality::build(&collection, &cfg);
             save(&est, out)?;
+            report_training(&report.train);
             println!(
                 "trained cardinality estimator on {} subsets ({} outliers); saved to {out} ({:.3} MB)",
                 report.training_subsets,
@@ -177,6 +199,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             };
             let (index, report) = LearnedSetIndex::build(&collection, &cfg);
             save(&index, out)?;
+            report_training(&report.train);
             println!(
                 "trained set index on {} subsets ({} outliers, global error {:.0}); saved to {out} ({:.3} MB)",
                 report.training_subsets,
@@ -198,6 +221,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                 &cfg,
             );
             save(&filter, out)?;
+            report_training(&report.train);
             println!(
                 "trained bloom filter (accuracy {:.4}, {} backed-up false negatives); saved to {out} ({:.1} KB)",
                 report.training_accuracy,
@@ -409,6 +433,25 @@ mod tests {
         for f in [&text_in, &coll, &dict, &text_out, &sorted] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn missing_files_error_with_path_context_instead_of_panicking() {
+        let err = run(&args(&["stats", "--collection", "/nonexistent/nope.json"])).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/nope.json"), "got: {err}");
+        let err =
+            run(&args(&["estimate", "--model", "/nonexistent/m.json", "--query", "1"]))
+                .unwrap_err();
+        assert!(err.to_string().contains("cannot open"), "got: {err}");
+    }
+
+    #[test]
+    fn corrupt_model_file_errors_instead_of_panicking() {
+        let path = tmp("garbage-model.json");
+        std::fs::write(&path, b"{ not json ").unwrap();
+        let err = run(&args(&["estimate", "--model", &path, "--query", "1"])).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"), "got: {err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! this module provides the shared training loop and the error-bound table.
 
 use crate::model::DeepSets;
+use crate::monitor::DriftMonitor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use setlearn_data::ElementSet;
-use setlearn_nn::{Loss, Optimizer};
+use setlearn_nn::{Decision, Loss, Optimizer, TrainHarness, TrainPolicy, TrainReport};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of the guided-learning process.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -121,6 +123,118 @@ pub fn guided_train(
     }
 
     GuidedOutcome { outlier_indices: outliers, loss_history: history }
+}
+
+/// Fault-tolerant variant of [`guided_train`]: the same guided-learning
+/// schedule (warm-up, outlier sweeps, fine-tuning) driven through a
+/// [`TrainHarness`], so non-finite losses/gradients are skipped, divergence
+/// restores the last-good snapshot and backs the learning rate off, and the
+/// caller gets a structured [`TrainReport`] next to the usual outcome.
+///
+/// `policy.max_epochs` is overridden with the schedule's total epoch count;
+/// every other knob (recovery budget, backoff, patience) is honored. On a
+/// clean run the training trajectory is identical to [`guided_train`]'s.
+pub fn guided_train_hardened(
+    model: &mut DeepSets,
+    data: &[(ElementSet, f32)],
+    loss: Loss,
+    cfg: &GuidedConfig,
+    policy: &TrainPolicy,
+) -> (GuidedOutcome, TrainReport) {
+    assert!(!data.is_empty(), "guided training needs data");
+    assert!(
+        (0.0..=1.0).contains(&cfg.percentile),
+        "percentile must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Optimizer::adam(cfg.learning_rate);
+    model.zero_grad();
+
+    let total_epochs = cfg.warmup_epochs + cfg.rounds * cfg.epochs_per_round;
+    let mut policy = policy.clone();
+    policy.max_epochs = total_epochs.max(1);
+    let mut harness = TrainHarness::new(policy, opt.learning_rate());
+
+    let mut active: Vec<usize> = (0..data.len()).collect();
+    let mut outliers: Vec<usize> = Vec::new();
+    let mut stopped = false;
+
+    let run_epochs = |model: &mut DeepSets,
+                          active: &[usize],
+                          epochs: usize,
+                          harness: &mut TrainHarness,
+                          rng: &mut StdRng,
+                          opt: &mut Optimizer,
+                          stopped: &mut bool| {
+        if *stopped {
+            return;
+        }
+        let view: Vec<(&[u32], f32)> =
+            active.iter().map(|&i| (&*data[i].0, data[i].1)).collect();
+        for _ in 0..epochs {
+            opt.set_learning_rate(harness.lr());
+            let stats = model.train_epoch_guarded(&view, loss, opt, cfg.batch_size, rng, None);
+            match harness.end_epoch(&stats, || model.snapshot_weights()) {
+                Decision::Continue => {}
+                Decision::Restore(snapshot) => {
+                    if !snapshot.is_empty() {
+                        model
+                            .load_weight_buffers(&snapshot)
+                            .expect("snapshot matches model");
+                    }
+                    model.reset_optimizer_state();
+                    model.zero_grad();
+                }
+                Decision::Stop(_) => {
+                    *stopped = true;
+                    return;
+                }
+            }
+        }
+    };
+
+    run_epochs(model, &active, cfg.warmup_epochs, &mut harness, &mut rng, &mut opt, &mut stopped);
+
+    for _ in 0..cfg.rounds {
+        if cfg.percentile < 1.0 && active.len() > 1 {
+            let view: Vec<(&[u32], f32)> =
+                active.iter().map(|&i| (&*data[i].0, data[i].1)).collect();
+            let errors = model.per_sample_losses(&view, loss);
+            let mut sorted = errors.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let cut_idx = ((sorted.len() as f64 - 1.0) * cfg.percentile).floor() as usize;
+            let threshold = sorted[cut_idx];
+            let (keep, exile): (Vec<usize>, Vec<usize>) = active
+                .iter()
+                .zip(errors.iter())
+                .partition_map(|(&i, &e)| if e <= threshold { Ok(i) } else { Err(i) });
+            outliers.extend(exile);
+            if !keep.is_empty() {
+                active = keep;
+            }
+        }
+        run_epochs(
+            model,
+            &active,
+            cfg.epochs_per_round,
+            &mut harness,
+            &mut rng,
+            &mut opt,
+            &mut stopped,
+        );
+    }
+
+    let (report, best) = harness.finish_with_best();
+    // Guided learning wants the *final* weights (they reflect the last
+    // retained set), but a run whose tail diverged must not ship poisoned
+    // weights — fall back to the best snapshot.
+    if model.has_non_finite_weights() {
+        if let Some(best) = best {
+            model.load_weight_buffers(&best).expect("snapshot matches model");
+        }
+    }
+    let history = report.loss_history.clone();
+    (GuidedOutcome { outlier_indices: outliers, loss_history: history }, report)
 }
 
 /// Automatic outlier-threshold selection (paper §6: "the threshold is guided
@@ -269,6 +383,145 @@ impl LocalErrorBounds {
     }
 }
 
+/// Why a served prediction was rejected and answered by the auxiliary
+/// (exact) path instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackReason {
+    /// The model produced NaN or ±∞.
+    NonFinite,
+    /// The prediction fell outside the structure's valid output domain.
+    OutOfBounds,
+}
+
+/// Serve-time prediction guard for hybrid structures.
+///
+/// A deployed model can go bad — weights corrupted on disk, NaN introduced
+/// by a poisoned update, drift pushing predictions far outside the trained
+/// domain. The guard checks every model output against the valid domain
+/// `[lo, hi]` established at build time and reroutes offenders to the
+/// auxiliary exact structure, counting the events so a [`DriftMonitor`] can
+/// raise the retrain signal when fallbacks pile up.
+///
+/// Counters are atomic: serving stays `&self` and thread-safe.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ServeGuard {
+    lo: f64,
+    hi: f64,
+    #[serde(skip)]
+    served: AtomicU64,
+    #[serde(skip)]
+    non_finite: AtomicU64,
+    #[serde(skip)]
+    out_of_bounds: AtomicU64,
+}
+
+impl Clone for ServeGuard {
+    fn clone(&self) -> Self {
+        ServeGuard {
+            lo: self.lo,
+            hi: self.hi,
+            served: AtomicU64::new(self.served.load(Ordering::Relaxed)),
+            non_finite: AtomicU64::new(self.non_finite.load(Ordering::Relaxed)),
+            out_of_bounds: AtomicU64::new(self.out_of_bounds.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for ServeGuard {
+    /// A permissive guard that only rejects non-finite predictions (used
+    /// when deserializing structures persisted before guards existed).
+    fn default() -> Self {
+        ServeGuard {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            served: AtomicU64::new(0),
+            non_finite: AtomicU64::new(0),
+            out_of_bounds: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeGuard {
+    /// Builds a guard for the valid output domain `[lo, hi]`.
+    ///
+    /// # Panics
+    /// If the bounds are NaN or inverted.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "guard bounds must not be NaN");
+        assert!(lo <= hi, "inverted guard bounds: [{lo}, {hi}]");
+        ServeGuard { lo, hi, ..Self::default() }
+    }
+
+    /// Checks a prediction: `Ok` passes it through, `Err` means the caller
+    /// must answer from the auxiliary structure. Counts both outcomes.
+    pub fn admit(&self, prediction: f64) -> Result<f64, FallbackReason> {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if !prediction.is_finite() {
+            self.non_finite.fetch_add(1, Ordering::Relaxed);
+            return Err(FallbackReason::NonFinite);
+        }
+        if prediction < self.lo || prediction > self.hi {
+            self.out_of_bounds.fetch_add(1, Ordering::Relaxed);
+            return Err(FallbackReason::OutOfBounds);
+        }
+        Ok(prediction)
+    }
+
+    /// Like [`ServeGuard::admit`], but degrades instead of failing: an
+    /// out-of-bound prediction is clamped into the domain and a non-finite
+    /// one becomes the domain's lower bound. The reason (if any) still
+    /// reports the event so the caller can feed a monitor.
+    pub fn admit_or_clamp(&self, prediction: f64) -> (f64, Option<FallbackReason>) {
+        match self.admit(prediction) {
+            Ok(p) => (p, None),
+            Err(FallbackReason::NonFinite) => {
+                (if self.lo.is_finite() { self.lo } else { 0.0 }, Some(FallbackReason::NonFinite))
+            }
+            Err(FallbackReason::OutOfBounds) => {
+                (prediction.clamp(self.lo, self.hi), Some(FallbackReason::OutOfBounds))
+            }
+        }
+    }
+
+    /// Records a fallback into a drift monitor (convenience for serve paths
+    /// holding an optional monitor).
+    pub fn notify(reason: Option<FallbackReason>, monitor: Option<&mut DriftMonitor>) {
+        if let (Some(_), Some(m)) = (reason, monitor) {
+            m.record_fallback();
+        }
+    }
+
+    /// Total predictions checked.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Non-finite rejections.
+    pub fn non_finite_fallbacks(&self) -> u64 {
+        self.non_finite.load(Ordering::Relaxed)
+    }
+
+    /// Out-of-bounds rejections.
+    pub fn out_of_bounds_fallbacks(&self) -> u64 {
+        self.out_of_bounds.load(Ordering::Relaxed)
+    }
+
+    /// Total rejections of either kind.
+    pub fn fallbacks(&self) -> u64 {
+        self.non_finite_fallbacks() + self.out_of_bounds_fallbacks()
+    }
+
+    /// Fraction of served predictions that fell back (`0.0` before any
+    /// serve).
+    pub fn fallback_fraction(&self) -> f64 {
+        let served = self.served();
+        if served == 0 {
+            return 0.0;
+        }
+        self.fallbacks() as f64 / served as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +662,119 @@ mod tests {
         let (outcome, fraction) = guided_train_auto(&mut model, &data, Loss::Mse, &cfg, 1e-9);
         assert!(fraction <= 0.1, "fraction {fraction}");
         assert!(outcome.outlier_indices.len() >= data.len() - 2);
+    }
+
+    #[test]
+    fn hardened_guided_training_matches_plain_on_clean_data() {
+        let mut data: Vec<(ElementSet, f32)> = Vec::new();
+        for i in 1..40u32 {
+            data.push((normalize(vec![0, i]), 0.9));
+            data.push((normalize(vec![i, i + 64]), 0.1));
+        }
+        let cfg = DeepSetsConfig {
+            vocab: 256,
+            embedding_dim: 4,
+            phi_hidden: vec![16],
+            rho_hidden: vec![16],
+            pooling: crate::model::Pooling::Sum,
+            hidden_activation: setlearn_nn::Activation::Tanh,
+            output_activation: setlearn_nn::Activation::Sigmoid,
+            compression: CompressionKind::None,
+            seed: 3,
+        };
+        let gcfg = GuidedConfig {
+            warmup_epochs: 10,
+            rounds: 1,
+            epochs_per_round: 5,
+            percentile: 0.9,
+            batch_size: 16,
+            learning_rate: 0.01,
+            seed: 1,
+        };
+        let mut plain = DeepSets::new(cfg.clone());
+        let plain_outcome = guided_train(&mut plain, &data, Loss::Mse, &gcfg);
+        let mut hardened = DeepSets::new(cfg);
+        let (outcome, report) = guided_train_hardened(
+            &mut hardened,
+            &data,
+            Loss::Mse,
+            &gcfg,
+            &setlearn_nn::TrainPolicy::default(),
+        );
+        // A clean run is bit-identical to the unhardened path.
+        assert_eq!(outcome.loss_history, plain_outcome.loss_history);
+        assert_eq!(outcome.outlier_indices, plain_outcome.outlier_indices);
+        assert_eq!(hardened.weight_buffers(), plain.weight_buffers());
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.epochs_run, 15);
+        assert!(report.is_healthy());
+    }
+
+    #[test]
+    fn serve_guard_admits_in_domain_predictions() {
+        let g = ServeGuard::new(0.0, 100.0);
+        assert_eq!(g.admit(42.0), Ok(42.0));
+        assert_eq!(g.admit(0.0), Ok(0.0));
+        assert_eq!(g.admit(100.0), Ok(100.0));
+        assert_eq!(g.served(), 3);
+        assert_eq!(g.fallbacks(), 0);
+        assert_eq!(g.fallback_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serve_guard_rejects_and_counts_bad_predictions() {
+        let g = ServeGuard::new(0.0, 100.0);
+        assert_eq!(g.admit(f64::NAN), Err(FallbackReason::NonFinite));
+        assert_eq!(g.admit(f64::INFINITY), Err(FallbackReason::NonFinite));
+        assert_eq!(g.admit(-5.0), Err(FallbackReason::OutOfBounds));
+        assert_eq!(g.admit(1e9), Err(FallbackReason::OutOfBounds));
+        assert_eq!(g.admit(50.0), Ok(50.0));
+        assert_eq!(g.non_finite_fallbacks(), 2);
+        assert_eq!(g.out_of_bounds_fallbacks(), 2);
+        assert_eq!(g.fallback_fraction(), 0.8);
+    }
+
+    #[test]
+    fn serve_guard_clamps_when_degrading() {
+        let g = ServeGuard::new(1.0, 10.0);
+        assert_eq!(g.admit_or_clamp(5.0), (5.0, None));
+        assert_eq!(g.admit_or_clamp(-3.0), (1.0, Some(FallbackReason::OutOfBounds)));
+        assert_eq!(g.admit_or_clamp(99.0), (10.0, Some(FallbackReason::OutOfBounds)));
+        assert_eq!(g.admit_or_clamp(f64::NAN), (1.0, Some(FallbackReason::NonFinite)));
+    }
+
+    #[test]
+    fn serve_guard_feeds_the_drift_monitor() {
+        use crate::monitor::{MonitorConfig, RetrainReason};
+        let g = ServeGuard::new(0.0, 1.0);
+        let mut monitor = crate::monitor::DriftMonitor::new(
+            1.1,
+            MonitorConfig { max_fallbacks: 3, ..MonitorConfig::default() },
+        );
+        for _ in 0..3 {
+            let (_, reason) = g.admit_or_clamp(f64::NAN);
+            ServeGuard::notify(reason, Some(&mut monitor));
+        }
+        assert_eq!(monitor.should_retrain(), Some(RetrainReason::ServeFallbacks));
+    }
+
+    #[test]
+    fn serve_guard_counters_survive_cloning_but_not_serialization() {
+        let g = ServeGuard::new(0.0, 1.0);
+        let _ = g.admit(f64::NAN);
+        let clone = g.clone();
+        assert_eq!(clone.fallbacks(), 1);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ServeGuard = serde_json::from_str(&json).unwrap();
+        // Bounds persist; counters are runtime-only.
+        assert_eq!(back.admit(2.0), Err(FallbackReason::OutOfBounds));
+        assert_eq!(back.fallbacks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted guard bounds")]
+    fn serve_guard_rejects_inverted_bounds() {
+        let _ = ServeGuard::new(10.0, 0.0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod settransformer;
 pub mod tasks;
 
 pub use compress::CompressionSpec;
-pub use hybrid::{GuidedConfig, LocalErrorBounds};
+pub use hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
 pub use monitor::{DriftMonitor, MonitorConfig, RetrainReason};
 pub use model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
 pub use settransformer::{SetTransformer, SetTransformerConfig};
@@ -61,3 +61,6 @@ pub use tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
     LearnedSetIndex,
 };
+// Task build reports embed the training harness report; re-export its types so
+// downstream crates can consume them without depending on `setlearn-nn`.
+pub use setlearn_nn::{StopReason, TrainPolicy, TrainReport};

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use setlearn_nn::{Activation, Loss, Matrix, Mlp, Optimizer};
+use setlearn_nn::{Activation, EpochStats, Loss, Matrix, Mlp, Optimizer};
 
 /// Permutation-invariant pooling over the φ-transformed elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -459,6 +459,150 @@ impl DeepSets {
         (total / batches as f64) as f32
     }
 
+    /// Guarded variant of [`DeepSets::train_epoch`] for use under a
+    /// [`setlearn_nn::TrainHarness`]: batches whose loss or gradient goes
+    /// non-finite are skipped instead of poisoning the weights, and the
+    /// global gradient norm is clipped to `clip_norm` before each step.
+    /// Returns per-epoch accounting instead of a bare mean loss.
+    pub fn train_epoch_guarded<S: AsRef<[u32]>>(
+        &mut self,
+        data: &[(S, f32)],
+        loss: Loss,
+        opt: &mut Optimizer,
+        batch_size: usize,
+        rng: &mut StdRng,
+        clip_norm: Option<f32>,
+    ) -> EpochStats {
+        assert!(!data.is_empty(), "empty training data");
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(rng);
+        let mut stats = EpochStats::default();
+        let mut total = 0.0f64;
+        for chunk in order.chunks(batch_size) {
+            let sets: Vec<&[u32]> = chunk.iter().map(|&i| data[i].0.as_ref()).collect();
+            let targets: Vec<f32> = chunk.iter().map(|&i| data[i].1).collect();
+            let pred = self.forward_batch(&sets);
+            let (l, grad) = loss.loss_and_grad(&pred, &targets);
+            if !l.is_finite() || grad.iter().any(|g| !g.is_finite()) {
+                // Don't backprop a poisoned batch; the next forward pass
+                // replaces the cache.
+                stats.skipped_batches += 1;
+                continue;
+            }
+            self.backward_batch(&grad);
+            let norm = self.grad_norm();
+            if !norm.is_finite() {
+                self.zero_grad();
+                stats.skipped_batches += 1;
+                continue;
+            }
+            if let Some(max_norm) = clip_norm {
+                if norm > max_norm {
+                    self.scale_grads(max_norm / norm);
+                    stats.clipped_batches += 1;
+                }
+            }
+            self.step(opt);
+            total += l as f64;
+            stats.batches += 1;
+        }
+        stats.mean_loss =
+            if stats.batches > 0 { (total / stats.batches as f64) as f32 } else { f32::NAN };
+        stats
+    }
+
+    /// Global L2 norm over every accumulated gradient buffer.
+    pub fn grad_norm(&self) -> f32 {
+        let mut grads: Vec<&[f32]> =
+            self.encoder.params().into_iter().map(|p| p.grad.as_slice()).collect();
+        if let Some(phi) = &self.phi {
+            grads.extend(phi.params().into_iter().map(|p| p.grad.as_slice()));
+        }
+        grads.extend(self.rho.params().into_iter().map(|p| p.grad.as_slice()));
+        setlearn_nn::harness::global_grad_norm(grads)
+    }
+
+    fn scale_grads(&mut self, factor: f32) {
+        let mut params: Vec<&mut setlearn_nn::ParamBuf> = self.encoder.params_mut();
+        if let Some(phi) = &mut self.phi {
+            params.extend(phi.params_mut());
+        }
+        params.extend(self.rho.params_mut());
+        for p in params {
+            for g in &mut p.grad {
+                *g *= factor;
+            }
+        }
+    }
+
+    /// True when any weight is NaN or infinite — the model must not serve
+    /// predictions in this state.
+    pub fn has_non_finite_weights(&self) -> bool {
+        self.weight_buffers().iter().any(|b| b.iter().any(|w| !w.is_finite()))
+    }
+
+    /// Owned copy of every weight buffer (a [`setlearn_nn::WeightSnapshot`]
+    /// for the training harness).
+    pub fn snapshot_weights(&self) -> Vec<Vec<f32>> {
+        self.weight_buffers().into_iter().map(<[f32]>::to_vec).collect()
+    }
+
+    /// Drops accumulated optimizer moment state (Adam `m`/`v`). Call after
+    /// restoring a weight snapshot so stale moments from the diverged
+    /// trajectory don't steer the retry.
+    pub fn reset_optimizer_state(&mut self) {
+        let mut params: Vec<&mut setlearn_nn::ParamBuf> = self.encoder.params_mut();
+        if let Some(phi) = &mut self.phi {
+            params.extend(phi.params_mut());
+        }
+        params.extend(self.rho.params_mut());
+        for p in params {
+            p.m.clear();
+            p.v.clear();
+        }
+    }
+
+    /// Full fault-tolerant training loop under a
+    /// [`setlearn_nn::TrainHarness`]: guarded epochs, divergence recovery
+    /// (snapshot restore + learning-rate backoff), early stopping, and
+    /// best-weight restoration at the end. The optimizer's learning rate is
+    /// taken as the starting rate and is mutated as the harness backs off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_with_harness<S: AsRef<[u32]>>(
+        &mut self,
+        data: &[(S, f32)],
+        loss: Loss,
+        opt: &mut Optimizer,
+        batch_size: usize,
+        rng: &mut StdRng,
+        policy: &setlearn_nn::TrainPolicy,
+        clip_norm: Option<f32>,
+    ) -> setlearn_nn::TrainReport {
+        use setlearn_nn::Decision;
+        let mut harness = setlearn_nn::TrainHarness::new(policy.clone(), opt.learning_rate());
+        loop {
+            opt.set_learning_rate(harness.lr());
+            let stats = self.train_epoch_guarded(data, loss, opt, batch_size, rng, clip_norm);
+            match harness.end_epoch(&stats, || self.snapshot_weights()) {
+                Decision::Continue => {}
+                Decision::Restore(snapshot) => {
+                    if !snapshot.is_empty() {
+                        self.load_weight_buffers(&snapshot).expect("snapshot matches model");
+                    }
+                    self.reset_optimizer_state();
+                    self.zero_grad();
+                }
+                Decision::Stop(_) => break,
+            }
+        }
+        let (report, best) = harness.finish_with_best();
+        if let Some(best) = best {
+            self.load_weight_buffers(&best).expect("snapshot matches model");
+        }
+        report
+    }
+
     /// Per-sample losses without updating the model (used by guided
     /// learning to identify outliers).
     pub fn per_sample_losses<S: AsRef<[u32]>>(&self, data: &[(S, f32)], loss: Loss) -> Vec<f32> {
@@ -613,6 +757,136 @@ mod tests {
         let json = serde_json::to_string(&model).unwrap();
         let back: DeepSets = serde_json::from_str(&json).unwrap();
         assert_eq!(model.predict_one(&[1, 2, 3]), back.predict_one(&[1, 2, 3]));
+    }
+
+    fn separable_data() -> Vec<(Vec<u32>, f32)> {
+        let mut data = Vec::new();
+        for i in 1..40u32 {
+            data.push((vec![0, i], 1.0));
+            data.push((vec![i, i + 40], 0.0));
+        }
+        data
+    }
+
+    #[test]
+    fn guarded_epoch_matches_plain_epoch_on_clean_data() {
+        let data = separable_data();
+        let mut plain = DeepSets::new(tiny_config(CompressionKind::None));
+        let mut guarded = plain.clone();
+        plain.zero_grad();
+        guarded.zero_grad();
+        let (mut opt_a, mut opt_b) = (Optimizer::adam(0.01), Optimizer::adam(0.01));
+        let (mut rng_a, mut rng_b) = (StdRng::seed_from_u64(3), StdRng::seed_from_u64(3));
+        let l = plain.train_epoch(&data, Loss::BinaryCrossEntropy, &mut opt_a, 16, &mut rng_a);
+        let stats = guarded.train_epoch_guarded(
+            &data,
+            Loss::BinaryCrossEntropy,
+            &mut opt_b,
+            16,
+            &mut rng_b,
+            None, // no clipping: updates must be bit-identical
+        );
+        assert_eq!(stats.mean_loss, l);
+        assert_eq!(stats.skipped_batches, 0);
+        assert_eq!(guarded.weight_buffers(), plain.weight_buffers());
+    }
+
+    #[test]
+    fn grad_norm_clipping_caps_the_global_norm() {
+        let data = separable_data();
+        let mut model = DeepSets::new(tiny_config(CompressionKind::None));
+        model.zero_grad();
+        let mut opt = Optimizer::sgd(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let stats = model.train_epoch_guarded(
+            &data,
+            Loss::BinaryCrossEntropy,
+            &mut opt,
+            data.len(), // one big batch so clipping is observable
+            &mut rng,
+            Some(1e-4),
+        );
+        assert_eq!(stats.clipped_batches, 1);
+        assert!(stats.mean_loss.is_finite());
+    }
+
+    #[test]
+    fn non_finite_weights_are_detected() {
+        let mut model = DeepSets::new(tiny_config(CompressionKind::None));
+        assert!(!model.has_non_finite_weights());
+        let mut bufs = model.snapshot_weights();
+        bufs[0][0] = f32::NAN;
+        model.load_weight_buffers(&bufs).unwrap();
+        assert!(model.has_non_finite_weights());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut model = DeepSets::new(tiny_config(CompressionKind::Optimal { ns: 2 }));
+        let before = model.snapshot_weights();
+        let pred = model.predict_one(&[1, 2, 3]);
+        model.zero_grad();
+        let data = vec![(vec![1u32, 2], 0.8f32), (vec![3u32, 4], 0.2)];
+        let mut opt = Optimizer::adam(0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = model.train_epoch(&data, Loss::Mse, &mut opt, 2, &mut rng);
+        assert_ne!(model.predict_one(&[1, 2, 3]), pred);
+        model.load_weight_buffers(&before).unwrap();
+        assert_eq!(model.predict_one(&[1, 2, 3]), pred);
+    }
+
+    #[test]
+    fn harness_survives_adversarial_learning_rate() {
+        // An absurd learning rate on an unbounded output diverges almost
+        // immediately; the harness must recover (restore + lr backoff) and
+        // training must end with finite best weights loaded.
+        let data = separable_data();
+        let mut cfg = tiny_config(CompressionKind::None);
+        cfg.output_activation = Activation::Identity;
+        let mut model = DeepSets::new(cfg);
+        model.zero_grad();
+        let mut opt = Optimizer::Sgd { lr: 5e4, clip: None };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut policy = setlearn_nn::TrainPolicy::epochs(25);
+        policy.max_recoveries = 20;
+        let report = model.train_with_harness(
+            &data,
+            Loss::Mse,
+            &mut opt,
+            16,
+            &mut rng,
+            &policy,
+            None, // no clipping: let it blow up so recovery has to fire
+        );
+        assert!(report.best_loss.is_finite(), "report: {report}");
+        assert!(!model.has_non_finite_weights());
+        assert!(opt.learning_rate() < 5e4, "lr was never backed off");
+        assert!(report.recoveries > 0, "report: {report}");
+    }
+
+    #[test]
+    fn harness_trains_normally_on_sane_config() {
+        let data = separable_data();
+        let mut model = DeepSets::new(tiny_config(CompressionKind::None));
+        model.zero_grad();
+        let mut opt = Optimizer::adam(0.01);
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = setlearn_nn::TrainPolicy::epochs(30);
+        let report = model.train_with_harness(
+            &data,
+            Loss::BinaryCrossEntropy,
+            &mut opt,
+            16,
+            &mut rng,
+            &policy,
+            Some(5.0),
+        );
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.epochs_run, 30);
+        assert!(report.is_healthy());
+        // Best weights were restored: the model scores at its best epoch.
+        assert!(model.predict_one(&[0, 5]) > 0.5);
+        assert!(model.predict_one(&[5, 45]) < 0.5);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct MonitorConfig {
     /// Require at least this many observations before the accuracy trigger
     /// can fire (avoids deciding on noise).
     pub min_observations: usize,
+    /// Retrain after this many serve-time fallbacks (non-finite or
+    /// out-of-bound predictions degraded to the auxiliary structure).
+    /// `0` disables the trigger.
+    #[serde(default)]
+    pub max_fallbacks: usize,
 }
 
 impl Default for MonitorConfig {
@@ -34,7 +39,32 @@ impl Default for MonitorConfig {
             degradation_factor: 2.0,
             max_updates: 1_000,
             min_observations: 64,
+            max_fallbacks: 256,
         }
+    }
+}
+
+impl MonitorConfig {
+    /// Checks the configuration for degenerate settings that would make the
+    /// monitor fire never (or always).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be positive".to_string());
+        }
+        if self.min_observations > self.window {
+            return Err(format!(
+                "min_observations ({}) exceeds the window ({}): the accuracy \
+                 trigger could never fire",
+                self.min_observations, self.window
+            ));
+        }
+        if !self.degradation_factor.is_finite() || self.degradation_factor < 1.0 {
+            return Err(format!(
+                "degradation_factor must be finite and >= 1, got {}",
+                self.degradation_factor
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -45,6 +75,10 @@ pub enum RetrainReason {
     AccuracyDrop,
     /// The update budget was exhausted.
     UpdateBudget,
+    /// Too many serve-time fallbacks: the model keeps producing non-finite
+    /// or out-of-bound predictions and the auxiliary structure is carrying
+    /// the load.
+    ServeFallbacks,
 }
 
 /// Rolling accuracy/update tracker for a deployed learned structure.
@@ -55,6 +89,8 @@ pub struct DriftMonitor {
     recent: VecDeque<f64>,
     recent_sum: f64,
     updates: usize,
+    #[serde(default)]
+    fallbacks: usize,
 }
 
 impl DriftMonitor {
@@ -62,23 +98,47 @@ impl DriftMonitor {
     ///
     /// # Panics
     /// If `baseline_q_error < 1` (q-errors are ≥ 1 by definition) or the
-    /// window is empty.
+    /// configuration is degenerate; [`DriftMonitor::try_new`] reports the
+    /// same conditions as errors.
     pub fn new(baseline_q_error: f64, config: MonitorConfig) -> Self {
-        assert!(baseline_q_error >= 1.0, "q-error baselines are >= 1");
-        assert!(config.window > 0, "window must be positive");
-        DriftMonitor {
+        match Self::try_new(baseline_q_error, config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a non-finite or sub-1 baseline
+    /// (q-error baselines are >= 1 by definition) and any configuration
+    /// [`MonitorConfig::validate`] refuses.
+    pub fn try_new(baseline_q_error: f64, config: MonitorConfig) -> Result<Self, String> {
+        if !baseline_q_error.is_finite() || baseline_q_error < 1.0 {
+            return Err(format!(
+                "q-error baselines are >= 1 and finite, got {baseline_q_error}"
+            ));
+        }
+        config.validate()?;
+        Ok(DriftMonitor {
             config,
             baseline_q_error,
             recent: VecDeque::new(),
             recent_sum: 0.0,
             updates: 0,
-        }
+            fallbacks: 0,
+        })
     }
 
     /// Feeds one observed `(estimate, truth)` pair — e.g. whenever the
     /// application learns the true count behind an estimate it served.
+    /// Non-finite pairs are ignored (they are fallback events, not accuracy
+    /// observations — see [`DriftMonitor::record_fallback`]).
     pub fn observe(&mut self, estimate: f64, truth: f64) {
+        if !estimate.is_finite() || !truth.is_finite() {
+            return;
+        }
         let qe = q_error(estimate, truth, 1.0);
+        if !qe.is_finite() {
+            return;
+        }
         self.recent.push_back(qe);
         self.recent_sum += qe;
         if self.recent.len() > self.config.window {
@@ -92,6 +152,17 @@ impl DriftMonitor {
     /// auxiliary structure).
     pub fn record_update(&mut self) {
         self.updates += 1;
+    }
+
+    /// Registers one serve-time fallback: a prediction that was non-finite
+    /// or out of bounds and was answered by the auxiliary structure instead.
+    pub fn record_fallback(&mut self) {
+        self.fallbacks += 1;
+    }
+
+    /// Number of fallbacks since the last reset.
+    pub fn pending_fallbacks(&self) -> usize {
+        self.fallbacks
     }
 
     /// Rolling mean q-error over the window (baseline when no observations).
@@ -110,6 +181,9 @@ impl DriftMonitor {
 
     /// Whether retraining should be triggered, and why.
     pub fn should_retrain(&self) -> Option<RetrainReason> {
+        if self.config.max_fallbacks > 0 && self.fallbacks >= self.config.max_fallbacks {
+            return Some(RetrainReason::ServeFallbacks);
+        }
         if self.updates >= self.config.max_updates {
             return Some(RetrainReason::UpdateBudget);
         }
@@ -123,11 +197,12 @@ impl DriftMonitor {
 
     /// Resets the monitor after a rebuild, adopting a new baseline.
     pub fn reset(&mut self, new_baseline: f64) {
-        assert!(new_baseline >= 1.0);
+        assert!(new_baseline.is_finite() && new_baseline >= 1.0);
         self.baseline_q_error = new_baseline;
         self.recent.clear();
         self.recent_sum = 0.0;
         self.updates = 0;
+        self.fallbacks = 0;
     }
 }
 
@@ -141,6 +216,7 @@ mod tests {
             degradation_factor: 2.0,
             max_updates: 10,
             min_observations: 8,
+            max_fallbacks: 5,
         }
     }
 
@@ -212,5 +288,65 @@ mod tests {
     #[should_panic(expected = "q-error baselines are >= 1")]
     fn invalid_baseline_rejected() {
         let _ = DriftMonitor::new(0.5, cfg());
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_configs() {
+        let mut c = cfg();
+        c.window = 0;
+        assert!(DriftMonitor::try_new(1.2, c).is_err(), "zero window");
+
+        let mut c = cfg();
+        c.min_observations = c.window + 1;
+        let err = DriftMonitor::try_new(1.2, c).unwrap_err();
+        assert!(err.contains("min_observations"), "got: {err}");
+
+        let mut c = cfg();
+        c.degradation_factor = 0.5;
+        assert!(DriftMonitor::try_new(1.2, c).is_err(), "sub-1 factor");
+        let mut c = cfg();
+        c.degradation_factor = f64::NAN;
+        assert!(DriftMonitor::try_new(1.2, c).is_err(), "NaN factor");
+
+        assert!(DriftMonitor::try_new(f64::INFINITY, cfg()).is_err(), "inf baseline");
+        assert!(DriftMonitor::try_new(0.0, cfg()).is_err(), "zero baseline");
+        assert!(DriftMonitor::try_new(1.0, cfg()).is_ok(), "exact-1 baseline is legal");
+    }
+
+    #[test]
+    fn repeated_fallbacks_trigger_retrain() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..4 {
+            m.record_fallback();
+        }
+        assert_eq!(m.should_retrain(), None);
+        m.record_fallback();
+        assert_eq!(m.should_retrain(), Some(RetrainReason::ServeFallbacks));
+        assert_eq!(m.pending_fallbacks(), 5);
+        m.reset(1.2);
+        assert_eq!(m.pending_fallbacks(), 0);
+        assert_eq!(m.should_retrain(), None);
+    }
+
+    #[test]
+    fn zero_max_fallbacks_disables_the_trigger() {
+        let mut c = cfg();
+        c.max_fallbacks = 0;
+        let mut m = DriftMonitor::new(1.2, c);
+        for _ in 0..1_000 {
+            m.record_fallback();
+        }
+        assert_eq!(m.should_retrain(), None);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..20 {
+            m.observe(f64::NAN, 10.0);
+            m.observe(f64::INFINITY, 10.0);
+        }
+        assert_eq!(m.should_retrain(), None);
+        assert_eq!(m.rolling_q_error(), 1.2, "window stayed empty");
     }
 }

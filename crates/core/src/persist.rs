@@ -2,18 +2,29 @@
 //! compact binary weight format (the analogue of the paper's weights-only
 //! pickle files used for its memory measurements).
 //!
-//! Binary layout (little-endian):
+//! Current binary layout, `SLW2` (little-endian):
 //!
 //! ```text
-//! magic  "SLW1"            4 bytes
-//! json_len: u32            length of the config JSON
-//! config JSON              model architecture (to rebuild the skeleton)
-//! num_bufs: u32
-//! per buffer: len: u32, then len * f32 weights
+//! magic  "SLW2"            4 bytes
+//! version: u8              format revision within SLW2 (currently 1)
+//! crc32: u32               CRC-32 (IEEE) over the payload below
+//! payload:
+//!   json_len: u32          length of the config JSON
+//!   config JSON            model architecture (to rebuild the skeleton)
+//!   num_bufs: u32
+//!   per buffer: len: u32, then len * f32 weights
 //! ```
+//!
+//! The checksum covers both the config and every weight byte, so truncation
+//! and bit flips surface as [`PersistError::Corrupt`] instead of silently
+//! loading garbage weights. Legacy `SLW1` files (the same payload with no
+//! version or checksum) still load.
+//!
+//! Saves are atomic: bytes are written to a sibling `*.tmp` file, synced, and
+//! renamed over the destination, so a crash mid-save can never leave a
+//! half-written model at the target path.
 
 use crate::model::{DeepSets, DeepSetsConfig};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fmt;
@@ -29,6 +40,9 @@ pub enum PersistError {
     Json(serde_json::Error),
     /// Structural mismatch in a binary weight file.
     Format(String),
+    /// The file is recognizably a weight file but its contents fail
+    /// integrity checks (truncation, bit flip, checksum mismatch).
+    Corrupt(String),
 }
 
 impl fmt::Display for PersistError {
@@ -37,6 +51,7 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Json(e) => write!(f, "json error: {e}"),
             PersistError::Format(m) => write!(f, "format error: {m}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt weight file: {m}"),
         }
     }
 }
@@ -55,14 +70,74 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-const MAGIC: &[u8; 4] = b"SLW1";
+const MAGIC_V2: &[u8; 4] = b"SLW2";
+const MAGIC_V1: &[u8; 4] = b"SLW1";
+const FORMAT_VERSION: u8 = 1;
 
-/// Saves any serializable structure as pretty JSON.
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+// const-evaluated once; the table lives in rodata.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum as used by the `SLW2` weight format.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file writes
+// ---------------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: the data lands in a sibling temp
+/// file, is flushed and fsynced, then renamed over the destination. Readers
+/// observe either the old file or the complete new one, never a partial
+/// write.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// JSON persistence
+// ---------------------------------------------------------------------------
+
+/// Saves any serializable structure as JSON (atomic write).
 pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistError> {
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    serde_json::to_writer(&mut file, value)?;
-    file.flush()?;
-    Ok(())
+    let bytes = serde_json::to_vec(value)?;
+    write_atomic(path, &bytes)
 }
 
 /// Loads a JSON-persisted structure.
@@ -71,84 +146,170 @@ pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
     Ok(serde_json::from_reader(file)?)
 }
 
-/// Encodes a DeepSets model into the compact binary weight format.
-pub fn encode_weights(model: &DeepSets) -> Result<Bytes, PersistError> {
-    let config_json = serde_json::to_vec(model.config())?;
-    let bufs = model.weight_buffers();
-    let mut out = BytesMut::with_capacity(
-        8 + config_json.len() + bufs.iter().map(|b| 4 + b.len() * 4).sum::<usize>(),
-    );
-    out.put_slice(MAGIC);
-    out.put_u32_le(config_json.len() as u32);
-    out.put_slice(&config_json);
-    out.put_u32_le(bufs.len() as u32);
-    for b in bufs {
-        out.put_u32_le(b.len() as u32);
-        for &w in b {
-            out.put_f32_le(w);
-        }
-    }
-    Ok(out.freeze())
+// ---------------------------------------------------------------------------
+// Binary weight format
+// ---------------------------------------------------------------------------
+
+/// Little-endian reader over a byte slice, with descriptive underrun errors.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
 }
 
-/// Decodes a model from the binary weight format: rebuilds the skeleton from
-/// the embedded config, then overwrites every weight buffer.
-pub fn decode_weights(mut data: Bytes) -> Result<DeepSets, PersistError> {
-    let err = |m: &str| PersistError::Format(m.to_string());
-    if data.remaining() < 8 {
-        return Err(err("truncated header"));
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(err("bad magic"));
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
     }
-    let json_len = data.get_u32_le() as usize;
-    if data.remaining() < json_len {
-        return Err(err("truncated config"));
-    }
-    let config: DeepSetsConfig = serde_json::from_slice(&data.copy_to_bytes(json_len))?;
-    let mut model = DeepSets::new(config);
-    if data.remaining() < 4 {
-        return Err(err("truncated buffer count"));
-    }
-    let num_bufs = data.get_u32_le() as usize;
-    let mut weights: Vec<Vec<f32>> = Vec::with_capacity(num_bufs);
-    for _ in 0..num_bufs {
-        if data.remaining() < 4 {
-            return Err(err("truncated buffer length"));
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Corrupt(format!(
+                "truncated {what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
         }
-        let len = data.get_u32_le() as usize;
-        if data.remaining() < len * 4 {
-            return Err(err("truncated weights"));
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, PersistError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, PersistError> {
+        let b = self.take(4, "weight value")?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+fn encode_payload(model: &DeepSets) -> Result<Vec<u8>, PersistError> {
+    let config_json = serde_json::to_vec(model.config())?;
+    let bufs = model.weight_buffers();
+    let mut out = Vec::with_capacity(
+        8 + config_json.len() + bufs.iter().map(|b| 4 + b.len() * 4).sum::<usize>(),
+    );
+    out.extend_from_slice(&(config_json.len() as u32).to_le_bytes());
+    out.extend_from_slice(&config_json);
+    out.extend_from_slice(&(bufs.len() as u32).to_le_bytes());
+    for b in bufs {
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        for &w in b {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<DeepSets, PersistError> {
+    let mut cur = Cursor::new(payload);
+    let json_len = cur.u32("config length")? as usize;
+    let config_bytes = cur.take(json_len, "config JSON")?;
+    let config: DeepSetsConfig = serde_json::from_slice(config_bytes)?;
+    let mut model = DeepSets::new(config);
+    let num_bufs = cur.u32("buffer count")? as usize;
+    let mut weights: Vec<Vec<f32>> = Vec::with_capacity(num_bufs.min(1024));
+    for _ in 0..num_bufs {
+        let len = cur.u32("buffer length")? as usize;
+        if cur.remaining() < len.saturating_mul(4) {
+            return Err(PersistError::Corrupt(format!(
+                "truncated weights: buffer claims {len} floats, {} bytes left",
+                cur.remaining()
+            )));
         }
         let mut buf = Vec::with_capacity(len);
         for _ in 0..len {
-            buf.push(data.get_f32_le());
+            buf.push(cur.f32()?);
         }
         weights.push(buf);
     }
-    model
-        .load_weight_buffers(&weights)
-        .map_err(PersistError::Format)?;
+    if cur.remaining() > 0 {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after final weight buffer",
+            cur.remaining()
+        )));
+    }
+    model.load_weight_buffers(&weights).map_err(PersistError::Corrupt)?;
     Ok(model)
 }
 
-/// Saves a model's weights in the binary format.
-pub fn save_weights(model: &DeepSets, path: &Path) -> Result<(), PersistError> {
-    let bytes = encode_weights(model)?;
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    file.write_all(&bytes)?;
-    file.flush()?;
-    Ok(())
+/// Encodes a DeepSets model into the checksummed `SLW2` binary format.
+pub fn encode_weights(model: &DeepSets) -> Result<Vec<u8>, PersistError> {
+    let payload = encode_payload(model)?;
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.extend_from_slice(MAGIC_V2);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
 }
 
-/// Loads a model from the binary weight format.
+/// Decodes a model from the binary weight format: verifies the checksum,
+/// rebuilds the skeleton from the embedded config, then overwrites every
+/// weight buffer. Legacy `SLW1` files (no checksum) are also accepted.
+pub fn decode_weights(data: &[u8]) -> Result<DeepSets, PersistError> {
+    let mut cur = Cursor::new(data);
+    let magic = cur.take(4, "header").map_err(|_| {
+        PersistError::Format(format!("not a weight file: {} bytes, need at least 4", data.len()))
+    })?;
+    match magic {
+        m if m == MAGIC_V2 => {
+            let version = cur.u8("format version")?;
+            if version != FORMAT_VERSION {
+                return Err(PersistError::Format(format!(
+                    "unsupported SLW2 revision {version} (this build reads revision {FORMAT_VERSION})"
+                )));
+            }
+            let stored_crc = cur.u32("checksum")?;
+            let payload = &data[cur.pos..];
+            let actual_crc = crc32(payload);
+            if stored_crc != actual_crc {
+                return Err(PersistError::Corrupt(format!(
+                    "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x} \
+                     (file truncated or bits flipped)"
+                )));
+            }
+            decode_payload(payload)
+        }
+        m if m == MAGIC_V1 => decode_payload(&data[cur.pos..]),
+        m => Err(PersistError::Format(format!(
+            "bad magic {:?}: not a setlearn weight file",
+            String::from_utf8_lossy(m)
+        ))),
+    }
+}
+
+/// Saves a model's weights in the `SLW2` binary format (atomic write).
+pub fn save_weights(model: &DeepSets, path: &Path) -> Result<(), PersistError> {
+    let bytes = encode_weights(model)?;
+    write_atomic(path, &bytes)
+}
+
+/// Loads a model from the binary weight format (`SLW2` or legacy `SLW1`).
 pub fn load_weights(path: &Path) -> Result<DeepSets, PersistError> {
     let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
     let mut data = Vec::new();
     file.read_to_end(&mut data)?;
-    decode_weights(Bytes::from(data))
+    decode_weights(&data)
+}
+
+/// Encodes a model in the legacy `SLW1` layout (payload without version or
+/// checksum). Exists for read-compatibility tests; new files are `SLW2`.
+pub fn encode_weights_legacy_v1(model: &DeepSets) -> Result<Vec<u8>, PersistError> {
+    let payload = encode_payload(model)?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(MAGIC_V1);
+    out.extend_from_slice(&payload);
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -163,10 +324,19 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(CRC32_TABLE[255], 0x2D02_EF8D);
+    }
+
+    #[test]
     fn binary_roundtrip_preserves_predictions() {
         let model = DeepSets::new(DeepSetsConfig::clsm(5_000));
         let bytes = encode_weights(&model).unwrap();
-        let back = decode_weights(bytes).unwrap();
+        let back = decode_weights(&bytes).unwrap();
         for q in [&[1u32, 2][..], &[4_999u32][..], &[7u32, 70, 700][..]] {
             assert_eq!(model.predict_one(q), back.predict_one(q));
         }
@@ -193,17 +363,59 @@ mod tests {
 
     #[test]
     fn corrupted_inputs_are_rejected() {
+        assert!(matches!(decode_weights(b"nope"), Err(PersistError::Format(_))));
+        // A valid-looking SLW2 header whose checksum doesn't match.
         assert!(matches!(
-            decode_weights(Bytes::from_static(b"nope")),
-            Err(PersistError::Format(_))
-        ));
-        assert!(matches!(
-            decode_weights(Bytes::from_static(b"SLW1\xff\xff\xff\xff")),
-            Err(PersistError::Format(_))
+            decode_weights(b"SLW2\x01\xff\xff\xff\xff\x00\x00\x00\x00"),
+            Err(PersistError::Corrupt(_))
         ));
         let model = DeepSets::new(DeepSetsConfig::lsm(50));
-        let mut bytes = encode_weights(&model).unwrap().to_vec();
+        let mut bytes = encode_weights(&model).unwrap();
         bytes.truncate(bytes.len() - 3);
-        assert!(decode_weights(Bytes::from(bytes)).is_err());
+        assert!(matches!(decode_weights(&bytes), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let model = DeepSets::new(DeepSetsConfig::lsm(50));
+        let clean = encode_weights(&model).unwrap();
+        // Flip one bit in several positions across the payload.
+        for &pos in &[9, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x40;
+            assert!(
+                matches!(decode_weights(&bytes), Err(PersistError::Corrupt(_))),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_slw1_files_still_load() {
+        let model = DeepSets::new(DeepSetsConfig::lsm(80));
+        let v1 = encode_weights_legacy_v1(&model).unwrap();
+        assert_eq!(&v1[..4], b"SLW1");
+        let back = decode_weights(&v1).unwrap();
+        assert_eq!(model.predict_one(&[5, 9]), back.predict_one(&[5, 9]));
+    }
+
+    #[test]
+    fn unsupported_future_revision_is_refused() {
+        let model = DeepSets::new(DeepSetsConfig::lsm(50));
+        let mut bytes = encode_weights(&model).unwrap();
+        bytes[4] = 99;
+        assert!(matches!(decode_weights(&bytes), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file() {
+        let model = DeepSets::new(DeepSetsConfig::lsm(50));
+        let path = tmp("atomic.slw");
+        save_weights(&model, &path).unwrap();
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(!std::path::Path::new(&tmp_name).exists());
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
     }
 }

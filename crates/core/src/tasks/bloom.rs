@@ -1,13 +1,14 @@
 //! Learned set Bloom filter (paper §4.3): a DeepSets classifier over subset
 //! membership with a backup Bloom filter eliminating false negatives.
 
+use crate::hybrid::ServeGuard;
 use crate::model::{DeepSets, DeepSetsConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use setlearn_baselines::BloomFilter;
 use setlearn_data::{ElementSet, SetCollection};
-use setlearn_nn::{Loss, Optimizer};
+use setlearn_nn::{Loss, Optimizer, TrainPolicy, TrainReport};
 
 /// Training configuration for the learned Bloom filter.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -70,6 +71,10 @@ pub struct LearnedBloom {
     model: DeepSets,
     threshold: f32,
     backup: BloomFilter,
+    /// Serve-time guard over classifier scores; absent in files persisted
+    /// before guards existed (falls back to non-finite-only).
+    #[serde(default)]
+    guard: ServeGuard,
 }
 
 /// Build artifacts for reporting.
@@ -81,6 +86,9 @@ pub struct BloomBuildReport {
     pub false_negatives: usize,
     /// Binary accuracy over the training workload after the final epoch.
     pub training_accuracy: f64,
+    /// Structured summary of the harnessed training run (recoveries,
+    /// skipped batches, stop reason).
+    pub train: TrainReport,
 }
 
 impl LearnedBloom {
@@ -99,16 +107,16 @@ impl LearnedBloom {
         model.zero_grad();
         let mut opt = Optimizer::adam(cfg.learning_rate);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut loss_history = Vec::with_capacity(cfg.epochs);
-        for _ in 0..cfg.epochs {
-            loss_history.push(model.train_epoch(
-                &data,
-                Loss::BinaryCrossEntropy,
-                &mut opt,
-                cfg.batch_size,
-                &mut rng,
-            ));
-        }
+        let train = model.train_with_harness(
+            &data,
+            Loss::BinaryCrossEntropy,
+            &mut opt,
+            cfg.batch_size,
+            &mut rng,
+            &TrainPolicy::epochs(cfg.epochs.max(1)),
+            None,
+        );
+        let loss_history = train.loss_history.clone();
 
         // Collect false negatives among the positives and back them up.
         let positives: Vec<&ElementSet> =
@@ -134,8 +142,18 @@ impl LearnedBloom {
             loss_history,
             false_negatives: missed.len(),
             training_accuracy: correct as f64 / workload.len() as f64,
+            train,
         };
-        (LearnedBloom { model, threshold: cfg.threshold, backup }, report)
+        (
+            LearnedBloom {
+                model,
+                threshold: cfg.threshold,
+                backup,
+                // Classifier scores are probabilities.
+                guard: ServeGuard::new(0.0, 1.0),
+            },
+            report,
+        )
     }
 
     /// Convenience constructor: builds a workload from the collection
@@ -158,9 +176,24 @@ impl LearnedBloom {
     }
 
     /// Membership probe: classifier score, with the backup filter rescuing
-    /// model false negatives.
+    /// model false negatives. A non-finite score is rejected by the serve
+    /// guard (and counted); the probe then degrades to the backup filter
+    /// alone, which still guarantees no false negatives on trained
+    /// positives that the model had missed.
     pub fn contains(&self, q: &[u32]) -> bool {
-        self.model.predict_one(q) >= self.threshold || self.backup.contains_set(q)
+        self.decide(self.model.predict_one(q), q)
+    }
+
+    fn decide(&self, score: f32, q: &[u32]) -> bool {
+        match self.guard.admit(score as f64) {
+            Ok(s) => s >= self.threshold as f64 || self.backup.contains_set(q),
+            Err(_) => self.backup.contains_set(q),
+        }
+    }
+
+    /// The serve-time guard (fallback counters and bounds).
+    pub fn serve_guard(&self) -> &ServeGuard {
+        &self.guard
     }
 
     /// Multi-set multi-membership querying (the paper's §9 future-work
@@ -175,7 +208,7 @@ impl LearnedBloom {
             .predict_batch(queries)
             .into_iter()
             .zip(queries.iter())
-            .map(|(score, q)| score >= self.threshold || self.backup.contains_set(q.as_ref()))
+            .map(|(score, q)| self.decide(score, q.as_ref()))
             .collect()
     }
 
@@ -187,6 +220,14 @@ impl LearnedBloom {
     /// The underlying model.
     pub fn model(&self) -> &DeepSets {
         &self.model
+    }
+
+    /// Mutable access to the underlying model, for weight hot-swapping
+    /// (e.g. loading weights restored via [`crate::persist`]) and fault
+    /// injection in tests. Serve-time guards keep answers finite even if the
+    /// swapped weights are corrupt.
+    pub fn model_mut(&mut self) -> &mut DeepSets {
+        &mut self.model
     }
 
     /// Model weight bytes (the paper's LSM/CLSM memory columns; the backup
@@ -264,10 +305,54 @@ mod tests {
     #[test]
     fn build_from_collection_runs() {
         let c = GeneratorConfig::sd(200, 4).generate();
-        let (filter, _) =
-            LearnedBloom::build_from_collection(&c, 150, 150, 4, &quick_cfg(c.num_elements()));
-        // Whole stored sets are positives by definition.
-        assert!(filter.contains(c.get(0)));
+        let max_query_size = 4;
+        let (filter, report) = LearnedBloom::build_from_collection(
+            &c,
+            150,
+            150,
+            max_query_size,
+            &quick_cfg(c.num_elements()),
+        );
+        assert!(report.training_accuracy > 0.7, "accuracy {}", report.training_accuracy);
+        // Subsets of stored sets are positives by definition; probe within
+        // the query-size regime the workload trains on.
+        for i in 0..5 {
+            let s = c.get(i);
+            let q = &s[..max_query_size.min(s.len())];
+            assert!(filter.contains(q), "false negative on stored subset {q:?}");
+        }
+    }
+
+    #[test]
+    fn nan_model_degrades_to_backup_filter_and_counts_fallbacks() {
+        let c = GeneratorConfig::rw(300, 31).generate();
+        let workload = membership_queries(&c, 200, 200, 4, 3);
+        let (mut filter, report) = LearnedBloom::build(&workload, &quick_cfg(c.num_elements()));
+        // Remember which positives the backup filter covers (model misses).
+        let backup_covered: Vec<ElementSet> = workload
+            .iter()
+            .filter(|(s, l)| *l && filter.model.predict_one(s) < filter.threshold)
+            .map(|(s, _)| s.clone())
+            .collect();
+        assert_eq!(backup_covered.len(), report.false_negatives);
+
+        let poisoned: Vec<Vec<f32>> = filter
+            .model
+            .snapshot_weights()
+            .into_iter()
+            .map(|b| vec![f32::NAN; b.len()])
+            .collect();
+        filter.model.load_weight_buffers(&poisoned).unwrap();
+
+        // Probes must not panic and must still honor the backup filter.
+        for s in &backup_covered {
+            assert!(filter.contains(s), "backup-covered positive lost");
+        }
+        let _ = filter.contains_many(&workload.iter().map(|(s, _)| s).collect::<Vec<_>>());
+        assert!(
+            filter.serve_guard().non_finite_fallbacks() > 0,
+            "poisoned scores must be counted as fallbacks"
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Learned set cardinality estimation (paper §4.2) and its hybrid variant.
 
-use crate::hybrid::{guided_train, GuidedConfig, GuidedOutcome};
+use crate::hybrid::{guided_train_hardened, GuidedConfig, GuidedOutcome, ServeGuard};
 use crate::model::{DeepSets, DeepSetsConfig};
+use crate::monitor::DriftMonitor;
 use serde::{Deserialize, Serialize};
 use setlearn_baselines::set_hash;
 use setlearn_data::{ElementSet, SetCollection, SubsetIndex};
-use setlearn_nn::{Loss, LogMinMaxScaler};
+use setlearn_nn::{Loss, LogMinMaxScaler, TrainPolicy, TrainReport};
 use std::collections::HashMap;
 
 /// Training configuration for the cardinality estimator.
@@ -39,6 +40,10 @@ pub struct LearnedCardinality {
     /// Delta layer absorbing updates until retraining (§7.2).
     deltas: HashMap<u64, i64>,
     max_subset_size: usize,
+    /// Serve-time guard over the model's output domain; absent in files
+    /// persisted before guards existed (falls back to non-finite-only).
+    #[serde(default)]
+    guard: ServeGuard,
 }
 
 /// Build artifacts useful for reporting (training curves, outlier count).
@@ -50,6 +55,9 @@ pub struct CardinalityBuildReport {
     pub training_subsets: usize,
     /// Number of subsets moved to the outlier store.
     pub outliers: usize,
+    /// Structured summary of the harnessed training run (recoveries,
+    /// skipped batches, stop reason).
+    pub train: TrainReport,
 }
 
 impl LearnedCardinality {
@@ -80,8 +88,8 @@ impl LearnedCardinality {
 
         let mut model = DeepSets::new(cfg.model.clone());
         let loss = Loss::QError { span: scaler.span() };
-        let GuidedOutcome { outlier_indices, loss_history } =
-            guided_train(&mut model, &data, loss, &cfg.guided);
+        let (GuidedOutcome { outlier_indices, loss_history }, train) =
+            guided_train_hardened(&mut model, &data, loss, &cfg.guided, &TrainPolicy::default());
 
         let outliers: HashMap<u64, u64> = outlier_indices
             .iter()
@@ -91,6 +99,7 @@ impl LearnedCardinality {
             loss_history,
             training_subsets: pairs.len(),
             outliers: outliers.len(),
+            train,
         };
         (
             LearnedCardinality {
@@ -99,6 +108,9 @@ impl LearnedCardinality {
                 outliers,
                 deltas: HashMap::new(),
                 max_subset_size: cfg.max_subset_size,
+                // Valid model outputs live in [0, max observed cardinality];
+                // anything else degrades to the guard's fallback path.
+                guard: ServeGuard::new(0.0, subsets.max_cardinality() as f64),
             },
             report,
         )
@@ -106,14 +118,38 @@ impl LearnedCardinality {
 
     /// Estimates the cardinality of a canonical query set: outlier store
     /// first, then the model (Figure 5's query path), plus any update deltas.
+    ///
+    /// Model predictions pass through the serve-time [`ServeGuard`]: a
+    /// non-finite or out-of-domain prediction is degraded to a clamped
+    /// in-domain value (and counted) instead of propagating garbage.
     pub fn estimate(&self, q: &[u32]) -> f64 {
+        self.estimate_inner(q, None)
+    }
+
+    /// [`LearnedCardinality::estimate`] that also reports fallback events to
+    /// a [`DriftMonitor`], so a model gone bad raises the retrain signal.
+    pub fn estimate_monitored(&self, q: &[u32], monitor: &mut DriftMonitor) -> f64 {
+        self.estimate_inner(q, Some(monitor))
+    }
+
+    fn estimate_inner(&self, q: &[u32], monitor: Option<&mut DriftMonitor>) -> f64 {
         let h = set_hash(q);
         let base = match self.outliers.get(&h) {
             Some(&exact) => exact as f64,
-            None => self.scaler.unscale(self.model.predict_one(q)),
+            None => {
+                let raw = self.scaler.unscale(self.model.predict_one(q));
+                let (value, reason) = self.guard.admit_or_clamp(raw);
+                ServeGuard::notify(reason, monitor);
+                value
+            }
         };
         let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
         (base + delta).max(0.0)
+    }
+
+    /// The serve-time guard (fallback counters and bounds).
+    pub fn serve_guard(&self) -> &ServeGuard {
+        &self.guard
     }
 
     /// Model-only estimate, bypassing the outlier store (for ablations).
@@ -136,7 +172,7 @@ impl LearnedCardinality {
                 let h = set_hash(q.as_ref());
                 let base = match self.outliers.get(&h) {
                     Some(&exact) => exact as f64,
-                    None => self.scaler.unscale(s),
+                    None => self.guard.admit_or_clamp(self.scaler.unscale(s)).0,
                 };
                 let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
                 (base + delta).max(0.0)
@@ -167,6 +203,14 @@ impl LearnedCardinality {
     /// The underlying model.
     pub fn model(&self) -> &DeepSets {
         &self.model
+    }
+
+    /// Mutable access to the underlying model, for weight hot-swapping
+    /// (e.g. loading weights restored via [`crate::persist`]) and fault
+    /// injection in tests. Serve-time guards keep answers finite even if the
+    /// swapped weights are corrupt.
+    pub fn model_mut(&mut self) -> &mut DeepSets {
+        &mut self.model
     }
 
     /// Rounds every model weight to f16 precision in place (see
@@ -277,6 +321,43 @@ mod tests {
             &quick_cfg(vocab, CompressionKind::Optimal { ns: 2 }),
         );
         assert!(clsm.model_size_bytes() < lsm.model_size_bytes());
+    }
+
+    #[test]
+    fn nan_model_degrades_to_guard_and_raises_retrain_signal() {
+        use crate::monitor::{MonitorConfig, RetrainReason};
+        let collection = GeneratorConfig::sd(200, 9).generate();
+        let (mut est, _) = LearnedCardinality::build(
+            &collection,
+            &quick_cfg(collection.num_elements(), CompressionKind::None),
+        );
+        // Inject NaN into every weight buffer (simulating corruption).
+        let poisoned: Vec<Vec<f32>> = est
+            .model
+            .snapshot_weights()
+            .into_iter()
+            .map(|b| vec![f32::NAN; b.len()])
+            .collect();
+        est.model.load_weight_buffers(&poisoned).unwrap();
+        assert!(est.model.has_non_finite_weights());
+
+        let mut monitor = DriftMonitor::new(
+            1.1,
+            MonitorConfig { max_fallbacks: 8, ..MonitorConfig::default() },
+        );
+        let subsets = SubsetIndex::build(&collection, 2);
+        let mut served = 0;
+        for (s, _) in subsets.iter().take(50) {
+            let v = est.estimate_monitored(s, &mut monitor);
+            assert!(v.is_finite(), "guard must never serve a non-finite estimate");
+            assert!(v >= 0.0);
+            served += 1;
+        }
+        assert!(served > 8);
+        // Outlier-store answers bypass the model, so only model-served
+        // queries count as fallbacks — but with NaN weights every one does.
+        assert!(est.serve_guard().non_finite_fallbacks() > 0);
+        assert_eq!(monitor.should_retrain(), Some(RetrainReason::ServeFallbacks));
     }
 
     #[test]

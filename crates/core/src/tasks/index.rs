@@ -5,12 +5,15 @@
 //! estimate into a bounded scan window, and an auxiliary B+ tree answers the
 //! outliers the model could not fit.
 
-use crate::hybrid::{guided_train, GuidedConfig, GuidedOutcome, LocalErrorBounds};
+use crate::hybrid::{
+    guided_train_hardened, FallbackReason, GuidedConfig, GuidedOutcome, LocalErrorBounds,
+    ServeGuard,
+};
 use crate::model::{DeepSets, DeepSetsConfig};
 use serde::{Deserialize, Serialize};
 use setlearn_baselines::{set_hash, BPlusTree};
 use setlearn_data::{is_subset, ElementSet, SetCollection, SubsetIndex};
-use setlearn_nn::{Loss, LogMinMaxScaler};
+use setlearn_nn::{Loss, LogMinMaxScaler, TrainPolicy, TrainReport};
 
 /// Which occurrence the index targets (paper §4.1 supports either).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -62,6 +65,10 @@ pub struct LookupProfile {
     pub scanned: usize,
     /// Whether the auxiliary structure answered.
     pub from_aux: bool,
+    /// Set when the model's estimate was rejected by the serve guard and the
+    /// lookup degraded to an exact path (full scan for non-finite estimates,
+    /// clamped window for out-of-bound ones).
+    pub fallback: Option<FallbackReason>,
 }
 
 /// The hybrid learned set index.
@@ -74,6 +81,10 @@ pub struct LearnedSetIndex {
     bounds: LocalErrorBounds,
     max_subset_size: usize,
     target: PositionTarget,
+    /// Serve-time guard over position estimates; absent in files persisted
+    /// before guards existed (falls back to non-finite-only).
+    #[serde(default)]
+    guard: ServeGuard,
 }
 
 /// Build artifacts for reporting.
@@ -89,6 +100,9 @@ pub struct IndexBuildReport {
     pub global_error: f64,
     /// Mean local bound (what the scan actually pays, §8.3.3).
     pub mean_local_error: f64,
+    /// Structured summary of the harnessed training run (recoveries,
+    /// skipped batches, stop reason).
+    pub train: TrainReport,
 }
 
 impl LearnedSetIndex {
@@ -116,8 +130,8 @@ impl LearnedSetIndex {
 
         let mut model = DeepSets::new(cfg.model.clone());
         let loss = Loss::QError { span: scaler.span() };
-        let GuidedOutcome { outlier_indices, loss_history } =
-            guided_train(&mut model, &data, loss, &cfg.guided);
+        let (GuidedOutcome { outlier_indices, loss_history }, train) =
+            guided_train_hardened(&mut model, &data, loss, &cfg.guided, &TrainPolicy::default());
 
         // Exile outliers into the auxiliary B+ tree.
         let mut aux = BPlusTree::new(100);
@@ -148,6 +162,7 @@ impl LearnedSetIndex {
             outliers: outlier_indices.len(),
             global_error: bounds.global_bound(),
             mean_local_error: bounds.mean_bound(),
+            train,
         };
         (
             LearnedSetIndex {
@@ -157,6 +172,9 @@ impl LearnedSetIndex {
                 bounds,
                 max_subset_size: cfg.max_subset_size,
                 target: cfg.target,
+                // Positions live in [0, len-1]; estimates outside are
+                // clamped, non-finite ones trigger an exact full scan.
+                guard: ServeGuard::new(0.0, collection.len().saturating_sub(1) as f64),
             },
             report,
         )
@@ -175,17 +193,38 @@ impl LearnedSetIndex {
         }
     }
 
+    /// Scan window for a guarded estimate: `[lo, hi]` positions plus the
+    /// fallback reason (if the guard rejected the raw estimate). A
+    /// non-finite estimate widens the window to the whole collection — the
+    /// exact, model-free degradation; an out-of-bound estimate is clamped
+    /// into the position domain first.
+    fn scan_window(&self, collection: &SetCollection, raw_est: f64) -> (usize, usize, Option<FallbackReason>) {
+        let last = collection.len().saturating_sub(1);
+        let (est, reason) = self.guard.admit_or_clamp(raw_est);
+        if reason == Some(FallbackReason::NonFinite) {
+            return (0, last, reason);
+        }
+        let e_r = self.bounds.bound_for(est);
+        let lo = ((est - e_r).floor().max(0.0)) as usize;
+        let hi = ((est + e_r).ceil() as usize).min(last);
+        (lo, hi, reason)
+    }
+
     /// [`LearnedSetIndex::lookup`] with scan-effort accounting.
     pub fn lookup_profiled(&self, collection: &SetCollection, q: &[u32]) -> LookupProfile {
         // Line 2: auxiliary structure (outliers + pending updates).
         if let Some(pos) = self.aux_position(q) {
-            return LookupProfile { position: Some(pos as usize), scanned: 0, from_aux: true };
+            return LookupProfile {
+                position: Some(pos as usize),
+                scanned: 0,
+                from_aux: true,
+                fallback: None,
+            };
         }
-        // Lines 4–7: model estimate, local bound, bounded scan.
-        let est = self.scaler.unscale(self.model.predict_one(q));
-        let e_r = self.bounds.bound_for(est);
-        let lo = ((est - e_r).floor().max(0.0)) as usize;
-        let hi = ((est + e_r).ceil() as usize).min(collection.len().saturating_sub(1));
+        // Lines 4–7: model estimate, local bound, bounded scan — with the
+        // serve guard degrading bad estimates to an exact path.
+        let raw = self.scaler.unscale(self.model.predict_one(q));
+        let (lo, hi, fallback) = self.scan_window(collection, raw);
         let mut scanned = 0;
         // First-occurrence queries scan the window upward; last-occurrence
         // queries downward. In both directions the first match is the true
@@ -194,7 +233,7 @@ impl LearnedSetIndex {
         let mut probe = |i: usize| -> Option<LookupProfile> {
             scanned += 1;
             if is_subset(q, collection.get(i)) {
-                Some(LookupProfile { position: Some(i), scanned, from_aux: false })
+                Some(LookupProfile { position: Some(i), scanned, from_aux: false, fallback })
             } else {
                 None
             }
@@ -215,7 +254,7 @@ impl LearnedSetIndex {
                 }
             }
         }
-        LookupProfile { position: None, scanned, from_aux: false }
+        LookupProfile { position: None, scanned, from_aux: false, fallback }
     }
 
     /// Batched lookup: one model forward pass for all queries, followed by
@@ -238,10 +277,7 @@ impl LearnedSetIndex {
                 if let Some(pos) = self.aux_position(q) {
                     return Some(pos as usize);
                 }
-                let est = self.scaler.unscale(s);
-                let e_r = self.bounds.bound_for(est);
-                let lo = ((est - e_r).floor().max(0.0)) as usize;
-                let hi = ((est + e_r).ceil() as usize).min(collection.len().saturating_sub(1));
+                let (lo, hi, _) = self.scan_window(collection, self.scaler.unscale(s));
                 match self.target {
                     PositionTarget::First => {
                         (lo..=hi).find(|&i| is_subset(q, collection.get(i)))
@@ -288,9 +324,22 @@ impl LearnedSetIndex {
         &self.model
     }
 
+    /// Mutable access to the underlying model, for weight hot-swapping
+    /// (e.g. loading weights restored via [`crate::persist`]) and fault
+    /// injection in tests. Serve-time guards keep answers finite even if the
+    /// swapped weights are corrupt.
+    pub fn model_mut(&mut self) -> &mut DeepSets {
+        &mut self.model
+    }
+
     /// The local error bounds.
     pub fn bounds(&self) -> &LocalErrorBounds {
         &self.bounds
+    }
+
+    /// The serve-time guard (fallback counters and bounds).
+    pub fn serve_guard(&self) -> &ServeGuard {
+        &self.guard
     }
 
     /// Number of entries in the auxiliary tree.
@@ -404,6 +453,44 @@ mod tests {
         let prof = index.lookup_profiled(&collection, &q);
         assert!(prof.from_aux);
         assert_eq!(prof.position, Some(3));
+    }
+
+    #[test]
+    fn nan_model_lookups_stay_correct_via_full_scan_fallback() {
+        let collection = GeneratorConfig::rw(150, 21).generate();
+        let (mut index, _) = LearnedSetIndex::build(
+            &collection,
+            &quick_cfg(collection.num_elements(), CompressionKind::None),
+        );
+        let poisoned: Vec<Vec<f32>> = index
+            .model
+            .snapshot_weights()
+            .into_iter()
+            .map(|b| vec![f32::NAN; b.len()])
+            .collect();
+        index.model.load_weight_buffers(&poisoned).unwrap();
+
+        let subsets = SubsetIndex::build(&collection, 2);
+        let mut fallbacks = 0;
+        for (s, info) in subsets.iter().take(100) {
+            let prof = index.lookup_profiled(&collection, s);
+            assert_eq!(
+                prof.position,
+                Some(info.first_pos as usize),
+                "subset {s:?} answered wrong under a poisoned model"
+            );
+            if prof.fallback == Some(FallbackReason::NonFinite) {
+                fallbacks += 1;
+            }
+        }
+        assert!(fallbacks > 0, "expected non-finite fallbacks from a NaN model");
+        assert_eq!(index.serve_guard().non_finite_fallbacks(), fallbacks);
+        // Batched lookups degrade identically.
+        let queries: Vec<&[u32]> = subsets.iter().take(20).map(|(s, _)| &**s).collect();
+        let batch = index.lookup_batch(&collection, &queries);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(*got, index.lookup(&collection, q));
+        }
     }
 
     #[test]

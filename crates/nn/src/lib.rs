@@ -20,6 +20,9 @@
 //! * [`optimizer::Optimizer`] — SGD and Adam over [`param::ParamBuf`]s.
 //! * [`scaling::LogMinMaxScaler`] — the log + min-max target transform of
 //!   §4.1.
+//! * [`harness::TrainHarness`] — fault-tolerant epoch supervision:
+//!   non-finite detection, snapshot/restore recovery with learning-rate
+//!   backoff, best-model tracking and early stopping.
 //!
 //! Every layer follows the same contract: `forward` caches what `backward`
 //! needs, `backward` accumulates into `ParamBuf::grad`, and the optimizer
@@ -32,6 +35,7 @@ pub mod attention;
 pub mod dense;
 pub mod embedding;
 pub mod gru;
+pub mod harness;
 pub mod hash_embedding;
 pub mod init;
 pub mod loss;
@@ -48,6 +52,9 @@ pub use attention::{Attention, PmaPool, Sab};
 pub use dense::Dense;
 pub use embedding::Embedding;
 pub use gru::Gru;
+pub use harness::{
+    Decision, EpochStats, StopReason, TrainHarness, TrainPolicy, TrainReport, WeightSnapshot,
+};
 pub use hash_embedding::HashEmbedding;
 pub use loss::{q_error, Loss};
 pub use lstm::Lstm;

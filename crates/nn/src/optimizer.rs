@@ -43,6 +43,21 @@ impl Optimizer {
         Optimizer::Sgd { lr, clip: Some(5.0) }
     }
 
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => *lr,
+        }
+    }
+
+    /// Replaces the learning rate (used by the training harness when backing
+    /// off after a divergence).
+    pub fn set_learning_rate(&mut self, new_lr: f32) {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => *lr = new_lr,
+        }
+    }
+
     /// Advances the internal step counter. Call once per mini-batch, before
     /// stepping the batch's parameter buffers.
     pub fn begin_step(&mut self) {
@@ -123,6 +138,15 @@ mod tests {
         p.grad[0] = 1.0;
         opt.step(&mut p);
         assert_eq!(p.grad[0], 0.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors_round_trip() {
+        for mut opt in [Optimizer::sgd(0.1), Optimizer::adam(0.1)] {
+            assert_eq!(opt.learning_rate(), 0.1);
+            opt.set_learning_rate(0.05);
+            assert_eq!(opt.learning_rate(), 0.05);
+        }
     }
 
     #[test]

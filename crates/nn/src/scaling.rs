@@ -52,7 +52,15 @@ impl LogMinMaxScaler {
     }
 
     /// Inverts a scaled prediction back to the raw value domain.
+    ///
+    /// Non-finite predictions are propagated unchanged (as `f64`) instead of
+    /// being clamped into range: a NaN coming out of a corrupted model must
+    /// stay visible to serve-time guards, and `f64::max`/`clamp` would
+    /// silently flush it to a plausible in-range value.
     pub fn unscale(&self, scaled: f32) -> f64 {
+        if !scaled.is_finite() {
+            return scaled as f64;
+        }
         if self.span() == 0.0 {
             return self.min_log.exp() - 1.0;
         }
@@ -110,6 +118,17 @@ mod tests {
     fn span_matches_log_range() {
         let s = LogMinMaxScaler::from_range(0.0, (std::f64::consts::E - 1.0) * 1.0);
         assert!((s.span() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unscale_propagates_non_finite_predictions() {
+        let s = LogMinMaxScaler::fit(&[1.0, 100.0]);
+        assert!(s.unscale(f32::NAN).is_nan());
+        assert_eq!(s.unscale(f32::INFINITY), f64::INFINITY);
+        assert_eq!(s.unscale(f32::NEG_INFINITY), f64::NEG_INFINITY);
+        // Degenerate scalers must not mask non-finite predictions either.
+        let d = LogMinMaxScaler::fit(&[7.0, 7.0]);
+        assert!(d.unscale(f32::NAN).is_nan());
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn updates_monitor_and_rebuild_close_the_loop() {
             degradation_factor: 1.5,
             max_updates: 400,
             min_observations: 32,
+            max_fallbacks: 256,
         },
     );
     assert!(monitor.should_retrain().is_none());
@@ -105,6 +106,7 @@ fn accuracy_drop_alone_also_triggers() {
             degradation_factor: 1.5,
             max_updates: usize::MAX,
             min_observations: 16,
+            max_fallbacks: 0,
         },
     );
     // Feed estimates against *wrong* truths (simulating a distribution the

@@ -1,0 +1,114 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Provides the `Criterion`/`Bencher` types and the `criterion_group!` /
+//! `criterion_main!` macros so the workspace's `harness = false` bench
+//! targets compile and run offline. Timing is a simple mean over a fixed
+//! number of iterations — adequate for relative comparisons, with none of
+//! real criterion's statistics, warm-up, or HTML reports.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let n = bencher.samples.len().max(1);
+        let mean_ns = bencher.samples.iter().sum::<u128>() / n as u128;
+        println!("bench {name:<40} {mean_ns:>12} ns/iter (n={n})");
+        self
+    }
+}
+
+/// Times one routine, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` and records it as a sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed().as_nanos());
+        drop(out);
+    }
+}
+
+/// Re-export for code written against criterion's old `black_box` path.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = trivial_bench
+    );
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

@@ -1,0 +1,368 @@
+//! Hermetic stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! range/tuple/`collection::vec`/`ANY` strategies, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, acceptable for this test suite:
+//! - **No shrinking.** A failing case reports its inputs via the panic
+//!   message (`Debug`-formatted) but is not minimized.
+//! - **Deterministic seeding.** Cases derive from a fixed per-test seed
+//!   (a hash of the test name), so runs are reproducible; there is no
+//!   `.proptest-regressions` persistence (existing regression files are
+//!   ignored).
+//! - `prop_assume!` skips the case rather than resampling it.
+
+#![warn(missing_docs)]
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps model-training properties
+        // fast while still exploring the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy producing vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vector of `elem`-generated values, with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for uniform booleans.
+    pub struct BoolAny;
+
+    /// Uniformly random boolean.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut StdRng) -> core::primitive::bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Numeric strategies (`proptest::num::<type>::ANY`).
+pub mod num {
+    /// `u64` strategies.
+    pub mod u64 {
+        use crate::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// Strategy for uniform `u64` values over the full domain.
+        pub struct U64Any;
+
+        /// Uniformly random `u64`.
+        pub const ANY: U64Any = U64Any;
+
+        impl Strategy for U64Any {
+            type Value = core::primitive::u64;
+            fn sample(&self, rng: &mut StdRng) -> core::primitive::u64 {
+                rng.gen()
+            }
+        }
+    }
+}
+
+/// Why a property case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Resolves the outcome: rejections are silent, failures panic.
+    pub fn handle(self, test_name: &str, case_inputs: &str) {
+        match self {
+            TestCaseError::Reject(_) => {}
+            TestCaseError::Fail(msg) => {
+                panic!("property `{test_name}` failed: {msg}\n  inputs: {case_inputs}")
+            }
+        }
+    }
+}
+
+/// Per-test deterministic sampler.
+pub struct Runner {
+    rng: StdRng,
+}
+
+impl Runner {
+    /// Builds a runner seeded from the test's name, so every run of a given
+    /// test explores the same sequence of cases.
+    pub fn new(test_name: &str) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        Runner { rng: StdRng::seed_from_u64(h.finish()) }
+    }
+
+    /// Draws one value from a strategy.
+    pub fn sample<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.sample(&mut self.rng)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs the body over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::Runner::new(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = runner.sample(&($strat));)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let __outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    e.handle(stringify!($name), &__inputs);
+                }
+            }
+        }
+    )*};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..50, f in 0.0f64..1.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u64..100, 0u32..7), b in crate::bool::ANY, raw in crate::num::u64::ANY) {
+            prop_assert!(pair.0 < 100);
+            prop_assert!(pair.1 < 7);
+            // Exercise prop_assume with a data-dependent (but usually true)
+            // condition instead of a tautology, which clippy rejects.
+            prop_assume!(b || pair.0 < 100);
+            prop_assert_ne!(raw.wrapping_add(1), raw);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn assume_skips_without_failing() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn rejects_everything(x in 0u32..10) {
+                prop_assume!(x > 100);
+                prop_assert!(false);
+            }
+        }
+        rejects_everything();
+    }
+}

@@ -1,0 +1,491 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serialization framework under the same crate name. Unlike real
+//! serde's visitor architecture, this implementation converts values through
+//! an owned JSON-like [`Value`] tree: [`Serialize`] renders into a `Value`,
+//! [`Deserialize`] reads back out of one. The `serde_json` stub then prints
+//! and parses that tree.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are re-exported
+//! from the companion `serde_derive` proc-macro crate and support the shapes
+//! this workspace uses: named-field structs, unit/newtype/struct enum
+//! variants, and the `#[serde(skip)]` field attribute (skipped fields are
+//! restored via `Default`). The wire format matches serde_json's external
+//! enum tagging, so files written by the real stack parse identically.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the interchange representation between
+/// [`Serialize`], [`Deserialize`] and the `serde_json` printer/parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative values only; non-negative parse as `UInt`).
+    Int(i64),
+    /// Unsigned integer. Kept separate from `Float` so 64-bit hash keys
+    /// round-trip losslessly.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Order-preserving association list; field counts in this
+    /// workspace are small, so linear lookup is fine.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Short human description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Helpers for building [`Value::Object`]s (used by generated code).
+pub mod value {
+    pub use super::Value;
+
+    /// The object representation behind [`Value::Object`].
+    pub type Map = Vec<(String, Value)>;
+
+    /// Creates an empty object map.
+    pub fn new_object() -> Map {
+        Vec::new()
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error(format!("missing field `{field}`"))
+    }
+
+    /// A value had the wrong JSON type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts to the interchange tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses from the interchange tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization traits, mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization — an alias for [`crate::Deserialize`] kept for
+    /// path compatibility with real serde bounds.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    ref other => Err(Error::type_mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let i = *self as i64;
+                if i < 0 { Value::Int(i) } else { Value::UInt(i as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t)))),
+                    ref other => Err(Error::type_mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::type_mismatch("number", v))
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::type_mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::type_mismatch("array", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(v)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(v)?.into_boxed_slice())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::type_mismatch("array", v))?;
+                let expected = [$(stringify!($n)),+].len();
+                if a.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-tuple, found {} elements", a.len())));
+                }
+                Ok(($($t::deserialize(&a[$n])?,)+))
+            }
+        }
+    )+};
+}
+ser_de_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// Map keys encodable as JSON object keys (mirrors serde_json's stringified
+/// integer keys).
+pub trait JsonKey: Sized {
+    /// Renders the key as an object-key string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from an object-key string.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! json_int_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!(
+                    "invalid {} map key: {s:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+json_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Element-set keys (`Box<[u32]>`) encode as comma-separated id strings, so
+// set-keyed maps have a JSON object representation.
+impl JsonKey for Box<[u32]> {
+    fn to_key(&self) -> String {
+        self.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(",")
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        if s.is_empty() {
+            return Ok(Vec::new().into_boxed_slice());
+        }
+        s.split(',')
+            .map(|part| {
+                part.parse::<u32>()
+                    .map_err(|_| Error::custom(format!("invalid element-set map key: {s:?}")))
+            })
+            .collect::<Result<Vec<u32>, Error>>()
+            .map(Vec::into_boxed_slice)
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::type_mismatch("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&u64::MAX.serialize()).unwrap(), u64::MAX);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f32::deserialize(&0.3f32.serialize()).unwrap(), 0.3);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let d: VecDeque<f64> = vec![1.5, 2.5].into();
+        assert_eq!(VecDeque::<f64>::deserialize(&d.serialize()).unwrap(), d);
+        let b: Box<[u32]> = vec![4, 5].into_boxed_slice();
+        assert_eq!(Box::<[u32]>::deserialize(&b.serialize()).unwrap(), b);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&o.serialize()).unwrap(), None);
+        let t = (3u32, 4.5f64);
+        assert_eq!(<(u32, f64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn u64_hash_keys_are_lossless() {
+        let mut m = HashMap::new();
+        m.insert(u64::MAX - 1, 3u64);
+        m.insert(1u64 << 60, 4u64);
+        let back = HashMap::<u64, u64>::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error_not_a_panic() {
+        assert!(u32::deserialize(&Value::String("x".into())).is_err());
+        assert!(bool::deserialize(&Value::UInt(1)).is_err());
+        assert!(Vec::<u32>::deserialize(&Value::Null).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+    }
+}

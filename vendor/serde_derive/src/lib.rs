@@ -1,0 +1,464 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! Value-tree traits in the companion `serde` stub, without depending on
+//! `syn`/`quote` (unavailable offline). The input item is parsed by walking
+//! the raw `TokenStream`, which is sufficient for the shapes this workspace
+//! uses:
+//!
+//! - structs with named fields (plus the `#[serde(skip)]` and
+//!   `#[serde(default)]` field attributes; skipped fields are restored with
+//!   `Default::default()`),
+//! - enums with unit, tuple, and struct variants, encoded with serde's
+//!   external tagging (`"Variant"`, `{"Variant": value}`,
+//!   `{"Variant": {...}}`).
+//!
+//! Generics, tuple structs, and other serde attributes are rejected with a
+//! `compile_error!` so unsupported shapes fail loudly instead of producing a
+//! silently incompatible encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Data {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct TypeDef {
+    name: String,
+    data: Data,
+}
+
+/// Derives `serde::Serialize` for named-field structs and C-like/data enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives `serde::Deserialize` for named-field structs and C-like/data enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_type(input) {
+        Ok(def) => match mode {
+            Mode::Ser => gen_serialize(&def),
+            Mode::De => gen_deserialize(&def),
+        },
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("::core::compile_error!(\"serde_derive produced invalid code: {e:?}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> Result<TypeDef, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attributes(&mut it)?;
+    skip_visibility(&mut it);
+
+    let keyword = expect_ident(&mut it, "`struct` or `enum`")?;
+    let name = expect_ident(&mut it, "type name")?;
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde_derive stub: generics on `{name}` are not supported"));
+    }
+
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde_derive stub: `{name}` must have a braced body (tuple and unit structs are not supported)"
+            ))
+        }
+    };
+
+    let data = match keyword.as_str() {
+        "struct" => Data::Struct(parse_fields(body)?),
+        "enum" => Data::Enum(parse_variants(body)?),
+        other => return Err(format!("serde_derive stub: expected struct or enum, found `{other}`")),
+    };
+    Ok(TypeDef { name, data })
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default) = field_attributes(&mut it)?;
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = expect_ident(&mut it, "field name")?;
+        expect_punct(&mut it, ':')?;
+        consume_type(&mut it);
+        fields.push(Field { name, skip, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut it)?;
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it, "variant name")?;
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_type_list(g.stream());
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde_derive stub: explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Skips leading `#[...]` outer attributes without interpreting them.
+fn skip_attributes(it: &mut Tokens) -> Result<(), String> {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            _ => return Err("serde_derive stub: malformed attribute".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Skips leading attributes on a field, recording `#[serde(skip)]` and
+/// `#[serde(default)]`. Unknown serde attributes are rejected so that shapes
+/// the stub cannot encode fail at compile time.
+fn field_attributes(it: &mut Tokens) -> Result<(bool, bool), String> {
+    let (mut skip, mut default) = (false, false);
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("serde_derive stub: malformed attribute".to_string()),
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde = matches!(inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => return Err("serde_derive stub: malformed #[serde(...)] attribute".to_string()),
+        };
+        for tok in args {
+            match tok {
+                TokenTree::Ident(i) if i.to_string() == "skip" => skip = true,
+                TokenTree::Ident(i) if i.to_string() == "default" => default = true,
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => {
+                    return Err(format!(
+                        "serde_derive stub: unsupported serde attribute `{other}` (only skip/default)"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((skip, default))
+}
+
+fn skip_visibility(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("serde_derive stub: expected {what}, found {other:?}")),
+    }
+}
+
+fn expect_punct(it: &mut Tokens, ch: char) -> Result<(), String> {
+    match it.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == ch => Ok(()),
+        other => Err(format!("serde_derive stub: expected `{ch}`, found {other:?}")),
+    }
+}
+
+/// Consumes one type, stopping after the top-level `,` that terminates it (or
+/// at end of stream). Tracks `<`/`>` depth so commas inside generic argument
+/// lists (e.g. `HashMap<u64, u64>`) are not mistaken for field separators.
+fn consume_type(it: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = it.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    it.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        it.next();
+    }
+}
+
+/// Counts top-level comma-separated types in a tuple-variant body.
+fn count_type_list(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0;
+    while it.peek().is_some() {
+        consume_type(&mut it);
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.data {
+        Data::Struct(fields) => {
+            let mut b = String::from("let mut m = ::serde::value::new_object();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "m.push(({:?}.to_string(), ::serde::Serialize::serialize(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            b.push_str("::serde::Value::Object(m)");
+            b
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut m = ::serde::value::new_object();\n\
+                             m.push(({vname:?}.to_string(), {payload}));\n\
+                             ::serde::Value::Object(m)\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let mut inner =
+                            String::from("let mut inner = ::serde::value::new_object();\n");
+                        for f in &binds {
+                            inner.push_str(&format!(
+                                "inner.push(({f:?}.to_string(), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} .. }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::value::new_object();\n\
+                             m.push(({vname:?}.to_string(), ::serde::Value::Object(inner)));\n\
+                             ::serde::Value::Object(m)\n\
+                             }}\n",
+                            binds = binds.iter().map(|b| format!("{b}, ")).collect::<String>(),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.data {
+        Data::Struct(fields) => {
+            let mut b = format!(
+                "if v.as_object().is_none() {{\n\
+                 return ::core::result::Result::Err(::serde::Error::type_mismatch(\"object\", v));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&field_expr(f, "v"));
+            }
+            b.push_str("})");
+            b
+        }
+        Data::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => string_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __a = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::type_mismatch(\"array\", inner))?;\n\
+                             if __a.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                             format!(\"variant `{vname}` expects {n} elements, found {{}}\", __a.len())));\n\
+                             }}\n\
+                             ::core::result::Result::Ok({name}::{vname}({elems}))\n\
+                             }}\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut ctor = format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            ctor.push_str(&field_expr(f, "inner"));
+                        }
+                        ctor.push_str("}),\n");
+                        tag_arms.push_str(&ctor);
+                    }
+                }
+            }
+            format!(
+                "if let ::core::option::Option::Some(s) = v.as_str() {{\n\
+                 return match s {{\n\
+                 {string_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }};\n\
+                 }}\n\
+                 if let ::core::option::Option::Some(entries) = v.as_object() {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 return match tag.as_str() {{\n\
+                 {tag_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }};\n\
+                 }}\n\
+                 }}\n\
+                 ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected `{name}` as a variant string or single-key object\"))"
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// One `field: <expr>,` line of a struct(-variant) constructor.
+fn field_expr(f: &Field, source: &str) -> String {
+    let fname = &f.name;
+    if f.skip {
+        format!("{fname}: ::core::default::Default::default(),\n")
+    } else if f.default {
+        format!(
+            "{fname}: match {source}.get({fname:?}) {{\n\
+             ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+             ::core::option::Option::None => ::core::default::Default::default(),\n\
+             }},\n"
+        )
+    } else {
+        format!(
+            "{fname}: match {source}.get({fname:?}) {{\n\
+             ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             ::serde::Error::missing_field({fname:?})),\n\
+             }},\n"
+        )
+    }
+}

@@ -1,0 +1,449 @@
+//! Hermetic stand-in for `serde_json`.
+//!
+//! Prints and parses JSON text against the vendored `serde` crate's
+//! [`Value`] interchange tree. Covers the API subset the workspace uses:
+//! [`to_string`], [`to_vec`], [`to_writer`], [`from_str`], [`from_slice`],
+//! [`from_reader`], and [`Error`].
+//!
+//! Wire-format notes:
+//! - Integers print without a decimal point; 64-bit values round-trip
+//!   losslessly through dedicated `Int`/`UInt` variants.
+//! - Floats print via Rust's shortest-round-trip `{:?}` formatting; an
+//!   integral float gains a `.0` suffix so it re-parses as a float.
+//! - Non-finite floats serialize as `null`, matching real serde_json.
+
+#![warn(missing_docs)]
+
+use serde::{de::DeserializeOwned, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(format!("io error: {e}"))
+    }
+}
+
+/// Serializes a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize());
+    Ok(out)
+}
+
+/// Serializes a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes a value as JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Deserializes a value from a JSON reader.
+pub fn from_reader<R: Read, T: DeserializeOwned>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // {:?} is Rust's shortest representation that round-trips;
+                // integral floats already include a trailing `.0`.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON document"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string object key"));
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc =
+                        *self.bytes.get(self.pos).ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low surrogate.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                // Multi-byte UTF-8: the input came from &str, so continuation
+                // bytes are valid; copy the whole scalar through.
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let len = if b >= 0xF0 {
+                        4
+                    } else if b >= 0xE0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.bytes.get(self.pos) == Some(&b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if text == "-" || text.is_empty() {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn scalars_roundtrip_through_text() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &f in &[0.1f64, 1.0, -2.5e300, std::f64::consts::PI, f64::MIN_POSITIVE] {
+            let s = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), f, "via {s}");
+        }
+        for &f in &[0.1f32, 1.0, 6.02e23, -1.1754944e-38] {
+            let s = to_string(&f).unwrap();
+            assert_eq!(from_str::<f32>(&s).unwrap(), f, "via {s}");
+        }
+    }
+
+    #[test]
+    fn u64_extremes_survive() {
+        let s = to_string(&u64::MAX).unwrap();
+        assert_eq!(s, u64::MAX.to_string());
+        assert_eq!(from_str::<u64>(&s).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "line\nbreak \"quoted\" back\\slash tab\t snowman ☃".to_string();
+        let s = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), original);
+        assert_eq!(from_str::<String>(r#""☃ 😀""#).unwrap(), "☃ 😀");
+    }
+
+    #[test]
+    fn nested_containers_roundtrip() {
+        let v: Vec<Vec<f32>> = vec![vec![1.5, -2.5], vec![], vec![0.0]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f32>>>(&s).unwrap(), v);
+
+        let mut m: HashMap<u64, i64> = HashMap::new();
+        m.insert(u64::MAX - 5, -9);
+        m.insert(7, 12);
+        let s = to_string(&m).unwrap();
+        assert_eq!(from_str::<HashMap<u64, i64>>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\":}", "1 2", "{1: 2}", "nanx", "--5"] {
+            assert!(from_str::<serde::Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v: Vec<u32> = from_str(" [ 1 , 2 ,\n 3 ] ").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}
