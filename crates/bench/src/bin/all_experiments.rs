@@ -45,8 +45,19 @@ fn main() {
 
         // Table 12 engine integration.
         print_tab12(&engine::run(2_000));
+
+        // Every serve call above went through the instrumented task heads at
+        // the default Metrics level, so the suite run doubles as a telemetry
+        // smoke check: dump what the registry accumulated.
+        print_telemetry_appendix();
     });
     println!("\nTotal suite wall-clock: {total:.1}s");
+}
+
+fn print_telemetry_appendix() {
+    let snap = setlearn_obs::metrics().snapshot();
+    println!("\n== Telemetry appendix — metrics recorded during the suite ==\n");
+    println!("{}", setlearn_obs::to_table(&snap));
 }
 
 fn run_fig3() {

@@ -1,0 +1,58 @@
+//! Measures the serve-path cost of the telemetry layer: the same query
+//! stream is timed with telemetry fully off and at the default `Metrics`
+//! level (counter + latency-histogram recording on every query). The
+//! acceptance budget for the instrumented hot path is **≤ 5% overhead**.
+//!
+//! Each configuration is timed over several interleaved rounds and the best
+//! round is compared, so one scheduler hiccup cannot fake a regression.
+
+use setlearn::tasks::LearnedCardinality;
+use setlearn_bench::configs::{cardinality_config, Variant};
+use setlearn_bench::datasets::BenchDataset;
+use setlearn_bench::report::{ms, Table};
+use setlearn_bench::timing::avg_latency_ms;
+use setlearn_data::{Dataset, SubsetIndex};
+use setlearn_obs::TelemetryLevel;
+
+const ROUNDS: usize = 5;
+const BUDGET_PCT: f64 = 5.0;
+
+fn main() {
+    let bench = BenchDataset::load(Dataset::Rw200k);
+    let collection = &bench.collection;
+    let subsets = SubsetIndex::build(collection, 3);
+    let cfg = cardinality_config(collection.num_elements(), Variant::Clsm, 0.9);
+    let (est, _) = LearnedCardinality::build_from_subsets(&subsets, &cfg);
+    let eval = setlearn_bench::suites::cardinality::eval_sample(&subsets, 4_000);
+
+    let run = |level: TelemetryLevel| {
+        setlearn_obs::set_level(level);
+        avg_latency_ms(&eval, |(s, _)| {
+            std::hint::black_box(est.estimate(s));
+        })
+    };
+
+    // Warm caches and the lazily initialized metric handles before timing.
+    let _ = run(TelemetryLevel::Off);
+    let _ = run(TelemetryLevel::Metrics);
+
+    let mut off = f64::INFINITY;
+    let mut metrics = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        off = off.min(run(TelemetryLevel::Off));
+        metrics = metrics.min(run(TelemetryLevel::Metrics));
+    }
+    setlearn_obs::set_level(TelemetryLevel::Metrics);
+
+    let overhead_pct = (metrics / off - 1.0) * 100.0;
+    let mut t = Table::new(vec!["telemetry level", "ms/query (best of 5)"]);
+    t.row(vec!["Off".to_string(), ms(off)]);
+    t.row(vec!["Metrics (default)".to_string(), ms(metrics)]);
+    t.print("Telemetry overhead — cardinality serve path (RW-200k shape)");
+    println!("Overhead at Metrics level: {overhead_pct:+.2}% (budget ≤ {BUDGET_PCT}%)");
+    if overhead_pct <= BUDGET_PCT {
+        println!("PASS — instrumentation stays inside the serve-latency budget.");
+    } else {
+        println!("WARN — instrumentation exceeds the {BUDGET_PCT}% budget; profile Histogram::observe.");
+    }
+}

@@ -81,6 +81,33 @@ impl Args {
         self.flags.iter().any(|f| f == key)
     }
 
+    /// Rejects any option or flag not in `allowed` with a usage message, so
+    /// a typo like `--epoch 30` fails loudly instead of silently training
+    /// with the default. Call once per subcommand with its full option list.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        let mut unknown: Vec<&str> = self
+            .options
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        unknown.sort_unstable();
+        let mut usage: Vec<&str> = allowed.to_vec();
+        usage.sort_unstable();
+        Err(ArgError(format!(
+            "unknown option{} for '{}': {}\nusage: setlearn {} [--{}]",
+            if unknown.len() == 1 { "" } else { "s" },
+            self.command,
+            unknown.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", "),
+            self.command,
+            usage.join("] [--"),
+        )))
+    }
+
     /// Parses a comma-separated id list (`--query 1,2,3`).
     pub fn id_list(&self, key: &str) -> Result<Vec<u32>, ArgError> {
         let raw = self.required(key)?;
@@ -128,6 +155,23 @@ mod tests {
         assert!(parse(&["cmd", "--a", "1", "--a", "2"]).is_err());
         let a = parse(&["cmd"]).unwrap();
         assert!(a.required("missing").is_err());
+    }
+
+    #[test]
+    fn reject_unknown_names_the_offender_and_prints_usage() {
+        let a = parse(&["train", "--task", "cardinality", "--epoch", "30"]).unwrap();
+        let err = a.reject_unknown(&["task", "epochs", "out"]).unwrap_err();
+        assert!(err.0.contains("--epoch"), "got: {}", err.0);
+        assert!(err.0.contains("usage: setlearn train"), "got: {}", err.0);
+        assert!(err.0.contains("--epochs"), "usage lists valid options: {}", err.0);
+
+        // Unknown bare flags are rejected too.
+        let a = parse(&["train", "--verbose"]).unwrap();
+        assert!(a.reject_unknown(&["task"]).is_err());
+
+        // A fully valid line passes.
+        let a = parse(&["train", "--task", "bloom", "--compressed"]).unwrap();
+        assert!(a.reject_unknown(&["task", "compressed"]).is_ok());
     }
 
     #[test]

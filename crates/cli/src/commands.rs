@@ -1,14 +1,17 @@
 //! CLI subcommand implementations.
 
 use crate::args::{ArgError, Args};
+use crate::telemetry;
 use setlearn::hybrid::GuidedConfig;
 use setlearn::model::DeepSetsConfig;
+use setlearn::monitor::{DriftMonitor, MonitorConfig};
 use setlearn::tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
     LearnedSetIndex,
 };
-use setlearn_data::{normalize, GeneratorConfig, SetCollection};
+use setlearn_data::{normalize, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
+use setlearn_obs::RegistrySnapshot;
 
 /// Uniform CLI error type.
 pub type CliError = Box<dyn std::error::Error>;
@@ -43,6 +46,7 @@ fn load<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
 
 /// `setlearn generate --dataset rw|tweets|sd --sets N [--seed S] --out FILE`
 pub fn generate(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["dataset", "sets", "seed", "out"])?;
     let dataset = args.required("dataset")?;
     let n = args.get_or("sets", 2_000usize)?;
     let seed = args.get_or("seed", 42u64)?;
@@ -65,6 +69,7 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
 
 /// `setlearn import --text FILE --out FILE [--dict FILE] [--comment PREFIX]`
 pub fn import(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["text", "out", "dict", "comment"])?;
     let text_path = args.required("text")?;
     let out = args.required("out")?;
     let mut format = setlearn_data::io::TextFormat::default();
@@ -87,6 +92,7 @@ pub fn import(args: &Args) -> Result<(), CliError> {
 
 /// `setlearn export --collection FILE --dict FILE --out FILE`
 pub fn export(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["collection", "dict", "out"])?;
     let collection = load_collection(args.required("collection")?)?;
     let dict: setlearn_data::Dictionary = load(args.required("dict")?)?;
     let out = args.required("out")?;
@@ -98,6 +104,7 @@ pub fn export(args: &Args) -> Result<(), CliError> {
 
 /// `setlearn reorder --collection FILE --out FILE --strategy lex|head|random [--seed S]`
 pub fn reorder_cmd(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["collection", "out", "strategy", "seed"])?;
     let collection = load_collection(args.required("collection")?)?;
     let out = args.required("out")?;
     let strategy = args.optional("strategy").unwrap_or("lex");
@@ -114,8 +121,14 @@ pub fn reorder_cmd(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `setlearn stats --collection FILE`
+/// `setlearn stats --collection FILE` — collection statistics, or
+/// `setlearn stats --telemetry PATH [--format table|prom]` — dump the
+/// metrics from a `--telemetry` run artifact.
 pub fn stats(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["collection", "telemetry", "format"])?;
+    if let Some(base) = args.optional("telemetry") {
+        return stats_telemetry(base, args.optional("format").unwrap_or("table"));
+    }
     let collection = load_collection(args.required("collection")?)?;
     let s = collection.stats();
     println!("sets:            {}", s.num_sets);
@@ -123,6 +136,50 @@ pub fn stats(args: &Args) -> Result<(), CliError> {
     println!("max cardinality: {}", s.max_cardinality);
     println!("set sizes:       {}-{}", s.min_set_size, s.max_set_size);
     println!("resident bytes:  {}", collection.size_bytes());
+    Ok(())
+}
+
+/// Loads `<base>.metrics.json`, renders it in the requested format (the
+/// `prom` output is re-validated against the exposition grammar), and
+/// summarizes `<base>.jsonl` when present.
+fn stats_telemetry(base: &str, format: &str) -> Result<(), CliError> {
+    let metrics_path = format!("{base}.metrics.json");
+    let text =
+        std::fs::read_to_string(&metrics_path).map_err(with_path("open", &metrics_path))?;
+    let snap: RegistrySnapshot =
+        serde_json::from_str(&text).map_err(with_path("parse", &metrics_path))?;
+    if snap.is_empty() {
+        return Err(format!("{metrics_path} contains no metrics").into());
+    }
+    match format {
+        "table" => print!("{}", setlearn_obs::to_table(&snap)),
+        "prom" => {
+            let prom = setlearn_obs::to_prometheus(&snap);
+            setlearn_obs::validate_prometheus(&prom)
+                .map_err(|e| format!("internal error: invalid exposition: {e}"))?;
+            print!("{prom}");
+        }
+        other => {
+            return Err(ArgError(format!("unknown format '{other}' (table|prom)")).into())
+        }
+    }
+    let trace_path = format!("{base}.jsonl");
+    match std::fs::read_to_string(&trace_path) {
+        Ok(text) => {
+            let records = setlearn_obs::parse_jsonl(&text)
+                .map_err(|e| format!("cannot parse {trace_path}: {e}"))?;
+            let spans =
+                records.iter().filter(|r| r.kind == setlearn_obs::RecordKind::Span).count();
+            println!(
+                "trace: {} records ({} spans, {} events) in {trace_path}",
+                records.len(),
+                spans,
+                records.len() - spans
+            );
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot read {trace_path}: {e}").into()),
+    }
     Ok(())
 }
 
@@ -161,8 +218,15 @@ fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> 
 }
 
 /// `setlearn train --task cardinality|index|bloom --collection FILE --out FILE
-///  [--compressed] [--epochs N] [--percentile P] [--neurons N] [--embedding D]`
+///  [--compressed] [--epochs N] [--percentile P] [--neurons N] [--embedding D]
+///  [--telemetry PATH]`
 pub fn train(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "task", "collection", "out", "compressed", "epochs", "refine-epochs", "percentile",
+        "neurons", "embedding", "max-subset", "lr", "batch", "seed", "range", "last",
+        "samples", "telemetry",
+    ])?;
+    let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
     let collection = load_collection(args.required("collection")?)?;
     let out = args.required("out")?;
@@ -235,19 +299,29 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             )
         }
     }
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
     Ok(())
 }
 
-/// `setlearn estimate --model FILE --query 1,2,3`
+/// `setlearn estimate --model FILE --query 1,2,3 [--telemetry PATH]`
 pub fn estimate(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["model", "query", "telemetry"])?;
+    let sink = telemetry::begin(args)?;
     let est: LearnedCardinality = load(args.required("model")?)?;
     let q = normalize(args.id_list("query")?);
     println!("{:.1}", est.estimate(&q));
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
     Ok(())
 }
 
-/// `setlearn lookup --model FILE --collection FILE --query 1,2,3`
+/// `setlearn lookup --model FILE --collection FILE --query 1,2,3 [--telemetry PATH]`
 pub fn lookup(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["model", "collection", "query", "telemetry"])?;
+    let sink = telemetry::begin(args)?;
     let index: LearnedSetIndex = load(args.required("model")?)?;
     let collection = load_collection(args.required("collection")?)?;
     let q = normalize(args.id_list("query")?);
@@ -259,11 +333,16 @@ pub fn lookup(args: &Args) -> Result<(), CliError> {
         ),
         None => println!("not found (scanned {} sets)", profile.scanned),
     }
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
     Ok(())
 }
 
-/// `setlearn member --model FILE --query 1,2,3`
+/// `setlearn member --model FILE --query 1,2,3 [--telemetry PATH]`
 pub fn member(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["model", "query", "telemetry"])?;
+    let sink = telemetry::begin(args)?;
     let filter: LearnedBloom = load(args.required("model")?)?;
     let q = normalize(args.id_list("query")?);
     println!(
@@ -271,11 +350,104 @@ pub fn member(args: &Args) -> Result<(), CliError> {
         if filter.contains(&q) { "present" } else { "absent" },
         filter.score(&q)
     );
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
+    Ok(())
+}
+
+/// `setlearn query --task cardinality|index|bloom --model FILE --collection FILE
+///  [--limit N] [--max-subset K] [--telemetry PATH]`
+///
+/// Replays a workload of subset queries enumerated from the collection
+/// against a trained model, one query at a time through the instrumented
+/// serve path, with a [`DriftMonitor`] watching accuracy and fallbacks. This
+/// is the serving-side counterpart of `train`: run it with `--telemetry` to
+/// capture serve-latency histograms, query/fallback counters, and
+/// `serve_query` spans in the run artifact.
+pub fn query(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["task", "model", "collection", "limit", "max-subset", "telemetry"])?;
+    let sink = telemetry::begin(args)?;
+    let task = args.required("task")?.to_string();
+    let model_path = args.required("model")?;
+    let collection = load_collection(args.required("collection")?)?;
+    let limit = args.get_or("limit", 500usize)?;
+    let max_subset = args.get_or("max-subset", 2usize)?;
+    let subsets = SubsetIndex::build(&collection, max_subset);
+    let mut monitor = DriftMonitor::try_new(1.0, MonitorConfig::default())?;
+
+    match task.as_str() {
+        "cardinality" => {
+            let est: LearnedCardinality = load(model_path)?;
+            let mut served = 0usize;
+            for (s, info) in subsets.iter().take(limit) {
+                let v = est.estimate_monitored(s, &mut monitor);
+                monitor.observe(v, info.count as f64);
+                served += 1;
+            }
+            let guard = est.serve_guard();
+            println!(
+                "served {served} cardinality queries: rolling q-error {:.3}, \
+                 {} fallbacks ({} non-finite, {} out-of-bounds)",
+                monitor.rolling_q_error(),
+                guard.fallbacks(),
+                guard.non_finite_fallbacks(),
+                guard.out_of_bounds_fallbacks(),
+            );
+        }
+        "index" => {
+            let index: LearnedSetIndex = load(model_path)?;
+            let (mut served, mut found, mut scanned) = (0usize, 0usize, 0usize);
+            for (s, _) in subsets.iter().take(limit) {
+                let profile = index.lookup_profiled(&collection, s);
+                if profile.fallback.is_some() {
+                    monitor.record_fallback();
+                }
+                found += usize::from(profile.position.is_some());
+                scanned += profile.scanned;
+                served += 1;
+            }
+            println!(
+                "served {served} index lookups: {found} found, {} bound misses, \
+                 {:.1} sets scanned/query, {} guard fallbacks",
+                served - found,
+                scanned as f64 / served.max(1) as f64,
+                index.serve_guard().fallbacks(),
+            );
+        }
+        "bloom" => {
+            let filter: LearnedBloom = load(model_path)?;
+            let (mut served, mut present) = (0usize, 0usize);
+            for (s, _) in subsets.iter().take(limit) {
+                present += usize::from(filter.contains(s));
+                served += 1;
+            }
+            println!(
+                "served {served} membership queries: {present} present \
+                 (recall {:.3} — trained subsets must all be present), {} guard fallbacks",
+                present as f64 / served.max(1) as f64,
+                filter.serve_guard().fallbacks(),
+            );
+        }
+        other => {
+            return Err(
+                ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
+            )
+        }
+    }
+    monitor.publish_metrics();
+    if let Some(reason) = monitor.should_retrain() {
+        eprintln!("warning: drift monitor raised the retrain signal ({reason:?})");
+    }
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
     Ok(())
 }
 
 /// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]`
 pub fn sql(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["collection", "query", "model"])?;
     let collection = load_collection(args.required("collection")?)?;
     let query = args.required("query")?;
     let engine = Engine::new();
@@ -313,15 +485,23 @@ COMMANDS:
   export    --collection FILE --dict FILE --out FILE
   reorder   --collection FILE --out FILE [--strategy lex|head|random]
   stats     --collection FILE
+            | --telemetry PATH [--format table|prom]   (dump a run artifact)
   train     --task cardinality|index|bloom --collection FILE --out FILE
             [--compressed] [--epochs N] [--percentile P] [--neurons N]
             [--embedding D] [--max-subset K] [--lr F] [--batch N]
-  estimate  --model FILE --query 1,2,3
-  lookup    --model FILE --collection FILE --query 1,2,3
-  member    --model FILE --query 1,2,3
+            [--telemetry PATH]
+  query     --task cardinality|index|bloom --model FILE --collection FILE
+            [--limit N] [--max-subset K] [--telemetry PATH]
+  estimate  --model FILE --query 1,2,3 [--telemetry PATH]
+  lookup    --model FILE --collection FILE --query 1,2,3 [--telemetry PATH]
+  member    --model FILE --query 1,2,3 [--telemetry PATH]
   sql       --collection FILE --query \"SELECT COUNT(*) FROM t WHERE tags @> {{1,2}} [USING mode]\"
             [--model FILE]
-  help"
+  help
+
+Passing --telemetry PATH raises telemetry to Full (per-query/per-epoch
+spans) and writes PATH.prom, PATH.metrics.json and PATH.jsonl; repeated
+runs against the same PATH accumulate into one artifact."
     );
 }
 
@@ -334,6 +514,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "reorder" => reorder_cmd(args),
         "stats" => stats(args),
         "train" => train(args),
+        "query" => query(args),
         "estimate" => estimate(args),
         "lookup" => lookup(args),
         "member" => member(args),
@@ -452,6 +633,77 @@ mod tests {
         let err = run(&args(&["estimate", "--model", &path, "--query", "1"])).unwrap_err();
         assert!(err.to_string().contains("cannot parse"), "got: {err}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage() {
+        let err = run(&args(&["generate", "--dataset", "sd", "--sets", "10", "--outt", "x"]))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--outt"), "got: {msg}");
+        assert!(msg.contains("usage: setlearn generate"), "got: {msg}");
+        // A typo'd training knob fails instead of silently using defaults.
+        let err = run(&args(&[
+            "train", "--task", "bloom", "--collection", "c", "--out", "m", "--epoch", "3",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--epoch"), "got: {err}");
+    }
+
+    #[test]
+    fn train_query_stats_telemetry_pipeline() {
+        let coll = tmp("tele.json");
+        let model = tmp("tele-model.json");
+        let base = tmp("tele-run");
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "150", "--seed", "5", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "2", "--refine-epochs", "1", "--max-subset", "2",
+            "--telemetry", &base,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--limit", "40", "--max-subset", "2", "--telemetry", &base,
+        ]))
+        .unwrap();
+
+        // The Prometheus export is parseable and holds the serve histogram,
+        // a nonzero query counter, and the train/serve metric families.
+        let prom = std::fs::read_to_string(format!("{base}.prom")).unwrap();
+        setlearn_obs::validate_prometheus(&prom).expect("valid exposition");
+        assert!(prom.contains("setlearn_serve_latency_seconds_bucket"), "prom:\n{prom}");
+        assert!(prom.contains("setlearn_serve_queries_total{task=\"cardinality\"}"));
+        assert!(prom.contains("setlearn_train_epochs_total"));
+        assert!(prom.contains("setlearn_monitor_rolling_q_error"));
+
+        // The trace holds both train-epoch and serve-query spans.
+        let trace = std::fs::read_to_string(format!("{base}.jsonl")).unwrap();
+        let records = setlearn_obs::parse_jsonl(&trace).expect("parseable trace");
+        assert!(records.iter().any(|r| r.name == "train_epoch"), "no train_epoch span");
+        assert!(records.iter().any(|r| r.name == "serve_query"), "no serve_query span");
+
+        // The metrics snapshot round-trips and the query counter is nonzero.
+        let snap: RegistrySnapshot = serde_json::from_str(
+            &std::fs::read_to_string(format!("{base}.metrics.json")).unwrap(),
+        )
+        .unwrap();
+        let queries = snap
+            .counter_value("setlearn_serve_queries_total", &[("task", "cardinality")])
+            .expect("query counter");
+        assert!(queries >= 40, "served {queries}");
+
+        // `stats --telemetry` renders both formats.
+        run(&args(&["stats", "--telemetry", &base])).unwrap();
+        run(&args(&["stats", "--telemetry", &base, "--format", "prom"])).unwrap();
+
+        for f in [coll, model, format!("{base}.prom"), format!("{base}.metrics.json"),
+                  format!("{base}.jsonl")] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

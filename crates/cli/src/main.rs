@@ -2,6 +2,7 @@
 
 mod args;
 mod commands;
+mod telemetry;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();

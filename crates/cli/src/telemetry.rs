@@ -1,0 +1,107 @@
+//! `--telemetry <path>` plumbing: turns on full tracing for the invocation
+//! and persists a three-file run artifact next to `<path>`:
+//!
+//! - `<path>.prom`         — Prometheus text exposition of all metrics
+//! - `<path>.metrics.json` — the raw [`RegistrySnapshot`] (machine-readable)
+//! - `<path>.jsonl`        — the structured trace, one record per line
+//!
+//! Artifacts *accumulate*: on startup any existing `<path>.metrics.json` is
+//! absorbed back into the live registry and the trace file is appended to,
+//! so `train --telemetry run && query --telemetry run` yields one artifact
+//! covering both phases (train-epoch spans and serve-query spans together).
+//! All files are written through the same crash-safe atomic-rename path as
+//! model files ([`setlearn::persist::write_atomic`]).
+
+use crate::commands::CliError;
+use setlearn::persist::write_atomic;
+use setlearn_obs::RegistrySnapshot;
+use std::path::{Path, PathBuf};
+
+/// An active `--telemetry` sink for one CLI invocation.
+pub struct TelemetrySink {
+    base: PathBuf,
+}
+
+/// Reads the `--telemetry` option; when present, raises the global telemetry
+/// level to `Full` (per-query/per-epoch spans) and absorbs any prior metrics
+/// artifact at the same base path so counters keep accumulating across
+/// invocations.
+pub fn begin(args: &crate::args::Args) -> Result<Option<TelemetrySink>, CliError> {
+    let Some(base) = args.optional("telemetry") else {
+        return Ok(None);
+    };
+    if base.is_empty() {
+        return Err("--telemetry requires a non-empty path".into());
+    }
+    setlearn_obs::set_level(setlearn_obs::TelemetryLevel::Full);
+    let sink = TelemetrySink { base: PathBuf::from(base) };
+    let metrics_path = sink.metrics_path();
+    if metrics_path.exists() {
+        let text = std::fs::read_to_string(&metrics_path)
+            .map_err(|e| format!("cannot read {}: {e}", metrics_path.display()))?;
+        let snap: RegistrySnapshot = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", metrics_path.display()))?;
+        setlearn_obs::metrics().absorb(&snap);
+    }
+    Ok(Some(sink))
+}
+
+fn with_suffix(base: &Path, suffix: &str) -> PathBuf {
+    let mut s = base.as_os_str().to_owned();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+impl TelemetrySink {
+    /// `<path>.prom`
+    pub fn prom_path(&self) -> PathBuf {
+        with_suffix(&self.base, ".prom")
+    }
+
+    /// `<path>.metrics.json`
+    pub fn metrics_path(&self) -> PathBuf {
+        with_suffix(&self.base, ".metrics.json")
+    }
+
+    /// `<path>.jsonl`
+    pub fn trace_path(&self) -> PathBuf {
+        with_suffix(&self.base, ".jsonl")
+    }
+
+    /// Flushes the run artifact: Prometheus exposition + metrics snapshot
+    /// (overwritten — they already contain absorbed history) and the drained
+    /// trace ring (appended to the existing trace).
+    pub fn finish(&self) -> Result<(), CliError> {
+        let tracer = setlearn_obs::tracer();
+        setlearn_obs::publish_collector_metrics(tracer, setlearn_obs::metrics());
+        let snap = setlearn_obs::metrics().snapshot();
+
+        let prom = self.prom_path();
+        write_atomic(&prom, setlearn_obs::to_prometheus(&snap).as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", prom.display()))?;
+
+        let metrics = self.metrics_path();
+        let json = serde_json::to_string(&snap)
+            .map_err(|e| format!("cannot serialize metrics snapshot: {e}"))?;
+        write_atomic(&metrics, json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", metrics.display()))?;
+
+        let trace = self.trace_path();
+        let mut text = match std::fs::read_to_string(&trace) {
+            Ok(existing) => existing,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read {}: {e}", trace.display()).into()),
+        };
+        text.push_str(&setlearn_obs::to_jsonl(&tracer.drain()));
+        write_atomic(&trace, text.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", trace.display()))?;
+
+        eprintln!(
+            "telemetry: wrote {}, {}, {}",
+            prom.display(),
+            metrics.display(),
+            trace.display()
+        );
+        Ok(())
+    }
+}

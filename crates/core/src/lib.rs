@@ -51,10 +51,11 @@ pub mod persist;
 pub mod quantize;
 pub mod settransformer;
 pub mod tasks;
+pub(crate) mod telemetry;
 
 pub use compress::CompressionSpec;
 pub use hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
-pub use monitor::{DriftMonitor, MonitorConfig, RetrainReason};
+pub use monitor::{DriftMonitor, MonitorConfig, MonitorSnapshot, RetrainReason};
 pub use model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
 pub use settransformer::{SetTransformer, SetTransformerConfig};
 pub use tasks::{

@@ -497,6 +497,7 @@ impl DeepSets {
                 stats.skipped_batches += 1;
                 continue;
             }
+            stats.max_grad_norm = stats.max_grad_norm.max(norm);
             if let Some(max_norm) = clip_norm {
                 if norm > max_norm {
                     self.scale_grads(max_norm / norm);

@@ -81,6 +81,37 @@ pub enum RetrainReason {
     ServeFallbacks,
 }
 
+impl RetrainReason {
+    /// Stable snake_case name used as the `reason` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RetrainReason::AccuracyDrop => "accuracy_drop",
+            RetrainReason::UpdateBudget => "update_budget",
+            RetrainReason::ServeFallbacks => "serve_fallbacks",
+        }
+    }
+}
+
+/// Point-in-time copy of a [`DriftMonitor`]'s state — what telemetry and
+/// tests inspect without having to trigger a retrain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// Build-time accuracy baseline.
+    pub baseline_q_error: f64,
+    /// Rolling mean q-error over the window (baseline when empty).
+    pub rolling_q_error: f64,
+    /// Accuracy observations currently in the window.
+    pub observations: usize,
+    /// Structural updates since the last reset.
+    pub pending_updates: usize,
+    /// Serve-time fallbacks since the last reset.
+    pub pending_fallbacks: usize,
+    /// The active configuration (thresholds the counts are judged against).
+    pub config: MonitorConfig,
+    /// The retrain signal at snapshot time, if raised.
+    pub retrain: Option<RetrainReason>,
+}
+
 /// Rolling accuracy/update tracker for a deployed learned structure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DriftMonitor {
@@ -193,6 +224,44 @@ impl DriftMonitor {
             return Some(RetrainReason::AccuracyDrop);
         }
         None
+    }
+
+    /// Copies out the monitor's current state (counts, thresholds, and the
+    /// live retrain signal) without mutating anything.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            baseline_q_error: self.baseline_q_error,
+            rolling_q_error: self.rolling_q_error(),
+            observations: self.recent.len(),
+            pending_updates: self.updates,
+            pending_fallbacks: self.fallbacks,
+            config: self.config.clone(),
+            retrain: self.should_retrain(),
+        }
+    }
+
+    /// Publishes the monitor's state as gauges on the global metrics
+    /// registry: `setlearn_monitor_{baseline_q_error, rolling_q_error,
+    /// pending_updates, pending_fallbacks}` plus one 0/1
+    /// `setlearn_monitor_retrain_signal{reason=...}` gauge per retrain
+    /// reason.
+    pub fn publish_metrics(&self) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        let m = setlearn_obs::metrics();
+        m.gauge("setlearn_monitor_baseline_q_error").set(self.baseline_q_error);
+        m.gauge("setlearn_monitor_rolling_q_error").set(self.rolling_q_error());
+        m.gauge("setlearn_monitor_pending_updates").set(self.updates as f64);
+        m.gauge("setlearn_monitor_pending_fallbacks").set(self.fallbacks as f64);
+        let signal = self.should_retrain();
+        for reason in
+            [RetrainReason::AccuracyDrop, RetrainReason::UpdateBudget, RetrainReason::ServeFallbacks]
+        {
+            let active = signal == Some(reason);
+            m.gauge_with("setlearn_monitor_retrain_signal", &[("reason", reason.label())])
+                .set(if active { 1.0 } else { 0.0 });
+        }
     }
 
     /// Resets the monitor after a rebuild, adopting a new baseline.
@@ -337,6 +406,59 @@ mod tests {
             m.record_fallback();
         }
         assert_eq!(m.should_retrain(), None);
+    }
+
+    #[test]
+    fn snapshot_reflects_state_without_mutation() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..3 {
+            m.observe(10.0, 9.5);
+            m.record_update();
+        }
+        m.record_fallback();
+        let snap = m.snapshot();
+        assert_eq!(snap.baseline_q_error, 1.2);
+        assert_eq!(snap.observations, 3);
+        assert_eq!(snap.pending_updates, 3);
+        assert_eq!(snap.pending_fallbacks, 1);
+        assert_eq!(snap.retrain, None);
+        assert_eq!(snap.config.window, 16);
+        // Snapshots serialize (they ride along in telemetry artifacts).
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MonitorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pending_updates, 3);
+        // Snapshotting did not consume state.
+        assert_eq!(m.pending_updates(), 3);
+
+        for _ in 0..10 {
+            m.record_update();
+        }
+        assert_eq!(m.snapshot().retrain, Some(RetrainReason::UpdateBudget));
+    }
+
+    #[test]
+    fn publish_metrics_exports_gauges() {
+        let mut m = DriftMonitor::new(1.2, cfg());
+        for _ in 0..10 {
+            m.record_update();
+        }
+        m.publish_metrics();
+        let snap = setlearn_obs::metrics().snapshot();
+        let updates = snap
+            .gauges
+            .iter()
+            .find(|g| g.key.name == "setlearn_monitor_pending_updates")
+            .expect("pending_updates gauge");
+        assert!(updates.value >= 10.0);
+        let signal = snap
+            .gauges
+            .iter()
+            .find(|g| {
+                g.key.name == "setlearn_monitor_retrain_signal"
+                    && g.key.labels.iter().any(|l| l.value == "update_budget")
+            })
+            .expect("retrain_signal gauge");
+        assert_eq!(signal.value, 1.0);
     }
 
     #[test]

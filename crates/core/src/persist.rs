@@ -111,8 +111,9 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Writes `bytes` to `path` atomically: the data lands in a sibling temp
 /// file, is flushed and fsynced, then renamed over the destination. Readers
 /// observe either the old file or the complete new one, never a partial
-/// write.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+/// write. Public so other sinks (e.g. telemetry artifacts) share the same
+/// crash-safe write path as model files.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);

@@ -181,13 +181,16 @@ impl LearnedBloom {
     /// alone, which still guarantees no false negatives on trained
     /// positives that the model had missed.
     pub fn contains(&self, q: &[u32]) -> bool {
-        self.decide(self.model.predict_one(q), q)
+        let start = crate::telemetry::query_start();
+        let (answer, fallback) = self.decide(self.model.predict_one(q), q);
+        crate::telemetry::bloom_tele().record_query(start, fallback);
+        answer
     }
 
-    fn decide(&self, score: f32, q: &[u32]) -> bool {
+    fn decide(&self, score: f32, q: &[u32]) -> (bool, Option<crate::hybrid::FallbackReason>) {
         match self.guard.admit(score as f64) {
-            Ok(s) => s >= self.threshold as f64 || self.backup.contains_set(q),
-            Err(_) => self.backup.contains_set(q),
+            Ok(s) => (s >= self.threshold as f64 || self.backup.contains_set(q), None),
+            Err(reason) => (self.backup.contains_set(q), Some(reason)),
         }
     }
 
@@ -204,12 +207,20 @@ impl LearnedBloom {
         if queries.is_empty() {
             return Vec::new();
         }
-        self.model
+        let mut fallbacks = Vec::new();
+        let answers = self
+            .model
             .predict_batch(queries)
             .into_iter()
             .zip(queries.iter())
-            .map(|(score, q)| self.decide(score, q.as_ref()))
-            .collect()
+            .map(|(score, q)| {
+                let (answer, reason) = self.decide(score, q.as_ref());
+                fallbacks.extend(reason);
+                answer
+            })
+            .collect();
+        crate::telemetry::bloom_tele().record_batch(queries.len(), &fallbacks);
+        answers
     }
 
     /// Raw classifier probability (for threshold tuning / diagnostics).

@@ -133,18 +133,23 @@ impl LearnedCardinality {
     }
 
     fn estimate_inner(&self, q: &[u32], monitor: Option<&mut DriftMonitor>) -> f64 {
+        let start = crate::telemetry::query_start();
         let h = set_hash(q);
+        let mut fallback = None;
         let base = match self.outliers.get(&h) {
             Some(&exact) => exact as f64,
             None => {
                 let raw = self.scaler.unscale(self.model.predict_one(q));
                 let (value, reason) = self.guard.admit_or_clamp(raw);
                 ServeGuard::notify(reason, monitor);
+                fallback = reason;
                 value
             }
         };
         let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
-        (base + delta).max(0.0)
+        let answer = (base + delta).max(0.0);
+        crate::telemetry::cardinality_tele().record_query(start, fallback);
+        answer
     }
 
     /// The serve-time guard (fallback counters and bounds).
@@ -165,19 +170,27 @@ impl LearnedCardinality {
             return Vec::new();
         }
         let scores = self.model.predict_batch(queries);
-        queries
+        let mut fallbacks = Vec::new();
+        let answers = queries
             .iter()
             .zip(scores)
             .map(|(q, s)| {
                 let h = set_hash(q.as_ref());
                 let base = match self.outliers.get(&h) {
                     Some(&exact) => exact as f64,
-                    None => self.guard.admit_or_clamp(self.scaler.unscale(s)).0,
+                    None => {
+                        let (value, reason) =
+                            self.guard.admit_or_clamp(self.scaler.unscale(s));
+                        fallbacks.extend(reason);
+                        value
+                    }
                 };
                 let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
                 (base + delta).max(0.0)
             })
-            .collect()
+            .collect();
+        crate::telemetry::cardinality_tele().record_batch(queries.len(), &fallbacks);
+        answers
     }
 
     /// Registers an inserted set (§7.2): all its subsets gain one occurrence

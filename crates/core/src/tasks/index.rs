@@ -212,6 +212,19 @@ impl LearnedSetIndex {
 
     /// [`LearnedSetIndex::lookup`] with scan-effort accounting.
     pub fn lookup_profiled(&self, collection: &SetCollection, q: &[u32]) -> LookupProfile {
+        let start = crate::telemetry::query_start();
+        let profile = self.lookup_profiled_inner(collection, q);
+        let tele = crate::telemetry::index_tele();
+        tele.record_query(start, profile.fallback);
+        // A scan that exhausted its window without a hit means the local
+        // error bound did not cover the answer (or the subset is absent).
+        if profile.position.is_none() && !profile.from_aux {
+            tele.record_bound_miss();
+        }
+        profile
+    }
+
+    fn lookup_profiled_inner(&self, collection: &SetCollection, q: &[u32]) -> LookupProfile {
         // Line 2: auxiliary structure (outliers + pending updates).
         if let Some(pos) = self.aux_position(q) {
             return LookupProfile {
@@ -269,7 +282,8 @@ impl LearnedSetIndex {
             return Vec::new();
         }
         let scores = self.model.predict_batch(queries);
-        queries
+        let mut fallbacks = Vec::new();
+        let answers = queries
             .iter()
             .zip(scores)
             .map(|(q, s)| {
@@ -277,7 +291,8 @@ impl LearnedSetIndex {
                 if let Some(pos) = self.aux_position(q) {
                     return Some(pos as usize);
                 }
-                let (lo, hi, _) = self.scan_window(collection, self.scaler.unscale(s));
+                let (lo, hi, reason) = self.scan_window(collection, self.scaler.unscale(s));
+                fallbacks.extend(reason);
                 match self.target {
                     PositionTarget::First => {
                         (lo..=hi).find(|&i| is_subset(q, collection.get(i)))
@@ -287,7 +302,9 @@ impl LearnedSetIndex {
                     }
                 }
             })
-            .collect()
+            .collect();
+        crate::telemetry::index_tele().record_batch(queries.len(), &fallbacks);
+        answers
     }
 
     /// Raw model estimate of the position (no scan) — for accuracy metrics.

@@ -38,7 +38,10 @@
 //! and loads `report`/`best_weights` back into the model afterwards.
 
 use serde::{Deserialize, Serialize};
+use setlearn_obs::{Counter, Field, Gauge, Histogram};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Weight snapshot: one owned buffer per parameter tensor, in the model's
 /// canonical buffer order.
@@ -118,6 +121,10 @@ pub struct EpochStats {
     pub skipped_batches: usize,
     /// Batches whose global gradient norm was clipped.
     pub clipped_batches: usize,
+    /// Largest global gradient norm observed across the epoch's batches
+    /// (`0.0` when the runner does not track gradients).
+    #[serde(default)]
+    pub max_grad_norm: f32,
 }
 
 impl EpochStats {
@@ -220,6 +227,40 @@ impl fmt::Display for TrainReport {
     }
 }
 
+/// Epoch wall-clock histogram bounds in seconds (1 ms … 60 s).
+const EPOCH_SECONDS_BOUNDS: &[f64] =
+    &[0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0];
+
+/// Cached handles into the global metrics registry so the per-epoch hot path
+/// never takes the registry's name-resolution lock.
+struct TrainTele {
+    epochs: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    skipped: Arc<Counter>,
+    clipped: Arc<Counter>,
+    loss: Arc<Gauge>,
+    lr: Arc<Gauge>,
+    grad_norm: Arc<Gauge>,
+    epoch_seconds: Arc<Histogram>,
+}
+
+fn train_tele() -> &'static TrainTele {
+    static TELE: OnceLock<TrainTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let m = setlearn_obs::metrics();
+        TrainTele {
+            epochs: m.counter("setlearn_train_epochs_total"),
+            recoveries: m.counter("setlearn_train_recoveries_total"),
+            skipped: m.counter("setlearn_train_skipped_batches_total"),
+            clipped: m.counter("setlearn_train_clipped_batches_total"),
+            loss: m.gauge("setlearn_train_loss"),
+            lr: m.gauge("setlearn_train_lr"),
+            grad_norm: m.gauge("setlearn_train_grad_norm"),
+            epoch_seconds: m.histogram("setlearn_train_epoch_seconds", EPOCH_SECONDS_BOUNDS),
+        }
+    })
+}
+
 /// Fault-tolerant epoch-loop supervisor. See the module docs for the
 /// driving protocol.
 #[derive(Debug, Clone)]
@@ -237,6 +278,7 @@ pub struct TrainHarness {
     skipped_batches: usize,
     clipped_batches: usize,
     stopped: Option<StopReason>,
+    epoch_started: Instant,
 }
 
 impl TrainHarness {
@@ -268,6 +310,7 @@ impl TrainHarness {
             skipped_batches: 0,
             clipped_batches: 0,
             stopped: None,
+            epoch_started: Instant::now(),
         }
     }
 
@@ -290,6 +333,8 @@ impl TrainHarness {
         if let Some(reason) = self.stopped {
             return Decision::Stop(reason);
         }
+        let epoch_dur = self.epoch_started.elapsed();
+        self.epoch_started = Instant::now();
         self.epochs_run += 1;
         self.skipped_batches += stats.skipped_batches;
         self.clipped_batches += stats.clipped_batches;
@@ -301,6 +346,8 @@ impl TrainHarness {
                 .policy
                 .divergence_factor
                 .is_some_and(|f| self.best_loss.is_finite() && loss > self.best_loss * f);
+
+        self.telemetry_epoch(stats, diverged, epoch_dur);
 
         if diverged {
             return self.recover();
@@ -335,6 +382,45 @@ impl TrainHarness {
         Decision::Continue
     }
 
+    /// Publishes one epoch's metrics and (at `Full` telemetry) a
+    /// `train_epoch` span. Diverged epochs keep the previous loss gauge so a
+    /// dashboard shows the last *accepted* loss.
+    fn telemetry_epoch(&self, stats: &EpochStats, diverged: bool, dur: std::time::Duration) {
+        if setlearn_obs::metrics_on() {
+            let t = train_tele();
+            t.epochs.inc();
+            t.skipped.add(stats.skipped_batches as u64);
+            t.clipped.add(stats.clipped_batches as u64);
+            t.lr.set(self.lr as f64);
+            if !diverged {
+                t.loss.set(stats.mean_loss as f64);
+            }
+            if stats.max_grad_norm.is_finite() && stats.max_grad_norm > 0.0 {
+                t.grad_norm.set(stats.max_grad_norm as f64);
+            }
+            t.epoch_seconds.observe(dur.as_secs_f64());
+        }
+        if setlearn_obs::tracing_on() {
+            let tracer = setlearn_obs::tracer();
+            let dur_us = dur.as_micros() as u64;
+            let start_us = tracer.now_us().saturating_sub(dur_us);
+            tracer.push_span(
+                "train_epoch",
+                start_us,
+                vec![
+                    Field::num("epoch", self.epochs_run as f64),
+                    Field::num("loss", stats.mean_loss as f64),
+                    Field::num("lr", self.lr as f64),
+                    Field::num("batches", stats.batches as f64),
+                    Field::num("skipped_batches", stats.skipped_batches as f64),
+                    Field::num("clipped_batches", stats.clipped_batches as f64),
+                    Field::num("max_grad_norm", stats.max_grad_norm as f64),
+                    Field::text("outcome", if diverged { "diverged" } else { "accepted" }),
+                ],
+            );
+        }
+    }
+
     fn recover(&mut self) -> Decision {
         if self.recoveries >= self.policy.max_recoveries {
             return self.stop(StopReason::RecoveryExhausted);
@@ -354,6 +440,17 @@ impl TrainHarness {
         }
         self.lr = new_lr;
         self.recoveries += 1;
+        if setlearn_obs::metrics_on() {
+            train_tele().recoveries.inc();
+            setlearn_obs::tracer().push_event(
+                "train_recovery",
+                vec![
+                    Field::num("epoch", self.epochs_run as f64),
+                    Field::num("lr", self.lr as f64),
+                    Field::num("recoveries", self.recoveries as f64),
+                ],
+            );
+        }
         if self.epochs_run >= self.policy.max_epochs {
             return self.stop(StopReason::MaxEpochs);
         }

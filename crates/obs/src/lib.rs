@@ -1,0 +1,124 @@
+//! Observability layer for the setlearn workspace.
+//!
+//! Three pieces, all dependency-free (vendored serde/serde_json only):
+//!
+//! - [`metrics`] — a lock-cheap [`MetricsRegistry`](metrics::MetricsRegistry)
+//!   of named counters, gauges, and fixed-bucket histograms. Recording is
+//!   atomic; snapshots serialize to JSON for run artifacts.
+//! - [`trace`] — structured spans/events with monotonic timestamps, buffered
+//!   in a bounded ring and exportable as JSONL.
+//! - [`export`] — Prometheus text exposition and a human-readable table.
+//!
+//! Instrumented crates talk to the process-wide singletons via [`metrics()`]
+//! and [`tracer()`]; how much they record is governed by the global
+//! [`TelemetryLevel`]:
+//!
+//! - `Off` — nothing is recorded.
+//! - `Metrics` (default) — counters/gauges/histograms and *rare* events
+//!   (fallbacks, recoveries). Hot-path cost is a few relaxed atomics.
+//! - `Full` — additionally records per-query/per-epoch spans into the trace
+//!   ring. Enabled by the CLI when `--telemetry <path>` is passed.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{to_prometheus, to_table, validate_prometheus};
+pub use metrics::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, HistogramSnapshot,
+    Label, MetricKey, MetricsRegistry, RegistrySnapshot, LATENCY_BOUNDS, QERROR_BOUNDS,
+};
+pub use trace::{
+    parse_jsonl, publish_collector_metrics, to_jsonl, Field, RecordKind, SpanGuard,
+    TraceCollector, TraceRecord,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// How much the instrumented code records into the global telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TelemetryLevel {
+    /// Record nothing.
+    Off = 0,
+    /// Record metrics and rare events (default).
+    Metrics = 1,
+    /// Additionally record per-query / per-epoch spans.
+    Full = 2,
+}
+
+impl TelemetryLevel {
+    fn from_u8(v: u8) -> TelemetryLevel {
+        match v {
+            0 => TelemetryLevel::Off,
+            2 => TelemetryLevel::Full,
+            _ => TelemetryLevel::Metrics,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(TelemetryLevel::Metrics as u8);
+
+/// Sets the global telemetry level.
+pub fn set_level(level: TelemetryLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current global telemetry level.
+pub fn level() -> TelemetryLevel {
+    TelemetryLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// True when metrics (and rare events) should be recorded.
+pub fn metrics_on() -> bool {
+    level() >= TelemetryLevel::Metrics
+}
+
+/// True when per-query/per-epoch spans should be recorded.
+pub fn tracing_on() -> bool {
+    level() >= TelemetryLevel::Full
+}
+
+/// Process-wide metrics registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+/// Process-wide trace collector (8192-record ring).
+pub fn tracer() -> &'static TraceCollector {
+    static TRACER: OnceLock<TraceCollector> = OnceLock::new();
+    TRACER.get_or_init(TraceCollector::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_gates() {
+        // Note: the level is process-global; this test restores the default.
+        set_level(TelemetryLevel::Off);
+        assert!(!metrics_on());
+        assert!(!tracing_on());
+        set_level(TelemetryLevel::Full);
+        assert!(metrics_on());
+        assert!(tracing_on());
+        set_level(TelemetryLevel::Metrics);
+        assert!(metrics_on());
+        assert!(!tracing_on());
+    }
+
+    #[test]
+    fn globals_are_singletons() {
+        let a = metrics() as *const _;
+        let b = metrics() as *const _;
+        assert_eq!(a, b);
+        let t1 = tracer() as *const _;
+        let t2 = tracer() as *const _;
+        assert_eq!(t1, t2);
+    }
+}

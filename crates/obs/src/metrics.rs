@@ -1,0 +1,694 @@
+//! Lock-cheap metrics: named counters, gauges and fixed-bucket histograms.
+//!
+//! The hot path is purely atomic — incrementing a [`Counter`] or observing a
+//! [`Histogram`] sample touches a handful of `AtomicU64`s and never takes a
+//! lock. The [`MetricsRegistry`] itself uses an `RwLock<HashMap>` only for
+//! name → handle resolution; callers on hot paths resolve their handles once
+//! (an `Arc`) and then record lock-free.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+// ---------------------------------------------------------------------------
+// Atomic f64 helpers (CAS loops over the bit pattern)
+// ---------------------------------------------------------------------------
+
+fn atomic_f64_add(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+fn atomic_f64_max(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) >= v {
+            return;
+        }
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding one `f64`.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds to the gauge (CAS loop; gauges are rarely hot).
+    pub fn add(&self, v: f64) {
+        atomic_f64_add(&self.bits, v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default latency buckets in seconds: 1 µs … 100 ms, roughly logarithmic.
+pub const LATENCY_BOUNDS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+    2.5e-2, 5e-2, 1e-1,
+];
+
+/// Default q-error buckets (q-errors are ≥ 1 by definition).
+pub const QERROR_BOUNDS: &[f64] = &[1.0, 1.1, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 50.0, 1000.0];
+
+/// Fixed-bucket histogram with an implicit `+Inf` overflow bucket, an exact
+/// running sum/count, and an exact maximum. Observation is lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Strictly increasing upper bucket bounds (`le` semantics).
+    bounds: Vec<f64>,
+    /// One slot per bound plus the overflow bucket. The total sample count
+    /// is the sum of the slots — not stored separately, to keep `observe`
+    /// at the minimum number of atomic RMWs on the serve hot path.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one sample. Non-finite samples are dropped (they carry no
+    /// usable magnitude and would poison the sum).
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_max(&self.max_bits, v);
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total samples recorded (sums the buckets; cold-path only).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Consistent-enough point-in-time copy (each field is read atomically;
+    /// concurrent writers may skew fields against each other by a sample).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = counts.iter().sum();
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: if count == 0 { 0.0 } else { max },
+        }
+    }
+
+    /// Merges a previously exported snapshot into this histogram (used to
+    /// accumulate run artifacts across processes). Bucket layouts must match;
+    /// mismatched snapshots are ignored.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.bounds != self.bounds || snap.counts.len() != self.buckets.len() {
+            return;
+        }
+        for (slot, &c) in self.buckets.iter().zip(&snap.counts) {
+            slot.fetch_add(c, Ordering::Relaxed);
+        }
+        atomic_f64_add(&self.sum_bits, snap.sum);
+        if snap.count > 0 {
+            atomic_f64_max(&self.max_bits, snap.max);
+        }
+    }
+}
+
+/// Serializable point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the overflow bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Largest sample seen (`0.0` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile estimate by linear interpolation inside the owning bucket.
+    /// The overflow bucket reports the exact maximum. `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target && c > 0 {
+                if i >= self.bounds.len() {
+                    return self.max;
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (target - (cum - c)) as f64 / c as f64;
+                return (lo + (hi - lo) * frac).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// One metric label (`key="value"` in the Prometheus exposition).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    /// Label name.
+    pub key: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// Fully qualified metric identity: family name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricKey {
+    /// Metric family name (e.g. `setlearn_serve_queries_total`).
+    pub name: String,
+    /// Labels, sorted by key.
+    pub labels: Vec<Label>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<Label> = labels
+            .iter()
+            .map(|(k, v)| Label { key: (*k).to_string(), value: (*v).to_string() })
+            .collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// Renders the key the way Prometheus writes sample lines:
+    /// `name` or `name{k="v",k2="v2"}`.
+    pub fn render(&self) -> String {
+        self.render_with_extra(None)
+    }
+
+    /// [`MetricKey::render`] with an optional extra label appended (used for
+    /// histogram `le` labels).
+    pub fn render_with_extra(&self, extra: Option<(&str, &str)>) -> String {
+        if self.labels.is_empty() && extra.is_none() {
+            return self.name.clone();
+        }
+        let mut parts: Vec<String> = self
+            .labels
+            .iter()
+            .map(|l| format!("{}=\"{}\"", l.key, l.value))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        format!("{}{{{}}}", self.name, parts.join(","))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Name → handle registry. Handle resolution takes a read lock on the happy
+/// path (metric already exists); recording through a resolved handle is
+/// entirely lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    slots: RwLock<HashMap<String, (MetricKey, Slot)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resolve<T, F, G>(&self, key: MetricKey, extract: F, create: G) -> Arc<T>
+    where
+        F: Fn(&Slot) -> Option<Arc<T>>,
+        G: FnOnce() -> Slot,
+    {
+        let rendered = key.render();
+        let read = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, slot)) = read.get(&rendered) {
+            match extract(slot) {
+                Some(handle) => return handle,
+                None => panic!(
+                    "metric '{rendered}' already registered as a {}",
+                    slot.kind()
+                ),
+            }
+        }
+        drop(read);
+        let mut write = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        let (_, slot) = write.entry(rendered.clone()).or_insert_with(|| (key, create()));
+        match extract(slot) {
+            Some(handle) => handle,
+            None => panic!("metric '{rendered}' already registered as a {}", slot.kind()),
+        }
+    }
+
+    /// Get-or-create a counter with no labels.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create a counter with labels.
+    ///
+    /// # Panics
+    /// If the same name+labels is already registered as a different type.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.resolve(
+            MetricKey::new(name, labels),
+            |s| match s {
+                Slot::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Slot::Counter(Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get-or-create a gauge with no labels.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create a gauge with labels.
+    ///
+    /// # Panics
+    /// If the same name+labels is already registered as a different type.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.resolve(
+            MetricKey::new(name, labels),
+            |s| match s {
+                Slot::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Slot::Gauge(Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get-or-create a histogram with no labels.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// Get-or-create a histogram with labels. When the metric already exists
+    /// its original bounds win; `bounds` only applies on first registration.
+    ///
+    /// # Panics
+    /// If the same name+labels is already registered as a different type.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        self.resolve(
+            MetricKey::new(name, labels),
+            |s| match s {
+                Slot::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Slot::Histogram(Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Serializable point-in-time copy of every registered metric, sorted by
+    /// rendered key for deterministic export.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let read = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        let mut snap = RegistrySnapshot::default();
+        for (key, slot) in read.values() {
+            match slot {
+                Slot::Counter(c) => {
+                    snap.counters.push(CounterSample { key: key.clone(), value: c.get() })
+                }
+                Slot::Gauge(g) => {
+                    snap.gauges.push(GaugeSample { key: key.clone(), value: g.get() })
+                }
+                Slot::Histogram(h) => snap
+                    .histograms
+                    .push(HistogramSample { key: key.clone(), value: h.snapshot() }),
+            }
+        }
+        drop(read);
+        snap.counters.sort_by_key(|a| a.key.render());
+        snap.gauges.sort_by_key(|a| a.key.render());
+        snap.histograms.sort_by_key(|a| a.key.render());
+        snap
+    }
+
+    /// Merges a previously exported snapshot back into the live registry:
+    /// counters accumulate, gauges adopt the stored value, histograms merge
+    /// bucket-wise. Lets run artifacts accumulate across CLI invocations.
+    pub fn absorb(&self, snap: &RegistrySnapshot) {
+        for c in &snap.counters {
+            self.counter_by_key(&c.key).add(c.value);
+        }
+        for g in &snap.gauges {
+            self.gauge_by_key(&g.key).set(g.value);
+        }
+        for h in &snap.histograms {
+            self.histogram_by_key(&h.key, &h.value.bounds).absorb(&h.value);
+        }
+    }
+
+    fn borrowed_labels(key: &MetricKey) -> Vec<(&str, &str)> {
+        key.labels.iter().map(|l| (l.key.as_str(), l.value.as_str())).collect()
+    }
+
+    fn counter_by_key(&self, key: &MetricKey) -> Arc<Counter> {
+        self.counter_with(&key.name, &Self::borrowed_labels(key))
+    }
+
+    fn gauge_by_key(&self, key: &MetricKey) -> Arc<Gauge> {
+        self.gauge_with(&key.name, &Self::borrowed_labels(key))
+    }
+
+    fn histogram_by_key(&self, key: &MetricKey, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(&key.name, &Self::borrowed_labels(key), bounds)
+    }
+}
+
+/// One counter sample in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric identity.
+    pub key: MetricKey,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge sample in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric identity.
+    pub key: MetricKey,
+    /// Gauge value at snapshot time.
+    pub value: f64,
+}
+
+/// One histogram sample in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric identity.
+    pub key: MetricKey,
+    /// Histogram state at snapshot time.
+    pub value: HistogramSnapshot,
+}
+
+/// Serializable dump of a whole [`MetricsRegistry`] — the "run artifact"
+/// the CLI persists next to its Prometheus export.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All counters, sorted by rendered key.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by rendered key.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, sorted by rendered key.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl RegistrySnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter value by family name and labels (test/CLI helper).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters.iter().find(|c| c.key == key).map(|c| c.value)
+    }
+
+    /// Looks up a histogram by family name and labels.
+    pub fn histogram_value(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.histograms.iter().find(|h| h.key == key).map(|h| &h.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same underlying counter.
+        assert_eq!(reg.counter("hits_total").get(), 5);
+
+        let g = reg.gauge_with("temp", &[("zone", "a")]);
+        g.set(1.5);
+        g.add(0.25);
+        assert_eq!(g.get(), 1.75);
+        // Different labels are a different series.
+        assert_eq!(reg.gauge_with("temp", &[("zone", "b")]).get(), 0.0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("c", &[("a", "1"), ("b", "2")]).inc();
+        assert_eq!(reg.counter_with("c", &[("b", "2"), ("a", "1")]).get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("metric").inc();
+        let _ = reg.gauge("metric");
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_max() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.5, 1.5, 3.0, 10.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // dropped
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 15.5);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.quantile(1.0), 10.0); // overflow bucket → exact max
+        // Median sample is 1.5, which lives in the (1, 2] bucket.
+        let p50 = s.quantile(0.5);
+        assert!(p50 > 1.0 && p50 <= 2.0, "p50 {p50} should fall in (1, 2]");
+        assert!((s.mean() - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn boundary_samples_land_in_the_le_bucket() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // le="1" bucket, Prometheus `le` semantics
+        h.observe(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("concurrent_total");
+                    let h = reg.histogram("concurrent_hist", &[0.25, 0.5, 0.75]);
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.observe((i % 100) as f64 / 100.0);
+                        if t == 0 && i % 1000 == 0 {
+                            // Exercise the registry lookup path concurrently.
+                            reg.gauge("concurrent_gauge").set(i as f64);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+        assert_eq!(reg.counter("concurrent_total").get(), threads * per_thread);
+        let s = reg.histogram("concurrent_hist", &[0.25, 0.5, 0.75]).snapshot();
+        assert_eq!(s.count, threads * per_thread);
+        assert_eq!(s.counts.iter().sum::<u64>(), threads * per_thread);
+        // Each thread contributed the same deterministic value stream, so
+        // the per-bucket totals are exact, not merely consistent.
+        // values 0.00..=0.25 → 26 per 100, 0.26..=0.50 → 25, 0.51..=0.75 → 25,
+        // 0.76..=0.99 → 24.
+        let per_bucket = [26, 25, 25, 24];
+        for (got, want) in s.counts.iter().zip(per_bucket) {
+            assert_eq!(*got, want * (threads * per_thread) / 100);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json_and_absorbs() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("c_total", &[("task", "x")]).add(7);
+        reg.gauge("g").set(2.5);
+        let h = reg.histogram("h_seconds", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: RegistrySnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.counter_value("c_total", &[("task", "x")]), Some(7));
+
+        // Absorbing into a fresh registry reproduces, absorbing twice doubles
+        // counters (counters accumulate, gauges do not).
+        let reg2 = MetricsRegistry::new();
+        reg2.absorb(&back);
+        reg2.absorb(&back);
+        let snap2 = reg2.snapshot();
+        assert_eq!(snap2.counter_value("c_total", &[("task", "x")]), Some(14));
+        let h2 = snap2.histogram_value("h_seconds", &[]).expect("histogram");
+        assert_eq!(h2.count, 4);
+        assert_eq!(h2.max, 0.5);
+        assert_eq!(snap2.gauges[0].value, 2.5);
+    }
+
+    #[test]
+    fn metric_key_rendering() {
+        assert_eq!(MetricKey::new("a", &[]).render(), "a");
+        assert_eq!(
+            MetricKey::new("a", &[("b", "1"), ("a", "2")]).render(),
+            "a{a=\"2\",b=\"1\"}"
+        );
+        assert_eq!(
+            MetricKey::new("a", &[("t", "x")]).render_with_extra(Some(("le", "+Inf"))),
+            "a{t=\"x\",le=\"+Inf\"}"
+        );
+    }
+}

@@ -102,6 +102,65 @@ fn nan_index_model_still_answers_membership_exactly() {
 }
 
 #[test]
+fn guard_fallbacks_are_counted_and_traced() {
+    let collection = GeneratorConfig::sd(300, 17).generate();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = quick_guided(7);
+    cfg.max_subset_size = 2;
+    let (mut est, _) = LearnedCardinality::build(&collection, &cfg);
+    poison(est.model_mut());
+
+    // The registry and tracer are process-global and other tests in this
+    // binary also trigger fallbacks, so assert monotone deltas, not totals.
+    let fallback_count = || {
+        setlearn_obs::metrics()
+            .snapshot()
+            .counter_value(
+                "setlearn_serve_fallbacks_total",
+                &[("task", "cardinality"), ("reason", "non_finite")],
+            )
+            .unwrap_or(0)
+    };
+    let before = fallback_count();
+
+    let subsets = SubsetIndex::build(&collection, 2);
+    let served: usize = 25;
+    for (s, _) in subsets.iter().take(served) {
+        let v = est.estimate(s);
+        assert!(v.is_finite(), "guard must keep serving finite answers");
+    }
+
+    // A few queries are answered by the exact auxiliary path without ever
+    // invoking the model, so not every query falls back — but the vast
+    // majority must, and each fallback must be counted.
+    let after = fallback_count();
+    let delta = after - before;
+    assert!(
+        delta >= served as u64 / 2,
+        "NaN-model queries must count non_finite fallbacks: {before} -> {after}"
+    );
+
+    let trace_fallbacks = setlearn_obs::tracer()
+        .records()
+        .iter()
+        .filter(|r| {
+            r.kind == setlearn_obs::RecordKind::Event
+                && r.name == "serve_fallback"
+                && r.fields.iter().any(|f| {
+                    f.key == "task" && f.text.as_deref() == Some("cardinality")
+                })
+                && r.fields.iter().any(|f| {
+                    f.key == "reason" && f.text.as_deref() == Some("non_finite")
+                })
+        })
+        .count();
+    assert!(
+        trace_fallbacks as u64 >= delta,
+        "each fallback must emit a serve_fallback trace event, saw {trace_fallbacks}"
+    );
+}
+
+#[test]
 fn adversarial_learning_rate_finishes_finite_through_harness_recovery() {
     let data: Vec<(Vec<u32>, f32)> = (0..160)
         .map(|i| (vec![i % 40, (i * 7) % 40, (i * 13) % 40], (i % 10) as f32 / 10.0))
