@@ -9,9 +9,13 @@ use setlearn::tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
     LearnedSetIndex,
 };
-use setlearn_data::{normalize, GeneratorConfig, SetCollection, SubsetIndex};
+use setlearn_data::{normalize, ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
 use setlearn_obs::RegistrySnapshot;
+use setlearn_serve::{
+    BloomTask, CardinalityTask, IndexTask, ServeConfig, ServeError, ServeReport, ServeRuntime,
+    ServeTask,
+};
 
 /// Uniform CLI error type.
 pub type CliError = Box<dyn std::error::Error>;
@@ -357,7 +361,7 @@ pub fn member(args: &Args) -> Result<(), CliError> {
 }
 
 /// `setlearn query --task cardinality|index|bloom --model FILE --collection FILE
-///  [--limit N] [--max-subset K] [--telemetry PATH]`
+///  [--limit N] [--max-subset K] [--threads N] [--telemetry PATH]`
 ///
 /// Replays a workload of subset queries enumerated from the collection
 /// against a trained model, one query at a time through the instrumented
@@ -365,14 +369,28 @@ pub fn member(args: &Args) -> Result<(), CliError> {
 /// is the serving-side counterpart of `train`: run it with `--telemetry` to
 /// capture serve-latency histograms, query/fallback counters, and
 /// `serve_query` spans in the run artifact.
+///
+/// `--threads N` (cardinality only) routes the whole workload through the
+/// parallel batched path ([`LearnedCardinality::estimate_batch_parallel`]),
+/// which produces answers identical to the sequential path.
 pub fn query(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["task", "model", "collection", "limit", "max-subset", "telemetry"])?;
+    args.reject_unknown(&[
+        "task", "model", "collection", "limit", "max-subset", "threads", "telemetry",
+    ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
     let model_path = args.required("model")?;
     let collection = load_collection(args.required("collection")?)?;
     let limit = args.get_or("limit", 500usize)?;
     let max_subset = args.get_or("max-subset", 2usize)?;
+    let threads = args.get_or("threads", 1usize)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()).into());
+    }
+    if threads > 1 && task != "cardinality" {
+        return Err(ArgError(format!("--threads applies to --task cardinality, not '{task}'"))
+            .into());
+    }
     let subsets = SubsetIndex::build(&collection, max_subset);
     let mut monitor = DriftMonitor::try_new(1.0, MonitorConfig::default())?;
 
@@ -380,10 +398,20 @@ pub fn query(args: &Args) -> Result<(), CliError> {
         "cardinality" => {
             let est: LearnedCardinality = load(model_path)?;
             let mut served = 0usize;
-            for (s, info) in subsets.iter().take(limit) {
-                let v = est.estimate_monitored(s, &mut monitor);
-                monitor.observe(v, info.count as f64);
-                served += 1;
+            if threads > 1 {
+                let (qs, counts): (Vec<ElementSet>, Vec<u64>) =
+                    subsets.iter().take(limit).map(|(s, i)| (s.clone(), i.count)).unzip();
+                for (v, count) in est.estimate_batch_parallel(&qs, threads).iter().zip(&counts)
+                {
+                    monitor.observe(*v, *count as f64);
+                    served += 1;
+                }
+            } else {
+                for (s, info) in subsets.iter().take(limit) {
+                    let v = est.estimate_monitored(s, &mut monitor);
+                    monitor.observe(v, info.count as f64);
+                    served += 1;
+                }
             }
             let guard = est.serve_guard();
             println!(
@@ -445,6 +473,117 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Feeds a request workload through a [`ServeRuntime`], optionally paced at
+/// a target rate (open loop: requests shed at admission are *not* retried,
+/// that is the backpressure contract), and returns the final accounting plus
+/// the measured completion rate.
+fn drive<T: ServeTask>(
+    task: T,
+    requests: Vec<T::Request>,
+    cfg: ServeConfig,
+    target_qps: f64,
+) -> Result<(ServeReport, f64), CliError> {
+    let runtime = ServeRuntime::start(task, cfg);
+    let start = std::time::Instant::now();
+    let gap = (target_qps > 0.0)
+        .then(|| std::time::Duration::from_secs_f64(1.0 / target_qps));
+    let mut tickets = Vec::with_capacity(requests.len());
+    for (i, request) in requests.into_iter().enumerate() {
+        if let Some(gap) = gap {
+            let due = start + gap.mul_f64(i as f64);
+            if let Some(wait) = due.checked_duration_since(std::time::Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        match runtime.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::Overloaded) => {} // shed: counted by the runtime
+            Err(e) => return Err(format!("serve runtime failed: {e}").into()),
+        }
+    }
+    for ticket in tickets {
+        ticket.wait().map_err(|e| format!("request lost: {e}"))?;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let report = runtime.shutdown();
+    let qps = report.completed as f64 / elapsed;
+    Ok((report, qps))
+}
+
+/// `setlearn serve --task cardinality|index|bloom --model FILE --collection FILE
+///  [--requests N] [--threads N] [--max-batch N] [--max-delay-us U] [--queue N]
+///  [--target-qps Q] [--max-subset K] [--telemetry PATH]`
+///
+/// Loads a trained model, enumerates a subset-query workload from the
+/// collection (cycled up to `--requests`), and replays it through the
+/// concurrent [`ServeRuntime`]: a bounded admission queue, a worker pool
+/// with adaptive micro-batching, and load shedding when the queue is full.
+/// `--target-qps` paces submissions open-loop; 0 (the default) submits as
+/// fast as possible. With `--telemetry`, queue-depth, batch-size, and
+/// queue-wait metrics land in the run artifact.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "task", "model", "collection", "requests", "threads", "max-batch", "max-delay-us",
+        "queue", "target-qps", "max-subset", "telemetry",
+    ])?;
+    let sink = telemetry::begin(args)?;
+    let task = args.required("task")?.to_string();
+    let model_path = args.required("model")?;
+    let collection = load_collection(args.required("collection")?)?;
+    let cfg = ServeConfig {
+        threads: args.get_or("threads", 2usize)?,
+        max_batch: args.get_or("max-batch", 64usize)?,
+        max_delay: std::time::Duration::from_micros(args.get_or("max-delay-us", 200u64)?),
+        queue_capacity: args.get_or("queue", 1024usize)?,
+    };
+    cfg.validate().map_err(|e| CliError::from(ArgError(e)))?;
+    let target_qps = args.get_or("target-qps", 0.0f64)?;
+    let total = args.get_or("requests", 2_000usize)?;
+    let max_subset = args.get_or("max-subset", 2usize)?;
+
+    let pool: Vec<ElementSet> =
+        SubsetIndex::build(&collection, max_subset).iter().map(|(s, _)| s.clone()).collect();
+    if pool.is_empty() {
+        return Err("collection yields no subset queries to serve".into());
+    }
+    let requests: Vec<ElementSet> = (0..total).map(|i| pool[i % pool.len()].clone()).collect();
+
+    let (report, qps) = match task.as_str() {
+        "cardinality" => {
+            let estimator: LearnedCardinality = load(model_path)?;
+            drive(CardinalityTask { estimator }, requests, cfg, target_qps)?
+        }
+        "index" => {
+            let index: LearnedSetIndex = load(model_path)?;
+            let collection = std::sync::Arc::new(collection);
+            drive(IndexTask { index, collection }, requests, cfg, target_qps)?
+        }
+        "bloom" => {
+            let filter: LearnedBloom = load(model_path)?;
+            drive(BloomTask { filter }, requests, cfg, target_qps)?
+        }
+        other => {
+            return Err(
+                ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
+            )
+        }
+    };
+    let mean_batch = report.completed as f64 / report.batches.max(1) as f64;
+    println!(
+        "served {} of {} requests at {qps:.0} QPS: {} batches (mean {mean_batch:.1} \
+         requests/batch), {} shed at admission, {} panicked batches",
+        report.completed,
+        report.completed + report.shed,
+        report.batches,
+        report.shed,
+        report.panicked_batches,
+    );
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
+    Ok(())
+}
+
 /// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]`
 pub fn sql(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["collection", "query", "model"])?;
@@ -491,7 +630,10 @@ COMMANDS:
             [--embedding D] [--max-subset K] [--lr F] [--batch N]
             [--telemetry PATH]
   query     --task cardinality|index|bloom --model FILE --collection FILE
-            [--limit N] [--max-subset K] [--telemetry PATH]
+            [--limit N] [--max-subset K] [--threads N] [--telemetry PATH]
+  serve     --task cardinality|index|bloom --model FILE --collection FILE
+            [--requests N] [--threads N] [--max-batch N] [--max-delay-us U]
+            [--queue N] [--target-qps Q] [--max-subset K] [--telemetry PATH]
   estimate  --model FILE --query 1,2,3 [--telemetry PATH]
   lookup    --model FILE --collection FILE --query 1,2,3 [--telemetry PATH]
   member    --model FILE --query 1,2,3 [--telemetry PATH]
@@ -515,6 +657,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "stats" => stats(args),
         "train" => train(args),
         "query" => query(args),
+        "serve" => serve(args),
         "estimate" => estimate(args),
         "lookup" => lookup(args),
         "member" => member(args),
@@ -699,6 +842,83 @@ mod tests {
         // `stats --telemetry` renders both formats.
         run(&args(&["stats", "--telemetry", &base])).unwrap();
         run(&args(&["stats", "--telemetry", &base, "--format", "prom"])).unwrap();
+
+        for f in [coll, model, format!("{base}.prom"), format!("{base}.metrics.json"),
+                  format!("{base}.jsonl")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn query_threads_serves_the_parallel_path_with_identical_answers() {
+        let coll = tmp("par.json");
+        let model = tmp("par-model.json");
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "150", "--seed", "9", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "3", "--refine-epochs", "2", "--max-subset", "2",
+        ]))
+        .unwrap();
+        // The multi-threaded query path runs end to end…
+        run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--limit", "60", "--max-subset", "2", "--threads", "2",
+        ]))
+        .unwrap();
+        // …and its answers are bit-for-bit the sequential ones.
+        let est: LearnedCardinality = load(&model).unwrap();
+        let collection = load_collection(&coll).unwrap();
+        let qs: Vec<ElementSet> =
+            SubsetIndex::build(&collection, 2).iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(est.estimate_batch_parallel(&qs, 2), est.estimate_batch(&qs));
+        // --threads is rejected where the parallel path does not exist.
+        assert!(run(&args(&[
+            "query", "--task", "bloom", "--model", &model, "--collection", &coll,
+            "--threads", "2",
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(coll);
+        let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn serve_command_replays_workload_through_the_runtime() {
+        let coll = tmp("serve.json");
+        let model = tmp("serve-model.json");
+        let base = tmp("serve-run");
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "150", "--seed", "4", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "2", "--refine-epochs", "1", "--max-subset", "2",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "serve", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--requests", "300", "--threads", "2", "--max-batch", "32",
+            "--telemetry", &base,
+        ]))
+        .unwrap();
+
+        // The runtime's queue/batch metrics landed in the artifact.
+        let prom = std::fs::read_to_string(format!("{base}.prom")).unwrap();
+        setlearn_obs::validate_prometheus(&prom).expect("valid exposition");
+        assert!(prom.contains("setlearn_serve_batches_total"), "prom:\n{prom}");
+        assert!(prom.contains("setlearn_serve_batch_size_bucket"), "prom:\n{prom}");
+        let snap: RegistrySnapshot = serde_json::from_str(
+            &std::fs::read_to_string(format!("{base}.metrics.json")).unwrap(),
+        )
+        .unwrap();
+        // `>=`: the registry is process-global, so parallel tests may add.
+        let completed = snap
+            .counter_value("setlearn_serve_completed_total", &[("task", "cardinality")])
+            .expect("completed counter");
+        assert!(completed >= 300, "every submitted request completed (saw {completed})");
 
         for f in [coll, model, format!("{base}.prom"), format!("{base}.metrics.json"),
                   format!("{base}.jsonl")] {

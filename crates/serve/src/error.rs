@@ -1,0 +1,67 @@
+//! Typed serving errors.
+
+use std::fmt;
+
+/// Why a request was not answered by the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue was full and the request was shed at admission
+    /// (backpressure instead of unbounded buffering). Clients should retry
+    /// with backoff or route to a replica.
+    Overloaded,
+    /// The runtime is draining: no new requests are admitted, but requests
+    /// already queued will still be answered.
+    ShuttingDown,
+    /// The worker that owned this request disappeared before producing an
+    /// answer (its response channel was dropped). Should not happen in a
+    /// healthy runtime.
+    WorkerLost,
+    /// The task panicked while serving the batch this request was part of.
+    /// The worker survives (the panic is caught) and the whole batch is
+    /// failed with this error.
+    TaskPanicked,
+}
+
+impl ServeError {
+    /// Stable snake_case name used as the `reason` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::WorkerLost => "worker_lost",
+            ServeError::TaskPanicked => "task_panicked",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request shed: queue full (overloaded)"),
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::WorkerLost => write!(f, "serving worker lost before answering"),
+            ServeError::TaskPanicked => write!(f, "task panicked while serving the batch"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ServeError::Overloaded.label(), "overloaded");
+        assert_eq!(ServeError::ShuttingDown.label(), "shutting_down");
+        assert_eq!(ServeError::WorkerLost.label(), "worker_lost");
+        assert_eq!(ServeError::TaskPanicked.label(), "task_panicked");
+    }
+
+    #[test]
+    fn displays_mention_the_cause() {
+        assert!(ServeError::Overloaded.to_string().contains("queue full"));
+        assert!(ServeError::TaskPanicked.to_string().contains("panicked"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Background model refresh: a daemon thread that watches a
+//! [`DriftMonitor`] and, when the retrain signal fires, rebuilds the task
+//! and publishes it through the runtime's [`HotSwap`] slot — zero downtime,
+//! no torn reads, serve workers pick the new model up at their next batch.
+
+use crate::hotswap::HotSwap;
+use crate::task::ServeTask;
+use crate::telemetry::RuntimeTele;
+use setlearn::monitor::DriftMonitor;
+use setlearn::RetrainReason;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Refresh-daemon tuning.
+#[derive(Debug, Clone)]
+pub struct RefreshConfig {
+    /// How often the monitor is polled for the retrain signal.
+    pub poll_interval: Duration,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig { poll_interval: Duration::from_millis(50) }
+    }
+}
+
+/// What the rebuild closure returns: the replacement task plus the new
+/// accuracy baseline the monitor should adopt.
+pub struct Rebuilt<T> {
+    /// The freshly trained task to publish.
+    pub task: T,
+    /// New baseline q-error for [`DriftMonitor::reset`].
+    pub baseline_q_error: f64,
+}
+
+/// Handle to a running refresh daemon; stop it with
+/// [`RefreshHandle::stop`] (dropping also stops it).
+pub struct RefreshHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    swaps: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RefreshHandle {
+    /// Number of models the daemon has published.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Signals the daemon to exit and joins it.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RefreshHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Spawns a refresh daemon over `model`.
+///
+/// Every `config.poll_interval` the daemon checks
+/// [`DriftMonitor::should_retrain`]; when a reason fires it calls
+/// `rebuild(reason, &current_snapshot)`. A `Some(Rebuilt)` is published
+/// atomically and the monitor adopts the new baseline; a `None` (rebuild
+/// declined or failed) leaves the old model serving and the monitor
+/// untouched, so the signal stays up and the next poll retries.
+///
+/// The monitor is shared behind a mutex because serve-side accuracy
+/// observers ([`DriftMonitor::observe`], [`DriftMonitor::record_fallback`])
+/// mutate it from other threads; the daemon holds the lock only to read the
+/// signal and to reset after a successful publish — never across `rebuild`,
+/// so retraining (which can take seconds) does not stall observers.
+pub fn spawn_refresh<T, F>(
+    model: Arc<HotSwap<T>>,
+    monitor: Arc<Mutex<DriftMonitor>>,
+    mut rebuild: F,
+    config: RefreshConfig,
+) -> RefreshHandle
+where
+    T: ServeTask,
+    F: FnMut(RetrainReason, &T) -> Option<Rebuilt<T>> + Send + 'static,
+{
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let swaps = Arc::new(AtomicU64::new(0));
+    let stop2 = Arc::clone(&stop);
+    let swaps2 = Arc::clone(&swaps);
+    let tele = RuntimeTele::new(T::NAME);
+    let thread = std::thread::spawn(move || {
+        let (lock, cvar) = &*stop2;
+        loop {
+            // Interruptible sleep: a stop request cuts the poll short.
+            {
+                let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+                let (guard, _) = cvar
+                    .wait_timeout_while(guard, config.poll_interval, |stopped| !*stopped)
+                    .unwrap_or_else(|e| e.into_inner());
+                if *guard {
+                    return;
+                }
+            }
+            let reason = {
+                let monitor = monitor.lock().unwrap_or_else(|e| e.into_inner());
+                monitor.should_retrain()
+            };
+            let Some(reason) = reason else { continue };
+            // Retrain against the currently-published snapshot, without
+            // holding the monitor lock (observers keep flowing).
+            let current = model.load();
+            if let Some(rebuilt) = rebuild(reason, &current) {
+                let version = model.publish(rebuilt.task);
+                swaps2.fetch_add(1, Ordering::Relaxed);
+                tele.record_swap(version, reason.label());
+                let mut monitor = monitor.lock().unwrap_or_else(|e| e.into_inner());
+                monitor.reset(rebuilt.baseline_q_error);
+                monitor.publish_metrics();
+            }
+        }
+    });
+    RefreshHandle { stop, swaps, thread: Some(thread) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn::monitor::MonitorConfig;
+
+    struct Echo(u64);
+    impl ServeTask for Echo {
+        type Request = u64;
+        type Response = u64;
+        const NAME: &'static str = "test_echo";
+        fn serve_batch(&self, requests: &[u64]) -> Vec<u64> {
+            requests.iter().map(|r| r + self.0).collect()
+        }
+    }
+
+    fn monitor_with_fallback_trigger(max_fallbacks: usize) -> DriftMonitor {
+        DriftMonitor::new(
+            1.1,
+            MonitorConfig { max_fallbacks, ..MonitorConfig::default() },
+        )
+    }
+
+    #[test]
+    fn retrain_signal_publishes_a_new_model_and_resets_the_monitor() {
+        let model = Arc::new(HotSwap::new(Echo(0)));
+        let monitor = Arc::new(Mutex::new(monitor_with_fallback_trigger(3)));
+        let handle = spawn_refresh(
+            Arc::clone(&model),
+            Arc::clone(&monitor),
+            |reason, old| {
+                assert_eq!(reason, RetrainReason::ServeFallbacks);
+                Some(Rebuilt { task: Echo(old.0 + 1000), baseline_q_error: 1.2 })
+            },
+            RefreshConfig { poll_interval: Duration::from_millis(5) },
+        );
+        for _ in 0..3 {
+            monitor.lock().unwrap().record_fallback();
+        }
+        // Wait for the daemon to notice and publish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while model.version() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(model.version(), 1, "daemon published the rebuilt model");
+        assert_eq!(model.load().0, 1000);
+        assert_eq!(handle.swaps(), 1);
+        let snap = monitor.lock().unwrap().snapshot();
+        assert_eq!(snap.pending_fallbacks, 0, "monitor was reset");
+        assert_eq!(snap.baseline_q_error, 1.2);
+        handle.stop();
+    }
+
+    #[test]
+    fn declined_rebuild_leaves_the_old_model_serving() {
+        let model = Arc::new(HotSwap::new(Echo(7)));
+        let monitor = Arc::new(Mutex::new(monitor_with_fallback_trigger(1)));
+        monitor.lock().unwrap().record_fallback();
+        let handle = spawn_refresh(
+            Arc::clone(&model),
+            Arc::clone(&monitor),
+            |_, _| None,
+            RefreshConfig { poll_interval: Duration::from_millis(5) },
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(model.version(), 0, "nothing published");
+        assert_eq!(model.load().0, 7);
+        // The signal is still up (monitor untouched), so a later successful
+        // rebuild would still fire.
+        assert!(monitor.lock().unwrap().should_retrain().is_some());
+        handle.stop();
+    }
+
+    #[test]
+    fn stop_joins_promptly_even_with_a_long_poll_interval() {
+        let model = Arc::new(HotSwap::new(Echo(0)));
+        let monitor = Arc::new(Mutex::new(monitor_with_fallback_trigger(1000)));
+        let handle = spawn_refresh(
+            model,
+            monitor,
+            |_, _| None,
+            RefreshConfig { poll_interval: Duration::from_secs(3600) },
+        );
+        let started = std::time::Instant::now();
+        handle.stop();
+        assert!(started.elapsed() < Duration::from_secs(5), "stop did not block on the poll");
+    }
+}

@@ -1,0 +1,89 @@
+//! The [`ServeTask`] abstraction and adapters for the three learned
+//! structures in `setlearn`.
+//!
+//! A task is the unit the runtime hot-swaps and batches over: it consumes a
+//! slice of requests and answers all of them in one call, so the model's
+//! batched forward pass (one embedding gather + matmul for the whole batch)
+//! amortizes per-query overhead. Adapters reuse the serve paths in
+//! [`setlearn::tasks`] — including their [`setlearn::ServeGuard`] fallbacks,
+//! so a hot-swapped model gone bad degrades to the auxiliary structure
+//! instead of serving garbage.
+
+use setlearn::tasks::{LearnedBloom, LearnedCardinality, LearnedSetIndex};
+use setlearn_data::{ElementSet, SetCollection};
+use std::sync::Arc;
+
+/// A batched, thread-shareable serving workload.
+///
+/// Implementations must be cheap to call with a small batch (the runtime's
+/// batch size adapts to load: under light traffic batches of 1 are normal)
+/// and must return exactly one response per request, in request order.
+pub trait ServeTask: Send + Sync + 'static {
+    /// One unit of work submitted by a client.
+    type Request: Send + 'static;
+    /// The answer produced for one request.
+    type Response: Send + 'static;
+
+    /// Task name used as the `task` label on every serve metric.
+    const NAME: &'static str;
+
+    /// Answers every request in the batch, in order.
+    fn serve_batch(&self, requests: &[Self::Request]) -> Vec<Self::Response>;
+}
+
+/// Cardinality estimation over canonical query sets
+/// ([`LearnedCardinality::estimate_batch`]).
+#[derive(Debug, Clone)]
+pub struct CardinalityTask {
+    /// The served estimator (outlier store, delta layer, and serve guard
+    /// included).
+    pub estimator: LearnedCardinality,
+}
+
+impl ServeTask for CardinalityTask {
+    type Request = ElementSet;
+    type Response = f64;
+    const NAME: &'static str = "cardinality";
+
+    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<f64> {
+        self.estimator.estimate_batch(requests)
+    }
+}
+
+/// Set-index position lookup ([`LearnedSetIndex::lookup_batch`]). The
+/// collection rides along in an `Arc` so hot-swapping the index does not
+/// copy the data.
+#[derive(Debug, Clone)]
+pub struct IndexTask {
+    /// The served index (auxiliary store and serve guard included).
+    pub index: LearnedSetIndex,
+    /// The collection positions refer to.
+    pub collection: Arc<SetCollection>,
+}
+
+impl ServeTask for IndexTask {
+    type Request = ElementSet;
+    type Response = Option<usize>;
+    const NAME: &'static str = "index";
+
+    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<Option<usize>> {
+        self.index.lookup_batch(&self.collection, requests)
+    }
+}
+
+/// Approximate membership ([`LearnedBloom::contains_many`]).
+#[derive(Debug, Clone)]
+pub struct BloomTask {
+    /// The served filter (backup filter and serve guard included).
+    pub filter: LearnedBloom,
+}
+
+impl ServeTask for BloomTask {
+    type Request = ElementSet;
+    type Response = bool;
+    const NAME: &'static str = "bloom";
+
+    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<bool> {
+        self.filter.contains_many(requests)
+    }
+}

@@ -1,0 +1,121 @@
+//! Runtime telemetry: cached handles into the global
+//! [`setlearn_obs::MetricsRegistry`], resolved once per runtime and recorded
+//! through lock-free on the batch path.
+//!
+//! Metric families (all labeled `task="…"`):
+//!
+//! - `setlearn_serve_queue_depth` — requests buffered right after each
+//!   batch was taken (gauge)
+//! - `setlearn_serve_batch_size` — requests per executed batch (histogram)
+//! - `setlearn_serve_queue_wait_seconds` — admission → dequeue wait per
+//!   request (histogram)
+//! - `setlearn_serve_batch_seconds` — `serve_batch` execution time
+//!   (histogram)
+//! - `setlearn_serve_completed_total` — requests answered (counter)
+//! - `setlearn_serve_shed_total` — requests refused at admission (counter)
+//! - `setlearn_serve_batches_total` — batches executed (counter)
+//! - `setlearn_serve_swaps_total` — model hot-swaps published (counter)
+//!
+//! At [`setlearn_obs::TelemetryLevel::Full`] every executed batch records a
+//! `serve_batch` span (fields: `task`, `batch`, `version`); every hot-swap
+//! records a `model_swap` event at the default `Metrics` level (swaps are
+//! rare and operationally interesting).
+
+use setlearn_obs::{Counter, Field, Gauge, Histogram, LATENCY_BOUNDS};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Batch-size buckets: powers of two up to 512 requests.
+pub const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+/// Cached metric handles for one serving runtime.
+pub(crate) struct RuntimeTele {
+    task: &'static str,
+    queue_depth: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    batch_seconds: Arc<Histogram>,
+    completed: Arc<Counter>,
+    shed: Arc<Counter>,
+    batches: Arc<Counter>,
+    swaps: Arc<Counter>,
+}
+
+impl RuntimeTele {
+    pub(crate) fn new(task: &'static str) -> Self {
+        let m = setlearn_obs::metrics();
+        let l = &[("task", task)];
+        RuntimeTele {
+            task,
+            queue_depth: m.gauge_with("setlearn_serve_queue_depth", l),
+            batch_size: m.histogram_with("setlearn_serve_batch_size", l, BATCH_BOUNDS),
+            queue_wait: m.histogram_with("setlearn_serve_queue_wait_seconds", l, LATENCY_BOUNDS),
+            batch_seconds: m.histogram_with("setlearn_serve_batch_seconds", l, LATENCY_BOUNDS),
+            completed: m.counter_with("setlearn_serve_completed_total", l),
+            shed: m.counter_with("setlearn_serve_shed_total", l),
+            batches: m.counter_with("setlearn_serve_batches_total", l),
+            swaps: m.counter_with("setlearn_serve_swaps_total", l),
+        }
+    }
+
+    /// Records one executed batch: size/depth/wait/duration metrics plus (at
+    /// `Full`) a `serve_batch` span.
+    pub(crate) fn record_batch(
+        &self,
+        batch: usize,
+        queue_depth: usize,
+        waits: &[Duration],
+        duration: Duration,
+        version: u64,
+    ) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        self.batches.inc();
+        self.completed.add(batch as u64);
+        self.batch_size.observe(batch as f64);
+        self.queue_depth.set(queue_depth as f64);
+        self.batch_seconds.observe_duration(duration);
+        for wait in waits {
+            self.queue_wait.observe_duration(*wait);
+        }
+        if setlearn_obs::tracing_on() {
+            let tracer = setlearn_obs::tracer();
+            let dur_us = duration.as_micros() as u64;
+            let start_us = tracer.now_us().saturating_sub(dur_us);
+            tracer.push_span(
+                "serve_batch",
+                start_us,
+                vec![
+                    Field::text("task", self.task),
+                    Field::num("batch", batch as f64),
+                    Field::num("version", version as f64),
+                ],
+            );
+        }
+    }
+
+    /// Records one request refused at admission.
+    pub(crate) fn record_shed(&self) {
+        if setlearn_obs::metrics_on() {
+            self.shed.inc();
+        }
+    }
+
+    /// Records one model hot-swap (rare: event at the default level).
+    pub(crate) fn record_swap(&self, version: u64, reason: &str) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        self.swaps.inc();
+        setlearn_obs::tracer().push_event(
+            "model_swap",
+            vec![
+                Field::text("task", self.task),
+                Field::num("version", version as f64),
+                Field::text("reason", reason),
+            ],
+        );
+    }
+
+}

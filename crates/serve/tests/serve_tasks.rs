@@ -1,0 +1,155 @@
+//! End-to-end: the three real learned structures served through the
+//! runtime, with answers cross-checked against the direct (sequential)
+//! serve paths.
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::tasks::{
+    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
+    LearnedSetIndex,
+};
+use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
+use setlearn_serve::{
+    BloomTask, CardinalityTask, IndexTask, ServeConfig, ServeRuntime,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick_guided() -> GuidedConfig {
+    GuidedConfig {
+        warmup_epochs: 4,
+        rounds: 1,
+        epochs_per_round: 2,
+        percentile: 0.9,
+        batch_size: 64,
+        learning_rate: 5e-3,
+        seed: 1,
+    }
+}
+
+fn small_collection() -> SetCollection {
+    GeneratorConfig::sd(200, 11).generate()
+}
+
+fn queries(collection: &SetCollection, n: usize) -> Vec<ElementSet> {
+    // Small vocabularies yield fewer distinct subsets than requested; callers
+    // must size their assertions from the returned length.
+    SubsetIndex::build(collection, 2).iter().take(n).map(|(s, _)| s.clone()).collect()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        max_batch: 32,
+        max_delay: Duration::from_micros(200),
+        queue_capacity: 512,
+    }
+}
+
+#[test]
+fn cardinality_through_the_runtime_matches_direct_serving() {
+    let collection = small_collection();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = quick_guided();
+    cfg.max_subset_size = 2;
+    let (estimator, _) = LearnedCardinality::build(&collection, &cfg);
+    let qs = queries(&collection, 200);
+    let expected = estimator.estimate_batch(&qs);
+
+    let runtime = ServeRuntime::start(CardinalityTask { estimator }, serve_config());
+    let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
+    for (ticket, want) in tickets.into_iter().zip(expected) {
+        let got = ticket.wait().unwrap();
+        assert!(got.is_finite());
+        assert_eq!(got, want, "runtime answer diverged from direct estimate_batch");
+    }
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, qs.len() as u64);
+    assert_eq!(report.shed, 0);
+}
+
+#[test]
+fn index_through_the_runtime_matches_direct_serving() {
+    let collection = Arc::new(small_collection());
+    let cfg = IndexConfig {
+        model: DeepSetsConfig::lsm(collection.num_elements()),
+        guided: quick_guided(),
+        max_subset_size: 2,
+        range_length: 50.0,
+        target: setlearn::tasks::PositionTarget::First,
+    };
+    let (index, _) = LearnedSetIndex::build(&collection, &cfg);
+    let qs = queries(&collection, 150);
+    let expected = index.lookup_batch(&collection, &qs);
+
+    let runtime = ServeRuntime::start(
+        IndexTask { index, collection: Arc::clone(&collection) },
+        serve_config(),
+    );
+    let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
+    for (ticket, want) in tickets.into_iter().zip(expected) {
+        assert_eq!(ticket.wait().unwrap(), want);
+    }
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, qs.len() as u64);
+}
+
+#[test]
+fn bloom_through_the_runtime_matches_direct_serving() {
+    let collection = small_collection();
+    let mut cfg = BloomConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.epochs = 4;
+    let (filter, _) = LearnedBloom::build_from_collection(&collection, 300, 300, 2, &cfg);
+    let qs = queries(&collection, 150);
+    let expected = filter.contains_many(&qs);
+
+    let runtime = ServeRuntime::start(BloomTask { filter }, serve_config());
+    let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
+    for (ticket, want) in tickets.into_iter().zip(expected) {
+        assert_eq!(ticket.wait().unwrap(), want);
+    }
+    let report = runtime.shutdown();
+    assert_eq!(report.completed, qs.len() as u64);
+    assert!(report.batches > 0);
+}
+
+/// Hot-swapping a retrained cardinality model mid-stream: answers always
+/// come from exactly one of the two published estimators, never a blend.
+#[test]
+fn cardinality_hot_swap_never_blends_models() {
+    let collection = small_collection();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.guided = quick_guided();
+    cfg.max_subset_size = 2;
+    let (first, _) = LearnedCardinality::build(&collection, &cfg);
+    cfg.guided.seed = 99; // a genuinely different model
+    cfg.guided.warmup_epochs = 5;
+    let (second, _) = LearnedCardinality::build(&collection, &cfg);
+
+    let qs = queries(&collection, 60);
+    let from_first = first.estimate_batch(&qs);
+    let from_second = second.estimate_batch(&qs);
+
+    let runtime = ServeRuntime::start(
+        CardinalityTask { estimator: first },
+        ServeConfig { threads: 2, max_batch: 4, ..serve_config() },
+    );
+    // Interleave submissions with the swap.
+    let before: Vec<_> = qs.iter().take(30).map(|q| runtime.submit(q.clone()).unwrap()).collect();
+    runtime.swap(CardinalityTask { estimator: second });
+    let after: Vec<_> =
+        qs.iter().skip(30).map(|q| runtime.submit(q.clone()).unwrap()).collect();
+
+    for (i, ticket) in before.into_iter().chain(after).enumerate() {
+        let got = ticket.wait().unwrap();
+        assert!(
+            got == from_first[i] || got == from_second[i],
+            "query {i}: answer {got} matches neither model ({} / {})",
+            from_first[i],
+            from_second[i]
+        );
+    }
+    let report = runtime.shutdown();
+    assert_eq!(report.swaps, 1);
+    assert_eq!(report.completed, 60);
+}
