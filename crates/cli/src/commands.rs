@@ -6,16 +6,20 @@ use setlearn::hybrid::GuidedConfig;
 use setlearn::model::DeepSetsConfig;
 use setlearn::monitor::{DriftMonitor, MonitorConfig};
 use setlearn::tasks::{
-    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
-    LearnedSetIndex,
+    aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig, CardinalityConfig,
+    IndexConfig, IndexStructure, LearnedBloom, LearnedCardinality, LearnedSetIndex,
+    LearnedSetStructure, QueryOutcome, ShardIndexStructure, ShardedBloom, ShardedCardinality,
+    ShardedIndex, ShardedIndexStructure,
 };
+use setlearn::{ShardBy, ShardSpec, ShardedCollection};
 use setlearn_data::{normalize, ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
 use setlearn_obs::RegistrySnapshot;
 use setlearn_serve::{
     BloomTask, CardinalityTask, IndexTask, ServeConfig, ServeError, ServeReport, ServeRuntime,
-    ServeTask,
+    ServeTask, ShardedReport, ShardedRuntime, StructureTask,
 };
+use std::sync::Arc;
 
 /// Uniform CLI error type.
 pub type CliError = Box<dyn std::error::Error>;
@@ -187,6 +191,54 @@ fn stats_telemetry(base: &str, format: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses `--shards N [--shard-by hash|range]` into an optional partition
+/// spec. `None` means the classic unsharded path.
+fn shard_spec_from_args(args: &Args) -> Result<Option<ShardSpec>, CliError> {
+    let by: ShardBy = match args.optional("shard-by") {
+        None => ShardBy::Hash,
+        Some(raw) => raw.parse().map_err(ArgError)?,
+    };
+    match args.optional("shards") {
+        None => {
+            if args.optional("shard-by").is_some() {
+                return Err(ArgError("--shard-by requires --shards".into()).into());
+            }
+            Ok(None)
+        }
+        Some(raw) => {
+            let shards: usize = raw
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value '{raw}' for --shards")))?;
+            if shards == 0 {
+                return Err(ArgError("--shards must be at least 1".into()).into());
+            }
+            Ok(Some(ShardSpec::new(shards, by)))
+        }
+    }
+}
+
+/// A persisted sharded model must be queried with the exact spec it was
+/// trained with — the partition is recomputed from the spec at serve time,
+/// so a different shard count *or* router would silently pair each shard's
+/// model with the wrong sub-collection.
+fn check_shard_spec(trained: ShardSpec, spec: ShardSpec) -> Result<(), CliError> {
+    if trained.shards != spec.shards {
+        return Err(ArgError(format!(
+            "model was trained with {} shards but --shards {} was given",
+            trained.shards, spec.shards
+        ))
+        .into());
+    }
+    if trained.by != spec.by {
+        return Err(ArgError(format!(
+            "model was trained with --shard-by {} but --shard-by {} was given",
+            trained.by, spec.by
+        ))
+        .into());
+    }
+    Ok(())
+}
+
 fn guided_from_args(args: &Args) -> Result<GuidedConfig, CliError> {
     Ok(GuidedConfig {
         warmup_epochs: args.get_or("epochs", 15usize)?,
@@ -208,6 +260,19 @@ fn report_training(train: &setlearn::TrainReport) {
     }
 }
 
+/// Per-shard variant of [`report_training`].
+fn report_sharded_training<'a, I: IntoIterator<Item = &'a setlearn::TrainReport>>(reports: I) {
+    for (s, train) in reports.into_iter().enumerate() {
+        println!("shard {s} training: {train}");
+        if !train.is_healthy() {
+            eprintln!(
+                "warning: shard {s} training degraded ({}); consider lowering --lr",
+                train.stop_reason
+            );
+        }
+    }
+}
+
 fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> {
     let mut model = if args.has_flag("compressed") {
         DeepSetsConfig::clsm(vocab)
@@ -223,12 +288,17 @@ fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> 
 
 /// `setlearn train --task cardinality|index|bloom --collection FILE --out FILE
 ///  [--compressed] [--epochs N] [--percentile P] [--neurons N] [--embedding D]
-///  [--telemetry PATH]`
+///  [--shards N] [--shard-by hash|range] [--telemetry PATH]`
+///
+/// With `--shards N` the collection is partitioned by the chosen router and
+/// one model is trained per shard; the persisted artifact is the sharded
+/// aggregate (query/serve must be invoked with the same `--shards`/
+/// `--shard-by` so the partition can be recomputed from the spec).
 pub fn train(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "collection", "out", "compressed", "epochs", "refine-epochs", "percentile",
         "neurons", "embedding", "max-subset", "lr", "batch", "seed", "range", "last",
-        "samples", "telemetry",
+        "samples", "shards", "shard-by", "telemetry",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
@@ -236,6 +306,7 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     let out = args.required("out")?;
     let vocab = collection.num_elements();
     let model = model_from_args(args, vocab)?;
+    let spec = shard_spec_from_args(args)?;
     match task.as_str() {
         "cardinality" => {
             let cfg = CardinalityConfig {
@@ -243,15 +314,32 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                 guided: guided_from_args(args)?,
                 max_subset_size: args.get_or("max-subset", 3usize)?,
             };
-            let (est, report) = LearnedCardinality::build(&collection, &cfg);
-            save(&est, out)?;
-            report_training(&report.train);
-            println!(
-                "trained cardinality estimator on {} subsets ({} outliers); saved to {out} ({:.3} MB)",
-                report.training_subsets,
-                report.outliers,
-                est.size_bytes() as f64 / 1e6
-            );
+            match spec {
+                None => {
+                    let (est, report) = LearnedCardinality::build(&collection, &cfg);
+                    save(&est, out)?;
+                    report_training(&report.train);
+                    println!(
+                        "trained cardinality estimator on {} subsets ({} outliers); saved to {out} ({:.3} MB)",
+                        report.training_subsets,
+                        report.outliers,
+                        est.size_bytes() as f64 / 1e6
+                    );
+                }
+                Some(spec) => {
+                    let sharded = ShardedCollection::partition(&collection, spec)?;
+                    let (est, reports) = ShardedCardinality::build(&sharded, &cfg)?;
+                    save(&est, out)?;
+                    report_sharded_training(reports.iter().map(|r| &r.train));
+                    println!(
+                        "trained sharded cardinality estimator ({} shards, {} subsets, {} outliers); saved to {out} ({:.3} MB)",
+                        est.num_shards(),
+                        reports.iter().map(|r| r.training_subsets).sum::<usize>(),
+                        reports.iter().map(|r| r.outliers).sum::<usize>(),
+                        est.size_bytes() as f64 / 1e6
+                    );
+                }
+            }
         }
         "index" => {
             let cfg = IndexConfig {
@@ -265,37 +353,68 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                     setlearn::tasks::PositionTarget::First
                 },
             };
-            let (index, report) = LearnedSetIndex::build(&collection, &cfg);
-            save(&index, out)?;
-            report_training(&report.train);
-            println!(
-                "trained set index on {} subsets ({} outliers, global error {:.0}); saved to {out} ({:.3} MB)",
-                report.training_subsets,
-                report.outliers,
-                report.global_error,
-                index.size_bytes() as f64 / 1e6
-            );
+            match spec {
+                None => {
+                    let (index, report) = LearnedSetIndex::build(&collection, &cfg);
+                    save(&index, out)?;
+                    report_training(&report.train);
+                    println!(
+                        "trained set index on {} subsets ({} outliers, global error {:.0}); saved to {out} ({:.3} MB)",
+                        report.training_subsets,
+                        report.outliers,
+                        report.global_error,
+                        index.size_bytes() as f64 / 1e6
+                    );
+                }
+                Some(spec) => {
+                    let sharded = ShardedCollection::partition(&collection, spec)?;
+                    let (index, reports) = ShardedIndex::build(&sharded, &cfg)?;
+                    save(&index, out)?;
+                    report_sharded_training(reports.iter().map(|r| &r.train));
+                    println!(
+                        "trained sharded set index ({} shards, {} subsets, worst shard error {:.0}); saved to {out} ({:.3} MB)",
+                        index.num_shards(),
+                        reports.iter().map(|r| r.training_subsets).sum::<usize>(),
+                        reports.iter().map(|r| r.global_error).fold(0.0f64, f64::max),
+                        index.size_bytes() as f64 / 1e6
+                    );
+                }
+            }
         }
         "bloom" => {
             let mut cfg = BloomConfig::new(model);
             cfg.epochs = args.get_or("epochs", 30usize)?;
             cfg.learning_rate = args.get_or("lr", 5e-3f32)?;
             let n = args.get_or("samples", 2_000usize)?;
-            let (filter, report) = LearnedBloom::build_from_collection(
-                &collection,
-                n,
-                n,
-                args.get_or("max-subset", 4usize)?,
-                &cfg,
-            );
-            save(&filter, out)?;
-            report_training(&report.train);
-            println!(
-                "trained bloom filter (accuracy {:.4}, {} backed-up false negatives); saved to {out} ({:.1} KB)",
-                report.training_accuracy,
-                report.false_negatives,
-                filter.size_bytes() as f64 / 1e3
-            );
+            let max_query = args.get_or("max-subset", 4usize)?;
+            match spec {
+                None => {
+                    let (filter, report) =
+                        LearnedBloom::build_from_collection(&collection, n, n, max_query, &cfg);
+                    save(&filter, out)?;
+                    report_training(&report.train);
+                    println!(
+                        "trained bloom filter (accuracy {:.4}, {} backed-up false negatives); saved to {out} ({:.1} KB)",
+                        report.training_accuracy,
+                        report.false_negatives,
+                        filter.size_bytes() as f64 / 1e3
+                    );
+                }
+                Some(spec) => {
+                    let sharded = ShardedCollection::partition(&collection, spec)?;
+                    let (filter, reports) =
+                        ShardedBloom::build_from_collection(&sharded, n, n, max_query, &cfg)?;
+                    save(&filter, out)?;
+                    report_sharded_training(reports.iter().map(|r| &r.train));
+                    println!(
+                        "trained sharded bloom filter ({} shards, worst shard accuracy {:.4}, {} backed-up false negatives); saved to {out} ({:.1} KB)",
+                        filter.num_shards(),
+                        reports.iter().map(|r| r.training_accuracy).fold(1.0f64, f64::min),
+                        reports.iter().map(|r| r.false_negatives).sum::<usize>(),
+                        filter.size_bytes() as f64 / 1e3
+                    );
+                }
+            }
         }
         other => {
             return Err(
@@ -360,101 +479,139 @@ pub fn member(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Replays the workload through any [`LearnedSetStructure`]: per query (the
+/// instrumented serve path) at `--threads 1`, or through the structure's
+/// parallel batched path — which answers bit-for-bit identically — above.
+fn run_structure<S: LearnedSetStructure>(
+    structure: &S,
+    queries: &[ElementSet],
+    threads: usize,
+) -> Vec<QueryOutcome<S::Output>> {
+    if threads > 1 {
+        structure.query_batch_parallel(queries, threads)
+    } else {
+        queries.iter().map(|q| structure.query(q)).collect()
+    }
+}
+
 /// `setlearn query --task cardinality|index|bloom --model FILE --collection FILE
-///  [--limit N] [--max-subset K] [--threads N] [--telemetry PATH]`
+///  [--limit N] [--max-subset K] [--threads N] [--shards N]
+///  [--shard-by hash|range] [--telemetry PATH]`
 ///
 /// Replays a workload of subset queries enumerated from the collection
-/// against a trained model, one query at a time through the instrumented
-/// serve path, with a [`DriftMonitor`] watching accuracy and fallbacks. This
-/// is the serving-side counterpart of `train`: run it with `--telemetry` to
-/// capture serve-latency histograms, query/fallback counters, and
-/// `serve_query` spans in the run artifact.
+/// against a trained model through the unified [`LearnedSetStructure`] query
+/// API, with a [`DriftMonitor`] watching accuracy and fallbacks. This is the
+/// serving-side counterpart of `train`: run it with `--telemetry` to capture
+/// serve-latency histograms, query/fallback counters, and `serve_query`
+/// spans in the run artifact.
 ///
-/// `--threads N` (cardinality only) routes the whole workload through the
-/// parallel batched path ([`LearnedCardinality::estimate_batch_parallel`]),
-/// which produces answers identical to the sequential path.
+/// `--threads N` routes the whole workload (any task) through
+/// [`LearnedSetStructure::query_batch_parallel`], which produces answers
+/// identical to the sequential path. `--shards N` loads the sharded model
+/// trained with the same spec and fans each query out across shards.
 pub fn query(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "task", "model", "collection", "limit", "max-subset", "threads", "telemetry",
+        "task", "model", "collection", "limit", "max-subset", "threads", "shards", "shard-by",
+        "telemetry",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
     let model_path = args.required("model")?;
-    let collection = load_collection(args.required("collection")?)?;
+    let collection = Arc::new(load_collection(args.required("collection")?)?);
     let limit = args.get_or("limit", 500usize)?;
     let max_subset = args.get_or("max-subset", 2usize)?;
     let threads = args.get_or("threads", 1usize)?;
     if threads == 0 {
         return Err(ArgError("--threads must be at least 1".into()).into());
     }
-    if threads > 1 && task != "cardinality" {
-        return Err(ArgError(format!("--threads applies to --task cardinality, not '{task}'"))
-            .into());
-    }
+    let spec = shard_spec_from_args(args)?;
     let subsets = SubsetIndex::build(&collection, max_subset);
+    let (queries, counts): (Vec<ElementSet>, Vec<u64>) =
+        subsets.iter().take(limit).map(|(s, i)| (s.clone(), i.count)).unzip();
     let mut monitor = DriftMonitor::try_new(1.0, MonitorConfig::default())?;
 
     match task.as_str() {
         "cardinality" => {
-            let est: LearnedCardinality = load(model_path)?;
-            let mut served = 0usize;
-            if threads > 1 {
-                let (qs, counts): (Vec<ElementSet>, Vec<u64>) =
-                    subsets.iter().take(limit).map(|(s, i)| (s.clone(), i.count)).unzip();
-                for (v, count) in est.estimate_batch_parallel(&qs, threads).iter().zip(&counts)
-                {
-                    monitor.observe(*v, *count as f64);
-                    served += 1;
+            let outcomes = match spec {
+                None => {
+                    let est: LearnedCardinality = load(model_path)?;
+                    run_structure(&est, &queries, threads)
                 }
-            } else {
-                for (s, info) in subsets.iter().take(limit) {
-                    let v = est.estimate_monitored(s, &mut monitor);
-                    monitor.observe(v, info.count as f64);
-                    served += 1;
+                Some(spec) => {
+                    let est: ShardedCardinality = load(model_path)?;
+                    check_shard_spec(est.spec(), spec)?;
+                    run_structure(&est, &queries, threads)
                 }
+            };
+            let mut fallbacks = 0usize;
+            for (o, count) in outcomes.iter().zip(&counts) {
+                if o.fallback.is_some() {
+                    monitor.record_fallback();
+                    fallbacks += 1;
+                }
+                monitor.observe(o.value, *count as f64);
             }
-            let guard = est.serve_guard();
             println!(
-                "served {served} cardinality queries: rolling q-error {:.3}, \
-                 {} fallbacks ({} non-finite, {} out-of-bounds)",
+                "served {} cardinality queries: rolling q-error {:.3}, {fallbacks} guard fallbacks",
+                outcomes.len(),
                 monitor.rolling_q_error(),
-                guard.fallbacks(),
-                guard.non_finite_fallbacks(),
-                guard.out_of_bounds_fallbacks(),
             );
         }
         "index" => {
-            let index: LearnedSetIndex = load(model_path)?;
-            let (mut served, mut found, mut scanned) = (0usize, 0usize, 0usize);
-            for (s, _) in subsets.iter().take(limit) {
-                let profile = index.lookup_profiled(&collection, s);
-                if profile.fallback.is_some() {
-                    monitor.record_fallback();
+            let outcomes = match spec {
+                None => {
+                    let index: LearnedSetIndex = load(model_path)?;
+                    let structure =
+                        IndexStructure { index, collection: Arc::clone(&collection) };
+                    run_structure(&structure, &queries, threads)
                 }
-                found += usize::from(profile.position.is_some());
-                scanned += profile.scanned;
-                served += 1;
+                Some(spec) => {
+                    let index: ShardedIndex = load(model_path)?;
+                    check_shard_spec(index.spec(), spec)?;
+                    let sharded = ShardedCollection::partition(&collection, spec)?;
+                    let structure = ShardedIndexStructure::new(index, &sharded);
+                    run_structure(&structure, &queries, threads)
+                }
+            };
+            let found = outcomes.iter().filter(|o| o.value.is_some()).count();
+            let mut fallbacks = 0usize;
+            for o in &outcomes {
+                if o.fallback.is_some() {
+                    monitor.record_fallback();
+                    fallbacks += 1;
+                }
             }
             println!(
-                "served {served} index lookups: {found} found, {} bound misses, \
-                 {:.1} sets scanned/query, {} guard fallbacks",
-                served - found,
-                scanned as f64 / served.max(1) as f64,
-                index.serve_guard().fallbacks(),
+                "served {} index lookups: {found} found, {} bound misses, {fallbacks} guard fallbacks",
+                outcomes.len(),
+                outcomes.iter().filter(|o| o.bound_miss).count(),
             );
         }
         "bloom" => {
-            let filter: LearnedBloom = load(model_path)?;
-            let (mut served, mut present) = (0usize, 0usize);
-            for (s, _) in subsets.iter().take(limit) {
-                present += usize::from(filter.contains(s));
-                served += 1;
+            let outcomes = match spec {
+                None => {
+                    let filter: LearnedBloom = load(model_path)?;
+                    run_structure(&filter, &queries, threads)
+                }
+                Some(spec) => {
+                    let filter: ShardedBloom = load(model_path)?;
+                    check_shard_spec(filter.spec(), spec)?;
+                    run_structure(&filter, &queries, threads)
+                }
+            };
+            let present = outcomes.iter().filter(|o| o.value).count();
+            let mut fallbacks = 0usize;
+            for o in &outcomes {
+                if o.fallback.is_some() {
+                    monitor.record_fallback();
+                    fallbacks += 1;
+                }
             }
             println!(
-                "served {served} membership queries: {present} present \
-                 (recall {:.3} — trained subsets must all be present), {} guard fallbacks",
-                present as f64 / served.max(1) as f64,
-                filter.serve_guard().fallbacks(),
+                "served {} membership queries: {present} present \
+                 (recall {:.3} — trained subsets must all be present), {fallbacks} guard fallbacks",
+                outcomes.len(),
+                present as f64 / outcomes.len().max(1) as f64,
             );
         }
         other => {
@@ -510,9 +667,54 @@ fn drive<T: ServeTask>(
     Ok((report, qps))
 }
 
+/// The sharded counterpart of [`drive`]: per-shard worker pools, every
+/// request fanned out to all shards and aggregated. Returns the per-shard
+/// accounting, the number of fully answered fan-out requests, and the
+/// fan-out completion rate.
+fn drive_sharded<T: ServeTask>(
+    tasks: Vec<T>,
+    aggregate: impl Fn(Vec<T::Response>) -> T::Response + Send + Sync + 'static,
+    requests: Vec<T::Request>,
+    cfg: ServeConfig,
+    target_qps: f64,
+) -> Result<(ShardedReport, u64, f64), CliError>
+where
+    T::Request: Clone,
+{
+    let runtime = ShardedRuntime::start(tasks, cfg, aggregate);
+    let start = std::time::Instant::now();
+    let gap = (target_qps > 0.0)
+        .then(|| std::time::Duration::from_secs_f64(1.0 / target_qps));
+    let mut tickets = Vec::with_capacity(requests.len());
+    for (i, request) in requests.into_iter().enumerate() {
+        if let Some(gap) = gap {
+            let due = start + gap.mul_f64(i as f64);
+            if let Some(wait) = due.checked_duration_since(std::time::Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        match runtime.submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            // Any shard shedding fails the fan-out; already-admitted
+            // sub-requests still complete and are counted per shard.
+            Err(ServeError::Overloaded) => {}
+            Err(e) => return Err(format!("sharded serve runtime failed: {e}").into()),
+        }
+    }
+    let answered = tickets.len() as u64;
+    for ticket in tickets {
+        ticket.wait().map_err(|e| format!("request lost: {e}"))?;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let report = runtime.shutdown();
+    let qps = answered as f64 / elapsed;
+    Ok((report, answered, qps))
+}
+
 /// `setlearn serve --task cardinality|index|bloom --model FILE --collection FILE
 ///  [--requests N] [--threads N] [--max-batch N] [--max-delay-us U] [--queue N]
-///  [--target-qps Q] [--max-subset K] [--telemetry PATH]`
+///  [--target-qps Q] [--max-subset K] [--shards N] [--shard-by hash|range]
+///  [--telemetry PATH]`
 ///
 /// Loads a trained model, enumerates a subset-query workload from the
 /// collection (cycled up to `--requests`), and replays it through the
@@ -521,15 +723,20 @@ fn drive<T: ServeTask>(
 /// `--target-qps` paces submissions open-loop; 0 (the default) submits as
 /// fast as possible. With `--telemetry`, queue-depth, batch-size, and
 /// queue-wait metrics land in the run artifact.
+///
+/// With `--shards N` the model trained with the same spec is split into one
+/// [`ServeRuntime`] per shard (each with its own queue, worker pool,
+/// hot-swap slot, and `shard`-labeled telemetry); every request fans out to
+/// all shards and the per-shard answers are aggregated.
 pub fn serve(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "model", "collection", "requests", "threads", "max-batch", "max-delay-us",
-        "queue", "target-qps", "max-subset", "telemetry",
+        "queue", "target-qps", "max-subset", "shards", "shard-by", "telemetry",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
     let model_path = args.required("model")?;
-    let collection = load_collection(args.required("collection")?)?;
+    let collection = Arc::new(load_collection(args.required("collection")?)?);
     let cfg = ServeConfig {
         threads: args.get_or("threads", 2usize)?,
         max_batch: args.get_or("max-batch", 64usize)?,
@@ -540,6 +747,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let target_qps = args.get_or("target-qps", 0.0f64)?;
     let total = args.get_or("requests", 2_000usize)?;
     let max_subset = args.get_or("max-subset", 2usize)?;
+    let spec = shard_spec_from_args(args)?;
 
     let pool: Vec<ElementSet> =
         SubsetIndex::build(&collection, max_subset).iter().map(|(s, _)| s.clone()).collect();
@@ -548,19 +756,81 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     }
     let requests: Vec<ElementSet> = (0..total).map(|i| pool[i % pool.len()].clone()).collect();
 
+    if let Some(spec) = spec {
+        let (report, answered, qps) = match task.as_str() {
+            "cardinality" => {
+                let est: ShardedCardinality = load(model_path)?;
+                check_shard_spec(est.spec(), spec)?;
+                let tasks: Vec<CardinalityTask> =
+                    est.into_shards().into_iter().map(CardinalityTask::new).collect();
+                drive_sharded(tasks, aggregate_cardinality, requests, cfg, target_qps)?
+            }
+            "index" => {
+                let index: ShardedIndex = load(model_path)?;
+                check_shard_spec(index.spec(), spec)?;
+                let sharded = ShardedCollection::partition(&collection, spec)?;
+                let structure = ShardedIndexStructure::new(index, &sharded);
+                let target = structure.target();
+                let tasks: Vec<StructureTask<ShardIndexStructure>> = structure
+                    .shard_structures()
+                    .iter()
+                    .cloned()
+                    .map(StructureTask::new)
+                    .collect();
+                drive_sharded(
+                    tasks,
+                    move |parts| aggregate_index(target, parts),
+                    requests,
+                    cfg,
+                    target_qps,
+                )?
+            }
+            "bloom" => {
+                let filter: ShardedBloom = load(model_path)?;
+                check_shard_spec(filter.spec(), spec)?;
+                let tasks: Vec<BloomTask> =
+                    filter.into_shards().into_iter().map(BloomTask::new).collect();
+                drive_sharded(tasks, aggregate_bloom, requests, cfg, target_qps)?
+            }
+            other => {
+                return Err(
+                    ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
+                )
+            }
+        };
+        println!(
+            "served {answered} of {total} fan-out requests across {} shards at {qps:.0} QPS: \
+             {} sub-requests completed, {} shed at admission, {} panicked batches",
+            report.per_shard.len(),
+            report.completed(),
+            report.shed(),
+            report.panicked_batches(),
+        );
+        for (s, r) in report.per_shard.iter().enumerate() {
+            println!(
+                "  shard {s}: {} completed in {} batches, {} shed, {} swaps",
+                r.completed, r.batches, r.shed, r.swaps
+            );
+        }
+        if let Some(sink) = sink {
+            sink.finish()?;
+        }
+        return Ok(());
+    }
+
     let (report, qps) = match task.as_str() {
         "cardinality" => {
             let estimator: LearnedCardinality = load(model_path)?;
-            drive(CardinalityTask { estimator }, requests, cfg, target_qps)?
+            drive(CardinalityTask::new(estimator), requests, cfg, target_qps)?
         }
         "index" => {
             let index: LearnedSetIndex = load(model_path)?;
-            let collection = std::sync::Arc::new(collection);
-            drive(IndexTask { index, collection }, requests, cfg, target_qps)?
+            let structure = IndexStructure { index, collection: Arc::clone(&collection) };
+            drive(IndexTask::new(structure), requests, cfg, target_qps)?
         }
         "bloom" => {
             let filter: LearnedBloom = load(model_path)?;
-            drive(BloomTask { filter }, requests, cfg, target_qps)?
+            drive(BloomTask::new(filter), requests, cfg, target_qps)?
         }
         other => {
             return Err(
@@ -628,12 +898,14 @@ COMMANDS:
   train     --task cardinality|index|bloom --collection FILE --out FILE
             [--compressed] [--epochs N] [--percentile P] [--neurons N]
             [--embedding D] [--max-subset K] [--lr F] [--batch N]
-            [--telemetry PATH]
+            [--shards N] [--shard-by hash|range] [--telemetry PATH]
   query     --task cardinality|index|bloom --model FILE --collection FILE
-            [--limit N] [--max-subset K] [--threads N] [--telemetry PATH]
+            [--limit N] [--max-subset K] [--threads N] [--shards N]
+            [--shard-by hash|range] [--telemetry PATH]
   serve     --task cardinality|index|bloom --model FILE --collection FILE
             [--requests N] [--threads N] [--max-batch N] [--max-delay-us U]
-            [--queue N] [--target-qps Q] [--max-subset K] [--telemetry PATH]
+            [--queue N] [--target-qps Q] [--max-subset K] [--shards N]
+            [--shard-by hash|range] [--telemetry PATH]
   estimate  --model FILE --query 1,2,3 [--telemetry PATH]
   lookup    --model FILE --collection FILE --query 1,2,3 [--telemetry PATH]
   member    --model FILE --query 1,2,3 [--telemetry PATH]
@@ -643,7 +915,12 @@ COMMANDS:
 
 Passing --telemetry PATH raises telemetry to Full (per-query/per-epoch
 spans) and writes PATH.prom, PATH.metrics.json and PATH.jsonl; repeated
-runs against the same PATH accumulate into one artifact."
+runs against the same PATH accumulate into one artifact.
+
+Passing --shards N partitions the collection (hash by default, range with
+--shard-by range), trains one model per shard, and serves every query by
+fanning it out across per-shard worker pools; query and serve must be given
+the same --shards/--shard-by used at training time."
     );
 }
 
@@ -874,14 +1151,84 @@ mod tests {
         let qs: Vec<ElementSet> =
             SubsetIndex::build(&collection, 2).iter().map(|(s, _)| s.clone()).collect();
         assert_eq!(est.estimate_batch_parallel(&qs, 2), est.estimate_batch(&qs));
-        // --threads is rejected where the parallel path does not exist.
-        assert!(run(&args(&[
-            "query", "--task", "bloom", "--model", &model, "--collection", &coll,
-            "--threads", "2",
+        // --threads now reaches every task through the unified structure
+        // API: the bloom parallel path runs end to end too.
+        let bloom = tmp("par-bloom.json");
+        run(&args(&[
+            "train", "--task", "bloom", "--collection", &coll, "--out", &bloom,
+            "--epochs", "2", "--samples", "120", "--max-subset", "2",
         ]))
-        .is_err());
+        .unwrap();
+        run(&args(&[
+            "query", "--task", "bloom", "--model", &bloom, "--collection", &coll,
+            "--limit", "40", "--threads", "2",
+        ]))
+        .unwrap();
         let _ = std::fs::remove_file(coll);
         let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_file(bloom);
+    }
+
+    #[test]
+    fn sharded_train_query_serve_pipeline_labels_shards() {
+        let coll = tmp("shard.json");
+        let model = tmp("shard-model.json");
+        let base = tmp("shard-run");
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "150", "--seed", "11", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "2", "--refine-epochs", "1", "--max-subset", "2",
+            "--shards", "3", "--shard-by", "hash",
+        ]))
+        .unwrap();
+        // The sharded model answers through the unified API, sequentially
+        // and in parallel.
+        run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--limit", "40", "--max-subset", "2", "--shards", "3",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--limit", "40", "--max-subset", "2", "--shards", "3", "--threads", "2",
+        ]))
+        .unwrap();
+        // A mismatched spec is refused instead of answering nonsense —
+        // wrong shard count and wrong router alike.
+        let err = run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--shards", "2",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("3 shards"), "got: {err}");
+        let err = run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--shards", "3", "--shard-by", "range",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--shard-by hash"), "got: {err}");
+        // Fan-out serving works and every shard's telemetry is labeled.
+        run(&args(&[
+            "serve", "--task", "cardinality", "--model", &model, "--collection", &coll,
+            "--requests", "200", "--threads", "3", "--shards", "3",
+            "--telemetry", &base,
+        ]))
+        .unwrap();
+        let prom = std::fs::read_to_string(format!("{base}.prom")).unwrap();
+        setlearn_obs::validate_prometheus(&prom).expect("valid exposition");
+        for shard in ["0", "1", "2"] {
+            assert!(
+                prom.contains(&format!("shard=\"{shard}\"")),
+                "missing shard {shard} label in exposition:\n{prom}"
+            );
+        }
+        for f in [coll, model, format!("{base}.prom"), format!("{base}.metrics.json"),
+                  format!("{base}.jsonl")] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

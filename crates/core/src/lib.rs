@@ -50,6 +50,7 @@ pub mod monitor;
 pub mod persist;
 pub mod quantize;
 pub mod settransformer;
+pub mod shard;
 pub mod tasks;
 pub(crate) mod telemetry;
 
@@ -58,9 +59,10 @@ pub use hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
 pub use monitor::{DriftMonitor, MonitorConfig, MonitorSnapshot, RetrainReason};
 pub use model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
 pub use settransformer::{SetTransformer, SetTransformerConfig};
+pub use shard::{ShardBy, ShardError, ShardRouter, ShardSpec, ShardedCollection};
 pub use tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
-    LearnedSetIndex,
+    LearnedSetIndex, LearnedSetStructure, QueryOutcome,
 };
 // Task build reports embed the training harness report; re-export its types so
 // downstream crates can consume them without depending on `setlearn-nn`.

@@ -3,6 +3,7 @@
 
 use crate::hybrid::ServeGuard;
 use crate::model::{DeepSets, DeepSetsConfig};
+use crate::tasks::{LearnedSetStructure, QueryOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -199,6 +200,28 @@ impl LearnedBloom {
         &self.guard
     }
 
+    /// Maps pre-computed batch scores through the guarded decision, recording
+    /// batch telemetry once. Shared by the sequential and parallel batch
+    /// paths so they agree bit-for-bit.
+    fn outcomes_for_scores<S: AsRef<[u32]>>(
+        &self,
+        queries: &[S],
+        scores: Vec<f32>,
+    ) -> Vec<QueryOutcome<bool>> {
+        let mut fallbacks = Vec::new();
+        let outcomes = scores
+            .into_iter()
+            .zip(queries.iter())
+            .map(|(score, q)| {
+                let (answer, reason) = self.decide(score, q.as_ref());
+                fallbacks.extend(reason);
+                QueryOutcome { value: answer, fallback: reason, bound_miss: false }
+            })
+            .collect();
+        crate::telemetry::bloom_tele().record_batch(queries.len(), &fallbacks);
+        outcomes
+    }
+
     /// Multi-set multi-membership querying (the paper's §9 future-work
     /// direction): answers every query in one batched forward pass through
     /// the shared model, then rescues per-query false negatives from the
@@ -207,20 +230,24 @@ impl LearnedBloom {
         if queries.is_empty() {
             return Vec::new();
         }
-        let mut fallbacks = Vec::new();
-        let answers = self
-            .model
-            .predict_batch(queries)
-            .into_iter()
-            .zip(queries.iter())
-            .map(|(score, q)| {
-                let (answer, reason) = self.decide(score, q.as_ref());
-                fallbacks.extend(reason);
-                answer
-            })
-            .collect();
-        crate::telemetry::bloom_tele().record_batch(queries.len(), &fallbacks);
-        answers
+        let scores = self.model.predict_batch(queries);
+        self.outcomes_for_scores(queries, scores).into_iter().map(|o| o.value).collect()
+    }
+
+    /// [`LearnedBloom::contains_many`] with the forward pass split across
+    /// `threads` scoped workers (mirroring
+    /// [`LearnedCardinality::estimate_batch_parallel`][crate::tasks::LearnedCardinality::estimate_batch_parallel]).
+    /// Answers are bit-for-bit equal to the sequential batch path.
+    pub fn contains_many_parallel<S: AsRef<[u32]> + Sync>(
+        &self,
+        queries: &[S],
+        threads: usize,
+    ) -> Vec<bool> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch_parallel(queries, threads);
+        self.outcomes_for_scores(queries, scores).into_iter().map(|o| o.value).collect()
     }
 
     /// Raw classifier probability (for threshold tuning / diagnostics).
@@ -263,6 +290,38 @@ impl LearnedBloom {
             })
             .count();
         correct as f64 / workload.len() as f64
+    }
+}
+
+impl LearnedSetStructure for LearnedBloom {
+    type Output = bool;
+    const NAME: &'static str = "bloom";
+
+    fn query(&self, q: &[u32]) -> QueryOutcome<bool> {
+        let start = crate::telemetry::query_start();
+        let (answer, fallback) = self.decide(self.model.predict_one(q), q);
+        crate::telemetry::bloom_tele().record_query(start, fallback);
+        QueryOutcome { value: answer, fallback, bound_miss: false }
+    }
+
+    fn query_batch(&self, queries: &[ElementSet]) -> Vec<QueryOutcome<bool>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch(queries);
+        self.outcomes_for_scores(queries, scores)
+    }
+
+    fn query_batch_parallel(
+        &self,
+        queries: &[ElementSet],
+        threads: usize,
+    ) -> Vec<QueryOutcome<bool>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch_parallel(queries, threads);
+        self.outcomes_for_scores(queries, scores)
     }
 }
 
@@ -364,6 +423,25 @@ mod tests {
             filter.serve_guard().non_finite_fallbacks() > 0,
             "poisoned scores must be counted as fallbacks"
         );
+    }
+
+    #[test]
+    fn parallel_batch_membership_equals_sequential() {
+        let c = GeneratorConfig::rw(300, 7).generate();
+        let workload = membership_queries(&c, 200, 200, 4, 5);
+        let (filter, _) = LearnedBloom::build(&workload, &quick_cfg(c.num_elements()));
+        let queries: Vec<ElementSet> = workload.iter().map(|(s, _)| s.clone()).collect();
+        let sequential = filter.contains_many(&queries);
+        for threads in [1, 2, 5] {
+            let parallel = filter.contains_many_parallel(&queries, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // The trait surface agrees with the task-specific paths.
+        let outcomes = filter.query_batch(&queries);
+        assert_eq!(outcomes, filter.query_batch_parallel(&queries, 3));
+        for (outcome, want) in outcomes.iter().zip(&sequential) {
+            assert_eq!(outcome.value, *want);
+        }
     }
 
     #[test]

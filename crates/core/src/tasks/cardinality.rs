@@ -3,6 +3,7 @@
 use crate::hybrid::{guided_train_hardened, GuidedConfig, GuidedOutcome, ServeGuard};
 use crate::model::{DeepSets, DeepSetsConfig};
 use crate::monitor::DriftMonitor;
+use crate::tasks::{LearnedSetStructure, QueryOutcome};
 use serde::{Deserialize, Serialize};
 use setlearn_baselines::set_hash;
 use setlearn_data::{ElementSet, SetCollection, SubsetIndex};
@@ -133,6 +134,14 @@ impl LearnedCardinality {
     }
 
     fn estimate_inner(&self, q: &[u32], monitor: Option<&mut DriftMonitor>) -> f64 {
+        self.outcome_inner(q, monitor).value
+    }
+
+    fn outcome_inner(
+        &self,
+        q: &[u32],
+        monitor: Option<&mut DriftMonitor>,
+    ) -> QueryOutcome<f64> {
         let start = crate::telemetry::query_start();
         let h = set_hash(q);
         let mut fallback = None;
@@ -149,7 +158,42 @@ impl LearnedCardinality {
         let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
         let answer = (base + delta).max(0.0);
         crate::telemetry::cardinality_tele().record_query(start, fallback);
-        answer
+        QueryOutcome { value: answer, fallback, bound_miss: false }
+    }
+
+    /// Applies the outlier-store / guard / delta-layer corrections to one
+    /// raw model score — the shared tail of every batch path.
+    fn correct_score(&self, q: &[u32], score: f32) -> QueryOutcome<f64> {
+        let h = set_hash(q);
+        let (base, fallback) = match self.outliers.get(&h) {
+            Some(&exact) => (exact as f64, None),
+            None => {
+                let (value, reason) = self.guard.admit_or_clamp(self.scaler.unscale(score));
+                (value, reason)
+            }
+        };
+        let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
+        QueryOutcome { value: (base + delta).max(0.0), fallback, bound_miss: false }
+    }
+
+    /// Corrects a whole batch of raw scores and records batch telemetry.
+    fn correct_batch<S: AsRef<[u32]>>(
+        &self,
+        queries: &[S],
+        scores: Vec<f32>,
+    ) -> Vec<QueryOutcome<f64>> {
+        let mut fallbacks = Vec::new();
+        let outcomes: Vec<QueryOutcome<f64>> = queries
+            .iter()
+            .zip(scores)
+            .map(|(q, s)| {
+                let outcome = self.correct_score(q.as_ref(), s);
+                fallbacks.extend(outcome.fallback);
+                outcome
+            })
+            .collect();
+        crate::telemetry::cardinality_tele().record_batch(queries.len(), &fallbacks);
+        outcomes
     }
 
     /// The serve-time guard (fallback counters and bounds).
@@ -170,27 +214,7 @@ impl LearnedCardinality {
             return Vec::new();
         }
         let scores = self.model.predict_batch(queries);
-        let mut fallbacks = Vec::new();
-        let answers = queries
-            .iter()
-            .zip(scores)
-            .map(|(q, s)| {
-                let h = set_hash(q.as_ref());
-                let base = match self.outliers.get(&h) {
-                    Some(&exact) => exact as f64,
-                    None => {
-                        let (value, reason) =
-                            self.guard.admit_or_clamp(self.scaler.unscale(s));
-                        fallbacks.extend(reason);
-                        value
-                    }
-                };
-                let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
-                (base + delta).max(0.0)
-            })
-            .collect();
-        crate::telemetry::cardinality_tele().record_batch(queries.len(), &fallbacks);
-        answers
+        self.correct_batch(queries, scores).into_iter().map(|o| o.value).collect()
     }
 
     /// [`LearnedCardinality::estimate_batch`] with the model forward pass
@@ -207,27 +231,7 @@ impl LearnedCardinality {
             return Vec::new();
         }
         let scores = self.model.predict_batch_parallel(queries, threads);
-        let mut fallbacks = Vec::new();
-        let answers = queries
-            .iter()
-            .zip(scores)
-            .map(|(q, s)| {
-                let h = set_hash(q.as_ref());
-                let base = match self.outliers.get(&h) {
-                    Some(&exact) => exact as f64,
-                    None => {
-                        let (value, reason) =
-                            self.guard.admit_or_clamp(self.scaler.unscale(s));
-                        fallbacks.extend(reason);
-                        value
-                    }
-                };
-                let delta = self.deltas.get(&h).copied().unwrap_or(0) as f64;
-                (base + delta).max(0.0)
-            })
-            .collect();
-        crate::telemetry::cardinality_tele().record_batch(queries.len(), &fallbacks);
-        answers
+        self.correct_batch(queries, scores).into_iter().map(|o| o.value).collect()
     }
 
     /// Registers an inserted set (§7.2): all its subsets gain one occurrence
@@ -287,6 +291,35 @@ impl LearnedCardinality {
         self.model.size_bytes()
             + (self.outliers.len() as f64 / 0.875) as usize * map_entry
             + (self.deltas.len() as f64 / 0.875) as usize * map_entry
+    }
+}
+
+impl LearnedSetStructure for LearnedCardinality {
+    type Output = f64;
+    const NAME: &'static str = "cardinality";
+
+    fn query(&self, q: &[u32]) -> QueryOutcome<f64> {
+        self.outcome_inner(q, None)
+    }
+
+    fn query_batch(&self, queries: &[ElementSet]) -> Vec<QueryOutcome<f64>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch(queries);
+        self.correct_batch(queries, scores)
+    }
+
+    fn query_batch_parallel(
+        &self,
+        queries: &[ElementSet],
+        threads: usize,
+    ) -> Vec<QueryOutcome<f64>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch_parallel(queries, threads);
+        self.correct_batch(queries, scores)
     }
 }
 

@@ -10,10 +10,12 @@ use crate::hybrid::{
     ServeGuard,
 };
 use crate::model::{DeepSets, DeepSetsConfig};
+use crate::tasks::{LearnedSetStructure, QueryOutcome};
 use serde::{Deserialize, Serialize};
 use setlearn_baselines::{set_hash, BPlusTree};
 use setlearn_data::{is_subset, ElementSet, SetCollection, SubsetIndex};
 use setlearn_nn::{Loss, LogMinMaxScaler, TrainPolicy, TrainReport};
+use std::sync::Arc;
 
 /// Which occurrence the index targets (paper §4.1 supports either).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -225,7 +227,19 @@ impl LearnedSetIndex {
     }
 
     fn lookup_profiled_inner(&self, collection: &SetCollection, q: &[u32]) -> LookupProfile {
-        // Line 2: auxiliary structure (outliers + pending updates).
+        self.profile_from_score(collection, q, self.model.predict_one(q))
+    }
+
+    /// The shared tail of every lookup path: auxiliary structure first
+    /// (Algorithm 2 line 2), then guarded estimate + bounded local scan
+    /// (lines 4–7). `score` is the model's raw (scaled) output for `q`,
+    /// which lets the batch paths reuse a batched forward pass.
+    fn profile_from_score(
+        &self,
+        collection: &SetCollection,
+        q: &[u32],
+        score: f32,
+    ) -> LookupProfile {
         if let Some(pos) = self.aux_position(q) {
             return LookupProfile {
                 position: Some(pos as usize),
@@ -234,10 +248,7 @@ impl LearnedSetIndex {
                 fallback: None,
             };
         }
-        // Lines 4–7: model estimate, local bound, bounded scan — with the
-        // serve guard degrading bad estimates to an exact path.
-        let raw = self.scaler.unscale(self.model.predict_one(q));
-        let (lo, hi, fallback) = self.scan_window(collection, raw);
+        let (lo, hi, fallback) = self.scan_window(collection, self.scaler.unscale(score));
         let mut scanned = 0;
         // First-occurrence queries scan the window upward; last-occurrence
         // queries downward. In both directions the first match is the true
@@ -270,6 +281,29 @@ impl LearnedSetIndex {
         LookupProfile { position: None, scanned, from_aux: false, fallback }
     }
 
+    /// Maps pre-computed batch scores through the scan tail, recording batch
+    /// telemetry once. Shared by the sequential and parallel batch paths so
+    /// they agree bit-for-bit.
+    fn profiles_for_scores<S: AsRef<[u32]>>(
+        &self,
+        collection: &SetCollection,
+        queries: &[S],
+        scores: Vec<f32>,
+    ) -> Vec<LookupProfile> {
+        let mut fallbacks = Vec::new();
+        let profiles: Vec<LookupProfile> = queries
+            .iter()
+            .zip(scores)
+            .map(|(q, s)| {
+                let profile = self.profile_from_score(collection, q.as_ref(), s);
+                fallbacks.extend(profile.fallback);
+                profile
+            })
+            .collect();
+        crate::telemetry::index_tele().record_batch(queries.len(), &fallbacks);
+        profiles
+    }
+
     /// Batched lookup: one model forward pass for all queries, followed by
     /// per-query bounded scans. Equivalent to mapping
     /// [`LearnedSetIndex::lookup`].
@@ -278,33 +312,42 @@ impl LearnedSetIndex {
         collection: &SetCollection,
         queries: &[S],
     ) -> Vec<Option<usize>> {
+        self.lookup_batch_profiled(collection, queries).into_iter().map(|p| p.position).collect()
+    }
+
+    /// [`LearnedSetIndex::lookup_batch`] with scan-effort accounting.
+    pub fn lookup_batch_profiled<S: AsRef<[u32]>>(
+        &self,
+        collection: &SetCollection,
+        queries: &[S],
+    ) -> Vec<LookupProfile> {
         if queries.is_empty() {
             return Vec::new();
         }
         let scores = self.model.predict_batch(queries);
-        let mut fallbacks = Vec::new();
-        let answers = queries
-            .iter()
-            .zip(scores)
-            .map(|(q, s)| {
-                let q = q.as_ref();
-                if let Some(pos) = self.aux_position(q) {
-                    return Some(pos as usize);
-                }
-                let (lo, hi, reason) = self.scan_window(collection, self.scaler.unscale(s));
-                fallbacks.extend(reason);
-                match self.target {
-                    PositionTarget::First => {
-                        (lo..=hi).find(|&i| is_subset(q, collection.get(i)))
-                    }
-                    PositionTarget::Last => {
-                        (lo..=hi).rev().find(|&i| is_subset(q, collection.get(i)))
-                    }
-                }
-            })
-            .collect();
-        crate::telemetry::index_tele().record_batch(queries.len(), &fallbacks);
-        answers
+        self.profiles_for_scores(collection, queries, scores)
+    }
+
+    /// [`LearnedSetIndex::lookup_batch`] with the forward pass split across
+    /// `threads` scoped workers (mirroring
+    /// [`LearnedCardinality::estimate_batch_parallel`][crate::tasks::LearnedCardinality::estimate_batch_parallel]).
+    /// The scans stay sequential — they are bounded and cheap next to the
+    /// forward pass — so answers are bit-for-bit equal to the sequential
+    /// batch path.
+    pub fn lookup_batch_parallel<S: AsRef<[u32]> + Sync>(
+        &self,
+        collection: &SetCollection,
+        queries: &[S],
+        threads: usize,
+    ) -> Vec<Option<usize>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.model.predict_batch_parallel(queries, threads);
+        self.profiles_for_scores(collection, queries, scores)
+            .into_iter()
+            .map(|p| p.position)
+            .collect()
     }
 
     /// Raw model estimate of the position (no scan) — for accuracy metrics.
@@ -382,6 +425,60 @@ impl LearnedSetIndex {
     /// Total structure bytes (Table 7's Model + Aux.Str. + Err).
     pub fn size_bytes(&self) -> usize {
         self.model_size_bytes() + self.aux_size_bytes() + self.bounds_size_bytes()
+    }
+}
+
+fn outcome_from_profile(p: LookupProfile) -> QueryOutcome<Option<usize>> {
+    QueryOutcome {
+        value: p.position,
+        fallback: p.fallback,
+        // A window exhausted without a hit: the local bound did not cover
+        // the answer, or the subset is genuinely absent.
+        bound_miss: p.position.is_none() && !p.from_aux,
+    }
+}
+
+/// A [`LearnedSetIndex`] bound to its collection. Lookups need the
+/// collection to scan, so the [`LearnedSetStructure`] surface lives on this
+/// adapter rather than on the bare index.
+#[derive(Debug, Clone)]
+pub struct IndexStructure {
+    /// The hybrid learned index.
+    pub index: LearnedSetIndex,
+    /// The collection it indexes.
+    pub collection: Arc<SetCollection>,
+}
+
+impl LearnedSetStructure for IndexStructure {
+    type Output = Option<usize>;
+    const NAME: &'static str = "index";
+
+    fn query(&self, q: &[u32]) -> QueryOutcome<Option<usize>> {
+        outcome_from_profile(self.index.lookup_profiled(&self.collection, q))
+    }
+
+    fn query_batch(&self, queries: &[ElementSet]) -> Vec<QueryOutcome<Option<usize>>> {
+        self.index
+            .lookup_batch_profiled(&self.collection, queries)
+            .into_iter()
+            .map(outcome_from_profile)
+            .collect()
+    }
+
+    fn query_batch_parallel(
+        &self,
+        queries: &[ElementSet],
+        threads: usize,
+    ) -> Vec<QueryOutcome<Option<usize>>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.index.model.predict_batch_parallel(queries, threads);
+        self.index
+            .profiles_for_scores(&self.collection, queries, scores)
+            .into_iter()
+            .map(outcome_from_profile)
+            .collect()
     }
 }
 
@@ -507,6 +604,31 @@ mod tests {
         let batch = index.lookup_batch(&collection, &queries);
         for (q, got) in queries.iter().zip(&batch) {
             assert_eq!(*got, index.lookup(&collection, q));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_lookups_equal_sequential() {
+        let collection = GeneratorConfig::rw(300, 21).generate();
+        let (index, _) = LearnedSetIndex::build(
+            &collection,
+            &quick_cfg(collection.num_elements(), CompressionKind::None),
+        );
+        let subsets = SubsetIndex::build(&collection, 3);
+        let queries: Vec<ElementSet> = subsets.iter().map(|(s, _)| s.clone()).collect();
+        let sequential = index.lookup_batch(&collection, &queries);
+        for threads in [1, 2, 5] {
+            let parallel = index.lookup_batch_parallel(&collection, &queries, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // The trait surface agrees with the task-specific paths.
+        let structure =
+            IndexStructure { index, collection: Arc::new(collection) };
+        let outcomes = structure.query_batch(&queries);
+        let outcomes_par = structure.query_batch_parallel(&queries, 3);
+        assert_eq!(outcomes, outcomes_par);
+        for (outcome, want) in outcomes.iter().zip(&sequential) {
+            assert_eq!(outcome.value, *want);
         }
     }
 

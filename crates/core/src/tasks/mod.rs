@@ -1,15 +1,127 @@
 //! The three database tasks of Table 1, each built on the same DeepSets
 //! model: regression heads for indexing (§4.1) and cardinality estimation
 //! (§4.2), a classification head for membership (§4.3).
+//!
+//! ## The unified query surface
+//!
+//! Every learned structure — sharded or not — implements
+//! [`LearnedSetStructure`]: one `query` / `query_batch` /
+//! `query_batch_parallel` triple returning [`QueryOutcome`]s, so serve
+//! adapters, the CLI, and benches dispatch through a single trait instead of
+//! three hand-rolled signatures (`estimate*` / `lookup*` / `contains*`).
+//! The per-task entry points remain for task-specific ergonomics (and
+//! back-compat), but new callers should prefer the trait; see the
+//! deprecation notes in `DESIGN.md`.
 
 pub mod bloom;
 pub mod cardinality;
 pub mod index;
 pub mod partitioned;
 pub mod sandwich;
+pub mod sharded;
 
 pub use bloom::{BloomBuildReport, BloomConfig, LearnedBloom};
 pub use cardinality::{CardinalityBuildReport, CardinalityConfig, LearnedCardinality};
-pub use index::{IndexBuildReport, IndexConfig, LearnedSetIndex, LookupProfile, PositionTarget};
+pub use index::{
+    IndexBuildReport, IndexConfig, IndexStructure, LearnedSetIndex, LookupProfile, PositionTarget,
+};
 pub use partitioned::{PartitionedBloom, PartitionedConfig};
 pub use sandwich::{SandwichConfig, SandwichedBloom};
+pub use sharded::{
+    aggregate_bloom, aggregate_cardinality, aggregate_index, ShardIndexStructure, ShardedBloom,
+    ShardedCardinality, ShardedIndex, ShardedIndexStructure,
+};
+
+use crate::hybrid::FallbackReason;
+use setlearn_data::ElementSet;
+
+/// The answer to one query through the unified serve surface: the task's
+/// value plus the degradation flags every structure shares.
+///
+/// `fallback` is set when the serve-time [`crate::ServeGuard`] rejected the
+/// raw model output (non-finite or out-of-domain) and the answer came from a
+/// degraded-but-safe path. `bound_miss` is set by the index task when a
+/// bounded scan window was exhausted without a hit (the local error bound
+/// did not cover the answer, or the subset is genuinely absent); the other
+/// tasks never set it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOutcome<T> {
+    /// The task's answer (estimate, position, or membership verdict).
+    pub value: T,
+    /// Why the model's raw output was rejected, if it was.
+    pub fallback: Option<FallbackReason>,
+    /// Index task only: the scan window was exhausted without a hit.
+    pub bound_miss: bool,
+}
+
+impl<T> QueryOutcome<T> {
+    /// An outcome served entirely by the healthy model path.
+    pub fn clean(value: T) -> Self {
+        QueryOutcome { value, fallback: None, bound_miss: false }
+    }
+
+    /// Whether any degradation flag is set.
+    pub fn degraded(&self) -> bool {
+        self.fallback.is_some() || self.bound_miss
+    }
+
+    /// Maps the value, keeping the degradation flags.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> QueryOutcome<U> {
+        QueryOutcome { value: f(self.value), fallback: self.fallback, bound_miss: self.bound_miss }
+    }
+}
+
+/// The uniform query API over every learned set structure (paper Table 1),
+/// sharded and unsharded alike.
+///
+/// Implementations answer canonical (sorted, deduplicated) queries; batch
+/// methods must return exactly one outcome per query, in query order, and
+/// `query_batch_parallel` must agree bit-for-bit with `query_batch` (the
+/// forward pass is split across threads, the corrections are identical).
+///
+/// The index task needs the collection to scan, so its implementations live
+/// on bound adapters ([`IndexStructure`], [`ShardedIndexStructure`]) that
+/// carry the collection alongside the model.
+pub trait LearnedSetStructure {
+    /// The task's answer type: `f64` (cardinality), `Option<usize>`
+    /// (index position), or `bool` (membership).
+    type Output;
+
+    /// Task label used on serve metrics (`"cardinality"`, `"index"`,
+    /// `"bloom"`); sharded and unsharded variants share it.
+    const NAME: &'static str;
+
+    /// Answers one canonical query.
+    fn query(&self, q: &[u32]) -> QueryOutcome<Self::Output>;
+
+    /// Answers every query in one batched forward pass, in order.
+    fn query_batch(&self, queries: &[ElementSet]) -> Vec<QueryOutcome<Self::Output>>;
+
+    /// [`LearnedSetStructure::query_batch`] with the forward pass split
+    /// across `threads` scoped workers; answers are bit-for-bit equal to the
+    /// sequential batch path.
+    fn query_batch_parallel(
+        &self,
+        queries: &[ElementSet],
+        threads: usize,
+    ) -> Vec<QueryOutcome<Self::Output>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        let o = QueryOutcome::clean(7.0);
+        assert!(!o.degraded());
+        let mapped = o.map(|v| v as u64);
+        assert_eq!(mapped.value, 7);
+        let degraded = QueryOutcome {
+            value: 0.0,
+            fallback: Some(FallbackReason::NonFinite),
+            bound_miss: false,
+        };
+        assert!(degraded.degraded());
+    }
+}

@@ -26,9 +26,11 @@
 //!   micro-batching and graceful drain on shutdown.
 //! * [`refresh`] — background daemon turning [`setlearn::DriftMonitor`]
 //!   retrain signals into retrain-and-publish cycles.
-//! * [`task`] — the [`ServeTask`] trait plus adapters for the cardinality,
-//!   index, and bloom serve paths (their [`setlearn::ServeGuard`] fallbacks
-//!   included).
+//! * [`task`] — the [`ServeTask`] trait plus the generic [`StructureTask`]
+//!   adapter over any `setlearn::tasks::LearnedSetStructure` (serve-guard
+//!   fallbacks included).
+//! * [`sharded`] — [`ShardedRuntime`]: one pool + hot-swap slot per shard,
+//!   fan-out tickets, rolling shard-by-shard swaps.
 //!
 //! Everything is std-only: threads, mutexes, condvars, atomics, channels.
 
@@ -39,6 +41,7 @@ pub mod hotswap;
 pub mod queue;
 pub mod refresh;
 pub mod runtime;
+pub mod sharded;
 pub mod task;
 pub(crate) mod telemetry;
 
@@ -47,7 +50,8 @@ pub use hotswap::{Cached, HotSwap};
 pub use queue::BoundedQueue;
 pub use refresh::{spawn_refresh, Rebuilt, RefreshConfig, RefreshHandle};
 pub use runtime::{ServeConfig, ServeReport, ServeRuntime, ServeStats, Ticket};
-pub use task::{BloomTask, CardinalityTask, IndexTask, ServeTask};
+pub use sharded::{Aggregator, FanoutTicket, ShardedReport, ShardedRuntime};
+pub use task::{BloomTask, CardinalityTask, IndexTask, ServeTask, StructureTask};
 pub use telemetry::BATCH_BOUNDS;
 
 /// Compile-time assertion that `T` is safe to share across serve workers.
@@ -65,13 +69,20 @@ const _: () = {
     assert_send_sync::<setlearn::tasks::LearnedCardinality>();
     assert_send_sync::<setlearn::tasks::LearnedSetIndex>();
     assert_send_sync::<setlearn::tasks::LearnedBloom>();
+    assert_send_sync::<setlearn::tasks::IndexStructure>();
+    assert_send_sync::<setlearn::tasks::ShardedCardinality>();
+    assert_send_sync::<setlearn::tasks::ShardedBloom>();
+    assert_send_sync::<setlearn::tasks::ShardIndexStructure>();
+    assert_send_sync::<setlearn::tasks::ShardedIndexStructure>();
     assert_send_sync::<setlearn::model::DeepSets>();
     assert_send_sync::<setlearn::ServeGuard>();
+    assert_send_sync::<setlearn::ShardedCollection>();
     assert_send_sync::<setlearn_data::SetCollection>();
     // The task adapters published through HotSwap.
     assert_send_sync::<CardinalityTask>();
     assert_send_sync::<IndexTask>();
     assert_send_sync::<BloomTask>();
+    assert_send_sync::<StructureTask<setlearn::tasks::ShardIndexStructure>>();
     // The runtime plumbing shared between submitters and workers.
     assert_send_sync::<HotSwap<CardinalityTask>>();
     assert_send_sync::<HotSwap<IndexTask>>();
@@ -81,6 +92,8 @@ const _: () = {
     assert_send_sync::<ServeRuntime<CardinalityTask>>();
     assert_send_sync::<ServeRuntime<IndexTask>>();
     assert_send_sync::<ServeRuntime<BloomTask>>();
+    assert_send_sync::<ShardedRuntime<CardinalityTask>>();
+    assert_send_sync::<ShardedRuntime<BloomTask>>();
     assert_send_sync::<ServeError>();
     // The monitor shared between serve observers and the refresh daemon.
     assert_send_sync::<std::sync::Mutex<setlearn::DriftMonitor>>();

@@ -254,12 +254,26 @@ impl<T: ServeTask> ServeRuntime<T> {
     /// refresh daemon (or test writer threads) can publish new models while
     /// the runtime serves.
     pub fn start_shared(model: Arc<HotSwap<T>>, config: ServeConfig) -> Self {
+        Self::start_inner(model, config, None)
+    }
+
+    /// [`ServeRuntime::start_shared`] for one shard of a sharded deployment:
+    /// every metric this runtime records carries a `shard` label alongside
+    /// the task label.
+    pub fn start_sharded(model: Arc<HotSwap<T>>, config: ServeConfig, shard: usize) -> Self {
+        Self::start_inner(model, config, Some(shard))
+    }
+
+    fn start_inner(model: Arc<HotSwap<T>>, config: ServeConfig, shard: Option<usize>) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid serve config: {e}");
         }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let stats = Arc::new(ServeStats::default());
-        let tele = Arc::new(RuntimeTele::new(T::NAME));
+        let tele = Arc::new(match shard {
+            Some(s) => RuntimeTele::sharded(T::NAME, s),
+            None => RuntimeTele::new(T::NAME),
+        });
         let workers = (0..config.threads)
             .map(|_| {
                 let queue = Arc::clone(&queue);

@@ -1,17 +1,22 @@
-//! The [`ServeTask`] abstraction and adapters for the three learned
-//! structures in `setlearn`.
+//! The [`ServeTask`] abstraction and the generic adapter over
+//! [`LearnedSetStructure`].
 //!
 //! A task is the unit the runtime hot-swaps and batches over: it consumes a
 //! slice of requests and answers all of them in one call, so the model's
 //! batched forward pass (one embedding gather + matmul for the whole batch)
-//! amortizes per-query overhead. Adapters reuse the serve paths in
-//! [`setlearn::tasks`] — including their [`setlearn::ServeGuard`] fallbacks,
-//! so a hot-swapped model gone bad degrades to the auxiliary structure
-//! instead of serving garbage.
+//! amortizes per-query overhead.
+//!
+//! Since the `LearnedSetStructure` redesign, the three per-task adapters
+//! (`CardinalityTask` / `IndexTask` / `BloomTask`) are one generic
+//! [`StructureTask`] instantiated per structure: every learned structure —
+//! sharded or not — serves through `query_batch`, and responses carry the
+//! shared [`QueryOutcome`] degradation flags (guard fallbacks, index bound
+//! misses) instead of a bare value.
 
-use setlearn::tasks::{LearnedBloom, LearnedCardinality, LearnedSetIndex};
-use setlearn_data::{ElementSet, SetCollection};
-use std::sync::Arc;
+use setlearn::tasks::{
+    IndexStructure, LearnedBloom, LearnedCardinality, LearnedSetStructure, QueryOutcome,
+};
+use setlearn_data::ElementSet;
 
 /// A batched, thread-shareable serving workload.
 ///
@@ -31,59 +36,44 @@ pub trait ServeTask: Send + Sync + 'static {
     fn serve_batch(&self, requests: &[Self::Request]) -> Vec<Self::Response>;
 }
 
-/// Cardinality estimation over canonical query sets
-/// ([`LearnedCardinality::estimate_batch`]).
+/// The one serve adapter: any [`LearnedSetStructure`] becomes a
+/// [`ServeTask`] answering canonical query sets with [`QueryOutcome`]s.
+/// Serve guards, outlier stores, and backup filters all ride inside the
+/// structure, so a hot-swapped model gone bad degrades instead of serving
+/// garbage — and the outcome's `fallback` flag says so.
 #[derive(Debug, Clone)]
-pub struct CardinalityTask {
-    /// The served estimator (outlier store, delta layer, and serve guard
-    /// included).
-    pub estimator: LearnedCardinality,
+pub struct StructureTask<S> {
+    /// The served structure (aggregate or single shard).
+    pub structure: S,
 }
 
-impl ServeTask for CardinalityTask {
-    type Request = ElementSet;
-    type Response = f64;
-    const NAME: &'static str = "cardinality";
-
-    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<f64> {
-        self.estimator.estimate_batch(requests)
+impl<S> StructureTask<S> {
+    /// Wraps a structure for serving.
+    pub fn new(structure: S) -> Self {
+        StructureTask { structure }
     }
 }
 
-/// Set-index position lookup ([`LearnedSetIndex::lookup_batch`]). The
-/// collection rides along in an `Arc` so hot-swapping the index does not
-/// copy the data.
-#[derive(Debug, Clone)]
-pub struct IndexTask {
-    /// The served index (auxiliary store and serve guard included).
-    pub index: LearnedSetIndex,
-    /// The collection positions refer to.
-    pub collection: Arc<SetCollection>,
-}
-
-impl ServeTask for IndexTask {
+impl<S> ServeTask for StructureTask<S>
+where
+    S: LearnedSetStructure + Send + Sync + 'static,
+    S::Output: Send + 'static,
+{
     type Request = ElementSet;
-    type Response = Option<usize>;
-    const NAME: &'static str = "index";
+    type Response = QueryOutcome<S::Output>;
+    const NAME: &'static str = S::NAME;
 
-    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<Option<usize>> {
-        self.index.lookup_batch(&self.collection, requests)
+    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<QueryOutcome<S::Output>> {
+        self.structure.query_batch(requests)
     }
 }
 
-/// Approximate membership ([`LearnedBloom::contains_many`]).
-#[derive(Debug, Clone)]
-pub struct BloomTask {
-    /// The served filter (backup filter and serve guard included).
-    pub filter: LearnedBloom,
-}
+/// Cardinality estimation over canonical query sets.
+pub type CardinalityTask = StructureTask<LearnedCardinality>;
 
-impl ServeTask for BloomTask {
-    type Request = ElementSet;
-    type Response = bool;
-    const NAME: &'static str = "bloom";
+/// Set-index position lookup. [`IndexStructure`] carries the collection in
+/// an `Arc`, so hot-swapping the index does not copy the data.
+pub type IndexTask = StructureTask<IndexStructure>;
 
-    fn serve_batch(&self, requests: &[ElementSet]) -> Vec<bool> {
-        self.filter.contains_many(requests)
-    }
-}
+/// Approximate membership.
+pub type BloomTask = StructureTask<LearnedBloom>;

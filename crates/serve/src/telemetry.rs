@@ -2,7 +2,8 @@
 //! [`setlearn_obs::MetricsRegistry`], resolved once per runtime and recorded
 //! through lock-free on the batch path.
 //!
-//! Metric families (all labeled `task="…"`):
+//! Metric families (all labeled `task="…"`; shards of a sharded runtime
+//! additionally carry `shard="…"`):
 //!
 //! - `setlearn_serve_queue_depth` — requests buffered right after each
 //!   batch was taken (gauge)
@@ -43,8 +44,19 @@ pub(crate) struct RuntimeTele {
 
 impl RuntimeTele {
     pub(crate) fn new(task: &'static str) -> Self {
+        Self::with_labels(task, &[("task", task)])
+    }
+
+    /// Handles for one shard of a sharded runtime: every family gains a
+    /// `shard` label so per-shard queue depth, latency, and swap counters
+    /// stay distinguishable in the exposition.
+    pub(crate) fn sharded(task: &'static str, shard: usize) -> Self {
+        let shard = shard.to_string();
+        Self::with_labels(task, &[("task", task), ("shard", &shard)])
+    }
+
+    fn with_labels(task: &'static str, l: &[(&str, &str)]) -> Self {
         let m = setlearn_obs::metrics();
-        let l = &[("task", task)];
         RuntimeTele {
             task,
             queue_depth: m.gauge_with("setlearn_serve_queue_depth", l),

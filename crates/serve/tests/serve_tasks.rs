@@ -5,8 +5,8 @@
 use setlearn::hybrid::GuidedConfig;
 use setlearn::model::DeepSetsConfig;
 use setlearn::tasks::{
-    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
-    LearnedSetIndex,
+    BloomConfig, CardinalityConfig, IndexConfig, IndexStructure, LearnedBloom,
+    LearnedCardinality, LearnedSetIndex,
 };
 use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_serve::{
@@ -56,12 +56,12 @@ fn cardinality_through_the_runtime_matches_direct_serving() {
     let qs = queries(&collection, 200);
     let expected = estimator.estimate_batch(&qs);
 
-    let runtime = ServeRuntime::start(CardinalityTask { estimator }, serve_config());
+    let runtime = ServeRuntime::start(CardinalityTask::new(estimator), serve_config());
     let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
     for (ticket, want) in tickets.into_iter().zip(expected) {
         let got = ticket.wait().unwrap();
-        assert!(got.is_finite());
-        assert_eq!(got, want, "runtime answer diverged from direct estimate_batch");
+        assert!(got.value.is_finite());
+        assert_eq!(got.value, want, "runtime answer diverged from direct estimate_batch");
     }
     let report = runtime.shutdown();
     assert_eq!(report.completed, qs.len() as u64);
@@ -83,12 +83,12 @@ fn index_through_the_runtime_matches_direct_serving() {
     let expected = index.lookup_batch(&collection, &qs);
 
     let runtime = ServeRuntime::start(
-        IndexTask { index, collection: Arc::clone(&collection) },
+        IndexTask::new(IndexStructure { index, collection: Arc::clone(&collection) }),
         serve_config(),
     );
     let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
     for (ticket, want) in tickets.into_iter().zip(expected) {
-        assert_eq!(ticket.wait().unwrap(), want);
+        assert_eq!(ticket.wait().unwrap().value, want);
     }
     let report = runtime.shutdown();
     assert_eq!(report.completed, qs.len() as u64);
@@ -103,10 +103,10 @@ fn bloom_through_the_runtime_matches_direct_serving() {
     let qs = queries(&collection, 150);
     let expected = filter.contains_many(&qs);
 
-    let runtime = ServeRuntime::start(BloomTask { filter }, serve_config());
+    let runtime = ServeRuntime::start(BloomTask::new(filter), serve_config());
     let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
     for (ticket, want) in tickets.into_iter().zip(expected) {
-        assert_eq!(ticket.wait().unwrap(), want);
+        assert_eq!(ticket.wait().unwrap().value, want);
     }
     let report = runtime.shutdown();
     assert_eq!(report.completed, qs.len() as u64);
@@ -131,17 +131,17 @@ fn cardinality_hot_swap_never_blends_models() {
     let from_second = second.estimate_batch(&qs);
 
     let runtime = ServeRuntime::start(
-        CardinalityTask { estimator: first },
+        CardinalityTask::new(first),
         ServeConfig { threads: 2, max_batch: 4, ..serve_config() },
     );
     // Interleave submissions with the swap.
     let before: Vec<_> = qs.iter().take(30).map(|q| runtime.submit(q.clone()).unwrap()).collect();
-    runtime.swap(CardinalityTask { estimator: second });
+    runtime.swap(CardinalityTask::new(second));
     let after: Vec<_> =
         qs.iter().skip(30).map(|q| runtime.submit(q.clone()).unwrap()).collect();
 
     for (i, ticket) in before.into_iter().chain(after).enumerate() {
-        let got = ticket.wait().unwrap();
+        let got = ticket.wait().unwrap().value;
         assert!(
             got == from_first[i] || got == from_second[i],
             "query {i}: answer {got} matches neither model ({} / {})",
