@@ -2,22 +2,21 @@
 
 use crate::args::{ArgError, Args};
 use crate::telemetry;
-use setlearn::hybrid::GuidedConfig;
-use setlearn::model::DeepSetsConfig;
-use setlearn::monitor::{DriftMonitor, MonitorConfig};
-use setlearn::tasks::{
+use setlearn::prelude::{
     aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig, CardinalityConfig,
-    IndexConfig, IndexStructure, LearnedBloom, LearnedCardinality, LearnedSetIndex,
-    LearnedSetStructure, QueryOutcome, ShardIndexStructure, ShardedBloom, ShardedCardinality,
-    ShardedIndex, ShardedIndexStructure,
+    DeepSetsConfig, DriftMonitor, FallbackReason, GuidedConfig, IndexConfig, IndexStructure,
+    LearnedBloom, LearnedCardinality, LearnedSetIndex, LearnedSetStructure, MonitorConfig,
+    QueryOutcome, QueryRequest, QueryValue, ShardBy, ShardIndexStructure,
+    ShardSpec, ShardedBloom, ShardedCardinality, ShardedCollection, ShardedIndex,
+    ShardedIndexStructure, WireTask,
 };
-use setlearn::{ShardBy, ShardSpec, ShardedCollection};
-use setlearn_data::{normalize, ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
+use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
 use setlearn_obs::RegistrySnapshot;
 use setlearn_serve::{
-    BloomTask, CardinalityTask, IndexTask, ServeConfig, ServeError, ServeReport, ServeRuntime,
-    ServeTask, ShardedReport, ShardedRuntime, StructureTask,
+    BloomTask, CardinalityTask, IndexTask, NetClient, NetConfig, NetServer, ServeConfig,
+    ServeError, ServeReport, ServeRuntime, ServeTask, ShardedReport, ShardedRuntime,
+    StructureTask, WireBackend, WireOutcome,
 };
 use std::sync::Arc;
 
@@ -428,53 +427,98 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `setlearn estimate --model FILE --query 1,2,3 [--telemetry PATH]`
-pub fn estimate(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["model", "query", "telemetry"])?;
-    let sink = telemetry::begin(args)?;
-    let est: LearnedCardinality = load(args.required("model")?)?;
-    let q = normalize(args.id_list("query")?);
-    println!("{:.1}", est.estimate(&q));
-    if let Some(sink) = sink {
-        sink.finish()?;
-    }
-    Ok(())
-}
-
-/// `setlearn lookup --model FILE --collection FILE --query 1,2,3 [--telemetry PATH]`
-pub fn lookup(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["model", "collection", "query", "telemetry"])?;
-    let sink = telemetry::begin(args)?;
-    let index: LearnedSetIndex = load(args.required("model")?)?;
-    let collection = load_collection(args.required("collection")?)?;
-    let q = normalize(args.id_list("query")?);
-    let profile = index.lookup_profiled(&collection, &q);
-    match profile.position {
-        Some(pos) => println!(
-            "position {pos} (scanned {} sets, aux: {})",
-            profile.scanned, profile.from_aux
-        ),
-        None => println!("not found (scanned {} sets)", profile.scanned),
-    }
-    if let Some(sink) = sink {
-        sink.finish()?;
-    }
-    Ok(())
-}
-
-/// `setlearn member --model FILE --query 1,2,3 [--telemetry PATH]`
-pub fn member(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["model", "query", "telemetry"])?;
-    let sink = telemetry::begin(args)?;
-    let filter: LearnedBloom = load(args.required("model")?)?;
-    let q = normalize(args.id_list("query")?);
-    println!(
-        "{} (score {:.4})",
-        if filter.contains(&q) { "present" } else { "absent" },
-        filter.score(&q)
+/// Dispatches a deprecated verb (`estimate`/`lookup`/`member`) to its
+/// `query --task …` replacement, with a one-line note on stderr. The old
+/// verbs stay callable (scripts keep working) but are hidden from `help`.
+fn deprecated_alias(args: &Args, task: &str) -> Result<(), CliError> {
+    eprintln!(
+        "note: `{}` is deprecated; use `setlearn query --task {task} --model FILE --query IDS`",
+        args.command
     );
-    if let Some(sink) = sink {
-        sink.finish()?;
+    query(&args.alias("query", &[("task", task)]))
+}
+
+/// Renders an outcome's degradation flags (guard fallback, bound miss) as a
+/// bracketed suffix, or nothing when the answer is clean.
+fn degradation_notes(fallback: &Option<FallbackReason>, bound_miss: bool) -> String {
+    let mut notes = Vec::new();
+    if let Some(reason) = fallback {
+        notes.push(format!("guard fallback: {reason:?}"));
+    }
+    if bound_miss {
+        notes.push("bound miss".to_string());
+    }
+    if notes.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", notes.join(", "))
+    }
+}
+
+/// The ad-hoc mode of `query`: `--query 1,2,3` answers one query through
+/// the same [`LearnedSetStructure`] API as workload replay and prints the
+/// typed outcome with its degradation flags. Subsumes the deprecated
+/// `estimate`/`lookup`/`member` verbs.
+fn query_adhoc(args: &Args, task: &str) -> Result<(), CliError> {
+    let model_path = args.required("model")?;
+    let q = QueryRequest::new(args.id_list("query")?).canonicalize();
+    let spec = shard_spec_from_args(args)?;
+    match task {
+        "cardinality" => {
+            let outcome = match spec {
+                None => load::<LearnedCardinality>(model_path)?.query(&q),
+                Some(spec) => {
+                    let est: ShardedCardinality = load(model_path)?;
+                    check_shard_spec(est.spec(), spec)?;
+                    est.query(&q)
+                }
+            };
+            println!(
+                "cardinality: {:.1}{}",
+                outcome.value,
+                degradation_notes(&outcome.fallback, outcome.bound_miss)
+            );
+        }
+        "index" => {
+            let collection = Arc::new(load_collection(args.required("collection")?)?);
+            let outcome = match spec {
+                None => {
+                    let index: LearnedSetIndex = load(model_path)?;
+                    IndexStructure { index, collection: Arc::clone(&collection) }.query(&q)
+                }
+                Some(spec) => {
+                    let index: ShardedIndex = load(model_path)?;
+                    check_shard_spec(index.spec(), spec)?;
+                    let sharded = ShardedCollection::partition(&collection, spec)?;
+                    ShardedIndexStructure::new(index, &sharded).query(&q)
+                }
+            };
+            let notes = degradation_notes(&outcome.fallback, outcome.bound_miss);
+            match outcome.value {
+                Some(pos) => println!("position: {pos}{notes}"),
+                None => println!("not found{notes}"),
+            }
+        }
+        "bloom" => {
+            let outcome = match spec {
+                None => load::<LearnedBloom>(model_path)?.query(&q),
+                Some(spec) => {
+                    let filter: ShardedBloom = load(model_path)?;
+                    check_shard_spec(filter.spec(), spec)?;
+                    filter.query(&q)
+                }
+            };
+            println!(
+                "{}{}",
+                if outcome.value { "present" } else { "absent" },
+                degradation_notes(&outcome.fallback, outcome.bound_miss)
+            );
+        }
+        other => {
+            return Err(
+                ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
+            )
+        }
     }
     Ok(())
 }
@@ -495,8 +539,12 @@ fn run_structure<S: LearnedSetStructure>(
 }
 
 /// `setlearn query --task cardinality|index|bloom --model FILE --collection FILE
-///  [--limit N] [--max-subset K] [--threads N] [--shards N]
+///  [--query 1,2,3] [--limit N] [--max-subset K] [--threads N] [--shards N]
 ///  [--shard-by hash|range] [--telemetry PATH]`
+///
+/// With `--query IDS` a single ad-hoc query is answered instead of a
+/// replayed workload (see [`query_adhoc`]); `--collection` is then only
+/// needed for the index task.
 ///
 /// Replays a workload of subset queries enumerated from the collection
 /// against a trained model through the unified [`LearnedSetStructure`] query
@@ -511,11 +559,18 @@ fn run_structure<S: LearnedSetStructure>(
 /// trained with the same spec and fans each query out across shards.
 pub fn query(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "task", "model", "collection", "limit", "max-subset", "threads", "shards", "shard-by",
-        "telemetry",
+        "task", "model", "collection", "query", "limit", "max-subset", "threads", "shards",
+        "shard-by", "telemetry",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
+    if args.optional("query").is_some() {
+        query_adhoc(args, &task)?;
+        if let Some(sink) = sink {
+            sink.finish()?;
+        }
+        return Ok(());
+    }
     let model_path = args.required("model")?;
     let collection = Arc::new(load_collection(args.required("collection")?)?);
     let limit = args.get_or("limit", 500usize)?;
@@ -711,10 +766,179 @@ where
     Ok((report, answered, qps))
 }
 
+/// Binds the `SLP1` TCP front-end on `addr`, prints (and optionally writes
+/// to `addr_file`) the bound address — so scripts can recover the ephemeral
+/// port behind `--listen 127.0.0.1:0` — then serves until the window
+/// elapses or a remote shutdown frame arrives. Drain order is the contract
+/// from [`NetServer::shutdown`]: the listener closes first and every
+/// accepted frame is answered, then the backend runtime is drained.
+fn listen_and_drain<B, R>(
+    backend: Arc<B>,
+    args: &Args,
+    drain: impl FnOnce(B) -> R,
+) -> Result<R, CliError>
+where
+    B: WireBackend + 'static,
+{
+    let addr = args.required("listen")?;
+    let net = NetConfig {
+        allow_remote_shutdown: args.has_flag("allow-remote-shutdown"),
+        ..NetConfig::default()
+    };
+    let serve_for_s = args.get_or("serve-for-s", 0.0f64)?;
+    let server = NetServer::bind(addr, Arc::clone(&backend) as Arc<dyn WireBackend>, net)
+        .map_err(with_path("listen on", addr))?;
+    println!("listening on {}", server.local_addr());
+    if let Some(path) = args.optional("addr-file") {
+        std::fs::write(path, server.local_addr().to_string())
+            .map_err(with_path("write", path))?;
+    }
+    let deadline = (serve_for_s > 0.0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_secs_f64(serve_for_s));
+    loop {
+        if server.is_shutting_down() {
+            println!("remote shutdown requested; draining");
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            println!("serve window elapsed; draining");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.shutdown();
+    // The front-end joined all its threads, so this is the last reference.
+    let backend = Arc::try_unwrap(backend)
+        .map_err(|_| "front-end handlers still hold the runtime after shutdown")?;
+    Ok(drain(backend))
+}
+
+/// `setlearn serve --listen HOST:PORT …` — the TCP front-end over the same
+/// runtimes the replay path uses. Remote clients reach the bounded queue,
+/// adaptive micro-batching, and typed shedding through the `SLP1` protocol;
+/// the serve loop runs until `--serve-for-s` elapses or (with
+/// `--allow-remote-shutdown`) a client requests a drain.
+fn serve_listen(
+    args: &Args,
+    task: &str,
+    model_path: &str,
+    cfg: ServeConfig,
+    spec: Option<ShardSpec>,
+) -> Result<(), CliError> {
+    match task {
+        "cardinality" => match spec {
+            None => {
+                let est: LearnedCardinality = load(model_path)?;
+                let report = listen_and_drain(
+                    Arc::new(ServeRuntime::start(CardinalityTask::new(est), cfg)),
+                    args,
+                    |rt| rt.shutdown(),
+                )?;
+                print_drained(&report);
+            }
+            Some(spec) => {
+                let est: ShardedCardinality = load(model_path)?;
+                check_shard_spec(est.spec(), spec)?;
+                let tasks: Vec<CardinalityTask> =
+                    est.into_shards().into_iter().map(CardinalityTask::new).collect();
+                let report = listen_and_drain(
+                    Arc::new(ShardedRuntime::start(tasks, cfg, aggregate_cardinality)),
+                    args,
+                    |rt| rt.shutdown(),
+                )?;
+                print_drained_sharded(&report);
+            }
+        },
+        "index" => {
+            let collection = Arc::new(load_collection(args.required("collection")?)?);
+            match spec {
+                None => {
+                    let index: LearnedSetIndex = load(model_path)?;
+                    let structure = IndexStructure { index, collection };
+                    let report = listen_and_drain(
+                        Arc::new(ServeRuntime::start(IndexTask::new(structure), cfg)),
+                        args,
+                        |rt| rt.shutdown(),
+                    )?;
+                    print_drained(&report);
+                }
+                Some(spec) => {
+                    let index: ShardedIndex = load(model_path)?;
+                    check_shard_spec(index.spec(), spec)?;
+                    let sharded = ShardedCollection::partition(&collection, spec)?;
+                    let structure = ShardedIndexStructure::new(index, &sharded);
+                    let target = structure.target();
+                    let tasks: Vec<StructureTask<ShardIndexStructure>> = structure
+                        .shard_structures()
+                        .iter()
+                        .cloned()
+                        .map(StructureTask::new)
+                        .collect();
+                    let report = listen_and_drain(
+                        Arc::new(ShardedRuntime::start(tasks, cfg, move |parts| {
+                            aggregate_index(target, parts)
+                        })),
+                        args,
+                        |rt| rt.shutdown(),
+                    )?;
+                    print_drained_sharded(&report);
+                }
+            }
+        }
+        "bloom" => match spec {
+            None => {
+                let filter: LearnedBloom = load(model_path)?;
+                let report = listen_and_drain(
+                    Arc::new(ServeRuntime::start(BloomTask::new(filter), cfg)),
+                    args,
+                    |rt| rt.shutdown(),
+                )?;
+                print_drained(&report);
+            }
+            Some(spec) => {
+                let filter: ShardedBloom = load(model_path)?;
+                check_shard_spec(filter.spec(), spec)?;
+                let tasks: Vec<BloomTask> =
+                    filter.into_shards().into_iter().map(BloomTask::new).collect();
+                let report = listen_and_drain(
+                    Arc::new(ShardedRuntime::start(tasks, cfg, aggregate_bloom)),
+                    args,
+                    |rt| rt.shutdown(),
+                )?;
+                print_drained_sharded(&report);
+            }
+        },
+        other => {
+            return Err(
+                ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
+            )
+        }
+    }
+    Ok(())
+}
+
+fn print_drained(report: &ServeReport) {
+    println!(
+        "drained: {} requests completed in {} batches, {} shed at admission, {} panicked batches",
+        report.completed, report.batches, report.shed, report.panicked_batches
+    );
+}
+
+fn print_drained_sharded(report: &ShardedReport) {
+    println!(
+        "drained: {} sub-requests completed across {} shards, {} shed at admission, {} panicked batches",
+        report.completed(),
+        report.per_shard.len(),
+        report.shed(),
+        report.panicked_batches()
+    );
+}
+
 /// `setlearn serve --task cardinality|index|bloom --model FILE --collection FILE
 ///  [--requests N] [--threads N] [--max-batch N] [--max-delay-us U] [--queue N]
 ///  [--target-qps Q] [--max-subset K] [--shards N] [--shard-by hash|range]
-///  [--telemetry PATH]`
+///  [--listen HOST:PORT] [--serve-for-s S] [--addr-file PATH]
+///  [--allow-remote-shutdown] [--telemetry PATH]`
 ///
 /// Loads a trained model, enumerates a subset-query workload from the
 /// collection (cycled up to `--requests`), and replays it through the
@@ -731,12 +955,12 @@ where
 pub fn serve(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "model", "collection", "requests", "threads", "max-batch", "max-delay-us",
-        "queue", "target-qps", "max-subset", "shards", "shard-by", "telemetry",
+        "queue", "target-qps", "max-subset", "shards", "shard-by", "telemetry", "listen",
+        "serve-for-s", "addr-file", "allow-remote-shutdown",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
     let model_path = args.required("model")?;
-    let collection = Arc::new(load_collection(args.required("collection")?)?);
     let cfg = ServeConfig {
         threads: args.get_or("threads", 2usize)?,
         max_batch: args.get_or("max-batch", 64usize)?,
@@ -749,6 +973,15 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let max_subset = args.get_or("max-subset", 2usize)?;
     let spec = shard_spec_from_args(args)?;
 
+    if args.optional("listen").is_some() {
+        serve_listen(args, &task, model_path, cfg, spec)?;
+        if let Some(sink) = sink {
+            sink.finish()?;
+        }
+        return Ok(());
+    }
+
+    let collection = Arc::new(load_collection(args.required("collection")?)?);
     let pool: Vec<ElementSet> =
         SubsetIndex::build(&collection, max_subset).iter().map(|(s, _)| s.clone()).collect();
     if pool.is_empty() {
@@ -854,6 +1087,85 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Prints one wire outcome: the typed value with its degradation flags, or
+/// the remote error code (shed, panic, worker lost — distinguishable
+/// client-side).
+fn print_wire_outcome(elements: &[u32], outcome: &WireOutcome) {
+    let ids = elements.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    match outcome {
+        Ok(response) => {
+            let notes = degradation_notes(&response.fallback, response.bound_miss);
+            match response.value {
+                QueryValue::Cardinality(v) => println!("{{{ids}}} -> cardinality {v:.1}{notes}"),
+                QueryValue::Position(Some(p)) => println!("{{{ids}}} -> position {p}{notes}"),
+                QueryValue::Position(None) => println!("{{{ids}}} -> not found{notes}"),
+                QueryValue::Membership(true) => println!("{{{ids}}} -> present{notes}"),
+                QueryValue::Membership(false) => println!("{{{ids}}} -> absent{notes}"),
+            }
+        }
+        Err(code) => println!("{{{ids}}} -> error {}: {code}", code.code()),
+    }
+}
+
+/// `setlearn client --addr HOST:PORT [--task cardinality|index|bloom]
+///  [--query 1,2,3] [--batch "1,2;3,4"] [--ping] [--shutdown]`
+///
+/// Reference client for the `SLP1` wire protocol: connects to a
+/// `serve --listen` front-end and, in order, pings, sends the ad-hoc
+/// `--query` and/or the semicolon-separated `--batch`, and (with
+/// `--shutdown`) asks the server to drain. Per-query failures come back as
+/// typed error codes, not stringified I/O errors.
+pub fn client(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["addr", "task", "query", "batch", "ping", "shutdown"])?;
+    let addr = args.required("addr")?;
+    let mut client = NetClient::connect(addr).map_err(with_path("connect to", addr))?;
+    let mut acted = false;
+    if args.has_flag("ping") {
+        client.ping().map_err(|e| format!("ping failed: {e}"))?;
+        println!("pong from {addr}");
+        acted = true;
+    }
+    let mut batches: Vec<Vec<QueryRequest>> = Vec::new();
+    if args.optional("query").is_some() {
+        batches.push(vec![QueryRequest::new(args.id_list("query")?)]);
+    }
+    if let Some(raw) = args.optional("batch") {
+        let batch = raw
+            .split(';')
+            .map(|part| {
+                part.split(',')
+                    .map(|t| t.trim().parse::<u32>())
+                    .collect::<Result<Vec<u32>, _>>()
+                    .map(QueryRequest::new)
+                    .map_err(|_| ArgError(format!("invalid id list '{part}' in --batch")))
+            })
+            .collect::<Result<Vec<QueryRequest>, ArgError>>()?;
+        batches.push(batch);
+    }
+    if !batches.is_empty() {
+        let task: WireTask = args.required("task")?.parse().map_err(ArgError)?;
+        for batch in batches {
+            let outcomes =
+                client.query_batch(task, &batch).map_err(|e| format!("query failed: {e}"))?;
+            for (request, outcome) in batch.iter().zip(&outcomes) {
+                print_wire_outcome(&request.elements, outcome);
+            }
+        }
+        acted = true;
+    }
+    if args.has_flag("shutdown") {
+        client.shutdown_server().map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("server draining");
+        acted = true;
+    }
+    if !acted {
+        return Err(
+            ArgError("nothing to do: pass --ping, --query, --batch, or --shutdown".into()).into()
+        );
+    }
+    Ok(())
+}
+
 /// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]`
 pub fn sql(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["collection", "query", "model"])?;
@@ -899,16 +1211,18 @@ COMMANDS:
             [--compressed] [--epochs N] [--percentile P] [--neurons N]
             [--embedding D] [--max-subset K] [--lr F] [--batch N]
             [--shards N] [--shard-by hash|range] [--telemetry PATH]
-  query     --task cardinality|index|bloom --model FILE --collection FILE
-            [--limit N] [--max-subset K] [--threads N] [--shards N]
-            [--shard-by hash|range] [--telemetry PATH]
+  query     --task cardinality|index|bloom --model FILE
+            (--query 1,2,3 | --collection FILE [--limit N] [--max-subset K]
+            [--threads N]) [--shards N] [--shard-by hash|range]
+            [--telemetry PATH]
   serve     --task cardinality|index|bloom --model FILE --collection FILE
             [--requests N] [--threads N] [--max-batch N] [--max-delay-us U]
             [--queue N] [--target-qps Q] [--max-subset K] [--shards N]
             [--shard-by hash|range] [--telemetry PATH]
-  estimate  --model FILE --query 1,2,3 [--telemetry PATH]
-  lookup    --model FILE --collection FILE --query 1,2,3 [--telemetry PATH]
-  member    --model FILE --query 1,2,3 [--telemetry PATH]
+            | --listen HOST:PORT [--serve-for-s S] [--addr-file PATH]
+            [--allow-remote-shutdown]     (SLP1 TCP front-end; port 0 works)
+  client    --addr HOST:PORT [--task cardinality|index|bloom]
+            [--query 1,2,3] [--batch \"1,2;3,4\"] [--ping] [--shutdown]
   sql       --collection FILE --query \"SELECT COUNT(*) FROM t WHERE tags @> {{1,2}} [USING mode]\"
             [--model FILE]
   help
@@ -920,7 +1234,12 @@ runs against the same PATH accumulate into one artifact.
 Passing --shards N partitions the collection (hash by default, range with
 --shard-by range), trains one model per shard, and serves every query by
 fanning it out across per-shard worker pools; query and serve must be given
-the same --shards/--shard-by used at training time."
+the same --shards/--shard-by used at training time.
+
+`serve --listen` exposes the runtime over TCP (length-prefixed, CRC-checked
+SLP1 frames; `client` is the reference client). The deprecated verbs
+estimate/lookup/member still run as aliases of `query --task
+cardinality|index|bloom --query IDS`."
     );
 }
 
@@ -935,9 +1254,12 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "train" => train(args),
         "query" => query(args),
         "serve" => serve(args),
-        "estimate" => estimate(args),
-        "lookup" => lookup(args),
-        "member" => member(args),
+        "client" => client(args),
+        // Deprecated verbs: hidden aliases of `query --task …` (see
+        // [`deprecated_alias`]); kept so existing scripts don't break.
+        "estimate" => deprecated_alias(args, "cardinality"),
+        "lookup" => deprecated_alias(args, "index"),
+        "member" => deprecated_alias(args, "bloom"),
         "sql" => sql(args),
         "help" | "--help" | "-h" => {
             help();
@@ -1126,6 +1448,9 @@ mod tests {
         }
     }
 
+    // The superseded per-task batch verbs must keep answering identically
+    // to the unified structure API while they live out their deprecation.
+    #[allow(deprecated)]
     #[test]
     fn query_threads_serves_the_parallel_path_with_identical_answers() {
         let coll = tmp("par.json");
@@ -1269,6 +1594,54 @@ mod tests {
 
         for f in [coll, model, format!("{base}.prom"), format!("{base}.metrics.json"),
                   format!("{base}.jsonl")] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn serve_listen_answers_the_cli_client() {
+        let coll = tmp("net.json");
+        let model = tmp("net-model.json");
+        let addr_file = tmp("net-addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "150", "--seed", "8", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "2", "--refine-epochs", "1", "--max-subset", "2",
+        ]))
+        .unwrap();
+        // The serve loop runs until the client requests a drain.
+        let (model2, addr_file2) = (model.clone(), addr_file.clone());
+        let server = std::thread::spawn(move || {
+            run(&args(&[
+                "serve", "--task", "cardinality", "--model", &model2,
+                "--listen", "127.0.0.1:0", "--addr-file", &addr_file2,
+                "--allow-remote-shutdown",
+            ]))
+            // `CliError` is not `Send`; carry the message across the join.
+            .map_err(|e| e.to_string())
+        });
+        // The ephemeral port is published through --addr-file.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(s) if !s.is_empty() => break s,
+                _ if std::time::Instant::now() > deadline || server.is_finished() => {
+                    panic!("server never published its address")
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        };
+        run(&args(&[
+            "client", "--addr", &addr, "--task", "cardinality",
+            "--ping", "--query", "1,2", "--batch", "1;2,3", "--shutdown",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        for f in [&coll, &model, &addr_file] {
             let _ = std::fs::remove_file(f);
         }
     }

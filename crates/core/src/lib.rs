@@ -53,6 +53,32 @@ pub mod settransformer;
 pub mod shard;
 pub mod tasks;
 pub(crate) mod telemetry;
+pub mod wire;
+
+/// Everything a downstream caller of the unified query API needs, in one
+/// import.
+///
+/// Historically downstream crates (the CLI, benches, the serving adapters)
+/// deep-imported `tasks::*` paths; the prelude replaces that with a single
+/// surface that is guaranteed to stay importable as modules shuffle:
+///
+/// ```
+/// use setlearn::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
+    pub use crate::model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
+    pub use crate::monitor::{DriftMonitor, MonitorConfig, MonitorSnapshot, RetrainReason};
+    pub use crate::shard::{ShardBy, ShardError, ShardRouter, ShardSpec, ShardedCollection};
+    pub use crate::tasks::{
+        aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig,
+        CardinalityConfig, IndexConfig, IndexStructure, LearnedBloom, LearnedCardinality,
+        LearnedSetIndex, LearnedSetStructure, PositionTarget, QueryOutcome,
+        ShardIndexStructure, ShardedBloom, ShardedCardinality, ShardedIndex,
+        ShardedIndexStructure,
+    };
+    pub use crate::wire::{QueryRequest, QueryResponse, QueryValue, WireTask};
+}
 
 pub use compress::CompressionSpec;
 pub use hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
@@ -64,6 +90,7 @@ pub use tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
     LearnedSetIndex, LearnedSetStructure, QueryOutcome,
 };
+pub use wire::{QueryRequest, QueryResponse, QueryValue, WireTask};
 // Task build reports embed the training harness report; re-export its types so
 // downstream crates can consume them without depending on `setlearn-nn`.
 pub use setlearn_nn::{StopReason, TrainPolicy, TrainReport};

@@ -226,6 +226,12 @@ impl LearnedBloom {
     /// direction): answers every query in one batched forward pass through
     /// the shared model, then rescues per-query false negatives from the
     /// backup filter.
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by the unified query API: use \
+                LearnedSetStructure::query_batch (values are identical, plus \
+                degradation flags)"
+    )]
     pub fn contains_many<S: AsRef<[u32]>>(&self, queries: &[S]) -> Vec<bool> {
         if queries.is_empty() {
             return Vec::new();
@@ -238,6 +244,11 @@ impl LearnedBloom {
     /// `threads` scoped workers (mirroring
     /// [`LearnedCardinality::estimate_batch_parallel`][crate::tasks::LearnedCardinality::estimate_batch_parallel]).
     /// Answers are bit-for-bit equal to the sequential batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by the unified query API: use \
+                LearnedSetStructure::query_batch_parallel"
+    )]
     pub fn contains_many_parallel<S: AsRef<[u32]> + Sync>(
         &self,
         queries: &[S],
@@ -394,6 +405,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated per-task verbs on purpose: the unified
+    // query API must stay bit-equal to them until they are removed.
+    #[allow(deprecated)]
     fn nan_model_degrades_to_backup_filter_and_counts_fallbacks() {
         let c = GeneratorConfig::rw(300, 31).generate();
         let workload = membership_queries(&c, 200, 200, 4, 3);
@@ -426,6 +440,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated per-task verbs on purpose: the unified
+    // query API must stay bit-equal to them until they are removed.
+    #[allow(deprecated)]
     fn parallel_batch_membership_equals_sequential() {
         let c = GeneratorConfig::rw(300, 7).generate();
         let workload = membership_queries(&c, 200, 200, 4, 5);

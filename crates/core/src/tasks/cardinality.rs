@@ -209,6 +209,12 @@ impl LearnedCardinality {
     /// Batched estimation: one forward pass through the model for all
     /// queries, with outlier-store and delta-layer corrections applied per
     /// query. Equivalent to mapping [`LearnedCardinality::estimate`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by the unified query API: use \
+                LearnedSetStructure::query_batch (values are identical, plus \
+                degradation flags)"
+    )]
     pub fn estimate_batch<S: AsRef<[u32]>>(&self, queries: &[S]) -> Vec<f64> {
         if queries.is_empty() {
             return Vec::new();
@@ -222,6 +228,11 @@ impl LearnedCardinality {
     /// ([`DeepSets::predict_batch_parallel`]). The outlier-store and
     /// delta-layer corrections are applied identically, so the answers are
     /// bit-for-bit equal to the sequential batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by the unified query API: use \
+                LearnedSetStructure::query_batch_parallel"
+    )]
     pub fn estimate_batch_parallel<S: AsRef<[u32]> + Sync>(
         &self,
         queries: &[S],
@@ -371,6 +382,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated per-task verbs on purpose: the unified
+    // query API must stay bit-equal to them until they are removed.
+    #[allow(deprecated)]
     fn parallel_batch_estimates_equal_sequential() {
         let collection = GeneratorConfig::sd(300, 7).generate();
         let (est, _) = LearnedCardinality::build(

@@ -307,6 +307,11 @@ impl LearnedSetIndex {
     /// Batched lookup: one model forward pass for all queries, followed by
     /// per-query bounded scans. Equivalent to mapping
     /// [`LearnedSetIndex::lookup`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by the unified query API: bind the collection with \
+                IndexStructure and use LearnedSetStructure::query_batch"
+    )]
     pub fn lookup_batch<S: AsRef<[u32]>>(
         &self,
         collection: &SetCollection,
@@ -334,6 +339,11 @@ impl LearnedSetIndex {
     /// The scans stay sequential — they are bounded and cheap next to the
     /// forward pass — so answers are bit-for-bit equal to the sequential
     /// batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "superseded by the unified query API: bind the collection with \
+                IndexStructure and use LearnedSetStructure::query_batch_parallel"
+    )]
     pub fn lookup_batch_parallel<S: AsRef<[u32]> + Sync>(
         &self,
         collection: &SetCollection,
@@ -570,6 +580,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated per-task verbs on purpose: the unified
+    // query API must stay bit-equal to them until they are removed.
+    #[allow(deprecated)]
     fn nan_model_lookups_stay_correct_via_full_scan_fallback() {
         let collection = GeneratorConfig::rw(150, 21).generate();
         let (mut index, _) = LearnedSetIndex::build(
@@ -608,6 +621,9 @@ mod tests {
     }
 
     #[test]
+    // Exercises the deprecated per-task verbs on purpose: the unified
+    // query API must stay bit-equal to them until they are removed.
+    #[allow(deprecated)]
     fn parallel_batch_lookups_equal_sequential() {
         let collection = GeneratorConfig::rw(300, 21).generate();
         let (index, _) = LearnedSetIndex::build(

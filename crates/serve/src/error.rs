@@ -32,6 +32,54 @@ impl ServeError {
             ServeError::TaskPanicked => "task_panicked",
         }
     }
+
+    /// Stable one-byte wire code, so remote clients can distinguish shed
+    /// from panic from worker-lost without parsing strings. Codes 1–15 are
+    /// reserved for serve errors; the `SLP1` protocol layer uses 16+ for its
+    /// own errors.
+    pub fn code(self) -> u8 {
+        match self {
+            ServeError::Overloaded => 1,
+            ServeError::ShuttingDown => 2,
+            ServeError::WorkerLost => 3,
+            ServeError::TaskPanicked => 4,
+        }
+    }
+
+    /// Decodes a wire code written by [`ServeError::code`].
+    pub fn from_code(code: u8) -> Option<ServeError> {
+        match code {
+            1 => Some(ServeError::Overloaded),
+            2 => Some(ServeError::ShuttingDown),
+            3 => Some(ServeError::WorkerLost),
+            4 => Some(ServeError::TaskPanicked),
+            _ => None,
+        }
+    }
+
+    /// The closest [`std::io::ErrorKind`]; used by
+    /// the `From<ServeError> for std::io::Error` conversion so callers that
+    /// must speak `io::Error` keep a machine-checkable kind instead of a
+    /// stringified message.
+    pub fn io_kind(self) -> std::io::ErrorKind {
+        match self {
+            // A shed request should be retried (with backoff) — the closest
+            // stable kind is WouldBlock: "try again later".
+            ServeError::Overloaded => std::io::ErrorKind::WouldBlock,
+            ServeError::ShuttingDown => std::io::ErrorKind::ConnectionAborted,
+            ServeError::WorkerLost => std::io::ErrorKind::BrokenPipe,
+            ServeError::TaskPanicked => std::io::ErrorKind::Other,
+        }
+    }
+}
+
+impl From<ServeError> for std::io::Error {
+    /// Structured conversion: the kind is mapped per variant and the typed
+    /// error rides along as the source, so `io::Error::downcast` (or
+    /// `get_ref`) recovers the exact [`ServeError`] instead of a string.
+    fn from(e: ServeError) -> Self {
+        std::io::Error::new(e.io_kind(), e)
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -57,6 +105,28 @@ mod tests {
         assert_eq!(ServeError::ShuttingDown.label(), "shutting_down");
         assert_eq!(ServeError::WorkerLost.label(), "worker_lost");
         assert_eq!(ServeError::TaskPanicked.label(), "task_panicked");
+    }
+
+    #[test]
+    fn wire_codes_roundtrip_and_io_conversion_keeps_the_variant() {
+        for e in [
+            ServeError::Overloaded,
+            ServeError::ShuttingDown,
+            ServeError::WorkerLost,
+            ServeError::TaskPanicked,
+        ] {
+            assert_eq!(ServeError::from_code(e.code()), Some(e));
+            assert!(e.code() < 16, "serve codes stay below the protocol range");
+            let io: std::io::Error = e.into();
+            assert_eq!(io.kind(), e.io_kind());
+            let recovered = io
+                .get_ref()
+                .and_then(|inner| inner.downcast_ref::<ServeError>())
+                .copied();
+            assert_eq!(recovered, Some(e), "typed source survives the conversion");
+        }
+        assert_eq!(ServeError::from_code(0), None);
+        assert_eq!(ServeError::from_code(99), None);
     }
 
     #[test]

@@ -38,6 +38,8 @@
 
 pub mod error;
 pub mod hotswap;
+pub mod net;
+pub mod proto;
 pub mod queue;
 pub mod refresh;
 pub mod runtime;
@@ -46,6 +48,8 @@ pub mod task;
 pub(crate) mod telemetry;
 
 pub use error::ServeError;
+pub use net::{NetClient, NetConfig, NetError, NetServer, WireBackend};
+pub use proto::{ErrorCode, ProtoError, WireOutcome};
 pub use hotswap::{Cached, HotSwap};
 pub use queue::BoundedQueue;
 pub use refresh::{spawn_refresh, Rebuilt, RefreshConfig, RefreshHandle};

@@ -1,0 +1,673 @@
+//! TCP front-end for the serving runtime: remote clients speak the `SLP1`
+//! wire protocol (see [`crate::proto`]) and get the same admission paths —
+//! bounded-queue backpressure, adaptive micro-batching, typed shedding, and
+//! [`setlearn::tasks::QueryOutcome`] degradation flags — as in-process
+//! callers, without linking the crate.
+//!
+//! Everything is std-only: a nonblocking [`TcpListener`] accept loop polling
+//! a shutdown flag, plus one handler thread per connection. A handler reads
+//! one frame at a time (a frame carries a whole query batch), decodes it,
+//! canonicalizes the query sets, bulk-submits them into the backend
+//! ([`ServeRuntime`] or [`ShardedRuntime`] behind the [`WireBackend`]
+//! trait), waits the tickets in order, and writes one response frame.
+//! Cross-request batching happens where it always has: in the runtime's
+//! worker pool, across connections.
+//!
+//! ## Robustness
+//!
+//! * **Read/write timeouts** — a peer that stalls mid-frame (or goes idle
+//!   past the read timeout) is disconnected; it cannot pin a handler thread
+//!   forever.
+//! * **Max-frame-size rejection** — the declared payload length is checked
+//!   against the configured cap before any allocation; oversized frames are
+//!   answered with [`ErrorCode::FrameTooLarge`] and the connection closed.
+//! * **Graceful drain** — [`NetServer::shutdown`] closes the listener
+//!   *first* (no new connections), then joins handlers, each of which
+//!   finishes answering the frame it already accepted before exiting.
+//! * **Typed errors end-to-end** — a shed query, a panicked batch, and a
+//!   malformed frame reach the client as distinct [`ErrorCode`]s, not
+//!   stringified I/O errors.
+
+use crate::error::ServeError;
+use crate::proto::{
+    decode_request_batch, decode_response_batch, encode_error_response, encode_frame,
+    encode_request_batch, encode_response_batch, read_frame, ErrorCode, ProtoError, WireOutcome,
+    DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_PING, KIND_SHUTDOWN, MAGIC, VERSION,
+};
+use crate::runtime::ServeRuntime;
+use crate::sharded::ShardedRuntime;
+use crate::task::StructureTask;
+use crate::telemetry::NetTele;
+use setlearn::tasks::{LearnedSetStructure, QueryOutcome};
+use setlearn::wire::{QueryRequest, QueryResponse, WireTask};
+use setlearn_data::ElementSet;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Hard cap on a frame's payload bytes; larger declared lengths are
+    /// refused with [`ErrorCode::FrameTooLarge`] before any allocation.
+    pub max_frame_bytes: usize,
+    /// A connection idle (or stalled mid-frame) longer than this is closed.
+    pub read_timeout: Duration,
+    /// A response write blocked longer than this closes the connection.
+    pub write_timeout: Duration,
+    /// Whether a `SLP1` shutdown frame may drain the server. Off by
+    /// default; the CLI's `--allow-remote-shutdown` turns it on so CI can
+    /// stop a serving process deterministically.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// A claim on one in-flight remote query: redeem it (once) for the query's
+/// wire response. Boxed so [`ServeRuntime`] and [`ShardedRuntime`] tickets
+/// serve through one object-safe backend.
+pub type WireTicket = Box<dyn FnOnce() -> Result<QueryResponse, ServeError> + Send>;
+
+/// The serving side of the wire: anything that can admit a batch of
+/// canonical query sets and answer them as [`QueryResponse`]s.
+///
+/// Implemented for [`ServeRuntime`] and [`ShardedRuntime`] over any
+/// [`StructureTask`] whose output is a wire value, so the TCP front-end is
+/// indifferent to sharding.
+pub trait WireBackend: Send + Sync {
+    /// The task this backend serves; frames addressing a different task are
+    /// refused with [`ErrorCode::TaskMismatch`].
+    fn wire_task(&self) -> WireTask;
+
+    /// Bulk-admits the batch (one queue-lock acquisition on the runtime
+    /// side), returning exactly one ticket per query in order. A shed or
+    /// refused query yields a ticket that resolves to its [`ServeError`].
+    fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket>;
+}
+
+fn wire_task_of<S: LearnedSetStructure>() -> WireTask {
+    S::NAME.parse().expect("LearnedSetStructure::NAME is a wire task label")
+}
+
+impl<S> WireBackend for ServeRuntime<StructureTask<S>>
+where
+    S: LearnedSetStructure + Send + Sync + 'static,
+    S::Output: Send + 'static,
+    QueryResponse: From<QueryOutcome<S::Output>>,
+{
+    fn wire_task(&self) -> WireTask {
+        wire_task_of::<S>()
+    }
+
+    fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket> {
+        self.submit_many(sets)
+            .into_iter()
+            .map(|outcome| -> WireTicket {
+                match outcome {
+                    Ok(ticket) => Box::new(move || ticket.wait().map(QueryResponse::from)),
+                    Err(e) => Box::new(move || Err(e)),
+                }
+            })
+            .collect()
+    }
+}
+
+impl<S> WireBackend for ShardedRuntime<StructureTask<S>>
+where
+    S: LearnedSetStructure + Send + Sync + 'static,
+    S::Output: Send + 'static,
+    QueryResponse: From<QueryOutcome<S::Output>>,
+{
+    fn wire_task(&self) -> WireTask {
+        wire_task_of::<S>()
+    }
+
+    fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket> {
+        self.submit_many(&sets)
+            .into_iter()
+            .map(|outcome| -> WireTicket {
+                match outcome {
+                    Ok(ticket) => Box::new(move || ticket.wait().map(QueryResponse::from)),
+                    Err(e) => Box::new(move || Err(e)),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The TCP front-end: accepts connections and serves `SLP1` frames out of a
+/// [`WireBackend`]. The server borrows the backend (via `Arc`) — it never
+/// owns or drains the runtime, so shutdown ordering stays with the caller:
+/// drain the net server first (accepted frames answered), then the runtime.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetServer").field("local_addr", &self.local_addr).finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// the accept loop over `backend`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn WireBackend>,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let tele = Arc::new(NetTele::new(backend.wire_task().label()));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || {
+                accept_loop(listener, backend, config, shutdown, handlers, tele)
+            })
+        };
+        Ok(NetServer { local_addr, shutdown, accept_thread: Some(accept_thread), handlers })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a shutdown was requested (locally or by a remote shutdown
+    /// frame, when those are allowed). The CLI's serve loop polls this.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: the listener closes first (no new connections), then
+    /// every handler finishes answering the frame it already accepted and
+    /// exits. The backend runtime is untouched — drain it after this.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept_thread.take() {
+            // Joining the accept thread drops the listener: closed first.
+            let _ = accept.join();
+        }
+        let handlers = {
+            let mut guard = self.handlers.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // A plain drop still drains; `shutdown` only makes the order explicit.
+        self.drain();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    backend: Arc<dyn WireBackend>,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tele: Arc<NetTele>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let backend = Arc::clone(&backend);
+                let config = config.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let tele = Arc::clone(&tele);
+                let handle = std::thread::spawn(move || {
+                    handle_connection(stream, backend, config, shutdown, tele)
+                });
+                let mut guard = handlers.lock().unwrap_or_else(|p| p.into_inner());
+                // Reap finished handlers so a long-lived server does not
+                // accumulate join handles without bound.
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake): brief
+                // backoff, keep accepting.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Returning drops the listener: the port closes before handlers drain.
+}
+
+/// Outcome of trying to read one frame off a polled connection.
+enum FrameRead {
+    /// A complete, CRC-verified frame.
+    Frame(crate::proto::Frame),
+    /// The connection is done: clean EOF at a frame boundary, shutdown
+    /// observed while idle, idle/stall timeout, or transport error. The
+    /// handler exits without a response.
+    Closed,
+    /// The peer sent bytes that are not a valid frame; answer the typed
+    /// code, then close (framing can no longer be trusted).
+    Refuse {
+        /// Kind byte to echo (0 when the header itself was garbage).
+        kind: u8,
+        /// Request id to echo (0 when unknown).
+        id: u64,
+        /// The refusal.
+        code: ErrorCode,
+    },
+}
+
+/// Reads exactly `buf.len()` bytes with the poll-tick read timeout doing the
+/// shutdown checks. `None` means the connection is done (EOF at offset 0,
+/// shutdown while idle, idle/stall timeout, or I/O error); mid-frame EOF and
+/// stalls also land there — a half-sent frame gets no response.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+    may_idle_exit: bool,
+) -> Option<()> {
+    let mut off = 0;
+    let mut last_progress = Instant::now();
+    while off < buf.len() {
+        if off == 0 && may_idle_exit && shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return None,
+            Ok(n) => {
+                off += n;
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_progress.elapsed() >= read_timeout {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+/// Reads one frame with polling, size-cap, and CRC checks. Mirrors
+/// [`crate::proto::read_frame`] but never blocks past a poll tick without
+/// checking the shutdown flag, and maps malformed input to [`FrameRead::Refuse`]
+/// so the peer learns *why* it is being disconnected.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    config: &NetConfig,
+    shutdown: &AtomicBool,
+    tele: &NetTele,
+) -> FrameRead {
+    let mut header = [0u8; HEADER_LEN];
+    if read_exact_polling(stream, &mut header, shutdown, config.read_timeout, true).is_none() {
+        return FrameRead::Closed;
+    }
+    let magic: [u8; 4] = header[0..4].try_into().expect("fixed slice");
+    if magic != MAGIC {
+        tele.record_protocol_error(ErrorCode::BadFrame);
+        return FrameRead::Refuse { kind: 0, id: 0, code: ErrorCode::BadFrame };
+    }
+    let kind = header[5];
+    let id = u64::from_le_bytes(header[6..14].try_into().expect("fixed slice"));
+    if header[4] != VERSION {
+        tele.record_protocol_error(ErrorCode::UnsupportedVersion);
+        return FrameRead::Refuse { kind, id, code: ErrorCode::UnsupportedVersion };
+    }
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("fixed slice")) as usize;
+    let declared_crc = u32::from_le_bytes(header[18..22].try_into().expect("fixed slice"));
+    if len > config.max_frame_bytes {
+        tele.record_protocol_error(ErrorCode::FrameTooLarge);
+        return FrameRead::Refuse { kind, id, code: ErrorCode::FrameTooLarge };
+    }
+    let mut payload = vec![0u8; len];
+    // A frame whose header already arrived gets read to completion even
+    // during a drain: it was accepted, so it will be answered.
+    if read_exact_polling(stream, &mut payload, shutdown, config.read_timeout, false).is_none() {
+        return FrameRead::Closed;
+    }
+    tele.record_bytes_in(HEADER_LEN + len);
+    if setlearn::persist::crc32(&payload) != declared_crc {
+        tele.record_protocol_error(ErrorCode::BadFrame);
+        return FrameRead::Refuse { kind, id, code: ErrorCode::BadFrame };
+    }
+    FrameRead::Frame(crate::proto::Frame { kind, id, payload })
+}
+
+/// Writes a frame, counting the bytes. Returns `false` when the connection
+/// should close (write failure or timeout).
+fn write_response(stream: &mut TcpStream, kind: u8, id: u64, payload: &[u8], tele: &NetTele) -> bool {
+    let bytes = encode_frame(kind, id, payload);
+    match stream.write_all(&bytes).and_then(|()| stream.flush()) {
+        Ok(()) => {
+            tele.record_bytes_out(bytes.len());
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    backend: Arc<dyn WireBackend>,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    tele: Arc<NetTele>,
+) {
+    // The poll tick is the *read* timeout at the syscall level; the
+    // configured read_timeout is enforced on top by `read_exact_polling`.
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err()
+        || stream.set_write_timeout(Some(config.write_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    tele.connection_opened();
+    let served_task = backend.wire_task();
+    loop {
+        let frame = match read_frame_polling(&mut stream, &config, &shutdown, &tele) {
+            FrameRead::Frame(frame) => frame,
+            FrameRead::Closed => break,
+            FrameRead::Refuse { kind, id, code } => {
+                let _ = write_response(&mut stream, kind, id, &encode_error_response(code), &tele);
+                break;
+            }
+        };
+        let started = Instant::now();
+        match frame.kind {
+            KIND_PING => {
+                if !write_response(&mut stream, KIND_PING, frame.id, &encode_response_batch(&[]), &tele)
+                {
+                    break;
+                }
+            }
+            KIND_SHUTDOWN => {
+                if config.allow_remote_shutdown {
+                    // Ack first, then raise the flag: the requester gets its
+                    // answer before the drain starts closing things.
+                    let ok =
+                        write_response(&mut stream, KIND_SHUTDOWN, frame.id, &encode_response_batch(&[]), &tele);
+                    shutdown.store(true, Ordering::SeqCst);
+                    if !ok {
+                        break;
+                    }
+                } else {
+                    tele.record_protocol_error(ErrorCode::ShutdownNotAllowed);
+                    let _ = write_response(
+                        &mut stream,
+                        KIND_SHUTDOWN,
+                        frame.id,
+                        &encode_error_response(ErrorCode::ShutdownNotAllowed),
+                        &tele,
+                    );
+                    break;
+                }
+            }
+            kind => {
+                let task = match frame.task() {
+                    Some(task) => task,
+                    None => {
+                        tele.record_protocol_error(ErrorCode::BadFrame);
+                        let _ = write_response(
+                            &mut stream,
+                            kind,
+                            frame.id,
+                            &encode_error_response(ErrorCode::BadFrame),
+                            &tele,
+                        );
+                        break;
+                    }
+                };
+                if task != served_task {
+                    tele.record_protocol_error(ErrorCode::TaskMismatch);
+                    if !write_response(
+                        &mut stream,
+                        kind,
+                        frame.id,
+                        &encode_error_response(ErrorCode::TaskMismatch),
+                        &tele,
+                    ) {
+                        break;
+                    }
+                    // A task mismatch is an addressing mistake, not stream
+                    // corruption: the connection stays usable.
+                    continue;
+                }
+                let queries = match decode_request_batch(&frame.payload) {
+                    Ok(queries) => queries,
+                    Err(_) => {
+                        tele.record_protocol_error(ErrorCode::BadFrame);
+                        let _ = write_response(
+                            &mut stream,
+                            kind,
+                            frame.id,
+                            &encode_error_response(ErrorCode::BadFrame),
+                            &tele,
+                        );
+                        break;
+                    }
+                };
+                let sets: Vec<ElementSet> =
+                    queries.into_iter().map(|q| q.canonicalize()).collect();
+                let tickets = backend.submit_wire(sets);
+                let outcomes: Vec<WireOutcome> = tickets
+                    .into_iter()
+                    .map(|ticket| ticket().map_err(ErrorCode::Serve))
+                    .collect();
+                let ok = write_response(
+                    &mut stream,
+                    kind,
+                    frame.id,
+                    &encode_response_batch(&outcomes),
+                    &tele,
+                );
+                tele.record_request(task.label(), started.elapsed());
+                if !ok {
+                    break;
+                }
+            }
+        }
+    }
+    tele.connection_closed();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport or protocol failure (including frame-level refusals from
+    /// the server, surfaced as [`ProtoError::Remote`]).
+    Proto(ProtoError),
+    /// The response echoed a different request id than the one sent —
+    /// the stream is out of sync.
+    IdMismatch {
+        /// Id this client sent.
+        sent: u64,
+        /// Id the response carried.
+        got: u64,
+    },
+    /// The response carried a different kind byte than the request.
+    KindMismatch {
+        /// Kind this client sent.
+        sent: u8,
+        /// Kind the response carried.
+        got: u8,
+    },
+    /// The response answered a different number of queries than were asked.
+    CountMismatch {
+        /// Queries sent.
+        sent: usize,
+        /// Outcomes received.
+        got: usize,
+    },
+    /// A single-query convenience call was answered with a per-query error.
+    Query(ErrorCode),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Proto(e) => write!(f, "{e}"),
+            NetError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+            NetError::KindMismatch { sent, got } => {
+                write!(f, "response kind 0x{got:02x} does not match request kind 0x{sent:02x}")
+            }
+            NetError::CountMismatch { sent, got } => {
+                write!(f, "asked {sent} queries, got {got} outcomes")
+            }
+            NetError::Query(code) => write!(f, "query refused: {code}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// A blocking `SLP1` client over one TCP connection. This is the reference
+/// implementation of the protocol's client side — the CLI `client`
+/// subcommand is a thin wrapper around it.
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_bytes: usize,
+}
+
+impl fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetClient").field("next_id", &self.next_id).finish_non_exhaustive()
+    }
+}
+
+impl NetClient {
+    /// Connects with 30s read / 10s write timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream, next_id: 1, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES })
+    }
+
+    /// Round-trips one frame and validates the echo invariants.
+    fn roundtrip(&mut self, kind: u8, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = encode_frame(kind, id, payload);
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        let frame = read_frame(&mut self.stream, self.max_frame_bytes)?;
+        if frame.id != id {
+            return Err(NetError::IdMismatch { sent: id, got: frame.id });
+        }
+        if frame.kind != kind {
+            return Err(NetError::KindMismatch { sent: kind, got: frame.kind });
+        }
+        Ok(frame.payload)
+    }
+
+    /// Liveness probe: sends a ping frame, succeeds iff the server answers.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        let payload = self.roundtrip(KIND_PING, &[])?;
+        decode_response_batch(&payload)?;
+        Ok(())
+    }
+
+    /// Sends one query batch for `task`; returns one outcome per query in
+    /// order. A shed/panicked query is an `Err(ErrorCode)` *inside* the
+    /// vector; a frame-level refusal (wrong task, malformed frame) is a
+    /// [`NetError::Proto`] with [`ProtoError::Remote`].
+    pub fn query_batch(
+        &mut self,
+        task: WireTask,
+        queries: &[QueryRequest],
+    ) -> Result<Vec<WireOutcome>, NetError> {
+        let payload = self.roundtrip(task.code(), &encode_request_batch(queries))?;
+        let outcomes = decode_response_batch(&payload)?;
+        if outcomes.len() != queries.len() {
+            return Err(NetError::CountMismatch { sent: queries.len(), got: outcomes.len() });
+        }
+        Ok(outcomes)
+    }
+
+    /// Single-query convenience over [`NetClient::query_batch`].
+    pub fn query(
+        &mut self,
+        task: WireTask,
+        query: QueryRequest,
+    ) -> Result<QueryResponse, NetError> {
+        let mut outcomes = self.query_batch(task, std::slice::from_ref(&query))?;
+        match outcomes.pop() {
+            Some(Ok(response)) => Ok(response),
+            Some(Err(code)) => Err(NetError::Query(code)),
+            None => Err(NetError::CountMismatch { sent: 1, got: 0 }),
+        }
+    }
+
+    /// Asks the server to drain and exit. Fails with
+    /// [`ErrorCode::ShutdownNotAllowed`] (via [`ProtoError::Remote`]) unless
+    /// the server enables remote shutdown.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        let payload = self.roundtrip(KIND_SHUTDOWN, &[])?;
+        decode_response_batch(&payload)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,505 @@
+//! `SLP1` — the versioned, length-prefixed binary wire protocol of the TCP
+//! front-end.
+//!
+//! ## Frame layout (little-endian, 22-byte header + payload)
+//!
+//! ```text
+//! magic   "SLP1"        4 bytes   protocol identity
+//! version u8            1 byte    protocol revision (currently 1)
+//! kind    u8            1 byte    task kind or control kind (see below)
+//! id      u64           8 bytes   request id, echoed verbatim in responses
+//! len     u32           4 bytes   payload length in bytes
+//! crc32   u32           4 bytes   CRC-32 (IEEE) over the payload
+//! payload len bytes
+//! ```
+//!
+//! Kinds `0..=2` are the [`WireTask`] codes (a query frame); `0xF0` is ping
+//! and `0xF1` is a shutdown request. The CRC covers the payload exactly like
+//! the `SLW2` weight format, so truncation and bit flips surface as typed
+//! [`ProtoError`]s instead of garbage queries.
+//!
+//! ## Payloads
+//!
+//! A **request** payload is a query batch: `u32` count, then that many
+//! [`QueryRequest`] bodies. A **response** payload opens with one status
+//! byte: `0` means the batch was decoded and each query gets its own
+//! `status` byte (`0` + a [`QueryResponse`] body, or a nonzero
+//! [`ErrorCode`] — so a shed query is distinguishable from a panicked one
+//! *per query*); a nonzero frame status is a frame-level [`ErrorCode`] and
+//! ends the payload. Control frames (ping/shutdown) carry empty payloads
+//! and are answered with an empty payload of the same kind.
+//!
+//! Versioning: the magic pins the protocol family, the version byte the
+//! revision. A server refuses frames whose version it does not speak with
+//! [`ErrorCode::UnsupportedVersion`] (see `DESIGN.md` §11 for the
+//! compatibility story).
+
+use crate::error::ServeError;
+use setlearn::persist::crc32;
+use setlearn::wire::{QueryRequest, QueryResponse, WireDecodeError, WireTask};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol magic: `SLP1`.
+pub const MAGIC: [u8; 4] = *b"SLP1";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 22;
+/// Frame kind: ping (liveness / readiness probe).
+pub const KIND_PING: u8 = 0xF0;
+/// Frame kind: graceful-shutdown request (honored only when the server was
+/// started with remote shutdown allowed).
+pub const KIND_SHUTDOWN: u8 = 0xF1;
+/// Default cap on payload bytes; larger frames are refused with
+/// [`ProtoError::FrameTooLarge`] before any allocation happens.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 4 << 20;
+/// Largest query batch a single frame may carry.
+pub const MAX_BATCH_PER_FRAME: usize = 1 << 16;
+
+/// Typed protocol failure. `Io` is transport trouble; everything else means
+/// the peer sent bytes that are not a well-formed `SLP1` frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Reading or writing the socket failed.
+    Io(io::Error),
+    /// The first four bytes were not `SLP1`.
+    BadMagic([u8; 4]),
+    /// The version byte names a revision this side does not speak.
+    UnsupportedVersion(u8),
+    /// The declared payload length exceeds the configured cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The payload failed its CRC-32 check.
+    BadCrc {
+        /// CRC declared in the header.
+        declared: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The payload did not decode as the declared kind's body.
+    BadPayload(WireDecodeError),
+    /// The kind byte is neither a task code nor a control kind.
+    UnknownKind(u8),
+    /// The peer answered with a frame-level error code.
+    Remote(ErrorCode),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?} (want \"SLP1\")"),
+            ProtoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (speak {VERSION})")
+            }
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::BadCrc { declared, actual } => {
+                write!(f, "payload crc mismatch: header says {declared:#010x}, got {actual:#010x}")
+            }
+            ProtoError::BadPayload(e) => write!(f, "bad payload: {e}"),
+            ProtoError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            ProtoError::Remote(code) => write!(f, "peer refused the frame: {code}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<WireDecodeError> for ProtoError {
+    fn from(e: WireDecodeError) -> Self {
+        ProtoError::BadPayload(e)
+    }
+}
+
+/// Error codes carried in response status bytes. Codes 1–15 are the
+/// [`ServeError`] codes (runtime outcomes); 16+ are protocol-level refusals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A [`ServeError`] produced by the runtime (shed, drain, panic, lost).
+    Serve(ServeError),
+    /// The frame addressed a task this server is not serving.
+    TaskMismatch,
+    /// The frame (or its payload) failed structural validation.
+    BadFrame,
+    /// The declared payload length exceeded the server's cap.
+    FrameTooLarge,
+    /// The version byte named a revision the server does not speak.
+    UnsupportedVersion,
+    /// A shutdown frame arrived but remote shutdown is not allowed.
+    ShutdownNotAllowed,
+}
+
+impl ErrorCode {
+    /// The stable wire byte.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::Serve(e) => e.code(),
+            ErrorCode::TaskMismatch => 16,
+            ErrorCode::BadFrame => 17,
+            ErrorCode::FrameTooLarge => 18,
+            ErrorCode::UnsupportedVersion => 19,
+            ErrorCode::ShutdownNotAllowed => 20,
+        }
+    }
+
+    /// Decodes a nonzero status byte; unknown codes map to [`ErrorCode::BadFrame`]
+    /// is *not* done — they return `None` so new codes fail loudly.
+    pub fn from_code(code: u8) -> Option<ErrorCode> {
+        if let Some(serve) = ServeError::from_code(code) {
+            return Some(ErrorCode::Serve(serve));
+        }
+        match code {
+            16 => Some(ErrorCode::TaskMismatch),
+            17 => Some(ErrorCode::BadFrame),
+            18 => Some(ErrorCode::FrameTooLarge),
+            19 => Some(ErrorCode::UnsupportedVersion),
+            20 => Some(ErrorCode::ShutdownNotAllowed),
+            _ => None,
+        }
+    }
+
+    /// Stable snake_case label (the `code` label on protocol-error metrics).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::Serve(e) => e.label(),
+            ErrorCode::TaskMismatch => "task_mismatch",
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::ShutdownNotAllowed => "shutdown_not_allowed",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::Serve(e) => write!(f, "{e}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// One decoded frame: kind byte, request id, raw payload (CRC-verified).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Task code (`0..=2`) or control kind (`0xF0` ping, `0xF1` shutdown).
+    pub kind: u8,
+    /// Request id, echoed verbatim by the responder.
+    pub id: u64,
+    /// CRC-verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// The task this frame addresses, if its kind byte is a task code.
+    pub fn task(&self) -> Option<WireTask> {
+        WireTask::from_code(self.kind)
+    }
+}
+
+/// Serializes one frame (header + payload) into a fresh buffer.
+pub fn encode_frame(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame to `w` (single `write_all`, so small frames are one
+/// syscall with a buffered writer). Returns the bytes written.
+pub fn write_frame(w: &mut impl Write, kind: u8, id: u64, payload: &[u8]) -> io::Result<usize> {
+    let bytes = encode_frame(kind, id, payload);
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads exactly one frame from `r`, verifying magic, version, size cap and
+/// CRC. The version check happens *before* the length is trusted, and the
+/// length check before anything is allocated, so a hostile peer cannot make
+/// the server allocate unbounded memory or misparse a future revision.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic: [u8; 4] = header[0..4].try_into().expect("fixed slice");
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let version = header[4];
+    if version != VERSION {
+        return Err(ProtoError::UnsupportedVersion(version));
+    }
+    let kind = header[5];
+    let id = u64::from_le_bytes(header[6..14].try_into().expect("fixed slice"));
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("fixed slice")) as usize;
+    let declared = u32::from_le_bytes(header[18..22].try_into().expect("fixed slice"));
+    if len > max_payload {
+        return Err(ProtoError::FrameTooLarge { len, max: max_payload });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != declared {
+        return Err(ProtoError::BadCrc { declared, actual });
+    }
+    Ok(Frame { kind, id, payload })
+}
+
+// ---------------------------------------------------------------------------
+// Request / response payload bodies
+// ---------------------------------------------------------------------------
+
+/// Encodes a query batch into a request payload.
+pub fn encode_request_batch(queries: &[QueryRequest]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + queries.len() * 16);
+    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    for q in queries {
+        q.encode(&mut out);
+    }
+    out
+}
+
+/// Decodes a request payload into its query batch.
+pub fn decode_request_batch(mut payload: &[u8]) -> Result<Vec<QueryRequest>, ProtoError> {
+    let count = take_count(&mut payload, "batch")?;
+    let mut queries = Vec::with_capacity(count);
+    for _ in 0..count {
+        queries.push(QueryRequest::decode(&mut payload)?);
+    }
+    expect_consumed(payload)?;
+    Ok(queries)
+}
+
+/// Per-query outcome inside an OK response frame.
+pub type WireOutcome = Result<QueryResponse, ErrorCode>;
+
+/// Encodes an OK response payload: frame status 0, then one status byte (and
+/// body on success) per query.
+pub fn encode_response_batch(outcomes: &[WireOutcome]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + outcomes.len() * 16);
+    out.push(0);
+    out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+    for outcome in outcomes {
+        match outcome {
+            Ok(response) => {
+                out.push(0);
+                response.encode(&mut out);
+            }
+            Err(code) => out.push(code.code()),
+        }
+    }
+    out
+}
+
+/// Encodes a frame-level error response payload.
+pub fn encode_error_response(code: ErrorCode) -> Vec<u8> {
+    vec![code.code()]
+}
+
+/// Decodes a response payload: either the per-query outcomes or the
+/// frame-level error, surfaced as [`ProtoError::Remote`].
+pub fn decode_response_batch(mut payload: &[u8]) -> Result<Vec<WireOutcome>, ProtoError> {
+    let status = take_status(&mut payload)?;
+    if status != 0 {
+        let code = ErrorCode::from_code(status)
+            .ok_or(ProtoError::BadPayload(WireDecodeError::BadTag {
+                what: "frame status",
+                tag: status,
+            }))?;
+        return Err(ProtoError::Remote(code));
+    }
+    let count = take_count(&mut payload, "batch")?;
+    let mut outcomes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let status = take_status(&mut payload)?;
+        if status == 0 {
+            outcomes.push(Ok(QueryResponse::decode(&mut payload)?));
+        } else {
+            let code = ErrorCode::from_code(status).ok_or(ProtoError::BadPayload(
+                WireDecodeError::BadTag { what: "query status", tag: status },
+            ))?;
+            outcomes.push(Err(code));
+        }
+    }
+    expect_consumed(payload)?;
+    Ok(outcomes)
+}
+
+fn take_status(payload: &mut &[u8]) -> Result<u8, ProtoError> {
+    let (&status, rest) =
+        payload.split_first().ok_or(ProtoError::BadPayload(WireDecodeError::Truncated))?;
+    *payload = rest;
+    Ok(status)
+}
+
+fn take_count(payload: &mut &[u8], what: &'static str) -> Result<usize, ProtoError> {
+    if payload.len() < 4 {
+        return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+    }
+    let (head, rest) = payload.split_at(4);
+    *payload = rest;
+    let count = u32::from_le_bytes(head.try_into().expect("split_at(4)")) as usize;
+    if count > MAX_BATCH_PER_FRAME {
+        return Err(ProtoError::BadPayload(WireDecodeError::BadLength { what, len: count }));
+    }
+    Ok(count)
+}
+
+fn expect_consumed(payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.is_empty() {
+        Ok(())
+    } else {
+        // Trailing garbage means the frame lied about its structure.
+        Err(ProtoError::BadPayload(WireDecodeError::BadLength {
+            what: "trailing bytes",
+            len: payload.len(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn::tasks::QueryOutcome;
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_stream() {
+        let payload = encode_request_batch(&[
+            QueryRequest::new(vec![1, 2, 3]),
+            QueryRequest::new(vec![]),
+            QueryRequest::new(vec![u32::MAX]),
+        ]);
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, WireTask::Bloom.code(), 77, &payload).unwrap();
+        assert_eq!(n, buf.len());
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.kind, WireTask::Bloom.code());
+        assert_eq!(frame.task(), Some(WireTask::Bloom));
+        assert_eq!(frame.id, 77);
+        let queries = decode_request_batch(&frame.payload).unwrap();
+        assert_eq!(queries.len(), 3);
+        assert_eq!(queries[0].elements, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_typed() {
+        let payload = encode_request_batch(&[QueryRequest::new(vec![9])]);
+        let good = encode_frame(0, 1, &payload);
+
+        // Flipped payload bit → BadCrc.
+        let mut flipped = good.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut flipped.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(ProtoError::BadCrc { .. })
+        ));
+
+        // Wrong magic.
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut magic.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(ProtoError::BadMagic(_))
+        ));
+
+        // Future version.
+        let mut version = good.clone();
+        version[4] = 9;
+        assert!(matches!(
+            read_frame(&mut version.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(ProtoError::UnsupportedVersion(9))
+        ));
+
+        // Oversized declared payload is refused before allocation.
+        assert!(matches!(
+            read_frame(&mut good.as_slice(), 4),
+            Err(ProtoError::FrameTooLarge { max: 4, .. })
+        ));
+
+        // Truncation anywhere → Io(UnexpectedEof), never a panic.
+        for cut in 0..good.len() {
+            match read_frame(&mut good[..cut].as_ref(), DEFAULT_MAX_FRAME_BYTES) {
+                Err(ProtoError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}")
+                }
+                other => panic!("cut {cut}: expected eof, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_batches_mix_values_and_typed_errors() {
+        let outcomes: Vec<WireOutcome> = vec![
+            Ok(QueryOutcome::clean(12.5f64).into()),
+            Err(ErrorCode::Serve(ServeError::Overloaded)),
+            Ok(QueryOutcome::clean(Some(3usize)).into()),
+            Err(ErrorCode::Serve(ServeError::TaskPanicked)),
+            Ok(QueryOutcome::clean(true).into()),
+        ];
+        let payload = encode_response_batch(&outcomes);
+        let back = decode_response_batch(&payload).unwrap();
+        assert_eq!(back, outcomes);
+    }
+
+    #[test]
+    fn frame_level_errors_surface_as_remote() {
+        let payload = encode_error_response(ErrorCode::TaskMismatch);
+        match decode_response_batch(&payload) {
+            Err(ProtoError::Remote(ErrorCode::TaskMismatch)) => {}
+            other => panic!("expected remote task mismatch, got {other:?}"),
+        }
+        // Serve errors round-trip distinguishably.
+        for serve in [ServeError::Overloaded, ServeError::WorkerLost, ServeError::TaskPanicked] {
+            let payload = encode_error_response(ErrorCode::Serve(serve));
+            match decode_response_batch(&payload) {
+                Err(ProtoError::Remote(ErrorCode::Serve(e))) => assert_eq!(e, serve),
+                other => panic!("expected {serve:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut payload = encode_response_batch(&[Ok(QueryOutcome::clean(1.0f64).into())]);
+        payload.push(0xAA);
+        assert!(matches!(
+            decode_response_batch(&payload),
+            Err(ProtoError::BadPayload(WireDecodeError::BadLength { .. }))
+        ));
+    }
+
+    #[test]
+    fn error_code_bytes_are_stable() {
+        assert_eq!(ErrorCode::Serve(ServeError::Overloaded).code(), 1);
+        assert_eq!(ErrorCode::TaskMismatch.code(), 16);
+        assert_eq!(ErrorCode::BadFrame.code(), 17);
+        assert_eq!(ErrorCode::FrameTooLarge.code(), 18);
+        assert_eq!(ErrorCode::UnsupportedVersion.code(), 19);
+        assert_eq!(ErrorCode::ShutdownNotAllowed.code(), 20);
+        for code in 1..=20u8 {
+            if let Some(decoded) = ErrorCode::from_code(code) {
+                assert_eq!(decoded.code(), code);
+            }
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(200), None);
+    }
+}

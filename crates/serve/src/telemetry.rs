@@ -131,3 +131,83 @@ impl RuntimeTele {
     }
 
 }
+
+/// Cached metric handles for the TCP front-end. Every family carries
+/// `transport="tcp"` (plus `task` for the served task), so dashboards can
+/// split remote traffic from in-process serving:
+///
+/// - `setlearn_net_connections` — live client connections (gauge)
+/// - `setlearn_net_bytes_in_total` / `setlearn_net_bytes_out_total` —
+///   frame bytes read/written, headers included (counters)
+/// - `setlearn_net_request_seconds` — frame receipt → response written, per
+///   query frame (histogram)
+/// - `setlearn_net_protocol_errors_total` — malformed/refused frames, with
+///   a `code` label naming the [`crate::proto::ErrorCode`] (counter)
+pub(crate) struct NetTele {
+    task: &'static str,
+    connections: Arc<Gauge>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    request_seconds: Arc<Histogram>,
+}
+
+impl NetTele {
+    pub(crate) fn new(task: &'static str) -> Self {
+        let m = setlearn_obs::metrics();
+        let l = &[("transport", "tcp"), ("task", task)];
+        NetTele {
+            task,
+            connections: m.gauge_with("setlearn_net_connections", l),
+            bytes_in: m.counter_with("setlearn_net_bytes_in_total", l),
+            bytes_out: m.counter_with("setlearn_net_bytes_out_total", l),
+            request_seconds: m.histogram_with("setlearn_net_request_seconds", l, LATENCY_BOUNDS),
+        }
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        if setlearn_obs::metrics_on() {
+            self.connections.add(1.0);
+        }
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        if setlearn_obs::metrics_on() {
+            self.connections.add(-1.0);
+        }
+    }
+
+    pub(crate) fn record_bytes_in(&self, n: usize) {
+        if setlearn_obs::metrics_on() {
+            self.bytes_in.add(n as u64);
+        }
+    }
+
+    pub(crate) fn record_bytes_out(&self, n: usize) {
+        if setlearn_obs::metrics_on() {
+            self.bytes_out.add(n as u64);
+        }
+    }
+
+    /// Records one answered query frame (receipt → response on the wire).
+    pub(crate) fn record_request(&self, task: &str, duration: Duration) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        debug_assert_eq!(task, self.task, "a handler serves exactly one task");
+        self.request_seconds.observe_duration(duration);
+    }
+
+    /// Counts one refused frame under its stable error-code label. Resolved
+    /// per call — refusals are rare, and the registry interns handles.
+    pub(crate) fn record_protocol_error(&self, code: crate::proto::ErrorCode) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        setlearn_obs::metrics()
+            .counter_with(
+                "setlearn_net_protocol_errors_total",
+                &[("transport", "tcp"), ("task", self.task), ("code", code.label())],
+            )
+            .inc();
+    }
+}
