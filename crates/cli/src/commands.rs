@@ -4,20 +4,21 @@ use crate::args::{ArgError, Args};
 use crate::telemetry;
 use setlearn::prelude::{
     aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig, CardinalityConfig,
-    DeepSetsConfig, DriftMonitor, FallbackReason, GuidedConfig, IndexConfig, IndexStructure,
-    LearnedBloom, LearnedCardinality, LearnedSetIndex, LearnedSetStructure, MonitorConfig,
-    QueryOutcome, QueryRequest, QueryValue, ShardBy, ShardIndexStructure,
-    ShardSpec, ShardedBloom, ShardedCardinality, ShardedCollection, ShardedIndex,
-    ShardedIndexStructure, WireTask,
+    DeepSetsConfig, DeltaMergeable, DriftMonitor, FallbackReason, GuidedConfig, IndexConfig,
+    IndexStructure, LearnedBloom, LearnedCardinality, LearnedSetIndex, LearnedSetStructure,
+    MonitorConfig, MutableCollection, MutableSink, QueryOutcome, QueryRequest, QueryResponse,
+    QueryValue, ShardBy, ShardIndexStructure, ShardSpec, ShardedBloom, ShardedCardinality,
+    ShardedCollection, ShardedIndex, ShardedIndexStructure, Wal, WalOp, WireTask,
 };
 use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
 use setlearn_obs::RegistrySnapshot;
 use setlearn_serve::{
-    BloomTask, CardinalityTask, IndexTask, NetClient, NetConfig, NetServer, ServeConfig,
-    ServeError, ServeReport, ServeRuntime, ServeTask, ShardedReport, ShardedRuntime,
-    StructureTask, WireBackend, WireOutcome,
+    spawn_compactor, BloomTask, CardinalityTask, CompactorConfig, IndexTask, MutableBackend,
+    NetClient, NetConfig, NetServer, ServeConfig, ServeError, ServeReport, ServeRuntime,
+    ServeTask, ShardedReport, ShardedRuntime, StructureTask, WireBackend, WireOutcome,
 };
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Uniform CLI error type.
@@ -297,15 +298,46 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "collection", "out", "compressed", "epochs", "refine-epochs", "percentile",
         "neurons", "embedding", "max-subset", "lr", "batch", "seed", "range", "last",
-        "samples", "shards", "shard-by", "telemetry",
+        "samples", "shards", "shard-by", "telemetry", "wal-dir",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
-    let collection = load_collection(args.required("collection")?)?;
+    let spec = shard_spec_from_args(args)?;
+    // With --wal-dir, pending WAL records are folded into the training
+    // collection first; after a successful train the merged collection is
+    // checkpointed next to the WAL and the log is marked applied.
+    let mut wal_fold: Option<(Wal, u64, PathBuf)> = None;
+    let collection = match args.optional("wal-dir") {
+        None => load_collection(args.required("collection")?)?,
+        Some(dir) => {
+            if spec.is_some() {
+                return Err(ArgError("--wal-dir cannot be combined with --shards".into()).into());
+            }
+            let dir = Path::new(dir);
+            let checkpoint = dir.join("checkpoint.json");
+            let base = if checkpoint.exists() {
+                load::<SetCollection>(&checkpoint.to_string_lossy())?
+            } else {
+                load_collection(args.required("collection")?)?
+            };
+            let recovery = Wal::open(dir)?;
+            if recovery.truncated {
+                eprintln!("warning: damaged WAL tail was truncated during recovery");
+            }
+            let (merged, skipped) = setlearn::mutable::replay_into(&base, &recovery.records);
+            println!(
+                "folded {} WAL records into the training collection ({} invalid records skipped)",
+                recovery.records.len() - skipped,
+                skipped,
+            );
+            let watermark = recovery.wal.next_seq();
+            wal_fold = Some((recovery.wal, watermark, checkpoint));
+            merged
+        }
+    };
     let out = args.required("out")?;
     let vocab = collection.num_elements();
     let model = model_from_args(args, vocab)?;
-    let spec = shard_spec_from_args(args)?;
     match task.as_str() {
         "cardinality" => {
             let cfg = CardinalityConfig {
@@ -420,6 +452,16 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                 ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into()
             )
         }
+    }
+    if let Some((mut wal, watermark, checkpoint)) = wal_fold {
+        // Checkpoint before advancing the watermark: a crash in between
+        // replays the (already folded) tail again, it never loses it.
+        setlearn::persist::save_json(&collection, &checkpoint)?;
+        wal.mark_applied(watermark)?;
+        println!(
+            "checkpoint written to {}; WAL applied through seq {watermark}",
+            checkpoint.display()
+        );
     }
     if let Some(sink) = sink {
         sink.finish()?;
@@ -934,6 +976,164 @@ fn print_drained_sharded(report: &ShardedReport) {
     );
 }
 
+/// Durably checkpoints a compaction (retrained model + merged collection)
+/// next to the WAL *before* the watermark advances. Returning `None` leaves
+/// the delta pending so the compactor retries on the next poll.
+fn persist_compaction<M: serde::Serialize>(
+    wal_dir: &Path,
+    model: &M,
+    merged: &SetCollection,
+) -> Option<()> {
+    for (name, result) in [
+        ("model", setlearn::persist::save_json(model, &wal_dir.join("model.json"))),
+        ("collection", setlearn::persist::save_json(merged, &wal_dir.join("checkpoint.json"))),
+    ] {
+        if let Err(e) = result {
+            eprintln!("warning: compaction checkpoint failed ({name}): {e}");
+            return None;
+        }
+    }
+    Some(())
+}
+
+/// Builds the [`MutableCollection`] around `structure`, reports WAL
+/// recovery, starts the runtime (plus the compaction daemon when
+/// `--compact-after` is set), and runs the SLP1 front-end with ingest
+/// frames routed into the collection.
+fn run_mutable_front<S>(
+    args: &Args,
+    structure: S,
+    base: Arc<SetCollection>,
+    wal_dir: &Path,
+    cfg: ServeConfig,
+    rebuild: impl FnMut(&SetCollection) -> Option<S> + Send + 'static,
+) -> Result<(), CliError>
+where
+    S: DeltaMergeable + Send + Sync + 'static,
+    S::Output: Send + 'static,
+    QueryResponse: From<QueryOutcome<S::Output>>,
+{
+    let (collection, report) = MutableCollection::open(structure, base, wal_dir)?;
+    println!(
+        "WAL recovery: {} records replayed ({} skipped), applied through seq {}, next seq {}{}",
+        report.replayed,
+        report.skipped,
+        report.applied_seq,
+        report.next_seq,
+        if report.truncated { " — damaged tail truncated" } else { "" },
+    );
+    let collection = Arc::new(collection);
+    let runtime =
+        Arc::new(ServeRuntime::start(StructureTask::new(Arc::clone(&collection)), cfg));
+    let compactor = match args.get_or("compact-after", 0usize)? {
+        0 => None,
+        ops => Some(spawn_compactor(
+            Arc::clone(&collection),
+            Arc::clone(runtime.model()),
+            rebuild,
+            CompactorConfig { max_delta_ops: ops, ..CompactorConfig::default() },
+        )),
+    };
+    let backend = Arc::new(MutableBackend::new(
+        Arc::clone(&runtime) as Arc<dyn WireBackend>,
+        collection as Arc<dyn MutableSink>,
+    ));
+    listen_and_drain(backend, args, drop)?;
+    if let Some(compactor) = compactor {
+        println!("compactions completed: {}", compactor.compactions());
+        compactor.stop();
+    }
+    let runtime = Arc::try_unwrap(runtime)
+        .map_err(|_| "front-end handlers still hold the runtime after shutdown")?;
+    print_drained(&runtime.shutdown());
+    Ok(())
+}
+
+/// `setlearn serve --wal-dir DIR --listen …` — the mutable front-end: the
+/// loaded model becomes the frozen base of a [`MutableCollection`] whose
+/// WAL lives in DIR, `client --insert/--delete` frames are fsync'd into it
+/// before they are acknowledged, and queries merge the model's answer with
+/// the exact delta overlay. On startup the base is DIR/checkpoint.json and
+/// the model DIR/model.json when a compaction left them (falling back to
+/// `--collection`/`--model`), and surviving WAL records are replayed — an
+/// acknowledged write is never lost across a crash. `--compact-after N`
+/// starts a background compactor that retrains (with the `train` knobs
+/// given here) once N ops are pending, checkpoints, and hot-swaps.
+fn serve_listen_mutable(
+    args: &Args,
+    task: &str,
+    model_path: &str,
+    cfg: ServeConfig,
+    wal_dir: &Path,
+) -> Result<(), CliError> {
+    let checkpoint = wal_dir.join("checkpoint.json");
+    let base = Arc::new(if checkpoint.exists() {
+        load::<SetCollection>(&checkpoint.to_string_lossy())?
+    } else {
+        load_collection(args.required("collection")?)?
+    });
+    let compacted_model = wal_dir.join("model.json");
+    let model_file = if compacted_model.exists() {
+        compacted_model.to_string_lossy().into_owned()
+    } else {
+        model_path.to_string()
+    };
+    let vocab = base.num_elements();
+    let wal_dir2 = wal_dir.to_path_buf();
+    match task {
+        "cardinality" => {
+            let est: LearnedCardinality = load(&model_file)?;
+            let train_cfg = CardinalityConfig {
+                model: model_from_args(args, vocab)?,
+                guided: guided_from_args(args)?,
+                max_subset_size: args.get_or("max-subset", 3usize)?,
+            };
+            run_mutable_front(args, est, base, wal_dir, cfg, move |merged| {
+                let (est, _) = LearnedCardinality::build(merged, &train_cfg);
+                persist_compaction(&wal_dir2, &est, merged)?;
+                Some(est)
+            })
+        }
+        "index" => {
+            let index: LearnedSetIndex = load(&model_file)?;
+            let structure = IndexStructure { index, collection: Arc::clone(&base) };
+            let train_cfg = IndexConfig {
+                model: model_from_args(args, vocab)?,
+                guided: guided_from_args(args)?,
+                max_subset_size: args.get_or("max-subset", 2usize)?,
+                range_length: args.get_or("range", 100.0f64)?,
+                target: if args.has_flag("last") {
+                    setlearn::tasks::PositionTarget::Last
+                } else {
+                    setlearn::tasks::PositionTarget::First
+                },
+            };
+            run_mutable_front(args, structure, base, wal_dir, cfg, move |merged| {
+                let (index, _) = LearnedSetIndex::build(merged, &train_cfg);
+                persist_compaction(&wal_dir2, &index, merged)?;
+                Some(IndexStructure { index, collection: Arc::new(merged.clone()) })
+            })
+        }
+        "bloom" => {
+            let filter: LearnedBloom = load(&model_file)?;
+            let mut bcfg = BloomConfig::new(model_from_args(args, vocab)?);
+            bcfg.epochs = args.get_or("epochs", 30usize)?;
+            bcfg.learning_rate = args.get_or("lr", 5e-3f32)?;
+            let n = args.get_or("samples", 2_000usize)?;
+            let max_query = args.get_or("max-subset", 4usize)?;
+            run_mutable_front(args, filter, base, wal_dir, cfg, move |merged| {
+                let (filter, _) =
+                    LearnedBloom::build_from_collection(merged, n, n, max_query, &bcfg);
+                persist_compaction(&wal_dir2, &filter, merged)?;
+                Some(filter)
+            })
+        }
+        other => {
+            Err(ArgError(format!("unknown task '{other}' (cardinality|index|bloom)")).into())
+        }
+    }
+}
+
 /// `setlearn serve --task cardinality|index|bloom --model FILE --collection FILE
 ///  [--requests N] [--threads N] [--max-batch N] [--max-delay-us U] [--queue N]
 ///  [--target-qps Q] [--max-subset K] [--shards N] [--shard-by hash|range]
@@ -956,7 +1156,10 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "model", "collection", "requests", "threads", "max-batch", "max-delay-us",
         "queue", "target-qps", "max-subset", "shards", "shard-by", "telemetry", "listen",
-        "serve-for-s", "addr-file", "allow-remote-shutdown",
+        "serve-for-s", "addr-file", "allow-remote-shutdown", "wal-dir", "compact-after",
+        // Retraining knobs, read by the `--compact-after` rebuild closure.
+        "compressed", "epochs", "refine-epochs", "percentile", "neurons", "embedding", "lr",
+        "batch", "seed", "samples", "range", "last",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
@@ -972,6 +1175,24 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let total = args.get_or("requests", 2_000usize)?;
     let max_subset = args.get_or("max-subset", 2usize)?;
     let spec = shard_spec_from_args(args)?;
+
+    if let Some(wal_dir) = args.optional("wal-dir") {
+        if spec.is_some() {
+            return Err(ArgError("--wal-dir cannot be combined with --shards".into()).into());
+        }
+        if args.optional("listen").is_none() {
+            return Err(ArgError(
+                "--wal-dir requires --listen (mutable collections are served over the wire)"
+                    .into(),
+            )
+            .into());
+        }
+        serve_listen_mutable(args, &task, model_path, cfg, Path::new(wal_dir))?;
+        if let Some(sink) = sink {
+            sink.finish()?;
+        }
+        return Ok(());
+    }
 
     if args.optional("listen").is_some() {
         serve_listen(args, &task, model_path, cfg, spec)?;
@@ -1107,8 +1328,68 @@ fn print_wire_outcome(elements: &[u32], outcome: &WireOutcome) {
     }
 }
 
+/// Parses semicolon-separated id lists (`"1,2;3,4"`) into canonical
+/// (sorted, deduplicated) sets, refusing empty sets.
+fn id_set_lists(raw: &str, opt: &str) -> Result<Vec<Vec<u32>>, ArgError> {
+    raw.split(';')
+        .map(|part| {
+            let ids = part
+                .split(',')
+                .map(|t| t.trim().parse::<u32>())
+                .collect::<Result<Vec<u32>, _>>()
+                .map_err(|_| ArgError(format!("invalid id list '{part}' in --{opt}")))?;
+            let canonical = setlearn_data::normalize(ids);
+            if canonical.is_empty() {
+                return Err(ArgError(format!("empty set in --{opt}")));
+            }
+            Ok(canonical.into_vec())
+        })
+        .collect()
+}
+
+/// `setlearn ingest --wal-dir DIR [--insert "1,2;3,4"] [--delete "5,6"]`
+///
+/// Offline durable ingest: appends insert/delete records straight to the
+/// WAL at DIR (creating it if needed) without loading a model. Every record
+/// is fsync'd before the command returns. The records are folded in by the
+/// next `train --wal-dir` and replayed by `serve --wal-dir`. Sets are
+/// canonicalized here; ids outside the base vocabulary are only detectable
+/// at replay time, where they are skipped and counted instead of wedging
+/// recovery.
+pub fn ingest(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["wal-dir", "insert", "delete"])?;
+    let dir = Path::new(args.required("wal-dir")?);
+    let mut ops: Vec<WalOp> = Vec::new();
+    if let Some(raw) = args.optional("insert") {
+        ops.extend(id_set_lists(raw, "insert")?.into_iter().map(WalOp::Insert));
+    }
+    if let Some(raw) = args.optional("delete") {
+        ops.extend(id_set_lists(raw, "delete")?.into_iter().map(WalOp::Delete));
+    }
+    if ops.is_empty() {
+        return Err(ArgError("nothing to do: pass --insert and/or --delete".into()).into());
+    }
+    let mut recovery = Wal::open(dir)?;
+    if recovery.truncated {
+        eprintln!("warning: damaged WAL tail was truncated during recovery");
+    }
+    let pending = recovery.records.len();
+    let start = recovery.wal.next_seq();
+    for op in &ops {
+        recovery.wal.append(op)?;
+    }
+    println!(
+        "appended {} records (seq {start}..{}) to {}; {pending} earlier records pending",
+        ops.len(),
+        recovery.wal.next_seq(),
+        dir.display(),
+    );
+    Ok(())
+}
+
 /// `setlearn client --addr HOST:PORT [--task cardinality|index|bloom]
-///  [--query 1,2,3] [--batch "1,2;3,4"] [--ping] [--shutdown]`
+///  [--query 1,2,3] [--batch "1,2;3,4"] [--insert "1,2;3,4"]
+///  [--delete "1,2"] [--ping] [--shutdown]`
 ///
 /// Reference client for the `SLP1` wire protocol: connects to a
 /// `serve --listen` front-end and, in order, pings, sends the ad-hoc
@@ -1116,13 +1397,39 @@ fn print_wire_outcome(elements: &[u32], outcome: &WireOutcome) {
 /// `--shutdown`) asks the server to drain. Per-query failures come back as
 /// typed error codes, not stringified I/O errors.
 pub fn client(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["addr", "task", "query", "batch", "ping", "shutdown"])?;
+    args.reject_unknown(&["addr", "task", "query", "batch", "insert", "delete", "ping", "shutdown"])?;
     let addr = args.required("addr")?;
     let mut client = NetClient::connect(addr).map_err(with_path("connect to", addr))?;
     let mut acted = false;
     if args.has_flag("ping") {
         client.ping().map_err(|e| format!("ping failed: {e}"))?;
         println!("pong from {addr}");
+        acted = true;
+    }
+    // Ingest before queries, so `--insert … --query …` observes its own
+    // writes (the server applies an ingest to the overlay before acking).
+    if let Some(raw) = args.optional("insert") {
+        for ids in id_set_lists(raw, "insert")? {
+            let pretty = ids.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+            let ack = client.insert(ids).map_err(|e| format!("insert failed: {e}"))?;
+            println!(
+                "{{{pretty}}} -> inserted at seq {}{}",
+                ack.seq,
+                if ack.applied { "" } else { " (not applied)" }
+            );
+        }
+        acted = true;
+    }
+    if let Some(raw) = args.optional("delete") {
+        for ids in id_set_lists(raw, "delete")? {
+            let pretty = ids.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+            let ack = client.delete(ids).map_err(|e| format!("delete failed: {e}"))?;
+            println!(
+                "{{{pretty}}} -> delete acknowledged at seq {}{}",
+                ack.seq,
+                if ack.applied { "" } else { " (no live occurrence)" }
+            );
+        }
         acted = true;
     }
     let mut batches: Vec<Vec<QueryRequest>> = Vec::new();
@@ -1159,9 +1466,11 @@ pub fn client(args: &Args) -> Result<(), CliError> {
         acted = true;
     }
     if !acted {
-        return Err(
-            ArgError("nothing to do: pass --ping, --query, --batch, or --shutdown".into()).into()
-        );
+        return Err(ArgError(
+            "nothing to do: pass --ping, --query, --batch, --insert, --delete, or --shutdown"
+                .into(),
+        )
+        .into());
     }
     Ok(())
 }
@@ -1210,7 +1519,10 @@ COMMANDS:
   train     --task cardinality|index|bloom --collection FILE --out FILE
             [--compressed] [--epochs N] [--percentile P] [--neurons N]
             [--embedding D] [--max-subset K] [--lr F] [--batch N]
-            [--shards N] [--shard-by hash|range] [--telemetry PATH]
+            [--shards N] [--shard-by hash|range] [--wal-dir DIR]
+            [--telemetry PATH]
+  ingest    --wal-dir DIR [--insert \"1,2;3,4\"] [--delete \"5,6\"]
+            (offline durable appends; folded in by `train --wal-dir`)
   query     --task cardinality|index|bloom --model FILE
             (--query 1,2,3 | --collection FILE [--limit N] [--max-subset K]
             [--threads N]) [--shards N] [--shard-by hash|range]
@@ -1221,8 +1533,10 @@ COMMANDS:
             [--shard-by hash|range] [--telemetry PATH]
             | --listen HOST:PORT [--serve-for-s S] [--addr-file PATH]
             [--allow-remote-shutdown]     (SLP1 TCP front-end; port 0 works)
+            [--wal-dir DIR [--compact-after N]]   (mutable collection)
   client    --addr HOST:PORT [--task cardinality|index|bloom]
-            [--query 1,2,3] [--batch \"1,2;3,4\"] [--ping] [--shutdown]
+            [--query 1,2,3] [--batch \"1,2;3,4\"] [--insert \"1,2;3,4\"]
+            [--delete \"1,2\"] [--ping] [--shutdown]
   sql       --collection FILE --query \"SELECT COUNT(*) FROM t WHERE tags @> {{1,2}} [USING mode]\"
             [--model FILE]
   help
@@ -1235,6 +1549,14 @@ Passing --shards N partitions the collection (hash by default, range with
 --shard-by range), trains one model per shard, and serves every query by
 fanning it out across per-shard worker pools; query and serve must be given
 the same --shards/--shard-by used at training time.
+
+`serve --listen --wal-dir DIR` serves a *mutable* collection: client
+inserts/deletes are fsync'd to a write-ahead log before they are
+acknowledged and answered from an exact in-memory delta merged with the
+model, so a kill -9 loses no acknowledged write (restart replays the WAL
+over DIR/checkpoint.json). `--compact-after N` retrains in the background
+once N ops are pending, checkpoints atomically, and hot-swaps the model
+without dropping requests; `train --wal-dir` does the same fold offline.
 
 `serve --listen` exposes the runtime over TCP (length-prefixed, CRC-checked
 SLP1 frames; `client` is the reference client). The deprecated verbs
@@ -1254,6 +1576,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "train" => train(args),
         "query" => query(args),
         "serve" => serve(args),
+        "ingest" => ingest(args),
         "client" => client(args),
         // Deprecated verbs: hidden aliases of `query --task …` (see
         // [`deprecated_alias`]); kept so existing scripts don't break.
@@ -1644,6 +1967,135 @@ mod tests {
         for f in [&coll, &model, &addr_file] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn ingest_then_train_folds_the_wal_into_a_checkpoint() {
+        let coll = tmp("wal-fold.json");
+        let model = tmp("wal-fold-model.json");
+        let wal_dir = tmp("wal-fold-dir");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "120", "--seed", "6", "--out", &coll,
+        ]))
+        .unwrap();
+        // Offline appends: two inserts, then a delete that consumes the
+        // freshest matching insert — the net delta is one extra row.
+        run(&args(&[
+            "ingest", "--wal-dir", &wal_dir, "--insert", "1,2;2,3", "--delete", "1,2",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "2", "--refine-epochs", "1", "--max-subset", "2",
+            "--wal-dir", &wal_dir,
+        ]))
+        .unwrap();
+        let base = load_collection(&coll).unwrap();
+        let merged: SetCollection =
+            load(&format!("{wal_dir}/checkpoint.json")).unwrap();
+        assert_eq!(merged.len(), base.len() + 1, "net delta folded into the checkpoint");
+        // The fold consumed the log: nothing is pending on reopen, and a
+        // second train starts from the checkpoint without --collection.
+        let recovery = Wal::open(Path::new(&wal_dir)).unwrap();
+        assert!(recovery.records.is_empty(), "WAL fully applied");
+        drop(recovery);
+        run(&args(&[
+            "train", "--task", "cardinality", "--out", &model, "--epochs", "2",
+            "--refine-epochs", "1", "--max-subset", "2", "--wal-dir", &wal_dir,
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(coll);
+        let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+
+    /// End-to-end mutable serving: acknowledged ingest survives a server
+    /// restart (WAL replay), and the background compactor folds the delta
+    /// into an atomic checkpoint while serving.
+    #[test]
+    fn serve_listen_wal_ingests_recovers_and_compacts() {
+        let coll = tmp("wal-net.json");
+        let model = tmp("wal-net-model.json");
+        let wal_dir = tmp("wal-net-dir");
+        let addr_file = tmp("wal-net-addr.txt");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        run(&args(&[
+            "generate", "--dataset", "sd", "--sets", "120", "--seed", "7", "--out", &coll,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "train", "--task", "cardinality", "--collection", &coll, "--out", &model,
+            "--epochs", "2", "--refine-epochs", "1", "--max-subset", "2",
+        ]))
+        .unwrap();
+
+        let serve_session = |extra: &[&str]| {
+            let mut tokens = vec![
+                "serve", "--task", "cardinality", "--model", &model, "--collection", &coll,
+                "--listen", "127.0.0.1:0", "--addr-file", &addr_file,
+                "--allow-remote-shutdown", "--wal-dir", &wal_dir,
+            ];
+            tokens.extend_from_slice(extra);
+            let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+            let _ = std::fs::remove_file(&addr_file);
+            std::thread::spawn(move || {
+                run(&Args::parse(tokens).unwrap()).map_err(|e| e.to_string())
+            })
+        };
+        let wait_addr = |server: &std::thread::JoinHandle<Result<(), String>>| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            loop {
+                match std::fs::read_to_string(&addr_file) {
+                    Ok(s) if !s.is_empty() => break s,
+                    _ if std::time::Instant::now() > deadline || server.is_finished() => {
+                        panic!("server never published its address")
+                    }
+                    _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+                }
+            }
+        };
+
+        // Session 1: ingest over the wire, query through the overlay, drain.
+        let server = serve_session(&[]);
+        let addr = wait_addr(&server);
+        run(&args(&[
+            "client", "--addr", &addr, "--task", "cardinality",
+            "--insert", "1,2;2,3", "--query", "1,2", "--shutdown",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        let recovery = Wal::open(Path::new(&wal_dir)).unwrap();
+        assert_eq!(recovery.records.len(), 2, "acknowledged writes survive the restart");
+        drop(recovery);
+
+        // Session 2: recovery replays the pending delta; the compactor
+        // (threshold already crossed) retrains and checkpoints.
+        let server = serve_session(&[
+            "--compact-after", "2", "--epochs", "2", "--refine-epochs", "1",
+            "--max-subset", "2",
+        ]);
+        let addr = wait_addr(&server);
+        let checkpoint = format!("{wal_dir}/checkpoint.json");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while !std::path::Path::new(&checkpoint).exists() {
+            assert!(std::time::Instant::now() < deadline, "compaction never checkpointed");
+            assert!(!server.is_finished(), "server died before compacting");
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        run(&args(&["client", "--addr", &addr, "--shutdown"])).unwrap();
+        server.join().unwrap().unwrap();
+        let base = load_collection(&coll).unwrap();
+        let merged: SetCollection = load(&checkpoint).unwrap();
+        assert_eq!(merged.len(), base.len() + 2, "compaction folded the delta");
+        assert!(
+            std::path::Path::new(&format!("{wal_dir}/model.json")).exists(),
+            "compaction persisted the retrained model"
+        );
+        for f in [&coll, &model, &addr_file] {
+            let _ = std::fs::remove_file(f);
+        }
+        let _ = std::fs::remove_dir_all(&wal_dir);
     }
 
     #[test]

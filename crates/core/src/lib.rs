@@ -47,12 +47,14 @@ pub mod hybrid;
 pub mod memory;
 pub mod model;
 pub mod monitor;
+pub mod mutable;
 pub mod persist;
 pub mod quantize;
 pub mod settransformer;
 pub mod shard;
 pub mod tasks;
 pub(crate) mod telemetry;
+pub mod wal;
 pub mod wire;
 
 /// Everything a downstream caller of the unified query API needs, in one
@@ -77,6 +79,11 @@ pub mod prelude {
         ShardIndexStructure, ShardedBloom, ShardedCardinality, ShardedIndex,
         ShardedIndexStructure,
     };
+    pub use crate::mutable::{
+        DeltaMergeable, DeltaStats, MutableCollection, MutableSink, MutateError, MutationAck,
+        RecoveryReport,
+    };
+    pub use crate::wal::{Wal, WalConfig, WalError, WalOp, WalRecord, WalRecovery};
     pub use crate::wire::{QueryRequest, QueryResponse, QueryValue, WireTask};
 }
 
@@ -90,6 +97,11 @@ pub use tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
     LearnedSetIndex, LearnedSetStructure, QueryOutcome,
 };
+pub use mutable::{
+    DeltaMergeable, DeltaStats, MutableCollection, MutableSink, MutateError, MutationAck,
+    RecoveryReport,
+};
+pub use wal::{Wal, WalConfig, WalError, WalOp, WalRecord, WalRecovery};
 pub use wire::{QueryRequest, QueryResponse, QueryValue, WireTask};
 // Task build reports embed the training harness report; re-export its types so
 // downstream crates can consume them without depending on `setlearn-nn`.

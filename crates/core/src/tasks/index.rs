@@ -407,6 +407,11 @@ impl LearnedSetIndex {
         &self.bounds
     }
 
+    /// Which occurrence (first/last) this index was trained to return.
+    pub fn target(&self) -> PositionTarget {
+        self.target
+    }
+
     /// The serve-time guard (fallback counters and bounds).
     pub fn serve_guard(&self) -> &ServeGuard {
         &self.guard

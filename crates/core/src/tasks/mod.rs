@@ -107,6 +107,31 @@ pub trait LearnedSetStructure {
     ) -> Vec<QueryOutcome<Self::Output>>;
 }
 
+/// Shared handles answer like what they point to, so long-lived structures
+/// (e.g. a [`crate::mutable::MutableCollection`] owned jointly by the serve
+/// runtime and its compactor) can sit behind an `Arc` and still flow through
+/// every generic serve adapter.
+impl<S: LearnedSetStructure> LearnedSetStructure for std::sync::Arc<S> {
+    type Output = S::Output;
+    const NAME: &'static str = S::NAME;
+
+    fn query(&self, q: &[u32]) -> QueryOutcome<S::Output> {
+        (**self).query(q)
+    }
+
+    fn query_batch(&self, queries: &[ElementSet]) -> Vec<QueryOutcome<S::Output>> {
+        (**self).query_batch(queries)
+    }
+
+    fn query_batch_parallel(
+        &self,
+        queries: &[ElementSet],
+        threads: usize,
+    ) -> Vec<QueryOutcome<S::Output>> {
+        (**self).query_batch_parallel(queries, threads)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod error;
 pub mod hotswap;
 pub mod net;
@@ -47,9 +48,10 @@ pub mod sharded;
 pub mod task;
 pub(crate) mod telemetry;
 
+pub use compact::{spawn_compactor, CompactorConfig, CompactorHandle};
 pub use error::ServeError;
-pub use net::{NetClient, NetConfig, NetError, NetServer, WireBackend};
-pub use proto::{ErrorCode, ProtoError, WireOutcome};
+pub use net::{MutableBackend, NetClient, NetConfig, NetError, NetServer, WireBackend};
+pub use proto::{ErrorCode, IngestAck, IngestRequest, ProtoError, WireOutcome};
 pub use hotswap::{Cached, HotSwap};
 pub use queue::BoundedQueue;
 pub use refresh::{spawn_refresh, Rebuilt, RefreshConfig, RefreshHandle};
@@ -87,6 +89,14 @@ const _: () = {
     assert_send_sync::<IndexTask>();
     assert_send_sync::<BloomTask>();
     assert_send_sync::<StructureTask<setlearn::tasks::ShardIndexStructure>>();
+    // Mutable collections shared by the ingest path, serve workers, and the
+    // compaction daemon.
+    assert_send_sync::<setlearn::mutable::MutableCollection<setlearn::tasks::LearnedCardinality>>();
+    assert_send_sync::<
+        StructureTask<
+            std::sync::Arc<setlearn::mutable::MutableCollection<setlearn::tasks::LearnedBloom>>,
+        >,
+    >();
     // The runtime plumbing shared between submitters and workers.
     assert_send_sync::<HotSwap<CardinalityTask>>();
     assert_send_sync::<HotSwap<IndexTask>>();

@@ -30,14 +30,17 @@
 
 use crate::error::ServeError;
 use crate::proto::{
-    decode_request_batch, decode_response_batch, encode_error_response, encode_frame,
-    encode_request_batch, encode_response_batch, read_frame, ErrorCode, ProtoError, WireOutcome,
-    DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_PING, KIND_SHUTDOWN, MAGIC, VERSION,
+    decode_ingest_ack, decode_ingest_request, decode_request_batch, decode_response_batch,
+    encode_error_response, encode_frame, encode_ingest_ack, encode_ingest_request,
+    encode_request_batch, encode_response_batch, read_frame, ErrorCode, IngestAck, IngestRequest,
+    ProtoError, WireOutcome, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_INGEST, KIND_PING,
+    KIND_SHUTDOWN, MAGIC, VERSION,
 };
 use crate::runtime::ServeRuntime;
 use crate::sharded::ShardedRuntime;
 use crate::task::StructureTask;
 use crate::telemetry::NetTele;
+use setlearn::mutable::{MutableSink, MutateError};
 use setlearn::tasks::{LearnedSetStructure, QueryOutcome};
 use setlearn::wire::{QueryRequest, QueryResponse, WireTask};
 use setlearn_data::ElementSet;
@@ -99,6 +102,52 @@ pub trait WireBackend: Send + Sync {
     /// side), returning exactly one ticket per query in order. A shed or
     /// refused query yields a ticket that resolves to its [`ServeError`].
     fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket>;
+
+    /// Applies one durable mutation. The default refuses with
+    /// [`ErrorCode::IngestUnsupported`]: plain model-serving backends are
+    /// immutable; wrap one in [`MutableBackend`] to accept writes.
+    fn submit_ingest(&self, request: IngestRequest) -> Result<IngestAck, ErrorCode> {
+        let _ = request;
+        Err(ErrorCode::IngestUnsupported)
+    }
+}
+
+/// A [`WireBackend`] decorator that adds the durable write path: queries
+/// delegate to the wrapped backend, ingest frames go to the
+/// [`MutableSink`] (a [`setlearn::mutable::MutableCollection`]), which
+/// fsyncs the WAL before the ack is sent.
+pub struct MutableBackend {
+    inner: Arc<dyn WireBackend>,
+    sink: Arc<dyn MutableSink>,
+}
+
+impl MutableBackend {
+    /// Wraps `inner`, routing ingest frames to `sink`.
+    pub fn new(inner: Arc<dyn WireBackend>, sink: Arc<dyn MutableSink>) -> Self {
+        MutableBackend { inner, sink }
+    }
+}
+
+impl WireBackend for MutableBackend {
+    fn wire_task(&self) -> WireTask {
+        self.inner.wire_task()
+    }
+
+    fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket> {
+        self.inner.submit_wire(sets)
+    }
+
+    fn submit_ingest(&self, request: IngestRequest) -> Result<IngestAck, ErrorCode> {
+        match self.sink.ingest(request.delete, &request.elements) {
+            Ok(ack) => Ok(IngestAck { seq: ack.seq, applied: ack.applied }),
+            // Validation refusals vs durability failures are distinct codes:
+            // a client may retry the latter, never the former.
+            Err(MutateError::EmptySet | MutateError::OutOfVocab { .. }) => {
+                Err(ErrorCode::IngestRejected)
+            }
+            Err(MutateError::Wal(_)) => Err(ErrorCode::IngestFailed),
+        }
+    }
 }
 
 fn wire_task_of<S: LearnedSetStructure>() -> WireTask {
@@ -424,6 +473,26 @@ fn handle_connection(
                     break;
                 }
             }
+            KIND_INGEST => {
+                let payload = match decode_ingest_request(&frame.payload) {
+                    Ok(request) => match backend.submit_ingest(request) {
+                        Ok(ack) => encode_ingest_ack(ack),
+                        Err(code) => {
+                            tele.record_protocol_error(code);
+                            encode_error_response(code)
+                        }
+                    },
+                    Err(_) => {
+                        tele.record_protocol_error(ErrorCode::BadFrame);
+                        encode_error_response(ErrorCode::BadFrame)
+                    }
+                };
+                let ok = write_response(&mut stream, KIND_INGEST, frame.id, &payload, &tele);
+                tele.record_ingest(started.elapsed());
+                if !ok {
+                    break;
+                }
+            }
             KIND_SHUTDOWN => {
                 if config.allow_remote_shutdown {
                     // Ack first, then raise the flag: the requester gets its
@@ -660,6 +729,24 @@ impl NetClient {
             Some(Err(code)) => Err(NetError::Query(code)),
             None => Err(NetError::CountMismatch { sent: 1, got: 0 }),
         }
+    }
+
+    /// Durably inserts a set into the served mutable collection. The ack
+    /// means the record is fsync'd in the server's WAL. Fails with
+    /// [`ErrorCode::IngestUnsupported`] (via [`ProtoError::Remote`]) when
+    /// the server serves an immutable model.
+    pub fn insert(&mut self, elements: Vec<u32>) -> Result<IngestAck, NetError> {
+        self.ingest(IngestRequest { delete: false, elements })
+    }
+
+    /// Durably deletes one occurrence of a set. See [`NetClient::insert`].
+    pub fn delete(&mut self, elements: Vec<u32>) -> Result<IngestAck, NetError> {
+        self.ingest(IngestRequest { delete: true, elements })
+    }
+
+    fn ingest(&mut self, request: IngestRequest) -> Result<IngestAck, NetError> {
+        let payload = self.roundtrip(KIND_INGEST, &encode_ingest_request(&request))?;
+        Ok(decode_ingest_ack(&payload)?)
     }
 
     /// Asks the server to drain and exit. Fails with

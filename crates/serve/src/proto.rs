@@ -46,6 +46,9 @@ pub const MAGIC: [u8; 4] = *b"SLP1";
 pub const VERSION: u8 = 1;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 22;
+/// Frame kind: ingest — one durable insert/delete against a mutable
+/// collection. Answered with an [`IngestAck`] payload after the WAL fsync.
+pub const KIND_INGEST: u8 = 0x10;
 /// Frame kind: ping (liveness / readiness probe).
 pub const KIND_PING: u8 = 0xF0;
 /// Frame kind: graceful-shutdown request (honored only when the server was
@@ -140,6 +143,14 @@ pub enum ErrorCode {
     UnsupportedVersion,
     /// A shutdown frame arrived but remote shutdown is not allowed.
     ShutdownNotAllowed,
+    /// An ingest frame arrived but this server serves an immutable model
+    /// (no `--wal-dir`).
+    IngestUnsupported,
+    /// The mutation was rejected before logging (empty set, out-of-vocab
+    /// element) — nothing was made durable.
+    IngestRejected,
+    /// The durability layer failed; the mutation was **not** acknowledged.
+    IngestFailed,
 }
 
 impl ErrorCode {
@@ -152,6 +163,9 @@ impl ErrorCode {
             ErrorCode::FrameTooLarge => 18,
             ErrorCode::UnsupportedVersion => 19,
             ErrorCode::ShutdownNotAllowed => 20,
+            ErrorCode::IngestUnsupported => 21,
+            ErrorCode::IngestRejected => 22,
+            ErrorCode::IngestFailed => 23,
         }
     }
 
@@ -167,6 +181,9 @@ impl ErrorCode {
             18 => Some(ErrorCode::FrameTooLarge),
             19 => Some(ErrorCode::UnsupportedVersion),
             20 => Some(ErrorCode::ShutdownNotAllowed),
+            21 => Some(ErrorCode::IngestUnsupported),
+            22 => Some(ErrorCode::IngestRejected),
+            23 => Some(ErrorCode::IngestFailed),
             _ => None,
         }
     }
@@ -180,6 +197,9 @@ impl ErrorCode {
             ErrorCode::FrameTooLarge => "frame_too_large",
             ErrorCode::UnsupportedVersion => "unsupported_version",
             ErrorCode::ShutdownNotAllowed => "shutdown_not_allowed",
+            ErrorCode::IngestUnsupported => "ingest_unsupported",
+            ErrorCode::IngestRejected => "ingest_rejected",
+            ErrorCode::IngestFailed => "ingest_failed",
         }
     }
 }
@@ -343,6 +363,99 @@ pub fn decode_response_batch(mut payload: &[u8]) -> Result<Vec<WireOutcome>, Pro
     Ok(outcomes)
 }
 
+// ---------------------------------------------------------------------------
+// Ingest payload bodies (kind 0x10)
+// ---------------------------------------------------------------------------
+
+/// One durable mutation: `op u8` (0 insert, 1 delete), `count u32`, then
+/// `count × u32` element ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestRequest {
+    /// `true` deletes one occurrence; `false` inserts.
+    pub delete: bool,
+    /// Raw element ids (the server canonicalizes).
+    pub elements: Vec<u32>,
+}
+
+/// Encodes an ingest request payload.
+pub fn encode_ingest_request(request: &IngestRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + request.elements.len() * 4);
+    out.push(u8::from(request.delete));
+    out.extend_from_slice(&(request.elements.len() as u32).to_le_bytes());
+    for &id in &request.elements {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an ingest request payload.
+pub fn decode_ingest_request(mut payload: &[u8]) -> Result<IngestRequest, ProtoError> {
+    let op = take_status(&mut payload)?;
+    let delete = match op {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(ProtoError::BadPayload(WireDecodeError::BadTag { what: "ingest op", tag }))
+        }
+    };
+    let count = take_count(&mut payload, "ingest set")?;
+    if payload.len() != count * 4 {
+        return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+    }
+    let elements = payload
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+        .collect();
+    Ok(IngestRequest { delete, elements })
+}
+
+/// Acknowledgement of a durable mutation: the record is fsync'd in the
+/// server's WAL before this is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// WAL sequence the mutation committed at.
+    pub seq: u64,
+    /// Whether it changed the logical collection (`false` for a delete
+    /// with no remaining occurrence).
+    pub applied: bool,
+}
+
+/// Encodes an OK ingest response payload: status 0, `applied u8`, `seq u64`.
+pub fn encode_ingest_ack(ack: IngestAck) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    out.push(0);
+    out.push(u8::from(ack.applied));
+    out.extend_from_slice(&ack.seq.to_le_bytes());
+    out
+}
+
+/// Decodes an ingest response payload; a nonzero status surfaces as
+/// [`ProtoError::Remote`].
+pub fn decode_ingest_ack(mut payload: &[u8]) -> Result<IngestAck, ProtoError> {
+    let status = take_status(&mut payload)?;
+    if status != 0 {
+        let code = ErrorCode::from_code(status).ok_or(ProtoError::BadPayload(
+            WireDecodeError::BadTag { what: "ingest status", tag: status },
+        ))?;
+        return Err(ProtoError::Remote(code));
+    }
+    let applied = match take_status(&mut payload)? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(ProtoError::BadPayload(WireDecodeError::BadTag {
+                what: "ingest applied flag",
+                tag,
+            }))
+        }
+    };
+    if payload.len() != 8 {
+        return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+    }
+    let seq = u64::from_le_bytes(payload.try_into().expect("checked length"));
+    Ok(IngestAck { seq, applied })
+}
+
 fn take_status(payload: &mut &[u8]) -> Result<u8, ProtoError> {
     let (&status, rest) =
         payload.split_first().ok_or(ProtoError::BadPayload(WireDecodeError::Truncated))?;
@@ -494,12 +607,41 @@ mod tests {
         assert_eq!(ErrorCode::FrameTooLarge.code(), 18);
         assert_eq!(ErrorCode::UnsupportedVersion.code(), 19);
         assert_eq!(ErrorCode::ShutdownNotAllowed.code(), 20);
-        for code in 1..=20u8 {
+        assert_eq!(ErrorCode::IngestUnsupported.code(), 21);
+        assert_eq!(ErrorCode::IngestRejected.code(), 22);
+        assert_eq!(ErrorCode::IngestFailed.code(), 23);
+        for code in 1..=23u8 {
             if let Some(decoded) = ErrorCode::from_code(code) {
                 assert_eq!(decoded.code(), code);
             }
         }
         assert_eq!(ErrorCode::from_code(0), None);
         assert_eq!(ErrorCode::from_code(200), None);
+    }
+
+    #[test]
+    fn ingest_payloads_roundtrip() {
+        for request in [
+            IngestRequest { delete: false, elements: vec![3, 1, 2] },
+            IngestRequest { delete: true, elements: vec![] },
+        ] {
+            let payload = encode_ingest_request(&request);
+            assert_eq!(decode_ingest_request(&payload).unwrap(), request);
+        }
+        for ack in [
+            IngestAck { seq: 0, applied: true },
+            IngestAck { seq: u64::MAX, applied: false },
+        ] {
+            assert_eq!(decode_ingest_ack(&encode_ingest_ack(ack)).unwrap(), ack);
+        }
+        // Remote refusal surfaces typed.
+        match decode_ingest_ack(&encode_error_response(ErrorCode::IngestUnsupported)) {
+            Err(ProtoError::Remote(ErrorCode::IngestUnsupported)) => {}
+            other => panic!("expected remote ingest_unsupported, got {other:?}"),
+        }
+        // Garbage op byte / truncated id block are typed errors, not panics.
+        assert!(decode_ingest_request(&[7, 0, 0, 0, 0]).is_err());
+        assert!(decode_ingest_request(&[0, 2, 0, 0, 0, 1, 0]).is_err());
+        assert!(decode_ingest_ack(&[0, 1, 9, 9]).is_err());
     }
 }

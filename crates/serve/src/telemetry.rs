@@ -141,6 +141,8 @@ impl RuntimeTele {
 ///   frame bytes read/written, headers included (counters)
 /// - `setlearn_net_request_seconds` — frame receipt → response written, per
 ///   query frame (histogram)
+/// - `setlearn_net_ingest_seconds` — frame receipt → ack written, per
+///   ingest frame, WAL fsync included (histogram)
 /// - `setlearn_net_protocol_errors_total` — malformed/refused frames, with
 ///   a `code` label naming the [`crate::proto::ErrorCode`] (counter)
 pub(crate) struct NetTele {
@@ -149,6 +151,7 @@ pub(crate) struct NetTele {
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     request_seconds: Arc<Histogram>,
+    ingest_seconds: Arc<Histogram>,
 }
 
 impl NetTele {
@@ -161,6 +164,7 @@ impl NetTele {
             bytes_in: m.counter_with("setlearn_net_bytes_in_total", l),
             bytes_out: m.counter_with("setlearn_net_bytes_out_total", l),
             request_seconds: m.histogram_with("setlearn_net_request_seconds", l, LATENCY_BOUNDS),
+            ingest_seconds: m.histogram_with("setlearn_net_ingest_seconds", l, LATENCY_BOUNDS),
         }
     }
 
@@ -195,6 +199,15 @@ impl NetTele {
         }
         debug_assert_eq!(task, self.task, "a handler serves exactly one task");
         self.request_seconds.observe_duration(duration);
+    }
+
+    /// Records one acknowledged ingest frame (receipt → ack on the wire,
+    /// WAL fsync included). Ingest rides the served task's connection, so
+    /// it gets its own histogram rather than the query one.
+    pub(crate) fn record_ingest(&self, duration: Duration) {
+        if setlearn_obs::metrics_on() {
+            self.ingest_seconds.observe_duration(duration);
+        }
     }
 
     /// Counts one refused frame under its stable error-code label. Resolved
