@@ -16,7 +16,8 @@ use setlearn_obs::RegistrySnapshot;
 use setlearn_serve::{
     spawn_compactor, BloomTask, CardinalityTask, CompactorConfig, IndexTask, MutableBackend,
     NetClient, NetConfig, NetServer, ServeConfig, ServeError, ServeReport, ServeRuntime,
-    ServeTask, ShardedReport, ShardedRuntime, StructureTask, WireBackend, WireOutcome,
+    ServeTask, ShardedReport, ShardedRuntime, StatsFormat, StructureTask, WireBackend,
+    WireOutcome,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -823,8 +824,16 @@ where
     B: WireBackend + 'static,
 {
     let addr = args.required("listen")?;
+    // Absent = slow-query log off; an explicit 0 means threshold zero,
+    // i.e. record every request (useful for smoke tests and short probes).
+    let slow_query_threshold = match args.optional("slow-query-ms") {
+        Some(_) => Some(std::time::Duration::from_millis(args.get_or("slow-query-ms", 0u64)?)),
+        None => None,
+    };
     let net = NetConfig {
         allow_remote_shutdown: args.has_flag("allow-remote-shutdown"),
+        slow_query_threshold,
+        drain_grace: std::time::Duration::from_millis(args.get_or("drain-grace-ms", 0u64)?),
         ..NetConfig::default()
     };
     let serve_for_s = args.get_or("serve-for-s", 0.0f64)?;
@@ -1157,6 +1166,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         "task", "model", "collection", "requests", "threads", "max-batch", "max-delay-us",
         "queue", "target-qps", "max-subset", "shards", "shard-by", "telemetry", "listen",
         "serve-for-s", "addr-file", "allow-remote-shutdown", "wal-dir", "compact-after",
+        "slow-query-ms", "drain-grace-ms",
         // Retraining knobs, read by the `--compact-after` rebuild closure.
         "compressed", "epochs", "refine-epochs", "percentile", "neurons", "embedding", "lr",
         "batch", "seed", "samples", "range", "last",
@@ -1397,13 +1407,58 @@ pub fn ingest(args: &Args) -> Result<(), CliError> {
 /// `--shutdown`) asks the server to drain. Per-query failures come back as
 /// typed error codes, not stringified I/O errors.
 pub fn client(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["addr", "task", "query", "batch", "insert", "delete", "ping", "shutdown"])?;
+    args.reject_unknown(&[
+        "addr", "task", "query", "batch", "insert", "delete", "ping", "shutdown", "stats",
+        "health", "slow-queries", "trace-id",
+    ])?;
     let addr = args.required("addr")?;
     let mut client = NetClient::connect(addr).map_err(with_path("connect to", addr))?;
     let mut acted = false;
     if args.has_flag("ping") {
         client.ping().map_err(|e| format!("ping failed: {e}"))?;
         println!("pong from {addr}");
+        acted = true;
+    }
+    if args.has_flag("stats") || args.optional("stats").is_some() {
+        let format = match args.optional("stats").unwrap_or("prom") {
+            "prom" | "prometheus" => StatsFormat::Prometheus,
+            "json" => StatsFormat::Json,
+            other => {
+                return Err(ArgError(format!("unknown stats format '{other}' (prom|json)")).into())
+            }
+        };
+        let text = client.stats(format).map_err(|e| format!("stats failed: {e}"))?;
+        println!("{text}");
+        acted = true;
+    }
+    if args.has_flag("health") {
+        let report = client.health().map_err(|e| format!("health failed: {e}"))?;
+        println!(
+            "{}: draining={} queue={}/{} shards={} model_version={} wal_truncations={} \
+             compactor_pending={}",
+            if report.ready { "ready" } else { "not ready" },
+            report.draining,
+            report.queue_depth,
+            report.queue_capacity,
+            report.shards,
+            report.model_version,
+            report.wal_truncations,
+            report.compactor_pending,
+        );
+        for reason in &report.reasons {
+            println!("  - {reason}");
+        }
+        // Probe semantics: a not-ready verdict is a nonzero exit, so the
+        // command slots directly into load-balancer / orchestrator checks.
+        if !report.ready {
+            return Err(format!("server not ready: {}", report.reasons.join("; ")).into());
+        }
+        acted = true;
+    }
+    if args.has_flag("slow-queries") {
+        let jsonl =
+            client.stats(StatsFormat::SlowQueries).map_err(|e| format!("slow-queries failed: {e}"))?;
+        print!("{jsonl}");
         acted = true;
     }
     // Ingest before queries, so `--insert … --query …` observes its own
@@ -1451,9 +1506,19 @@ pub fn client(args: &Args) -> Result<(), CliError> {
     }
     if !batches.is_empty() {
         let task: WireTask = args.required("task")?.parse().map_err(ArgError)?;
+        // An explicit --trace-id rides the query frames, so the server's
+        // slow-query records and spans carry the caller's id end to end.
+        let trace_id = match args.optional("trace-id") {
+            Some(raw) => Some(
+                raw.parse::<u64>()
+                    .map_err(|_| ArgError(format!("invalid --trace-id '{raw}'")))?,
+            ),
+            None => None,
+        };
         for batch in batches {
-            let outcomes =
-                client.query_batch(task, &batch).map_err(|e| format!("query failed: {e}"))?;
+            let outcomes = client
+                .query_batch_traced(task, &batch, trace_id)
+                .map_err(|e| format!("query failed: {e}"))?;
             for (request, outcome) in batch.iter().zip(&outcomes) {
                 print_wire_outcome(&request.elements, outcome);
             }
@@ -1467,12 +1532,70 @@ pub fn client(args: &Args) -> Result<(), CliError> {
     }
     if !acted {
         return Err(ArgError(
-            "nothing to do: pass --ping, --query, --batch, --insert, --delete, or --shutdown"
+            "nothing to do: pass --ping, --query, --batch, --insert, --delete, --stats, \
+             --health, --slow-queries, or --shutdown"
                 .into(),
         )
         .into());
     }
     Ok(())
+}
+
+/// `setlearn watch --addr HOST:PORT [--interval-ms N] [--count N]` — polls
+/// the server's metrics snapshot over the wire and renders a per-interval
+/// delta (counter increments, histogram counts per stage) so an operator
+/// can watch a live server's request mix without a scrape stack. `--count 0`
+/// (the default) polls until interrupted.
+pub fn watch(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["addr", "interval-ms", "count"])?;
+    let addr = args.required("addr")?;
+    let interval = std::time::Duration::from_millis(args.get_or("interval-ms", 1_000u64)?);
+    let count = args.get_or("count", 0u64)?;
+    let mut client = NetClient::connect(addr).map_err(with_path("connect to", addr))?;
+    let mut baseline: Option<setlearn_obs::RegistrySnapshot> = None;
+    let mut rounds = 0u64;
+    loop {
+        let text = client
+            .stats(StatsFormat::Json)
+            .map_err(|e| format!("stats poll failed: {e}"))?;
+        let snap = setlearn_obs::from_json(&text)?;
+        match &baseline {
+            None => println!("watching {addr} (interval {}ms)", interval.as_millis()),
+            Some(prev) => {
+                let delta = snap.delta(prev);
+                let mut lines = 0usize;
+                for c in &delta.counters {
+                    if c.value > 0 {
+                        println!("  {} +{}", c.key.render(), c.value);
+                        lines += 1;
+                    }
+                }
+                for h in &delta.histograms {
+                    if h.value.count > 0 {
+                        let mean = h.value.sum / h.value.count as f64;
+                        // Latency families are recorded in seconds; render
+                        // their means in µs. Anything else keeps raw units.
+                        let pretty = if h.key.name.ends_with("_seconds") {
+                            format!("{:.1}us", 1e6 * mean)
+                        } else {
+                            format!("{mean:.1}")
+                        };
+                        println!("  {} +{} (mean {pretty})", h.key.render(), h.value.count);
+                        lines += 1;
+                    }
+                }
+                if lines == 0 {
+                    println!("  (idle)");
+                }
+            }
+        }
+        baseline = Some(snap);
+        rounds += 1;
+        if count > 0 && rounds > count {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]`
@@ -1533,10 +1656,14 @@ COMMANDS:
             [--shard-by hash|range] [--telemetry PATH]
             | --listen HOST:PORT [--serve-for-s S] [--addr-file PATH]
             [--allow-remote-shutdown]     (SLP1 TCP front-end; port 0 works)
+            [--slow-query-ms N] [--drain-grace-ms N]
             [--wal-dir DIR [--compact-after N]]   (mutable collection)
   client    --addr HOST:PORT [--task cardinality|index|bloom]
             [--query 1,2,3] [--batch \"1,2;3,4\"] [--insert \"1,2;3,4\"]
-            [--delete \"1,2\"] [--ping] [--shutdown]
+            [--delete \"1,2\"] [--trace-id N] [--ping] [--shutdown]
+            [--stats [prom|json]] [--health] [--slow-queries]
+  watch     --addr HOST:PORT [--interval-ms N] [--count N]
+            (poll a live server's metrics, print per-interval deltas)
   sql       --collection FILE --query \"SELECT COUNT(*) FROM t WHERE tags @> {{1,2}} [USING mode]\"
             [--model FILE]
   help
@@ -1578,6 +1705,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "serve" => serve(args),
         "ingest" => ingest(args),
         "client" => client(args),
+        "watch" => watch(args),
         // Deprecated verbs: hidden aliases of `query --task …` (see
         // [`deprecated_alias`]); kept so existing scripts don't break.
         "estimate" => deprecated_alias(args, "cardinality"),

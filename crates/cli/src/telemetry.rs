@@ -20,6 +20,11 @@ use std::path::{Path, PathBuf};
 /// An active `--telemetry` sink for one CLI invocation.
 pub struct TelemetrySink {
     base: PathBuf,
+    /// The metrics artifact as absorbed at [`begin`] — the baseline for the
+    /// merge-on-write in [`TelemetrySink::finish`]. What another process
+    /// writes to the artifact *after* our absorb is disk-minus-baseline, and
+    /// is folded back in rather than clobbered.
+    absorbed: RegistrySnapshot,
 }
 
 /// Reads the `--telemetry` option; when present, raises the global telemetry
@@ -34,7 +39,8 @@ pub fn begin(args: &crate::args::Args) -> Result<Option<TelemetrySink>, CliError
         return Err("--telemetry requires a non-empty path".into());
     }
     setlearn_obs::set_level(setlearn_obs::TelemetryLevel::Full);
-    let sink = TelemetrySink { base: PathBuf::from(base) };
+    let mut sink =
+        TelemetrySink { base: PathBuf::from(base), absorbed: RegistrySnapshot::default() };
     let metrics_path = sink.metrics_path();
     if metrics_path.exists() {
         let text = std::fs::read_to_string(&metrics_path)
@@ -42,6 +48,7 @@ pub fn begin(args: &crate::args::Args) -> Result<Option<TelemetrySink>, CliError
         let snap: RegistrySnapshot = serde_json::from_str(&text)
             .map_err(|e| format!("cannot parse {}: {e}", metrics_path.display()))?;
         setlearn_obs::metrics().absorb(&snap);
+        sink.absorbed = snap;
     }
     Ok(Some(sink))
 }
@@ -69,12 +76,25 @@ impl TelemetrySink {
     }
 
     /// Flushes the run artifact: Prometheus exposition + metrics snapshot
-    /// (overwritten — they already contain absorbed history) and the drained
-    /// trace ring (appended to the existing trace).
+    /// and the drained trace ring (appended to the existing trace).
+    ///
+    /// The metrics artifact is *merged*, not blindly replaced: the file on
+    /// disk is re-read and whatever accumulated there since [`begin`]'s
+    /// absorb (another invocation finishing concurrently, an out-of-band
+    /// writer) is folded into the live snapshot first. Without this, two
+    /// overlapping `--telemetry` runs against one base path clobber each
+    /// other — last writer wins and the other run's counters vanish.
     pub fn finish(&self) -> Result<(), CliError> {
         let tracer = setlearn_obs::tracer();
         setlearn_obs::publish_collector_metrics(tracer, setlearn_obs::metrics());
-        let snap = setlearn_obs::metrics().snapshot();
+        let mut snap = setlearn_obs::metrics().snapshot();
+        if let Ok(text) = std::fs::read_to_string(self.metrics_path()) {
+            if let Ok(disk) = serde_json::from_str::<RegistrySnapshot>(&text) {
+                // Only what landed on disk after our absorb is new to us;
+                // merging the whole file would double-count the baseline.
+                snap.merge(&disk.delta(&self.absorbed));
+            }
+        }
 
         let prom = self.prom_path();
         write_atomic(&prom, setlearn_obs::to_prometheus(&snap).as_bytes())
@@ -103,5 +123,72 @@ impl TelemetrySink {
             trace.display()
         );
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use setlearn_obs::{CounterSample, MetricKey};
+
+    fn counter(name: &str, value: u64) -> CounterSample {
+        CounterSample { key: MetricKey { name: name.to_string(), labels: Vec::new() }, value }
+    }
+
+    /// Regression: `finish` must merge what landed in the metrics artifact
+    /// after `begin`'s absorb (an overlapping run, an out-of-band writer)
+    /// instead of blindly overwriting it. The old write path lost the
+    /// `extra` counter and rolled `seed` back to the absorbed value.
+    #[test]
+    fn finish_merges_out_of_band_artifact_writes_instead_of_clobbering() {
+        let dir = std::env::temp_dir().join(format!("setlearn_tele_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("run");
+        let args = Args::parse(
+            ["query".to_string(), "--telemetry".to_string(), base.display().to_string()],
+        )
+        .unwrap();
+
+        // Artifact v1 on disk before the run starts: seed = 5.
+        let v1 = RegistrySnapshot {
+            counters: vec![counter("tele_clobber_seed_total", 5)],
+            ..RegistrySnapshot::default()
+        };
+        let metrics_path = {
+            let mut s = base.as_os_str().to_owned();
+            s.push(".metrics.json");
+            PathBuf::from(s)
+        };
+        std::fs::write(&metrics_path, serde_json::to_string(&v1).unwrap()).unwrap();
+
+        let sink = begin(&args).unwrap().expect("--telemetry given");
+
+        // Out-of-band writer overwrites the artifact mid-run: seed bumped to
+        // 9 (+4) and a counter this process never touches appears.
+        let v2 = RegistrySnapshot {
+            counters: vec![
+                counter("tele_clobber_extra_total", 3),
+                counter("tele_clobber_seed_total", 9),
+            ],
+            ..RegistrySnapshot::default()
+        };
+        std::fs::write(&metrics_path, serde_json::to_string(&v2).unwrap()).unwrap();
+
+        sink.finish().unwrap();
+
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let merged: RegistrySnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            merged.counter_value("tele_clobber_extra_total", &[]),
+            Some(3),
+            "the out-of-band counter survives the finish"
+        );
+        assert_eq!(
+            merged.counter_value("tele_clobber_seed_total", &[]),
+            Some(9),
+            "absorbed 5 plus the out-of-band +4, not rolled back"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

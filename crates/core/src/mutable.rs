@@ -338,6 +338,13 @@ impl CompactionSnapshot {
 pub trait MutableSink: Send + Sync {
     /// Applies one durable mutation (`delete == false` inserts).
     fn ingest(&self, delete: bool, ids: &[u32]) -> Result<MutationAck, MutateError>;
+
+    /// Mutations applied but not yet folded into the base collection by a
+    /// compaction — the compactor's lag, surfaced by health probes. `0` for
+    /// sinks without a pending delta.
+    fn pending_ops(&self) -> u64 {
+        0
+    }
 }
 
 struct MutableState<S> {
@@ -560,6 +567,10 @@ impl<S: Send + Sync> MutableSink for MutableCollection<S> {
         } else {
             self.insert(ids)
         }
+    }
+
+    fn pending_ops(&self) -> u64 {
+        self.delta_stats().pending_ops as u64
     }
 }
 

@@ -22,6 +22,19 @@ fn fmt_bound(b: f64) -> String {
     fmt_f64(b)
 }
 
+/// Renders a snapshot as a JSON document (the same shape the CLI's
+/// `--telemetry` writes to `<base>.metrics.json`), for machine consumers
+/// that prefer structured data over the Prometheus exposition — e.g. the
+/// wire `KIND_STATS` reply in JSON format and the CLI's `watch` mode.
+pub fn to_json(snap: &RegistrySnapshot) -> String {
+    serde_json::to_string(snap).expect("RegistrySnapshot serializes")
+}
+
+/// Parses a JSON document produced by [`to_json`].
+pub fn from_json(text: &str) -> Result<RegistrySnapshot, String> {
+    serde_json::from_str(text).map_err(|e| format!("bad metrics JSON: {e}"))
+}
+
 /// Renders a snapshot in Prometheus text-exposition format (version 0.0.4):
 /// one `# TYPE` line per family, `_bucket{le=...}`/`_sum`/`_count` series for
 /// histograms. Output is deterministic — families and series are sorted.

@@ -23,12 +23,17 @@
 
 pub mod export;
 pub mod metrics;
+pub mod slowlog;
 pub mod trace;
 
-pub use export::{to_prometheus, to_table, validate_prometheus};
+pub use export::{from_json, to_json, to_prometheus, to_table, validate_prometheus};
 pub use metrics::{
     Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, HistogramSnapshot,
     Label, MetricKey, MetricsRegistry, RegistrySnapshot, LATENCY_BOUNDS, QERROR_BOUNDS,
+};
+pub use slowlog::{
+    parse_slow_jsonl, SlowQueryLog, SlowQueryRecord, Stage, StageBreakdown,
+    DEFAULT_SLOW_LOG_CAPACITY, STAGES, STAGE_COUNT,
 };
 pub use trace::{
     parse_jsonl, publish_collector_metrics, to_jsonl, Field, RecordKind, SpanGuard,

@@ -191,6 +191,19 @@ impl Histogram {
             atomic_f64_max(&self.max_bits, snap.max);
         }
     }
+
+    /// Zeroes every bucket, the sum, and the maximum, returning the
+    /// histogram to its freshly-constructed state. Not atomic with respect
+    /// to concurrent observers: a sample racing the reset may land partially
+    /// (count without sum or vice versa). Intended for poll-style consumers
+    /// that own the histogram or tolerate a one-sample skew.
+    pub fn reset(&self) {
+        for slot in &self.buckets {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// Serializable point-in-time copy of a [`Histogram`].
@@ -239,6 +252,50 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// What happened since `baseline`: per-bucket counts, total count, and
+    /// sum are subtracted (saturating, so a reset between snapshots degrades
+    /// to an empty or partial delta instead of underflowing).
+    /// `max` cannot be un-merged, so the delta keeps this snapshot's
+    /// cumulative maximum. Bucket layouts must match; on mismatch the whole
+    /// current snapshot is returned (the series was re-registered, so the
+    /// baseline is meaningless).
+    pub fn delta(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        if baseline.bounds != self.bounds || baseline.counts.len() != self.counts.len() {
+            return self.clone();
+        }
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&baseline.counts)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: if count == 0 { 0.0 } else { (self.sum - baseline.sum).max(0.0) },
+            max: if count == 0 { 0.0 } else { self.max },
+        }
+    }
+
+    /// Adds `other` into this snapshot: counts and sums accumulate, `max`
+    /// takes the larger. Bucket layouts must match; a mismatched `other` is
+    /// ignored (same contract as [`Histogram::absorb`]).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.bounds != self.bounds || other.counts.len() != self.counts.len() {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+        }
     }
 }
 
@@ -528,6 +585,12 @@ impl RegistrySnapshot {
         self.counters.iter().find(|c| c.key == key).map(|c| c.value)
     }
 
+    /// Looks up a gauge value by family name and labels.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|g| g.key == key).map(|g| g.value)
+    }
+
     /// Looks up a histogram by family name and labels.
     pub fn histogram_value(
         &self,
@@ -536,6 +599,64 @@ impl RegistrySnapshot {
     ) -> Option<&HistogramSnapshot> {
         let key = MetricKey::new(name, labels);
         self.histograms.iter().find(|h| h.key == key).map(|h| &h.value)
+    }
+
+    /// What happened since `baseline`: counters subtract (saturating),
+    /// histograms subtract bucket-wise via [`HistogramSnapshot::delta`], and
+    /// gauges keep their current value (a gauge is a level, not a rate).
+    /// Series absent from the baseline pass through whole. This is what the
+    /// CLI `watch` poller renders as a per-interval view.
+    pub fn delta(&self, baseline: &RegistrySnapshot) -> RegistrySnapshot {
+        let mut out = RegistrySnapshot::default();
+        for c in &self.counters {
+            let then = baseline
+                .counters
+                .iter()
+                .find(|b| b.key == c.key)
+                .map(|b| b.value)
+                .unwrap_or(0);
+            out.counters.push(CounterSample {
+                key: c.key.clone(),
+                value: c.value.saturating_sub(then),
+            });
+        }
+        out.gauges = self.gauges.clone();
+        for h in &self.histograms {
+            let value = match baseline.histograms.iter().find(|b| b.key == h.key) {
+                Some(b) => h.value.delta(&b.value),
+                None => h.value.clone(),
+            };
+            out.histograms.push(HistogramSample { key: h.key.clone(), value });
+        }
+        out
+    }
+
+    /// Adds `other` into this snapshot: counters accumulate, histograms
+    /// merge bucket-wise, and series only present in `other` are inserted.
+    /// Gauges keep this snapshot's value when both carry the series (the
+    /// caller's snapshot is the fresher level); unseen gauges are adopted.
+    /// Output stays sorted by rendered key, like [`MetricsRegistry::snapshot`].
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.key == c.key) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            if !self.gauges.iter().any(|mine| mine.key == g.key) {
+                self.gauges.push(g.clone());
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.key == h.key) {
+                Some(mine) => mine.value.merge(&h.value),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by_key(|a| a.key.render());
+        self.gauges.sort_by_key(|a| a.key.render());
+        self.histograms.sort_by_key(|a| a.key.render());
     }
 }
 
@@ -677,6 +798,124 @@ mod tests {
         assert_eq!(h2.count, 4);
         assert_eq!(h2.max, 0.5);
         assert_eq!(snap2.gauges[0].value, 2.5);
+    }
+
+    #[test]
+    fn reset_returns_histogram_to_pristine_state() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0, 0]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.max, 0.0);
+        // The histogram keeps working after a reset.
+        h.observe(1.5);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 1, 0]);
+        assert_eq!(s.max, 1.5);
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_at_bucket_boundaries() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // exactly on the le="1" bound → first bucket
+        let baseline = h.snapshot();
+        h.observe(1.0); // same boundary value again, after the baseline
+        h.observe(2.0); // le="2" bound
+        h.observe(3.0); // overflow
+        let d = h.snapshot().delta(&baseline);
+        // Only the post-baseline samples remain, each in its `le` bucket.
+        assert_eq!(d.counts, vec![1, 1, 1]);
+        assert_eq!(d.count, 3);
+        assert!((d.sum - 6.0).abs() < 1e-12);
+        assert_eq!(d.max, 3.0); // cumulative max: delta cannot un-merge it
+    }
+
+    #[test]
+    fn histogram_delta_with_no_new_samples_is_empty() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        let snap = h.snapshot();
+        let d = snap.delta(&snap);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.counts, vec![0, 0]);
+        assert_eq!(d.sum, 0.0);
+        assert_eq!(d.max, 0.0);
+    }
+
+    #[test]
+    fn histogram_delta_survives_a_reset_between_snapshots() {
+        let h = Histogram::new(&[1.0]);
+        for _ in 0..5 {
+            h.observe(0.5);
+        }
+        let baseline = h.snapshot();
+        h.reset();
+        h.observe(0.5);
+        // Counts went backwards; saturating subtraction clamps to zero
+        // instead of underflowing to ~u64::MAX garbage.
+        let d = h.snapshot().delta(&baseline);
+        assert_eq!(d.counts, vec![0, 0]);
+        assert_eq!(d.count, 0);
+    }
+
+    #[test]
+    fn histogram_delta_on_bounds_mismatch_returns_current() {
+        let now = Histogram::new(&[1.0, 2.0]);
+        now.observe(0.5);
+        let other = Histogram::new(&[5.0]).snapshot();
+        let d = now.snapshot().delta(&other);
+        assert_eq!(d, now.snapshot());
+    }
+
+    #[test]
+    fn registry_delta_reports_per_interval_rates() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total").add(10);
+        reg.gauge("depth").set(3.0);
+        reg.histogram("lat", &[1.0]).observe(0.5);
+        let baseline = reg.snapshot();
+        reg.counter("req_total").add(7);
+        reg.gauge("depth").set(9.0);
+        reg.histogram("lat", &[1.0]).observe(2.0);
+        reg.counter("new_total").inc(); // series born after the baseline
+        let d = reg.snapshot().delta(&baseline);
+        assert_eq!(d.counter_value("req_total", &[]), Some(7));
+        assert_eq!(d.counter_value("new_total", &[]), Some(1));
+        assert_eq!(d.gauge_value("depth", &[]), Some(9.0)); // level, not rate
+        let lat = d.histogram_value("lat", &[]).expect("histogram");
+        assert_eq!(lat.counts, vec![0, 1]);
+        assert_eq!(lat.count, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates_and_inserts() {
+        let a = MetricsRegistry::new();
+        a.counter("shared_total").add(3);
+        a.gauge("level").set(1.0);
+        a.histogram("lat", &[1.0]).observe(0.5);
+        let mut merged = a.snapshot();
+
+        let b = MetricsRegistry::new();
+        b.counter("shared_total").add(4);
+        b.counter("only_b_total").add(2);
+        b.gauge("level").set(9.0);
+        let hb = b.histogram("lat", &[1.0]);
+        hb.observe(0.5);
+        hb.observe(7.0);
+        merged.merge(&b.snapshot());
+
+        assert_eq!(merged.counter_value("shared_total", &[]), Some(7));
+        assert_eq!(merged.counter_value("only_b_total", &[]), Some(2));
+        // Self's gauge level wins; it is the fresher reading.
+        assert_eq!(merged.gauge_value("level", &[]), Some(1.0));
+        let lat = merged.histogram_value("lat", &[]).expect("histogram");
+        assert_eq!(lat.counts, vec![2, 1]);
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.max, 7.0);
     }
 
     #[test]

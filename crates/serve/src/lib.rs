@@ -43,6 +43,7 @@ pub mod net;
 pub mod proto;
 pub mod queue;
 pub mod refresh;
+pub mod request;
 pub mod runtime;
 pub mod sharded;
 pub mod task;
@@ -51,10 +52,13 @@ pub(crate) mod telemetry;
 pub use compact::{spawn_compactor, CompactorConfig, CompactorHandle};
 pub use error::ServeError;
 pub use net::{MutableBackend, NetClient, NetConfig, NetError, NetServer, WireBackend};
-pub use proto::{ErrorCode, IngestAck, IngestRequest, ProtoError, WireOutcome};
+pub use proto::{
+    ErrorCode, HealthReport, IngestAck, IngestRequest, ProtoError, StatsFormat, WireOutcome,
+};
 pub use hotswap::{Cached, HotSwap};
 pub use queue::BoundedQueue;
 pub use refresh::{spawn_refresh, Rebuilt, RefreshConfig, RefreshHandle};
+pub use request::RequestCtx;
 pub use runtime::{ServeConfig, ServeReport, ServeRuntime, ServeStats, Ticket};
 pub use sharded::{Aggregator, FanoutTicket, ShardedReport, ShardedRuntime};
 pub use task::{BloomTask, CardinalityTask, IndexTask, ServeTask, StructureTask};
@@ -109,6 +113,8 @@ const _: () = {
     assert_send_sync::<ShardedRuntime<CardinalityTask>>();
     assert_send_sync::<ShardedRuntime<BloomTask>>();
     assert_send_sync::<ServeError>();
+    // Tracing contexts shared between connection handlers and workers.
+    assert_send_sync::<RequestCtx>();
     // The monitor shared between serve observers and the refresh daemon.
     assert_send_sync::<std::sync::Mutex<setlearn::DriftMonitor>>();
 };

@@ -30,12 +30,15 @@
 
 use crate::error::ServeError;
 use crate::proto::{
-    decode_ingest_ack, decode_ingest_request, decode_request_batch, decode_response_batch,
-    encode_error_response, encode_frame, encode_ingest_ack, encode_ingest_request,
-    encode_request_batch, encode_response_batch, read_frame, ErrorCode, IngestAck, IngestRequest,
-    ProtoError, WireOutcome, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_INGEST, KIND_PING,
-    KIND_SHUTDOWN, MAGIC, VERSION,
+    decode_health_report, decode_ingest_ack, decode_ingest_request, decode_request_batch,
+    decode_response_batch, decode_stats_reply, decode_stats_request, encode_error_response,
+    encode_frame, encode_health_report, encode_ingest_ack, encode_ingest_request,
+    encode_request_batch_traced, encode_response_batch, encode_stats_reply, encode_stats_request,
+    read_frame, ErrorCode, HealthReport, IngestAck, IngestRequest, ProtoError, StatsFormat,
+    WireOutcome, ADMIN_KIND_MAX, ADMIN_KIND_MIN, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_HEALTH,
+    KIND_INGEST, KIND_PING, KIND_SHUTDOWN, KIND_STATS, MAGIC, VERSION,
 };
+use crate::request::RequestCtx;
 use crate::runtime::ServeRuntime;
 use crate::sharded::ShardedRuntime;
 use crate::task::StructureTask;
@@ -44,6 +47,7 @@ use setlearn::mutable::{MutableSink, MutateError};
 use setlearn::tasks::{LearnedSetStructure, QueryOutcome};
 use setlearn::wire::{QueryRequest, QueryResponse, WireTask};
 use setlearn_data::ElementSet;
+use setlearn_obs::{Field, SlowQueryLog, SlowQueryRecord, Stage, DEFAULT_SLOW_LOG_CAPACITY};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -69,6 +73,19 @@ pub struct NetConfig {
     /// default; the CLI's `--allow-remote-shutdown` turns it on so CI can
     /// stop a serving process deterministically.
     pub allow_remote_shutdown: bool,
+    /// Query frames slower than this (frame receipt → response written) are
+    /// recorded in the slow-query ring with their per-stage breakdown.
+    /// `None` disables the slow-query log.
+    pub slow_query_threshold: Option<Duration>,
+    /// Slow-query ring capacity; when full, the oldest record is evicted
+    /// (and counted as dropped).
+    pub slow_log_capacity: usize,
+    /// How long a remotely requested shutdown keeps serving before the
+    /// listener actually closes. During the grace window health probes
+    /// answer *not ready* (so load balancers stop routing here) while
+    /// in-flight and newly arriving frames are still answered. Zero (the
+    /// default) shuts down immediately.
+    pub drain_grace: Duration,
 }
 
 impl Default for NetConfig {
@@ -78,6 +95,9 @@ impl Default for NetConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             allow_remote_shutdown: false,
+            slow_query_threshold: None,
+            slow_log_capacity: DEFAULT_SLOW_LOG_CAPACITY,
+            drain_grace: Duration::ZERO,
         }
     }
 }
@@ -103,12 +123,48 @@ pub trait WireBackend: Send + Sync {
     /// refused query yields a ticket that resolves to its [`ServeError`].
     fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket>;
 
+    /// Like [`WireBackend::submit_wire`], threading a shared tracing
+    /// context so workers (and sharded fan-out) record their queue-wait /
+    /// batch-wait / inference stages into the request's breakdown. The
+    /// default ignores the context — tracing degrades, serving does not.
+    fn submit_wire_traced(
+        &self,
+        sets: Vec<ElementSet>,
+        ctx: Option<Arc<RequestCtx>>,
+    ) -> Vec<WireTicket> {
+        let _ = ctx;
+        self.submit_wire(sets)
+    }
+
     /// Applies one durable mutation. The default refuses with
     /// [`ErrorCode::IngestUnsupported`]: plain model-serving backends are
     /// immutable; wrap one in [`MutableBackend`] to accept writes.
     fn submit_ingest(&self, request: IngestRequest) -> Result<IngestAck, ErrorCode> {
         let _ = request;
         Err(ErrorCode::IngestUnsupported)
+    }
+
+    /// `(queue_depth, queue_capacity)` across the backend's admission
+    /// queue(s), the health probe's saturation input. `(0, 0)` means the
+    /// backend does not expose a queue.
+    fn queue_stats(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
+    /// Hot-swap version of the served model (0 = never swapped; sharded
+    /// backends report the newest shard).
+    fn model_version(&self) -> u64 {
+        0
+    }
+
+    /// Shards behind this backend (1 when unsharded).
+    fn shards(&self) -> u32 {
+        1
+    }
+
+    /// Mutations awaiting compaction (compactor lag); 0 when immutable.
+    fn pending_ingest(&self) -> u64 {
+        0
     }
 }
 
@@ -135,6 +191,30 @@ impl WireBackend for MutableBackend {
 
     fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket> {
         self.inner.submit_wire(sets)
+    }
+
+    fn submit_wire_traced(
+        &self,
+        sets: Vec<ElementSet>,
+        ctx: Option<Arc<RequestCtx>>,
+    ) -> Vec<WireTicket> {
+        self.inner.submit_wire_traced(sets, ctx)
+    }
+
+    fn queue_stats(&self) -> (usize, usize) {
+        self.inner.queue_stats()
+    }
+
+    fn model_version(&self) -> u64 {
+        self.inner.model_version()
+    }
+
+    fn shards(&self) -> u32 {
+        self.inner.shards()
+    }
+
+    fn pending_ingest(&self) -> u64 {
+        self.sink.pending_ops()
     }
 
     fn submit_ingest(&self, request: IngestRequest) -> Result<IngestAck, ErrorCode> {
@@ -165,7 +245,15 @@ where
     }
 
     fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket> {
-        self.submit_many(sets)
+        self.submit_wire_traced(sets, None)
+    }
+
+    fn submit_wire_traced(
+        &self,
+        sets: Vec<ElementSet>,
+        ctx: Option<Arc<RequestCtx>>,
+    ) -> Vec<WireTicket> {
+        self.submit_many_traced(sets.into_iter().map(|s| (s, ctx.clone())))
             .into_iter()
             .map(|outcome| -> WireTicket {
                 match outcome {
@@ -174,6 +262,14 @@ where
                 }
             })
             .collect()
+    }
+
+    fn queue_stats(&self) -> (usize, usize) {
+        (self.queue_depth(), self.queue_capacity())
+    }
+
+    fn model_version(&self) -> u64 {
+        self.model().version()
     }
 }
 
@@ -188,7 +284,15 @@ where
     }
 
     fn submit_wire(&self, sets: Vec<ElementSet>) -> Vec<WireTicket> {
-        self.submit_many(&sets)
+        self.submit_wire_traced(sets, None)
+    }
+
+    fn submit_wire_traced(
+        &self,
+        sets: Vec<ElementSet>,
+        ctx: Option<Arc<RequestCtx>>,
+    ) -> Vec<WireTicket> {
+        self.submit_many_traced(sets.into_iter().map(|s| (s, ctx.clone())))
             .into_iter()
             .map(|outcome| -> WireTicket {
                 match outcome {
@@ -197,6 +301,18 @@ where
                 }
             })
             .collect()
+    }
+
+    fn queue_stats(&self) -> (usize, usize) {
+        (self.queue_depth(), self.queue_capacity())
+    }
+
+    fn model_version(&self) -> u64 {
+        (0..self.num_shards()).map(|s| self.shard(s).model().version()).max().unwrap_or(0)
+    }
+
+    fn shards(&self) -> u32 {
+        self.num_shards() as u32
     }
 }
 
@@ -210,9 +326,24 @@ where
 /// drain the net server first (accepted frames answered), then the runtime.
 pub struct NetServer {
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// State shared between the accept loop, every connection handler, and the
+/// [`NetServer`] handle: the backend, the config, the lifecycle flags, the
+/// slow-query ring, and the cached metric handles.
+struct ServerShared {
+    backend: Arc<dyn WireBackend>,
+    config: NetConfig,
+    /// Hard stop: the accept loop exits and idle handlers disconnect.
+    shutdown: AtomicBool,
+    /// Soft stop: health answers *not ready* while frames are still served
+    /// (the drain-grace window of a remote shutdown, or a local drain).
+    draining: AtomicBool,
+    slow_log: SlowQueryLog,
+    tele: NetTele,
 }
 
 impl fmt::Debug for NetServer {
@@ -232,17 +363,26 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let tele = NetTele::new(backend.wire_task().label());
+        let slow_log = SlowQueryLog::new(config.slow_log_capacity);
+        if let Some(threshold) = config.slow_query_threshold {
+            slow_log.set_threshold_us(threshold.as_micros().min(u64::MAX as u128) as u64);
+        }
+        let shared = Arc::new(ServerShared {
+            backend,
+            config,
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            slow_log,
+            tele,
+        });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let tele = Arc::new(NetTele::new(backend.wire_task().label()));
         let accept_thread = {
-            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             let handlers = Arc::clone(&handlers);
-            std::thread::spawn(move || {
-                accept_loop(listener, backend, config, shutdown, handlers, tele)
-            })
+            std::thread::spawn(move || accept_loop(listener, shared, handlers))
         };
-        Ok(NetServer { local_addr, shutdown, accept_thread: Some(accept_thread), handlers })
+        Ok(NetServer { local_addr, shared, accept_thread: Some(accept_thread), handlers })
     }
 
     /// The bound address (useful after binding port 0).
@@ -253,7 +393,22 @@ impl NetServer {
     /// Whether a shutdown was requested (locally or by a remote shutdown
     /// frame, when those are allowed). The CLI's serve loop polls this.
     pub fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Whether the server is draining: health probes answer *not ready*,
+    /// but frames are still accepted and served. True from the moment a
+    /// (graced) remote shutdown is acknowledged until the process exits.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+            || self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The server's slow-query ring (threshold per [`NetConfig`]); also
+    /// retrievable over the wire via a stats frame in
+    /// [`StatsFormat::SlowQueries`].
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.shared.slow_log.records()
     }
 
     /// Graceful drain: the listener closes first (no new connections), then
@@ -264,7 +419,8 @@ impl NetServer {
     }
 
     fn drain(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept_thread.take() {
             // Joining the accept thread drops the listener: closed first.
             let _ = accept.join();
@@ -288,22 +444,14 @@ impl Drop for NetServer {
 
 fn accept_loop(
     listener: TcpListener,
-    backend: Arc<dyn WireBackend>,
-    config: NetConfig,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    tele: Arc<NetTele>,
 ) {
-    while !shutdown.load(Ordering::SeqCst) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let backend = Arc::clone(&backend);
-                let config = config.clone();
-                let shutdown = Arc::clone(&shutdown);
-                let tele = Arc::clone(&tele);
-                let handle = std::thread::spawn(move || {
-                    handle_connection(stream, backend, config, shutdown, tele)
-                });
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || handle_connection(stream, shared));
                 let mut guard = handlers.lock().unwrap_or_else(|p| p.into_inner());
                 // Reap finished handlers so a long-lived server does not
                 // accumulate join handles without bound.
@@ -439,13 +587,51 @@ fn write_response(stream: &mut TcpStream, kind: u8, id: u64, payload: &[u8], tel
     }
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    backend: Arc<dyn WireBackend>,
-    config: NetConfig,
-    shutdown: Arc<AtomicBool>,
-    tele: Arc<NetTele>,
-) {
+/// Computes the health verdict answered to a `KIND_HEALTH` frame.
+///
+/// Verdict rules (see `DESIGN.md` §13): the server is *not ready* while
+/// draining or while the admission queue is ≥90% saturated. WAL tail
+/// truncations, compactor lag, and a never-swapped model are evidence
+/// (reasons) but do not by themselves flip readiness.
+fn health_report(shared: &ServerShared) -> HealthReport {
+    let (depth, capacity) = shared.backend.queue_stats();
+    let draining = shared.draining.load(Ordering::SeqCst)
+        || shared.shutdown.load(Ordering::SeqCst);
+    let saturated = capacity > 0 && depth * 10 >= capacity * 9;
+    let wal_truncations =
+        setlearn_obs::metrics().counter_with("setlearn_wal_truncated_tail_total", &[]).get();
+    let compactor_pending = shared.backend.pending_ingest();
+    let mut reasons = Vec::new();
+    if draining {
+        reasons.push("draining: graceful shutdown in progress".to_string());
+    }
+    if saturated {
+        reasons.push(format!("queue saturated: {depth}/{capacity} buffered"));
+    }
+    if wal_truncations > 0 {
+        reasons.push(format!("wal: {wal_truncations} tail truncation(s) at recovery"));
+    }
+    if compactor_pending > 0 {
+        reasons.push(format!("compactor lag: {compactor_pending} mutation(s) pending"));
+    }
+    HealthReport {
+        ready: !draining && !saturated,
+        draining,
+        queue_depth: depth as u64,
+        queue_capacity: capacity as u64,
+        shards: shared.backend.shards(),
+        wal_truncations,
+        compactor_pending,
+        model_version: shared.backend.model_version(),
+        reasons,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
+    let config = &shared.config;
+    let backend = &shared.backend;
+    let shutdown = &shared.shutdown;
+    let tele = &shared.tele;
     // The poll tick is the *read* timeout at the syscall level; the
     // configured read_timeout is enforced on top by `read_exact_polling`.
     if stream.set_read_timeout(Some(POLL_TICK)).is_err()
@@ -457,19 +643,45 @@ fn handle_connection(
     tele.connection_opened();
     let served_task = backend.wire_task();
     loop {
-        let frame = match read_frame_polling(&mut stream, &config, &shutdown, &tele) {
+        let frame = match read_frame_polling(&mut stream, config, shutdown, tele) {
             FrameRead::Frame(frame) => frame,
             FrameRead::Closed => break,
             FrameRead::Refuse { kind, id, code } => {
-                let _ = write_response(&mut stream, kind, id, &encode_error_response(code), &tele);
+                let _ = write_response(&mut stream, kind, id, &encode_error_response(code), tele);
                 break;
             }
         };
         let started = Instant::now();
         match frame.kind {
             KIND_PING => {
-                if !write_response(&mut stream, KIND_PING, frame.id, &encode_response_batch(&[]), &tele)
+                if !write_response(&mut stream, KIND_PING, frame.id, &encode_response_batch(&[]), tele)
                 {
+                    break;
+                }
+            }
+            KIND_STATS => {
+                let payload = match decode_stats_request(&frame.payload) {
+                    Ok(StatsFormat::Prometheus) => encode_stats_reply(
+                        &setlearn_obs::to_prometheus(&setlearn_obs::metrics().snapshot()),
+                    ),
+                    Ok(StatsFormat::Json) => encode_stats_reply(&setlearn_obs::to_json(
+                        &setlearn_obs::metrics().snapshot(),
+                    )),
+                    Ok(StatsFormat::SlowQueries) => {
+                        encode_stats_reply(&shared.slow_log.to_jsonl())
+                    }
+                    Err(_) => {
+                        tele.record_protocol_error(ErrorCode::BadFrame);
+                        encode_error_response(ErrorCode::BadFrame)
+                    }
+                };
+                if !write_response(&mut stream, KIND_STATS, frame.id, &payload, tele) {
+                    break;
+                }
+            }
+            KIND_HEALTH => {
+                let payload = encode_health_report(&health_report(&shared));
+                if !write_response(&mut stream, KIND_HEALTH, frame.id, &payload, tele) {
                     break;
                 }
             }
@@ -487,7 +699,7 @@ fn handle_connection(
                         encode_error_response(ErrorCode::BadFrame)
                     }
                 };
-                let ok = write_response(&mut stream, KIND_INGEST, frame.id, &payload, &tele);
+                let ok = write_response(&mut stream, KIND_INGEST, frame.id, &payload, tele);
                 tele.record_ingest(started.elapsed());
                 if !ok {
                     break;
@@ -498,8 +710,22 @@ fn handle_connection(
                     // Ack first, then raise the flag: the requester gets its
                     // answer before the drain starts closing things.
                     let ok =
-                        write_response(&mut stream, KIND_SHUTDOWN, frame.id, &encode_response_batch(&[]), &tele);
-                    shutdown.store(true, Ordering::SeqCst);
+                        write_response(&mut stream, KIND_SHUTDOWN, frame.id, &encode_response_batch(&[]), tele);
+                    shared.draining.store(true, Ordering::SeqCst);
+                    if config.drain_grace.is_zero() {
+                        shutdown.store(true, Ordering::SeqCst);
+                    } else {
+                        // Grace window: health already answers *not ready*
+                        // (load balancers stop routing), while this and
+                        // every other handler keep serving until the timer
+                        // promotes the drain to a full shutdown.
+                        let grace = config.drain_grace;
+                        let shared = Arc::clone(&shared);
+                        std::thread::spawn(move || {
+                            std::thread::sleep(grace);
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                        });
+                    }
                     if !ok {
                         break;
                     }
@@ -510,8 +736,23 @@ fn handle_connection(
                         KIND_SHUTDOWN,
                         frame.id,
                         &encode_error_response(ErrorCode::ShutdownNotAllowed),
-                        &tele,
+                        tele,
                     );
+                    break;
+                }
+            }
+            kind if (ADMIN_KIND_MIN..=ADMIN_KIND_MAX).contains(&kind) => {
+                // An admin kind this server predates: a typed refusal, not
+                // BadFrame — framing is intact, so newer clients can probe
+                // and the connection stays usable.
+                tele.record_protocol_error(ErrorCode::AdminUnsupported);
+                if !write_response(
+                    &mut stream,
+                    kind,
+                    frame.id,
+                    &encode_error_response(ErrorCode::AdminUnsupported),
+                    tele,
+                ) {
                     break;
                 }
             }
@@ -525,7 +766,7 @@ fn handle_connection(
                             kind,
                             frame.id,
                             &encode_error_response(ErrorCode::BadFrame),
-                            &tele,
+                            tele,
                         );
                         break;
                     }
@@ -537,7 +778,7 @@ fn handle_connection(
                         kind,
                         frame.id,
                         &encode_error_response(ErrorCode::TaskMismatch),
-                        &tele,
+                        tele,
                     ) {
                         break;
                     }
@@ -545,8 +786,8 @@ fn handle_connection(
                     // corruption: the connection stays usable.
                     continue;
                 }
-                let queries = match decode_request_batch(&frame.payload) {
-                    Ok(queries) => queries,
+                let (queries, client_trace) = match decode_request_batch(&frame.payload) {
+                    Ok(decoded) => decoded,
                     Err(_) => {
                         tele.record_protocol_error(ErrorCode::BadFrame);
                         let _ = write_response(
@@ -554,26 +795,70 @@ fn handle_connection(
                             kind,
                             frame.id,
                             &encode_error_response(ErrorCode::BadFrame),
-                            &tele,
+                            tele,
                         );
                         break;
                     }
                 };
+                // The tracing context: client-supplied trace id when the
+                // frame carried one, server-minted (odd) otherwise. Decode
+                // covers frame receipt → canonical sets.
+                let ctx = match client_trace {
+                    Some(id) => RequestCtx::with_trace_id(id),
+                    None => RequestCtx::mint(),
+                };
                 let sets: Vec<ElementSet> =
                     queries.into_iter().map(|q| q.canonicalize()).collect();
-                let tickets = backend.submit_wire(sets);
+                let set_size = sets.iter().map(|s| s.len()).max().unwrap_or(0) as u32;
+                let decode = started.elapsed();
+                ctx.record_stage(Stage::Decode, decode);
+                tele.record_stage(Stage::Decode, decode);
+                let admit_start = Instant::now();
+                let tickets = backend.submit_wire_traced(sets, Some(Arc::clone(&ctx)));
+                let admitted = admit_start.elapsed();
+                ctx.record_stage(Stage::Admission, admitted);
+                tele.record_stage(Stage::Admission, admitted);
                 let outcomes: Vec<WireOutcome> = tickets
                     .into_iter()
                     .map(|ticket| ticket().map_err(ErrorCode::Serve))
                     .collect();
-                let ok = write_response(
-                    &mut stream,
-                    kind,
-                    frame.id,
-                    &encode_response_batch(&outcomes),
-                    &tele,
-                );
-                tele.record_request(task.label(), started.elapsed());
+                let fallback =
+                    outcomes.iter().any(|o| matches!(o, Ok(r) if r.fallback.is_some()));
+                let bound_miss = outcomes.iter().any(|o| matches!(o, Ok(r) if r.bound_miss));
+                let encode_start = Instant::now();
+                let payload = encode_response_batch(&outcomes);
+                let encoded = encode_start.elapsed();
+                ctx.record_stage(Stage::Encode, encoded);
+                tele.record_stage(Stage::Encode, encoded);
+                let ok = write_response(&mut stream, kind, frame.id, &payload, tele);
+                let total = started.elapsed();
+                tele.record_request(task.label(), total);
+                if setlearn_obs::tracing_on() {
+                    let tracer = setlearn_obs::tracer();
+                    let dur_us = total.as_micros().min(u64::MAX as u128) as u64;
+                    tracer.push_span(
+                        "net_request",
+                        tracer.now_us().saturating_sub(dur_us),
+                        vec![
+                            Field::text("task", task.label()),
+                            Field::text("trace_id", &ctx.trace_id.to_string()),
+                            Field::num("batch", outcomes.len() as f64),
+                        ],
+                    );
+                }
+                let total_us = total.as_micros().min(u64::MAX as u128) as u64;
+                if shared.slow_log.is_slow(total_us) {
+                    shared.slow_log.record(SlowQueryRecord {
+                        trace_id: ctx.trace_id,
+                        task: task.label().to_string(),
+                        total_us,
+                        set_size,
+                        shard_count: backend.shards(),
+                        fallback,
+                        bound_miss,
+                        stages: ctx.breakdown(),
+                    });
+                }
                 if !ok {
                     break;
                 }
@@ -709,12 +994,41 @@ impl NetClient {
         task: WireTask,
         queries: &[QueryRequest],
     ) -> Result<Vec<WireOutcome>, NetError> {
-        let payload = self.roundtrip(task.code(), &encode_request_batch(queries))?;
+        self.query_batch_traced(task, queries, None)
+    }
+
+    /// [`NetClient::query_batch`] with a client-supplied trace id riding the
+    /// frame: the server adopts it for its stage breakdown, spans, and
+    /// slow-query records, so one id follows the request end to end. Needs a
+    /// server new enough to understand the trailing-id extension.
+    pub fn query_batch_traced(
+        &mut self,
+        task: WireTask,
+        queries: &[QueryRequest],
+        trace_id: Option<u64>,
+    ) -> Result<Vec<WireOutcome>, NetError> {
+        let payload =
+            self.roundtrip(task.code(), &encode_request_batch_traced(queries, trace_id))?;
         let outcomes = decode_response_batch(&payload)?;
         if outcomes.len() != queries.len() {
             return Err(NetError::CountMismatch { sent: queries.len(), got: outcomes.len() });
         }
         Ok(outcomes)
+    }
+
+    /// Fetches the server's metrics snapshot (or slow-query log) in the
+    /// requested format: Prometheus exposition text, a JSON document, or
+    /// JSONL slow-query records. Servers predating the stats frame answer
+    /// [`ErrorCode::AdminUnsupported`] (via [`ProtoError::Remote`]).
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String, NetError> {
+        let payload = self.roundtrip(KIND_STATS, &encode_stats_request(format))?;
+        Ok(decode_stats_reply(&payload)?)
+    }
+
+    /// Fetches the server's readiness verdict and its evidence.
+    pub fn health(&mut self) -> Result<HealthReport, NetError> {
+        let payload = self.roundtrip(KIND_HEALTH, &[])?;
+        Ok(decode_health_report(&payload)?)
     }
 
     /// Single-query convenience over [`NetClient::query_batch`].

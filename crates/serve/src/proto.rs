@@ -49,6 +49,21 @@ pub const HEADER_LEN: usize = 22;
 /// Frame kind: ingest — one durable insert/delete against a mutable
 /// collection. Answered with an [`IngestAck`] payload after the WAL fsync.
 pub const KIND_INGEST: u8 = 0x10;
+/// Frame kind: stats scrape — returns the server's live metrics snapshot
+/// (Prometheus text or JSON) or its slow-query log, per the request's
+/// [`StatsFormat`] byte. Kinds `0xE0..=0xEF` are the admin space; an admin
+/// kind a server does not implement is refused with
+/// [`ErrorCode::AdminUnsupported`] (not `BadFrame`), so newer clients can
+/// probe older servers safely.
+pub const KIND_STATS: u8 = 0xE0;
+/// Frame kind: health probe — returns a readiness verdict
+/// ([`HealthReport`]: drain state, queue saturation, WAL truncations,
+/// compactor lag, model version).
+pub const KIND_HEALTH: u8 = 0xE1;
+/// First byte of the admin kind space (`0xE0..=0xEF`).
+pub const ADMIN_KIND_MIN: u8 = 0xE0;
+/// Last byte of the admin kind space (`0xE0..=0xEF`).
+pub const ADMIN_KIND_MAX: u8 = 0xEF;
 /// Frame kind: ping (liveness / readiness probe).
 pub const KIND_PING: u8 = 0xF0;
 /// Frame kind: graceful-shutdown request (honored only when the server was
@@ -151,6 +166,10 @@ pub enum ErrorCode {
     IngestRejected,
     /// The durability layer failed; the mutation was **not** acknowledged.
     IngestFailed,
+    /// An admin frame (kind `0xE0..=0xEF`) the server does not implement.
+    /// Distinct from [`ErrorCode::BadFrame`] so probing a newer admin kind
+    /// against an older server is a typed refusal, not stream corruption.
+    AdminUnsupported,
 }
 
 impl ErrorCode {
@@ -166,6 +185,7 @@ impl ErrorCode {
             ErrorCode::IngestUnsupported => 21,
             ErrorCode::IngestRejected => 22,
             ErrorCode::IngestFailed => 23,
+            ErrorCode::AdminUnsupported => 24,
         }
     }
 
@@ -184,6 +204,7 @@ impl ErrorCode {
             21 => Some(ErrorCode::IngestUnsupported),
             22 => Some(ErrorCode::IngestRejected),
             23 => Some(ErrorCode::IngestFailed),
+            24 => Some(ErrorCode::AdminUnsupported),
             _ => None,
         }
     }
@@ -200,6 +221,7 @@ impl ErrorCode {
             ErrorCode::IngestUnsupported => "ingest_unsupported",
             ErrorCode::IngestRejected => "ingest_rejected",
             ErrorCode::IngestFailed => "ingest_failed",
+            ErrorCode::AdminUnsupported => "admin_unsupported",
         }
     }
 }
@@ -289,23 +311,48 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, ProtoE
 
 /// Encodes a query batch into a request payload.
 pub fn encode_request_batch(queries: &[QueryRequest]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + queries.len() * 16);
+    encode_request_batch_traced(queries, None)
+}
+
+/// Encodes a query batch with an optional client-supplied trace id.
+///
+/// The id rides as 8 extra little-endian bytes *after* the batch — absent
+/// entirely when `None`, so default clients stay byte-identical to the
+/// pre-tracing encoding (and keep working against servers that reject
+/// trailing bytes). Suppliers of a trace id need a server new enough to
+/// understand the extension.
+pub fn encode_request_batch_traced(queries: &[QueryRequest], trace_id: Option<u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + queries.len() * 16 + 8);
     out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
     for q in queries {
         q.encode(&mut out);
     }
+    if let Some(id) = trace_id {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
     out
 }
 
-/// Decodes a request payload into its query batch.
-pub fn decode_request_batch(mut payload: &[u8]) -> Result<Vec<QueryRequest>, ProtoError> {
+/// Decodes a request payload into its query batch plus the optional
+/// client-supplied trace id (exactly 8 trailing bytes after the batch; zero
+/// trailing bytes means no id; any other remainder is trailing garbage).
+pub fn decode_request_batch(
+    mut payload: &[u8],
+) -> Result<(Vec<QueryRequest>, Option<u64>), ProtoError> {
     let count = take_count(&mut payload, "batch")?;
     let mut queries = Vec::with_capacity(count);
     for _ in 0..count {
         queries.push(QueryRequest::decode(&mut payload)?);
     }
+    let trace_id = if payload.len() == 8 {
+        let id = u64::from_le_bytes(payload.try_into().expect("checked length"));
+        payload = &payload[8..];
+        Some(id)
+    } else {
+        None
+    };
     expect_consumed(payload)?;
-    Ok(queries)
+    Ok((queries, trace_id))
 }
 
 /// Per-query outcome inside an OK response frame.
@@ -456,6 +503,203 @@ pub fn decode_ingest_ack(mut payload: &[u8]) -> Result<IngestAck, ProtoError> {
     Ok(IngestAck { seq, applied })
 }
 
+// ---------------------------------------------------------------------------
+// Admin payload bodies (kinds 0xE0 stats, 0xE1 health)
+// ---------------------------------------------------------------------------
+
+/// What a stats frame asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// Prometheus text exposition of the live metrics registry.
+    #[default]
+    Prometheus,
+    /// JSON [`setlearn_obs::RegistrySnapshot`] of the live registry.
+    Json,
+    /// The slow-query ring as JSONL, oldest record first.
+    SlowQueries,
+}
+
+impl StatsFormat {
+    /// Stable wire byte.
+    pub fn code(self) -> u8 {
+        match self {
+            StatsFormat::Prometheus => 0,
+            StatsFormat::Json => 1,
+            StatsFormat::SlowQueries => 2,
+        }
+    }
+
+    /// Decodes the wire byte.
+    pub fn from_code(code: u8) -> Option<StatsFormat> {
+        match code {
+            0 => Some(StatsFormat::Prometheus),
+            1 => Some(StatsFormat::Json),
+            2 => Some(StatsFormat::SlowQueries),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a stats request payload: one format byte.
+pub fn encode_stats_request(format: StatsFormat) -> Vec<u8> {
+    vec![format.code()]
+}
+
+/// Decodes a stats request payload.
+pub fn decode_stats_request(mut payload: &[u8]) -> Result<StatsFormat, ProtoError> {
+    let code = take_status(&mut payload)?;
+    let format = StatsFormat::from_code(code)
+        .ok_or(ProtoError::BadPayload(WireDecodeError::BadTag { what: "stats format", tag: code }))?;
+    expect_consumed(payload)?;
+    Ok(format)
+}
+
+/// Encodes an OK stats response payload: status 0, `u32` byte length, then
+/// the UTF-8 text (Prometheus exposition, JSON snapshot, or JSONL).
+pub fn encode_stats_reply(text: &str) -> Vec<u8> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(5 + bytes.len());
+    out.push(0);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decodes a stats response payload; a nonzero status surfaces as
+/// [`ProtoError::Remote`].
+pub fn decode_stats_reply(mut payload: &[u8]) -> Result<String, ProtoError> {
+    let status = take_status(&mut payload)?;
+    if status != 0 {
+        let code = ErrorCode::from_code(status).ok_or(ProtoError::BadPayload(
+            WireDecodeError::BadTag { what: "stats status", tag: status },
+        ))?;
+        return Err(ProtoError::Remote(code));
+    }
+    if payload.len() < 4 {
+        return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+    }
+    let (head, rest) = payload.split_at(4);
+    let len = u32::from_le_bytes(head.try_into().expect("split_at(4)")) as usize;
+    if rest.len() != len {
+        return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+    }
+    String::from_utf8(rest.to_vec()).map_err(|_| {
+        ProtoError::BadPayload(WireDecodeError::BadTag { what: "stats utf8", tag: 0 })
+    })
+}
+
+/// The server's readiness verdict, answered to a health frame.
+///
+/// `ready` is the verdict (fail a load-balancer check on `false`); the rest
+/// are the evidence. Verdict rules live with the server (see `DESIGN.md`
+/// §13): draining or a saturated admission queue mean not ready; WAL
+/// truncations and compactor lag are reported as reasons but do not by
+/// themselves flip readiness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Overall verdict: safe to route new traffic here.
+    pub ready: bool,
+    /// A graceful drain is in progress (shutdown requested, still answering).
+    pub draining: bool,
+    /// Requests buffered in the admission queue(s), summed across shards.
+    pub queue_depth: u64,
+    /// Total admission queue capacity, summed across shards.
+    pub queue_capacity: u64,
+    /// Shards behind this server (1 when unsharded).
+    pub shards: u32,
+    /// WAL tail truncations observed at recovery (process lifetime).
+    pub wal_truncations: u64,
+    /// Mutations in the delta overlay awaiting compaction (0 when immutable).
+    pub compactor_pending: u64,
+    /// Hot-swap version of the served model (0 = never swapped).
+    pub model_version: u64,
+    /// Human-readable degradation reasons, empty when fully healthy.
+    pub reasons: Vec<String>,
+}
+
+/// Encodes an OK health response payload.
+pub fn encode_health_report(report: &HealthReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(0);
+    out.push(u8::from(report.ready));
+    out.push(u8::from(report.draining));
+    out.extend_from_slice(&report.queue_depth.to_le_bytes());
+    out.extend_from_slice(&report.queue_capacity.to_le_bytes());
+    out.extend_from_slice(&report.shards.to_le_bytes());
+    out.extend_from_slice(&report.wal_truncations.to_le_bytes());
+    out.extend_from_slice(&report.compactor_pending.to_le_bytes());
+    out.extend_from_slice(&report.model_version.to_le_bytes());
+    out.extend_from_slice(&(report.reasons.len() as u32).to_le_bytes());
+    for reason in &report.reasons {
+        let bytes = reason.as_bytes();
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+fn take_bool(payload: &mut &[u8], what: &'static str) -> Result<bool, ProtoError> {
+    match take_status(payload)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(ProtoError::BadPayload(WireDecodeError::BadTag { what, tag })),
+    }
+}
+
+fn take_u64(payload: &mut &[u8]) -> Result<u64, ProtoError> {
+    if payload.len() < 8 {
+        return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+    }
+    let (head, rest) = payload.split_at(8);
+    *payload = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("split_at(8)")))
+}
+
+/// Decodes a health response payload; a nonzero status surfaces as
+/// [`ProtoError::Remote`].
+pub fn decode_health_report(mut payload: &[u8]) -> Result<HealthReport, ProtoError> {
+    let status = take_status(&mut payload)?;
+    if status != 0 {
+        let code = ErrorCode::from_code(status).ok_or(ProtoError::BadPayload(
+            WireDecodeError::BadTag { what: "health status", tag: status },
+        ))?;
+        return Err(ProtoError::Remote(code));
+    }
+    let ready = take_bool(&mut payload, "health ready flag")?;
+    let draining = take_bool(&mut payload, "health draining flag")?;
+    let queue_depth = take_u64(&mut payload)?;
+    let queue_capacity = take_u64(&mut payload)?;
+    let shards = take_count(&mut payload, "health shards")? as u32;
+    let wal_truncations = take_u64(&mut payload)?;
+    let compactor_pending = take_u64(&mut payload)?;
+    let model_version = take_u64(&mut payload)?;
+    let reason_count = take_count(&mut payload, "health reasons")?;
+    let mut reasons = Vec::with_capacity(reason_count);
+    for _ in 0..reason_count {
+        let len = take_count(&mut payload, "health reason")?;
+        if payload.len() < len {
+            return Err(ProtoError::BadPayload(WireDecodeError::Truncated));
+        }
+        let (head, rest) = payload.split_at(len);
+        payload = rest;
+        reasons.push(String::from_utf8(head.to_vec()).map_err(|_| {
+            ProtoError::BadPayload(WireDecodeError::BadTag { what: "health reason utf8", tag: 0 })
+        })?);
+    }
+    expect_consumed(payload)?;
+    Ok(HealthReport {
+        ready,
+        draining,
+        queue_depth,
+        queue_capacity,
+        shards,
+        wal_truncations,
+        compactor_pending,
+        model_version,
+        reasons,
+    })
+}
+
 fn take_status(payload: &mut &[u8]) -> Result<u8, ProtoError> {
     let (&status, rest) =
         payload.split_first().ok_or(ProtoError::BadPayload(WireDecodeError::Truncated))?;
@@ -507,9 +751,88 @@ mod tests {
         assert_eq!(frame.kind, WireTask::Bloom.code());
         assert_eq!(frame.task(), Some(WireTask::Bloom));
         assert_eq!(frame.id, 77);
-        let queries = decode_request_batch(&frame.payload).unwrap();
+        let (queries, trace_id) = decode_request_batch(&frame.payload).unwrap();
         assert_eq!(queries.len(), 3);
         assert_eq!(queries[0].elements, vec![1, 2, 3]);
+        assert_eq!(trace_id, None);
+    }
+
+    #[test]
+    fn trace_id_rides_as_optional_trailing_bytes() {
+        let queries = vec![QueryRequest::new(vec![1, 2]), QueryRequest::new(vec![3])];
+        // Without an id the traced encoding is byte-identical to the plain one.
+        assert_eq!(encode_request_batch_traced(&queries, None), encode_request_batch(&queries));
+        let payload = encode_request_batch_traced(&queries, Some(0xDEAD_BEEF_CAFE_F00D));
+        let (back, trace_id) = decode_request_batch(&payload).unwrap();
+        assert_eq!(back, queries);
+        assert_eq!(trace_id, Some(0xDEAD_BEEF_CAFE_F00D));
+        // A remainder that is not exactly 0 or 8 bytes is still garbage.
+        let mut ragged = encode_request_batch(&queries);
+        ragged.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_request_batch(&ragged).is_err());
+    }
+
+    #[test]
+    fn stats_payloads_roundtrip() {
+        for format in [StatsFormat::Prometheus, StatsFormat::Json, StatsFormat::SlowQueries] {
+            let payload = encode_stats_request(format);
+            assert_eq!(decode_stats_request(&payload).unwrap(), format);
+        }
+        assert!(decode_stats_request(&[9]).is_err());
+        assert!(decode_stats_request(&[0, 0]).is_err());
+
+        let text = "setlearn_serve_completed_total 5\n";
+        let reply = encode_stats_reply(text);
+        assert_eq!(decode_stats_reply(&reply).unwrap(), text);
+        assert_eq!(decode_stats_reply(&encode_stats_reply("")).unwrap(), "");
+        // Remote refusal surfaces typed.
+        match decode_stats_reply(&encode_error_response(ErrorCode::AdminUnsupported)) {
+            Err(ProtoError::Remote(ErrorCode::AdminUnsupported)) => {}
+            other => panic!("expected remote admin_unsupported, got {other:?}"),
+        }
+        // Truncated length prefix / short body are typed errors.
+        assert!(decode_stats_reply(&[0, 5, 0]).is_err());
+        assert!(decode_stats_reply(&[0, 5, 0, 0, 0, b'a']).is_err());
+    }
+
+    #[test]
+    fn health_payloads_roundtrip() {
+        let report = HealthReport {
+            ready: false,
+            draining: true,
+            queue_depth: 12,
+            queue_capacity: 1024,
+            shards: 4,
+            wal_truncations: 1,
+            compactor_pending: 37,
+            model_version: 9,
+            reasons: vec!["draining".to_string(), "compactor lag: 37 pending ops".to_string()],
+        };
+        let payload = encode_health_report(&report);
+        assert_eq!(decode_health_report(&payload).unwrap(), report);
+
+        let healthy = HealthReport {
+            ready: true,
+            draining: false,
+            queue_depth: 0,
+            queue_capacity: 1024,
+            shards: 1,
+            wal_truncations: 0,
+            compactor_pending: 0,
+            model_version: 0,
+            reasons: vec![],
+        };
+        let payload = encode_health_report(&healthy);
+        assert_eq!(decode_health_report(&payload).unwrap(), healthy);
+
+        match decode_health_report(&encode_error_response(ErrorCode::AdminUnsupported)) {
+            Err(ProtoError::Remote(ErrorCode::AdminUnsupported)) => {}
+            other => panic!("expected remote admin_unsupported, got {other:?}"),
+        }
+        // Truncation anywhere is a typed error, never a panic.
+        for cut in 0..payload.len() {
+            assert!(decode_health_report(&payload[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]
@@ -610,7 +933,8 @@ mod tests {
         assert_eq!(ErrorCode::IngestUnsupported.code(), 21);
         assert_eq!(ErrorCode::IngestRejected.code(), 22);
         assert_eq!(ErrorCode::IngestFailed.code(), 23);
-        for code in 1..=23u8 {
+        assert_eq!(ErrorCode::AdminUnsupported.code(), 24);
+        for code in 1..=24u8 {
             if let Some(decoded) = ErrorCode::from_code(code) {
                 assert_eq!(decoded.code(), code);
             }

@@ -26,8 +26,10 @@
 use crate::error::ServeError;
 use crate::hotswap::HotSwap;
 use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::request::RequestCtx;
 use crate::task::ServeTask;
 use crate::telemetry::RuntimeTele;
+use setlearn_obs::Stage;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -124,11 +126,13 @@ impl<R> Drop for Responder<R> {
     }
 }
 
-/// One queued request plus its response slot and admission timestamp.
+/// One queued request plus its response slot, admission timestamp, and
+/// (for wire requests) its shared tracing context.
 struct Envelope<T: ServeTask> {
     request: T::Request,
     enqueued: Instant,
     responder: Responder<T::Response>,
+    ctx: Option<Arc<RequestCtx>>,
 }
 
 /// Handle to one in-flight request; redeem it with [`Ticket::wait`].
@@ -293,7 +297,7 @@ impl<T: ServeTask> ServeRuntime<T> {
     pub fn submit(&self, request: T::Request) -> Result<Ticket<T::Response>, ServeError> {
         let slot = OneshotSlot::new();
         let responder = Responder { slot: Some(Arc::clone(&slot)) };
-        let envelope = Envelope { request, enqueued: Instant::now(), responder };
+        let envelope = Envelope { request, enqueued: Instant::now(), responder, ctx: None };
         match self.queue.try_push(envelope) {
             Ok(()) => {
                 self.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -322,14 +326,28 @@ impl<T: ServeTask> ServeRuntime<T> {
     where
         I: IntoIterator<Item = T::Request>,
     {
+        self.submit_many_traced(requests.into_iter().map(|r| (r, None)))
+    }
+
+    /// [`ServeRuntime::submit_many`] with a per-request tracing context: the
+    /// worker that serves each request records its queue-wait, batch-wait,
+    /// and inference stages into the context. Requests without one
+    /// (`None`) are served identically, just untraced.
+    pub fn submit_many_traced<I>(
+        &self,
+        requests: I,
+    ) -> Vec<Result<Ticket<T::Response>, ServeError>>
+    where
+        I: IntoIterator<Item = (T::Request, Option<Arc<RequestCtx>>)>,
+    {
         let enqueued = Instant::now();
         let mut slots = Vec::new();
         let envelopes: Vec<Envelope<T>> = requests
             .into_iter()
-            .map(|request| {
+            .map(|(request, ctx)| {
                 let slot = OneshotSlot::new();
                 slots.push(Arc::clone(&slot));
-                Envelope { request, enqueued, responder: Responder { slot: Some(slot) } }
+                Envelope { request, enqueued, responder: Responder { slot: Some(slot) }, ctx }
             })
             .collect();
         let (admitted, closed) = self.queue.try_push_many(envelopes);
@@ -379,6 +397,11 @@ impl<T: ServeTask> ServeRuntime<T> {
         self.queue.len()
     }
 
+    /// Admission queue capacity (the shed threshold).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
     /// Graceful drain: refuse new submissions, serve everything already
     /// admitted, join the workers, and return the final accounting.
     pub fn shutdown(mut self) -> ServeReport {
@@ -426,7 +449,8 @@ fn worker_loop<T: ServeTask>(
             Pop::TimedOut => continue,
             Pop::Drained => return,
         };
-        let deadline = Instant::now() + config.max_delay;
+        let head_at = Instant::now();
+        let deadline = head_at + config.max_delay;
         let mut batch = Vec::with_capacity(config.max_batch.min(64));
         batch.push(head);
         // Bulk-grab whatever is already buffered (one lock per batch), then
@@ -447,10 +471,23 @@ fn worker_loop<T: ServeTask>(
         }
 
         let dequeued = Instant::now();
+        let batch_wait = dequeued.duration_since(head_at);
         let waits: Vec<Duration> =
             batch.iter().map(|e| dequeued.duration_since(e.enqueued)).collect();
-        let (requests, responders): (Vec<T::Request>, Vec<_>) =
-            batch.into_iter().map(|e| (e.request, e.responder)).unzip();
+        let mut requests = Vec::with_capacity(batch.len());
+        let mut responders = Vec::with_capacity(batch.len());
+        let mut ctxs = Vec::with_capacity(batch.len());
+        for e in batch {
+            requests.push(e.request);
+            responders.push(e.responder);
+            ctxs.push(e.ctx);
+        }
+        for (ctx, wait) in ctxs.iter().zip(&waits) {
+            if let Some(ctx) = ctx {
+                ctx.record_stage(Stage::QueueWait, *wait);
+                ctx.record_stage(Stage::BatchWait, batch_wait);
+            }
+        }
 
         // Refresh the snapshot once per batch: one atomic load when no swap
         // happened, one mutex-guarded Arc clone when one did.
@@ -464,11 +501,15 @@ fn worker_loop<T: ServeTask>(
         }));
         let duration = started.elapsed();
 
+        for ctx in ctxs.iter().flatten() {
+            ctx.record_stage(Stage::Inference, duration);
+        }
+
         stats.batches.fetch_add(1, Ordering::Relaxed);
         match outcome {
             Ok(responses) if responses.len() == requests.len() => {
                 stats.completed.fetch_add(responses.len() as u64, Ordering::Relaxed);
-                tele.record_batch(responses.len(), queue.len(), &waits, duration, version);
+                tele.record_batch(responses.len(), queue.len(), &waits, batch_wait, duration, version);
                 for (responder, response) in responders.into_iter().zip(responses) {
                     // A caller that dropped its ticket is not an error.
                     responder.send(Ok(response));

@@ -16,9 +16,12 @@
 
 use crate::error::ServeError;
 use crate::hotswap::HotSwap;
+use crate::request::RequestCtx;
 use crate::runtime::{ServeConfig, ServeReport, ServeRuntime, Ticket};
 use crate::task::ServeTask;
+use setlearn_obs::Stage;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Folds per-shard responses (in shard order) into one client answer.
 pub type Aggregator<R> = Arc<dyn Fn(Vec<R>) -> R + Send + Sync>;
@@ -28,6 +31,7 @@ pub type Aggregator<R> = Arc<dyn Fn(Vec<R>) -> R + Send + Sync>;
 pub struct FanoutTicket<R> {
     tickets: Vec<Ticket<R>>,
     aggregate: Aggregator<R>,
+    ctx: Option<Arc<RequestCtx>>,
 }
 
 impl<R> std::fmt::Debug for FanoutTicket<R> {
@@ -39,12 +43,22 @@ impl<R> std::fmt::Debug for FanoutTicket<R> {
 impl<R> FanoutTicket<R> {
     /// Blocks until every shard answered, then aggregates. The first shard
     /// failure (panicked batch, lost worker) fails the whole request.
+    ///
+    /// When a tracing context rides the fan-out, the fold itself is timed
+    /// into [`Stage::Aggregate`]; each shard's queue wait and inference time
+    /// were already recorded into the shared context by the shard workers
+    /// (max-folded, so the breakdown names the slowest shard).
     pub fn wait(self) -> Result<R, ServeError> {
         let mut parts = Vec::with_capacity(self.tickets.len());
         for ticket in self.tickets {
             parts.push(ticket.wait()?);
         }
-        Ok((self.aggregate)(parts))
+        let started = self.ctx.as_deref().map(|_| Instant::now());
+        let answer = (self.aggregate)(parts);
+        if let (Some(ctx), Some(started)) = (self.ctx.as_deref(), started) {
+            ctx.record_stage(Stage::Aggregate, started.elapsed());
+        }
+        Ok(answer)
     }
 }
 
@@ -137,7 +151,7 @@ where
         for shard in &self.shards {
             tickets.push(shard.submit(request.clone())?);
         }
-        Ok(FanoutTicket { tickets, aggregate: Arc::clone(&self.aggregate) })
+        Ok(FanoutTicket { tickets, aggregate: Arc::clone(&self.aggregate), ctx: None })
     }
 
     /// Bulk fan-out: each shard admits the whole slice under one queue-lock
@@ -148,13 +162,36 @@ where
         &self,
         requests: &[T::Request],
     ) -> Vec<Result<FanoutTicket<T::Response>, ServeError>> {
+        self.submit_many_traced(requests.iter().map(|r| (r.clone(), None)))
+    }
+
+    /// Bulk fan-out with per-request tracing contexts. Every shard receives
+    /// a clone of the request *and* of its `Arc<RequestCtx>`, so the shard
+    /// workers max-fold their queue-wait / inference observations into one
+    /// shared breakdown; the returned ticket times aggregation on redeem.
+    pub fn submit_many_traced<I>(
+        &self,
+        requests: I,
+    ) -> Vec<Result<FanoutTicket<T::Response>, ServeError>>
+    where
+        I: IntoIterator<Item = (T::Request, Option<Arc<RequestCtx>>)>,
+    {
+        let requests: Vec<(T::Request, Option<Arc<RequestCtx>>)> =
+            requests.into_iter().collect();
         let mut per_shard: Vec<_> = self
             .shards
             .iter()
-            .map(|shard| shard.submit_many(requests.iter().cloned()).into_iter())
+            .map(|shard| {
+                shard
+                    .submit_many_traced(
+                        requests.iter().map(|(r, ctx)| (r.clone(), ctx.clone())),
+                    )
+                    .into_iter()
+            })
             .collect();
-        (0..requests.len())
-            .map(|_| {
+        requests
+            .into_iter()
+            .map(|(_, ctx)| {
                 let mut tickets = Vec::with_capacity(per_shard.len());
                 let mut failure = None;
                 for outcomes in per_shard.iter_mut() {
@@ -165,7 +202,7 @@ where
                 }
                 match failure {
                     None => {
-                        Ok(FanoutTicket { tickets, aggregate: Arc::clone(&self.aggregate) })
+                        Ok(FanoutTicket { tickets, aggregate: Arc::clone(&self.aggregate), ctx })
                     }
                     Some(e) => Err(e),
                 }
@@ -203,6 +240,12 @@ where
     /// Sub-requests currently buffered across all shard queues.
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.queue_depth()).sum()
+    }
+
+    /// Total buffer capacity across all shard queues (every shard keeps the
+    /// full configured capacity, so this is `shards × queue_capacity`).
+    pub fn queue_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_capacity()).sum()
     }
 
     /// Graceful drain of every shard (in shard order): each refuses new

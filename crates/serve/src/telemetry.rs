@@ -22,12 +22,38 @@
 //! records a `model_swap` event at the default `Metrics` level (swaps are
 //! rare and operationally interesting).
 
-use setlearn_obs::{Counter, Field, Gauge, Histogram, LATENCY_BOUNDS};
+use setlearn_obs::{Counter, Field, Gauge, Histogram, Stage, LATENCY_BOUNDS, STAGES, STAGE_COUNT};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Batch-size buckets: powers of two up to 512 requests.
 pub const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+/// Cached handles into the `setlearn_request_stage_seconds` histogram
+/// family: one series per [`Stage`], labelled `task` + `stage` (plus any
+/// extra labels the owner carries, e.g. `shard`). This is the per-stage
+/// latency breakdown a live scrape exposes.
+pub(crate) struct StageTele {
+    handles: [Arc<Histogram>; STAGE_COUNT],
+}
+
+impl StageTele {
+    pub(crate) fn new(base: &[(&str, &str)]) -> Self {
+        let m = setlearn_obs::metrics();
+        let handles = STAGES.map(|stage| {
+            let mut labels: Vec<(&str, &str)> = base.to_vec();
+            labels.push(("stage", stage.label()));
+            m.histogram_with("setlearn_request_stage_seconds", &labels, LATENCY_BOUNDS)
+        });
+        StageTele { handles }
+    }
+
+    pub(crate) fn record(&self, stage: Stage, duration: Duration) {
+        if setlearn_obs::metrics_on() {
+            self.handles[stage as usize].observe_duration(duration);
+        }
+    }
+}
 
 /// Cached metric handles for one serving runtime.
 pub(crate) struct RuntimeTele {
@@ -40,6 +66,7 @@ pub(crate) struct RuntimeTele {
     shed: Arc<Counter>,
     batches: Arc<Counter>,
     swaps: Arc<Counter>,
+    stages: StageTele,
 }
 
 impl RuntimeTele {
@@ -67,16 +94,19 @@ impl RuntimeTele {
             shed: m.counter_with("setlearn_serve_shed_total", l),
             batches: m.counter_with("setlearn_serve_batches_total", l),
             swaps: m.counter_with("setlearn_serve_swaps_total", l),
+            stages: StageTele::new(l),
         }
     }
 
-    /// Records one executed batch: size/depth/wait/duration metrics plus (at
-    /// `Full`) a `serve_batch` span.
+    /// Records one executed batch: size/depth/wait/duration metrics, the
+    /// worker-side stage histograms (queue / batch_wait / inference), plus
+    /// (at `Full`) a `serve_batch` span.
     pub(crate) fn record_batch(
         &self,
         batch: usize,
         queue_depth: usize,
         waits: &[Duration],
+        batch_wait: Duration,
         duration: Duration,
         version: u64,
     ) {
@@ -88,8 +118,11 @@ impl RuntimeTele {
         self.batch_size.observe(batch as f64);
         self.queue_depth.set(queue_depth as f64);
         self.batch_seconds.observe_duration(duration);
+        self.stages.record(Stage::BatchWait, batch_wait);
+        self.stages.record(Stage::Inference, duration);
         for wait in waits {
             self.queue_wait.observe_duration(*wait);
+            self.stages.record(Stage::QueueWait, *wait);
         }
         if setlearn_obs::tracing_on() {
             let tracer = setlearn_obs::tracer();
@@ -152,6 +185,7 @@ pub(crate) struct NetTele {
     bytes_out: Arc<Counter>,
     request_seconds: Arc<Histogram>,
     ingest_seconds: Arc<Histogram>,
+    stages: StageTele,
 }
 
 impl NetTele {
@@ -165,7 +199,15 @@ impl NetTele {
             bytes_out: m.counter_with("setlearn_net_bytes_out_total", l),
             request_seconds: m.histogram_with("setlearn_net_request_seconds", l, LATENCY_BOUNDS),
             ingest_seconds: m.histogram_with("setlearn_net_ingest_seconds", l, LATENCY_BOUNDS),
+            // Frame-side stages (decode / admission / encode) carry the bare
+            // task label, matching the worker-side stage series.
+            stages: StageTele::new(&[("task", task)]),
         }
+    }
+
+    /// Records one frame-side stage sample (decode, admission, or encode).
+    pub(crate) fn record_stage(&self, stage: Stage, duration: Duration) {
+        self.stages.record(stage, duration);
     }
 
     pub(crate) fn connection_opened(&self) {

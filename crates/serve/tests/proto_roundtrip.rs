@@ -50,7 +50,7 @@ fn random_request_batches_roundtrip() {
         let n = rng.gen_range(0..32);
         let batch: Vec<QueryRequest> = (0..n).map(|_| random_request(&mut rng)).collect();
         let payload = encode_request_batch(&batch);
-        assert_eq!(decode_request_batch(&payload).unwrap(), batch);
+        assert_eq!(decode_request_batch(&payload).unwrap(), (batch, None));
     }
 }
 
