@@ -1,0 +1,162 @@
+//! Planner bench: the cost-based planner against both static strategies on
+//! a skewed workload.
+//!
+//! The collection is bimodal: *head* elements appear in ~90% of rows (huge
+//! posting lists), while *tail* elements appear in a handful of rows each
+//! (tiny posting lists). The workload mixes
+//!
+//! - tail queries, where the inverted index is orders of magnitude faster
+//!   than a sequential scan, and
+//! - multi-element containments over head elements, where the index path
+//!   must intersect several near-full posting lists (and allocate the large
+//!   intermediates) while the seq scan touches each row once.
+//!
+//! No static choice wins both halves; the planner picks per query and must
+//! land within 1.1x of the best static strategy while beating the worst by
+//! at least 1.5x.
+//!
+//! Env knobs for CI: `PLANNER_BENCH_ROWS` (default 20000),
+//! `PLANNER_BENCH_QUERIES` (queries per workload half, default 60).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setlearn_bench::timing::timed;
+use setlearn_data::SetCollection;
+use setlearn_engine::{Engine, ExecMode, SetTable};
+
+const VOCAB: u32 = 1_000;
+const HEAD: u32 = 10; // elements 0..HEAD are hot
+const TAIL_START: u32 = 900; // elements TAIL_START..VOCAB are rare
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Bimodal skewed collection: every row holds ~90% of the head elements plus
+/// two mid-range ones; roughly one row in 400 also carries a tail element.
+fn skewed_collection(rows: usize, rng: &mut StdRng) -> SetCollection {
+    let raw: Vec<Vec<u32>> = (0..rows)
+        .map(|_| {
+            let mut set: Vec<u32> =
+                (0..HEAD).filter(|_| rng.gen_range(0..10u32) < 9).collect();
+            set.push(rng.gen_range(HEAD..TAIL_START));
+            set.push(rng.gen_range(HEAD..TAIL_START));
+            if rng.gen_range(0..400u32) == 0 {
+                set.push(rng.gen_range(TAIL_START..VOCAB));
+            }
+            set
+        })
+        .collect();
+    SetCollection::new(raw, VOCAB)
+}
+
+/// The two workload halves, as WHERE clauses.
+fn workload(per_half: usize, rng: &mut StdRng) -> Vec<String> {
+    let mut filters = Vec::with_capacity(per_half * 2);
+    for _ in 0..per_half {
+        // Tail half: AND of two rare elements — tiny posting lists, so the
+        // index answers in microseconds while a seq scan walks every row.
+        let a = rng.gen_range(TAIL_START..VOCAB);
+        let b = rng.gen_range(TAIL_START..VOCAB);
+        filters.push(format!("tags @> {{{a}}} AND tags @> {{{b}}}"));
+        // Head half: containment of several hot elements — every posting
+        // list holds ~0.9N rows, so the index path walks and intersects
+        // near-full lists while the seq scan checks each row once.
+        let mut heads: Vec<u32> = (0..HEAD).collect();
+        for i in (1..heads.len()).rev() {
+            heads.swap(i, rng.gen_range(0..i + 1));
+        }
+        let ids: Vec<String> = heads[..6].iter().map(u32::to_string).collect();
+        filters.push(format!("tags @> {{{}}}", ids.join(",")));
+    }
+    filters
+}
+
+/// Runs every query under one strategy (`hint` empty = let the planner
+/// choose), returning (total seconds, counts, per-path plan tally).
+fn run_strategy(engine: &Engine, filters: &[String], hint: &str) -> (f64, Vec<f64>, [usize; 2]) {
+    let mut counts = Vec::with_capacity(filters.len());
+    let mut tally = [0usize; 2]; // [seqscan, index]
+    let (_, secs) = timed(|| {
+        for f in filters {
+            let sql = format!("SELECT COUNT(*) FROM logs WHERE {f}{hint}");
+            let r = engine.execute_sql(&sql).expect("query runs");
+            assert!(r.exact, "no estimator registered; every path is exact");
+            match r.mode {
+                ExecMode::SeqScan => tally[0] += 1,
+                ExecMode::Index => tally[1] += 1,
+                ExecMode::Estimate => unreachable!("no estimator registered"),
+            }
+            counts.push(r.count);
+        }
+    });
+    (secs, counts, tally)
+}
+
+/// Min-of-reps total for one strategy, checking answers agree across reps.
+fn best_of(engine: &Engine, filters: &[String], hint: &str, reps: usize) -> (f64, Vec<f64>, [usize; 2]) {
+    let mut best: Option<(f64, Vec<f64>, [usize; 2])> = None;
+    for _ in 0..reps {
+        let run = run_strategy(engine, filters, hint);
+        best = match best {
+            Some(prev) if prev.0 <= run.0 => Some(prev),
+            _ => Some(run),
+        };
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let rows = env_usize("PLANNER_BENCH_ROWS", 20_000);
+    let per_half = env_usize("PLANNER_BENCH_QUERIES", 60);
+    let mut rng = StdRng::seed_from_u64(0x5e7_1ea1);
+
+    let collection = skewed_collection(rows, &mut rng);
+    let filters = workload(per_half, &mut rng);
+
+    let engine = Engine::new();
+    engine.create_table(SetTable::from_collection("logs", collection), "tags");
+    engine.create_index("logs").expect("index builds");
+
+    println!(
+        "planner_bench: rows={rows} queries={} (tail-AND + head-containment halves)",
+        filters.len()
+    );
+
+    let (seq_secs, seq_counts, _) = best_of(&engine, &filters, " USING seqscan", 3);
+    let (idx_secs, idx_counts, _) = best_of(&engine, &filters, " USING index", 3);
+    let (plan_secs, plan_counts, tally) = best_of(&engine, &filters, "", 3);
+
+    assert_eq!(seq_counts, idx_counts, "static strategies disagree on answers");
+    assert_eq!(seq_counts, plan_counts, "planner changed query answers");
+
+    let best = seq_secs.min(idx_secs);
+    let worst = seq_secs.max(idx_secs);
+    println!("  always-seqscan : {:8.1} ms", seq_secs * 1e3);
+    println!("  always-index   : {:8.1} ms", idx_secs * 1e3);
+    println!(
+        "  planner        : {:8.1} ms  (chose seqscan x{}, index x{})",
+        plan_secs * 1e3,
+        tally[0],
+        tally[1]
+    );
+    println!(
+        "  planner vs best static: {:.2}x   worst static vs planner: {:.2}x",
+        plan_secs / best,
+        worst / plan_secs
+    );
+
+    // The acceptance bar: adaptive planning is never meaningfully worse than
+    // the best static choice and clearly beats the worst one.
+    assert!(
+        plan_secs <= best * 1.1,
+        "planner {plan_secs:.4}s must be within 1.1x of best static {best:.4}s"
+    );
+    assert!(
+        worst >= plan_secs * 1.5,
+        "worst static {worst:.4}s must be at least 1.5x the planner {plan_secs:.4}s"
+    );
+    // The skew must actually exercise both paths.
+    assert!(tally[0] > 0 && tally[1] > 0, "planner never switched paths: {tally:?}");
+    println!("planner_bench: OK");
+}

@@ -1598,30 +1598,63 @@ pub fn watch(args: &Args) -> Result<(), CliError> {
     }
 }
 
-/// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]`
+/// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]
+/// [--table NAME] [--explain] [--telemetry PATH]`
 pub fn sql(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["collection", "query", "model"])?;
+    args.reject_unknown(&["collection", "query", "model", "table", "explain", "telemetry"])?;
+    let sink = telemetry::begin(args)?;
     let collection = load_collection(args.required("collection")?)?;
     let query = args.required("query")?;
     let engine = Engine::new();
-    // The table name must match the FROM clause; parse first to learn it.
-    let parsed = setlearn_engine::parse_count(query)?;
+    // The table name comes from the FROM clause; parse first to learn it.
+    let mut parsed = setlearn_engine::parse_query(query)?;
+    if args.has_flag("explain") {
+        parsed.explain = true;
+    }
+    if let Some(expected) = args.optional("table") {
+        if parsed.table != expected {
+            return Err(format!(
+                "query targets table '{}' but --table says '{expected}'",
+                parsed.table
+            )
+            .into());
+        }
+    }
+    // One collection file backs one column; every predicate must agree on
+    // its name.
+    let columns = parsed.filter.columns();
+    let column = *columns.first().ok_or("query references no column")?;
+    if let Some(other) = columns.iter().find(|c| **c != column) {
+        return Err(format!(
+            "query references columns '{column}' and '{other}' but --collection \
+             provides only one"
+        )
+        .into());
+    }
     engine.create_table(
         SetTable::from_collection(parsed.table.clone(), collection),
-        parsed.column.clone(),
+        column.to_string(),
     );
     engine.create_index(&parsed.table)?;
     if let Some(model_path) = args.optional("model") {
         let est: LearnedCardinality = load(model_path)?;
         engine.register_estimator(&parsed.table, est)?;
     }
-    let result = engine.execute(&parsed)?;
+    let out = engine.run_query(&parsed)?;
+    if let Some(text) = &out.explain {
+        print!("{text}");
+    }
+    let result = out.result;
     println!(
-        "count: {:.1} ({}, {:?})",
+        "count: {:.1} ({}, {:?}{})",
         result.count,
         if result.exact { "exact" } else { "estimate" },
-        result.mode
+        result.mode,
+        if result.pinned { ", pinned" } else { ", planned" },
     );
+    if let Some(sink) = sink {
+        sink.finish()?;
+    }
     Ok(())
 }
 
@@ -1664,8 +1697,11 @@ COMMANDS:
             [--stats [prom|json]] [--health] [--slow-queries]
   watch     --addr HOST:PORT [--interval-ms N] [--count N]
             (poll a live server's metrics, print per-interval deltas)
-  sql       --collection FILE --query \"SELECT COUNT(*) FROM t WHERE tags @> {{1,2}} [USING mode]\"
-            [--model FILE]
+  sql       --collection FILE --query \"[EXPLAIN] SELECT COUNT(*) FROM t
+            WHERE tags @> {{1,2}} [AND|OR|NOT ...] [USING mode]\"
+            [--model FILE] [--table NAME] [--explain] [--telemetry PATH]
+            (un-pinned queries are planned on cost; --model registers a
+            trained cardinality estimator the planner consults)
   help
 
 Passing --telemetry PATH raises telemetry to Full (per-query/per-epoch
@@ -1781,6 +1817,32 @@ mod tests {
             "SELECT COUNT(*) FROM logs WHERE tags @> {1} USING index",
         ]))
         .unwrap();
+        // Boolean filters, --table validation, and --explain all run.
+        run(&args(&[
+            "sql",
+            "--collection",
+            &coll,
+            "--table",
+            "logs",
+            "--explain",
+            "--query",
+            "SELECT COUNT(*) FROM logs WHERE tags @> {1} AND tags @> {2} OR NOT tags @> {3}",
+        ]))
+        .unwrap();
+        // A --table mismatch is an error, as is a second column name (only
+        // one collection file backs the table).
+        let err = run(&args(&[
+            "sql", "--collection", &coll, "--table", "other", "--query",
+            "SELECT COUNT(*) FROM logs WHERE tags @> {1}",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--table"), "got: {err}");
+        let err = run(&args(&[
+            "sql", "--collection", &coll, "--query",
+            "SELECT COUNT(*) FROM logs WHERE tags @> {1} AND mentions @> {2}",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("one"), "got: {err}");
         let _ = std::fs::remove_file(coll);
     }
 

@@ -74,7 +74,8 @@ pub mod prelude {
     pub use crate::shard::{ShardBy, ShardError, ShardRouter, ShardSpec, ShardedCollection};
     pub use crate::tasks::{
         aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig,
-        CardinalityConfig, IndexConfig, IndexStructure, LearnedBloom, LearnedCardinality,
+        CardinalityConfig, CardinalityEstimator, IndexConfig, IndexStructure, LearnedBloom,
+        LearnedCardinality,
         LearnedSetIndex, LearnedSetStructure, PositionTarget, QueryOutcome,
         ShardIndexStructure, ShardedBloom, ShardedCardinality, ShardedIndex,
         ShardedIndexStructure,
@@ -94,8 +95,8 @@ pub use model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
 pub use settransformer::{SetTransformer, SetTransformerConfig};
 pub use shard::{ShardBy, ShardError, ShardRouter, ShardSpec, ShardedCollection};
 pub use tasks::{
-    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
-    LearnedSetIndex, LearnedSetStructure, QueryOutcome,
+    BloomConfig, CardinalityConfig, CardinalityEstimator, IndexConfig, LearnedBloom,
+    LearnedCardinality, LearnedSetIndex, LearnedSetStructure, QueryOutcome,
 };
 pub use mutable::{
     DeltaMergeable, DeltaStats, MutableCollection, MutableSink, MutateError, MutationAck,

@@ -132,6 +132,37 @@ impl<S: LearnedSetStructure> LearnedSetStructure for std::sync::Arc<S> {
     }
 }
 
+/// A selectivity oracle a query optimizer can consult: canonical query set →
+/// estimated number of matching rows.
+///
+/// This is the narrow surface `setlearn-engine`'s cost-based planner needs —
+/// one scalar per query, no degradation flags, no batching — implemented by
+/// both the single-model and the sharded cardinality estimators so either
+/// can be registered on a table unchanged.
+pub trait CardinalityEstimator: Send + Sync {
+    /// Estimated rows whose set contains every element of the canonical
+    /// query `q`.
+    fn estimate_rows(&self, q: &[u32]) -> f64;
+}
+
+impl CardinalityEstimator for LearnedCardinality {
+    fn estimate_rows(&self, q: &[u32]) -> f64 {
+        self.estimate(q)
+    }
+}
+
+impl CardinalityEstimator for ShardedCardinality {
+    fn estimate_rows(&self, q: &[u32]) -> f64 {
+        self.estimate(q)
+    }
+}
+
+impl<E: CardinalityEstimator> CardinalityEstimator for std::sync::Arc<E> {
+    fn estimate_rows(&self, q: &[u32]) -> f64 {
+        (**self).estimate_rows(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

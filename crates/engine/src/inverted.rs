@@ -69,6 +69,12 @@ impl InvertedIndex {
             .collect()
     }
 
+    /// Posting-list length for one element (0 when the element is out of
+    /// vocabulary) — the cost model's per-predicate statistic.
+    pub fn posting_len(&self, element: u32) -> usize {
+        self.postings.get(element as usize).map_or(0, Vec::len)
+    }
+
     /// Approximate resident bytes of the posting lists.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()

@@ -27,10 +27,14 @@
 
 pub mod engine;
 pub mod inverted;
+pub mod plan;
 pub mod sql;
 pub mod table;
 
-pub use engine::{CountResult, Engine, EngineError, EstimatorUdf};
+pub use engine::{CountResult, Engine, EngineError, EstimatorUdf, QueryOutput};
 pub use inverted::InvertedIndex;
-pub use sql::{parse_count, CountQuery, ExecMode, ParseError, Verb};
+pub use plan::cost::SelSource;
+pub use plan::expr::Expr;
+pub use plan::{Est, Plan, PlanKind, PlanNode};
+pub use sql::{parse_count, parse_query, CountQuery, ExecMode, ParseError, Query, Verb};
 pub use table::SetTable;

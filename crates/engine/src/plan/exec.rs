@@ -1,0 +1,421 @@
+//! The plan interpreter. Walks a [`PlanNode`] tree against the table's data
+//! and optionally records per-node **actual** row counts for `EXPLAIN`.
+//!
+//! Each access path executes differently:
+//!
+//! * **seq scan** — row-at-a-time boolean evaluation with short-circuit
+//!   AND/OR (disabled when tracking actuals, so every node gets a count;
+//!   results are identical either way);
+//! * **index** — bottom-up sorted row-set algebra (probe → intersect /
+//!   union / complement);
+//! * **estimate** — leaf model forwards combined under independence; no
+//!   data is touched, so actuals stay unknown.
+
+use super::{Plan, PlanKind, PlanNode};
+use crate::sql::Verb;
+use setlearn_data::set::is_subset;
+use setlearn_data::SetCollection;
+
+use super::PlanCtx;
+
+/// What executing a plan produced.
+pub(crate) struct ExecOutcome {
+    /// Verb-dependent value (COUNT → count, EXISTS → 1/0, FIRST → position
+    /// or −1), matching [`crate::engine::CountResult::count`].
+    pub value: f64,
+    /// Whether the value is exact.
+    pub exact: bool,
+    /// Per-node actual yielded rows, indexed by [`PlanNode::id`]; `None`
+    /// when unknown (not tracked, short-circuited, or an estimate-only
+    /// path).
+    pub actuals: Vec<Option<u64>>,
+}
+
+/// Runs `plan` against `ctx`. `track` fills per-node actuals (EXPLAIN mode)
+/// at the price of disabling short-circuit evaluation.
+pub(crate) fn run(ctx: &PlanCtx<'_>, plan: &Plan, track: bool) -> ExecOutcome {
+    let mut actuals: Vec<Option<u64>> = vec![None; plan.node_count];
+    let n = ctx.rows;
+    let (value, exact) = match &plan.root.kind {
+        PlanKind::Trivial { value } => (trivial_value(plan.verb, *value, n), true),
+        PlanKind::SeqScan => {
+            let filter = plan.root.children.first().expect("seqscan has a filter child");
+            let compiled = compile(ctx, filter);
+            let value = seq_scan(plan.verb, n, &compiled, track, &mut actuals);
+            if let Some(root_rows) = actuals.get(filter.id).copied().flatten() {
+                actuals[plan.root.id] = Some(root_rows);
+            }
+            (value, true)
+        }
+        PlanKind::Estimate { .. } => (estimate_rows(ctx, &plan.root), false),
+        PlanKind::And | PlanKind::Or | PlanKind::Not if is_estimate_tree(&plan.root) => {
+            (estimate_rows(ctx, &plan.root), false)
+        }
+        PlanKind::IndexProbe { .. } | PlanKind::And | PlanKind::Or | PlanKind::Not => {
+            let rows = index_rows(ctx, &plan.root, track, &mut actuals);
+            let value = match plan.verb {
+                Verb::Count => rows.len() as f64,
+                Verb::Exists => (!rows.is_empty()) as u8 as f64,
+                Verb::First => rows.first().map_or(-1.0, |&p| p as f64),
+            };
+            if !track {
+                actuals[plan.root.id] = Some(rows.len() as u64);
+            }
+            (value, true)
+        }
+        PlanKind::MembershipProbe { elements } => {
+            let filter = ctx.membership.expect("plan built with membership");
+            ((filter.contains(elements)) as u8 as f64, false)
+        }
+        PlanKind::PositionLookup { elements } => {
+            let li = ctx.learned_index.expect("plan built with learned index");
+            let collection = ctx.columns.first().expect("table has a primary column").collection;
+            (
+                li.lookup(collection, elements).map_or(-1.0, |p| p as f64),
+                // The hybrid index verifies by scanning: answers are exact
+                // for queries within its trained contract.
+                true,
+            )
+        }
+        PlanKind::Filter { .. } => unreachable!("filter leaves only appear under SeqScan"),
+    };
+    ExecOutcome { value, exact, actuals }
+}
+
+fn trivial_value(verb: Verb, matched: bool, n: usize) -> f64 {
+    match verb {
+        Verb::Count => {
+            if matched {
+                n as f64
+            } else {
+                0.0
+            }
+        }
+        Verb::Exists => (matched && n > 0) as u8 as f64,
+        Verb::First => {
+            if matched && n > 0 {
+                0.0
+            } else {
+                -1.0
+            }
+        }
+    }
+}
+
+/// An estimate-path tree contains only Estimate leaves under boolean nodes.
+fn is_estimate_tree(node: &PlanNode) -> bool {
+    match &node.kind {
+        PlanKind::Estimate { .. } => true,
+        PlanKind::And | PlanKind::Or | PlanKind::Not => {
+            node.children.iter().all(is_estimate_tree)
+        }
+        PlanKind::Trivial { .. } => true,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential scan
+// ---------------------------------------------------------------------------
+
+/// A filter tree with column names resolved to collections, evaluated once
+/// per row.
+enum CNode<'a> {
+    Contains { id: usize, collection: &'a SetCollection, elements: &'a [u32] },
+    And { id: usize, children: Vec<CNode<'a>> },
+    Or { id: usize, children: Vec<CNode<'a>> },
+    Not { id: usize, child: Box<CNode<'a>> },
+    Const { id: usize, value: bool },
+}
+
+fn compile<'a>(ctx: &PlanCtx<'a>, node: &'a PlanNode) -> CNode<'a> {
+    match &node.kind {
+        PlanKind::Filter { column, elements, .. } => CNode::Contains {
+            id: node.id,
+            collection: ctx.column(column).expect("planner validated columns").collection,
+            elements,
+        },
+        PlanKind::And => CNode::And {
+            id: node.id,
+            children: node.children.iter().map(|c| compile(ctx, c)).collect(),
+        },
+        PlanKind::Or => CNode::Or {
+            id: node.id,
+            children: node.children.iter().map(|c| compile(ctx, c)).collect(),
+        },
+        PlanKind::Not => CNode::Not {
+            id: node.id,
+            child: Box::new(compile(ctx, node.children.first().expect("NOT has a child"))),
+        },
+        PlanKind::Trivial { value } => CNode::Const { id: node.id, value: *value },
+        other => unreachable!("not a filter node: {other:?}"),
+    }
+}
+
+impl CNode<'_> {
+    /// Evaluates the node for `row`. With `counts`, evaluation is exhaustive
+    /// (no short-circuit) and every true node increments its slot.
+    fn eval(&self, row: usize, counts: &mut Option<&mut Vec<Option<u64>>>) -> bool {
+        let (id, hit) = match self {
+            CNode::Contains { id, collection, elements } => {
+                (*id, is_subset(elements, collection.get(row)))
+            }
+            CNode::And { id, children } => {
+                let mut all = true;
+                for c in children {
+                    let v = c.eval(row, counts);
+                    all &= v;
+                    if !all && counts.is_none() {
+                        return false;
+                    }
+                }
+                (*id, all)
+            }
+            CNode::Or { id, children } => {
+                let mut any = false;
+                for c in children {
+                    let v = c.eval(row, counts);
+                    any |= v;
+                    if any && counts.is_none() {
+                        return true;
+                    }
+                }
+                (*id, any)
+            }
+            CNode::Not { id, child } => (*id, !child.eval(row, counts)),
+            CNode::Const { id, value } => (*id, *value),
+        };
+        if hit {
+            if let Some(counts) = counts {
+                let slot = counts[id].get_or_insert(0);
+                *slot += 1;
+            }
+        }
+        hit
+    }
+}
+
+fn seq_scan(
+    verb: Verb,
+    n: usize,
+    filter: &CNode<'_>,
+    track: bool,
+    actuals: &mut Vec<Option<u64>>,
+) -> f64 {
+    if track {
+        // Exhaustive evaluation: every node's actual row count is recorded,
+        // and even EXISTS/FIRST scan to the end so the counts are complete.
+        zero_tree(filter, actuals);
+        let mut first: Option<usize> = None;
+        let mut count = 0u64;
+        for row in 0..n {
+            if filter.eval(row, &mut Some(actuals)) {
+                count += 1;
+                first.get_or_insert(row);
+            }
+        }
+        return match verb {
+            Verb::Count => count as f64,
+            Verb::Exists => (count > 0) as u8 as f64,
+            Verb::First => first.map_or(-1.0, |p| p as f64),
+        };
+    }
+    match verb {
+        Verb::Count => {
+            (0..n).filter(|&row| filter.eval(row, &mut None)).count() as f64
+        }
+        Verb::Exists => (0..n).any(|row| filter.eval(row, &mut None)) as u8 as f64,
+        Verb::First => (0..n)
+            .find(|&row| filter.eval(row, &mut None))
+            .map_or(-1.0, |p| p as f64),
+    }
+}
+
+/// Pre-seeds each filter node's slot with 0 so untouched nodes render as
+/// `actual=0` rather than unknown.
+fn zero_tree(node: &CNode<'_>, actuals: &mut [Option<u64>]) {
+    match node {
+        CNode::Contains { id, .. } | CNode::Const { id, .. } => actuals[*id] = Some(0),
+        CNode::And { id, children } | CNode::Or { id, children } => {
+            actuals[*id] = Some(0);
+            children.iter().for_each(|c| zero_tree(c, actuals));
+        }
+        CNode::Not { id, child } => {
+            actuals[*id] = Some(0);
+            zero_tree(child, actuals);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inverted-index row-set algebra
+// ---------------------------------------------------------------------------
+
+/// Evaluates an index-path subtree to the sorted set of matching row ids.
+fn index_rows(
+    ctx: &PlanCtx<'_>,
+    node: &PlanNode,
+    track: bool,
+    actuals: &mut Vec<Option<u64>>,
+) -> Vec<u32> {
+    let rows = match &node.kind {
+        PlanKind::IndexProbe { column, elements, .. } => ctx
+            .column(column)
+            .and_then(|c| c.index)
+            .expect("planner validated index availability")
+            .rows_with_subset(elements),
+        PlanKind::And => {
+            let mut iter = node.children.iter();
+            let first = iter.next().expect("AND has children");
+            let mut acc = index_rows(ctx, first, track, actuals);
+            for child in iter {
+                // Children are ordered most-selective-first, so the
+                // accumulator shrinks as fast as the estimates allow; an
+                // empty accumulator still evaluates remaining children when
+                // tracking so their actuals are filled.
+                if acc.is_empty() && !track {
+                    break;
+                }
+                let rhs = index_rows(ctx, child, track, actuals);
+                acc = intersect_sorted(&acc, &rhs);
+            }
+            acc
+        }
+        PlanKind::Or => {
+            let mut acc: Vec<u32> = Vec::new();
+            for child in &node.children {
+                let rhs = index_rows(ctx, child, track, actuals);
+                acc = union_sorted(&acc, &rhs);
+            }
+            acc
+        }
+        PlanKind::Not => {
+            let inner =
+                index_rows(ctx, node.children.first().expect("NOT has a child"), track, actuals);
+            complement_sorted(&inner, ctx.rows as u32)
+        }
+        PlanKind::Trivial { value } => {
+            if *value {
+                (0..ctx.rows as u32).collect()
+            } else {
+                Vec::new()
+            }
+        }
+        other => unreachable!("not an index node: {other:?}"),
+    };
+    if track {
+        actuals[node.id] = Some(rows.len() as u64);
+    }
+    rows
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn complement_sorted(a: &[u32], n: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n as usize - a.len());
+    let mut next = 0u32;
+    for &x in a {
+        out.extend(next..x);
+        next = x + 1;
+    }
+    out.extend(next..n);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Learned estimate
+// ---------------------------------------------------------------------------
+
+/// Combines leaf estimator forwards under the independence assumption (same
+/// algebra as the cost model, but over live model outputs).
+fn estimate_rows(ctx: &PlanCtx<'_>, node: &PlanNode) -> f64 {
+    let n = ctx.rows as f64;
+    match &node.kind {
+        PlanKind::Estimate { column, elements, .. } => {
+            let est = ctx
+                .column(column)
+                .and_then(|c| c.estimator)
+                .expect("planner validated estimator availability");
+            est(elements).clamp(0.0, n)
+        }
+        PlanKind::And => {
+            let mut rows = n;
+            for c in &node.children {
+                rows *= if n > 0.0 { estimate_rows(ctx, c) / n } else { 0.0 };
+            }
+            rows
+        }
+        PlanKind::Or => {
+            let mut none = 1.0;
+            for c in &node.children {
+                none *= if n > 0.0 { 1.0 - estimate_rows(ctx, c) / n } else { 1.0 };
+            }
+            n * (1.0 - none)
+        }
+        PlanKind::Not => {
+            (n - estimate_rows(ctx, node.children.first().expect("NOT has a child"))).max(0.0)
+        }
+        PlanKind::Trivial { value } => {
+            if *value {
+                n
+            } else {
+                0.0
+            }
+        }
+        other => unreachable!("not an estimate node: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_set_algebra() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[3, 4, 5]), vec![3, 5]);
+        assert_eq!(union_sorted(&[1, 3], &[2, 3, 9]), vec![1, 2, 3, 9]);
+        assert_eq!(complement_sorted(&[0, 2, 3], 5), vec![1, 4]);
+        assert_eq!(complement_sorted(&[], 3), vec![0, 1, 2]);
+        assert_eq!(complement_sorted(&[0, 1, 2], 3), Vec::<u32>::new());
+    }
+}

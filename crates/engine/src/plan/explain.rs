@@ -1,0 +1,118 @@
+//! Renders a [`Plan`] plus its executed actuals as the `EXPLAIN` text.
+//!
+//! Format (stable, grep-friendly — CI greps the first line):
+//!
+//! ```text
+//! plan path=index pinned=false verb=COUNT table=t rows=1000 est_rows=3.2 cost=41.0
+//! considered: seqscan=5200.0 index=41.0 estimate=n/a
+//! And (est_rows=3.2, actual_rows=3)
+//!   IndexProbe tags @> {42} [postings] (est_rows=5.0, actual_rows=5, cost=12.0)
+//!   IndexProbe mentions @> {7} [learned] (est_rows=80.1, actual_rows=77, cost=29.0)
+//! result: 3 (exact)
+//! ```
+
+use super::{Plan, PlanKind, PlanNode};
+use crate::plan::exec::ExecOutcome;
+use crate::sql::{ExecMode, Verb};
+use std::fmt::Write;
+
+pub(crate) fn mode_str(m: ExecMode) -> &'static str {
+    match m {
+        ExecMode::SeqScan => "seqscan",
+        ExecMode::Index => "index",
+        ExecMode::Estimate => "estimate",
+    }
+}
+
+fn verb_str(v: Verb) -> &'static str {
+    match v {
+        Verb::Count => "COUNT",
+        Verb::Exists => "EXISTS",
+        Verb::First => "FIRST",
+    }
+}
+
+fn set_literal(elements: &[u32]) -> String {
+    let ids: Vec<String> = elements.iter().map(u32::to_string).collect();
+    format!("{{{}}}", ids.join(","))
+}
+
+fn node_line(out: &mut String, node: &PlanNode, actuals: &[Option<u64>], depth: usize) {
+    let indent = "  ".repeat(depth);
+    let head = match &node.kind {
+        PlanKind::SeqScan => "SeqScan".to_string(),
+        PlanKind::Filter { column, elements, source } => {
+            format!("Filter {column} @> {} [{source}]", set_literal(elements))
+        }
+        PlanKind::IndexProbe { column, elements, source } => {
+            format!("IndexProbe {column} @> {} [{source}]", set_literal(elements))
+        }
+        PlanKind::Estimate { column, elements, source } => {
+            format!("Estimate {column} @> {} [{source}]", set_literal(elements))
+        }
+        PlanKind::MembershipProbe { elements } => {
+            format!("MembershipProbe @> {}", set_literal(elements))
+        }
+        PlanKind::PositionLookup { elements } => {
+            format!("PositionLookup @> {}", set_literal(elements))
+        }
+        PlanKind::And => "And".to_string(),
+        PlanKind::Or => "Or".to_string(),
+        PlanKind::Not => "Not".to_string(),
+        PlanKind::Trivial { value } => format!("Trivial {value}"),
+    };
+    let mut attrs = format!("est_rows={:.1}", node.est.rows);
+    match actuals.get(node.id).copied().flatten() {
+        Some(a) => {
+            let _ = write!(attrs, ", actual_rows={a}");
+        }
+        None => attrs.push_str(", actual_rows=?"),
+    }
+    if node.est.cost > 0.0 {
+        let _ = write!(attrs, ", cost={:.1}", node.est.cost);
+    }
+    let _ = writeln!(out, "{indent}{head} ({attrs})");
+    for child in &node.children {
+        node_line(out, child, actuals, depth + 1);
+    }
+}
+
+/// Renders the full EXPLAIN text for an executed plan.
+pub(crate) fn render(plan: &Plan, outcome: &ExecOutcome) -> String {
+    let root_cost = plan
+        .considered
+        .iter()
+        .find(|(m, _)| *m == plan.path)
+        .and_then(|(_, c)| *c)
+        .unwrap_or(plan.root.est.cost);
+    let mut out = format!(
+        "plan path={} pinned={} verb={} table={} rows={} est_rows={:.1} cost={:.1}\n",
+        mode_str(plan.path),
+        plan.pinned,
+        verb_str(plan.verb),
+        plan.table,
+        plan.rows,
+        plan.root.est.rows,
+        root_cost,
+    );
+    out.push_str("considered:");
+    for (mode, cost) in &plan.considered {
+        match cost {
+            Some(c) => {
+                let _ = write!(out, " {}={c:.1}", mode_str(*mode));
+            }
+            None => {
+                let _ = write!(out, " {}=n/a", mode_str(*mode));
+            }
+        }
+    }
+    out.push('\n');
+    node_line(&mut out, &plan.root, &outcome.actuals, 0);
+    let _ = writeln!(
+        out,
+        "result: {} ({})",
+        outcome.value,
+        if outcome.exact { "exact" } else { "estimated" }
+    );
+    out
+}

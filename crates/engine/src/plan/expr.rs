@@ -1,0 +1,137 @@
+//! The predicate expression AST: `AND` / `OR` / `NOT` over `@>` containment
+//! predicates, possibly spanning several set-valued columns.
+//!
+//! The parser ([`crate::sql`]) produces this tree verbatim; the optimizer
+//! ([`super::optimize`]) rewrites it into a canonical form before the cost
+//! model prices it.
+
+use setlearn_data::normalize;
+use std::fmt;
+
+/// A boolean filter over the set-valued columns of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `column @> {elements}` — the row's set contains every element.
+    /// `elements` is canonical (sorted, deduplicated).
+    Contains {
+        /// Set-valued column the predicate probes.
+        column: String,
+        /// Canonical queried element ids.
+        elements: Vec<u32>,
+    },
+    /// Conjunction of all children.
+    And(Vec<Expr>),
+    /// Disjunction of all children.
+    Or(Vec<Expr>),
+    /// Negation of the child.
+    Not(Box<Expr>),
+    /// A filter folded to a constant by the optimizer.
+    Const(bool),
+}
+
+impl Expr {
+    /// Builds a canonicalized containment predicate.
+    pub fn contains(column: impl Into<String>, elements: Vec<u32>) -> Expr {
+        Expr::Contains { column: column.into(), elements: normalize(elements).into_vec() }
+    }
+
+    /// Every distinct column referenced by the expression, in first-use
+    /// order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk_columns(&mut out);
+        out
+    }
+
+    fn walk_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Contains { column, .. } => {
+                if !out.contains(&column.as_str()) {
+                    out.push(column);
+                }
+            }
+            Expr::And(cs) | Expr::Or(cs) => cs.iter().for_each(|c| c.walk_columns(out)),
+            Expr::Not(c) => c.walk_columns(out),
+            Expr::Const(_) => {}
+        }
+    }
+
+    /// Number of containment leaves in the expression.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Expr::Contains { .. } => 1,
+            Expr::And(cs) | Expr::Or(cs) => cs.iter().map(Expr::leaf_count).sum(),
+            Expr::Not(c) => c.leaf_count(),
+            Expr::Const(_) => 0,
+        }
+    }
+
+    /// Whether the expression is exactly one containment predicate (after
+    /// optimization this is the single-predicate fast path the legacy
+    /// `CountQuery` API maps onto).
+    pub fn as_single_contains(&self) -> Option<(&str, &[u32])> {
+        match self {
+            Expr::Contains { column, elements } => Some((column, elements)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression in the SQL dialect's own syntax, fully
+    /// parenthesized so precedence is unambiguous in `EXPLAIN` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Contains { column, elements } => {
+                let ids: Vec<String> = elements.iter().map(u32::to_string).collect();
+                write!(f, "{column} @> {{{}}}", ids.join(","))
+            }
+            Expr::And(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                write!(f, "({})", parts.join(" AND "))
+            }
+            Expr::Or(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                write!(f, "({})", parts.join(" OR "))
+            }
+            Expr::Not(c) => write!(f, "NOT {c}"),
+            Expr::Const(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_canonicalizes_elements() {
+        let e = Expr::contains("tags", vec![3, 1, 3, 2]);
+        assert_eq!(e, Expr::Contains { column: "tags".into(), elements: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn columns_are_distinct_in_first_use_order() {
+        let e = Expr::And(vec![
+            Expr::contains("b", vec![1]),
+            Expr::Or(vec![
+                Expr::contains("a", vec![2]),
+                Expr::Not(Box::new(Expr::contains("b", vec![3]))),
+            ]),
+        ]);
+        assert_eq!(e.columns(), vec!["b", "a"]);
+        assert_eq!(e.leaf_count(), 3);
+    }
+
+    #[test]
+    fn renders_sql_syntax() {
+        let e = Expr::Or(vec![
+            Expr::And(vec![Expr::contains("tags", vec![3, 17]), Expr::contains("tags", vec![42])]),
+            Expr::Not(Box::new(Expr::contains("mentions", vec![7]))),
+        ]);
+        assert_eq!(
+            e.to_string(),
+            "((tags @> {3,17} AND tags @> {42}) OR NOT mentions @> {7})"
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! The learned-cost query planner.
+//!
+//! The pipeline is `parse → optimize → cost → choose → execute → explain`:
+//!
+//! * [`expr`] — the boolean predicate AST over `@>` containment leaves;
+//! * [`optimize`] — rewrite to canonical form (flatten, merge, constant-fold,
+//!   NOT pushdown);
+//! * [`cost`] — selectivity from the learned estimator (falling back to
+//!   posting lists, then a heuristic) and per-path pricing;
+//! * this module — the typed [`Plan`] tree and the path chooser;
+//! * `exec` — the interpreter that runs a plan and records per-node actuals;
+//! * `explain` — the `EXPLAIN` renderer.
+//!
+//! This is the reproduction's answer to the motivation of the learned-index
+//! line of work: the cardinality model is not just *benchmarked against*
+//! scan/index execution (Table 12), it *drives* the choice between them.
+
+pub mod cost;
+pub mod expr;
+pub mod optimize;
+
+pub(crate) mod exec;
+pub(crate) mod explain;
+
+use crate::engine::{EngineError, EstimatorUdf};
+use crate::inverted::InvertedIndex;
+use crate::sql::{ExecMode, Verb};
+use cost::{CostModel, SelSource};
+use expr::Expr;
+use setlearn::tasks::{LearnedBloom, LearnedSetIndex};
+use setlearn_data::SetCollection;
+
+/// Planner-visible statistics and structures for one set-valued column.
+pub(crate) struct ColumnInfo<'a> {
+    pub name: &'a str,
+    pub collection: &'a SetCollection,
+    pub avg_len: f64,
+    pub index: Option<&'a InvertedIndex>,
+    pub estimator: Option<&'a EstimatorUdf>,
+}
+
+/// Everything the planner and executor may consult about one table.
+pub(crate) struct PlanCtx<'a> {
+    pub table: &'a str,
+    pub rows: usize,
+    /// Columns in registration order; `[0]` is the primary column, which
+    /// owns the table-level membership filter and learned index.
+    pub columns: Vec<ColumnInfo<'a>>,
+    pub membership: Option<&'a LearnedBloom>,
+    pub learned_index: Option<&'a LearnedSetIndex>,
+}
+
+impl<'a> PlanCtx<'a> {
+    pub fn column(&self, name: &str) -> Option<&ColumnInfo<'a>> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// Estimated rows and cost attached to every plan node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Est {
+    /// Estimated number of rows the node yields (for boolean nodes, rows for
+    /// which the subtree holds).
+    pub rows: f64,
+    /// Estimated work in abstract row-touch units; `0.0` on nodes whose work
+    /// is accounted for by an ancestor (sequential-scan filter children).
+    pub cost: f64,
+}
+
+/// What a plan node does when executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanKind {
+    /// Scan every row, applying the boolean filter child to each.
+    SeqScan,
+    /// Per-row subset check of one containment predicate (under a scan).
+    Filter {
+        /// Column probed.
+        column: String,
+        /// Canonical queried elements.
+        elements: Vec<u32>,
+        /// Provenance of the node's selectivity estimate.
+        source: SelSource,
+    },
+    /// Posting-list intersection yielding the rows matching one predicate.
+    IndexProbe {
+        /// Column probed (must have an inverted index).
+        column: String,
+        /// Canonical queried elements.
+        elements: Vec<u32>,
+        /// Provenance of the node's selectivity estimate.
+        source: SelSource,
+    },
+    /// One O(1) learned-estimator forward for one predicate.
+    Estimate {
+        /// Column whose estimator is consulted.
+        column: String,
+        /// Canonical queried elements.
+        elements: Vec<u32>,
+        /// Provenance of the node's selectivity estimate (always learned).
+        source: SelSource,
+    },
+    /// Learned Bloom probe answering EXISTS (approximate).
+    MembershipProbe {
+        /// Canonical queried elements.
+        elements: Vec<u32>,
+    },
+    /// Learned set-index lookup answering FIRST.
+    PositionLookup {
+        /// Canonical queried elements.
+        elements: Vec<u32>,
+    },
+    /// Conjunction of child results (row-set intersection / short-circuit
+    /// AND / probability product, depending on the path).
+    And,
+    /// Disjunction of child results.
+    Or,
+    /// Negation of the single child.
+    Not,
+    /// The filter folded to a constant; no data is touched.
+    Trivial {
+        /// The folded value: `true` matches every row, `false` none.
+        value: bool,
+    },
+}
+
+/// One node of a [`Plan`] tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// Preorder id, used to pair estimates with executed actuals.
+    pub id: usize,
+    /// What the node does.
+    pub kind: PlanKind,
+    /// The cost model's estimate for the node.
+    pub est: Est,
+    /// Child nodes (boolean operands; empty on leaves).
+    pub children: Vec<PlanNode>,
+}
+
+/// A typed, costed execution plan for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The chosen access path.
+    pub path: ExecMode,
+    /// Whether the path was pinned by a `USING` hint rather than chosen on
+    /// cost.
+    pub pinned: bool,
+    /// The query verb the plan answers.
+    pub verb: Verb,
+    /// Target table.
+    pub table: String,
+    /// Table size N at planning time.
+    pub rows: usize,
+    /// Root node.
+    pub root: PlanNode,
+    /// Total nodes in the tree (ids are `0..node_count`).
+    pub node_count: usize,
+    /// Cost of every candidate path considered, `None` when the path was
+    /// unavailable (missing index / estimator / learned structure).
+    pub considered: Vec<(ExecMode, Option<f64>)>,
+}
+
+/// Builds ids in preorder while constructing node trees.
+struct NodeBuilder {
+    next_id: usize,
+}
+
+impl NodeBuilder {
+    fn node(&mut self, kind: PlanKind, est: Est, children: Vec<PlanNode>) -> PlanNode {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Children were built after the parent reserved its id, so ids stay
+        // preorder as long as callers build parents before children — the
+        // recursive builders below do.
+        PlanNode { id, kind, est, children }
+    }
+}
+
+fn expr_tree(
+    b: &mut NodeBuilder,
+    cm: &CostModel<'_, '_>,
+    e: &Expr,
+    leaf_kind: &dyn Fn(&str, &[u32], SelSource) -> PlanKind,
+    leaf_cost: &dyn Fn(&Expr) -> f64,
+    inner_cost: &dyn Fn(&Expr) -> f64,
+) -> PlanNode {
+    let rows = cm.expr_rows(e);
+    match e {
+        Expr::Contains { column, elements } => {
+            let (_, source) = cm.leaf_rows(column, elements);
+            let kind = leaf_kind(column, elements, source);
+            b.node(kind, Est { rows, cost: leaf_cost(e) }, Vec::new())
+        }
+        Expr::And(cs) | Expr::Or(cs) => {
+            let kind = if matches!(e, Expr::And(_)) { PlanKind::And } else { PlanKind::Or };
+            let parent = b.node(kind, Est { rows, cost: inner_cost(e) }, Vec::new());
+            let children = cs
+                .iter()
+                .map(|c| expr_tree(b, cm, c, leaf_kind, leaf_cost, inner_cost))
+                .collect();
+            PlanNode { children, ..parent }
+        }
+        Expr::Not(c) => {
+            let parent = b.node(PlanKind::Not, Est { rows, cost: inner_cost(e) }, Vec::new());
+            let children = vec![expr_tree(b, cm, c, leaf_kind, leaf_cost, inner_cost)];
+            PlanNode { children, ..parent }
+        }
+        Expr::Const(v) => {
+            b.node(PlanKind::Trivial { value: *v }, Est { rows, cost: 0.0 }, Vec::new())
+        }
+    }
+}
+
+/// Optimizes `filter`, prices every applicable access path, and returns the
+/// cheapest (or the hinted) plan.
+pub(crate) fn build_plan(
+    ctx: &PlanCtx<'_>,
+    verb: Verb,
+    filter: &Expr,
+    hint: Option<ExecMode>,
+) -> Result<Plan, EngineError> {
+    // Unknown columns are a catalog error regardless of path.
+    for col in filter.columns() {
+        if ctx.column(col).is_none() {
+            return Err(EngineError::NoSuchColumn {
+                table: ctx.table.to_string(),
+                column: col.to_string(),
+            });
+        }
+    }
+
+    let cm = CostModel::new(ctx);
+    let optimized = cm.order_by_selectivity(optimize::optimize(filter.clone()));
+
+    // A filter folded to a constant needs no access path at all.
+    if let Expr::Const(v) = optimized {
+        let mut b = NodeBuilder { next_id: 0 };
+        let rows = if v { ctx.rows as f64 } else { 0.0 };
+        let root = b.node(PlanKind::Trivial { value: v }, Est { rows, cost: 0.0 }, Vec::new());
+        return Ok(Plan {
+            path: ExecMode::SeqScan,
+            pinned: hint.is_some(),
+            verb,
+            table: ctx.table.to_string(),
+            rows: ctx.rows,
+            root,
+            node_count: b.next_id,
+            considered: vec![(ExecMode::SeqScan, Some(0.0))],
+        });
+    }
+
+    let columns = optimized.columns();
+    let index_available = columns.iter().all(|c| ctx.column(c).is_some_and(|i| i.index.is_some()));
+    let single = optimized.as_single_contains().map(|(c, e)| (c.to_string(), e.to_vec()));
+    let primary = ctx.columns.first().map(|c| c.name.to_string()).unwrap_or_default();
+    // The learned paths per verb: COUNT needs an estimator on every
+    // referenced column; EXISTS/FIRST need the table-level learned structure
+    // and a single predicate on the primary column (what it was trained on).
+    let estimate_available = match verb {
+        Verb::Count => {
+            columns.iter().all(|c| ctx.column(c).is_some_and(|i| i.estimator.is_some()))
+        }
+        Verb::Exists => {
+            ctx.membership.is_some()
+                && single.as_ref().is_some_and(|(c, _)| *c == primary)
+        }
+        Verb::First => {
+            ctx.learned_index.is_some()
+                && single.as_ref().is_some_and(|(c, _)| *c == primary)
+        }
+    };
+
+    let seq_cost = cm.seq_cost(&optimized);
+    let index_cost = index_available.then(|| cm.index_cost(&optimized));
+    let estimate_cost = estimate_available.then(|| match verb {
+        Verb::Count => cm.estimate_cost(&optimized),
+        // One filter probe / one guided lookup: a single model forward.
+        Verb::Exists | Verb::First => cost::MODEL_FORWARD_COST,
+    });
+    let considered = vec![
+        (ExecMode::SeqScan, Some(seq_cost)),
+        (ExecMode::Index, index_cost),
+        (ExecMode::Estimate, estimate_cost),
+    ];
+
+    let path = match hint {
+        Some(ExecMode::SeqScan) => ExecMode::SeqScan,
+        Some(ExecMode::Index) => {
+            if !index_available {
+                return Err(EngineError::NoIndex(ctx.table.to_string()));
+            }
+            ExecMode::Index
+        }
+        Some(ExecMode::Estimate) => {
+            match verb {
+                Verb::Count => {
+                    if !estimate_available {
+                        return Err(EngineError::NoEstimator(ctx.table.to_string()));
+                    }
+                }
+                Verb::Exists => {
+                    if ctx.membership.is_none() {
+                        return Err(EngineError::NoMembershipFilter(ctx.table.to_string()));
+                    }
+                    if !estimate_available {
+                        return Err(EngineError::Unsupported(format!(
+                            "EXISTS USING estimate requires a single predicate on the \
+                             primary column '{primary}'"
+                        )));
+                    }
+                }
+                Verb::First => {
+                    if ctx.learned_index.is_none() {
+                        return Err(EngineError::NoLearnedIndex(ctx.table.to_string()));
+                    }
+                    if !estimate_available {
+                        return Err(EngineError::Unsupported(format!(
+                            "FIRST USING estimate requires a single predicate on the \
+                             primary column '{primary}'"
+                        )));
+                    }
+                }
+            }
+            ExecMode::Estimate
+        }
+        None => {
+            // Cost-based choice. EXISTS/FIRST never pick an approximate
+            // learned structure on their own — only COUNT trades exactness
+            // for speed without being pinned (its result carries
+            // `exact = false` so callers can tell).
+            let mut best = (ExecMode::SeqScan, seq_cost);
+            if let Some(c) = index_cost {
+                if c < best.1 {
+                    best = (ExecMode::Index, c);
+                }
+            }
+            if verb == Verb::Count {
+                if let Some(c) = estimate_cost {
+                    if c < best.1 {
+                        best = (ExecMode::Estimate, c);
+                    }
+                }
+            }
+            best.0
+        }
+    };
+
+    let mut b = NodeBuilder { next_id: 0 };
+    let root = match path {
+        ExecMode::SeqScan => {
+            let filter_tree = {
+                // The scan accounts for all the work; children carry only
+                // row estimates.
+                let mut inner = NodeBuilder { next_id: 1 };
+                let t = expr_tree(
+                    &mut inner,
+                    &cm,
+                    &optimized,
+                    &|c, e, s| PlanKind::Filter {
+                        column: c.to_string(),
+                        elements: e.to_vec(),
+                        source: s,
+                    },
+                    &|_| 0.0,
+                    &|_| 0.0,
+                );
+                b.next_id = inner.next_id;
+                t
+            };
+            PlanNode {
+                id: 0,
+                kind: PlanKind::SeqScan,
+                est: Est { rows: cm.expr_rows(&optimized), cost: seq_cost },
+                children: vec![filter_tree],
+            }
+        }
+        ExecMode::Index => expr_tree(
+            &mut b,
+            &cm,
+            &optimized,
+            &|c, e, s| PlanKind::IndexProbe {
+                column: c.to_string(),
+                elements: e.to_vec(),
+                source: s,
+            },
+            &|e| cm.index_cost(e),
+            &|e| cm.index_cost(e),
+        ),
+        ExecMode::Estimate => match verb {
+            Verb::Count => expr_tree(
+                &mut b,
+                &cm,
+                &optimized,
+                &|c, e, s| PlanKind::Estimate {
+                    column: c.to_string(),
+                    elements: e.to_vec(),
+                    source: s,
+                },
+                &|_| cost::MODEL_FORWARD_COST,
+                &|_| 0.0,
+            ),
+            Verb::Exists => {
+                let (_, elements) = single.clone().expect("estimate_available checked");
+                b.node(
+                    PlanKind::MembershipProbe { elements },
+                    Est { rows: cm.expr_rows(&optimized), cost: cost::MODEL_FORWARD_COST },
+                    Vec::new(),
+                )
+            }
+            Verb::First => {
+                let (_, elements) = single.clone().expect("estimate_available checked");
+                b.node(
+                    PlanKind::PositionLookup { elements },
+                    Est { rows: cm.expr_rows(&optimized), cost: cost::MODEL_FORWARD_COST },
+                    Vec::new(),
+                )
+            }
+        },
+    };
+
+    Ok(Plan {
+        path,
+        pinned: hint.is_some(),
+        verb,
+        table: ctx.table.to_string(),
+        rows: ctx.rows,
+        root,
+        node_count: b.next_id,
+        considered,
+    })
+}

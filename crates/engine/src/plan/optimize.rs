@@ -1,0 +1,287 @@
+//! The rewrite pass: normalizes a parsed [`Expr`] before costing.
+//!
+//! Rules, applied bottom-up in one structured pass:
+//!
+//! 1. **NOT pushdown** — De Morgan until `NOT` only wraps containment
+//!    leaves (`NOT (a AND b)` → `NOT a OR NOT b`, `NOT NOT x` → `x`).
+//! 2. **Flattening** — nested `AND(AND(..))` / `OR(OR(..))` splice into
+//!    their parent.
+//! 3. **Containment merging** — inside an `AND`, predicates on the same
+//!    column union their element sets (`A ⊇ s₁ ∧ A ⊇ s₂ ⇔ A ⊇ s₁∪s₂`);
+//!    inside an `OR`, a predicate absorbs any superset predicate on the
+//!    same column (`A ⊇ s₁ ∨ A ⊇ s₂` with `s₁ ⊆ s₂` keeps only `s₁`).
+//! 4. **Constant folding** — `TRUE`/`FALSE` children collapse, empty
+//!    conjunctions fold to `TRUE`, empty disjunctions to `FALSE`, and
+//!    contradictions (`p AND NOT p`) / tautologies (`p OR NOT p`) fold to
+//!    constants, including the implied forms (`A ⊇ {1,2} AND NOT A ⊇ {1}`
+//!    is `FALSE` because the positive predicate implies the negated one).
+//!
+//! The pass is deterministic and order-preserving: children keep their
+//! first-occurrence order so `EXPLAIN` output is stable. Predicate
+//! *reordering* by selectivity happens later, in the planner, because it
+//! needs the cost model.
+
+use super::expr::Expr;
+use setlearn_data::set::is_subset;
+
+/// Rewrites `e` into canonical form (see the module docs for the rules).
+pub fn optimize(e: Expr) -> Expr {
+    fold(push_not(e, false))
+}
+
+/// De Morgan pushdown: `neg` tracks an odd number of enclosing `NOT`s.
+fn push_not(e: Expr, neg: bool) -> Expr {
+    match e {
+        Expr::Not(inner) => push_not(*inner, !neg),
+        Expr::And(cs) => {
+            let cs: Vec<Expr> = cs.into_iter().map(|c| push_not(c, neg)).collect();
+            if neg {
+                Expr::Or(cs)
+            } else {
+                Expr::And(cs)
+            }
+        }
+        Expr::Or(cs) => {
+            let cs: Vec<Expr> = cs.into_iter().map(|c| push_not(c, neg)).collect();
+            if neg {
+                Expr::And(cs)
+            } else {
+                Expr::Or(cs)
+            }
+        }
+        Expr::Const(b) => Expr::Const(b ^ neg),
+        leaf @ Expr::Contains { .. } => {
+            if neg {
+                Expr::Not(Box::new(leaf))
+            } else {
+                leaf
+            }
+        }
+    }
+}
+
+/// Bottom-up flatten + merge + constant-fold. Assumes NOT is already pushed
+/// to the leaves.
+fn fold(e: Expr) -> Expr {
+    match e {
+        Expr::And(cs) => fold_junction(cs, true),
+        Expr::Or(cs) => fold_junction(cs, false),
+        Expr::Not(inner) => match fold(*inner) {
+            Expr::Const(b) => Expr::Const(!b),
+            other => Expr::Not(Box::new(other)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Shared AND/OR machinery; `conj` selects conjunction semantics.
+fn fold_junction(children: Vec<Expr>, conj: bool) -> Expr {
+    // The annihilator short-circuits the whole junction; the identity is
+    // dropped from it.
+    let annihilator = !conj; // FALSE kills an AND, TRUE kills an OR
+    let mut out: Vec<Expr> = Vec::with_capacity(children.len());
+    for child in children {
+        let child = fold(child);
+        match child {
+            Expr::Const(b) if b == annihilator => return Expr::Const(annihilator),
+            Expr::Const(_) => {} // identity: drop
+            // Splice same-kind juncts (flattening).
+            Expr::And(gs) if conj => out.extend(gs),
+            Expr::Or(gs) if !conj => out.extend(gs),
+            other => out.push(other),
+        }
+    }
+
+    let mut out = if conj { merge_and(out) } else { absorb_or(out) };
+
+    // Contradiction / tautology detection: a negated leaf against a positive
+    // predicate that implies it. In an AND, `A ⊇ sₚ ∧ NOT (A ⊇ sₙ)` is FALSE
+    // when `sₙ ⊆ sₚ`; in an OR, `A ⊇ sₚ ∨ NOT (A ⊇ sₙ)` is TRUE when
+    // `sₚ ⊆ sₙ`.
+    for i in 0..out.len() {
+        if let Expr::Not(negated) = &out[i] {
+            if let Expr::Contains { column: nc, elements: ne } = &**negated {
+                for other in &out {
+                    if let Expr::Contains { column: pc, elements: pe } = other {
+                        if pc == nc {
+                            let folds = if conj {
+                                is_subset(ne, pe)
+                            } else {
+                                is_subset(pe, ne)
+                            };
+                            if folds {
+                                return Expr::Const(!conj);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Dedup exact repeats (`p AND p`, `NOT p OR NOT p`), keeping first
+    // occurrences.
+    let mut seen: Vec<Expr> = Vec::with_capacity(out.len());
+    out.retain(|c| {
+        if seen.contains(c) {
+            false
+        } else {
+            seen.push(c.clone());
+            true
+        }
+    });
+
+    match out.len() {
+        0 => Expr::Const(conj), // empty AND is TRUE, empty OR is FALSE
+        1 => out.pop().expect("len checked"),
+        _ => {
+            if conj {
+                Expr::And(out)
+            } else {
+                Expr::Or(out)
+            }
+        }
+    }
+}
+
+/// Unions same-column containment predicates inside an AND.
+fn merge_and(children: Vec<Expr>) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::with_capacity(children.len());
+    'next: for child in children {
+        if let Expr::Contains { column, elements } = &child {
+            for slot in out.iter_mut() {
+                if let Expr::Contains { column: c0, elements: e0 } = slot {
+                    if c0 == column {
+                        let mut union = e0.clone();
+                        union.extend_from_slice(elements);
+                        *slot = Expr::contains(c0.clone(), union);
+                        continue 'next;
+                    }
+                }
+            }
+        }
+        out.push(child);
+    }
+    out
+}
+
+/// Subset absorption inside an OR: on one column, a containment predicate
+/// implies every subset predicate, so only minimal element sets survive.
+fn absorb_or(children: Vec<Expr>) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::with_capacity(children.len());
+    'next: for child in children {
+        if let Expr::Contains { column, elements } = &child {
+            let mut absorbed_self = false;
+            out.retain(|kept| {
+                if let Expr::Contains { column: c0, elements: e0 } = kept {
+                    if c0 == column {
+                        if is_subset(e0, elements) {
+                            // An already-kept subset predicate implies us.
+                            absorbed_self = true;
+                        } else if is_subset(elements, e0) {
+                            // We imply (absorb) the kept superset predicate.
+                            return false;
+                        }
+                    }
+                }
+                true
+            });
+            if absorbed_self {
+                continue 'next;
+            }
+        }
+        out.push(child);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(col: &str, ids: &[u32]) -> Expr {
+        Expr::contains(col, ids.to_vec())
+    }
+
+    #[test]
+    fn flattens_and_merges_same_column_conjunctions() {
+        let e = Expr::And(vec![
+            c("tags", &[3, 17]),
+            Expr::And(vec![c("tags", &[42]), c("mentions", &[7])]),
+        ]);
+        assert_eq!(
+            optimize(e),
+            Expr::And(vec![c("tags", &[3, 17, 42]), c("mentions", &[7])])
+        );
+    }
+
+    #[test]
+    fn pushes_not_down_and_cancels_double_negation() {
+        let e = Expr::Not(Box::new(Expr::And(vec![
+            c("a", &[1]),
+            Expr::Not(Box::new(c("b", &[2]))),
+        ])));
+        assert_eq!(
+            optimize(e),
+            Expr::Or(vec![Expr::Not(Box::new(c("a", &[1]))), c("b", &[2])])
+        );
+    }
+
+    #[test]
+    fn folds_constants_and_empty_junctions() {
+        assert_eq!(optimize(Expr::And(vec![Expr::Const(true), c("a", &[1])])), c("a", &[1]));
+        assert_eq!(
+            optimize(Expr::And(vec![Expr::Const(false), c("a", &[1])])),
+            Expr::Const(false)
+        );
+        assert_eq!(optimize(Expr::Or(vec![Expr::Const(true), c("a", &[1])])), Expr::Const(true));
+        assert_eq!(optimize(Expr::And(vec![])), Expr::Const(true));
+        assert_eq!(optimize(Expr::Or(vec![])), Expr::Const(false));
+        assert_eq!(optimize(Expr::Not(Box::new(Expr::Const(false)))), Expr::Const(true));
+    }
+
+    #[test]
+    fn detects_contradictions_and_tautologies() {
+        // p AND NOT p.
+        let e = Expr::And(vec![c("a", &[1, 2]), Expr::Not(Box::new(c("a", &[1, 2])))]);
+        assert_eq!(optimize(e), Expr::Const(false));
+        // The positive implies the negated predicate: A ⊇ {1,2} ∧ ¬(A ⊇ {1}).
+        let e = Expr::And(vec![c("a", &[1, 2]), Expr::Not(Box::new(c("a", &[1])))]);
+        assert_eq!(optimize(e), Expr::Const(false));
+        // p OR NOT p, via the implied form: A ⊇ {1} ∨ ¬(A ⊇ {1,2}).
+        let e = Expr::Or(vec![c("a", &[1]), Expr::Not(Box::new(c("a", &[1, 2])))]);
+        assert_eq!(optimize(e), Expr::Const(true));
+        // Different columns do not fold.
+        let e = Expr::And(vec![c("a", &[1]), Expr::Not(Box::new(c("b", &[1])))]);
+        assert!(matches!(optimize(e), Expr::And(_)));
+    }
+
+    #[test]
+    fn or_absorbs_superset_predicates_and_dedups() {
+        // A ⊇ {1,2} implies A ⊇ {1}: only the minimal predicate survives.
+        let e = Expr::Or(vec![c("a", &[1]), c("a", &[1, 2]), c("b", &[9]), c("b", &[9])]);
+        assert_eq!(optimize(e), Expr::Or(vec![c("a", &[1]), c("b", &[9])]));
+        // Absorption also applies when the superset comes first.
+        let e = Expr::Or(vec![c("a", &[1, 2]), c("a", &[2])]);
+        assert_eq!(optimize(e), c("a", &[2]));
+    }
+
+    #[test]
+    fn dedups_conjunction_repeats() {
+        let e = Expr::And(vec![
+            Expr::Not(Box::new(c("a", &[5]))),
+            Expr::Not(Box::new(c("a", &[5]))),
+            c("b", &[1]),
+        ]);
+        assert_eq!(
+            optimize(e),
+            Expr::And(vec![Expr::Not(Box::new(c("a", &[5]))), c("b", &[1])])
+        );
+    }
+
+    #[test]
+    fn single_child_junctions_unwrap() {
+        let e = Expr::Or(vec![Expr::And(vec![c("a", &[1]), c("a", &[2])])]);
+        assert_eq!(optimize(e), c("a", &[1, 2]));
+    }
+}

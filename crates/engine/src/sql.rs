@@ -1,19 +1,34 @@
 //! A tiny SQL-flavored query language for subset queries:
 //!
 //! ```text
-//! SELECT COUNT(*) FROM tweets WHERE tags @> {3, 17, 42} [USING seqscan|index|estimate]
-//! SELECT EXISTS   FROM tweets WHERE tags @> {3, 17}     [USING ...]
-//! SELECT FIRST    FROM tweets WHERE tags @> {3, 17}     [USING ...]
+//! [EXPLAIN] SELECT COUNT(*) FROM tweets
+//!           WHERE tags @> {3, 17} AND tags @> {42} OR NOT mentions @> {7}
+//!           [USING seqscan|index|estimate]
+//! SELECT EXISTS FROM tweets WHERE tags @> {3, 17} [USING ...]
+//! SELECT FIRST  FROM tweets WHERE tags @> {3, 17} [USING ...]
 //! ```
 //!
-//! `@>` is PostgreSQL's containment operator; the optional `USING` clause
-//! pins the execution strategy (Table 12 compares all three). The three verbs
-//! map onto the paper's three tasks: COUNT → cardinality estimation,
+//! `@>` is PostgreSQL's containment operator. The `WHERE` clause is a full
+//! boolean expression over containment predicates — `NOT` binds tightest,
+//! then `AND`, then `OR`, with parentheses for grouping. The optional
+//! `USING` clause *hints* the execution strategy (the planner obeys it, or
+//! errors if the path is unavailable); without it the cost model chooses.
+//! The three verbs map onto the paper's three tasks: COUNT → cardinality,
 //! EXISTS → membership, FIRST → indexing.
+//!
+//! Parse errors carry the byte offset of the offending token and render a
+//! caret context line:
+//!
+//! ```text
+//! SQL parse error at byte 33: unknown mode 'magic'
+//!   SELECT COUNT(*) ... USING magic
+//!                             ^
+//! ```
 
+use crate::plan::expr::Expr;
 use std::fmt;
 
-/// Execution strategy for a COUNT query.
+/// Execution strategy for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// Full scan of the table (PostgreSQL without an index).
@@ -35,7 +50,24 @@ pub enum Verb {
     First,
 }
 
-/// A parsed `SELECT <verb> ... WHERE col @> {..}` query.
+/// A parsed query with a full boolean filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The query verb.
+    pub verb: Verb,
+    /// Target table.
+    pub table: String,
+    /// The `WHERE` filter.
+    pub filter: Expr,
+    /// Execution strategy, if hinted by `USING`.
+    pub hint: Option<ExecMode>,
+    /// Whether the query was prefixed with `EXPLAIN`.
+    pub explain: bool,
+}
+
+/// A parsed single-predicate `SELECT <verb> ... WHERE col @> {..}` query —
+/// the legacy surface kept for Table 12 call sites. Multi-predicate queries
+/// only exist as [`Query`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountQuery {
     /// The query verb.
@@ -50,13 +82,25 @@ pub struct CountQuery {
     pub mode: Option<ExecMode>,
 }
 
-/// Parse error with a human-readable message.
+/// Parse error carrying the byte offset of the offending token in the
+/// original query text. [`fmt::Display`] renders a caret context line.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError(pub String);
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the query where the error was detected.
+    pub offset: usize,
+    /// The query text, for the caret rendering.
+    pub query: String,
+}
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error: {}", self.0)
+        writeln!(f, "SQL parse error at byte {}: {}", self.offset, self.message)?;
+        writeln!(f, "  {}", self.query)?;
+        // The caret column counts characters, matching the line above.
+        let col = self.query[..self.offset.min(self.query.len())].chars().count();
+        write!(f, "  {}^", " ".repeat(col))
     }
 }
 
@@ -75,66 +119,91 @@ enum Token {
     Contains, // @>
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "number {n}"),
+            Token::LParen => f.write_str("'('"),
+            Token::RParen => f.write_str("')'"),
+            Token::LBrace => f.write_str("'{'"),
+            Token::RBrace => f.write_str("'}'"),
+            Token::Comma => f.write_str("','"),
+            Token::Star => f.write_str("'*'"),
+            Token::Contains => f.write_str("'@>'"),
+        }
+    }
+}
+
+/// Tokens with the byte offset where each starts.
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let err = |message: String, offset: usize| ParseError {
+        message,
+        offset,
+        query: input.to_string(),
+    };
     let mut tokens = Vec::new();
-    let mut chars = input.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
         match c {
             c if c.is_whitespace() => {
                 chars.next();
             }
             '(' => {
                 chars.next();
-                tokens.push(Token::LParen);
+                tokens.push((Token::LParen, at));
             }
             ')' => {
                 chars.next();
-                tokens.push(Token::RParen);
+                tokens.push((Token::RParen, at));
             }
             '{' => {
                 chars.next();
-                tokens.push(Token::LBrace);
+                tokens.push((Token::LBrace, at));
             }
             '}' => {
                 chars.next();
-                tokens.push(Token::RBrace);
+                tokens.push((Token::RBrace, at));
             }
             ',' => {
                 chars.next();
-                tokens.push(Token::Comma);
+                tokens.push((Token::Comma, at));
             }
             '*' => {
                 chars.next();
-                tokens.push(Token::Star);
+                tokens.push((Token::Star, at));
             }
             ';' => {
                 chars.next();
             }
             '@' => {
                 chars.next();
-                if chars.next() != Some('>') {
-                    return Err(ParseError("expected '>' after '@'".into()));
+                if chars.next().map(|(_, c)| c) != Some('>') {
+                    return Err(err("expected '>' after '@'".into(), at));
                 }
-                tokens.push(Token::Contains);
+                tokens.push((Token::Contains, at));
             }
             c if c.is_ascii_digit() => {
                 let mut n: u64 = 0;
-                while let Some(&d) = chars.peek() {
+                while let Some(&(_, d)) = chars.peek() {
                     if let Some(v) = d.to_digit(10) {
                         n = n * 10 + v as u64;
                         if n > u32::MAX as u64 {
-                            return Err(ParseError("element id overflows u32".into()));
+                            return Err(err(
+                                format!("element id overflows u32 (max {})", u32::MAX),
+                                at,
+                            ));
                         }
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                tokens.push(Token::Number(n as u32));
+                tokens.push((Token::Number(n as u32), at));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(&(_, d)) = chars.peek() {
                     if d.is_alphanumeric() || d == '_' {
                         s.push(d);
                         chars.next();
@@ -142,54 +211,164 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                         break;
                     }
                 }
-                tokens.push(Token::Ident(s));
+                tokens.push((Token::Ident(s), at));
             }
-            other => return Err(ParseError(format!("unexpected character '{other}'"))),
+            other => return Err(err(format!("unexpected character '{other}'"), at)),
         }
     }
     Ok(tokens)
 }
 
-struct Parser {
-    tokens: Vec<Token>,
+struct Parser<'a> {
+    input: &'a str,
+    tokens: Vec<(Token, usize)>,
     pos: usize,
 }
 
-impl Parser {
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>, offset: usize) -> ParseError {
+        ParseError { message: message.into(), offset, query: self.input.to_string() }
+    }
+
+    /// Offset of the current token, or end-of-input.
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input.len(), |(_, at)| *at)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
     fn next(&mut self) -> Result<&Token, ParseError> {
-        let t = self.tokens.get(self.pos).ok_or_else(|| ParseError("unexpected end of query".into()))?;
-        self.pos += 1;
-        Ok(t)
+        match self.tokens.get(self.pos) {
+            Some((t, _)) => {
+                self.pos += 1;
+                Ok(t)
+            }
+            None => Err(self.error("unexpected end of query", self.input.len())),
+        }
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let at = self.here();
         match self.next()? {
             Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(ParseError(format!("expected '{kw}', found {other:?}"))),
+            other => {
+                let msg = format!("expected '{kw}', found {other}");
+                Err(self.error(msg, at))
+            }
         }
     }
 
     fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        let at = self.here();
         let got = self.next()?;
         if *got == t {
             Ok(())
         } else {
-            Err(ParseError(format!("expected {t:?}, found {got:?}")))
+            let msg = format!("expected {t}, found {got}");
+            Err(self.error(msg, at))
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
+        let at = self.here();
         match self.next()? {
             Token::Ident(s) => Ok(s.clone()),
-            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+            other => {
+                let msg = format!("expected identifier, found {other}");
+                Err(self.error(msg, at))
+            }
         }
+    }
+
+    /// `or_expr := and_expr (OR and_expr)*`
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut children = vec![self.and_expr()?];
+        while self.peek_keyword("OR") {
+            self.pos += 1;
+            children.push(self.and_expr()?);
+        }
+        Ok(if children.len() == 1 { children.pop().expect("one child") } else { Expr::Or(children) })
+    }
+
+    /// `and_expr := unary (AND unary)*`
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut children = vec![self.unary()?];
+        while self.peek_keyword("AND") {
+            self.pos += 1;
+            children.push(self.unary()?);
+        }
+        Ok(if children.len() == 1 {
+            children.pop().expect("one child")
+        } else {
+            Expr::And(children)
+        })
+    }
+
+    /// `unary := NOT unary | '(' or_expr ')' | ident '@>' '{' ids '}'`
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek_keyword("NOT") {
+            self.pos += 1;
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let inner = self.or_expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        let column = self.ident()?;
+        self.expect(Token::Contains)?;
+        let brace_at = self.here();
+        self.expect(Token::LBrace)?;
+        let mut elements = Vec::new();
+        loop {
+            let at = self.here();
+            match self.next() {
+                Ok(Token::Number(n)) => elements.push(*n),
+                Ok(Token::RBrace) if elements.is_empty() => {
+                    return Err(self.error("empty set literal", at));
+                }
+                Ok(other) => {
+                    let msg = format!("expected element id, found {other}");
+                    return Err(self.error(msg, at));
+                }
+                Err(_) => {
+                    return Err(self.error("unclosed '{' in set literal", brace_at));
+                }
+            }
+            let at = self.here();
+            match self.next() {
+                Ok(Token::Comma) => continue,
+                Ok(Token::RBrace) => break,
+                Ok(other) => {
+                    let msg = format!("expected ',' or '}}', found {other}");
+                    return Err(self.error(msg, at));
+                }
+                Err(_) => {
+                    return Err(self.error("unclosed '{' in set literal", brace_at));
+                }
+            }
+        }
+        Ok(Expr::contains(column, elements))
     }
 }
 
-/// Parses a COUNT/EXISTS/FIRST query.
-pub fn parse_count(input: &str) -> Result<CountQuery, ParseError> {
-    let mut p = Parser { tokens: tokenize(input)?, pos: 0 };
+/// Parses a full query: optional `EXPLAIN`, verb, table, boolean `WHERE`
+/// expression, optional `USING` hint.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser { input, tokens: tokenize(input)?, pos: 0 };
+    let explain = p.peek_keyword("EXPLAIN");
+    if explain {
+        p.pos += 1;
+    }
     p.expect_keyword("SELECT")?;
+    let verb_at = p.here();
     let verb_token = p.next()?.clone();
     let verb = match verb_token {
         Token::Ident(s) if s.eq_ignore_ascii_case("COUNT") => {
@@ -201,48 +380,66 @@ pub fn parse_count(input: &str) -> Result<CountQuery, ParseError> {
         Token::Ident(s) if s.eq_ignore_ascii_case("EXISTS") => Verb::Exists,
         Token::Ident(s) if s.eq_ignore_ascii_case("FIRST") => Verb::First,
         other => {
-            return Err(ParseError(format!(
-                "expected COUNT(*), EXISTS or FIRST, found {other:?}"
-            )))
+            let msg = format!("expected COUNT(*), EXISTS or FIRST, found {other}");
+            return Err(p.error(msg, verb_at));
         }
     };
     p.expect_keyword("FROM")?;
     let table = p.ident()?;
     p.expect_keyword("WHERE")?;
-    let column = p.ident()?;
-    p.expect(Token::Contains)?;
-    p.expect(Token::LBrace)?;
-    let mut elements = Vec::new();
-    loop {
-        match p.next()? {
-            Token::Number(n) => elements.push(*n),
-            other => return Err(ParseError(format!("expected element id, found {other:?}"))),
+    let filter = p.or_expr()?;
+    let hint = if p.peek().is_some() {
+        let using_at = p.here();
+        if !p.peek_keyword("USING") {
+            return Err(p.error("trailing tokens after query (expected USING or end)", using_at));
         }
-        match p.next()? {
-            Token::Comma => continue,
-            Token::RBrace => break,
-            other => return Err(ParseError(format!("expected ',' or '}}', found {other:?}"))),
-        }
-    }
-    if elements.is_empty() {
-        return Err(ParseError("empty set literal".into()));
-    }
-    let mode = if p.pos < p.tokens.len() {
-        p.expect_keyword("USING")?;
+        p.pos += 1;
+        let mode_at = p.here();
         let m = p.ident()?;
         Some(match m.to_ascii_lowercase().as_str() {
             "seqscan" => ExecMode::SeqScan,
             "index" => ExecMode::Index,
             "estimate" => ExecMode::Estimate,
-            other => return Err(ParseError(format!("unknown mode '{other}'"))),
+            other => {
+                let msg =
+                    format!("unknown mode '{other}' (expected seqscan, index or estimate)");
+                return Err(p.error(msg, mode_at));
+            }
         })
     } else {
         None
     };
     if p.pos != p.tokens.len() {
-        return Err(ParseError("trailing tokens after query".into()));
+        return Err(p.error("trailing tokens after query", p.here()));
     }
-    Ok(CountQuery { verb, table, column, elements, mode })
+    Ok(Query { verb, table, filter, hint, explain })
+}
+
+/// Parses a single-predicate COUNT/EXISTS/FIRST query into the legacy
+/// [`CountQuery`] shape. Boolean expressions (AND/OR/NOT, parentheses) and
+/// `EXPLAIN` are only available through [`parse_query`].
+pub fn parse_count(input: &str) -> Result<CountQuery, ParseError> {
+    let q = parse_query(input)?;
+    let reject = |message: &str| ParseError {
+        message: message.into(),
+        offset: 0,
+        query: input.to_string(),
+    };
+    if q.explain {
+        return Err(reject("EXPLAIN is not supported by parse_count; use parse_query"));
+    }
+    match q.filter.as_single_contains() {
+        Some((column, elements)) => Ok(CountQuery {
+            verb: q.verb,
+            table: q.table,
+            column: column.to_string(),
+            elements: elements.to_vec(),
+            mode: q.hint,
+        }),
+        None => Err(reject(
+            "boolean WHERE expressions are not supported by parse_count; use parse_query",
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +477,16 @@ mod tests {
     }
 
     #[test]
+    fn keywords_are_case_insensitive_throughout() {
+        let q = parse_query(
+            "explain select count(*) from t where a @> {1} and not b @> {2} or c @> {3}",
+        )
+        .unwrap();
+        assert!(q.explain);
+        assert_eq!(q.filter.leaf_count(), 3);
+    }
+
+    #[test]
     fn rejects_malformed_queries() {
         assert!(parse_count("SELECT * FROM t").is_err());
         assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {}").is_err());
@@ -291,6 +498,90 @@ mod tests {
 
     #[test]
     fn rejects_overflowing_ids() {
-        assert!(parse_count("SELECT COUNT(*) FROM t WHERE s @> {99999999999}").is_err());
+        let e = parse_count("SELECT COUNT(*) FROM t WHERE s @> {99999999999}").unwrap_err();
+        assert!(e.message.contains("overflows u32"), "message: {}", e.message);
+    }
+
+    #[test]
+    fn parses_boolean_expressions_with_precedence() {
+        use crate::plan::expr::Expr;
+        let q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE tags @> {3,17} AND tags @> {42} OR mentions @> {7}",
+        )
+        .unwrap();
+        // AND binds tighter than OR.
+        assert_eq!(
+            q.filter,
+            Expr::Or(vec![
+                Expr::And(vec![
+                    Expr::contains("tags", vec![3, 17]),
+                    Expr::contains("tags", vec![42]),
+                ]),
+                Expr::contains("mentions", vec![7]),
+            ])
+        );
+        // Parentheses override precedence; NOT binds tightest.
+        let q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE tags @> {1} AND (tags @> {2} OR NOT m @> {3})",
+        )
+        .unwrap();
+        assert_eq!(
+            q.filter,
+            Expr::And(vec![
+                Expr::contains("tags", vec![1]),
+                Expr::Or(vec![
+                    Expr::contains("tags", vec![2]),
+                    Expr::Not(Box::new(Expr::contains("m", vec![3]))),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn explain_prefix_parses_and_is_rejected_by_parse_count() {
+        let q = parse_query("EXPLAIN SELECT COUNT(*) FROM t WHERE s @> {1}").unwrap();
+        assert!(q.explain);
+        assert!(parse_count("EXPLAIN SELECT COUNT(*) FROM t WHERE s @> {1}").is_err());
+        assert!(parse_count("SELECT COUNT(*) FROM t WHERE a @> {1} AND b @> {2}").is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_are_canonicalised() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE s @> {5, 1, 5, 1}").unwrap();
+        assert_eq!(q.filter.as_single_contains().unwrap().1, &[1, 5]);
+    }
+
+    #[test]
+    fn error_positions_point_at_the_offending_token() {
+        // Malformed USING: the unknown mode name is the error site.
+        let sql = "SELECT COUNT(*) FROM t WHERE s @> {1} USING magic";
+        let e = parse_query(sql).unwrap_err();
+        assert_eq!(e.offset, sql.find("magic").unwrap());
+        assert!(e.to_string().contains('^'));
+
+        // Unclosed brace: the error points at the '{' that never closed.
+        let sql = "SELECT COUNT(*) FROM t WHERE s @> {1, 2";
+        let e = parse_query(sql).unwrap_err();
+        assert_eq!(e.offset, sql.find('{').unwrap());
+        assert!(e.message.contains("unclosed"), "message: {}", e.message);
+
+        // Trailing garbage: the error points at the first stray token.
+        let sql = "SELECT COUNT(*) FROM t WHERE s @> {1} garbage";
+        let e = parse_query(sql).unwrap_err();
+        assert_eq!(e.offset, sql.find("garbage").unwrap());
+
+        // The caret lands under the reported offset.
+        let rendered = e.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2].len() - 1, 2 + e.offset, "caret column");
+    }
+
+    #[test]
+    fn empty_set_error_is_positioned() {
+        let sql = "SELECT COUNT(*) FROM t WHERE s @> {}";
+        let e = parse_query(sql).unwrap_err();
+        assert!(e.message.contains("empty set literal"));
+        assert_eq!(e.offset, sql.find('}').unwrap());
     }
 }

@@ -32,6 +32,12 @@ impl SetTable {
         &self.collection
     }
 
+    /// Consumes the table, yielding its collection (used when the engine
+    /// takes ownership of the rows at `create_table`).
+    pub fn into_collection(self) -> SetCollection {
+        self.collection
+    }
+
     /// Row payload at `row`.
     pub fn get(&self, row: usize) -> &[u32] {
         self.collection.get(row)

@@ -29,7 +29,8 @@ pub mod trace;
 pub use export::{from_json, to_json, to_prometheus, to_table, validate_prometheus};
 pub use metrics::{
     Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, HistogramSnapshot,
-    Label, MetricKey, MetricsRegistry, RegistrySnapshot, LATENCY_BOUNDS, QERROR_BOUNDS,
+    Label, MetricKey, MetricsRegistry, RegistrySnapshot, LATENCY_BOUNDS,
+    MAX_SERIES_PER_FAMILY, QERROR_BOUNDS,
 };
 pub use slowlog::{
     parse_slow_jsonl, SlowQueryLog, SlowQueryRecord, Stage, StageBreakdown,

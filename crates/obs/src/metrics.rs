@@ -61,6 +61,21 @@ impl Counter {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds `n` — alias of [`Counter::add`] under the conventional
+    /// Prometheus-client name.
+    ///
+    /// ```
+    /// use setlearn_obs::Counter;
+    ///
+    /// let c = Counter::default();
+    /// c.inc();
+    /// c.inc_by(41);
+    /// assert_eq!(c.get(), 42);
+    /// ```
+    pub fn inc_by(&self, n: u64) {
+        self.add(n);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -372,6 +387,12 @@ impl Slot {
     }
 }
 
+/// Upper bound on distinct label combinations ("series") a single metric
+/// family may register. Creation beyond the cap lands on the family's
+/// `{overflow="true"}` series instead of a new one (see
+/// [`MetricsRegistry::counter_with`]).
+pub const MAX_SERIES_PER_FAMILY: usize = 64;
+
 /// Name → handle registry. Handle resolution takes a read lock on the happy
 /// path (metric already exists); recording through a resolved handle is
 /// entirely lock-free.
@@ -404,6 +425,21 @@ impl MetricsRegistry {
         }
         drop(read);
         let mut write = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        // Label-cardinality guard: creating a series past the per-family cap
+        // collapses it into the family's single `{overflow="true"}` series,
+        // so an unbounded label value (a per-query string, an attacker-
+        // controlled path) cannot grow the registry without bound. Already-
+        // registered series are untouched.
+        let (key, rendered) = if !write.contains_key(&rendered)
+            && write.values().filter(|(k, _)| k.name == key.name).count()
+                >= MAX_SERIES_PER_FAMILY
+        {
+            let collapsed = MetricKey::new(&key.name, &[("overflow", "true")]);
+            let r = collapsed.render();
+            (collapsed, r)
+        } else {
+            (key, rendered)
+        };
         let (_, slot) = write.entry(rendered.clone()).or_insert_with(|| (key, create()));
         match extract(slot) {
             Some(handle) => handle,
@@ -680,6 +716,35 @@ mod tests {
         assert_eq!(g.get(), 1.75);
         // Different labels are a different series.
         assert_eq!(reg.gauge_with("temp", &[("zone", "b")]).get(), 0.0);
+    }
+
+    #[test]
+    fn series_per_family_are_capped_by_the_overflow_guard() {
+        let reg = MetricsRegistry::new();
+        // Fill the family to the cap with distinct label values.
+        for i in 0..MAX_SERIES_PER_FAMILY {
+            reg.counter_with("guarded_total", &[("path", &format!("p{i}"))]).inc();
+        }
+        // Every further distinct label lands on one overflow series instead
+        // of growing the registry.
+        for i in 0..10 {
+            reg.counter_with("guarded_total", &[("path", &format!("extra{i}"))]).inc();
+        }
+        let snap = reg.snapshot();
+        let family: Vec<_> =
+            snap.counters.iter().filter(|c| c.key.name == "guarded_total").collect();
+        assert_eq!(family.len(), MAX_SERIES_PER_FAMILY + 1, "cap plus the overflow series");
+        assert_eq!(
+            snap.counter_value("guarded_total", &[("overflow", "true")]),
+            Some(10),
+            "all overflowing increments share one series"
+        );
+        // Pre-existing series keep working and keep their identity.
+        reg.counter_with("guarded_total", &[("path", "p0")]).inc();
+        assert_eq!(reg.counter_with("guarded_total", &[("path", "p0")]).get(), 2);
+        // Other families are unaffected by this family's overflow.
+        reg.counter_with("other_total", &[("path", "x")]).inc();
+        assert_eq!(reg.counter_with("other_total", &[("path", "x")]).get(), 1);
     }
 
     #[test]
