@@ -1,0 +1,274 @@
+//! Multi-tenant serving acceptance bench: one registry process hosting two
+//! collections must be indistinguishable — in answers — from two dedicated
+//! solo servers, and well-behaved under pressure:
+//!
+//!   1. every tenant's answers over the registry are bit-identical to its
+//!      solo server;
+//!   2. a plain v1 client (no collection id) gets the default collection's
+//!      answers bit-identically;
+//!   3. LRU eviction under a byte budget unloads the cold tenant and a
+//!      reload answers bit-identically;
+//!   4. with per-tenant quotas, a tenant hammering past its budget is shed
+//!      typed (`TenantOverloaded`) while the other tenant's p99 stays
+//!      within `MULTITENANT_P99_FACTOR` (default 1.2x) of its solo p99.
+//!
+//! `MULTITENANT_REQUESTS` overrides the per-measurement request count for
+//! CI smoke runs. The run prints one greppable `MULTITENANT BENCH OK` line
+//! on success.
+
+use setlearn::hybrid::GuidedConfig;
+use setlearn::model::DeepSetsConfig;
+use setlearn::persist::{save_manifest, CollectionManifest, COLLECTION_MODEL, COLLECTION_SETS};
+use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+use setlearn::wire::{QueryRequest, QueryValue, WireTask};
+use setlearn_data::GeneratorConfig;
+use setlearn_serve::proto::{ErrorCode, ProtoError};
+use setlearn_serve::{
+    CardinalityTask, CollectionRegistry, NetClient, NetConfig, NetError, NetServer,
+    QuotaConfig, RegistryConfig, ServeConfig, ServeRuntime, WireBackend,
+};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANT_A: &str = "tenant-a";
+const TENANT_B: &str = "tenant-b";
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn quick_serve() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        max_batch: 32,
+        max_delay: Duration::from_micros(100),
+        queue_capacity: 4096,
+    }
+}
+
+/// Trains and persists a small cardinality collection under `root/<name>/`.
+fn write_collection(root: &Path, name: &str, seed: u64) {
+    let sets = GeneratorConfig::sd(300, seed).generate();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(sets.num_elements()));
+    cfg.guided = GuidedConfig {
+        warmup_epochs: 2,
+        rounds: 1,
+        epochs_per_round: 1,
+        percentile: 0.9,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        seed,
+    };
+    cfg.max_subset_size = 2;
+    let (est, _) = LearnedCardinality::build(&sets, &cfg);
+    let dir = root.join(name);
+    save_manifest(
+        &dir,
+        &CollectionManifest { task: "cardinality".into(), shards: None, shard_by: None },
+    )
+    .expect("write manifest");
+    setlearn::persist::save_json(&est, &dir.join(COLLECTION_MODEL)).expect("write model");
+    setlearn::persist::save_json(&sets, &dir.join(COLLECTION_SETS)).expect("write sets");
+}
+
+fn solo_server(root: &Path, name: &str) -> (NetServer, SocketAddr) {
+    let est: LearnedCardinality =
+        setlearn::persist::load_json(&root.join(name).join(COLLECTION_MODEL))
+            .expect("load model");
+    let runtime = Arc::new(ServeRuntime::start(CardinalityTask::new(est), quick_serve()));
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        runtime as Arc<dyn WireBackend>,
+        NetConfig::default(),
+    )
+    .expect("bind solo server");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn registry_server(
+    root: &Path,
+    default: Option<&str>,
+    max_resident_bytes: Option<u64>,
+    quota: Option<QuotaConfig>,
+) -> (NetServer, SocketAddr, Arc<CollectionRegistry>) {
+    let mut config = RegistryConfig::new(root);
+    config.serve = quick_serve();
+    config.default_collection = default.map(str::to_string);
+    config.max_resident_bytes = max_resident_bytes;
+    config.quota = quota;
+    let registry = Arc::new(CollectionRegistry::new(config));
+    let server =
+        NetServer::bind_registry("127.0.0.1:0", Arc::clone(&registry), NetConfig::default())
+            .expect("bind registry server");
+    let addr = server.local_addr();
+    (server, addr, registry)
+}
+
+fn workload(n: usize) -> Vec<QueryRequest> {
+    // Ids must stay inside the trained vocab (sd(300) => 17 elements).
+    (0..n).map(|i| QueryRequest::new(vec![(i % 9) as u32, (i * 7 % 8 + 9) as u32])).collect()
+}
+
+/// Answers as raw f64 bits, so "identical" means identical.
+fn answer_bits(addr: SocketAddr, collection: Option<&str>, queries: &[QueryRequest]) -> Vec<u64> {
+    let mut client = NetClient::connect(addr).expect("connect");
+    if let Some(name) = collection {
+        client.set_collection(Some(name.to_string()));
+    }
+    let mut bits = Vec::with_capacity(queries.len());
+    for chunk in queries.chunks(64) {
+        let outcomes = client.query_batch(WireTask::Cardinality, chunk).expect("query batch");
+        for outcome in outcomes {
+            match outcome.expect("query failed").value {
+                QueryValue::Cardinality(v) => bits.push(v.to_bits()),
+                other => panic!("wrong value kind: {other:?}"),
+            }
+        }
+    }
+    bits
+}
+
+/// p99 over single-query round-trips (the latency-sensitive shape).
+fn p99(addr: SocketAddr, collection: Option<&str>, queries: &[QueryRequest]) -> Duration {
+    let mut client = NetClient::connect(addr).expect("connect");
+    if let Some(name) = collection {
+        client.set_collection(Some(name.to_string()));
+    }
+    let mut samples = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let outcomes = client
+            .query_batch(WireTask::Cardinality, std::slice::from_ref(q))
+            .expect("query");
+        samples.push(start.elapsed());
+        assert!(outcomes[0].is_ok(), "latency probe query failed");
+    }
+    samples.sort_unstable();
+    samples[(samples.len() * 99) / 100]
+}
+
+fn main() {
+    let total: usize = env_or("MULTITENANT_REQUESTS", 2_000);
+    let p99_factor: f64 = env_or("MULTITENANT_P99_FACTOR", 1.2);
+
+    let root: PathBuf = std::env::temp_dir()
+        .join(format!("setlearn-multitenant-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create bench root");
+    write_collection(&root, TENANT_A, 21);
+    write_collection(&root, TENANT_B, 22);
+    let queries = workload(total);
+
+    // Reference topology: one dedicated server per tenant.
+    let (solo_a, addr_a) = solo_server(&root, TENANT_A);
+    let (solo_b, addr_b) = solo_server(&root, TENANT_B);
+    let want_a = answer_bits(addr_a, None, &queries);
+    let want_b = answer_bits(addr_b, None, &queries);
+    assert_ne!(want_a, want_b, "tenants trained genuinely different models");
+
+    // 1+2: one registry process, both tenants, plus a v1 default client.
+    let (server, addr, registry) = registry_server(&root, Some(TENANT_A), None, None);
+    let got_a = answer_bits(addr, Some(TENANT_A), &queries);
+    let got_b = answer_bits(addr, Some(TENANT_B), &queries);
+    let got_v1 = answer_bits(addr, None, &queries);
+    assert_eq!(got_a, want_a, "tenant-a diverged from its solo server");
+    assert_eq!(got_b, want_b, "tenant-b diverged from its solo server");
+    assert_eq!(got_v1, want_a, "v1 default routing diverged from the solo server");
+    assert_eq!(registry.resident_count(), 2);
+    server.shutdown();
+    drop(registry);
+
+    // 3: a byte budget that fits exactly one tenant forces LRU eviction;
+    // the evicted tenant reloads on demand with identical answers.
+    let disk_bytes = |name: &str| -> u64 {
+        std::fs::read_dir(root.join(name))
+            .expect("tenant dir")
+            .flatten()
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    };
+    let budget = disk_bytes(TENANT_A).max(disk_bytes(TENANT_B)) + 1;
+    let (server, addr, registry) = registry_server(&root, None, Some(budget), None);
+    let evict_queries = &queries[..total.min(64)];
+    let first_a = answer_bits(addr, Some(TENANT_A), evict_queries);
+    assert_eq!(registry.resident_count(), 1);
+    let _warm_b = answer_bits(addr, Some(TENANT_B), evict_queries);
+    assert_eq!(registry.resident_count(), 1, "budget for one: loading B evicted A");
+    let reloaded_a = answer_bits(addr, Some(TENANT_A), evict_queries);
+    assert_eq!(first_a, reloaded_a, "reload after eviction changed answers");
+    server.shutdown();
+    drop(registry);
+
+    // 4: tenant-a hammers past its quota and is shed typed; tenant-b's p99
+    // stays within the configured factor of its solo baseline.
+    let solo_p99_b = p99(addr_b, None, &queries);
+    // Every tenant gets the same bucket: big enough that tenant-b's whole
+    // measurement fits in the burst, with a refill too slow to matter — so
+    // tenant-a's full-speed hammer drains its own bucket almost immediately
+    // and spends the measurement window being shed.
+    let quota = QuotaConfig { rate: 50.0, burst: (total as f64) * 2.0 + 256.0 };
+    let (server, addr, registry) = registry_server(&root, None, None, Some(quota));
+    // Warm both residents so the measurement never pays a lazy load.
+    let _ = answer_bits(addr, Some(TENANT_A), &queries[..64]);
+    let _ = answer_bits(addr, Some(TENANT_B), &queries[..64]);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let shed_count = Arc::new(AtomicU64::new(0));
+    let hammer = {
+        let stop = Arc::clone(&stop);
+        let shed_count = Arc::clone(&shed_count);
+        let hammer_queries = workload(64);
+        std::thread::spawn(move || {
+            let mut client = NetClient::connect(addr).expect("hammer connect");
+            client.set_collection(Some(TENANT_A.to_string()));
+            while !stop.load(Ordering::Relaxed) {
+                match client.query_batch(WireTask::Cardinality, &hammer_queries) {
+                    Ok(_) => {}
+                    Err(NetError::Proto(ProtoError::Remote(ErrorCode::TenantOverloaded))) => {
+                        shed_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("hammer saw an unexpected error: {e}"),
+                }
+            }
+        })
+    };
+    let shared_p99_b = p99(addr, Some(TENANT_B), &queries);
+    stop.store(true, Ordering::Relaxed);
+    hammer.join().expect("hammer thread");
+    let shed = shed_count.load(Ordering::Relaxed);
+    assert!(shed > 0, "tenant-a never hit its quota — the hammer was not shed");
+    server.shutdown();
+    drop(registry);
+    solo_a.shutdown();
+    solo_b.shutdown();
+
+    // Loopback p99 on a quiet machine is tens of microseconds; a small
+    // absolute floor keeps scheduler noise from failing the ratio check.
+    let limit = Duration::from_secs_f64(solo_p99_b.as_secs_f64() * p99_factor)
+        .max(solo_p99_b + Duration::from_micros(500));
+    println!(
+        "Multi-tenant bench — {total} requests/measurement\n\
+         \n  tenant-b solo p99:    {:>8.1}us\n  tenant-b shared p99:  {:>8.1}us \
+         (limit {:.1}us at {p99_factor}x)\n  tenant-a quota sheds: {shed}",
+        solo_p99_b.as_secs_f64() * 1e6,
+        shared_p99_b.as_secs_f64() * 1e6,
+        limit.as_secs_f64() * 1e6,
+    );
+    assert!(
+        shared_p99_b <= limit,
+        "tenant-b p99 under tenant-a quota pressure ({shared_p99_b:?}) exceeded {limit:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "MULTITENANT BENCH OK: bit-identical={} v1-default=ok eviction-reload=ok \
+         quota-sheds={shed} p99-ratio={:.2}",
+        total,
+        shared_p99_b.as_secs_f64() / solo_p99_b.as_secs_f64().max(1e-9),
+    );
+}

@@ -108,18 +108,6 @@ impl Args {
         )))
     }
 
-    /// Rebuilds this command line under another subcommand with extra
-    /// options injected — the machinery behind the deprecated verb aliases
-    /// (`estimate` → `query --task cardinality`). Injected options lose to
-    /// nothing: the alias chooses names that the old verb never accepted.
-    pub fn alias(&self, command: &str, extra: &[(&str, &str)]) -> Args {
-        let mut options = self.options.clone();
-        for (key, value) in extra {
-            options.insert((*key).to_string(), (*value).to_string());
-        }
-        Args { command: command.to_string(), options, flags: self.flags.clone() }
-    }
-
     /// Parses a comma-separated id list (`--query 1,2,3`).
     pub fn id_list(&self, key: &str) -> Result<Vec<u32>, ArgError> {
         let raw = self.required(key)?;

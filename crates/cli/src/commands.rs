@@ -14,10 +14,10 @@ use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
 use setlearn_obs::RegistrySnapshot;
 use setlearn_serve::{
-    spawn_compactor, BloomTask, CardinalityTask, CompactorConfig, IndexTask, MutableBackend,
-    NetClient, NetConfig, NetServer, ServeConfig, ServeError, ServeReport, ServeRuntime,
-    ServeTask, ShardedReport, ShardedRuntime, StatsFormat, StructureTask, WireBackend,
-    WireOutcome,
+    spawn_compactor, BloomTask, CardinalityTask, CollectionRegistry, CompactorConfig,
+    IndexTask, MutableBackend, NetClient, NetConfig, NetServer, QuotaConfig, RegistryConfig,
+    ServeConfig, ServeError, ServeReport, ServeRuntime, ServeTask, ShardedReport,
+    ShardedRuntime, StatsFormat, StructureTask, WireBackend, WireOutcome,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -51,6 +51,64 @@ fn load<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
         std::fs::File::open(path).map_err(with_path("open", path))?,
     );
     serde_json::from_reader(file).map_err(with_path("parse", path))
+}
+
+/// The unified tenant addressing: `--root DIR --collection NAME` names one
+/// collection directory — `DIR/NAME/{collection.json, model.json,
+/// manifest.json, wal/}` — shared by train/query/serve/ingest/sql and the
+/// multi-tenant serving registry. Without `--root`, the old path-valued
+/// flags (`--collection FILE`, `--model FILE`, `--wal-dir DIR`) keep
+/// working as deprecated aliases for one more release.
+struct TenantPaths {
+    name: String,
+    dir: PathBuf,
+}
+
+impl TenantPaths {
+    fn collection(&self) -> String {
+        self.dir.join(setlearn::persist::COLLECTION_SETS).to_string_lossy().into_owned()
+    }
+
+    fn model(&self) -> String {
+        self.dir.join(setlearn::persist::COLLECTION_MODEL).to_string_lossy().into_owned()
+    }
+
+    fn manifest(&self) -> PathBuf {
+        self.dir.join(setlearn::persist::COLLECTION_MANIFEST)
+    }
+
+    fn wal_dir(&self) -> PathBuf {
+        self.dir.join(setlearn::persist::COLLECTION_WAL)
+    }
+}
+
+/// Resolves `--root DIR --collection NAME` when present; `None` means the
+/// caller should fall back to the old path-valued flags.
+fn tenant_paths(args: &Args) -> Result<Option<TenantPaths>, CliError> {
+    let Some(root) = args.optional("root") else { return Ok(None) };
+    let name = args.required("collection")?;
+    if !setlearn::wire::valid_collection_name(name) {
+        return Err(ArgError(format!(
+            "invalid collection name '{name}' (1-{} chars of [A-Za-z0-9_-]); \
+             with --root, --collection takes a name, not a path",
+            setlearn::wire::MAX_COLLECTION_ID_LEN,
+        ))
+        .into());
+    }
+    Ok(Some(TenantPaths { name: name.to_string(), dir: Path::new(root).join(name) }))
+}
+
+/// One-line nudge from an old path-valued flag to the unified addressing;
+/// printed at most once per process so scripted loops stay readable.
+fn note_legacy_addressing(old: &str) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static NOTED: AtomicBool = AtomicBool::new(false);
+    if !NOTED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "note: {old} is a deprecated spelling; prefer `--root DIR --collection NAME` \
+             (one directory per collection)"
+        );
+    }
 }
 
 /// `setlearn generate --dataset rw|tweets|sd --sets N [--seed S] --out FILE`
@@ -297,29 +355,58 @@ fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> 
 /// `--shard-by` so the partition can be recomputed from the spec).
 pub fn train(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "task", "collection", "out", "compressed", "epochs", "refine-epochs", "percentile",
-        "neurons", "embedding", "max-subset", "lr", "batch", "seed", "range", "last",
-        "samples", "shards", "shard-by", "telemetry", "wal-dir",
+        "task", "collection", "root", "out", "compressed", "epochs", "refine-epochs",
+        "percentile", "neurons", "embedding", "max-subset", "lr", "batch", "seed", "range",
+        "last", "samples", "shards", "shard-by", "telemetry", "wal-dir",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
     let spec = shard_spec_from_args(args)?;
-    // With --wal-dir, pending WAL records are folded into the training
-    // collection first; after a successful train the merged collection is
-    // checkpointed next to the WAL and the log is marked applied.
+    let tenant = tenant_paths(args)?;
+    // Unified addressing: the collection file, output model, and WAL all
+    // live under ROOT/NAME; pending WAL records fold in automatically.
+    // Lazy because a WAL checkpoint can stand in for the collection file.
+    let collection_path = match &tenant {
+        Some(t) => Some(t.collection()),
+        None => {
+            if args.optional("collection").is_some() {
+                note_legacy_addressing("path-valued --collection");
+            }
+            args.optional("collection").map(str::to_string)
+        }
+    };
+    let require_collection = || {
+        collection_path
+            .as_deref()
+            .ok_or_else(|| ArgError("missing required option --collection".into()))
+    };
+    let wal_dir_arg = match (&tenant, args.optional("wal-dir")) {
+        (None, Some(dir)) => {
+            note_legacy_addressing("--wal-dir");
+            Some(PathBuf::from(dir))
+        }
+        (Some(t), None) => t.wal_dir().exists().then(|| t.wal_dir()),
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--wal-dir cannot be combined with --root".into()).into())
+        }
+        (None, None) => None,
+    };
+    // With a WAL, pending records are folded into the training collection
+    // first; after a successful train the merged collection is checkpointed
+    // next to the WAL and the log is marked applied.
     let mut wal_fold: Option<(Wal, u64, PathBuf)> = None;
-    let collection = match args.optional("wal-dir") {
-        None => load_collection(args.required("collection")?)?,
+    let collection = match wal_dir_arg {
+        None => load_collection(require_collection()?)?,
         Some(dir) => {
             if spec.is_some() {
                 return Err(ArgError("--wal-dir cannot be combined with --shards".into()).into());
             }
-            let dir = Path::new(dir);
+            let dir = dir.as_path();
             let checkpoint = dir.join("checkpoint.json");
             let base = if checkpoint.exists() {
                 load::<SetCollection>(&checkpoint.to_string_lossy())?
             } else {
-                load_collection(args.required("collection")?)?
+                load_collection(require_collection()?)?
             };
             let recovery = Wal::open(dir)?;
             if recovery.truncated {
@@ -336,7 +423,18 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             merged
         }
     };
-    let out = args.required("out")?;
+    // With --root the model lands in the collection directory by default;
+    // --out still overrides for odd layouts.
+    let out = match (&tenant, args.optional("out")) {
+        (_, Some(out)) => out.to_string(),
+        (Some(t), None) => {
+            std::fs::create_dir_all(&t.dir)
+                .map_err(|e| format!("cannot create {}: {e}", t.dir.display()))?;
+            t.model()
+        }
+        (None, None) => args.required("out")?.to_string(),
+    };
+    let out = out.as_str();
     let vocab = collection.num_elements();
     let model = model_from_args(args, vocab)?;
     match task.as_str() {
@@ -454,6 +552,23 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             )
         }
     }
+    if let Some(t) = &tenant {
+        // The manifest is what lets a registry serve this directory without
+        // being told the task: record it (and the shard layout) alongside.
+        let manifest = setlearn::persist::CollectionManifest {
+            task: task.clone(),
+            shards: spec.map(|s| s.shards),
+            shard_by: spec.map(|s| {
+                match s.by {
+                    ShardBy::Hash => "hash",
+                    ShardBy::Range => "range",
+                }
+                .to_string()
+            }),
+        };
+        setlearn::persist::save_manifest(&t.dir, &manifest)?;
+        println!("manifest written to {}", t.manifest().display());
+    }
     if let Some((mut wal, watermark, checkpoint)) = wal_fold {
         // Checkpoint before advancing the watermark: a crash in between
         // replays the (already folded) tail again, it never loses it.
@@ -468,17 +583,6 @@ pub fn train(args: &Args) -> Result<(), CliError> {
         sink.finish()?;
     }
     Ok(())
-}
-
-/// Dispatches a deprecated verb (`estimate`/`lookup`/`member`) to its
-/// `query --task …` replacement, with a one-line note on stderr. The old
-/// verbs stay callable (scripts keep working) but are hidden from `help`.
-fn deprecated_alias(args: &Args, task: &str) -> Result<(), CliError> {
-    eprintln!(
-        "note: `{}` is deprecated; use `setlearn query --task {task} --model FILE --query IDS`",
-        args.command
-    );
-    query(&args.alias("query", &[("task", task)]))
 }
 
 /// Renders an outcome's degradation flags (guard fallback, bound miss) as a
@@ -500,10 +604,14 @@ fn degradation_notes(fallback: &Option<FallbackReason>, bound_miss: bool) -> Str
 
 /// The ad-hoc mode of `query`: `--query 1,2,3` answers one query through
 /// the same [`LearnedSetStructure`] API as workload replay and prints the
-/// typed outcome with its degradation flags. Subsumes the deprecated
-/// `estimate`/`lookup`/`member` verbs.
-fn query_adhoc(args: &Args, task: &str) -> Result<(), CliError> {
-    let model_path = args.required("model")?;
+/// typed outcome with its degradation flags. This is the one-shot
+/// counterpart of `client --query` for models not (yet) behind a server.
+fn query_adhoc(
+    args: &Args,
+    task: &str,
+    model_path: &str,
+    collection_path: Option<&str>,
+) -> Result<(), CliError> {
     let q = QueryRequest::new(args.id_list("query")?).canonicalize();
     let spec = shard_spec_from_args(args)?;
     match task {
@@ -523,7 +631,9 @@ fn query_adhoc(args: &Args, task: &str) -> Result<(), CliError> {
             );
         }
         "index" => {
-            let collection = Arc::new(load_collection(args.required("collection")?)?);
+            let collection_path = collection_path
+                .ok_or_else(|| ArgError("missing required option --collection".into()))?;
+            let collection = Arc::new(load_collection(collection_path)?);
             let outcome = match spec {
                 None => {
                     let index: LearnedSetIndex = load(model_path)?;
@@ -602,20 +712,38 @@ fn run_structure<S: LearnedSetStructure>(
 /// trained with the same spec and fans each query out across shards.
 pub fn query(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "task", "model", "collection", "query", "limit", "max-subset", "threads", "shards",
-        "shard-by", "telemetry",
+        "task", "model", "collection", "root", "query", "limit", "max-subset", "threads",
+        "shards", "shard-by", "telemetry",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
+    let tenant = tenant_paths(args)?;
+    let model_path = match &tenant {
+        Some(t) => t.model(),
+        None => {
+            if args.optional("model").is_some() {
+                note_legacy_addressing("--model");
+            }
+            args.required("model")?.to_string()
+        }
+    };
+    let model_path = model_path.as_str();
     if args.optional("query").is_some() {
-        query_adhoc(args, &task)?;
+        let collection_path = match &tenant {
+            Some(t) => Some(t.collection()),
+            None => args.optional("collection").map(str::to_string),
+        };
+        query_adhoc(args, &task, model_path, collection_path.as_deref())?;
         if let Some(sink) = sink {
             sink.finish()?;
         }
         return Ok(());
     }
-    let model_path = args.required("model")?;
-    let collection = Arc::new(load_collection(args.required("collection")?)?);
+    let collection_path = match &tenant {
+        Some(t) => t.collection(),
+        None => args.required("collection")?.to_string(),
+    };
+    let collection = Arc::new(load_collection(&collection_path)?);
     let limit = args.get_or("limit", 500usize)?;
     let max_subset = args.get_or("max-subset", 2usize)?;
     let threads = args.get_or("threads", 1usize)?;
@@ -824,26 +952,43 @@ where
     B: WireBackend + 'static,
 {
     let addr = args.required("listen")?;
+    let net = net_config_from_args(args)?;
+    let server = NetServer::bind(addr, Arc::clone(&backend) as Arc<dyn WireBackend>, net)
+        .map_err(with_path("listen on", addr))?;
+    serve_until_drained(server, args)?;
+    // The front-end joined all its threads, so this is the last reference.
+    let backend = Arc::try_unwrap(backend)
+        .map_err(|_| "front-end handlers still hold the runtime after shutdown")?;
+    Ok(drain(backend))
+}
+
+/// Builds the [`NetConfig`] shared by the single-tenant and registry
+/// front-ends from the common `serve` flags.
+fn net_config_from_args(args: &Args) -> Result<NetConfig, CliError> {
     // Absent = slow-query log off; an explicit 0 means threshold zero,
     // i.e. record every request (useful for smoke tests and short probes).
     let slow_query_threshold = match args.optional("slow-query-ms") {
         Some(_) => Some(std::time::Duration::from_millis(args.get_or("slow-query-ms", 0u64)?)),
         None => None,
     };
-    let net = NetConfig {
+    Ok(NetConfig {
         allow_remote_shutdown: args.has_flag("allow-remote-shutdown"),
         slow_query_threshold,
         drain_grace: std::time::Duration::from_millis(args.get_or("drain-grace-ms", 0u64)?),
         ..NetConfig::default()
-    };
-    let serve_for_s = args.get_or("serve-for-s", 0.0f64)?;
-    let server = NetServer::bind(addr, Arc::clone(&backend) as Arc<dyn WireBackend>, net)
-        .map_err(with_path("listen on", addr))?;
+    })
+}
+
+/// Prints (and optionally writes to `--addr-file`) the bound address, then
+/// blocks until `--serve-for-s` elapses or a remote shutdown arrives, and
+/// drains the front-end.
+fn serve_until_drained(server: NetServer, args: &Args) -> Result<(), CliError> {
     println!("listening on {}", server.local_addr());
     if let Some(path) = args.optional("addr-file") {
         std::fs::write(path, server.local_addr().to_string())
             .map_err(with_path("write", path))?;
     }
+    let serve_for_s = args.get_or("serve-for-s", 0.0f64)?;
     let deadline = (serve_for_s > 0.0)
         .then(|| std::time::Instant::now() + std::time::Duration::from_secs_f64(serve_for_s));
     loop {
@@ -858,10 +1003,63 @@ where
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     server.shutdown();
-    // The front-end joined all its threads, so this is the last reference.
-    let backend = Arc::try_unwrap(backend)
-        .map_err(|_| "front-end handlers still hold the runtime after shutdown")?;
-    Ok(drain(backend))
+    Ok(())
+}
+
+/// `setlearn serve --root DIR --listen HOST:PORT` (no `--task`): the
+/// multi-tenant front-end. Every collection directory under DIR is
+/// servable; checkpoints load lazily on the first frame that addresses
+/// them (SLP1 v2 length-prefixed collection ids; v1 frames and empty ids
+/// route to `--default-collection`), `--max-resident-bytes` LRU-evicts
+/// idle residents, and `--quota-qps`/`--quota-burst` arm a per-tenant
+/// token bucket that sheds with `TenantOverloaded`.
+fn serve_listen_registry(args: &Args, cfg: ServeConfig) -> Result<(), CliError> {
+    for solo_flag in ["model", "collection", "wal-dir", "shards"] {
+        if args.optional(solo_flag).is_some() {
+            return Err(ArgError(format!(
+                "registry mode (--root without --task) serves every collection under \
+                 --root; --{solo_flag} only applies to solo serving (add --task)"
+            ))
+            .into());
+        }
+    }
+    let root = args.required("root")?;
+    let addr = args.required("listen")?;
+    let mut rcfg = RegistryConfig::new(root);
+    rcfg.serve = cfg;
+    rcfg.default_collection = args.optional("default-collection").map(str::to_string);
+    if args.optional("max-resident-bytes").is_some() {
+        rcfg.max_resident_bytes = Some(args.get_or("max-resident-bytes", u64::MAX)?);
+    }
+    let quota_qps = args.get_or("quota-qps", 0.0f64)?;
+    if quota_qps > 0.0 {
+        rcfg.quota = Some(QuotaConfig {
+            rate: quota_qps,
+            burst: args.get_or("quota-burst", quota_qps.max(1.0))?,
+        });
+    }
+    rcfg.compact_after = args.get_or("compact-after", 0usize)?;
+    let registry = Arc::new(CollectionRegistry::new(rcfg));
+    let known = registry.list();
+    println!(
+        "registry over {root}: {} collection{} discovered ({})",
+        known.len(),
+        if known.len() == 1 { "" } else { "s" },
+        if known.is_empty() {
+            "none yet — train with --root to add one".to_string()
+        } else {
+            known.iter().map(|c| c.name.as_str()).collect::<Vec<_>>().join(", ")
+        },
+    );
+    let server = NetServer::bind_registry(addr, Arc::clone(&registry), net_config_from_args(args)?)
+        .map_err(with_path("listen on", addr))?;
+    serve_until_drained(server, args)?;
+    // Dropping the last registry handle drains every resident runtime and
+    // stops their compactors.
+    let resident = registry.resident_count();
+    drop(registry);
+    println!("drained registry: {resident} collection(s) were resident");
+    Ok(())
 }
 
 /// `setlearn serve --listen HOST:PORT …` — the TCP front-end over the same
@@ -875,6 +1073,7 @@ fn serve_listen(
     model_path: &str,
     cfg: ServeConfig,
     spec: Option<ShardSpec>,
+    collection_path: Option<&str>,
 ) -> Result<(), CliError> {
     match task {
         "cardinality" => match spec {
@@ -901,7 +1100,9 @@ fn serve_listen(
             }
         },
         "index" => {
-            let collection = Arc::new(load_collection(args.required("collection")?)?);
+            let collection_path = collection_path
+                .ok_or_else(|| ArgError("missing required option --collection".into()))?;
+            let collection = Arc::new(load_collection(collection_path)?);
             match spec {
                 None => {
                     let index: LearnedSetIndex = load(model_path)?;
@@ -1074,12 +1275,15 @@ fn serve_listen_mutable(
     model_path: &str,
     cfg: ServeConfig,
     wal_dir: &Path,
+    collection_path: Option<&str>,
 ) -> Result<(), CliError> {
     let checkpoint = wal_dir.join("checkpoint.json");
     let base = Arc::new(if checkpoint.exists() {
         load::<SetCollection>(&checkpoint.to_string_lossy())?
     } else {
-        load_collection(args.required("collection")?)?
+        let collection_path = collection_path
+            .ok_or_else(|| ArgError("missing required option --collection".into()))?;
+        load_collection(collection_path)?
     });
     let compacted_model = wal_dir.join("model.json");
     let model_file = if compacted_model.exists() {
@@ -1143,11 +1347,14 @@ fn serve_listen_mutable(
     }
 }
 
-/// `setlearn serve --task cardinality|index|bloom --model FILE --collection FILE
+/// `setlearn serve --task cardinality|index|bloom --root DIR --collection NAME
 ///  [--requests N] [--threads N] [--max-batch N] [--max-delay-us U] [--queue N]
 ///  [--target-qps Q] [--max-subset K] [--shards N] [--shard-by hash|range]
 ///  [--listen HOST:PORT] [--serve-for-s S] [--addr-file PATH]
 ///  [--allow-remote-shutdown] [--telemetry PATH]`
+///
+/// Without `--task`, `--root DIR --listen HOST:PORT` starts the
+/// multi-tenant registry front-end instead (see [`serve_listen_registry`]).
 ///
 /// Loads a trained model, enumerates a subset-query workload from the
 /// collection (cycled up to `--requests`), and replays it through the
@@ -1163,17 +1370,17 @@ fn serve_listen_mutable(
 /// all shards and the per-shard answers are aggregated.
 pub fn serve(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "task", "model", "collection", "requests", "threads", "max-batch", "max-delay-us",
-        "queue", "target-qps", "max-subset", "shards", "shard-by", "telemetry", "listen",
-        "serve-for-s", "addr-file", "allow-remote-shutdown", "wal-dir", "compact-after",
-        "slow-query-ms", "drain-grace-ms",
+        "task", "model", "collection", "root", "requests", "threads", "max-batch",
+        "max-delay-us", "queue", "target-qps", "max-subset", "shards", "shard-by",
+        "telemetry", "listen", "serve-for-s", "addr-file", "allow-remote-shutdown",
+        "wal-dir", "compact-after", "slow-query-ms", "drain-grace-ms",
+        // Registry (multi-tenant) mode.
+        "default-collection", "max-resident-bytes", "quota-qps", "quota-burst",
         // Retraining knobs, read by the `--compact-after` rebuild closure.
         "compressed", "epochs", "refine-epochs", "percentile", "neurons", "embedding", "lr",
         "batch", "seed", "samples", "range", "last",
     ])?;
     let sink = telemetry::begin(args)?;
-    let task = args.required("task")?.to_string();
-    let model_path = args.required("model")?;
     let cfg = ServeConfig {
         threads: args.get_or("threads", 2usize)?,
         max_batch: args.get_or("max-batch", 64usize)?,
@@ -1181,12 +1388,68 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         queue_capacity: args.get_or("queue", 1024usize)?,
     };
     cfg.validate().map_err(|e| CliError::from(ArgError(e)))?;
+
+    // `--root DIR` without `--task` is the multi-tenant registry: no model
+    // is loaded up front, collections become resident on first use.
+    if args.optional("root").is_some() && args.optional("task").is_none() {
+        if args.optional("listen").is_none() {
+            return Err(ArgError(
+                "registry mode requires --listen (multi-tenant serving is wire-only); \
+                 pass --task for a single-collection replay"
+                    .into(),
+            )
+            .into());
+        }
+        serve_listen_registry(args, cfg)?;
+        if let Some(sink) = sink {
+            sink.finish()?;
+        }
+        return Ok(());
+    }
+
+    let task = args.required("task")?.to_string();
+    let tenant = tenant_paths(args)?;
+    let model_path = match &tenant {
+        Some(t) => t.model(),
+        None => {
+            if args.optional("model").is_some() {
+                note_legacy_addressing("--model");
+            }
+            args.required("model")?.to_string()
+        }
+    };
+    let model_path = model_path.as_str();
+    // The collection file (needed by index serving, the replay workload,
+    // and as the mutable base) resolves through the same tenant layout.
+    let collection_path = match &tenant {
+        Some(t) => Some(t.collection()),
+        None => {
+            if args.optional("collection").is_some() {
+                note_legacy_addressing("path-valued --collection");
+            }
+            args.optional("collection").map(str::to_string)
+        }
+    };
+    let collection_path = collection_path.as_deref();
     let target_qps = args.get_or("target-qps", 0.0f64)?;
     let total = args.get_or("requests", 2_000usize)?;
     let max_subset = args.get_or("max-subset", 2usize)?;
     let spec = shard_spec_from_args(args)?;
 
-    if let Some(wal_dir) = args.optional("wal-dir") {
+    // Tenant directories carry their WAL implicitly; `--wal-dir` stays as
+    // the explicit legacy spelling.
+    let wal_dir = match (&tenant, args.optional("wal-dir")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--wal-dir cannot be combined with --root".into()).into())
+        }
+        (Some(t), None) => t.wal_dir().exists().then(|| t.wal_dir()),
+        (None, Some(dir)) => {
+            note_legacy_addressing("--wal-dir");
+            Some(PathBuf::from(dir))
+        }
+        (None, None) => None,
+    };
+    if let Some(wal_dir) = wal_dir {
         if spec.is_some() {
             return Err(ArgError("--wal-dir cannot be combined with --shards".into()).into());
         }
@@ -1197,7 +1460,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
             )
             .into());
         }
-        serve_listen_mutable(args, &task, model_path, cfg, Path::new(wal_dir))?;
+        serve_listen_mutable(args, &task, model_path, cfg, &wal_dir, collection_path)?;
         if let Some(sink) = sink {
             sink.finish()?;
         }
@@ -1205,14 +1468,16 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     }
 
     if args.optional("listen").is_some() {
-        serve_listen(args, &task, model_path, cfg, spec)?;
+        serve_listen(args, &task, model_path, cfg, spec, collection_path)?;
         if let Some(sink) = sink {
             sink.finish()?;
         }
         return Ok(());
     }
 
-    let collection = Arc::new(load_collection(args.required("collection")?)?);
+    let collection_path = collection_path
+        .ok_or_else(|| ArgError("missing required option --collection".into()))?;
+    let collection = Arc::new(load_collection(collection_path)?);
     let pool: Vec<ElementSet> =
         SubsetIndex::build(&collection, max_subset).iter().map(|(s, _)| s.clone()).collect();
     if pool.is_empty() {
@@ -1357,18 +1622,37 @@ fn id_set_lists(raw: &str, opt: &str) -> Result<Vec<Vec<u32>>, ArgError> {
         .collect()
 }
 
-/// `setlearn ingest --wal-dir DIR [--insert "1,2;3,4"] [--delete "5,6"]`
+/// `setlearn ingest --root DIR --collection NAME [--insert "1,2;3,4"]
+///  [--delete "5,6"]` (or the legacy `--wal-dir DIR`)
 ///
 /// Offline durable ingest: appends insert/delete records straight to the
-/// WAL at DIR (creating it if needed) without loading a model. Every record
-/// is fsync'd before the command returns. The records are folded in by the
-/// next `train --wal-dir` and replayed by `serve --wal-dir`. Sets are
-/// canonicalized here; ids outside the base vocabulary are only detectable
-/// at replay time, where they are skipped and counted instead of wedging
-/// recovery.
+/// collection's WAL (creating it if needed) without loading a model. Every
+/// record is fsync'd before the command returns. The records are folded in
+/// by the next `train` over the same collection and replayed by mutable
+/// serving. Sets are canonicalized here; ids outside the base vocabulary
+/// are only detectable at replay time, where they are skipped and counted
+/// instead of wedging recovery.
 pub fn ingest(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["wal-dir", "insert", "delete"])?;
-    let dir = Path::new(args.required("wal-dir")?);
+    args.reject_unknown(&["root", "collection", "wal-dir", "insert", "delete"])?;
+    let tenant = tenant_paths(args)?;
+    let dir = match (&tenant, args.optional("wal-dir")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--wal-dir cannot be combined with --root".into()).into())
+        }
+        (Some(t), None) => t.wal_dir(),
+        (None, Some(dir)) => {
+            note_legacy_addressing("--wal-dir");
+            PathBuf::from(dir)
+        }
+        (None, None) => {
+            return Err(ArgError(
+                "missing addressing: pass --root DIR --collection NAME (or --wal-dir DIR)"
+                    .into(),
+            )
+            .into())
+        }
+    };
+    let dir = dir.as_path();
     let mut ops: Vec<WalOp> = Vec::new();
     if let Some(raw) = args.optional("insert") {
         ops.extend(id_set_lists(raw, "insert")?.into_iter().map(WalOp::Insert));
@@ -1408,15 +1692,54 @@ pub fn ingest(args: &Args) -> Result<(), CliError> {
 /// typed error codes, not stringified I/O errors.
 pub fn client(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "addr", "task", "query", "batch", "insert", "delete", "ping", "shutdown", "stats",
-        "health", "slow-queries", "trace-id",
+        "addr", "task", "collection", "query", "batch", "insert", "delete", "ping",
+        "shutdown", "stats", "health", "slow-queries", "trace-id", "collections", "attach",
+        "detach",
     ])?;
     let addr = args.required("addr")?;
     let mut client = NetClient::connect(addr).map_err(with_path("connect to", addr))?;
+    // `--collection NAME` upgrades every frame to SLP1 v2 with that
+    // collection id; without it the client speaks v1 and a multi-tenant
+    // server routes to its default collection.
+    if let Some(name) = args.optional("collection") {
+        if !setlearn::wire::valid_collection_name(name) {
+            return Err(ArgError(format!(
+                "invalid collection name '{name}' (1..={} chars of [A-Za-z0-9_-])",
+                setlearn::wire::MAX_COLLECTION_ID_LEN
+            ))
+            .into());
+        }
+        client.set_collection(Some(name.to_string()));
+    }
     let mut acted = false;
     if args.has_flag("ping") {
         client.ping().map_err(|e| format!("ping failed: {e}"))?;
         println!("pong from {addr}");
+        acted = true;
+    }
+    if args.has_flag("collections") {
+        let rows = client.collections().map_err(|e| format!("collections failed: {e}"))?;
+        println!("{} collection(s):", rows.len());
+        for c in &rows {
+            println!(
+                "  {} task={} {} pending_ops={} disk_bytes={}",
+                c.name,
+                c.task.label(),
+                if c.resident { "resident" } else { "cold" },
+                c.pending_ops,
+                c.disk_bytes,
+            );
+        }
+        acted = true;
+    }
+    if let Some(name) = args.optional("attach") {
+        client.attach_collection(name).map_err(|e| format!("attach failed: {e}"))?;
+        println!("attached {name}");
+        acted = true;
+    }
+    if let Some(name) = args.optional("detach") {
+        client.detach_collection(name).map_err(|e| format!("detach failed: {e}"))?;
+        println!("detached {name}");
         acted = true;
     }
     if args.has_flag("stats") || args.optional("stats").is_some() {
@@ -1432,7 +1755,9 @@ pub fn client(args: &Args) -> Result<(), CliError> {
         acted = true;
     }
     if args.has_flag("health") {
-        let report = client.health().map_err(|e| format!("health failed: {e}"))?;
+        // The extended (v2) probe also reports multi-tenant residency;
+        // single-tenant servers answer it with empty tenant fields.
+        let report = client.health_extended().map_err(|e| format!("health failed: {e}"))?;
         println!(
             "{}: draining={} queue={}/{} shards={} model_version={} wal_truncations={} \
              compactor_pending={}",
@@ -1445,6 +1770,14 @@ pub fn client(args: &Args) -> Result<(), CliError> {
             report.wal_truncations,
             report.compactor_pending,
         );
+        // Multi-tenant servers also report residency and per-collection
+        // ingest lag (v1 single-tenant reports leave these empty).
+        if report.resident_collections > 0 || !report.collection_pending.is_empty() {
+            println!("resident collections: {}", report.resident_collections);
+            for (name, pending) in &report.collection_pending {
+                println!("  {name}: pending_ingest={pending}");
+            }
+        }
         for reason in &report.reasons {
             println!("  - {reason}");
         }
@@ -1541,16 +1874,26 @@ pub fn client(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `setlearn watch --addr HOST:PORT [--interval-ms N] [--count N]` — polls
-/// the server's metrics snapshot over the wire and renders a per-interval
-/// delta (counter increments, histogram counts per stage) so an operator
-/// can watch a live server's request mix without a scrape stack. `--count 0`
-/// (the default) polls until interrupted.
+/// `setlearn watch --addr HOST:PORT [--interval-ms N] [--count N]
+/// [--collection NAME]` — polls the server's metrics snapshot over the wire
+/// and renders a per-interval delta (counter increments, histogram counts
+/// per stage) so an operator can watch a live server's request mix without
+/// a scrape stack. `--count 0` (the default) polls until interrupted; on a
+/// multi-tenant server `--collection NAME` keeps only that tenant's series.
 pub fn watch(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["addr", "interval-ms", "count"])?;
+    args.reject_unknown(&["addr", "interval-ms", "count", "collection"])?;
     let addr = args.required("addr")?;
     let interval = std::time::Duration::from_millis(args.get_or("interval-ms", 1_000u64)?);
     let count = args.get_or("count", 0u64)?;
+    // Tenant filter: keep series labeled with this collection. Unlabeled
+    // (global) series are dropped so the view is purely that tenant's.
+    let tenant_label = args
+        .optional("collection")
+        .map(|name| format!("collection=\"{name}\""));
+    let keep = |rendered: &str| match &tenant_label {
+        None => true,
+        Some(label) => rendered.contains(label.as_str()),
+    };
     let mut client = NetClient::connect(addr).map_err(with_path("connect to", addr))?;
     let mut baseline: Option<setlearn_obs::RegistrySnapshot> = None;
     let mut rounds = 0u64;
@@ -1565,13 +1908,14 @@ pub fn watch(args: &Args) -> Result<(), CliError> {
                 let delta = snap.delta(prev);
                 let mut lines = 0usize;
                 for c in &delta.counters {
-                    if c.value > 0 {
-                        println!("  {} +{}", c.key.render(), c.value);
+                    let rendered = c.key.render();
+                    if c.value > 0 && keep(&rendered) {
+                        println!("  {rendered} +{}", c.value);
                         lines += 1;
                     }
                 }
                 for h in &delta.histograms {
-                    if h.value.count > 0 {
+                    if h.value.count > 0 && keep(&h.key.render()) {
                         let mean = h.value.sum / h.value.count as f64;
                         // Latency families are recorded in seconds; render
                         // their means in µs. Anything else keeps raw units.
@@ -1598,12 +1942,43 @@ pub fn watch(args: &Args) -> Result<(), CliError> {
     }
 }
 
-/// `setlearn sql --collection FILE --query "SELECT ..." [--model FILE]
-/// [--table NAME] [--explain] [--telemetry PATH]`
+/// `setlearn sql --root DIR --collection NAME --query "SELECT ..."
+/// [--explain] [--telemetry PATH]` (legacy: `--collection FILE
+/// [--model FILE] [--table NAME]`)
 pub fn sql(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["collection", "query", "model", "table", "explain", "telemetry"])?;
+    args.reject_unknown(&[
+        "root", "collection", "query", "model", "table", "explain", "telemetry",
+    ])?;
     let sink = telemetry::begin(args)?;
-    let collection = load_collection(args.required("collection")?)?;
+    let tenant = tenant_paths(args)?;
+    // With --root the tenant directory names everything: the collection
+    // file, the trained estimator (when present), and — unless --table
+    // overrides — the SQL table the query must target.
+    let (collection_path, model_path, expected_table) = match &tenant {
+        Some(t) => {
+            if args.optional("model").is_some() {
+                return Err(ArgError(
+                    "--root/--collection NAME already name the model; drop --model".into(),
+                )
+                .into());
+            }
+            let model = Path::new(&t.model()).exists().then(|| t.model());
+            let table =
+                args.optional("table").map(str::to_string).or_else(|| Some(t.name.clone()));
+            (t.collection(), model, table)
+        }
+        None => {
+            if args.optional("collection").is_some() {
+                note_legacy_addressing("path-valued --collection");
+            }
+            (
+                args.required("collection")?.to_string(),
+                args.optional("model").map(str::to_string),
+                args.optional("table").map(str::to_string),
+            )
+        }
+    };
+    let collection = load_collection(&collection_path)?;
     let query = args.required("query")?;
     let engine = Engine::new();
     // The table name comes from the FROM clause; parse first to learn it.
@@ -1611,10 +1986,11 @@ pub fn sql(args: &Args) -> Result<(), CliError> {
     if args.has_flag("explain") {
         parsed.explain = true;
     }
-    if let Some(expected) = args.optional("table") {
-        if parsed.table != expected {
+    if let Some(expected) = &expected_table {
+        if parsed.table != *expected {
             return Err(format!(
-                "query targets table '{}' but --table says '{expected}'",
+                "query targets table '{}' but the collection is '{expected}' \
+                 (override with --table)",
                 parsed.table
             )
             .into());
@@ -1636,7 +2012,7 @@ pub fn sql(args: &Args) -> Result<(), CliError> {
         column.to_string(),
     );
     engine.create_index(&parsed.table)?;
-    if let Some(model_path) = args.optional("model") {
+    if let Some(model_path) = &model_path {
         let est: LearnedCardinality = load(model_path)?;
         engine.register_estimator(&parsed.table, est)?;
     }
@@ -1672,37 +2048,49 @@ COMMANDS:
   reorder   --collection FILE --out FILE [--strategy lex|head|random]
   stats     --collection FILE
             | --telemetry PATH [--format table|prom]   (dump a run artifact)
-  train     --task cardinality|index|bloom --collection FILE --out FILE
-            [--compressed] [--epochs N] [--percentile P] [--neurons N]
-            [--embedding D] [--max-subset K] [--lr F] [--batch N]
-            [--shards N] [--shard-by hash|range] [--wal-dir DIR]
+  train     --task cardinality|index|bloom --root DIR --collection NAME
+            [--out FILE] [--compressed] [--epochs N] [--percentile P]
+            [--neurons N] [--embedding D] [--max-subset K] [--lr F]
+            [--batch N] [--shards N] [--shard-by hash|range]
             [--telemetry PATH]
-  ingest    --wal-dir DIR [--insert \"1,2;3,4\"] [--delete \"5,6\"]
-            (offline durable appends; folded in by `train --wal-dir`)
-  query     --task cardinality|index|bloom --model FILE
-            (--query 1,2,3 | --collection FILE [--limit N] [--max-subset K]
-            [--threads N]) [--shards N] [--shard-by hash|range]
-            [--telemetry PATH]
-  serve     --task cardinality|index|bloom --model FILE --collection FILE
+  ingest    --root DIR --collection NAME [--insert \"1,2;3,4\"]
+            [--delete \"5,6\"]
+            (offline durable appends; folded in by the next `train`)
+  query     --task cardinality|index|bloom --root DIR --collection NAME
+            (--query 1,2,3 | [--limit N] [--max-subset K] [--threads N])
+            [--shards N] [--shard-by hash|range] [--telemetry PATH]
+  serve     --task cardinality|index|bloom --root DIR --collection NAME
             [--requests N] [--threads N] [--max-batch N] [--max-delay-us U]
             [--queue N] [--target-qps Q] [--max-subset K] [--shards N]
             [--shard-by hash|range] [--telemetry PATH]
             | --listen HOST:PORT [--serve-for-s S] [--addr-file PATH]
             [--allow-remote-shutdown]     (SLP1 TCP front-end; port 0 works)
-            [--slow-query-ms N] [--drain-grace-ms N]
-            [--wal-dir DIR [--compact-after N]]   (mutable collection)
-  client    --addr HOST:PORT [--task cardinality|index|bloom]
-            [--query 1,2,3] [--batch \"1,2;3,4\"] [--insert \"1,2;3,4\"]
-            [--delete \"1,2\"] [--trace-id N] [--ping] [--shutdown]
-            [--stats [prom|json]] [--health] [--slow-queries]
+            [--slow-query-ms N] [--drain-grace-ms N] [--compact-after N]
+            | --root DIR --listen HOST:PORT   (multi-tenant registry: no
+            --task; serves every collection under DIR, loading lazily)
+            [--default-collection NAME] [--max-resident-bytes N]
+            [--quota-qps Q [--quota-burst B]]
+  client    --addr HOST:PORT [--collection NAME]
+            [--task cardinality|index|bloom] [--query 1,2,3]
+            [--batch \"1,2;3,4\"] [--insert \"1,2;3,4\"] [--delete \"1,2\"]
+            [--trace-id N] [--ping] [--shutdown] [--stats [prom|json]]
+            [--health] [--slow-queries] [--collections] [--attach NAME]
+            [--detach NAME]
   watch     --addr HOST:PORT [--interval-ms N] [--count N]
+            [--collection NAME]
             (poll a live server's metrics, print per-interval deltas)
-  sql       --collection FILE --query \"[EXPLAIN] SELECT COUNT(*) FROM t
-            WHERE tags @> {{1,2}} [AND|OR|NOT ...] [USING mode]\"
-            [--model FILE] [--table NAME] [--explain] [--telemetry PATH]
-            (un-pinned queries are planned on cost; --model registers a
-            trained cardinality estimator the planner consults)
+  sql       --root DIR --collection NAME --query \"[EXPLAIN] SELECT
+            COUNT(*) FROM t WHERE tags @> {{1,2}} [AND|OR|NOT ...]
+            [USING mode]\" [--explain] [--telemetry PATH]
+            (un-pinned queries are planned on cost; a trained estimator in
+            the collection directory is registered with the planner)
   help
+
+Addressing: `--root DIR --collection NAME` names one collection directory
+DIR/NAME/ holding collection.json, model.json, manifest.json, and wal/ —
+shared by train/query/serve/ingest/sql and the multi-tenant registry. The
+old path-valued spellings (--collection FILE, --model FILE, --wal-dir DIR,
+--table NAME) still work for one release and print a deprecation note.
 
 Passing --telemetry PATH raises telemetry to Full (per-query/per-epoch
 spans) and writes PATH.prom, PATH.metrics.json and PATH.jsonl; repeated
@@ -1713,18 +2101,25 @@ Passing --shards N partitions the collection (hash by default, range with
 fanning it out across per-shard worker pools; query and serve must be given
 the same --shards/--shard-by used at training time.
 
-`serve --listen --wal-dir DIR` serves a *mutable* collection: client
-inserts/deletes are fsync'd to a write-ahead log before they are
-acknowledged and answered from an exact in-memory delta merged with the
-model, so a kill -9 loses no acknowledged write (restart replays the WAL
-over DIR/checkpoint.json). `--compact-after N` retrains in the background
-once N ops are pending, checkpoints atomically, and hot-swaps the model
-without dropping requests; `train --wal-dir` does the same fold offline.
+Serving a collection whose directory has a wal/ (or passing the legacy
+--wal-dir DIR) serves a *mutable* collection: client inserts/deletes are
+fsync'd to a write-ahead log before they are acknowledged and answered from
+an exact in-memory delta merged with the model, so a kill -9 loses no
+acknowledged write (restart replays the WAL over the checkpoint).
+`--compact-after N` retrains in the background once N ops are pending,
+checkpoints atomically, and hot-swaps the model without dropping requests;
+`train` over the same collection does the same fold offline.
 
-`serve --listen` exposes the runtime over TCP (length-prefixed, CRC-checked
-SLP1 frames; `client` is the reference client). The deprecated verbs
-estimate/lookup/member still run as aliases of `query --task
-cardinality|index|bloom --query IDS`."
+`serve --root DIR --listen` (no --task) is the multi-tenant registry: one
+process serves every collection under DIR over SLP1 v2 frames carrying a
+collection id (plain v1 clients are routed to --default-collection
+bit-for-bit). Collections load lazily on first use, --max-resident-bytes
+LRU-evicts idle ones, and --quota-qps/--quota-burst arm a per-tenant token
+bucket that sheds with TenantOverloaded. `client --collections/--attach/
+--detach` administer it; all metrics carry a collection label.
+
+The removed verbs estimate/lookup/member are spelled `query --task
+cardinality|index|bloom --query IDS` since this release."
     );
 }
 
@@ -1742,11 +2137,19 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "ingest" => ingest(args),
         "client" => client(args),
         "watch" => watch(args),
-        // Deprecated verbs: hidden aliases of `query --task …` (see
-        // [`deprecated_alias`]); kept so existing scripts don't break.
-        "estimate" => deprecated_alias(args, "cardinality"),
-        "lookup" => deprecated_alias(args, "index"),
-        "member" => deprecated_alias(args, "bloom"),
+        // The old estimate/lookup/member verbs are gone: point straight at
+        // the unified replacement instead of a generic "unknown command".
+        removed @ ("estimate" | "lookup" | "member") => {
+            let task = match removed {
+                "estimate" => "cardinality",
+                "lookup" => "index",
+                _ => "bloom",
+            };
+            Err(ArgError(format!(
+                "`{removed}` was removed; use `setlearn query --task {task} --model FILE --query IDS`"
+            ))
+            .into())
+        }
         "sql" => sql(args),
         "help" | "--help" | "-h" => {
             help();
@@ -1797,7 +2200,13 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        run(&args(&["estimate", "--model", &model, "--query", "1,2"])).unwrap();
+        run(&args(&[
+            "query", "--task", "cardinality", "--model", &model, "--query", "1,2",
+        ]))
+        .unwrap();
+        // The removed verb aliases point at the replacement.
+        let err = run(&args(&["estimate", "--model", &model, "--query", "1,2"])).unwrap_err();
+        assert!(err.to_string().contains("query --task cardinality"), "got: {err}");
         let _ = std::fs::remove_file(coll);
         let _ = std::fs::remove_file(model);
     }
@@ -1875,9 +2284,10 @@ mod tests {
     fn missing_files_error_with_path_context_instead_of_panicking() {
         let err = run(&args(&["stats", "--collection", "/nonexistent/nope.json"])).unwrap_err();
         assert!(err.to_string().contains("/nonexistent/nope.json"), "got: {err}");
-        let err =
-            run(&args(&["estimate", "--model", "/nonexistent/m.json", "--query", "1"]))
-                .unwrap_err();
+        let err = run(&args(&[
+            "query", "--task", "cardinality", "--model", "/nonexistent/m.json", "--query", "1",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("cannot open"), "got: {err}");
     }
 
@@ -1885,7 +2295,10 @@ mod tests {
     fn corrupt_model_file_errors_instead_of_panicking() {
         let path = tmp("garbage-model.json");
         std::fs::write(&path, b"{ not json ").unwrap();
-        let err = run(&args(&["estimate", "--model", &path, "--query", "1"])).unwrap_err();
+        let err = run(&args(&[
+            "query", "--task", "cardinality", "--model", &path, "--query", "1",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("cannot parse"), "got: {err}");
         let _ = std::fs::remove_file(path);
     }
@@ -1961,9 +2374,6 @@ mod tests {
         }
     }
 
-    // The superseded per-task batch verbs must keep answering identically
-    // to the unified structure API while they live out their deprecation.
-    #[allow(deprecated)]
     #[test]
     fn query_threads_serves_the_parallel_path_with_identical_answers() {
         let coll = tmp("par.json");
@@ -1988,7 +2398,7 @@ mod tests {
         let collection = load_collection(&coll).unwrap();
         let qs: Vec<ElementSet> =
             SubsetIndex::build(&collection, 2).iter().map(|(s, _)| s.clone()).collect();
-        assert_eq!(est.estimate_batch_parallel(&qs, 2), est.estimate_batch(&qs));
+        assert_eq!(est.query_batch_parallel(&qs, 2), est.query_batch(&qs));
         // --threads now reaches every task through the unified structure
         // API: the bloom parallel path runs end to end too.
         let bloom = tmp("par-bloom.json");

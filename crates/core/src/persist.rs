@@ -313,6 +313,131 @@ pub fn encode_weights_legacy_v1(model: &DeepSets) -> Result<Vec<u8>, PersistErro
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Collections root layout
+// ---------------------------------------------------------------------------
+
+/// Conventional file names inside one collection directory under a
+/// collections root: `<root>/<name>/` holds a [`COLLECTION_MANIFEST`]
+/// describing the task, a `model.json` structure checkpoint (the JSON form
+/// of the task structure, embedding its SLW2-equivalent weights), an
+/// optional `collection.json` with the training sets (needed for mutable
+/// serving and compaction rebuilds), and an optional `wal/` directory that
+/// makes the collection mutable.
+pub const COLLECTION_MANIFEST: &str = "manifest.json";
+/// Structure checkpoint file name inside a collection directory.
+pub const COLLECTION_MODEL: &str = "model.json";
+/// Training-set snapshot file name inside a collection directory.
+pub const COLLECTION_SETS: &str = "collection.json";
+/// WAL subdirectory name inside a collection directory.
+pub const COLLECTION_WAL: &str = "wal";
+
+/// Per-collection manifest stored at `<root>/<name>/manifest.json`. Kept
+/// deliberately small: the registry needs only enough to pick the right
+/// loader before touching the (much larger) checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct CollectionManifest {
+    /// Task label: `cardinality` | `index` | `bloom`.
+    pub task: String,
+    /// Shard count when the checkpoint is a sharded structure (absent or
+    /// `None` for single-model collections).
+    #[serde(default)]
+    pub shards: Option<usize>,
+    /// Routing policy of the sharded structure (`hash` | `range`); absent
+    /// defaults to `hash`, matching [`crate::shard::ShardBy`]'s default.
+    #[serde(default)]
+    pub shard_by: Option<String>,
+}
+
+/// One collection found under a collections root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionEntry {
+    /// Directory name == collection id.
+    pub name: String,
+    /// The collection's directory.
+    pub dir: std::path::PathBuf,
+    /// Its manifest.
+    pub manifest: CollectionManifest,
+    /// Whether a `wal/` subdirectory exists (collection is mutable).
+    pub has_wal: bool,
+    /// Total bytes of the regular files in the directory (one level deep,
+    /// plus the WAL directory) — the registry's resident-size proxy.
+    pub disk_bytes: u64,
+}
+
+/// The directory a named collection lives in under `root`.
+pub fn collection_dir(root: &Path, name: &str) -> std::path::PathBuf {
+    root.join(name)
+}
+
+/// Loads `<dir>/manifest.json`.
+pub fn load_manifest(dir: &Path) -> Result<CollectionManifest, PersistError> {
+    load_json(&dir.join(COLLECTION_MANIFEST))
+}
+
+/// Saves `<dir>/manifest.json` (atomic write), creating `dir` if needed.
+pub fn save_manifest(dir: &Path, manifest: &CollectionManifest) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    save_json(manifest, &dir.join(COLLECTION_MANIFEST))
+}
+
+fn dir_file_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    total += meta.len();
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Inspects one collection directory: reads its manifest and sizes its
+/// files. Errors if the manifest is missing or malformed.
+pub fn inspect_collection(root: &Path, name: &str) -> Result<CollectionEntry, PersistError> {
+    if !crate::wire::valid_collection_name(name) {
+        return Err(PersistError::Format(format!(
+            "invalid collection name {name:?} (want [A-Za-z0-9_-], at most {} bytes)",
+            crate::wire::MAX_COLLECTION_ID_LEN
+        )));
+    }
+    let dir = collection_dir(root, name);
+    let manifest = load_manifest(&dir)?;
+    let wal_dir = dir.join(COLLECTION_WAL);
+    let has_wal = wal_dir.is_dir();
+    let mut disk_bytes = dir_file_bytes(&dir);
+    if has_wal {
+        disk_bytes += dir_file_bytes(&wal_dir);
+    }
+    Ok(CollectionEntry { name: name.to_string(), dir, manifest, has_wal, disk_bytes })
+}
+
+/// Scans a collections root: every direct subdirectory whose name is a
+/// valid collection id *and* which contains a readable manifest becomes an
+/// entry, sorted by name. Subdirectories without a manifest are skipped
+/// silently (the root may hold unrelated files); an unreadable root errors.
+pub fn discover_collections(root: &Path) -> Result<Vec<CollectionEntry>, PersistError> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else { continue };
+        if !crate::wire::valid_collection_name(&name) {
+            continue;
+        }
+        if let Ok(e) = inspect_collection(root, &name) {
+            out.push(e);
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +531,45 @@ mod tests {
         let mut bytes = encode_weights(&model).unwrap();
         bytes[4] = 99;
         assert!(matches!(decode_weights(&bytes), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn collections_root_discovery_finds_manifests_and_sizes() {
+        let root = tmp("collections-root");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        // Two real collections, one mutable, plus clutter to be skipped.
+        let a = CollectionManifest { task: "cardinality".into(), shards: None, shard_by: None };
+        save_manifest(&collection_dir(&root, "tenant-a"), &a).unwrap();
+        std::fs::write(collection_dir(&root, "tenant-a").join(COLLECTION_MODEL), b"{}")
+            .unwrap();
+        let b = CollectionManifest {
+            task: "bloom".into(),
+            shards: Some(4),
+            shard_by: Some("hash".into()),
+        };
+        save_manifest(&collection_dir(&root, "tenant-b"), &b).unwrap();
+        let wal = collection_dir(&root, "tenant-b").join(COLLECTION_WAL);
+        std::fs::create_dir_all(&wal).unwrap();
+        std::fs::write(wal.join("wal.log"), vec![0u8; 128]).unwrap();
+        std::fs::create_dir_all(root.join("no-manifest-here")).unwrap();
+        std::fs::write(root.join("stray-file"), b"x").unwrap();
+
+        let found = discover_collections(&root).unwrap();
+        assert_eq!(
+            found.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["tenant-a", "tenant-b"]
+        );
+        assert_eq!(found[0].manifest, a);
+        assert!(!found[0].has_wal);
+        assert!(found[0].disk_bytes > 0);
+        assert_eq!(found[1].manifest.shards, Some(4));
+        assert!(found[1].has_wal);
+        assert!(found[1].disk_bytes >= 128, "wal bytes counted");
+        // Direct inspection agrees with the scan; invalid names are refused.
+        assert_eq!(inspect_collection(&root, "tenant-b").unwrap(), found[1]);
+        assert!(inspect_collection(&root, "../escape").is_err());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -222,45 +222,6 @@ impl LearnedBloom {
         outcomes
     }
 
-    /// Multi-set multi-membership querying (the paper's §9 future-work
-    /// direction): answers every query in one batched forward pass through
-    /// the shared model, then rescues per-query false negatives from the
-    /// backup filter.
-    #[deprecated(
-        since = "0.1.0",
-        note = "superseded by the unified query API: use \
-                LearnedSetStructure::query_batch (values are identical, plus \
-                degradation flags)"
-    )]
-    pub fn contains_many<S: AsRef<[u32]>>(&self, queries: &[S]) -> Vec<bool> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let scores = self.model.predict_batch(queries);
-        self.outcomes_for_scores(queries, scores).into_iter().map(|o| o.value).collect()
-    }
-
-    /// [`LearnedBloom::contains_many`] with the forward pass split across
-    /// `threads` scoped workers (mirroring
-    /// [`LearnedCardinality::estimate_batch_parallel`][crate::tasks::LearnedCardinality::estimate_batch_parallel]).
-    /// Answers are bit-for-bit equal to the sequential batch path.
-    #[deprecated(
-        since = "0.1.0",
-        note = "superseded by the unified query API: use \
-                LearnedSetStructure::query_batch_parallel"
-    )]
-    pub fn contains_many_parallel<S: AsRef<[u32]> + Sync>(
-        &self,
-        queries: &[S],
-        threads: usize,
-    ) -> Vec<bool> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let scores = self.model.predict_batch_parallel(queries, threads);
-        self.outcomes_for_scores(queries, scores).into_iter().map(|o| o.value).collect()
-    }
-
     /// Raw classifier probability (for threshold tuning / diagnostics).
     pub fn score(&self, q: &[u32]) -> f32 {
         self.model.predict_one(q)
@@ -405,9 +366,6 @@ mod tests {
     }
 
     #[test]
-    // Exercises the deprecated per-task verbs on purpose: the unified
-    // query API must stay bit-equal to them until they are removed.
-    #[allow(deprecated)]
     fn nan_model_degrades_to_backup_filter_and_counts_fallbacks() {
         let c = GeneratorConfig::rw(300, 31).generate();
         let workload = membership_queries(&c, 200, 200, 4, 3);
@@ -432,7 +390,8 @@ mod tests {
         for s in &backup_covered {
             assert!(filter.contains(s), "backup-covered positive lost");
         }
-        let _ = filter.contains_many(&workload.iter().map(|(s, _)| s).collect::<Vec<_>>());
+        let batch_queries: Vec<ElementSet> = workload.iter().map(|(s, _)| s.clone()).collect();
+        let _ = filter.query_batch(&batch_queries);
         assert!(
             filter.serve_guard().non_finite_fallbacks() > 0,
             "poisoned scores must be counted as fallbacks"
@@ -440,24 +399,19 @@ mod tests {
     }
 
     #[test]
-    // Exercises the deprecated per-task verbs on purpose: the unified
-    // query API must stay bit-equal to them until they are removed.
-    #[allow(deprecated)]
     fn parallel_batch_membership_equals_sequential() {
         let c = GeneratorConfig::rw(300, 7).generate();
         let workload = membership_queries(&c, 200, 200, 4, 5);
         let (filter, _) = LearnedBloom::build(&workload, &quick_cfg(c.num_elements()));
         let queries: Vec<ElementSet> = workload.iter().map(|(s, _)| s.clone()).collect();
-        let sequential = filter.contains_many(&queries);
-        for threads in [1, 2, 5] {
-            let parallel = filter.contains_many_parallel(&queries, threads);
-            assert_eq!(parallel, sequential, "threads={threads}");
-        }
-        // The trait surface agrees with the task-specific paths.
+        // Batched answers agree with single-probe answers, sequentially and
+        // across worker counts.
         let outcomes = filter.query_batch(&queries);
-        assert_eq!(outcomes, filter.query_batch_parallel(&queries, 3));
-        for (outcome, want) in outcomes.iter().zip(&sequential) {
-            assert_eq!(outcome.value, *want);
+        for (q, outcome) in queries.iter().zip(&outcomes) {
+            assert_eq!(outcome.value, filter.contains(q));
+        }
+        for threads in [1, 2, 5] {
+            assert_eq!(outcomes, filter.query_batch_parallel(&queries, threads), "threads={threads}");
         }
     }
 

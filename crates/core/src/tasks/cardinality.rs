@@ -206,45 +206,6 @@ impl LearnedCardinality {
         self.scaler.unscale(self.model.predict_one(q))
     }
 
-    /// Batched estimation: one forward pass through the model for all
-    /// queries, with outlier-store and delta-layer corrections applied per
-    /// query. Equivalent to mapping [`LearnedCardinality::estimate`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "superseded by the unified query API: use \
-                LearnedSetStructure::query_batch (values are identical, plus \
-                degradation flags)"
-    )]
-    pub fn estimate_batch<S: AsRef<[u32]>>(&self, queries: &[S]) -> Vec<f64> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let scores = self.model.predict_batch(queries);
-        self.correct_batch(queries, scores).into_iter().map(|o| o.value).collect()
-    }
-
-    /// [`LearnedCardinality::estimate_batch`] with the model forward pass
-    /// split across `threads` scoped workers
-    /// ([`DeepSets::predict_batch_parallel`]). The outlier-store and
-    /// delta-layer corrections are applied identically, so the answers are
-    /// bit-for-bit equal to the sequential batch path.
-    #[deprecated(
-        since = "0.1.0",
-        note = "superseded by the unified query API: use \
-                LearnedSetStructure::query_batch_parallel"
-    )]
-    pub fn estimate_batch_parallel<S: AsRef<[u32]> + Sync>(
-        &self,
-        queries: &[S],
-        threads: usize,
-    ) -> Vec<f64> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let scores = self.model.predict_batch_parallel(queries, threads);
-        self.correct_batch(queries, scores).into_iter().map(|o| o.value).collect()
-    }
-
     /// Registers an inserted set (§7.2): all its subsets gain one occurrence
     /// in the delta layer until the model is retrained.
     pub fn note_inserted_set(&mut self, set: &[u32]) {
@@ -382,9 +343,6 @@ mod tests {
     }
 
     #[test]
-    // Exercises the deprecated per-task verbs on purpose: the unified
-    // query API must stay bit-equal to them until they are removed.
-    #[allow(deprecated)]
     fn parallel_batch_estimates_equal_sequential() {
         let collection = GeneratorConfig::sd(300, 7).generate();
         let (est, _) = LearnedCardinality::build(
@@ -393,9 +351,14 @@ mod tests {
         );
         let queries: Vec<_> =
             SubsetIndex::build(&collection, 3).iter().map(|(s, _)| s.clone()).collect();
-        let sequential = est.estimate_batch(&queries);
+        let sequential: Vec<f64> =
+            est.query_batch(&queries).into_iter().map(|o| o.value).collect();
         for threads in [1, 2, 4] {
-            let parallel = est.estimate_batch_parallel(&queries, threads);
+            let parallel: Vec<f64> = est
+                .query_batch_parallel(&queries, threads)
+                .into_iter()
+                .map(|o| o.value)
+                .collect();
             assert_eq!(parallel, sequential, "{threads}-thread answers diverged");
         }
     }

@@ -304,23 +304,8 @@ impl LearnedSetIndex {
         profiles
     }
 
-    /// Batched lookup: one model forward pass for all queries, followed by
-    /// per-query bounded scans. Equivalent to mapping
-    /// [`LearnedSetIndex::lookup`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "superseded by the unified query API: bind the collection with \
-                IndexStructure and use LearnedSetStructure::query_batch"
-    )]
-    pub fn lookup_batch<S: AsRef<[u32]>>(
-        &self,
-        collection: &SetCollection,
-        queries: &[S],
-    ) -> Vec<Option<usize>> {
-        self.lookup_batch_profiled(collection, queries).into_iter().map(|p| p.position).collect()
-    }
-
-    /// [`LearnedSetIndex::lookup_batch`] with scan-effort accounting.
+    /// Batched lookup with scan-effort accounting: one model forward pass
+    /// for all queries, followed by per-query bounded scans.
     pub fn lookup_batch_profiled<S: AsRef<[u32]>>(
         &self,
         collection: &SetCollection,
@@ -331,33 +316,6 @@ impl LearnedSetIndex {
         }
         let scores = self.model.predict_batch(queries);
         self.profiles_for_scores(collection, queries, scores)
-    }
-
-    /// [`LearnedSetIndex::lookup_batch`] with the forward pass split across
-    /// `threads` scoped workers (mirroring
-    /// [`LearnedCardinality::estimate_batch_parallel`][crate::tasks::LearnedCardinality::estimate_batch_parallel]).
-    /// The scans stay sequential — they are bounded and cheap next to the
-    /// forward pass — so answers are bit-for-bit equal to the sequential
-    /// batch path.
-    #[deprecated(
-        since = "0.1.0",
-        note = "superseded by the unified query API: bind the collection with \
-                IndexStructure and use LearnedSetStructure::query_batch_parallel"
-    )]
-    pub fn lookup_batch_parallel<S: AsRef<[u32]> + Sync>(
-        &self,
-        collection: &SetCollection,
-        queries: &[S],
-        threads: usize,
-    ) -> Vec<Option<usize>> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let scores = self.model.predict_batch_parallel(queries, threads);
-        self.profiles_for_scores(collection, queries, scores)
-            .into_iter()
-            .map(|p| p.position)
-            .collect()
     }
 
     /// Raw model estimate of the position (no scan) — for accuracy metrics.
@@ -585,9 +543,6 @@ mod tests {
     }
 
     #[test]
-    // Exercises the deprecated per-task verbs on purpose: the unified
-    // query API must stay bit-equal to them until they are removed.
-    #[allow(deprecated)]
     fn nan_model_lookups_stay_correct_via_full_scan_fallback() {
         let collection = GeneratorConfig::rw(150, 21).generate();
         let (mut index, _) = LearnedSetIndex::build(
@@ -619,16 +574,13 @@ mod tests {
         assert_eq!(index.serve_guard().non_finite_fallbacks(), fallbacks);
         // Batched lookups degrade identically.
         let queries: Vec<&[u32]> = subsets.iter().take(20).map(|(s, _)| &**s).collect();
-        let batch = index.lookup_batch(&collection, &queries);
+        let batch = index.lookup_batch_profiled(&collection, &queries);
         for (q, got) in queries.iter().zip(&batch) {
-            assert_eq!(*got, index.lookup(&collection, q));
+            assert_eq!(got.position, index.lookup(&collection, q));
         }
     }
 
     #[test]
-    // Exercises the deprecated per-task verbs on purpose: the unified
-    // query API must stay bit-equal to them until they are removed.
-    #[allow(deprecated)]
     fn parallel_batch_lookups_equal_sequential() {
         let collection = GeneratorConfig::rw(300, 21).generate();
         let (index, _) = LearnedSetIndex::build(
@@ -637,19 +589,21 @@ mod tests {
         );
         let subsets = SubsetIndex::build(&collection, 3);
         let queries: Vec<ElementSet> = subsets.iter().map(|(s, _)| s.clone()).collect();
-        let sequential = index.lookup_batch(&collection, &queries);
-        for threads in [1, 2, 5] {
-            let parallel = index.lookup_batch_parallel(&collection, &queries, threads);
-            assert_eq!(parallel, sequential, "threads={threads}");
-        }
-        // The trait surface agrees with the task-specific paths.
-        let structure =
-            IndexStructure { index, collection: Arc::new(collection) };
+        let sequential: Vec<Option<usize>> = index
+            .lookup_batch_profiled(&collection, &queries)
+            .into_iter()
+            .map(|p| p.position)
+            .collect();
+        // The trait surface agrees with the profiled path, sequentially and
+        // across worker counts.
+        let structure = IndexStructure { index, collection: Arc::new(collection) };
         let outcomes = structure.query_batch(&queries);
-        let outcomes_par = structure.query_batch_parallel(&queries, 3);
-        assert_eq!(outcomes, outcomes_par);
         for (outcome, want) in outcomes.iter().zip(&sequential) {
             assert_eq!(outcome.value, *want);
+        }
+        for threads in [1, 2, 5] {
+            let outcomes_par = structure.query_batch_parallel(&queries, threads);
+            assert_eq!(outcomes, outcomes_par, "threads={threads}");
         }
     }
 

@@ -99,6 +99,70 @@ pub(crate) fn take_u64(input: &mut &[u8]) -> Result<u64, WireDecodeError> {
 }
 
 // ---------------------------------------------------------------------------
+// Collection ids (SLP1 v2 addressing)
+// ---------------------------------------------------------------------------
+
+/// Longest collection id accepted on the wire. Ids are operator-chosen
+/// names, not user data; a one-byte length prefix is plenty and keeps the
+/// v2 frame overhead fixed and tiny.
+pub const MAX_COLLECTION_ID_LEN: usize = 64;
+
+/// Whether `name` is a valid collection id: non-empty, at most
+/// [`MAX_COLLECTION_ID_LEN`] bytes, drawn from `[A-Za-z0-9_-]`. The
+/// character set is restricted so a collection id can double as a
+/// directory name under the collections root and as a metric label value
+/// without escaping.
+pub fn valid_collection_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_COLLECTION_ID_LEN
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Appends a length-prefixed collection id to `out`: `u8` byte length,
+/// then the id bytes. An empty id (length 0) is legal on the wire and
+/// means "the server's default collection".
+///
+/// # Panics
+/// If `name` is non-empty and not a [`valid_collection_name`] — encoding
+/// an invalid id is a caller bug, not a wire condition.
+pub fn encode_collection_id(out: &mut Vec<u8>, name: &str) {
+    assert!(
+        name.is_empty() || valid_collection_name(name),
+        "invalid collection id {name:?}"
+    );
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Decodes a length-prefixed collection id from the front of `input`,
+/// advancing it. Returns `None` for a zero-length id (default collection).
+/// Rejects over-long declared lengths, truncation, and ids containing
+/// bytes outside the valid name alphabet.
+pub fn decode_collection_id(input: &mut &[u8]) -> Result<Option<String>, WireDecodeError> {
+    let len = take_u8(input)? as usize;
+    if len == 0 {
+        return Ok(None);
+    }
+    if len > MAX_COLLECTION_ID_LEN {
+        return Err(WireDecodeError::BadLength { what: "collection id", len });
+    }
+    if input.len() < len {
+        return Err(WireDecodeError::Truncated);
+    }
+    let (head, rest) = input.split_at(len);
+    *input = rest;
+    let name = std::str::from_utf8(head)
+        .map_err(|_| WireDecodeError::BadTag { what: "collection id", tag: head[0] })?;
+    if !valid_collection_name(name) {
+        return Err(WireDecodeError::BadTag {
+            what: "collection id",
+            tag: name.bytes().find(|b| !b.is_ascii_alphanumeric() && *b != b'_' && *b != b'-').unwrap_or(0),
+        });
+    }
+    Ok(Some(name.to_string()))
+}
+
+// ---------------------------------------------------------------------------
 // WireTask
 // ---------------------------------------------------------------------------
 
@@ -445,6 +509,43 @@ mod tests {
         }));
         roundtrip_response(QueryResponse::from(QueryOutcome::clean(true)));
         roundtrip_response(QueryResponse::from(QueryOutcome::clean(false)));
+    }
+
+    #[test]
+    fn collection_ids_roundtrip_and_reject_garbage() {
+        for name in ["t", "tenant-a", "a_b-C9", &"x".repeat(MAX_COLLECTION_ID_LEN)] {
+            assert!(valid_collection_name(name), "{name}");
+            let mut buf = Vec::new();
+            encode_collection_id(&mut buf, name);
+            let mut slice = buf.as_slice();
+            assert_eq!(decode_collection_id(&mut slice).unwrap().as_deref(), Some(name));
+            assert!(slice.is_empty());
+        }
+        // Empty id = default collection.
+        let mut buf = Vec::new();
+        encode_collection_id(&mut buf, "");
+        assert_eq!(buf, vec![0]);
+        assert_eq!(decode_collection_id(&mut buf.as_slice()).unwrap(), None);
+        // Invalid names are rejected both at validation and decode time.
+        for bad in ["", "has space", "dot.dot", "sla/sh", &"x".repeat(65)] {
+            assert!(!valid_collection_name(bad), "{bad:?}");
+        }
+        let mut slice: &[u8] = &[3, b'a', b' ', b'b'];
+        assert!(decode_collection_id(&mut slice).is_err());
+        // Over-long declared length and truncation error out cleanly.
+        let mut slice: &[u8] = &[65];
+        assert!(matches!(
+            decode_collection_id(&mut slice),
+            Err(WireDecodeError::BadLength { .. })
+        ));
+        let mut slice: &[u8] = &[5, b'a', b'b'];
+        assert!(matches!(
+            decode_collection_id(&mut slice),
+            Err(WireDecodeError::Truncated)
+        ));
+        // Non-UTF-8 id bytes are a tag error, not a panic.
+        let mut slice: &[u8] = &[2, 0xFF, 0xFE];
+        assert!(decode_collection_id(&mut slice).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::task::StructureTask;
 use crate::telemetry::RuntimeTele;
 use setlearn::mutable::{DeltaMergeable, MutableCollection};
 use setlearn_data::SetCollection;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -48,6 +48,7 @@ impl Default for CompactorConfig {
 pub struct CompactorHandle {
     stop: Arc<(Mutex<bool>, Condvar)>,
     compactions: Arc<AtomicU64>,
+    compacting: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -55,6 +56,13 @@ impl CompactorHandle {
     /// Number of compactions the daemon has completed and published.
     pub fn compactions(&self) -> u64 {
         self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Whether a compaction (snapshot → retrain → fold → publish) is in
+    /// flight right now. The registry's eviction pass checks this: a
+    /// collection mid-compaction is never evicted.
+    pub fn is_compacting(&self) -> bool {
+        self.compacting.load(Ordering::SeqCst)
     }
 
     /// Signals the daemon to exit and joins it.
@@ -94,8 +102,40 @@ impl Drop for CompactorHandle {
 pub fn spawn_compactor<S, F>(
     collection: Arc<MutableCollection<S>>,
     slot: Arc<HotSwap<StructureTask<Arc<MutableCollection<S>>>>>,
+    rebuild: F,
+    config: CompactorConfig,
+) -> CompactorHandle
+where
+    S: DeltaMergeable + Send + Sync + 'static,
+    S::Output: Send + 'static,
+    F: FnMut(&SetCollection) -> Option<S> + Send + 'static,
+{
+    spawn_compactor_inner(collection, slot, rebuild, config, None)
+}
+
+/// [`spawn_compactor`] for one named collection in a registry: the swap
+/// counter the daemon bumps on publish carries a `collection` label.
+pub fn spawn_compactor_named<S, F>(
+    collection: Arc<MutableCollection<S>>,
+    slot: Arc<HotSwap<StructureTask<Arc<MutableCollection<S>>>>>,
+    rebuild: F,
+    config: CompactorConfig,
+    name: &str,
+) -> CompactorHandle
+where
+    S: DeltaMergeable + Send + Sync + 'static,
+    S::Output: Send + 'static,
+    F: FnMut(&SetCollection) -> Option<S> + Send + 'static,
+{
+    spawn_compactor_inner(collection, slot, rebuild, config, Some(name))
+}
+
+fn spawn_compactor_inner<S, F>(
+    collection: Arc<MutableCollection<S>>,
+    slot: Arc<HotSwap<StructureTask<Arc<MutableCollection<S>>>>>,
     mut rebuild: F,
     config: CompactorConfig,
+    name: Option<&str>,
 ) -> CompactorHandle
 where
     S: DeltaMergeable + Send + Sync + 'static,
@@ -104,9 +144,14 @@ where
 {
     let stop = Arc::new((Mutex::new(false), Condvar::new()));
     let compactions = Arc::new(AtomicU64::new(0));
+    let compacting = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let compactions2 = Arc::clone(&compactions);
-    let tele = RuntimeTele::new(S::NAME);
+    let compacting2 = Arc::clone(&compacting);
+    let tele = match name {
+        Some(name) => RuntimeTele::named(S::NAME, name),
+        None => RuntimeTele::new(S::NAME),
+    };
     let thread = std::thread::spawn(move || {
         let (lock, cvar) = &*stop2;
         loop {
@@ -128,24 +173,34 @@ where
             if stats.pending_ops == 0 || !(over_size || over_age) {
                 continue;
             }
-            let Ok(Some(snapshot)) = collection.begin_compaction() else { continue };
-            if snapshot.merged.is_empty() {
-                // Nothing to train on (every row deleted): leave the delta
-                // pending; the structures cannot represent an empty base.
-                continue;
-            }
-            let Some(structure) = rebuild(&snapshot.merged) else { continue };
-            if collection.complete_compaction(structure, snapshot).is_err() {
-                // The watermark did not advance; replay still covers the
-                // delta, the retrained model is simply dropped.
-                continue;
-            }
-            let version = slot.publish(StructureTask::new(Arc::clone(&collection)));
+            // The in-flight flag pins the collection against registry
+            // eviction from snapshot to publish; a scope guard would be
+            // overkill since every early exit below funnels through one
+            // `store(false)`.
+            compacting2.store(true, Ordering::SeqCst);
+            let published = (|| {
+                let Ok(Some(snapshot)) = collection.begin_compaction() else { return None };
+                if snapshot.merged.is_empty() {
+                    // Nothing to train on (every row deleted): leave the
+                    // delta pending; the structures cannot represent an
+                    // empty base.
+                    return None;
+                }
+                let structure = rebuild(&snapshot.merged)?;
+                if collection.complete_compaction(structure, snapshot).is_err() {
+                    // The watermark did not advance; replay still covers
+                    // the delta, the retrained model is simply dropped.
+                    return None;
+                }
+                Some(slot.publish(StructureTask::new(Arc::clone(&collection))))
+            })();
+            compacting2.store(false, Ordering::SeqCst);
+            let Some(version) = published else { continue };
             compactions2.fetch_add(1, Ordering::Relaxed);
             tele.record_swap(version, "compaction");
         }
     });
-    CompactorHandle { stop, compactions, thread: Some(thread) }
+    CompactorHandle { stop, compactions, compacting, thread: Some(thread) }
 }
 
 #[cfg(test)]

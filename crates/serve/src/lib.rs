@@ -43,13 +43,14 @@ pub mod net;
 pub mod proto;
 pub mod queue;
 pub mod refresh;
+pub mod registry;
 pub mod request;
 pub mod runtime;
 pub mod sharded;
 pub mod task;
 pub(crate) mod telemetry;
 
-pub use compact::{spawn_compactor, CompactorConfig, CompactorHandle};
+pub use compact::{spawn_compactor, spawn_compactor_named, CompactorConfig, CompactorHandle};
 pub use error::ServeError;
 pub use net::{MutableBackend, NetClient, NetConfig, NetError, NetServer, WireBackend};
 pub use proto::{
@@ -58,6 +59,9 @@ pub use proto::{
 pub use hotswap::{Cached, HotSwap};
 pub use queue::BoundedQueue;
 pub use refresh::{spawn_refresh, Rebuilt, RefreshConfig, RefreshHandle};
+pub use registry::{
+    AdminError, CollectionRegistry, QuotaConfig, RegistryConfig, ResolveError, Resident,
+};
 pub use request::RequestCtx;
 pub use runtime::{ServeConfig, ServeReport, ServeRuntime, ServeStats, Ticket};
 pub use sharded::{Aggregator, FanoutTicket, ShardedReport, ShardedRuntime};
@@ -113,6 +117,9 @@ const _: () = {
     assert_send_sync::<ShardedRuntime<CardinalityTask>>();
     assert_send_sync::<ShardedRuntime<BloomTask>>();
     assert_send_sync::<ServeError>();
+    // The multi-tenant registry shared across connection handlers.
+    assert_send_sync::<CollectionRegistry>();
+    assert_send_sync::<Resident>();
     // Tracing contexts shared between connection handlers and workers.
     assert_send_sync::<RequestCtx>();
     // The monitor shared between serve observers and the refresh daemon.

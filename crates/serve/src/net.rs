@@ -30,14 +30,18 @@
 
 use crate::error::ServeError;
 use crate::proto::{
-    decode_health_report, decode_ingest_ack, decode_ingest_request, decode_request_batch,
-    decode_response_batch, decode_stats_reply, decode_stats_request, encode_error_response,
-    encode_frame, encode_health_report, encode_ingest_ack, encode_ingest_request,
+    decode_admin_ack, decode_collection_name, decode_collections_reply, decode_health_report,
+    decode_ingest_ack, decode_ingest_request, decode_request_batch, decode_response_batch,
+    decode_stats_reply, decode_stats_request, encode_collection_name, encode_collections_reply,
+    encode_error_response, encode_frame, encode_frame_echoing, encode_frame_v2,
+    encode_health_report, encode_health_report_v2, encode_ingest_ack, encode_ingest_request,
     encode_request_batch_traced, encode_response_batch, encode_stats_reply, encode_stats_request,
-    read_frame, ErrorCode, HealthReport, IngestAck, IngestRequest, ProtoError, StatsFormat,
-    WireOutcome, ADMIN_KIND_MAX, ADMIN_KIND_MIN, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_HEALTH,
-    KIND_INGEST, KIND_PING, KIND_SHUTDOWN, KIND_STATS, MAGIC, VERSION,
+    read_frame, CollectionInfo, ErrorCode, Frame, HealthReport, IngestAck, IngestRequest,
+    ProtoError, StatsFormat, WireOutcome, ADMIN_KIND_MAX, ADMIN_KIND_MIN,
+    DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, KIND_ATTACH, KIND_COLLECTIONS, KIND_DETACH, KIND_HEALTH,
+    KIND_INGEST, KIND_PING, KIND_SHUTDOWN, KIND_STATS, MAGIC, VERSION, VERSION_V2,
 };
+use crate::registry::{AdminError, CollectionRegistry, ResolveError, Resident};
 use crate::request::RequestCtx;
 use crate::runtime::ServeRuntime;
 use crate::sharded::ShardedRuntime;
@@ -331,11 +335,21 @@ pub struct NetServer {
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
+/// What a server routes frames into: one backend, or a whole registry.
+enum Serving {
+    /// Classic single-tenant serving: every query frame goes to this
+    /// backend; frames addressing a named collection are refused.
+    Single(Arc<dyn WireBackend>),
+    /// Multi-tenant serving: frames resolve through the registry by
+    /// collection id (v1 frames route to the registry's default).
+    Registry(Arc<CollectionRegistry>),
+}
+
 /// State shared between the accept loop, every connection handler, and the
-/// [`NetServer`] handle: the backend, the config, the lifecycle flags, the
-/// slow-query ring, and the cached metric handles.
+/// [`NetServer`] handle: the serving target, the config, the lifecycle
+/// flags, the slow-query ring, and the cached metric handles.
 struct ServerShared {
-    backend: Arc<dyn WireBackend>,
+    serving: Serving,
     config: NetConfig,
     /// Hard stop: the accept loop exits and idle handlers disconnect.
     shutdown: AtomicBool,
@@ -360,16 +374,41 @@ impl NetServer {
         backend: Arc<dyn WireBackend>,
         config: NetConfig,
     ) -> io::Result<NetServer> {
+        let tele = NetTele::new(backend.wire_task().label());
+        Self::bind_serving(addr, Serving::Single(backend), config, tele)
+    }
+
+    /// Binds `addr` and serves every collection in `registry`: SLP1 v2
+    /// frames route by their collection id (loading checkpoints lazily),
+    /// v1 frames route to the registry's default collection, and the
+    /// collection admin frames (list/attach/detach) are live.
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<CollectionRegistry>,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        // Connection-level telemetry is not per-collection (a connection
+        // may address many); per-frame latency lands on each resident's
+        // own collection-labeled handles.
+        let tele = NetTele::new("registry");
+        Self::bind_serving(addr, Serving::Registry(registry), config, tele)
+    }
+
+    fn bind_serving(
+        addr: impl ToSocketAddrs,
+        serving: Serving,
+        config: NetConfig,
+        tele: NetTele,
+    ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let tele = NetTele::new(backend.wire_task().label());
         let slow_log = SlowQueryLog::new(config.slow_log_capacity);
         if let Some(threshold) = config.slow_query_threshold {
             slow_log.set_threshold_us(threshold.as_micros().min(u64::MAX as u128) as u64);
         }
         let shared = Arc::new(ServerShared {
-            backend,
+            serving,
             config,
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -550,7 +589,8 @@ fn read_frame_polling(
     }
     let kind = header[5];
     let id = u64::from_le_bytes(header[6..14].try_into().expect("fixed slice"));
-    if header[4] != VERSION {
+    let version = header[4];
+    if version != VERSION && version != VERSION_V2 {
         tele.record_protocol_error(ErrorCode::UnsupportedVersion);
         return FrameRead::Refuse { kind, id, code: ErrorCode::UnsupportedVersion };
     }
@@ -571,13 +611,48 @@ fn read_frame_polling(
         tele.record_protocol_error(ErrorCode::BadFrame);
         return FrameRead::Refuse { kind, id, code: ErrorCode::BadFrame };
     }
-    FrameRead::Frame(crate::proto::Frame { kind, id, payload })
+    // A v2 payload opens with the length-prefixed collection id (covered by
+    // the CRC above); a truncated or garbled field is a typed BadFrame, not
+    // a hang or a misparse of the remaining body.
+    let collection = if version == VERSION_V2 {
+        let mut input = payload.as_slice();
+        match setlearn::wire::decode_collection_id(&mut input) {
+            Ok(collection) => {
+                payload = input.to_vec();
+                collection
+            }
+            Err(_) => {
+                tele.record_protocol_error(ErrorCode::BadFrame);
+                return FrameRead::Refuse { kind, id, code: ErrorCode::BadFrame };
+            }
+        }
+    } else {
+        None
+    };
+    FrameRead::Frame(Frame { version, kind, id, collection, payload })
 }
 
-/// Writes a frame, counting the bytes. Returns `false` when the connection
-/// should close (write failure or timeout).
+/// Writes a v1 frame, counting the bytes. Returns `false` when the
+/// connection should close (write failure or timeout). Used for refusals
+/// where no decoded request frame exists to echo.
 fn write_response(stream: &mut TcpStream, kind: u8, id: u64, payload: &[u8], tele: &NetTele) -> bool {
-    let bytes = encode_frame(kind, id, payload);
+    write_bytes(stream, encode_frame(kind, id, payload), tele)
+}
+
+/// Writes a response echoing `request`'s version (and, for v2, its
+/// collection id), so v1 clients keep receiving bit-identical v1 frames
+/// while v2 clients can match responses to the collection they addressed.
+fn write_response_to(
+    stream: &mut TcpStream,
+    request: &Frame,
+    kind: u8,
+    payload: &[u8],
+    tele: &NetTele,
+) -> bool {
+    write_bytes(stream, encode_frame_echoing(request, kind, payload), tele)
+}
+
+fn write_bytes(stream: &mut TcpStream, bytes: Vec<u8>, tele: &NetTele) -> bool {
     match stream.write_all(&bytes).and_then(|()| stream.flush()) {
         Ok(()) => {
             tele.record_bytes_out(bytes.len());
@@ -590,17 +665,36 @@ fn write_response(stream: &mut TcpStream, kind: u8, id: u64, payload: &[u8], tel
 /// Computes the health verdict answered to a `KIND_HEALTH` frame.
 ///
 /// Verdict rules (see `DESIGN.md` §13): the server is *not ready* while
-/// draining or while the admission queue is ≥90% saturated. WAL tail
-/// truncations, compactor lag, and a never-swapped model are evidence
-/// (reasons) but do not by themselves flip readiness.
+/// draining or while the admission queue is ≥90% saturated (in registry
+/// mode, the most saturated resident queue). WAL tail truncations,
+/// compactor lag, and a never-swapped model are evidence (reasons) but do
+/// not by themselves flip readiness.
 fn health_report(shared: &ServerShared) -> HealthReport {
-    let (depth, capacity) = shared.backend.queue_stats();
+    let (depth, capacity, shards, model_version) = match &shared.serving {
+        Serving::Single(backend) => {
+            let (d, c) = backend.queue_stats();
+            (d, c, backend.shards(), backend.model_version())
+        }
+        Serving::Registry(registry) => {
+            let (d, c) = registry.worst_queue();
+            (d, c, 1, 0)
+        }
+    };
+    let (resident_collections, collection_pending) = match &shared.serving {
+        Serving::Single(_) => (1, Vec::new()),
+        Serving::Registry(registry) => {
+            (registry.resident_count(), registry.collection_pending())
+        }
+    };
     let draining = shared.draining.load(Ordering::SeqCst)
         || shared.shutdown.load(Ordering::SeqCst);
     let saturated = capacity > 0 && depth * 10 >= capacity * 9;
     let wal_truncations =
         setlearn_obs::metrics().counter_with("setlearn_wal_truncated_tail_total", &[]).get();
-    let compactor_pending = shared.backend.pending_ingest();
+    let compactor_pending = match &shared.serving {
+        Serving::Single(backend) => backend.pending_ingest(),
+        Serving::Registry(_) => collection_pending.iter().map(|(_, n)| n).sum(),
+    };
     let mut reasons = Vec::new();
     if draining {
         reasons.push("draining: graceful shutdown in progress".to_string());
@@ -619,17 +713,44 @@ fn health_report(shared: &ServerShared) -> HealthReport {
         draining,
         queue_depth: depth as u64,
         queue_capacity: capacity as u64,
-        shards: shared.backend.shards(),
+        shards,
         wal_truncations,
         compactor_pending,
-        model_version: shared.backend.model_version(),
+        model_version,
         reasons,
+        resident_collections,
+        collection_pending,
+    }
+}
+
+/// A resolved frame target: the backend serving it and, in registry mode,
+/// the resident whose quota and telemetry govern the frame.
+type ResolvedTarget = (Arc<dyn WireBackend>, Option<Arc<Resident>>);
+
+/// Resolves a frame's collection id to the backend serving it (plus, in
+/// registry mode, the resident whose quota and telemetry govern the frame).
+fn resolve_target(
+    serving: &Serving,
+    collection: Option<&str>,
+) -> Result<ResolvedTarget, ErrorCode> {
+    match serving {
+        Serving::Single(backend) => match collection {
+            // A single-tenant server has no registry to look names up in.
+            Some(_) => Err(ErrorCode::UnknownCollection),
+            None => Ok((Arc::clone(backend), None)),
+        },
+        Serving::Registry(registry) => match registry.resolve(collection) {
+            Ok(resident) => Ok((Arc::clone(resident.backend()), Some(resident))),
+            Err(ResolveError::Loading(_)) => Err(ErrorCode::CollectionLoading),
+            Err(ResolveError::Unknown(_) | ResolveError::Failed(..)) => {
+                Err(ErrorCode::UnknownCollection)
+            }
+        },
     }
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
     let config = &shared.config;
-    let backend = &shared.backend;
     let shutdown = &shared.shutdown;
     let tele = &shared.tele;
     // The poll tick is the *read* timeout at the syscall level; the
@@ -641,7 +762,6 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         return;
     }
     tele.connection_opened();
-    let served_task = backend.wire_task();
     loop {
         let frame = match read_frame_polling(&mut stream, config, shutdown, tele) {
             FrameRead::Frame(frame) => frame,
@@ -654,7 +774,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
         let started = Instant::now();
         match frame.kind {
             KIND_PING => {
-                if !write_response(&mut stream, KIND_PING, frame.id, &encode_response_batch(&[]), tele)
+                if !write_response_to(&mut stream, &frame, KIND_PING, &encode_response_batch(&[]), tele)
                 {
                     break;
                 }
@@ -675,33 +795,51 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                         encode_error_response(ErrorCode::BadFrame)
                     }
                 };
-                if !write_response(&mut stream, KIND_STATS, frame.id, &payload, tele) {
+                if !write_response_to(&mut stream, &frame, KIND_STATS, &payload, tele) {
                     break;
                 }
             }
             KIND_HEALTH => {
-                let payload = encode_health_report(&health_report(&shared));
-                if !write_response(&mut stream, KIND_HEALTH, frame.id, &payload, tele) {
+                let report = health_report(&shared);
+                // A v2 client gets the extended body (resident collections,
+                // per-collection pending ops); a v1 client gets the exact
+                // pre-registry byte layout.
+                let payload = if frame.version == VERSION_V2 {
+                    encode_health_report_v2(&report)
+                } else {
+                    encode_health_report(&report)
+                };
+                if !write_response_to(&mut stream, &frame, KIND_HEALTH, &payload, tele) {
                     break;
                 }
             }
             KIND_INGEST => {
-                let payload = match decode_ingest_request(&frame.payload) {
-                    Ok(request) => match backend.submit_ingest(request) {
-                        Ok(ack) => encode_ingest_ack(ack),
-                        Err(code) => {
-                            tele.record_protocol_error(code);
-                            encode_error_response(code)
+                let resolved = resolve_target(&shared.serving, frame.collection.as_deref());
+                let payload = match resolved {
+                    Err(code) => {
+                        tele.record_protocol_error(code);
+                        encode_error_response(code)
+                    }
+                    Ok((backend, resident)) => match decode_ingest_request(&frame.payload) {
+                        Ok(request) => match backend.submit_ingest(request) {
+                            Ok(ack) => {
+                                let ftele =
+                                    resident.as_ref().map(|r| r.tele()).unwrap_or(tele);
+                                ftele.record_ingest(started.elapsed());
+                                encode_ingest_ack(ack)
+                            }
+                            Err(code) => {
+                                tele.record_protocol_error(code);
+                                encode_error_response(code)
+                            }
+                        },
+                        Err(_) => {
+                            tele.record_protocol_error(ErrorCode::BadFrame);
+                            encode_error_response(ErrorCode::BadFrame)
                         }
                     },
-                    Err(_) => {
-                        tele.record_protocol_error(ErrorCode::BadFrame);
-                        encode_error_response(ErrorCode::BadFrame)
-                    }
                 };
-                let ok = write_response(&mut stream, KIND_INGEST, frame.id, &payload, tele);
-                tele.record_ingest(started.elapsed());
-                if !ok {
+                if !write_response_to(&mut stream, &frame, KIND_INGEST, &payload, tele) {
                     break;
                 }
             }
@@ -709,8 +847,13 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 if config.allow_remote_shutdown {
                     // Ack first, then raise the flag: the requester gets its
                     // answer before the drain starts closing things.
-                    let ok =
-                        write_response(&mut stream, KIND_SHUTDOWN, frame.id, &encode_response_batch(&[]), tele);
+                    let ok = write_response_to(
+                        &mut stream,
+                        &frame,
+                        KIND_SHUTDOWN,
+                        &encode_response_batch(&[]),
+                        tele,
+                    );
                     shared.draining.store(true, Ordering::SeqCst);
                     if config.drain_grace.is_zero() {
                         shutdown.store(true, Ordering::SeqCst);
@@ -731,13 +874,66 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                     }
                 } else {
                     tele.record_protocol_error(ErrorCode::ShutdownNotAllowed);
-                    let _ = write_response(
+                    let _ = write_response_to(
                         &mut stream,
+                        &frame,
                         KIND_SHUTDOWN,
-                        frame.id,
                         &encode_error_response(ErrorCode::ShutdownNotAllowed),
                         tele,
                     );
+                    break;
+                }
+            }
+            KIND_COLLECTIONS => {
+                let payload = match &shared.serving {
+                    Serving::Registry(registry) => encode_collections_reply(&registry.list()),
+                    Serving::Single(_) => {
+                        tele.record_protocol_error(ErrorCode::AdminUnsupported);
+                        encode_error_response(ErrorCode::AdminUnsupported)
+                    }
+                };
+                if !write_response_to(&mut stream, &frame, KIND_COLLECTIONS, &payload, tele) {
+                    break;
+                }
+            }
+            kind @ (KIND_ATTACH | KIND_DETACH) => {
+                let payload = match &shared.serving {
+                    Serving::Single(_) => {
+                        tele.record_protocol_error(ErrorCode::AdminUnsupported);
+                        encode_error_response(ErrorCode::AdminUnsupported)
+                    }
+                    Serving::Registry(registry) => {
+                        match decode_collection_name(&frame.payload) {
+                            Err(_) => {
+                                tele.record_protocol_error(ErrorCode::BadFrame);
+                                encode_error_response(ErrorCode::BadFrame)
+                            }
+                            Ok(name) => {
+                                let outcome = if kind == KIND_ATTACH {
+                                    registry.attach(&name)
+                                } else {
+                                    registry.detach(&name)
+                                };
+                                match outcome {
+                                    // Status byte 0: the admin ack body.
+                                    Ok(()) => vec![0],
+                                    Err(AdminError::Unknown(_)) => {
+                                        tele.record_protocol_error(ErrorCode::UnknownCollection);
+                                        encode_error_response(ErrorCode::UnknownCollection)
+                                    }
+                                    // A pinned collection (pending WAL ops or
+                                    // live compaction) refuses detach the same
+                                    // way a closed collection refuses writes.
+                                    Err(AdminError::Busy(_)) => {
+                                        tele.record_protocol_error(ErrorCode::IngestRejected);
+                                        encode_error_response(ErrorCode::IngestRejected)
+                                    }
+                                }
+                            }
+                        }
+                    }
+                };
+                if !write_response_to(&mut stream, &frame, kind, &payload, tele) {
                     break;
                 }
             }
@@ -746,10 +942,10 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 // BadFrame — framing is intact, so newer clients can probe
                 // and the connection stays usable.
                 tele.record_protocol_error(ErrorCode::AdminUnsupported);
-                if !write_response(
+                if !write_response_to(
                     &mut stream,
+                    &frame,
                     kind,
-                    frame.id,
                     &encode_error_response(ErrorCode::AdminUnsupported),
                     tele,
                 ) {
@@ -761,22 +957,42 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                     Some(task) => task,
                     None => {
                         tele.record_protocol_error(ErrorCode::BadFrame);
-                        let _ = write_response(
+                        let _ = write_response_to(
                             &mut stream,
+                            &frame,
                             kind,
-                            frame.id,
                             &encode_error_response(ErrorCode::BadFrame),
                             tele,
                         );
                         break;
                     }
                 };
-                if task != served_task {
+                let (backend, resident) =
+                    match resolve_target(&shared.serving, frame.collection.as_deref()) {
+                        Ok(resolved) => resolved,
+                        Err(code) => {
+                            tele.record_protocol_error(code);
+                            // An addressing mistake (or a still-loading
+                            // collection), not stream corruption: the
+                            // connection stays usable.
+                            if !write_response_to(
+                                &mut stream,
+                                &frame,
+                                kind,
+                                &encode_error_response(code),
+                                tele,
+                            ) {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
+                if task != backend.wire_task() {
                     tele.record_protocol_error(ErrorCode::TaskMismatch);
-                    if !write_response(
+                    if !write_response_to(
                         &mut stream,
+                        &frame,
                         kind,
-                        frame.id,
                         &encode_error_response(ErrorCode::TaskMismatch),
                         tele,
                     ) {
@@ -790,16 +1006,36 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                     Ok(decoded) => decoded,
                     Err(_) => {
                         tele.record_protocol_error(ErrorCode::BadFrame);
-                        let _ = write_response(
+                        let _ = write_response_to(
                             &mut stream,
+                            &frame,
                             kind,
-                            frame.id,
                             &encode_error_response(ErrorCode::BadFrame),
                             tele,
                         );
                         break;
                     }
                 };
+                // Per-tenant admission: a token-bucket refusal is a typed
+                // shed distinct from the global queue's Overloaded, so one
+                // tenant burning its budget never reads as server overload.
+                if let Some(resident) = &resident {
+                    if !resident.try_admit(queries.len()) {
+                        resident
+                            .tele()
+                            .record_protocol_error(ErrorCode::TenantOverloaded);
+                        if !write_response_to(
+                            &mut stream,
+                            &frame,
+                            kind,
+                            &encode_error_response(ErrorCode::TenantOverloaded),
+                            tele,
+                        ) {
+                            break;
+                        }
+                        continue;
+                    }
+                }
                 // The tracing context: client-supplied trace id when the
                 // frame carried one, server-minted (odd) otherwise. Decode
                 // covers frame receipt → canonical sets.
@@ -810,14 +1046,18 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 let sets: Vec<ElementSet> =
                     queries.into_iter().map(|q| q.canonicalize()).collect();
                 let set_size = sets.iter().map(|s| s.len()).max().unwrap_or(0) as u32;
+                // Request/stage metrics go to the resident's collection-
+                // labeled telemetry in registry mode; the server-level tele
+                // keeps connection and byte counters either way.
+                let ftele = resident.as_ref().map(|r| r.tele()).unwrap_or(tele);
                 let decode = started.elapsed();
                 ctx.record_stage(Stage::Decode, decode);
-                tele.record_stage(Stage::Decode, decode);
+                ftele.record_stage(Stage::Decode, decode);
                 let admit_start = Instant::now();
                 let tickets = backend.submit_wire_traced(sets, Some(Arc::clone(&ctx)));
                 let admitted = admit_start.elapsed();
                 ctx.record_stage(Stage::Admission, admitted);
-                tele.record_stage(Stage::Admission, admitted);
+                ftele.record_stage(Stage::Admission, admitted);
                 let outcomes: Vec<WireOutcome> = tickets
                     .into_iter()
                     .map(|ticket| ticket().map_err(ErrorCode::Serve))
@@ -829,10 +1069,10 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServerShared>) {
                 let payload = encode_response_batch(&outcomes);
                 let encoded = encode_start.elapsed();
                 ctx.record_stage(Stage::Encode, encoded);
-                tele.record_stage(Stage::Encode, encoded);
-                let ok = write_response(&mut stream, kind, frame.id, &payload, tele);
+                ftele.record_stage(Stage::Encode, encoded);
+                let ok = write_response_to(&mut stream, &frame, kind, &payload, tele);
                 let total = started.elapsed();
-                tele.record_request(task.label(), total);
+                ftele.record_request(task.label(), total);
                 if setlearn_obs::tracing_on() {
                     let tracer = setlearn_obs::tracer();
                     let dur_us = total.as_micros().min(u64::MAX as u128) as u64;
@@ -943,6 +1183,7 @@ pub struct NetClient {
     stream: TcpStream,
     next_id: u64,
     max_frame_bytes: usize,
+    collection: Option<String>,
 }
 
 impl fmt::Debug for NetClient {
@@ -958,14 +1199,32 @@ impl NetClient {
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
         stream.set_nodelay(true)?;
-        Ok(NetClient { stream, next_id: 1, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES })
+        Ok(NetClient { stream, next_id: 1, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES, collection: None })
+    }
+
+    /// Addresses every subsequent frame at the named collection on a
+    /// multi-tenant server: frames are encoded as `SLP1` v2 with the
+    /// collection id riding the payload. With `None` (the default) the
+    /// client speaks plain v1 — bit-for-bit what pre-registry clients sent —
+    /// and a multi-tenant server routes it to its default collection.
+    pub fn set_collection(&mut self, collection: Option<String>) {
+        self.collection = collection;
+    }
+
+    /// Builder-style [`NetClient::set_collection`].
+    pub fn with_collection(mut self, collection: impl Into<String>) -> Self {
+        self.collection = Some(collection.into());
+        self
     }
 
     /// Round-trips one frame and validates the echo invariants.
     fn roundtrip(&mut self, kind: u8, payload: &[u8]) -> Result<Vec<u8>, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        let bytes = encode_frame(kind, id, payload);
+        let bytes = match &self.collection {
+            Some(collection) => encode_frame_v2(kind, id, Some(collection), payload),
+            None => encode_frame(kind, id, payload),
+        };
         self.stream.write_all(&bytes)?;
         self.stream.flush()?;
         let frame = read_frame(&mut self.stream, self.max_frame_bytes)?;
@@ -1031,6 +1290,27 @@ impl NetClient {
         Ok(decode_health_report(&payload)?)
     }
 
+    /// [`NetClient::health`] over a v2 frame even when no collection is
+    /// set (an empty collection id routes to the default): the reply then
+    /// carries the tenant-state extension — resident-collection count and
+    /// per-collection pending-ingest — which v1 replies omit for byte
+    /// compatibility.
+    pub fn health_extended(&mut self) -> Result<HealthReport, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = encode_frame_v2(KIND_HEALTH, id, self.collection.as_deref(), &[]);
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        let frame = read_frame(&mut self.stream, self.max_frame_bytes)?;
+        if frame.id != id {
+            return Err(NetError::IdMismatch { sent: id, got: frame.id });
+        }
+        if frame.kind != KIND_HEALTH {
+            return Err(NetError::KindMismatch { sent: KIND_HEALTH, got: frame.kind });
+        }
+        Ok(decode_health_report(&frame.payload)?)
+    }
+
     /// Single-query convenience over [`NetClient::query_batch`].
     pub fn query(
         &mut self,
@@ -1069,6 +1349,31 @@ impl NetClient {
     pub fn shutdown_server(&mut self) -> Result<(), NetError> {
         let payload = self.roundtrip(KIND_SHUTDOWN, &[])?;
         decode_response_batch(&payload)?;
+        Ok(())
+    }
+
+    /// Lists the collections a multi-tenant server knows about — resident
+    /// and cold alike. Single-tenant servers answer
+    /// [`ErrorCode::AdminUnsupported`] (via [`ProtoError::Remote`]).
+    pub fn collections(&mut self) -> Result<Vec<CollectionInfo>, NetError> {
+        let payload = self.roundtrip(KIND_COLLECTIONS, &[])?;
+        Ok(decode_collections_reply(&payload)?)
+    }
+
+    /// Re-admits a previously detached collection (validating it still
+    /// exists on disk); loading stays lazy until the first query arrives.
+    pub fn attach_collection(&mut self, name: &str) -> Result<(), NetError> {
+        let payload = self.roundtrip(KIND_ATTACH, &encode_collection_name(name))?;
+        decode_admin_ack(&payload)?;
+        Ok(())
+    }
+
+    /// Unloads a collection and refuses further frames addressing it until
+    /// re-attached. Fails with [`ErrorCode::IngestRejected`] while the
+    /// collection has pending WAL ops or a compaction in flight.
+    pub fn detach_collection(&mut self, name: &str) -> Result<(), NetError> {
+        let payload = self.roundtrip(KIND_DETACH, &encode_collection_name(name))?;
+        decode_admin_ack(&payload)?;
         Ok(())
     }
 }

@@ -18,6 +18,17 @@
 //! the `SLW2` weight format, so truncation and bit flips surface as typed
 //! [`ProtoError`]s instead of garbage queries.
 //!
+//! ## Version 2: collection addressing
+//!
+//! A v2 frame is byte-identical to v1 except the version byte is `2` and
+//! the payload *opens* with a length-prefixed collection id (`u8` length,
+//! then that many `[A-Za-z0-9_-]` bytes; length 0 = the server's default
+//! collection). The CRC covers the collection field together with the rest
+//! of the payload, so a flipped bit in the id surfaces as
+//! [`ProtoError::BadCrc`] before routing. Responses echo the request's
+//! version and collection. v1 frames remain fully decodable and route to
+//! the default collection, preserving pre-v2 clients bit-for-bit.
+//!
 //! ## Payloads
 //!
 //! A **request** payload is a query batch: `u32` count, then that many
@@ -42,8 +53,12 @@ use std::io::{self, Read, Write};
 
 /// Protocol magic: `SLP1`.
 pub const MAGIC: [u8; 4] = *b"SLP1";
-/// Current protocol version.
+/// Original protocol version: no collection addressing; frames route to
+/// the server's default collection.
 pub const VERSION: u8 = 1;
+/// Protocol version 2: every payload opens with a length-prefixed
+/// collection id (see the module docs).
+pub const VERSION_V2: u8 = 2;
 /// Header bytes before the payload.
 pub const HEADER_LEN: usize = 22;
 /// Frame kind: ingest — one durable insert/delete against a mutable
@@ -60,6 +75,18 @@ pub const KIND_STATS: u8 = 0xE0;
 /// ([`HealthReport`]: drain state, queue saturation, WAL truncations,
 /// compactor lag, model version).
 pub const KIND_HEALTH: u8 = 0xE1;
+/// Frame kind: list the registry's collections ([`CollectionInfo`] rows).
+/// Registry servers only; single-collection servers refuse with
+/// [`ErrorCode::AdminUnsupported`].
+pub const KIND_COLLECTIONS: u8 = 0xE2;
+/// Frame kind: attach a collection by name — the server validates its
+/// directory under the collections root and registers it (the checkpoint
+/// still loads lazily on first query).
+pub const KIND_ATTACH: u8 = 0xE3;
+/// Frame kind: detach a collection by name — evicts it and stops routing
+/// to it. Refused with [`ErrorCode::IngestRejected`] while the collection
+/// has pending WAL ops or an in-flight compaction.
+pub const KIND_DETACH: u8 = 0xE4;
 /// First byte of the admin kind space (`0xE0..=0xEF`).
 pub const ADMIN_KIND_MIN: u8 = 0xE0;
 /// Last byte of the admin kind space (`0xE0..=0xEF`).
@@ -113,7 +140,7 @@ impl fmt::Display for ProtoError {
             ProtoError::Io(e) => write!(f, "io error: {e}"),
             ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?} (want \"SLP1\")"),
             ProtoError::UnsupportedVersion(v) => {
-                write!(f, "unsupported protocol version {v} (speak {VERSION})")
+                write!(f, "unsupported protocol version {v} (speak {VERSION} and {VERSION_V2})")
             }
             ProtoError::FrameTooLarge { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
@@ -170,6 +197,16 @@ pub enum ErrorCode {
     /// Distinct from [`ErrorCode::BadFrame`] so probing a newer admin kind
     /// against an older server is a typed refusal, not stream corruption.
     AdminUnsupported,
+    /// The frame addressed a collection this server does not host (or a
+    /// v2 collection id was sent to a single-collection server).
+    UnknownCollection,
+    /// The collection's per-tenant admission quota is exhausted. Distinct
+    /// from [`ServeError::Overloaded`] (global queue shed): *this* tenant
+    /// is over its budget while the server may be otherwise idle.
+    TenantOverloaded,
+    /// The collection exists but its checkpoint is still loading (another
+    /// request triggered the lazy load). Retry shortly.
+    CollectionLoading,
 }
 
 impl ErrorCode {
@@ -186,6 +223,9 @@ impl ErrorCode {
             ErrorCode::IngestRejected => 22,
             ErrorCode::IngestFailed => 23,
             ErrorCode::AdminUnsupported => 24,
+            ErrorCode::UnknownCollection => 25,
+            ErrorCode::TenantOverloaded => 26,
+            ErrorCode::CollectionLoading => 27,
         }
     }
 
@@ -205,6 +245,9 @@ impl ErrorCode {
             22 => Some(ErrorCode::IngestRejected),
             23 => Some(ErrorCode::IngestFailed),
             24 => Some(ErrorCode::AdminUnsupported),
+            25 => Some(ErrorCode::UnknownCollection),
+            26 => Some(ErrorCode::TenantOverloaded),
+            27 => Some(ErrorCode::CollectionLoading),
             _ => None,
         }
     }
@@ -222,6 +265,9 @@ impl ErrorCode {
             ErrorCode::IngestRejected => "ingest_rejected",
             ErrorCode::IngestFailed => "ingest_failed",
             ErrorCode::AdminUnsupported => "admin_unsupported",
+            ErrorCode::UnknownCollection => "unknown_collection",
+            ErrorCode::TenantOverloaded => "tenant_overloaded",
+            ErrorCode::CollectionLoading => "collection_loading",
         }
     }
 }
@@ -235,14 +281,21 @@ impl fmt::Display for ErrorCode {
     }
 }
 
-/// One decoded frame: kind byte, request id, raw payload (CRC-verified).
+/// One decoded frame: version, kind byte, request id, collection address
+/// (v2 only), raw payload (CRC-verified, collection field stripped).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// Protocol version the frame arrived as ([`VERSION`] or
+    /// [`VERSION_V2`]). Responders echo it.
+    pub version: u8,
     /// Task code (`0..=2`) or control kind (`0xF0` ping, `0xF1` shutdown).
     pub kind: u8,
     /// Request id, echoed verbatim by the responder.
     pub id: u64,
-    /// CRC-verified payload bytes.
+    /// The collection the frame addresses. `None` for v1 frames and for
+    /// v2 frames with a zero-length id — both mean the default collection.
+    pub collection: Option<String>,
+    /// CRC-verified payload bytes (v2: after the collection field).
     pub payload: Vec<u8>,
 }
 
@@ -253,11 +306,28 @@ impl Frame {
     }
 }
 
-/// Serializes one frame (header + payload) into a fresh buffer.
+/// Serializes one v1 frame (header + payload) into a fresh buffer. Kept
+/// byte-for-byte identical to the pre-v2 encoding: everything a v1-only
+/// client sends goes through here.
 pub fn encode_frame(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+    encode_frame_with(VERSION, kind, id, payload)
+}
+
+/// Serializes one v2 frame: the payload is prefixed with the
+/// length-prefixed collection id (`None` or `Some("")` → length 0, the
+/// default collection) and the CRC covers both.
+pub fn encode_frame_v2(kind: u8, id: u64, collection: Option<&str>, payload: &[u8]) -> Vec<u8> {
+    let name = collection.unwrap_or("");
+    let mut full = Vec::with_capacity(1 + name.len() + payload.len());
+    setlearn::wire::encode_collection_id(&mut full, name);
+    full.extend_from_slice(payload);
+    encode_frame_with(VERSION_V2, kind, id, &full)
+}
+
+fn encode_frame_with(version: u8, kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(kind);
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -266,7 +336,18 @@ pub fn encode_frame(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Writes one frame to `w` (single `write_all`, so small frames are one
+/// Re-encodes a frame in the same version (and, for v2, to the same
+/// collection) as `request` — the server's way of answering a client in
+/// the dialect it spoke.
+pub fn encode_frame_echoing(request: &Frame, kind: u8, payload: &[u8]) -> Vec<u8> {
+    if request.version == VERSION_V2 {
+        encode_frame_v2(kind, request.id, request.collection.as_deref(), payload)
+    } else {
+        encode_frame(kind, request.id, payload)
+    }
+}
+
+/// Writes one v1 frame to `w` (single `write_all`, so small frames are one
 /// syscall with a buffered writer). Returns the bytes written.
 pub fn write_frame(w: &mut impl Write, kind: u8, id: u64, payload: &[u8]) -> io::Result<usize> {
     let bytes = encode_frame(kind, id, payload);
@@ -278,6 +359,10 @@ pub fn write_frame(w: &mut impl Write, kind: u8, id: u64, payload: &[u8]) -> io:
 /// CRC. The version check happens *before* the length is trusted, and the
 /// length check before anything is allocated, so a hostile peer cannot make
 /// the server allocate unbounded memory or misparse a future revision.
+/// Speaks [`VERSION`] and [`VERSION_V2`]; a v2 frame's collection field is
+/// validated and stripped here, so a malformed id is
+/// [`ProtoError::BadPayload`] (or [`ProtoError::BadCrc`] if bits flipped),
+/// never a misparse of the body.
 pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, ProtoError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
@@ -286,7 +371,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, ProtoE
         return Err(ProtoError::BadMagic(magic));
     }
     let version = header[4];
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V2 {
         return Err(ProtoError::UnsupportedVersion(version));
     }
     let kind = header[5];
@@ -302,7 +387,15 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, ProtoE
     if actual != declared {
         return Err(ProtoError::BadCrc { declared, actual });
     }
-    Ok(Frame { kind, id, payload })
+    let collection = if version == VERSION_V2 {
+        let mut rest = payload.as_slice();
+        let collection = setlearn::wire::decode_collection_id(&mut rest)?;
+        payload = rest.to_vec();
+        collection
+    } else {
+        None
+    };
+    Ok(Frame { version, kind, id, collection, payload })
 }
 
 // ---------------------------------------------------------------------------
@@ -588,6 +681,100 @@ pub fn decode_stats_reply(mut payload: &[u8]) -> Result<String, ProtoError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Collection admin bodies (kinds 0xE2 list, 0xE3 attach, 0xE4 detach)
+// ---------------------------------------------------------------------------
+
+/// One registry row in a [`KIND_COLLECTIONS`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionInfo {
+    /// Collection id.
+    pub name: String,
+    /// Task it serves.
+    pub task: WireTask,
+    /// Whether its runtime is currently resident (loaded) vs. cold.
+    pub resident: bool,
+    /// WAL ops awaiting compaction (0 for immutable or cold collections).
+    pub pending_ops: u64,
+    /// The registry's resident-size estimate in bytes.
+    pub disk_bytes: u64,
+}
+
+/// Encodes an OK collections-list reply: status 0, `u32` count, then per
+/// collection the length-prefixed name, task code, resident flag, pending
+/// ops and byte size.
+pub fn encode_collections_reply(rows: &[CollectionInfo]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + rows.len() * 32);
+    out.push(0);
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        setlearn::wire::encode_collection_id(&mut out, &row.name);
+        out.push(row.task.code());
+        out.push(u8::from(row.resident));
+        out.extend_from_slice(&row.pending_ops.to_le_bytes());
+        out.extend_from_slice(&row.disk_bytes.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a collections-list reply; a nonzero status surfaces as
+/// [`ProtoError::Remote`].
+pub fn decode_collections_reply(mut payload: &[u8]) -> Result<Vec<CollectionInfo>, ProtoError> {
+    let status = take_status(&mut payload)?;
+    if status != 0 {
+        let code = ErrorCode::from_code(status).ok_or(ProtoError::BadPayload(
+            WireDecodeError::BadTag { what: "collections status", tag: status },
+        ))?;
+        return Err(ProtoError::Remote(code));
+    }
+    let count = take_count(&mut payload, "collections")?;
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = setlearn::wire::decode_collection_id(&mut payload)?.ok_or(
+            ProtoError::BadPayload(WireDecodeError::BadLength { what: "collection name", len: 0 }),
+        )?;
+        let code = take_status(&mut payload)?;
+        let task = WireTask::from_code(code)
+            .ok_or(ProtoError::BadPayload(WireDecodeError::BadTag { what: "task", tag: code }))?;
+        let resident = take_bool(&mut payload, "resident flag")?;
+        let pending_ops = take_u64(&mut payload)?;
+        let disk_bytes = take_u64(&mut payload)?;
+        rows.push(CollectionInfo { name, task, resident, pending_ops, disk_bytes });
+    }
+    expect_consumed(payload)?;
+    Ok(rows)
+}
+
+/// Encodes an attach/detach request body: just the length-prefixed name.
+pub fn encode_collection_name(name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + name.len());
+    setlearn::wire::encode_collection_id(&mut out, name);
+    out
+}
+
+/// Decodes an attach/detach request body.
+pub fn decode_collection_name(mut payload: &[u8]) -> Result<String, ProtoError> {
+    let name = setlearn::wire::decode_collection_id(&mut payload)?.ok_or(
+        ProtoError::BadPayload(WireDecodeError::BadLength { what: "collection name", len: 0 }),
+    )?;
+    expect_consumed(payload)?;
+    Ok(name)
+}
+
+/// Decodes an attach/detach acknowledgement: an empty-bodied status-0
+/// payload, or a frame-level error surfaced as [`ProtoError::Remote`].
+pub fn decode_admin_ack(mut payload: &[u8]) -> Result<(), ProtoError> {
+    let status = take_status(&mut payload)?;
+    if status != 0 {
+        let code = ErrorCode::from_code(status).ok_or(ProtoError::BadPayload(
+            WireDecodeError::BadTag { what: "admin status", tag: status },
+        ))?;
+        return Err(ProtoError::Remote(code));
+    }
+    expect_consumed(payload)?;
+    Ok(())
+}
+
 /// The server's readiness verdict, answered to a health frame.
 ///
 /// `ready` is the verdict (fail a load-balancer check on `false`); the rest
@@ -615,10 +802,29 @@ pub struct HealthReport {
     pub model_version: u64,
     /// Human-readable degradation reasons, empty when fully healthy.
     pub reasons: Vec<String>,
+    /// Collections currently resident in the registry (1 for a
+    /// single-collection server; 0 when the peer predates this field).
+    pub resident_collections: u32,
+    /// Per-collection pending-ingest depth (WAL ops awaiting compaction),
+    /// resident collections only. Empty when the peer predates this field.
+    pub collection_pending: Vec<(String, u64)>,
 }
 
-/// Encodes an OK health response payload.
+/// Encodes an OK health response payload in the v1 body layout — without
+/// the tenant-state extension — for byte-compatibility with pre-v2
+/// clients.
 pub fn encode_health_report(report: &HealthReport) -> Vec<u8> {
+    encode_health_body(report, false)
+}
+
+/// Encodes an OK health response payload including the tenant-state
+/// extension (resident-collection count, per-collection pending ingest).
+/// Sent to v2 clients.
+pub fn encode_health_report_v2(report: &HealthReport) -> Vec<u8> {
+    encode_health_body(report, true)
+}
+
+fn encode_health_body(report: &HealthReport, extended: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.push(0);
     out.push(u8::from(report.ready));
@@ -634,6 +840,14 @@ pub fn encode_health_report(report: &HealthReport) -> Vec<u8> {
         let bytes = reason.as_bytes();
         out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(bytes);
+    }
+    if extended {
+        out.extend_from_slice(&report.resident_collections.to_le_bytes());
+        out.extend_from_slice(&(report.collection_pending.len() as u32).to_le_bytes());
+        for (name, pending) in &report.collection_pending {
+            setlearn::wire::encode_collection_id(&mut out, name);
+            out.extend_from_slice(&pending.to_le_bytes());
+        }
     }
     out
 }
@@ -686,6 +900,25 @@ pub fn decode_health_report(mut payload: &[u8]) -> Result<HealthReport, ProtoErr
             ProtoError::BadPayload(WireDecodeError::BadTag { what: "health reason utf8", tag: 0 })
         })?);
     }
+    // Tenant-state extension: absent entirely in a v1 body (old server),
+    // present in full after the reasons otherwise.
+    let (resident_collections, collection_pending) = if payload.is_empty() {
+        (0, Vec::new())
+    } else {
+        let resident = take_count(&mut payload, "resident collections")? as u32;
+        let count = take_count(&mut payload, "collection pending")?;
+        let mut pending = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = setlearn::wire::decode_collection_id(&mut payload)?.ok_or(
+                ProtoError::BadPayload(WireDecodeError::BadLength {
+                    what: "collection name",
+                    len: 0,
+                }),
+            )?;
+            pending.push((name, take_u64(&mut payload)?));
+        }
+        (resident, pending)
+    };
     expect_consumed(payload)?;
     Ok(HealthReport {
         ready,
@@ -697,6 +930,8 @@ pub fn decode_health_report(mut payload: &[u8]) -> Result<HealthReport, ProtoErr
         compactor_pending,
         model_version,
         reasons,
+        resident_collections,
+        collection_pending,
     })
 }
 
@@ -807,9 +1042,20 @@ mod tests {
             compactor_pending: 37,
             model_version: 9,
             reasons: vec!["draining".to_string(), "compactor lag: 37 pending ops".to_string()],
+            resident_collections: 2,
+            collection_pending: vec![("tenant-a".to_string(), 37), ("tenant-b".to_string(), 0)],
         };
-        let payload = encode_health_report(&report);
+        // The v2 body carries the tenant-state extension through intact.
+        let payload = encode_health_report_v2(&report);
         assert_eq!(decode_health_report(&payload).unwrap(), report);
+        // The v1 body drops it; decoding yields the "not reported" defaults.
+        let v1_payload = encode_health_report(&report);
+        assert!(v1_payload.len() < payload.len());
+        let via_v1 = decode_health_report(&v1_payload).unwrap();
+        assert_eq!(via_v1.resident_collections, 0);
+        assert!(via_v1.collection_pending.is_empty());
+        assert_eq!(via_v1.queue_depth, report.queue_depth);
+        assert_eq!(via_v1.reasons, report.reasons);
 
         let healthy = HealthReport {
             ready: true,
@@ -821,17 +1067,148 @@ mod tests {
             compactor_pending: 0,
             model_version: 0,
             reasons: vec![],
+            resident_collections: 1,
+            collection_pending: vec![],
         };
-        let payload = encode_health_report(&healthy);
+        let payload = encode_health_report_v2(&healthy);
         assert_eq!(decode_health_report(&payload).unwrap(), healthy);
 
         match decode_health_report(&encode_error_response(ErrorCode::AdminUnsupported)) {
             Err(ProtoError::Remote(ErrorCode::AdminUnsupported)) => {}
             other => panic!("expected remote admin_unsupported, got {other:?}"),
         }
-        // Truncation anywhere is a typed error, never a panic.
+        // Truncation anywhere is a typed error or a lenient v1-body parse,
+        // never a panic. (Cuts that land exactly at the end of the reasons
+        // list *are* a valid v1 body — those decode with defaulted
+        // extension fields rather than erroring.)
+        let v1_len = encode_health_report(&healthy).len();
+        let payload = encode_health_report_v2(&report);
         for cut in 0..payload.len() {
-            assert!(decode_health_report(&payload[..cut]).is_err(), "cut {cut}");
+            match decode_health_report(&payload[..cut]) {
+                Err(_) => {}
+                Ok(r) => {
+                    assert_eq!(r.resident_collections, 0, "cut {cut} parsed as v1 body");
+                    assert!(cut >= v1_len, "cut {cut} too short for any valid body");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collection_admin_payloads_roundtrip() {
+        let rows = vec![
+            CollectionInfo {
+                name: "tenant-a".to_string(),
+                task: WireTask::Cardinality,
+                resident: true,
+                pending_ops: 12,
+                disk_bytes: 4096,
+            },
+            CollectionInfo {
+                name: "tenant-b".to_string(),
+                task: WireTask::Bloom,
+                resident: false,
+                pending_ops: 0,
+                disk_bytes: 99,
+            },
+        ];
+        let payload = encode_collections_reply(&rows);
+        assert_eq!(decode_collections_reply(&payload).unwrap(), rows);
+        assert_eq!(decode_collections_reply(&encode_collections_reply(&[])).unwrap(), vec![]);
+        for cut in 1..payload.len() {
+            assert!(decode_collections_reply(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        match decode_collections_reply(&encode_error_response(ErrorCode::AdminUnsupported)) {
+            Err(ProtoError::Remote(ErrorCode::AdminUnsupported)) => {}
+            other => panic!("expected remote admin_unsupported, got {other:?}"),
+        }
+
+        let name_payload = encode_collection_name("tenant-a");
+        assert_eq!(decode_collection_name(&name_payload).unwrap(), "tenant-a");
+        assert!(decode_collection_name(&[0]).is_err(), "empty name rejected");
+        assert!(decode_collection_name(&[]).is_err());
+
+        assert_eq!(decode_admin_ack(&[0]).unwrap(), ());
+        match decode_admin_ack(&encode_error_response(ErrorCode::UnknownCollection)) {
+            Err(ProtoError::Remote(ErrorCode::UnknownCollection)) => {}
+            other => panic!("expected remote unknown_collection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_frames_carry_a_collection_and_v1_frames_stay_identical() {
+        let payload = encode_request_batch(&[QueryRequest::new(vec![1, 2, 3])]);
+        // A v1 frame decodes with no collection and version 1.
+        let v1 = encode_frame(0, 7, &payload);
+        let frame = read_frame(&mut v1.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.version, VERSION);
+        assert_eq!(frame.collection, None);
+        assert_eq!(frame.payload, payload);
+        // A v2 frame round-trips its collection id and strips it from the
+        // payload the caller sees.
+        let v2 = encode_frame_v2(0, 7, Some("tenant-a"), &payload);
+        let frame = read_frame(&mut v2.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.version, VERSION_V2);
+        assert_eq!(frame.collection.as_deref(), Some("tenant-a"));
+        assert_eq!(frame.payload, payload);
+        // Empty-id v2 frames mean "default collection".
+        let v2_default = encode_frame_v2(0, 7, None, &payload);
+        let frame = read_frame(&mut v2_default.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.version, VERSION_V2);
+        assert_eq!(frame.collection, None);
+        assert_eq!(frame.payload, payload);
+        // Echoing re-encodes in the request's dialect.
+        let req = read_frame(&mut v2.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(encode_frame_echoing(&req, 0, &payload), v2);
+        let req = read_frame(&mut v1.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(encode_frame_echoing(&req, 0, &payload), v1);
+    }
+
+    #[test]
+    fn corrupted_v2_collection_fields_fail_typed() {
+        let payload = encode_request_batch(&[QueryRequest::new(vec![9])]);
+        let good = encode_frame_v2(0, 1, Some("tenant-a"), &payload);
+        // Any flipped bit in the collection field trips the CRC.
+        for pos in HEADER_LEN..HEADER_LEN + 9 {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x04;
+            assert!(matches!(
+                read_frame(&mut bad.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+                Err(ProtoError::BadCrc { .. })
+            ));
+        }
+        // A CRC-consistent but over-long declared id length is BadPayload.
+        let mut over = Vec::new();
+        over.push(200u8); // declared id length > MAX_COLLECTION_ID_LEN
+        over.extend_from_slice(&payload);
+        let framed = encode_frame_with(VERSION_V2, 0, 1, &over);
+        assert!(matches!(
+            read_frame(&mut framed.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(ProtoError::BadPayload(WireDecodeError::BadLength { .. }))
+        ));
+        // A CRC-consistent id that overruns the payload is truncation.
+        let truncated = encode_frame_with(VERSION_V2, 0, 1, &[5, b'a', b'b']);
+        assert!(matches!(
+            read_frame(&mut truncated.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(ProtoError::BadPayload(WireDecodeError::Truncated))
+        ));
+        // An id with bytes outside the alphabet is rejected.
+        let mut spaced = Vec::new();
+        spaced.extend_from_slice(&[3, b'a', b' ', b'b']);
+        spaced.extend_from_slice(&payload);
+        let framed = encode_frame_with(VERSION_V2, 0, 1, &spaced);
+        assert!(matches!(
+            read_frame(&mut framed.as_slice(), DEFAULT_MAX_FRAME_BYTES),
+            Err(ProtoError::BadPayload(WireDecodeError::BadTag { .. }))
+        ));
+        // Truncating the stream anywhere is Io(UnexpectedEof), not a panic.
+        for cut in 0..good.len() {
+            match read_frame(&mut good[..cut].as_ref(), DEFAULT_MAX_FRAME_BYTES) {
+                Err(ProtoError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}")
+                }
+                other => panic!("cut {cut}: expected eof, got {other:?}"),
+            }
         }
     }
 
@@ -934,7 +1311,10 @@ mod tests {
         assert_eq!(ErrorCode::IngestRejected.code(), 22);
         assert_eq!(ErrorCode::IngestFailed.code(), 23);
         assert_eq!(ErrorCode::AdminUnsupported.code(), 24);
-        for code in 1..=24u8 {
+        assert_eq!(ErrorCode::UnknownCollection.code(), 25);
+        assert_eq!(ErrorCode::TenantOverloaded.code(), 26);
+        assert_eq!(ErrorCode::CollectionLoading.code(), 27);
+        for code in 1..=27u8 {
             if let Some(decoded) = ErrorCode::from_code(code) {
                 assert_eq!(decoded.code(), code);
             }

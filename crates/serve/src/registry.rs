@@ -1,0 +1,946 @@
+//! Multi-tenant collection registry: one process serves many named
+//! collections.
+//!
+//! A [`CollectionRegistry`] owns one serving backend per collection under a
+//! collections root directory (`<root>/<name>/` — see
+//! [`setlearn::persist::discover_collections`] for the layout). Collections
+//! load lazily: the first frame addressing a name pays the checkpoint load
+//! (concurrent requests for the same name are refused with
+//! [`ResolveError::Loading`], a typed retry signal, instead of queuing
+//! behind the load). Resident collections are evicted least-recently-used
+//! when the configured byte budget is exceeded — except collections with
+//! pending WAL operations or an in-flight compaction, which are pinned:
+//! eviction must never lose an acknowledged write or abandon a retrain.
+//!
+//! Per-tenant admission control sits in front of each collection's
+//! [`BoundedQueue`](crate::queue::BoundedQueue): a token bucket refilled at
+//! `rate` requests/second up to `burst`. A tenant that exhausts its bucket
+//! is shed with [`ErrorCode::TenantOverloaded`](crate::proto::ErrorCode) —
+//! typed distinctly from global [`Overloaded`](crate::error::ServeError)
+//! shedding, so a noisy tenant's clients see "you are over quota" while
+//! everyone else's traffic is untouched.
+//!
+//! Registry telemetry (all labeled `collection="…"`, bounded by the obs
+//! registry's `MAX_SERIES_PER_FAMILY` overflow collapse):
+//!
+//! - `setlearn_registry_loads_total` — checkpoint loads (counter)
+//! - `setlearn_registry_evictions_total` — LRU evictions (counter)
+//! - `setlearn_registry_resident` — resident collections (gauge, unlabeled)
+//! - `setlearn_registry_resident_bytes` — bytes resident (gauge, unlabeled)
+//! - `setlearn_serve_tenant_shed_total` — quota refusals (counter)
+
+use crate::compact::{spawn_compactor_named, CompactorConfig, CompactorHandle};
+use crate::hotswap::HotSwap;
+use crate::net::{MutableBackend, WireBackend};
+use crate::proto::CollectionInfo;
+use crate::runtime::{ServeConfig, ServeRuntime};
+use crate::sharded::ShardedRuntime;
+use crate::task::StructureTask;
+use crate::telemetry::NetTele;
+use setlearn::mutable::{DeltaMergeable, MutableCollection, MutableSink};
+use setlearn::persist::{
+    self, load_json, CollectionEntry, COLLECTION_MODEL, COLLECTION_SETS, COLLECTION_WAL,
+};
+use setlearn::tasks::{
+    aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig, CardinalityConfig,
+    IndexConfig, IndexStructure, LearnedBloom, LearnedCardinality, LearnedSetIndex,
+    ShardedBloom, ShardedCardinality, ShardedIndex, ShardedIndexStructure,
+};
+use setlearn::wire::{QueryResponse, WireTask};
+use setlearn::{DeepSetsConfig, ShardedCollection};
+use setlearn_data::SetCollection;
+use setlearn_obs::Counter;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-tenant admission quota: a token bucket refilled continuously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaConfig {
+    /// Sustained admission rate, requests (query-batch elements) per second.
+    pub rate: f64,
+    /// Bucket capacity: the largest burst admitted at once.
+    pub burst: f64,
+}
+
+impl QuotaConfig {
+    /// A quota admitting `rate` requests/second with a burst of the same.
+    pub fn per_second(rate: f64) -> Self {
+        QuotaConfig { rate, burst: rate }
+    }
+}
+
+/// Tuning for a [`CollectionRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Collections root: `<root>/<name>/manifest.json` + checkpoints.
+    pub root: PathBuf,
+    /// Collection served to v1 clients and v2 frames with an empty
+    /// collection id. `None` refuses unaddressed frames with
+    /// `UnknownCollection`.
+    pub default_collection: Option<String>,
+    /// LRU byte budget over resident collections (on-disk checkpoint size
+    /// as the resident-size proxy). `None` never evicts.
+    pub max_resident_bytes: Option<u64>,
+    /// Runtime knobs applied to every collection's worker pool.
+    pub serve: ServeConfig,
+    /// Per-tenant token bucket applied to every collection; `None` disables
+    /// tenant quotas (only global queue backpressure sheds).
+    pub quota: Option<QuotaConfig>,
+    /// Spawn a background compactor for mutable (WAL-backed) collections
+    /// once this many ops are pending; 0 leaves deltas to the exact overlay.
+    pub compact_after: usize,
+}
+
+impl RegistryConfig {
+    /// A registry over `root` with default serve settings, no byte budget,
+    /// no quotas, and no default collection.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        RegistryConfig {
+            root: root.into(),
+            default_collection: None,
+            max_resident_bytes: None,
+            serve: ServeConfig::default(),
+            quota: None,
+            compact_after: 0,
+        }
+    }
+}
+
+/// A token bucket guarding one tenant's admission.
+pub(crate) struct TenantQuota {
+    rate: f64,
+    burst: f64,
+    state: Mutex<BucketState>,
+}
+
+struct BucketState {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TenantQuota {
+    fn new(config: QuotaConfig) -> Self {
+        TenantQuota {
+            rate: config.rate.max(0.0),
+            burst: config.burst.max(1.0),
+            state: Mutex::new(BucketState { tokens: config.burst.max(1.0), refilled: Instant::now() }),
+        }
+    }
+
+    /// Admits `n` requests if the bucket holds that many tokens.
+    pub(crate) fn try_admit(&self, n: usize) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.refilled).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.rate).min(self.burst);
+        state.refilled = now;
+        if state.tokens >= n as f64 {
+            state.tokens -= n as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One resident (loaded and serving) collection.
+pub struct Resident {
+    name: String,
+    task: WireTask,
+    backend: Arc<dyn WireBackend>,
+    quota: Option<TenantQuota>,
+    tele: NetTele,
+    tenant_shed: Arc<Counter>,
+    disk_bytes: u64,
+    /// Logical-clock timestamp of the last resolve, the LRU key.
+    last_used: AtomicU64,
+    compactor: Option<CompactorHandle>,
+}
+
+impl Resident {
+    /// The collection id.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task this collection serves.
+    pub fn task(&self) -> WireTask {
+        self.task
+    }
+
+    /// The serving backend (queries and ingest route through it).
+    pub fn backend(&self) -> &Arc<dyn WireBackend> {
+        &self.backend
+    }
+
+    /// On-disk checkpoint bytes, the registry's resident-size proxy.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Mutations applied but not yet compacted (0 for immutable).
+    pub fn pending_ingest(&self) -> u64 {
+        self.backend.pending_ingest()
+    }
+
+    /// Collection-labeled front-end telemetry for frames this collection
+    /// answers.
+    pub(crate) fn tele(&self) -> &NetTele {
+        &self.tele
+    }
+
+    /// Charges `n` requests against the tenant's bucket; always admits when
+    /// quotas are off. A refusal is counted under
+    /// `setlearn_serve_tenant_shed_total{collection="…"}`.
+    pub(crate) fn try_admit(&self, n: usize) -> bool {
+        match &self.quota {
+            None => true,
+            Some(quota) => {
+                let ok = quota.try_admit(n);
+                if !ok && setlearn_obs::metrics_on() {
+                    self.tenant_shed.inc();
+                }
+                ok
+            }
+        }
+    }
+
+    /// Pinned collections are never evicted: acknowledged writes not yet
+    /// compacted and in-flight compactions must survive.
+    fn pinned(&self) -> bool {
+        self.backend.pending_ingest() > 0
+            || self.compactor.as_ref().is_some_and(|c| c.is_compacting())
+    }
+}
+
+impl fmt::Debug for Resident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Resident")
+            .field("name", &self.name)
+            .field("task", &self.task)
+            .field("disk_bytes", &self.disk_bytes)
+            .field("pending_ingest", &self.pending_ingest())
+            .finish()
+    }
+}
+
+/// Why a collection could not be resolved to a serving backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No collection with this name (or no default for unaddressed frames).
+    Unknown(String),
+    /// Another request is loading this collection right now; retry shortly.
+    Loading(String),
+    /// The collection exists but its checkpoint failed to load.
+    Failed(String, String),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Unknown(name) => write!(f, "unknown collection {name:?}"),
+            ResolveError::Loading(name) => write!(f, "collection {name:?} is loading"),
+            ResolveError::Failed(name, e) => write!(f, "collection {name:?} failed to load: {e}"),
+        }
+    }
+}
+
+/// Why an attach/detach admin request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminError {
+    /// The named directory is missing, malformed, or invalidly named.
+    Unknown(String),
+    /// The collection is pinned (pending WAL ops or in-flight compaction).
+    Busy(String),
+}
+
+impl fmt::Display for AdminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdminError::Unknown(e) => write!(f, "unknown collection: {e}"),
+            AdminError::Busy(name) => write!(f, "collection {name:?} has pending writes"),
+        }
+    }
+}
+
+enum Slot {
+    /// A request is loading the checkpoint outside the registry lock.
+    Loading,
+    Ready(Arc<Resident>),
+}
+
+/// The multi-tenant registry: resolves collection names to resident
+/// serving backends, loading lazily and evicting LRU under a byte budget.
+pub struct CollectionRegistry {
+    config: RegistryConfig,
+    entries: Mutex<HashMap<String, Slot>>,
+    /// Names detached by an admin frame: lazy loading will not resurrect
+    /// them until re-attached.
+    detached: Mutex<HashSet<String>>,
+    /// Monotone logical clock ordering resolves for LRU.
+    clock: AtomicU64,
+}
+
+impl CollectionRegistry {
+    /// A registry over `config.root`. Directories are discovered lazily;
+    /// the root may even be created after the registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        CollectionRegistry {
+            config,
+            entries: Mutex::new(HashMap::new()),
+            detached: Mutex::new(HashSet::new()),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The collections root directory.
+    pub fn root(&self) -> &Path {
+        &self.config.root
+    }
+
+    /// The collection unaddressed (v1 or empty-id v2) frames route to.
+    pub fn default_collection(&self) -> Option<&str> {
+        self.config.default_collection.as_deref()
+    }
+
+    /// Resolves a frame's collection id (None = the default collection) to
+    /// its resident backend, loading the checkpoint on first use.
+    pub fn resolve(&self, name: Option<&str>) -> Result<Arc<Resident>, ResolveError> {
+        let name = match name {
+            Some(name) => name,
+            None => self
+                .config
+                .default_collection
+                .as_deref()
+                .ok_or_else(|| ResolveError::Unknown("(default)".into()))?,
+        };
+        {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            match entries.get(name) {
+                Some(Slot::Ready(resident)) => {
+                    let resident = Arc::clone(resident);
+                    resident
+                        .last_used
+                        .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                    return Ok(resident);
+                }
+                Some(Slot::Loading) => return Err(ResolveError::Loading(name.to_string())),
+                None => {}
+            }
+            if self.detached.lock().unwrap_or_else(|e| e.into_inner()).contains(name) {
+                return Err(ResolveError::Unknown(name.to_string()));
+            }
+            entries.insert(name.to_string(), Slot::Loading);
+        }
+        // Checkpoint load happens outside the lock: other collections keep
+        // resolving, and concurrent requests for this one get the typed
+        // `Loading` retry signal instead of convoying here.
+        let loaded = self.load_resident(name);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match loaded {
+            Ok(resident) => {
+                let resident = Arc::new(resident);
+                resident
+                    .last_used
+                    .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                entries.insert(name.to_string(), Slot::Ready(Arc::clone(&resident)));
+                if setlearn_obs::metrics_on() {
+                    setlearn_obs::metrics()
+                        .counter_with("setlearn_registry_loads_total", &[("collection", name)])
+                        .inc();
+                }
+                self.enforce_budget(&mut entries, name);
+                self.publish_gauges(&entries);
+                Ok(resident)
+            }
+            Err(e) => {
+                entries.remove(name);
+                Err(ResolveError::Failed(name.to_string(), e))
+            }
+        }
+    }
+
+    /// Evicts least-recently-used unpinned collections until the resident
+    /// byte total fits the budget. `keep` (the collection just resolved) is
+    /// never evicted — a budget smaller than one collection must not evict
+    /// the backend the caller is about to use.
+    fn enforce_budget(&self, entries: &mut HashMap<String, Slot>, keep: &str) {
+        let Some(budget) = self.config.max_resident_bytes else { return };
+        loop {
+            let total: u64 = entries
+                .values()
+                .map(|slot| match slot {
+                    Slot::Ready(r) => r.disk_bytes,
+                    Slot::Loading => 0,
+                })
+                .sum();
+            if total <= budget {
+                return;
+            }
+            let victim = entries
+                .iter()
+                .filter_map(|(name, slot)| match slot {
+                    Slot::Ready(r) if name != keep && !r.pinned() => {
+                        Some((name.clone(), r.last_used.load(Ordering::Relaxed)))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|(_, used)| *used);
+            let Some((victim, _)) = victim else { return };
+            entries.remove(&victim);
+            if setlearn_obs::metrics_on() {
+                setlearn_obs::metrics()
+                    .counter_with(
+                        "setlearn_registry_evictions_total",
+                        &[("collection", &victim)],
+                    )
+                    .inc();
+            }
+        }
+    }
+
+    fn publish_gauges(&self, entries: &HashMap<String, Slot>) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        let resident: Vec<&Arc<Resident>> = entries
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Ready(r) => Some(r),
+                Slot::Loading => None,
+            })
+            .collect();
+        let m = setlearn_obs::metrics();
+        m.gauge_with("setlearn_registry_resident", &[]).set(resident.len() as f64);
+        m.gauge_with("setlearn_registry_resident_bytes", &[])
+            .set(resident.iter().map(|r| r.disk_bytes).sum::<u64>() as f64);
+    }
+
+    /// Every collection under the root (resident or not) plus any resident
+    /// entries, for the `KIND_COLLECTIONS` admin frame. Directories whose
+    /// manifest names an unknown task are skipped.
+    pub fn list(&self) -> Vec<CollectionInfo> {
+        let mut rows: HashMap<String, CollectionInfo> = HashMap::new();
+        if let Ok(found) = persist::discover_collections(&self.config.root) {
+            for entry in found {
+                let Ok(task) = entry.manifest.task.parse::<WireTask>() else { continue };
+                rows.insert(
+                    entry.name.clone(),
+                    CollectionInfo {
+                        name: entry.name,
+                        task,
+                        resident: false,
+                        pending_ops: 0,
+                        disk_bytes: entry.disk_bytes,
+                    },
+                );
+            }
+        }
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, slot) in entries.iter() {
+            if let Slot::Ready(r) = slot {
+                rows.insert(
+                    name.clone(),
+                    CollectionInfo {
+                        name: name.clone(),
+                        task: r.task,
+                        resident: true,
+                        pending_ops: r.pending_ingest(),
+                        disk_bytes: r.disk_bytes,
+                    },
+                );
+            }
+        }
+        let mut rows: Vec<CollectionInfo> = rows.into_values().collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// Registers (or re-registers after a detach) a collection directory.
+    /// The checkpoint still loads lazily on first request; attach only
+    /// validates the directory and clears the detached mark.
+    pub fn attach(&self, name: &str) -> Result<(), AdminError> {
+        persist::inspect_collection(&self.config.root, name)
+            .map_err(|e| AdminError::Unknown(e.to_string()))?;
+        self.detached.lock().unwrap_or_else(|e| e.into_inner()).remove(name);
+        Ok(())
+    }
+
+    /// Evicts and unregisters a collection: subsequent frames addressing it
+    /// get `UnknownCollection` until it is re-attached. Refused while the
+    /// collection is pinned (pending WAL ops or in-flight compaction).
+    pub fn detach(&self, name: &str) -> Result<(), AdminError> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match entries.get(name) {
+            Some(Slot::Ready(r)) if r.pinned() => {
+                return Err(AdminError::Busy(name.to_string()))
+            }
+            Some(Slot::Loading) => return Err(AdminError::Busy(name.to_string())),
+            _ => {}
+        }
+        entries.remove(name);
+        self.detached.lock().unwrap_or_else(|e| e.into_inner()).insert(name.to_string());
+        self.publish_gauges(&entries);
+        Ok(())
+    }
+
+    /// Number of collections currently resident.
+    pub fn resident_count(&self) -> u32 {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.values().filter(|s| matches!(s, Slot::Ready(_))).count() as u32
+    }
+
+    /// `(collection, pending ingest ops)` per resident collection, sorted
+    /// by name — the health report's per-collection compactor-lag view.
+    pub fn collection_pending(&self) -> Vec<(String, u64)> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<(String, u64)> = entries
+            .iter()
+            .filter_map(|(name, slot)| match slot {
+                Slot::Ready(r) => Some((name.clone(), r.pending_ingest())),
+                Slot::Loading => None,
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Worst queue saturation across resident collections, the health
+    /// probe's input: `(depth, capacity)` of the most saturated queue.
+    pub fn worst_queue(&self) -> (usize, usize) {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Ready(r) => Some(r.backend.queue_stats()),
+                Slot::Loading => None,
+            })
+            .max_by(|(d1, c1), (d2, c2)| {
+                let s1 = if *c1 == 0 { 0.0 } else { *d1 as f64 / *c1 as f64 };
+                let s2 = if *c2 == 0 { 0.0 } else { *d2 as f64 / *c2 as f64 };
+                s1.total_cmp(&s2)
+            })
+            .unwrap_or((0, 0))
+    }
+
+    // -- loading ----------------------------------------------------------
+
+    /// Loads one collection's checkpoint into a serving backend, mirroring
+    /// the CLI's single-tenant serve paths (immutable single, immutable
+    /// sharded, mutable WAL-backed).
+    fn load_resident(&self, name: &str) -> Result<Resident, String> {
+        let entry = persist::inspect_collection(&self.config.root, name)
+            .map_err(|e| e.to_string())?;
+        let task: WireTask = entry
+            .manifest
+            .task
+            .parse()
+            .map_err(|_| format!("manifest names unknown task {:?}", entry.manifest.task))?;
+        let (backend, compactor) = if entry.has_wal {
+            self.load_mutable(name, task, &entry)?
+        } else {
+            (self.load_immutable(name, task, &entry)?, None)
+        };
+        if backend.wire_task() != task {
+            return Err(format!(
+                "checkpoint serves {} but the manifest says {}",
+                backend.wire_task(),
+                task
+            ));
+        }
+        Ok(Resident {
+            name: name.to_string(),
+            task,
+            backend,
+            quota: self.config.quota.map(TenantQuota::new),
+            tele: NetTele::for_collection(task.label(), name),
+            tenant_shed: setlearn_obs::metrics()
+                .counter_with("setlearn_serve_tenant_shed_total", &[("collection", name)]),
+            disk_bytes: entry.disk_bytes,
+            last_used: AtomicU64::new(0),
+            compactor,
+        })
+    }
+
+    fn load_immutable(
+        &self,
+        name: &str,
+        task: WireTask,
+        entry: &CollectionEntry,
+    ) -> Result<Arc<dyn WireBackend>, String> {
+        let cfg = self.config.serve.clone();
+        let model = entry.dir.join(COLLECTION_MODEL);
+        let err = |e: persist::PersistError| e.to_string();
+        let backend: Arc<dyn WireBackend> = match (task, entry.manifest.shards) {
+            (WireTask::Cardinality, None) => {
+                let est: LearnedCardinality = load_json(&model).map_err(err)?;
+                Arc::new(ServeRuntime::start_named(StructureTask::new(est), cfg, name))
+            }
+            (WireTask::Cardinality, Some(shards)) => {
+                let est: ShardedCardinality = load_json(&model).map_err(err)?;
+                check_shards("cardinality", est.spec().shards, shards)?;
+                let tasks: Vec<StructureTask<LearnedCardinality>> =
+                    est.into_shards().into_iter().map(StructureTask::new).collect();
+                Arc::new(ShardedRuntime::start_named(tasks, cfg, aggregate_cardinality, name))
+            }
+            (WireTask::Bloom, None) => {
+                let filter: LearnedBloom = load_json(&model).map_err(err)?;
+                Arc::new(ServeRuntime::start_named(StructureTask::new(filter), cfg, name))
+            }
+            (WireTask::Bloom, Some(shards)) => {
+                let filter: ShardedBloom = load_json(&model).map_err(err)?;
+                check_shards("bloom", filter.spec().shards, shards)?;
+                let tasks: Vec<StructureTask<LearnedBloom>> =
+                    filter.into_shards().into_iter().map(StructureTask::new).collect();
+                Arc::new(ShardedRuntime::start_named(tasks, cfg, aggregate_bloom, name))
+            }
+            (WireTask::Index, None) => {
+                let collection: SetCollection =
+                    load_json(&entry.dir.join(COLLECTION_SETS)).map_err(err)?;
+                let index: LearnedSetIndex = load_json(&model).map_err(err)?;
+                let structure = IndexStructure { index, collection: Arc::new(collection) };
+                Arc::new(ServeRuntime::start_named(StructureTask::new(structure), cfg, name))
+            }
+            (WireTask::Index, Some(shards)) => {
+                let collection: SetCollection =
+                    load_json(&entry.dir.join(COLLECTION_SETS)).map_err(err)?;
+                let index: ShardedIndex = load_json(&model).map_err(err)?;
+                check_shards("index", index.spec().shards, shards)?;
+                // The model's own spec routes the partition, so the manifest
+                // only has to get the count right.
+                let sharded = ShardedCollection::partition(&collection, index.spec())
+                    .map_err(|e| e.to_string())?;
+                let structure = ShardedIndexStructure::new(index, &sharded);
+                let target = structure.target();
+                let tasks: Vec<_> = structure
+                    .shard_structures()
+                    .iter()
+                    .cloned()
+                    .map(StructureTask::new)
+                    .collect();
+                Arc::new(ShardedRuntime::start_named(
+                    tasks,
+                    cfg,
+                    move |parts| aggregate_index(target, parts),
+                    name,
+                ))
+            }
+        };
+        Ok(backend)
+    }
+
+    fn load_mutable(
+        &self,
+        name: &str,
+        task: WireTask,
+        entry: &CollectionEntry,
+    ) -> Result<(Arc<dyn WireBackend>, Option<CompactorHandle>), String> {
+        if entry.manifest.shards.is_some() {
+            return Err("mutable (WAL-backed) collections cannot be sharded".into());
+        }
+        let wal_dir = entry.dir.join(COLLECTION_WAL);
+        // A compaction checkpoint in the WAL dir supersedes the original
+        // model/collection files, exactly as in single-tenant serving.
+        let err = |e: persist::PersistError| e.to_string();
+        let checkpoint = wal_dir.join("checkpoint.json");
+        let base: Arc<SetCollection> = Arc::new(if checkpoint.exists() {
+            load_json(&checkpoint).map_err(err)?
+        } else {
+            load_json(&entry.dir.join(COLLECTION_SETS)).map_err(err)?
+        });
+        let compacted = wal_dir.join("model.json");
+        let model =
+            if compacted.exists() { compacted } else { entry.dir.join(COLLECTION_MODEL) };
+        let wal2 = wal_dir.clone();
+        match task {
+            WireTask::Cardinality => {
+                let est: LearnedCardinality = load_json(&model).map_err(err)?;
+                self.start_mutable(name, est, base, &wal_dir, move |merged| {
+                    let cfg =
+                        CardinalityConfig::new(DeepSetsConfig::lsm(merged.num_elements()));
+                    let (est, _) = LearnedCardinality::build(merged, &cfg);
+                    persist_compaction(&wal2, &est, merged)?;
+                    Some(est)
+                })
+            }
+            WireTask::Bloom => {
+                let filter: LearnedBloom = load_json(&model).map_err(err)?;
+                self.start_mutable(name, filter, base, &wal_dir, move |merged| {
+                    let cfg = BloomConfig::new(DeepSetsConfig::lsm(merged.num_elements()));
+                    let (filter, _) =
+                        LearnedBloom::build_from_collection(merged, 2_000, 2_000, 4, &cfg);
+                    persist_compaction(&wal2, &filter, merged)?;
+                    Some(filter)
+                })
+            }
+            WireTask::Index => {
+                let index: LearnedSetIndex = load_json(&model).map_err(err)?;
+                let structure = IndexStructure { index, collection: Arc::clone(&base) };
+                self.start_mutable(name, structure, base, &wal_dir, move |merged| {
+                    let cfg = IndexConfig::new(DeepSetsConfig::lsm(merged.num_elements()));
+                    let (index, _) = LearnedSetIndex::build(merged, &cfg);
+                    persist_compaction(&wal2, &index, merged)?;
+                    Some(IndexStructure { index, collection: Arc::new(merged.clone()) })
+                })
+            }
+        }
+    }
+
+    /// Opens the WAL-backed collection, starts its runtime over a shared
+    /// hot-swap slot, and (when configured) the compaction daemon that
+    /// publishes into that slot.
+    fn start_mutable<S>(
+        &self,
+        name: &str,
+        structure: S,
+        base: Arc<SetCollection>,
+        wal_dir: &Path,
+        rebuild: impl FnMut(&SetCollection) -> Option<S> + Send + 'static,
+    ) -> Result<(Arc<dyn WireBackend>, Option<CompactorHandle>), String>
+    where
+        S: DeltaMergeable + Send + Sync + 'static,
+        S::Output: Send + 'static,
+        QueryResponse: From<setlearn::tasks::QueryOutcome<S::Output>>,
+    {
+        let (collection, _report) =
+            MutableCollection::open(structure, base, wal_dir).map_err(|e| e.to_string())?;
+        let collection = Arc::new(collection);
+        let slot = Arc::new(HotSwap::new(StructureTask::new(Arc::clone(&collection))));
+        let runtime = Arc::new(ServeRuntime::start_shared_named(
+            Arc::clone(&slot),
+            self.config.serve.clone(),
+            name,
+        ));
+        let compactor = (self.config.compact_after > 0).then(|| {
+            spawn_compactor_named(
+                Arc::clone(&collection),
+                slot,
+                rebuild,
+                CompactorConfig {
+                    max_delta_ops: self.config.compact_after,
+                    ..CompactorConfig::default()
+                },
+                name,
+            )
+        });
+        let backend = Arc::new(MutableBackend::new(
+            runtime as Arc<dyn WireBackend>,
+            collection as Arc<dyn MutableSink>,
+        ));
+        Ok((backend, compactor))
+    }
+}
+
+impl fmt::Debug for CollectionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectionRegistry")
+            .field("root", &self.config.root)
+            .field("default_collection", &self.config.default_collection)
+            .field("resident", &self.resident_count())
+            .finish()
+    }
+}
+
+fn check_shards(task: &str, have: usize, want: usize) -> Result<(), String> {
+    if have == want {
+        Ok(())
+    } else {
+        Err(format!("sharded {task} checkpoint has {have} shards, manifest says {want}"))
+    }
+}
+
+/// Durably checkpoints a compaction (retrained model + merged collection)
+/// into the WAL dir before the watermark advances; `None` leaves the delta
+/// pending so the compactor retries.
+fn persist_compaction<M: serde::Serialize>(
+    wal_dir: &Path,
+    model: &M,
+    merged: &SetCollection,
+) -> Option<()> {
+    for (what, result) in [
+        ("model", persist::save_json(model, &wal_dir.join("model.json"))),
+        ("collection", persist::save_json(merged, &wal_dir.join("checkpoint.json"))),
+    ] {
+        if let Err(e) = result {
+            eprintln!("warning: compaction checkpoint failed ({what}): {e}");
+            return None;
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlearn::persist::{save_manifest, CollectionManifest};
+    use setlearn_data::GeneratorConfig;
+    use std::time::Duration;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "setlearn-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick_serve() -> ServeConfig {
+        ServeConfig {
+            threads: 1,
+            max_batch: 8,
+            max_delay: Duration::from_micros(50),
+            queue_capacity: 64,
+        }
+    }
+
+    fn small_collection(seed: u64) -> SetCollection {
+        GeneratorConfig {
+            num_sets: 30,
+            vocab: 40,
+            zipf_s: 0.0,
+            min_set_size: 2,
+            max_set_size: 5,
+            seed,
+        }
+        .generate()
+    }
+
+    /// Writes a trained cardinality collection under `root/<name>/`.
+    fn write_cardinality(root: &Path, name: &str, seed: u64) -> LearnedCardinality {
+        let sets = small_collection(seed);
+        let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(sets.num_elements()));
+        cfg.guided.warmup_epochs = 1;
+        cfg.guided.rounds = 0;
+        cfg.guided.epochs_per_round = 1;
+        cfg.max_subset_size = 2;
+        let (est, _) = LearnedCardinality::build(&sets, &cfg);
+        let dir = root.join(name);
+        save_manifest(
+            &dir,
+            &CollectionManifest { task: "cardinality".into(), shards: None, shard_by: None },
+        )
+        .unwrap();
+        persist::save_json(&est, &dir.join(COLLECTION_MODEL)).unwrap();
+        persist::save_json(&sets, &dir.join(COLLECTION_SETS)).unwrap();
+        est
+    }
+
+    #[test]
+    fn lazy_load_then_hit_serves_identical_answers() {
+        let root = tmpdir("lazy");
+        let est = write_cardinality(&root, "alpha", 7);
+        let mut config = RegistryConfig::new(&root);
+        config.serve = quick_serve();
+        config.default_collection = Some("alpha".into());
+        let registry = CollectionRegistry::new(config);
+
+        assert_eq!(registry.resident_count(), 0, "nothing loads before first use");
+        let resident = registry.resolve(Some("alpha")).unwrap();
+        assert_eq!(registry.resident_count(), 1);
+        assert_eq!(resident.task(), WireTask::Cardinality);
+
+        // The default route resolves to the same resident.
+        let by_default = registry.resolve(None).unwrap();
+        assert!(Arc::ptr_eq(&resident, &by_default));
+
+        // Served answers match direct structure queries bit-for-bit.
+        use setlearn::tasks::LearnedSetStructure;
+        let query = setlearn_data::normalize(vec![1, 2]);
+        let direct = est.query(&query).value;
+        let tickets = resident.backend().submit_wire(vec![query]);
+        for ticket in tickets {
+            let response = ticket().unwrap();
+            match response.value {
+                setlearn::wire::QueryValue::Cardinality(v) => {
+                    assert_eq!(v.to_bits(), direct.to_bits())
+                }
+                other => panic!("wrong response kind: {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_and_detached_collections_refuse_typed() {
+        let root = tmpdir("unknown");
+        write_cardinality(&root, "alpha", 9);
+        let mut config = RegistryConfig::new(&root);
+        config.serve = quick_serve();
+        let registry = CollectionRegistry::new(config);
+
+        assert!(matches!(registry.resolve(Some("ghost")), Err(ResolveError::Failed(..))));
+        // No default configured: unaddressed frames have nowhere to go.
+        assert!(matches!(registry.resolve(None), Err(ResolveError::Unknown(_))));
+
+        registry.resolve(Some("alpha")).unwrap();
+        registry.detach("alpha").unwrap();
+        assert_eq!(registry.resident_count(), 0);
+        assert!(
+            matches!(registry.resolve(Some("alpha")), Err(ResolveError::Unknown(_))),
+            "detached collections do not lazily resurrect"
+        );
+        registry.attach("alpha").unwrap();
+        assert!(registry.resolve(Some("alpha")).is_ok(), "re-attach restores serving");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_reloads() {
+        let root = tmpdir("lru");
+        write_cardinality(&root, "old", 1);
+        write_cardinality(&root, "new", 2);
+        let mut config = RegistryConfig::new(&root);
+        config.serve = quick_serve();
+        // Budget fits roughly one collection: loading the second evicts the
+        // least recently used first.
+        let one = persist::inspect_collection(&root, "old").unwrap().disk_bytes;
+        config.max_resident_bytes = Some(one + one / 2);
+        let registry = CollectionRegistry::new(config);
+
+        registry.resolve(Some("old")).unwrap();
+        registry.resolve(Some("new")).unwrap();
+        assert_eq!(registry.resident_count(), 1, "budget holds one collection");
+        let rows = registry.list();
+        let resident: Vec<&str> =
+            rows.iter().filter(|r| r.resident).map(|r| r.name.as_str()).collect();
+        assert_eq!(resident, ["new"], "LRU evicts the older resident");
+
+        // The evicted collection reloads transparently and still answers.
+        assert!(registry.resolve(Some("old")).is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn token_bucket_sheds_only_past_the_burst() {
+        let quota = TenantQuota::new(QuotaConfig { rate: 0.0, burst: 4.0 });
+        assert!(quota.try_admit(3), "burst admits");
+        assert!(!quota.try_admit(2), "over the remaining tokens");
+        assert!(quota.try_admit(1), "the last token still admits");
+        assert!(!quota.try_admit(1), "empty bucket with zero refill sheds");
+
+        let refilling = TenantQuota::new(QuotaConfig { rate: 1_000_000.0, burst: 8.0 });
+        assert!(refilling.try_admit(8));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(refilling.try_admit(8), "bucket refilled at the configured rate");
+    }
+
+    #[test]
+    fn list_sees_cold_collections_without_loading_them() {
+        let root = tmpdir("list");
+        write_cardinality(&root, "a", 3);
+        write_cardinality(&root, "b", 4);
+        let registry = CollectionRegistry::new(RegistryConfig::new(&root));
+        let rows = registry.list();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.resident && r.disk_bytes > 0));
+        assert_eq!(registry.resident_count(), 0, "listing never loads");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -258,25 +258,61 @@ impl<T: ServeTask> ServeRuntime<T> {
     /// refresh daemon (or test writer threads) can publish new models while
     /// the runtime serves.
     pub fn start_shared(model: Arc<HotSwap<T>>, config: ServeConfig) -> Self {
-        Self::start_inner(model, config, None)
+        Self::start_inner(model, config, None, None)
+    }
+
+    /// [`ServeRuntime::start`] for one named collection in a registry:
+    /// every metric this runtime records carries a `collection` label
+    /// alongside the task label.
+    pub fn start_named(task: T, config: ServeConfig, collection: &str) -> Self {
+        Self::start_inner(Arc::new(HotSwap::new(task)), config, None, Some(collection))
+    }
+
+    /// [`ServeRuntime::start_shared`] over an external slot for one named
+    /// collection (the registry's mutable-serving path, where the compactor
+    /// publishes into the slot).
+    pub fn start_shared_named(
+        model: Arc<HotSwap<T>>,
+        config: ServeConfig,
+        collection: &str,
+    ) -> Self {
+        Self::start_inner(model, config, None, Some(collection))
     }
 
     /// [`ServeRuntime::start_shared`] for one shard of a sharded deployment:
     /// every metric this runtime records carries a `shard` label alongside
     /// the task label.
     pub fn start_sharded(model: Arc<HotSwap<T>>, config: ServeConfig, shard: usize) -> Self {
-        Self::start_inner(model, config, Some(shard))
+        Self::start_inner(model, config, Some(shard), None)
     }
 
-    fn start_inner(model: Arc<HotSwap<T>>, config: ServeConfig, shard: Option<usize>) -> Self {
+    /// One shard of a named collection's sharded deployment:
+    /// `task` + `collection` + `shard` labels.
+    pub fn start_named_sharded(
+        model: Arc<HotSwap<T>>,
+        config: ServeConfig,
+        collection: &str,
+        shard: usize,
+    ) -> Self {
+        Self::start_inner(model, config, Some(shard), Some(collection))
+    }
+
+    fn start_inner(
+        model: Arc<HotSwap<T>>,
+        config: ServeConfig,
+        shard: Option<usize>,
+        collection: Option<&str>,
+    ) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid serve config: {e}");
         }
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let stats = Arc::new(ServeStats::default());
-        let tele = Arc::new(match shard {
-            Some(s) => RuntimeTele::sharded(T::NAME, s),
-            None => RuntimeTele::new(T::NAME),
+        let tele = Arc::new(match (collection, shard) {
+            (Some(c), Some(s)) => RuntimeTele::named_sharded(T::NAME, c, s),
+            (Some(c), None) => RuntimeTele::named(T::NAME, c),
+            (None, Some(s)) => RuntimeTele::sharded(T::NAME, s),
+            (None, None) => RuntimeTele::new(T::NAME),
         });
         let workers = (0..config.threads)
             .map(|_| {

@@ -119,6 +119,26 @@ where
         config: ServeConfig,
         aggregate: impl Fn(Vec<T::Response>) -> T::Response + Send + Sync + 'static,
     ) -> Self {
+        Self::start_inner(tasks, config, Arc::new(aggregate), None)
+    }
+
+    /// [`ShardedRuntime::start`] for one named collection in a registry:
+    /// every per-shard metric additionally carries a `collection` label.
+    pub fn start_named(
+        tasks: Vec<T>,
+        config: ServeConfig,
+        aggregate: impl Fn(Vec<T::Response>) -> T::Response + Send + Sync + 'static,
+        collection: &str,
+    ) -> Self {
+        Self::start_inner(tasks, config, Arc::new(aggregate), Some(collection))
+    }
+
+    fn start_inner(
+        tasks: Vec<T>,
+        config: ServeConfig,
+        aggregate: Aggregator<T::Response>,
+        collection: Option<&str>,
+    ) -> Self {
         assert!(!tasks.is_empty(), "need at least one shard task");
         let per_shard =
             ServeConfig { threads: (config.threads / tasks.len()).max(1), ..config };
@@ -126,10 +146,19 @@ where
             .into_iter()
             .enumerate()
             .map(|(s, task)| {
-                ServeRuntime::start_sharded(Arc::new(HotSwap::new(task)), per_shard.clone(), s)
+                let slot = Arc::new(HotSwap::new(task));
+                match collection {
+                    Some(name) => ServeRuntime::start_named_sharded(
+                        slot,
+                        per_shard.clone(),
+                        name,
+                        s,
+                    ),
+                    None => ServeRuntime::start_sharded(slot, per_shard.clone(), s),
+                }
             })
             .collect();
-        ShardedRuntime { shards, aggregate: Arc::new(aggregate) }
+        ShardedRuntime { shards, aggregate }
     }
 
     /// Number of shards.

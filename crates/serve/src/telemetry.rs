@@ -74,12 +74,27 @@ impl RuntimeTele {
         Self::with_labels(task, &[("task", task)])
     }
 
+    /// Handles for a runtime serving one named collection in a registry:
+    /// every family gains a `collection` label. Cardinality of the label set
+    /// is bounded by the registry's resident budget plus the obs registry's
+    /// `MAX_SERIES_PER_FAMILY` overflow collapse.
+    pub(crate) fn named(task: &'static str, collection: &str) -> Self {
+        Self::with_labels(task, &[("task", task), ("collection", collection)])
+    }
+
     /// Handles for one shard of a sharded runtime: every family gains a
     /// `shard` label so per-shard queue depth, latency, and swap counters
     /// stay distinguishable in the exposition.
     pub(crate) fn sharded(task: &'static str, shard: usize) -> Self {
         let shard = shard.to_string();
         Self::with_labels(task, &[("task", task), ("shard", &shard)])
+    }
+
+    /// Handles for one shard of a named collection's sharded runtime:
+    /// `task` + `collection` + `shard`.
+    pub(crate) fn named_sharded(task: &'static str, collection: &str, shard: usize) -> Self {
+        let shard = shard.to_string();
+        Self::with_labels(task, &[("task", task), ("collection", collection), ("shard", &shard)])
     }
 
     fn with_labels(task: &'static str, l: &[(&str, &str)]) -> Self {
@@ -180,6 +195,7 @@ impl RuntimeTele {
 ///   a `code` label naming the [`crate::proto::ErrorCode`] (counter)
 pub(crate) struct NetTele {
     task: &'static str,
+    collection: Option<String>,
     connections: Arc<Gauge>,
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
@@ -190,18 +206,36 @@ pub(crate) struct NetTele {
 
 impl NetTele {
     pub(crate) fn new(task: &'static str) -> Self {
+        Self::build(task, None)
+    }
+
+    /// Handles scoped to one named collection: every family (and the
+    /// per-call protocol-error counter) gains a `collection` label. The
+    /// registry builds one of these per resident collection; series growth
+    /// is bounded by the obs registry's `MAX_SERIES_PER_FAMILY` collapse.
+    pub(crate) fn for_collection(task: &'static str, collection: &str) -> Self {
+        Self::build(task, Some(collection.to_string()))
+    }
+
+    fn build(task: &'static str, collection: Option<String>) -> Self {
         let m = setlearn_obs::metrics();
-        let l = &[("transport", "tcp"), ("task", task)];
+        let mut l: Vec<(&str, &str)> = vec![("transport", "tcp"), ("task", task)];
+        // Frame-side stages (decode / admission / encode) carry the bare
+        // task label, matching the worker-side stage series.
+        let mut stage_labels: Vec<(&str, &str)> = vec![("task", task)];
+        if let Some(name) = collection.as_deref() {
+            l.push(("collection", name));
+            stage_labels.push(("collection", name));
+        }
         NetTele {
             task,
-            connections: m.gauge_with("setlearn_net_connections", l),
-            bytes_in: m.counter_with("setlearn_net_bytes_in_total", l),
-            bytes_out: m.counter_with("setlearn_net_bytes_out_total", l),
-            request_seconds: m.histogram_with("setlearn_net_request_seconds", l, LATENCY_BOUNDS),
-            ingest_seconds: m.histogram_with("setlearn_net_ingest_seconds", l, LATENCY_BOUNDS),
-            // Frame-side stages (decode / admission / encode) carry the bare
-            // task label, matching the worker-side stage series.
-            stages: StageTele::new(&[("task", task)]),
+            connections: m.gauge_with("setlearn_net_connections", &l),
+            bytes_in: m.counter_with("setlearn_net_bytes_in_total", &l),
+            bytes_out: m.counter_with("setlearn_net_bytes_out_total", &l),
+            request_seconds: m.histogram_with("setlearn_net_request_seconds", &l, LATENCY_BOUNDS),
+            ingest_seconds: m.histogram_with("setlearn_net_ingest_seconds", &l, LATENCY_BOUNDS),
+            stages: StageTele::new(&stage_labels),
+            collection,
         }
     }
 
@@ -258,11 +292,11 @@ impl NetTele {
         if !setlearn_obs::metrics_on() {
             return;
         }
-        setlearn_obs::metrics()
-            .counter_with(
-                "setlearn_net_protocol_errors_total",
-                &[("transport", "tcp"), ("task", self.task), ("code", code.label())],
-            )
-            .inc();
+        let mut l: Vec<(&str, &str)> =
+            vec![("transport", "tcp"), ("task", self.task), ("code", code.label())];
+        if let Some(name) = self.collection.as_deref() {
+            l.push(("collection", name));
+        }
+        setlearn_obs::metrics().counter_with("setlearn_net_protocol_errors_total", &l).inc();
     }
 }

@@ -9,7 +9,7 @@ use setlearn::wire::{QueryRequest, QueryValue, WireTask};
 use setlearn_serve::net::{NetClient, NetConfig, NetError, NetServer, WireBackend};
 use setlearn_serve::proto::{
     decode_response_batch, encode_frame, encode_request_batch, read_frame, ErrorCode, ProtoError,
-    HEADER_LEN, VERSION,
+    HEADER_LEN, VERSION_V2,
 };
 use setlearn_serve::{ServeConfig, ServeError, ServeRuntime, ShardedRuntime, StructureTask};
 use setlearn_data::ElementSet;
@@ -209,13 +209,13 @@ fn malformed_frames_get_typed_refusals() {
         drop(runtime);
     }
 
-    // Unsupported version.
+    // Unsupported version (one past the newest the server speaks).
     {
         let (server, runtime, addr) = start_server(config.clone());
         let mut raw = TcpStream::connect(addr).unwrap();
         raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut frame = encode_frame(0, 6, &encode_request_batch(&[QueryRequest::new(vec![1])]));
-        frame[4] = VERSION + 1;
+        frame[4] = VERSION_V2 + 1;
         raw.write_all(&frame).unwrap();
         let resp = read_frame(&mut raw, 1 << 12).unwrap();
         match decode_response_batch(&resp.payload) {

@@ -1,0 +1,157 @@
+//! `SLP1` v1 ⇄ v2 interop properties: v1 frames keep decoding exactly as
+//! before (no collection, byte-compatible layout), v2 frames round-trip
+//! their length-prefixed collection id, and corruption of the id region —
+//! truncation, oversized length, invalid bytes, bit flips — fails typed,
+//! never with a panic or a hang.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setlearn::wire::{QueryRequest, MAX_COLLECTION_ID_LEN};
+use setlearn_serve::proto::{
+    decode_request_batch, encode_frame, encode_frame_v2, encode_request_batch, read_frame,
+    ProtoError, DEFAULT_MAX_FRAME_BYTES, HEADER_LEN, VERSION, VERSION_V2,
+};
+
+const ID_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+
+fn random_name(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=MAX_COLLECTION_ID_LEN);
+    (0..len).map(|_| ID_CHARS[rng.gen_range(0..ID_CHARS.len())] as char).collect()
+}
+
+fn random_body(rng: &mut StdRng) -> Vec<u8> {
+    let batch: Vec<QueryRequest> = (0..rng.gen_range(0..8))
+        .map(|_| QueryRequest::new((0..rng.gen_range(0..16)).map(|_| rng.gen()).collect()))
+        .collect();
+    encode_request_batch(&batch)
+}
+
+#[test]
+fn v2_frames_roundtrip_collection_id_and_body() {
+    let mut rng = StdRng::seed_from_u64(0x52_01);
+    for _ in 0..200 {
+        let name = random_name(&mut rng);
+        let body = random_body(&mut rng);
+        let kind = rng.gen_range(0..3);
+        let id = rng.gen::<u64>();
+        let bytes = encode_frame_v2(kind, id, Some(&name), &body);
+        let frame = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.version, VERSION_V2);
+        assert_eq!(frame.kind, kind);
+        assert_eq!(frame.id, id);
+        assert_eq!(frame.collection.as_deref(), Some(name.as_str()));
+        // The id prefix is stripped: the remaining payload is the body,
+        // bit for bit, and still decodes as the same batch.
+        assert_eq!(frame.payload, body);
+        assert_eq!(
+            decode_request_batch(&frame.payload).unwrap(),
+            decode_request_batch(&body).unwrap()
+        );
+    }
+}
+
+#[test]
+fn v1_frames_stay_bit_compatible_and_carry_no_collection() {
+    let mut rng = StdRng::seed_from_u64(0x52_02);
+    for _ in 0..200 {
+        let body = random_body(&mut rng);
+        let kind = rng.gen_range(0..3);
+        let id = rng.gen::<u64>();
+        let bytes = encode_frame(kind, id, &body);
+        // Layout contract: header, then the body verbatim — nothing about
+        // the v2 extension leaks into v1 frames.
+        assert_eq!(bytes.len(), HEADER_LEN + body.len());
+        assert_eq!(&bytes[HEADER_LEN..], body.as_slice());
+        assert_eq!(bytes[4], VERSION);
+        let frame = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(frame.version, VERSION);
+        assert_eq!(frame.collection, None);
+        assert_eq!(frame.payload, body);
+    }
+}
+
+#[test]
+fn empty_v2_collection_id_means_default_routing() {
+    let body = encode_request_batch(&[QueryRequest::new(vec![1, 2, 3])]);
+    let bytes = encode_frame_v2(0, 9, None, &body);
+    let frame = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap();
+    assert_eq!(frame.version, VERSION_V2);
+    assert_eq!(frame.collection, None, "length-0 id routes to the default collection");
+    assert_eq!(frame.payload, body);
+}
+
+/// Builds a structurally valid frame (magic, CRC) whose *payload* starts
+/// with arbitrary bytes, stamped with the v2 version. The CRC covers the
+/// payload only, so this isolates the collection-id validation layer from
+/// the CRC check.
+fn v2_frame_with_raw_payload(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = encode_frame(0, 11, payload);
+    bytes[4] = VERSION_V2;
+    bytes
+}
+
+#[test]
+fn truncated_collection_ids_fail_typed() {
+    // The length byte claims more id bytes than the payload holds.
+    for claimed in [1usize, 5, 64] {
+        let mut payload = vec![claimed as u8];
+        payload.extend(std::iter::repeat_n(b'a', claimed.saturating_sub(1)));
+        let bytes = v2_frame_with_raw_payload(&payload);
+        match read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES) {
+            Err(ProtoError::BadPayload(_)) => {}
+            other => panic!("truncated id (claimed {claimed}) not refused typed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_and_invalid_collection_ids_fail_typed() {
+    // Length past the protocol cap.
+    let mut oversized = vec![(MAX_COLLECTION_ID_LEN + 1) as u8];
+    oversized.extend(std::iter::repeat_n(b'a', MAX_COLLECTION_ID_LEN + 1));
+    // Bytes outside [A-Za-z0-9_-], and invalid UTF-8.
+    let bad_char = vec![3u8, b'a', b'/', b'b'];
+    let bad_utf8 = vec![2u8, 0xC3, 0x28];
+    for payload in [oversized, bad_char, bad_utf8] {
+        let bytes = v2_frame_with_raw_payload(&payload);
+        match read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES) {
+            Err(ProtoError::BadPayload(_)) => {}
+            other => panic!("invalid collection id not refused typed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_in_a_v2_frame_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x52_03);
+    let body = encode_request_batch(&[QueryRequest::new(vec![7, 8, 9])]);
+    let good = encode_frame_v2(0, 13, Some("tenant-a"), &body);
+    for _ in 0..500 {
+        let mut frame = good.clone();
+        let idx = rng.gen_range(0..frame.len());
+        frame[idx] ^= 1u8 << rng.gen_range(0u32..8);
+        // A flip in the payload region (id prefix included) must trip the
+        // CRC; a flip in the header must fail its own validation or —
+        // rarely, e.g. the id byte of the frame — still decode. Either
+        // way: return, never panic.
+        match read_frame(&mut frame.as_slice(), 1 << 16) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn a_v1_body_reinterpreted_as_v2_cannot_hang_or_panic() {
+    // The failure mode this pins down: a v1 client's payload read through
+    // the v2 parser (first byte taken as an id length). Whatever the bytes,
+    // the parser must return promptly — either a typed error or a decoded
+    // frame whose body then fails batch validation — never block or panic.
+    let mut rng = StdRng::seed_from_u64(0x52_04);
+    for _ in 0..300 {
+        let body = random_body(&mut rng);
+        let bytes = v2_frame_with_raw_payload(&body);
+        if let Ok(frame) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES) {
+            let _ = decode_request_batch(&frame.payload);
+        }
+    }
+}

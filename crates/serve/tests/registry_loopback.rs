@@ -1,0 +1,280 @@
+//! End-to-end multi-tenant serving over loopback TCP: one registry server
+//! hosting several collections answers exactly like dedicated solo servers,
+//! v1 clients keep working against the default collection, admin frames
+//! manage residency over the wire, and per-tenant quotas shed one tenant
+//! without touching another.
+
+use setlearn::model::DeepSetsConfig;
+use setlearn::persist::{
+    save_manifest, CollectionManifest, COLLECTION_MODEL, COLLECTION_SETS,
+};
+use setlearn::tasks::{CardinalityConfig, LearnedCardinality};
+use setlearn::wire::{QueryRequest, QueryValue, WireTask};
+use setlearn_data::{GeneratorConfig, SetCollection};
+use setlearn_serve::net::{NetClient, NetConfig, NetError, NetServer, WireBackend};
+use setlearn_serve::proto::{ErrorCode, ProtoError};
+use setlearn_serve::{
+    CardinalityTask, CollectionRegistry, QuotaConfig, RegistryConfig, ServeConfig,
+    ServeRuntime,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmproot(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "setlearn-regloop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quick_serve() -> ServeConfig {
+    ServeConfig {
+        threads: 1,
+        max_batch: 8,
+        max_delay: Duration::from_micros(50),
+        queue_capacity: 64,
+    }
+}
+
+/// Trains and persists a tiny cardinality collection under `root/<name>/`.
+fn write_collection(root: &Path, name: &str, seed: u64) {
+    let sets = GeneratorConfig {
+        num_sets: 30,
+        vocab: 40,
+        zipf_s: 0.0,
+        min_set_size: 2,
+        max_set_size: 5,
+        seed,
+    }
+    .generate();
+    let mut cfg = CardinalityConfig::new(DeepSetsConfig::lsm(sets.num_elements()));
+    cfg.guided.warmup_epochs = 1;
+    cfg.guided.rounds = 0;
+    cfg.guided.epochs_per_round = 1;
+    cfg.max_subset_size = 2;
+    let (est, _) = LearnedCardinality::build(&sets, &cfg);
+    let dir = root.join(name);
+    save_manifest(
+        &dir,
+        &CollectionManifest { task: "cardinality".into(), shards: None, shard_by: None },
+    )
+    .unwrap();
+    setlearn::persist::save_json(&est, &dir.join(COLLECTION_MODEL)).unwrap();
+    setlearn::persist::save_json(&sets, &dir.join(COLLECTION_SETS)).unwrap();
+}
+
+/// A dedicated single-collection server over the model persisted at
+/// `root/<name>/` — the pre-registry serving topology, used as the
+/// bit-identity reference.
+fn solo_server(root: &Path, name: &str) -> (NetServer, std::net::SocketAddr) {
+    let est: LearnedCardinality =
+        setlearn::persist::load_json(&root.join(name).join(COLLECTION_MODEL)).unwrap();
+    let runtime = Arc::new(ServeRuntime::start(CardinalityTask::new(est), quick_serve()));
+    let backend: Arc<dyn WireBackend> = runtime as _;
+    let server = NetServer::bind("127.0.0.1:0", backend, NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn registry_server(
+    root: &Path,
+    default: Option<&str>,
+    quota: Option<QuotaConfig>,
+) -> (NetServer, std::net::SocketAddr, Arc<CollectionRegistry>) {
+    let mut config = RegistryConfig::new(root);
+    config.serve = quick_serve();
+    config.default_collection = default.map(str::to_string);
+    config.quota = quota;
+    let registry = Arc::new(CollectionRegistry::new(config));
+    let server =
+        NetServer::bind_registry("127.0.0.1:0", Arc::clone(&registry), NetConfig::default())
+            .unwrap();
+    let addr = server.local_addr();
+    (server, addr, registry)
+}
+
+fn requests() -> Vec<QueryRequest> {
+    (0..20).map(|i| QueryRequest::new(vec![i % 7, (i * 3) % 11 + 1])).collect()
+}
+
+fn cardinalities(outcomes: &[setlearn_serve::proto::WireOutcome]) -> Vec<u64> {
+    outcomes
+        .iter()
+        .map(|o| match o.as_ref().unwrap().value {
+            QueryValue::Cardinality(v) => v.to_bits(),
+            ref other => panic!("wrong value kind: {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn registry_answers_each_tenant_bit_identically_to_solo_servers() {
+    let root = tmproot("two-tenant");
+    write_collection(&root, "tenant-a", 7);
+    write_collection(&root, "tenant-b", 8);
+    let (solo_a, addr_a) = solo_server(&root, "tenant-a");
+    let (solo_b, addr_b) = solo_server(&root, "tenant-b");
+    let (server, addr, _registry) = registry_server(&root, Some("tenant-a"), None);
+    let queries = requests();
+
+    let want_a = cardinalities(
+        &NetClient::connect(addr_a)
+            .unwrap()
+            .query_batch(WireTask::Cardinality, &queries)
+            .unwrap(),
+    );
+    let want_b = cardinalities(
+        &NetClient::connect(addr_b)
+            .unwrap()
+            .query_batch(WireTask::Cardinality, &queries)
+            .unwrap(),
+    );
+    assert_ne!(want_a, want_b, "the two tenants trained genuinely different models");
+
+    // v2 clients address each tenant explicitly; answers are bit-identical
+    // to the dedicated servers.
+    let mut client_a = NetClient::connect(addr).unwrap().with_collection("tenant-a");
+    let mut client_b = NetClient::connect(addr).unwrap().with_collection("tenant-b");
+    let got_a =
+        cardinalities(&client_a.query_batch(WireTask::Cardinality, &queries).unwrap());
+    let got_b =
+        cardinalities(&client_b.query_batch(WireTask::Cardinality, &queries).unwrap());
+    assert_eq!(got_a, want_a, "tenant-a through the registry diverged from its solo server");
+    assert_eq!(got_b, want_b, "tenant-b through the registry diverged from its solo server");
+
+    // A plain v1 client (no collection set) rides to the default collection
+    // and sees tenant-a's answers unchanged.
+    let mut v1 = NetClient::connect(addr).unwrap();
+    v1.ping().unwrap();
+    let got_default =
+        cardinalities(&v1.query_batch(WireTask::Cardinality, &queries).unwrap());
+    assert_eq!(got_default, want_a, "v1 default routing diverged from the solo server");
+
+    server.shutdown();
+    solo_a.shutdown();
+    solo_b.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_collections_refuse_typed_and_the_connection_survives() {
+    let root = tmproot("unknown");
+    write_collection(&root, "tenant-a", 9);
+    let (server, addr, _registry) = registry_server(&root, Some("tenant-a"), None);
+
+    let mut ghost = NetClient::connect(addr).unwrap().with_collection("ghost");
+    match ghost.query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![1, 2])]) {
+        Err(NetError::Proto(ProtoError::Remote(ErrorCode::UnknownCollection))) => {}
+        other => panic!("expected UnknownCollection, got {other:?}"),
+    }
+    // The refusal is per-frame: the same connection re-addressed works.
+    ghost.set_collection(Some("tenant-a".into()));
+    let outcomes =
+        ghost.query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![1, 2])]).unwrap();
+    assert!(outcomes[0].is_ok());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn admin_frames_list_attach_and_detach_over_the_wire() {
+    let root = tmproot("admin");
+    write_collection(&root, "tenant-a", 11);
+    write_collection(&root, "tenant-b", 12);
+    let (server, addr, registry) = registry_server(&root, Some("tenant-a"), None);
+    let mut admin = NetClient::connect(addr).unwrap();
+
+    // Before any query: both discovered, neither resident.
+    let rows = admin.collections().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|c| !c.resident && c.task == WireTask::Cardinality));
+    assert!(rows.iter().any(|c| c.name == "tenant-a"));
+    assert!(rows.iter().any(|c| c.name == "tenant-b"));
+
+    // First query makes tenant-b resident; the listing reflects it.
+    let mut client_b = NetClient::connect(addr).unwrap().with_collection("tenant-b");
+    client_b.query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![3, 4])]).unwrap();
+    let rows = admin.collections().unwrap();
+    let b = rows.iter().find(|c| c.name == "tenant-b").unwrap();
+    assert!(b.resident, "first query loads the collection");
+    assert_eq!(registry.resident_count(), 1);
+
+    // Detach refuses further frames; attach restores service.
+    admin.detach_collection("tenant-b").unwrap();
+    match client_b.query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![3, 4])]) {
+        Err(NetError::Proto(ProtoError::Remote(ErrorCode::UnknownCollection))) => {}
+        other => panic!("detached collection still answered: {other:?}"),
+    }
+    admin.attach_collection("tenant-b").unwrap();
+    let outcomes = client_b
+        .query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![3, 4])])
+        .unwrap();
+    assert!(outcomes[0].is_ok());
+    // Attaching a name that never existed is a typed error.
+    match admin.attach_collection("ghost") {
+        Err(NetError::Proto(ProtoError::Remote(ErrorCode::UnknownCollection))) => {}
+        other => panic!("attach of unknown collection: {other:?}"),
+    }
+
+    // The extended health probe carries registry residency.
+    let report = admin.health_extended().unwrap();
+    assert!(report.resident_collections >= 1);
+    assert!(report.collection_pending.iter().any(|(name, _)| name == "tenant-b"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quota_exhaustion_sheds_one_tenant_while_the_other_answers() {
+    let root = tmproot("quota");
+    write_collection(&root, "tenant-a", 13);
+    write_collection(&root, "tenant-b", 14);
+    // A bucket of 4 with a negligible refill: tenant-a exhausts it fast.
+    let quota = QuotaConfig { rate: 0.001, burst: 4.0 };
+    let (server, addr, _registry) = registry_server(&root, None, Some(quota));
+
+    let mut client_a = NetClient::connect(addr).unwrap().with_collection("tenant-a");
+    let mut shed = false;
+    for i in 0..8 {
+        match client_a.query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![1, 2])]) {
+            Ok(outcomes) => assert!(outcomes[0].is_ok(), "admitted query {i} answered"),
+            Err(NetError::Proto(ProtoError::Remote(ErrorCode::TenantOverloaded))) => {
+                shed = true;
+                break;
+            }
+            other => panic!("unexpected outcome for query {i}: {other:?}"),
+        }
+    }
+    assert!(shed, "tenant-a never hit its quota");
+    // The shed is per-tenant: tenant-b has its own untouched bucket.
+    let mut client_b = NetClient::connect(addr).unwrap().with_collection("tenant-b");
+    let outcomes = client_b
+        .query_batch(WireTask::Cardinality, &[QueryRequest::new(vec![1, 2])])
+        .unwrap();
+    assert!(outcomes[0].is_ok(), "tenant-b served while tenant-a is shed");
+    // And it is not sticky: the refused tenant's connection still pings.
+    client_a.ping().unwrap();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Guards the "collection file is a real SetCollection" assumption the
+/// solo-server reference relies on (index serving would need it; the
+/// cardinality task never touches it, so corruption would otherwise pass).
+#[test]
+fn written_fixture_collections_load_back() {
+    let root = tmproot("fixture");
+    write_collection(&root, "tenant-a", 15);
+    let sets: SetCollection =
+        setlearn::persist::load_json(&root.join("tenant-a").join(COLLECTION_SETS)).unwrap();
+    assert!(!sets.is_empty());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -6,7 +6,7 @@ use setlearn::hybrid::GuidedConfig;
 use setlearn::model::DeepSetsConfig;
 use setlearn::tasks::{
     BloomConfig, CardinalityConfig, IndexConfig, IndexStructure, LearnedBloom,
-    LearnedCardinality, LearnedSetIndex,
+    LearnedCardinality, LearnedSetIndex, LearnedSetStructure,
 };
 use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_serve::{
@@ -46,9 +46,8 @@ fn serve_config() -> ServeConfig {
     }
 }
 
-// The deprecated per-task batch verbs stay the reference answers here:
-// the runtime must agree with them until they are removed.
-#[allow(deprecated)]
+// The unified query API provides the reference answers here: the runtime
+// must agree with direct (unserved) batch queries bit-for-bit.
 #[test]
 fn cardinality_through_the_runtime_matches_direct_serving() {
     let collection = small_collection();
@@ -57,21 +56,21 @@ fn cardinality_through_the_runtime_matches_direct_serving() {
     cfg.max_subset_size = 2;
     let (estimator, _) = LearnedCardinality::build(&collection, &cfg);
     let qs = queries(&collection, 200);
-    let expected = estimator.estimate_batch(&qs);
+    let expected: Vec<f64> =
+        estimator.query_batch(&qs).into_iter().map(|o| o.value).collect();
 
     let runtime = ServeRuntime::start(CardinalityTask::new(estimator), serve_config());
     let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
     for (ticket, want) in tickets.into_iter().zip(expected) {
         let got = ticket.wait().unwrap();
         assert!(got.value.is_finite());
-        assert_eq!(got.value, want, "runtime answer diverged from direct estimate_batch");
+        assert_eq!(got.value, want, "runtime answer diverged from direct query_batch");
     }
     let report = runtime.shutdown();
     assert_eq!(report.completed, qs.len() as u64);
     assert_eq!(report.shed, 0);
 }
 
-#[allow(deprecated)]
 #[test]
 fn index_through_the_runtime_matches_direct_serving() {
     let collection = Arc::new(small_collection());
@@ -84,7 +83,11 @@ fn index_through_the_runtime_matches_direct_serving() {
     };
     let (index, _) = LearnedSetIndex::build(&collection, &cfg);
     let qs = queries(&collection, 150);
-    let expected = index.lookup_batch(&collection, &qs);
+    let expected: Vec<Option<usize>> = index
+        .lookup_batch_profiled(&collection, &qs)
+        .into_iter()
+        .map(|p| p.position)
+        .collect();
 
     let runtime = ServeRuntime::start(
         IndexTask::new(IndexStructure { index, collection: Arc::clone(&collection) }),
@@ -98,7 +101,6 @@ fn index_through_the_runtime_matches_direct_serving() {
     assert_eq!(report.completed, qs.len() as u64);
 }
 
-#[allow(deprecated)]
 #[test]
 fn bloom_through_the_runtime_matches_direct_serving() {
     let collection = small_collection();
@@ -106,7 +108,7 @@ fn bloom_through_the_runtime_matches_direct_serving() {
     cfg.epochs = 4;
     let (filter, _) = LearnedBloom::build_from_collection(&collection, 300, 300, 2, &cfg);
     let qs = queries(&collection, 150);
-    let expected = filter.contains_many(&qs);
+    let expected: Vec<bool> = filter.query_batch(&qs).into_iter().map(|o| o.value).collect();
 
     let runtime = ServeRuntime::start(BloomTask::new(filter), serve_config());
     let tickets: Vec<_> = qs.iter().map(|q| runtime.submit(q.clone()).unwrap()).collect();
@@ -120,7 +122,6 @@ fn bloom_through_the_runtime_matches_direct_serving() {
 
 /// Hot-swapping a retrained cardinality model mid-stream: answers always
 /// come from exactly one of the two published estimators, never a blend.
-#[allow(deprecated)]
 #[test]
 fn cardinality_hot_swap_never_blends_models() {
     let collection = small_collection();
@@ -133,8 +134,9 @@ fn cardinality_hot_swap_never_blends_models() {
     let (second, _) = LearnedCardinality::build(&collection, &cfg);
 
     let qs = queries(&collection, 60);
-    let from_first = first.estimate_batch(&qs);
-    let from_second = second.estimate_batch(&qs);
+    let from_first: Vec<f64> = first.query_batch(&qs).into_iter().map(|o| o.value).collect();
+    let from_second: Vec<f64> =
+        second.query_batch(&qs).into_iter().map(|o| o.value).collect();
 
     let runtime = ServeRuntime::start(
         CardinalityTask::new(first),

@@ -1,18 +1,15 @@
 //! Batched query APIs agree with their one-at-a-time counterparts
-//! (including the paper's §9 multi-membership direction).
-//!
-//! The per-task batch verbs are deprecated in favor of the unified
-//! [`setlearn::tasks::LearnedSetStructure::query_batch`]; this suite keeps
-//! pinning their answers until they are removed.
-#![allow(deprecated)]
+//! (including the paper's §9 multi-membership direction), exercised
+//! through the unified [`setlearn::tasks::LearnedSetStructure`] surface.
 
 use setlearn::hybrid::GuidedConfig;
 use setlearn::model::DeepSetsConfig;
 use setlearn::tasks::{
-    BloomConfig, CardinalityConfig, IndexConfig, LearnedBloom, LearnedCardinality,
-    LearnedSetIndex,
+    BloomConfig, CardinalityConfig, IndexConfig, IndexStructure, LearnedBloom,
+    LearnedCardinality, LearnedSetIndex, LearnedSetStructure,
 };
 use setlearn_data::{workload::membership_queries, ElementSet, GeneratorConfig};
+use std::sync::Arc;
 
 fn quick_guided() -> GuidedConfig {
     GuidedConfig {
@@ -35,11 +32,11 @@ fn cardinality_batch_equals_singles() {
     let (est, _) = LearnedCardinality::build(&c, &cfg);
     let queries: Vec<ElementSet> =
         c.sets().iter().take(50).map(|s| s[..2.min(s.len())].into()).collect();
-    let batch = est.estimate_batch(&queries);
+    let batch = est.query_batch(&queries);
     for (q, b) in queries.iter().zip(batch) {
-        assert_eq!(b, est.estimate(q), "query {q:?}");
+        assert_eq!(b.value, est.estimate(q), "query {q:?}");
     }
-    assert!(est.estimate_batch::<ElementSet>(&[]).is_empty());
+    assert!(est.query_batch(&[]).is_empty());
 }
 
 #[test]
@@ -51,9 +48,11 @@ fn index_batch_equals_singles() {
     let (index, _) = LearnedSetIndex::build(&c, &cfg);
     let queries: Vec<ElementSet> =
         c.sets().iter().take(50).map(|s| s[..2.min(s.len())].into()).collect();
-    let batch = index.lookup_batch(&c, &queries);
-    for (q, b) in queries.iter().zip(batch) {
-        assert_eq!(b, index.lookup(&c, q), "query {q:?}");
+    let singles: Vec<Option<usize>> = queries.iter().map(|q| index.lookup(&c, q)).collect();
+    let structure = IndexStructure { index, collection: Arc::new(c) };
+    let batch = structure.query_batch(&queries);
+    for ((q, b), want) in queries.iter().zip(batch).zip(singles) {
+        assert_eq!(b.value, want, "query {q:?}");
     }
 }
 
@@ -65,11 +64,11 @@ fn bloom_multi_membership_equals_singles_and_keeps_guarantee() {
     cfg.epochs = 20;
     let (filter, _) = LearnedBloom::build(&workload, &cfg);
     let queries: Vec<ElementSet> = workload.iter().map(|(q, _)| q.clone()).collect();
-    let batch = filter.contains_many(&queries);
+    let batch = filter.query_batch(&queries);
     for ((q, label), b) in workload.iter().zip(batch) {
-        assert_eq!(b, filter.contains(q));
+        assert_eq!(b.value, filter.contains(q));
         if *label {
-            assert!(b, "multi-membership false negative on {q:?}");
+            assert!(b.value, "multi-membership false negative on {q:?}");
         }
     }
 }

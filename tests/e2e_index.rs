@@ -97,11 +97,9 @@ fn last_occurrence_index_finds_the_last_position() {
     // Batch agrees.
     let queries: Vec<setlearn_data::ElementSet> =
         subsets.iter().take(100).map(|(s, _)| s.clone()).collect();
-    // Deprecated alias of the unified query API; pinned until removal.
-    #[allow(deprecated)]
-    let batch = index.lookup_batch(&collection, &queries);
+    let batch = index.lookup_batch_profiled(&collection, &queries);
     for (q, b) in queries.iter().zip(batch) {
-        assert_eq!(b, index.lookup(&collection, q));
+        assert_eq!(b.position, index.lookup(&collection, q));
     }
 }
 
