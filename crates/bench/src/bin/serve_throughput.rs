@@ -14,10 +14,14 @@
 //! unsharded model's.
 //!
 //! `SERVE_THROUGHPUT_REQUESTS` overrides the per-cell request count (CI
-//! smoke runs use a small value).
+//! smoke runs use a small value). `--precision <f32|f16|q8>` switches to a
+//! smoke mode: serve the cardinality workload at f32 and at the requested
+//! precision, assert the requested precision is not slower (with slack for
+//! noisy hosts), and skip the full tables.
 
 use setlearn::hybrid::GuidedConfig;
-use setlearn::model::DeepSetsConfig;
+use setlearn::kernel::{kernel_isa, FrozenModel, Precision};
+use setlearn::model::{DeepSets, DeepSetsConfig};
 use setlearn::tasks::{
     aggregate_cardinality, CardinalityConfig, LearnedCardinality, ShardedCardinality,
 };
@@ -107,6 +111,48 @@ fn run_sharded(model: &ShardedCardinality, requests: &[ElementSet], threads: usi
     requests.len() as f64 / elapsed
 }
 
+/// Parses an optional `--precision <f32|f16|q8>` CLI argument.
+fn precision_arg() -> Option<Precision> {
+    let mut args = std::env::args().skip(1);
+    let mut precision = None;
+    while let Some(a) = args.next() {
+        if a == "--precision" {
+            let v = args.next().expect("--precision needs a value");
+            precision = Some(v.parse().expect("--precision value"));
+        } else {
+            panic!("unknown argument '{a}' (only --precision <f32|f16|q8> is accepted)");
+        }
+    }
+    precision
+}
+
+/// Smoke mode: serve the same workload at f32 and at `precision` through the
+/// real runtime, and assert the reduced precision is not slower. The 0.8
+/// slack absorbs scheduler noise on loaded CI hosts — the point is catching
+/// a quantized path that quietly falls off the kernel (q8 measures well
+/// above 1x when healthy).
+fn precision_smoke(estimator: &LearnedCardinality, requests: &[ElementSet], precision: Precision) {
+    let serve_at = |p: Precision| {
+        let mut model = estimator.clone();
+        model.set_precision(p);
+        let slot = Arc::new(HotSwap::new(CardinalityTask::new(model)));
+        run(&slot, &requests[..requests.len().min(512)], 1, BATCHED); // warm-up
+        (0..REPS).map(|_| run(&slot, requests, 1, BATCHED)).fold(0.0, f64::max)
+    };
+    let f32_qps = serve_at(Precision::F32);
+    let alt_qps = serve_at(precision);
+    println!(
+        "precision smoke ({} kernel): {precision} {alt_qps:.0} QPS vs f32 {f32_qps:.0} QPS \
+         ({:.2}x)",
+        kernel_isa(),
+        alt_qps / f32_qps,
+    );
+    assert!(
+        alt_qps >= 0.8 * f32_qps,
+        "{precision} serving ({alt_qps:.0} QPS) fell below f32 ({f32_qps:.0} QPS)"
+    );
+}
+
 fn main() {
     let requests_per_cell: usize = std::env::var("SERVE_THROUGHPUT_REQUESTS")
         .ok()
@@ -131,6 +177,11 @@ fn main() {
         SubsetIndex::build(&collection, 2).iter().map(|(s, _)| s.clone()).collect();
     let requests: Vec<ElementSet> =
         (0..requests_per_cell).map(|i| pool[i % pool.len()].clone()).collect();
+
+    if let Some(precision) = precision_arg() {
+        precision_smoke(&estimator, &requests, precision);
+        return;
+    }
 
     // One resident model shared by every runtime under test.
     let slot = Arc::new(HotSwap::new(CardinalityTask::new(estimator)));
@@ -178,18 +229,20 @@ fn main() {
 
     // ── Sharded (N = 4) vs unsharded ─────────────────────────────────────
     // This comparison runs in the compute-dominated regime sharding exists
-    // for: a production-sized unsharded model (embedding 32, hidden 2×128)
-    // against four capacity-proportional shard models (embedding 8, hidden
-    // 2×32 — each shard holds ~1/4 of the collection and needs ~1/4 of the
+    // for: a production-sized unsharded model (embedding 64, hidden 2×256)
+    // against four capacity-proportional shard models (embedding 16, hidden
+    // 2×64 — each shard holds ~1/4 of the collection and needs ~1/4 of the
     // capacity). Every request still fans out to all four shards, but the
     // four quarter-sized forward passes together cost far less than the one
-    // big pass, which is what buys the QPS back on a single core. Every rep
+    // big pass, which is what buys the QPS back on a single core. (The
+    // frozen kernels sped both sides up; the model sizes here keep forward
+    // compute — not fan-out bookkeeping — the dominant cost.) Every rep
     // also performs a rolling shard-by-shard hot-swap while the workload is
     // in flight and asserts exact per-shard accounting.
     let mut heavy_cfg = cfg.clone();
-    heavy_cfg.model.embedding_dim = 32;
-    heavy_cfg.model.phi_hidden = vec![128, 128];
-    heavy_cfg.model.rho_hidden = vec![128, 128];
+    heavy_cfg.model.embedding_dim = 64;
+    heavy_cfg.model.phi_hidden = vec![256, 256];
+    heavy_cfg.model.rho_hidden = vec![256, 256];
     let (heavy, _) = LearnedCardinality::build(&collection, &heavy_cfg);
     let heavy_slot = Arc::new(HotSwap::new(CardinalityTask::new(heavy)));
 
@@ -197,9 +250,9 @@ fn main() {
         ShardedCollection::partition(&collection, ShardSpec::new(SHARDS, ShardBy::Hash))
             .expect("partition");
     let mut shard_cfg = cfg.clone();
-    shard_cfg.model.embedding_dim = 8;
-    shard_cfg.model.phi_hidden = vec![32, 32];
-    shard_cfg.model.rho_hidden = vec![32, 32];
+    shard_cfg.model.embedding_dim = 16;
+    shard_cfg.model.phi_hidden = vec![64, 64];
+    shard_cfg.model.rho_hidden = vec![64, 64];
     let (sharded_model, _) =
         ShardedCardinality::build(&sharded_collection, &shard_cfg).expect("sharded build");
 
@@ -219,5 +272,78 @@ fn main() {
         sharded_4t >= unsharded_4t,
         "sharded N={SHARDS} fan-out ({sharded_4t:.0} QPS) fell below the unsharded runtime \
          ({unsharded_4t:.0} QPS)"
+    );
+
+    // ── Inference kernels: frozen forward path vs scalar ─────────────────
+    // Model-level comparison (no queueing) on the production-sized model at
+    // the serve micro-batch size: the scalar `predict_batch` reference
+    // against [`FrozenModel`] at each precision. f32 freezing must be
+    // bit-identical; f16/q8 report their worst score deltas.
+    let kmodel = DeepSets::new(heavy_cfg.model.clone());
+    // Mixed 1–6 element sets: φ work scales with elements, and serve traffic
+    // is not all pairs.
+    let vocab = collection.num_elements();
+    let ksets: Vec<ElementSet> = (0..requests.len() as u32)
+        .map(|i| (0..=(i % 6)).map(|j| (i * 37 + j * 11) % vocab).collect())
+        .collect();
+    let kbatches: Vec<&[ElementSet]> = ksets.chunks(BATCHED).collect();
+    let kbench = |f: &dyn Fn(&[ElementSet]) -> Vec<f32>| {
+        let mut best = 0.0f64;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let mut n = 0usize;
+            for b in &kbatches {
+                n += f(b).len();
+            }
+            best = best.max(n as f64 / start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let scalar_qps = kbench(&|b| kmodel.predict_batch(b));
+    let scalar_scores: Vec<f32> =
+        kbatches.iter().flat_map(|b| kmodel.predict_batch(b)).collect();
+    let mut kt = Table::new(vec!["forward path", "QPS", "vs scalar", "max |Δscore|"]);
+    kt.row(vec!["scalar f32".into(), format!("{scalar_qps:.0}"), "1.00x".into(), "0".into()]);
+    let mut speedup_f32 = 0.0;
+    let mut speedup_q8 = 0.0;
+    for p in Precision::ALL {
+        let frozen = FrozenModel::freeze(&kmodel, p);
+        let qps = kbench(&|b| frozen.predict_batch(b));
+        let maxd = kbatches
+            .iter()
+            .flat_map(|b| frozen.predict_batch(b))
+            .zip(&scalar_scores)
+            .map(|(a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let speedup = qps / scalar_qps;
+        match p {
+            Precision::F32 => {
+                assert_eq!(maxd, 0.0, "frozen f32 must be bit-identical to scalar");
+                speedup_f32 = speedup;
+            }
+            Precision::Q8 => speedup_q8 = speedup,
+            Precision::F16 => {}
+        }
+        kt.row(vec![
+            format!("frozen {p}"),
+            format!("{qps:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{maxd:.5}"),
+        ]);
+    }
+    kt.print(&format!(
+        "Inference kernels ({} dispatch) — embedding {}, φ {:?}, ρ {:?}, batch {BATCHED}",
+        kernel_isa(),
+        heavy_cfg.model.embedding_dim,
+        heavy_cfg.model.phi_hidden,
+        heavy_cfg.model.rho_hidden,
+    ));
+    assert!(
+        speedup_f32 >= 1.5,
+        "blocked f32 kernel ({speedup_f32:.2}x) fell below the 1.5x floor over scalar"
+    );
+    assert!(
+        speedup_q8 >= 2.0,
+        "q8 kernel ({speedup_q8:.2}x) fell below the 2x floor over scalar"
     );
 }

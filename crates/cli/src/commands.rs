@@ -6,9 +6,10 @@ use setlearn::prelude::{
     aggregate_bloom, aggregate_cardinality, aggregate_index, BloomConfig, CardinalityConfig,
     DeepSetsConfig, DeltaMergeable, DriftMonitor, FallbackReason, GuidedConfig, IndexConfig,
     IndexStructure, LearnedBloom, LearnedCardinality, LearnedSetIndex, LearnedSetStructure,
-    MonitorConfig, MutableCollection, MutableSink, QueryOutcome, QueryRequest, QueryResponse,
-    QueryValue, ShardBy, ShardIndexStructure, ShardSpec, ShardedBloom, ShardedCardinality,
-    ShardedCollection, ShardedIndex, ShardedIndexStructure, Wal, WalOp, WireTask,
+    MonitorConfig, MutableCollection, MutableSink, Precision, QueryOutcome, QueryRequest,
+    QueryResponse, QueryValue, ShardBy, ShardIndexStructure, ShardSpec, ShardedBloom,
+    ShardedCardinality, ShardedCollection, ShardedIndex, ShardedIndexStructure, Wal, WalOp,
+    WireTask,
 };
 use setlearn_data::{ElementSet, GeneratorConfig, SetCollection, SubsetIndex};
 use setlearn_engine::{Engine, SetTable};
@@ -345,6 +346,24 @@ fn model_from_args(args: &Args, vocab: u32) -> Result<DeepSetsConfig, CliError> 
     Ok(model)
 }
 
+/// Parses `--precision f32|f16|q8`; `None` keeps whatever the checkpoint
+/// records (fresh training defaults to f32).
+fn precision_from_args(args: &Args) -> Result<Option<Precision>, CliError> {
+    match args.optional("precision") {
+        None => Ok(None),
+        Some(raw) => Ok(Some(raw.parse::<Precision>().map_err(ArgError)?)),
+    }
+}
+
+/// Enforces the checkpoint's recorded precision against `--precision`: a
+/// mismatch fails typed (retrain with the wanted precision) instead of
+/// silently serving at a different accuracy than requested.
+fn check_precision(args: &Args, recorded: Precision) -> Result<(), CliError> {
+    setlearn::kernel::resolve_precision(precision_from_args(args)?, recorded)
+        .map(|_| ())
+        .map_err(|e| CliError::from(e.to_string()))
+}
+
 /// `setlearn train --task cardinality|index|bloom --collection FILE --out FILE
 ///  [--compressed] [--epochs N] [--percentile P] [--neurons N] [--embedding D]
 ///  [--shards N] [--shard-by hash|range] [--telemetry PATH]`
@@ -357,10 +376,12 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "collection", "root", "out", "compressed", "epochs", "refine-epochs",
         "percentile", "neurons", "embedding", "max-subset", "lr", "batch", "seed", "range",
-        "last", "samples", "shards", "shard-by", "telemetry", "wal-dir",
+        "last", "samples", "shards", "shard-by", "telemetry", "wal-dir", "precision",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
+    // Recorded in the checkpoint; query/serve refuse a conflicting flag.
+    let precision = precision_from_args(args)?.unwrap_or_default();
     let spec = shard_spec_from_args(args)?;
     let tenant = tenant_paths(args)?;
     // Unified addressing: the collection file, output model, and WAL all
@@ -446,7 +467,8 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             };
             match spec {
                 None => {
-                    let (est, report) = LearnedCardinality::build(&collection, &cfg);
+                    let (mut est, report) = LearnedCardinality::build(&collection, &cfg);
+                    est.set_precision(precision);
                     save(&est, out)?;
                     report_training(&report.train);
                     println!(
@@ -458,7 +480,8 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                 }
                 Some(spec) => {
                     let sharded = ShardedCollection::partition(&collection, spec)?;
-                    let (est, reports) = ShardedCardinality::build(&sharded, &cfg)?;
+                    let (mut est, reports) = ShardedCardinality::build(&sharded, &cfg)?;
+                    est.set_precision(precision);
                     save(&est, out)?;
                     report_sharded_training(reports.iter().map(|r| &r.train));
                     println!(
@@ -485,7 +508,8 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             };
             match spec {
                 None => {
-                    let (index, report) = LearnedSetIndex::build(&collection, &cfg);
+                    let (mut index, report) = LearnedSetIndex::build(&collection, &cfg);
+                    index.set_precision(precision);
                     save(&index, out)?;
                     report_training(&report.train);
                     println!(
@@ -498,7 +522,8 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                 }
                 Some(spec) => {
                     let sharded = ShardedCollection::partition(&collection, spec)?;
-                    let (index, reports) = ShardedIndex::build(&sharded, &cfg)?;
+                    let (mut index, reports) = ShardedIndex::build(&sharded, &cfg)?;
+                    index.set_precision(precision);
                     save(&index, out)?;
                     report_sharded_training(reports.iter().map(|r| &r.train));
                     println!(
@@ -519,8 +544,9 @@ pub fn train(args: &Args) -> Result<(), CliError> {
             let max_query = args.get_or("max-subset", 4usize)?;
             match spec {
                 None => {
-                    let (filter, report) =
+                    let (mut filter, report) =
                         LearnedBloom::build_from_collection(&collection, n, n, max_query, &cfg);
+                    filter.set_precision(precision);
                     save(&filter, out)?;
                     report_training(&report.train);
                     println!(
@@ -532,8 +558,9 @@ pub fn train(args: &Args) -> Result<(), CliError> {
                 }
                 Some(spec) => {
                     let sharded = ShardedCollection::partition(&collection, spec)?;
-                    let (filter, reports) =
+                    let (mut filter, reports) =
                         ShardedBloom::build_from_collection(&sharded, n, n, max_query, &cfg)?;
+                    filter.set_precision(precision);
                     save(&filter, out)?;
                     report_sharded_training(reports.iter().map(|r| &r.train));
                     println!(
@@ -617,10 +644,15 @@ fn query_adhoc(
     match task {
         "cardinality" => {
             let outcome = match spec {
-                None => load::<LearnedCardinality>(model_path)?.query(&q),
+                None => {
+                    let est: LearnedCardinality = load(model_path)?;
+                    check_precision(args, est.precision())?;
+                    est.query(&q)
+                }
                 Some(spec) => {
                     let est: ShardedCardinality = load(model_path)?;
                     check_shard_spec(est.spec(), spec)?;
+                    check_precision(args, est.precision())?;
                     est.query(&q)
                 }
             };
@@ -637,11 +669,13 @@ fn query_adhoc(
             let outcome = match spec {
                 None => {
                     let index: LearnedSetIndex = load(model_path)?;
+                    check_precision(args, index.precision())?;
                     IndexStructure { index, collection: Arc::clone(&collection) }.query(&q)
                 }
                 Some(spec) => {
                     let index: ShardedIndex = load(model_path)?;
                     check_shard_spec(index.spec(), spec)?;
+                    check_precision(args, index.precision())?;
                     let sharded = ShardedCollection::partition(&collection, spec)?;
                     ShardedIndexStructure::new(index, &sharded).query(&q)
                 }
@@ -654,10 +688,15 @@ fn query_adhoc(
         }
         "bloom" => {
             let outcome = match spec {
-                None => load::<LearnedBloom>(model_path)?.query(&q),
+                None => {
+                    let filter: LearnedBloom = load(model_path)?;
+                    check_precision(args, filter.precision())?;
+                    filter.query(&q)
+                }
                 Some(spec) => {
                     let filter: ShardedBloom = load(model_path)?;
                     check_shard_spec(filter.spec(), spec)?;
+                    check_precision(args, filter.precision())?;
                     filter.query(&q)
                 }
             };
@@ -713,7 +752,7 @@ fn run_structure<S: LearnedSetStructure>(
 pub fn query(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "task", "model", "collection", "root", "query", "limit", "max-subset", "threads",
-        "shards", "shard-by", "telemetry",
+        "shards", "shard-by", "telemetry", "precision",
     ])?;
     let sink = telemetry::begin(args)?;
     let task = args.required("task")?.to_string();
@@ -761,11 +800,13 @@ pub fn query(args: &Args) -> Result<(), CliError> {
             let outcomes = match spec {
                 None => {
                     let est: LearnedCardinality = load(model_path)?;
+                    check_precision(args, est.precision())?;
                     run_structure(&est, &queries, threads)
                 }
                 Some(spec) => {
                     let est: ShardedCardinality = load(model_path)?;
                     check_shard_spec(est.spec(), spec)?;
+                    check_precision(args, est.precision())?;
                     run_structure(&est, &queries, threads)
                 }
             };
@@ -787,6 +828,7 @@ pub fn query(args: &Args) -> Result<(), CliError> {
             let outcomes = match spec {
                 None => {
                     let index: LearnedSetIndex = load(model_path)?;
+                    check_precision(args, index.precision())?;
                     let structure =
                         IndexStructure { index, collection: Arc::clone(&collection) };
                     run_structure(&structure, &queries, threads)
@@ -794,6 +836,7 @@ pub fn query(args: &Args) -> Result<(), CliError> {
                 Some(spec) => {
                     let index: ShardedIndex = load(model_path)?;
                     check_shard_spec(index.spec(), spec)?;
+                    check_precision(args, index.precision())?;
                     let sharded = ShardedCollection::partition(&collection, spec)?;
                     let structure = ShardedIndexStructure::new(index, &sharded);
                     run_structure(&structure, &queries, threads)
@@ -817,11 +860,13 @@ pub fn query(args: &Args) -> Result<(), CliError> {
             let outcomes = match spec {
                 None => {
                     let filter: LearnedBloom = load(model_path)?;
+                    check_precision(args, filter.precision())?;
                     run_structure(&filter, &queries, threads)
                 }
                 Some(spec) => {
                     let filter: ShardedBloom = load(model_path)?;
                     check_shard_spec(filter.spec(), spec)?;
+                    check_precision(args, filter.precision())?;
                     run_structure(&filter, &queries, threads)
                 }
             };
@@ -1079,6 +1124,7 @@ fn serve_listen(
         "cardinality" => match spec {
             None => {
                 let est: LearnedCardinality = load(model_path)?;
+                check_precision(args, est.precision())?;
                 let report = listen_and_drain(
                     Arc::new(ServeRuntime::start(CardinalityTask::new(est), cfg)),
                     args,
@@ -1089,6 +1135,7 @@ fn serve_listen(
             Some(spec) => {
                 let est: ShardedCardinality = load(model_path)?;
                 check_shard_spec(est.spec(), spec)?;
+                check_precision(args, est.precision())?;
                 let tasks: Vec<CardinalityTask> =
                     est.into_shards().into_iter().map(CardinalityTask::new).collect();
                 let report = listen_and_drain(
@@ -1106,6 +1153,7 @@ fn serve_listen(
             match spec {
                 None => {
                     let index: LearnedSetIndex = load(model_path)?;
+                    check_precision(args, index.precision())?;
                     let structure = IndexStructure { index, collection };
                     let report = listen_and_drain(
                         Arc::new(ServeRuntime::start(IndexTask::new(structure), cfg)),
@@ -1117,6 +1165,7 @@ fn serve_listen(
                 Some(spec) => {
                     let index: ShardedIndex = load(model_path)?;
                     check_shard_spec(index.spec(), spec)?;
+                    check_precision(args, index.precision())?;
                     let sharded = ShardedCollection::partition(&collection, spec)?;
                     let structure = ShardedIndexStructure::new(index, &sharded);
                     let target = structure.target();
@@ -1140,6 +1189,7 @@ fn serve_listen(
         "bloom" => match spec {
             None => {
                 let filter: LearnedBloom = load(model_path)?;
+                check_precision(args, filter.precision())?;
                 let report = listen_and_drain(
                     Arc::new(ServeRuntime::start(BloomTask::new(filter), cfg)),
                     args,
@@ -1150,6 +1200,7 @@ fn serve_listen(
             Some(spec) => {
                 let filter: ShardedBloom = load(model_path)?;
                 check_shard_spec(filter.spec(), spec)?;
+                check_precision(args, filter.precision())?;
                 let tasks: Vec<BloomTask> =
                     filter.into_shards().into_iter().map(BloomTask::new).collect();
                 let report = listen_and_drain(
@@ -1296,19 +1347,24 @@ fn serve_listen_mutable(
     match task {
         "cardinality" => {
             let est: LearnedCardinality = load(&model_file)?;
+            check_precision(args, est.precision())?;
+            let precision = est.precision();
             let train_cfg = CardinalityConfig {
                 model: model_from_args(args, vocab)?,
                 guided: guided_from_args(args)?,
                 max_subset_size: args.get_or("max-subset", 3usize)?,
             };
             run_mutable_front(args, est, base, wal_dir, cfg, move |merged| {
-                let (est, _) = LearnedCardinality::build(merged, &train_cfg);
+                let (mut est, _) = LearnedCardinality::build(merged, &train_cfg);
+                est.set_precision(precision);
                 persist_compaction(&wal_dir2, &est, merged)?;
                 Some(est)
             })
         }
         "index" => {
             let index: LearnedSetIndex = load(&model_file)?;
+            check_precision(args, index.precision())?;
+            let precision = index.precision();
             let structure = IndexStructure { index, collection: Arc::clone(&base) };
             let train_cfg = IndexConfig {
                 model: model_from_args(args, vocab)?,
@@ -1322,21 +1378,25 @@ fn serve_listen_mutable(
                 },
             };
             run_mutable_front(args, structure, base, wal_dir, cfg, move |merged| {
-                let (index, _) = LearnedSetIndex::build(merged, &train_cfg);
+                let (mut index, _) = LearnedSetIndex::build(merged, &train_cfg);
+                index.set_precision(precision);
                 persist_compaction(&wal_dir2, &index, merged)?;
                 Some(IndexStructure { index, collection: Arc::new(merged.clone()) })
             })
         }
         "bloom" => {
             let filter: LearnedBloom = load(&model_file)?;
+            check_precision(args, filter.precision())?;
+            let precision = filter.precision();
             let mut bcfg = BloomConfig::new(model_from_args(args, vocab)?);
             bcfg.epochs = args.get_or("epochs", 30usize)?;
             bcfg.learning_rate = args.get_or("lr", 5e-3f32)?;
             let n = args.get_or("samples", 2_000usize)?;
             let max_query = args.get_or("max-subset", 4usize)?;
             run_mutable_front(args, filter, base, wal_dir, cfg, move |merged| {
-                let (filter, _) =
+                let (mut filter, _) =
                     LearnedBloom::build_from_collection(merged, n, n, max_query, &bcfg);
+                filter.set_precision(precision);
                 persist_compaction(&wal_dir2, &filter, merged)?;
                 Some(filter)
             })
@@ -1373,7 +1433,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         "task", "model", "collection", "root", "requests", "threads", "max-batch",
         "max-delay-us", "queue", "target-qps", "max-subset", "shards", "shard-by",
         "telemetry", "listen", "serve-for-s", "addr-file", "allow-remote-shutdown",
-        "wal-dir", "compact-after", "slow-query-ms", "drain-grace-ms",
+        "wal-dir", "compact-after", "slow-query-ms", "drain-grace-ms", "precision",
         // Registry (multi-tenant) mode.
         "default-collection", "max-resident-bytes", "quota-qps", "quota-burst",
         // Retraining knobs, read by the `--compact-after` rebuild closure.
@@ -1490,6 +1550,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
             "cardinality" => {
                 let est: ShardedCardinality = load(model_path)?;
                 check_shard_spec(est.spec(), spec)?;
+                check_precision(args, est.precision())?;
                 let tasks: Vec<CardinalityTask> =
                     est.into_shards().into_iter().map(CardinalityTask::new).collect();
                 drive_sharded(tasks, aggregate_cardinality, requests, cfg, target_qps)?
@@ -1497,6 +1558,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
             "index" => {
                 let index: ShardedIndex = load(model_path)?;
                 check_shard_spec(index.spec(), spec)?;
+                check_precision(args, index.precision())?;
                 let sharded = ShardedCollection::partition(&collection, spec)?;
                 let structure = ShardedIndexStructure::new(index, &sharded);
                 let target = structure.target();
@@ -1517,6 +1579,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
             "bloom" => {
                 let filter: ShardedBloom = load(model_path)?;
                 check_shard_spec(filter.spec(), spec)?;
+                check_precision(args, filter.precision())?;
                 let tasks: Vec<BloomTask> =
                     filter.into_shards().into_iter().map(BloomTask::new).collect();
                 drive_sharded(tasks, aggregate_bloom, requests, cfg, target_qps)?
@@ -1550,15 +1613,18 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let (report, qps) = match task.as_str() {
         "cardinality" => {
             let estimator: LearnedCardinality = load(model_path)?;
+            check_precision(args, estimator.precision())?;
             drive(CardinalityTask::new(estimator), requests, cfg, target_qps)?
         }
         "index" => {
             let index: LearnedSetIndex = load(model_path)?;
+            check_precision(args, index.precision())?;
             let structure = IndexStructure { index, collection: Arc::clone(&collection) };
             drive(IndexTask::new(structure), requests, cfg, target_qps)?
         }
         "bloom" => {
             let filter: LearnedBloom = load(model_path)?;
+            check_precision(args, filter.precision())?;
             drive(BloomTask::new(filter), requests, cfg, target_qps)?
         }
         other => {

@@ -44,6 +44,7 @@
 pub mod compress;
 pub mod encoder;
 pub mod hybrid;
+pub mod kernel;
 pub mod memory;
 pub mod model;
 pub mod monitor;
@@ -69,6 +70,9 @@ pub mod wire;
 /// ```
 pub mod prelude {
     pub use crate::hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
+    pub use crate::kernel::{
+        FrozenModel, InferenceKernel, KernelIsa, Precision, PrecisionMismatch,
+    };
     pub use crate::model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
     pub use crate::monitor::{DriftMonitor, MonitorConfig, MonitorSnapshot, RetrainReason};
     pub use crate::shard::{ShardBy, ShardError, ShardRouter, ShardSpec, ShardedCollection};
@@ -90,6 +94,7 @@ pub mod prelude {
 
 pub use compress::CompressionSpec;
 pub use hybrid::{FallbackReason, GuidedConfig, LocalErrorBounds, ServeGuard};
+pub use kernel::{FrozenModel, InferenceKernel, KernelIsa, Precision, PrecisionMismatch};
 pub use monitor::{DriftMonitor, MonitorConfig, MonitorSnapshot, RetrainReason};
 pub use model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
 pub use settransformer::{SetTransformer, SetTransformerConfig};

@@ -182,6 +182,22 @@ impl DeepSets {
         &self.config
     }
 
+    /// The element encoder — read access for [`crate::kernel`]'s freezing
+    /// pass, which re-lays-out the embedding tables for serving.
+    pub fn encoder(&self) -> &ElementEncoder {
+        &self.encoder
+    }
+
+    /// The per-element φ network, if configured.
+    pub fn phi(&self) -> Option<&Mlp> {
+        self.phi.as_ref()
+    }
+
+    /// The ρ head.
+    pub fn rho(&self) -> &Mlp {
+        &self.rho
+    }
+
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.encoder.num_params()

@@ -6,9 +6,11 @@
 //!
 //! ```text
 //! magic  "SLW2"            4 bytes
-//! version: u8              format revision within SLW2 (currently 1)
+//! version: u8              format revision within SLW2 (currently 2)
 //! crc32: u32               CRC-32 (IEEE) over the payload below
 //! payload:
+//!   precision: u8          serve precision (revision 2+; see
+//!                          [`Precision::to_byte`])
 //!   json_len: u32          length of the config JSON
 //!   config JSON            model architecture (to rebuild the skeleton)
 //!   num_bufs: u32
@@ -17,13 +19,15 @@
 //!
 //! The checksum covers both the config and every weight byte, so truncation
 //! and bit flips surface as [`PersistError::Corrupt`] instead of silently
-//! loading garbage weights. Legacy `SLW1` files (the same payload with no
-//! version or checksum) still load.
+//! loading garbage weights. Revision-1 files (no precision byte) and legacy
+//! `SLW1` files (the revision-1 payload with no version or checksum) still
+//! load and report [`Precision::F32`].
 //!
 //! Saves are atomic: bytes are written to a sibling `*.tmp` file, synced, and
 //! renamed over the destination, so a crash mid-save can never leave a
 //! half-written model at the target path.
 
+use crate::kernel::Precision;
 use crate::model::{DeepSets, DeepSetsConfig};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -72,7 +76,10 @@ impl From<serde_json::Error> for PersistError {
 
 const MAGIC_V2: &[u8; 4] = b"SLW2";
 const MAGIC_V1: &[u8; 4] = b"SLW1";
-const FORMAT_VERSION: u8 = 1;
+/// Revision written by this build (adds the leading precision byte).
+const FORMAT_VERSION: u8 = 2;
+/// Oldest SLW2 revision still readable (no precision byte → f32).
+const FORMAT_VERSION_V1: u8 = 1;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
@@ -243,9 +250,23 @@ fn decode_payload(payload: &[u8]) -> Result<DeepSets, PersistError> {
     Ok(model)
 }
 
-/// Encodes a DeepSets model into the checksummed `SLW2` binary format.
+/// Encodes a DeepSets model into the checksummed `SLW2` binary format at
+/// [`Precision::F32`].
 pub fn encode_weights(model: &DeepSets) -> Result<Vec<u8>, PersistError> {
-    let payload = encode_payload(model)?;
+    encode_weights_with_precision(model, Precision::F32)
+}
+
+/// Encodes a DeepSets model into the checksummed `SLW2` binary format,
+/// recording the serve precision in the revision-2 payload so loaders can
+/// rebuild the same inference kernel.
+pub fn encode_weights_with_precision(
+    model: &DeepSets,
+    precision: Precision,
+) -> Result<Vec<u8>, PersistError> {
+    let body = encode_payload(model)?;
+    let mut payload = Vec::with_capacity(1 + body.len());
+    payload.push(precision.to_byte());
+    payload.extend_from_slice(&body);
     let mut out = Vec::with_capacity(9 + payload.len());
     out.extend_from_slice(MAGIC_V2);
     out.push(FORMAT_VERSION);
@@ -254,10 +275,20 @@ pub fn encode_weights(model: &DeepSets) -> Result<Vec<u8>, PersistError> {
     Ok(out)
 }
 
-/// Decodes a model from the binary weight format: verifies the checksum,
-/// rebuilds the skeleton from the embedded config, then overwrites every
-/// weight buffer. Legacy `SLW1` files (no checksum) are also accepted.
+/// Decodes a model from the binary weight format, discarding the recorded
+/// precision. See [`decode_weights_with_precision`].
 pub fn decode_weights(data: &[u8]) -> Result<DeepSets, PersistError> {
+    decode_weights_with_precision(data).map(|(model, _)| model)
+}
+
+/// Decodes a model and its recorded serve precision from the binary weight
+/// format: verifies the checksum, rebuilds the skeleton from the embedded
+/// config, then overwrites every weight buffer. Revision-1 `SLW2` files and
+/// legacy `SLW1` files (no checksum) are also accepted and report
+/// [`Precision::F32`].
+pub fn decode_weights_with_precision(
+    data: &[u8],
+) -> Result<(DeepSets, Precision), PersistError> {
     let mut cur = Cursor::new(data);
     let magic = cur.take(4, "header").map_err(|_| {
         PersistError::Format(format!("not a weight file: {} bytes, need at least 4", data.len()))
@@ -265,9 +296,10 @@ pub fn decode_weights(data: &[u8]) -> Result<DeepSets, PersistError> {
     match magic {
         m if m == MAGIC_V2 => {
             let version = cur.u8("format version")?;
-            if version != FORMAT_VERSION {
+            if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
                 return Err(PersistError::Format(format!(
-                    "unsupported SLW2 revision {version} (this build reads revision {FORMAT_VERSION})"
+                    "unsupported SLW2 revision {version} (this build reads revisions \
+                     {FORMAT_VERSION_V1} and {FORMAT_VERSION})"
                 )));
             }
             let stored_crc = cur.u32("checksum")?;
@@ -279,9 +311,19 @@ pub fn decode_weights(data: &[u8]) -> Result<DeepSets, PersistError> {
                      (file truncated or bits flipped)"
                 )));
             }
-            decode_payload(payload)
+            if version == FORMAT_VERSION_V1 {
+                return Ok((decode_payload(payload)?, Precision::F32));
+            }
+            let mut body = Cursor::new(payload);
+            let precision_byte = body.u8("precision")?;
+            let precision = Precision::from_byte(precision_byte).ok_or_else(|| {
+                PersistError::Format(format!(
+                    "unknown precision code {precision_byte} (this build knows f32/f16/q8)"
+                ))
+            })?;
+            Ok((decode_payload(&payload[body.pos..])?, precision))
         }
-        m if m == MAGIC_V1 => decode_payload(&data[cur.pos..]),
+        m if m == MAGIC_V1 => Ok((decode_payload(&data[cur.pos..])?, Precision::F32)),
         m => Err(PersistError::Format(format!(
             "bad magic {:?}: not a setlearn weight file",
             String::from_utf8_lossy(m)
@@ -523,6 +565,41 @@ mod tests {
         assert_eq!(&v1[..4], b"SLW1");
         let back = decode_weights(&v1).unwrap();
         assert_eq!(model.predict_one(&[5, 9]), back.predict_one(&[5, 9]));
+    }
+
+    #[test]
+    fn precision_roundtrips_and_old_revisions_report_f32() {
+        let model = DeepSets::new(DeepSetsConfig::lsm(60));
+        for p in Precision::ALL {
+            let bytes = encode_weights_with_precision(&model, p).unwrap();
+            let (back, got) = decode_weights_with_precision(&bytes).unwrap();
+            assert_eq!(got, p);
+            assert_eq!(model.predict_one(&[3, 9]), back.predict_one(&[3, 9]));
+        }
+        // A revision-1 file is the same payload without the precision byte
+        // (header is magic 4 + version 1 + crc 4 = 9 bytes).
+        let v2 = encode_weights_with_precision(&model, Precision::Q8).unwrap();
+        let payload = &v2[10..];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V2);
+        v1.push(FORMAT_VERSION_V1);
+        v1.extend_from_slice(&crc32(payload).to_le_bytes());
+        v1.extend_from_slice(payload);
+        let (back, got) = decode_weights_with_precision(&v1).unwrap();
+        assert_eq!(got, Precision::F32);
+        assert_eq!(model.predict_one(&[3, 9]), back.predict_one(&[3, 9]));
+        // Legacy SLW1 also reports f32.
+        let slw1 = encode_weights_legacy_v1(&model).unwrap();
+        assert_eq!(decode_weights_with_precision(&slw1).unwrap().1, Precision::F32);
+        // An unknown precision code is refused even when the checksum holds.
+        let mut bad = encode_weights_with_precision(&model, Precision::F32).unwrap();
+        bad[9] = 7;
+        let crc = crc32(&bad[9..]);
+        bad[5..9].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_weights_with_precision(&bad),
+            Err(PersistError::Format(_))
+        ));
     }
 
     #[test]

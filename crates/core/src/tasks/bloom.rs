@@ -2,6 +2,7 @@
 //! membership with a backup Bloom filter eliminating false negatives.
 
 use crate::hybrid::ServeGuard;
+use crate::kernel::{FrozenModel, KernelCell, Precision};
 use crate::model::{DeepSets, DeepSetsConfig};
 use crate::tasks::{LearnedSetStructure, QueryOutcome};
 use rand::rngs::StdRng;
@@ -76,6 +77,13 @@ pub struct LearnedBloom {
     /// before guards existed (falls back to non-finite-only).
     #[serde(default)]
     guard: ServeGuard,
+    /// Serve precision, recorded in checkpoints; files persisted before
+    /// precision-aware kernels default to full precision.
+    #[serde(default)]
+    precision: Precision,
+    /// Lazily frozen serving kernel (reset on any weight mutation).
+    #[serde(skip)]
+    kernel: KernelCell,
 }
 
 /// Build artifacts for reporting.
@@ -152,6 +160,8 @@ impl LearnedBloom {
                 backup,
                 // Classifier scores are probabilities.
                 guard: ServeGuard::new(0.0, 1.0),
+                precision: Precision::default(),
+                kernel: KernelCell::new(),
             },
             report,
         )
@@ -183,9 +193,35 @@ impl LearnedBloom {
     /// positives that the model had missed.
     pub fn contains(&self, q: &[u32]) -> bool {
         let start = crate::telemetry::query_start();
-        let (answer, fallback) = self.decide(self.model.predict_one(q), q);
+        let (answer, fallback) = self.decide(self.score_one(q), q);
         crate::telemetry::bloom_tele().record_query(start, fallback);
         answer
+    }
+
+    /// The frozen serving kernel, freezing the current weights at
+    /// [`LearnedBloom::precision`] on first use.
+    pub fn kernel(&self) -> &FrozenModel {
+        self.kernel.get_or_freeze(&self.model, self.precision)
+    }
+
+    /// One raw classifier score through the frozen kernel.
+    fn score_one(&self, q: &[u32]) -> f32 {
+        let kernel = self.kernel();
+        let s = kernel.predict_one(q);
+        crate::telemetry::bloom_tele().record_kernel(self.precision, kernel.take_blocks());
+        s
+    }
+
+    /// The precision probes are served at (recorded in checkpoints).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Selects the serve precision; the kernel re-freezes from the current
+    /// weights on the next probe.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.kernel.reset();
     }
 
     fn decide(&self, score: f32, q: &[u32]) -> (bool, Option<crate::hybrid::FallbackReason>) {
@@ -224,7 +260,7 @@ impl LearnedBloom {
 
     /// Raw classifier probability (for threshold tuning / diagnostics).
     pub fn score(&self, q: &[u32]) -> f32 {
-        self.model.predict_one(q)
+        self.score_one(q)
     }
 
     /// The underlying model.
@@ -237,6 +273,7 @@ impl LearnedBloom {
     /// injection in tests. Serve-time guards keep answers finite even if the
     /// swapped weights are corrupt.
     pub fn model_mut(&mut self) -> &mut DeepSets {
+        self.kernel.reset();
         &mut self.model
     }
 
@@ -271,7 +308,7 @@ impl LearnedSetStructure for LearnedBloom {
 
     fn query(&self, q: &[u32]) -> QueryOutcome<bool> {
         let start = crate::telemetry::query_start();
-        let (answer, fallback) = self.decide(self.model.predict_one(q), q);
+        let (answer, fallback) = self.decide(self.score_one(q), q);
         crate::telemetry::bloom_tele().record_query(start, fallback);
         QueryOutcome { value: answer, fallback, bound_miss: false }
     }
@@ -280,7 +317,9 @@ impl LearnedSetStructure for LearnedBloom {
         if queries.is_empty() {
             return Vec::new();
         }
-        let scores = self.model.predict_batch(queries);
+        let kernel = self.kernel();
+        let scores = kernel.predict_batch(queries);
+        crate::telemetry::bloom_tele().record_kernel(self.precision, kernel.take_blocks());
         self.outcomes_for_scores(queries, scores)
     }
 
@@ -292,7 +331,9 @@ impl LearnedSetStructure for LearnedBloom {
         if queries.is_empty() {
             return Vec::new();
         }
-        let scores = self.model.predict_batch_parallel(queries, threads);
+        let kernel = self.kernel();
+        let scores = kernel.predict_batch_parallel(queries, threads);
+        crate::telemetry::bloom_tele().record_kernel(self.precision, kernel.take_blocks());
         self.outcomes_for_scores(queries, scores)
     }
 }

@@ -1,6 +1,7 @@
 //! Learned set cardinality estimation (paper §4.2) and its hybrid variant.
 
 use crate::hybrid::{guided_train_hardened, GuidedConfig, GuidedOutcome, ServeGuard};
+use crate::kernel::{FrozenModel, KernelCell, Precision};
 use crate::model::{DeepSets, DeepSetsConfig};
 use crate::monitor::DriftMonitor;
 use crate::tasks::{LearnedSetStructure, QueryOutcome};
@@ -45,6 +46,14 @@ pub struct LearnedCardinality {
     /// persisted before guards existed (falls back to non-finite-only).
     #[serde(default)]
     guard: ServeGuard,
+    /// Serve precision, recorded in checkpoints; files persisted before
+    /// precision-aware kernels default to full precision.
+    #[serde(default)]
+    precision: Precision,
+    /// Lazily frozen serving kernel (a pure function of the weights and
+    /// `precision`; reset on any weight mutation).
+    #[serde(skip)]
+    kernel: KernelCell,
 }
 
 /// Build artifacts useful for reporting (training curves, outlier count).
@@ -112,6 +121,8 @@ impl LearnedCardinality {
                 // Valid model outputs live in [0, max observed cardinality];
                 // anything else degrades to the guard's fallback path.
                 guard: ServeGuard::new(0.0, subsets.max_cardinality() as f64),
+                precision: Precision::default(),
+                kernel: KernelCell::new(),
             },
             report,
         )
@@ -148,7 +159,7 @@ impl LearnedCardinality {
         let base = match self.outliers.get(&h) {
             Some(&exact) => exact as f64,
             None => {
-                let raw = self.scaler.unscale(self.model.predict_one(q));
+                let raw = self.scaler.unscale(self.score_one(q));
                 let (value, reason) = self.guard.admit_or_clamp(raw);
                 ServeGuard::notify(reason, monitor);
                 fallback = reason;
@@ -203,7 +214,33 @@ impl LearnedCardinality {
 
     /// Model-only estimate, bypassing the outlier store (for ablations).
     pub fn estimate_model_only(&self, q: &[u32]) -> f64 {
-        self.scaler.unscale(self.model.predict_one(q))
+        self.scaler.unscale(self.score_one(q))
+    }
+
+    /// The frozen serving kernel, freezing the current weights at
+    /// [`LearnedCardinality::precision`] on first use.
+    pub fn kernel(&self) -> &FrozenModel {
+        self.kernel.get_or_freeze(&self.model, self.precision)
+    }
+
+    /// One raw model score through the frozen kernel.
+    fn score_one(&self, q: &[u32]) -> f32 {
+        let kernel = self.kernel();
+        let s = kernel.predict_one(q);
+        crate::telemetry::cardinality_tele().record_kernel(self.precision, kernel.take_blocks());
+        s
+    }
+
+    /// The precision queries are served at (recorded in checkpoints).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Selects the serve precision; the kernel re-freezes from the current
+    /// weights on the next query.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.kernel.reset();
     }
 
     /// Registers an inserted set (§7.2): all its subsets gain one occurrence
@@ -236,6 +273,7 @@ impl LearnedCardinality {
     /// injection in tests. Serve-time guards keep answers finite even if the
     /// swapped weights are corrupt.
     pub fn model_mut(&mut self) -> &mut DeepSets {
+        self.kernel.reset();
         &mut self.model
     }
 
@@ -244,6 +282,7 @@ impl LearnedCardinality {
     /// perturbation. The outlier store is untouched.
     pub fn quantize_weights(&mut self) {
         crate::quantize::quantize_in_place(&mut self.model);
+        self.kernel.reset();
     }
 
     /// Number of exiled outliers.
@@ -278,7 +317,9 @@ impl LearnedSetStructure for LearnedCardinality {
         if queries.is_empty() {
             return Vec::new();
         }
-        let scores = self.model.predict_batch(queries);
+        let kernel = self.kernel();
+        let scores = kernel.predict_batch(queries);
+        crate::telemetry::cardinality_tele().record_kernel(self.precision, kernel.take_blocks());
         self.correct_batch(queries, scores)
     }
 
@@ -290,7 +331,9 @@ impl LearnedSetStructure for LearnedCardinality {
         if queries.is_empty() {
             return Vec::new();
         }
-        let scores = self.model.predict_batch_parallel(queries, threads);
+        let kernel = self.kernel();
+        let scores = kernel.predict_batch_parallel(queries, threads);
+        crate::telemetry::cardinality_tele().record_kernel(self.precision, kernel.take_blocks());
         self.correct_batch(queries, scores)
     }
 }

@@ -9,6 +9,7 @@ use crate::hybrid::{
     guided_train_hardened, FallbackReason, GuidedConfig, GuidedOutcome, LocalErrorBounds,
     ServeGuard,
 };
+use crate::kernel::{FrozenModel, KernelCell, Precision};
 use crate::model::{DeepSets, DeepSetsConfig};
 use crate::tasks::{LearnedSetStructure, QueryOutcome};
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,13 @@ pub struct LearnedSetIndex {
     /// before guards existed (falls back to non-finite-only).
     #[serde(default)]
     guard: ServeGuard,
+    /// Serve precision, recorded in checkpoints; files persisted before
+    /// precision-aware kernels default to full precision.
+    #[serde(default)]
+    precision: Precision,
+    /// Lazily frozen serving kernel (reset on any weight mutation).
+    #[serde(skip)]
+    kernel: KernelCell,
 }
 
 /// Build artifacts for reporting.
@@ -177,6 +185,8 @@ impl LearnedSetIndex {
                 // Positions live in [0, len-1]; estimates outside are
                 // clamped, non-finite ones trigger an exact full scan.
                 guard: ServeGuard::new(0.0, collection.len().saturating_sub(1) as f64),
+                precision: Precision::default(),
+                kernel: KernelCell::new(),
             },
             report,
         )
@@ -227,7 +237,33 @@ impl LearnedSetIndex {
     }
 
     fn lookup_profiled_inner(&self, collection: &SetCollection, q: &[u32]) -> LookupProfile {
-        self.profile_from_score(collection, q, self.model.predict_one(q))
+        self.profile_from_score(collection, q, self.score_one(q))
+    }
+
+    /// The frozen serving kernel, freezing the current weights at
+    /// [`LearnedSetIndex::precision`] on first use.
+    pub fn kernel(&self) -> &FrozenModel {
+        self.kernel.get_or_freeze(&self.model, self.precision)
+    }
+
+    /// One raw model score through the frozen kernel.
+    fn score_one(&self, q: &[u32]) -> f32 {
+        let kernel = self.kernel();
+        let s = kernel.predict_one(q);
+        crate::telemetry::index_tele().record_kernel(self.precision, kernel.take_blocks());
+        s
+    }
+
+    /// The precision lookups are served at (recorded in checkpoints).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Selects the serve precision; the kernel re-freezes from the current
+    /// weights on the next lookup.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+        self.kernel.reset();
     }
 
     /// The shared tail of every lookup path: auxiliary structure first
@@ -314,7 +350,9 @@ impl LearnedSetIndex {
         if queries.is_empty() {
             return Vec::new();
         }
-        let scores = self.model.predict_batch(queries);
+        let kernel = self.kernel();
+        let scores = kernel.predict_batch(queries);
+        crate::telemetry::index_tele().record_kernel(self.precision, kernel.take_blocks());
         self.profiles_for_scores(collection, queries, scores)
     }
 
@@ -327,7 +365,7 @@ impl LearnedSetIndex {
         if let Some(pos) = self.aux_position(q) {
             return pos as f64;
         }
-        self.scaler.unscale(self.model.predict_one(q))
+        self.scaler.unscale(self.score_one(q))
     }
 
     /// Registers a §7.2 update: the set now (also) appears at `pos`. Queries
@@ -357,6 +395,7 @@ impl LearnedSetIndex {
     /// injection in tests. Serve-time guards keep answers finite even if the
     /// swapped weights are corrupt.
     pub fn model_mut(&mut self) -> &mut DeepSets {
+        self.kernel.reset();
         &mut self.model
     }
 
@@ -446,7 +485,9 @@ impl LearnedSetStructure for IndexStructure {
         if queries.is_empty() {
             return Vec::new();
         }
-        let scores = self.index.model.predict_batch_parallel(queries, threads);
+        let kernel = self.index.kernel();
+        let scores = kernel.predict_batch_parallel(queries, threads);
+        crate::telemetry::index_tele().record_kernel(self.index.precision, kernel.take_blocks());
         self.index
             .profiles_for_scores(&self.collection, queries, scores)
             .into_iter()

@@ -17,6 +17,7 @@
 //! kept, and the index's `bound_miss` survives only when no shard found an
 //! answer.
 
+use crate::kernel::Precision;
 use crate::shard::{ShardError, ShardSpec, ShardedCollection};
 use crate::tasks::{
     BloomBuildReport, BloomConfig, CardinalityBuildReport, CardinalityConfig, IndexBuildReport,
@@ -146,6 +147,18 @@ impl ShardedCardinality {
     /// Total structure bytes across shards.
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.size_bytes()).sum()
+    }
+
+    /// The serve precision shared by every shard.
+    pub fn precision(&self) -> Precision {
+        self.shards.first().map(|s| s.precision()).unwrap_or_default()
+    }
+
+    /// Selects the serve precision on every shard.
+    pub fn set_precision(&mut self, precision: Precision) {
+        for shard in &mut self.shards {
+            shard.set_precision(precision);
+        }
     }
 }
 
@@ -277,6 +290,18 @@ impl ShardedBloom {
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.size_bytes()).sum()
     }
+
+    /// The serve precision shared by every shard.
+    pub fn precision(&self) -> Precision {
+        self.shards.first().map(|s| s.precision()).unwrap_or_default()
+    }
+
+    /// Selects the serve precision on every shard.
+    pub fn set_precision(&mut self, precision: Precision) {
+        for shard in &mut self.shards {
+            shard.set_precision(precision);
+        }
+    }
 }
 
 impl LearnedSetStructure for ShardedBloom {
@@ -368,6 +393,18 @@ impl ShardedIndex {
     /// Total structure bytes across shards.
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.size_bytes()).sum()
+    }
+
+    /// The serve precision shared by every shard.
+    pub fn precision(&self) -> Precision {
+        self.shards.first().map(|s| s.precision()).unwrap_or_default()
+    }
+
+    /// Selects the serve precision on every shard.
+    pub fn set_precision(&mut self, precision: Precision) {
+        for shard in &mut self.shards {
+            shard.set_precision(precision);
+        }
     }
 }
 

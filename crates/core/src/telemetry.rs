@@ -12,13 +12,19 @@
 //!   labeled `reason="non_finite"|"out_of_bounds"` (counter)
 //! - `setlearn_serve_bound_misses_total` — index scans that exhausted their
 //!   local-error window without a hit (counter; `task="index"` only)
+//! - `setlearn_infer_precision` — which inference kernel is live, as a
+//!   one-hot gauge family labeled `precision="f32"|"f16"|"q8"` (the live
+//!   kernel's gauge reads 1, the others 0)
+//! - `setlearn_kernel_blocks_total` — fixed-width inner-loop blocks executed
+//!   by the frozen kernels (counter; a direct measure of serve compute)
 //!
 //! Every fallback also emits a `serve_fallback` trace event; at
 //! [`setlearn_obs::TelemetryLevel::Full`] each single query additionally
 //! records a `serve_query` span.
 
 use crate::hybrid::FallbackReason;
-use setlearn_obs::{Counter, Field, Histogram, LATENCY_BOUNDS};
+use crate::kernel::Precision;
+use setlearn_obs::{Counter, Field, Gauge, Histogram, LATENCY_BOUNDS};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -30,6 +36,9 @@ pub(crate) struct ServeTele {
     fallback_non_finite: Arc<Counter>,
     fallback_out_of_bounds: Arc<Counter>,
     bound_misses: Arc<Counter>,
+    /// One-hot precision gauges, indexed by [`Precision::to_byte`].
+    infer_precision: [Arc<Gauge>; 3],
+    kernel_blocks: Arc<Counter>,
 }
 
 impl ServeTele {
@@ -53,6 +62,28 @@ impl ServeTele {
             ),
             bound_misses: m
                 .counter_with("setlearn_serve_bound_misses_total", &[("task", task)]),
+            infer_precision: [Precision::F32, Precision::F16, Precision::Q8].map(|p| {
+                m.gauge_with(
+                    "setlearn_infer_precision",
+                    &[("task", task), ("precision", precision_str(p))],
+                )
+            }),
+            kernel_blocks: m.counter_with("setlearn_kernel_blocks_total", &[("task", task)]),
+        }
+    }
+
+    /// Records a frozen-kernel pass: marks `precision` as the live kernel
+    /// (one-hot across the gauge family) and adds the drained inner-loop
+    /// block count.
+    pub(crate) fn record_kernel(&self, precision: Precision, blocks: u64) {
+        if !setlearn_obs::metrics_on() {
+            return;
+        }
+        for (i, g) in self.infer_precision.iter().enumerate() {
+            g.set(if i == precision.to_byte() as usize { 1.0 } else { 0.0 });
+        }
+        if blocks > 0 {
+            self.kernel_blocks.add(blocks);
         }
     }
 
@@ -115,6 +146,14 @@ impl ServeTele {
                 Field::text("reason", reason_str(reason)),
             ],
         );
+    }
+}
+
+fn precision_str(p: Precision) -> &'static str {
+    match p {
+        Precision::F32 => "f32",
+        Precision::F16 => "f16",
+        Precision::Q8 => "q8",
     }
 }
 

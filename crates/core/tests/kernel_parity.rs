@@ -1,0 +1,224 @@
+//! Kernel/scalar parity: the frozen f32 kernel must be bit-identical to the
+//! scalar forward pass, f16/q8 must stay within their stated tolerances, and
+//! all three precisions must preserve ServeGuard/fallback semantics through
+//! the [`LearnedSetStructure`] trait on every task.
+
+use setlearn::kernel::{FrozenModel, Precision};
+use setlearn::model::{CompressionKind, DeepSets, DeepSetsConfig, Pooling};
+use setlearn::tasks::{
+    BloomConfig, CardinalityConfig, IndexConfig, IndexStructure, LearnedBloom,
+    LearnedCardinality, LearnedSetIndex, LearnedSetStructure, PositionTarget, QueryOutcome,
+};
+use setlearn::GuidedConfig;
+use setlearn_data::{workload::membership_queries, ElementSet, GeneratorConfig, SubsetIndex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+const VOCAB: u32 = 500;
+
+fn model_config(compression: CompressionKind, pooling: Pooling) -> DeepSetsConfig {
+    DeepSetsConfig {
+        vocab: VOCAB,
+        embedding_dim: 8,
+        phi_hidden: vec![16],
+        rho_hidden: vec![13], // deliberately not a multiple of the block width
+        pooling,
+        hidden_activation: setlearn_nn::Activation::Relu,
+        output_activation: setlearn_nn::Activation::Sigmoid,
+        compression,
+        seed: 17,
+    }
+}
+
+/// Queries spanning singleton through 6-element sets, including the maximum
+/// valid vocab id on several of them.
+fn query_sets() -> Vec<Vec<u32>> {
+    let mut sets: Vec<Vec<u32>> = (0..48u32)
+        .map(|i| (0..=(i % 6)).map(|j| (i * 37 + j * 11) % VOCAB).collect())
+        .collect();
+    sets.push(vec![VOCAB - 1]);
+    sets.push(vec![0, VOCAB / 2, VOCAB - 1]);
+    sets
+}
+
+#[test]
+fn frozen_f32_is_bit_identical_to_scalar_predict_batch() {
+    for compression in [
+        CompressionKind::None,
+        CompressionKind::Optimal { ns: 2 },
+        CompressionKind::Hashed { buckets: 64, num_hashes: 2 },
+    ] {
+        for pooling in [Pooling::Sum, Pooling::Mean, Pooling::Max] {
+            let model = DeepSets::new(model_config(compression.clone(), pooling));
+            let frozen = FrozenModel::freeze(&model, Precision::F32);
+            let sets = query_sets();
+            let scalar = model.predict_batch(&sets);
+            assert_eq!(frozen.predict_batch(&sets), scalar, "{compression:?}/{pooling:?}");
+            for (s, &want) in sets.iter().zip(scalar.iter()) {
+                assert_eq!(frozen.predict_one(s), want, "{compression:?}/{pooling:?} {s:?}");
+            }
+            // Empty batches are empty on both paths.
+            assert!(frozen.predict_batch::<Vec<u32>>(&[]).is_empty());
+            assert!(model.predict_batch::<Vec<u32>>(&[]).is_empty());
+        }
+    }
+}
+
+#[test]
+fn f16_and_q8_stay_within_tolerance_and_nan_free() {
+    for pooling in [Pooling::Sum, Pooling::Mean, Pooling::Max] {
+        let model = DeepSets::new(model_config(CompressionKind::None, pooling));
+        let reference = FrozenModel::freeze(&model, Precision::F32).predict_batch(&query_sets());
+        for (precision, tol) in [(Precision::F16, 1e-2f32), (Precision::Q8, 5e-2f32)] {
+            let frozen = FrozenModel::freeze(&model, precision);
+            let got = frozen.predict_batch(&query_sets());
+            for (a, b) in reference.iter().zip(got.iter()) {
+                assert!(b.is_finite(), "{precision}/{pooling:?}: non-finite score");
+                assert!(
+                    (a - b).abs() <= tol * (1.0 + a.abs()),
+                    "{precision}/{pooling:?}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_sets_are_rejected_identically_on_both_paths() {
+    let model = DeepSets::new(model_config(CompressionKind::None, Pooling::Sum));
+    let frozen = FrozenModel::freeze(&model, Precision::F32);
+    let scalar = catch_unwind(AssertUnwindSafe(|| model.predict_one(&[])));
+    let kernel = catch_unwind(AssertUnwindSafe(|| frozen.predict_one(&[])));
+    assert!(scalar.is_err(), "scalar path accepted an empty set");
+    assert!(kernel.is_err(), "kernel path accepted an empty set");
+}
+
+/// query / query_batch / query_batch_parallel must agree bit-for-bit with
+/// each other at every precision.
+fn assert_paths_agree<S>(structure: &S, queries: &[ElementSet]) -> Vec<QueryOutcome<S::Output>>
+where
+    S: LearnedSetStructure,
+    S::Output: PartialEq + std::fmt::Debug + Clone,
+{
+    let batch = structure.query_batch(queries);
+    for threads in [1, 3] {
+        let par = structure.query_batch_parallel(queries, threads);
+        assert_eq!(par, batch, "{}: {threads}-thread batch diverged", S::NAME);
+    }
+    for (q, want) in queries.iter().zip(batch.iter()) {
+        assert_eq!(&structure.query(q), want, "{}: single-query path diverged", S::NAME);
+    }
+    batch
+}
+
+fn quick_guided() -> GuidedConfig {
+    GuidedConfig {
+        warmup_epochs: 25,
+        rounds: 1,
+        epochs_per_round: 15,
+        percentile: 0.9,
+        batch_size: 64,
+        learning_rate: 5e-3,
+        seed: 5,
+    }
+}
+
+#[test]
+fn cardinality_trait_parity_across_precisions() {
+    let collection = GeneratorConfig::sd(300, 7).generate();
+    let mut model = DeepSetsConfig::lsm(collection.num_elements());
+    model.embedding_dim = 8;
+    model.phi_hidden = vec![32];
+    model.rho_hidden = vec![32];
+    let cfg = CardinalityConfig { model, guided: quick_guided(), max_subset_size: 3 };
+    let (est, _) = LearnedCardinality::build(&collection, &cfg);
+    let queries: Vec<ElementSet> =
+        SubsetIndex::build(&collection, 3).iter().map(|(s, _)| s.clone()).collect();
+
+    let baseline = assert_paths_agree(&est, &queries);
+    let base_degraded = baseline.iter().filter(|o| o.degraded()).count();
+
+    for (precision, max_qerr) in [(Precision::F16, 1.05), (Precision::Q8, 2.0)] {
+        let mut alt = est.clone();
+        alt.set_precision(precision);
+        assert_eq!(alt.precision(), precision);
+        let outcomes = assert_paths_agree(&alt, &queries);
+        let degraded = outcomes.iter().filter(|o| o.degraded()).count();
+        let slack = 2.max(queries.len() / 50);
+        assert!(
+            degraded <= base_degraded + slack,
+            "{precision}: {degraded} degraded vs baseline {base_degraded}"
+        );
+        for (b, o) in baseline.iter().zip(outcomes.iter()) {
+            assert!(o.value.is_finite() && o.value > 0.0, "{precision}: bad estimate {}", o.value);
+            let qe = setlearn_nn::q_error(o.value, b.value, 1.0);
+            assert!(qe <= max_qerr, "{precision}: q-error {qe} ({} vs {})", o.value, b.value);
+        }
+    }
+}
+
+#[test]
+fn index_trait_parity_across_precisions() {
+    let collection = GeneratorConfig::rw(300, 21).generate();
+    let cfg = IndexConfig {
+        model: DeepSetsConfig::lsm(collection.num_elements()),
+        guided: quick_guided(),
+        max_subset_size: 3,
+        range_length: 16.0,
+        target: PositionTarget::First,
+    };
+    let (index, _) = LearnedSetIndex::build(&collection, &cfg);
+    let queries: Vec<ElementSet> =
+        SubsetIndex::build(&collection, 3).iter().map(|(s, _)| s.clone()).collect();
+    let structure = IndexStructure { index, collection: Arc::new(collection) };
+
+    let baseline = assert_paths_agree(&structure, &queries);
+    let base_hits = baseline.iter().filter(|o| o.value.is_some()).count();
+    assert_eq!(base_hits, queries.len(), "f32 baseline must find every trained subset");
+
+    for precision in [Precision::F16, Precision::Q8] {
+        let mut alt = structure.clone();
+        alt.index.set_precision(precision);
+        let outcomes = assert_paths_agree(&alt, &queries);
+        let mut hits = 0;
+        for (b, o) in baseline.iter().zip(outcomes.iter()) {
+            if let Some(pos) = o.value {
+                // Any hit is the true position, so it must agree with f32.
+                assert_eq!(Some(pos), b.value, "{precision}: position diverged");
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 10 >= base_hits * 9,
+            "{precision}: hit rate collapsed ({hits}/{base_hits})"
+        );
+    }
+}
+
+#[test]
+fn bloom_trait_parity_across_precisions() {
+    let collection = GeneratorConfig::rw(400, 31).generate();
+    let workload = membership_queries(&collection, 300, 300, 4, 3);
+    let mut cfg = BloomConfig::new(DeepSetsConfig::lsm(collection.num_elements()));
+    cfg.epochs = 40;
+    cfg.learning_rate = 1e-2;
+    let (filter, _) = LearnedBloom::build(&workload, &cfg);
+    let queries: Vec<ElementSet> = workload.iter().map(|(q, _)| q.clone()).collect();
+
+    let baseline = assert_paths_agree(&filter, &queries);
+
+    for (precision, max_flips) in [(Precision::F16, 2usize), (Precision::Q8, 15usize)] {
+        let mut alt = filter.clone();
+        alt.set_precision(precision);
+        let outcomes = assert_paths_agree(&alt, &queries);
+        let flips = baseline
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|(b, o)| b.value != o.value)
+            .count();
+        assert!(
+            flips <= max_flips,
+            "{precision}: {flips} membership verdicts flipped (allowed {max_flips})"
+        );
+    }
+}

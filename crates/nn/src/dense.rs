@@ -63,8 +63,7 @@ impl Dense {
     /// the backward pass.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
         assert_eq!(input.cols(), self.in_dim, "dense input width mismatch");
-        let w = Matrix::from_vec(self.in_dim, self.out_dim, self.weight.value.clone());
-        let mut out = input.matmul(&w);
+        let mut out = input.matmul_slice(&self.weight.value, self.in_dim, self.out_dim);
         out.add_row_vector(&self.bias.value);
         self.activation.apply_slice(out.data_mut());
         self.cached_input = Some(input.clone());
@@ -72,11 +71,11 @@ impl Dense {
         out
     }
 
-    /// Inference-only forward pass: no state is cached, `&self`.
+    /// Inference-only forward pass: no state is cached, `&self`, and the
+    /// weight buffer is borrowed rather than cloned per call.
     pub fn predict(&self, input: &Matrix) -> Matrix {
         assert_eq!(input.cols(), self.in_dim, "dense input width mismatch");
-        let w = Matrix::from_vec(self.in_dim, self.out_dim, self.weight.value.clone());
-        let mut out = input.matmul(&w);
+        let mut out = input.matmul_slice(&self.weight.value, self.in_dim, self.out_dim);
         out.add_row_vector(&self.bias.value);
         self.activation.apply_slice(out.data_mut());
         out
@@ -109,8 +108,7 @@ impl Dense {
             *g += d;
         }
         // dX = dZ·Wᵀ
-        let w = Matrix::from_vec(self.in_dim, self.out_dim, self.weight.value.clone());
-        grad_z.matmul_nt(&w)
+        grad_z.matmul_nt_slice(&self.weight.value, self.in_dim, self.out_dim)
     }
 
     /// Mutable access to the layer's parameter buffers, optimizer-ordered.

@@ -14,6 +14,14 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The bucket row hit by one seeded probe for element `id` — the exact hash
+/// used by [`HashEmbedding`], exposed so frozen inference tables can
+/// reproduce the probe sequence without holding the layer itself.
+#[inline]
+pub fn hash_bucket(id: u32, seed: u64, buckets: usize) -> usize {
+    (splitmix64(id as u64 ^ seed) % buckets as u64) as usize
+}
+
 /// SplitMix64 avalanche (kept local to avoid a cross-crate dependency).
 #[inline]
 fn splitmix64(mut x: u64) -> u64 {
@@ -67,9 +75,17 @@ impl HashEmbedding {
         self.seeds.len()
     }
 
+    /// The bucket row hit by hash probe `probe` for element `id`. Public so
+    /// inference kernels that re-lay-out the table can reproduce the exact
+    /// probe sequence.
     #[inline]
-    fn bucket(&self, id: u32, probe: usize) -> usize {
-        (splitmix64(id as u64 ^ self.seeds[probe]) % self.buckets as u64) as usize
+    pub fn bucket(&self, id: u32, probe: usize) -> usize {
+        hash_bucket(id, self.seeds[probe], self.buckets)
+    }
+
+    /// The probe seeds, in probe order.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
     }
 
     /// Looks up a flat id batch: `[N] -> [N x dim]`, caching for backward.

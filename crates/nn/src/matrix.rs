@@ -106,6 +106,35 @@ impl Matrix {
         out
     }
 
+    /// `self * w` where `w` is a borrowed row-major `[k x n]` buffer.
+    ///
+    /// Identical floating-point operation order to [`Matrix::matmul`]; exists
+    /// so inference paths can multiply against parameter buffers without
+    /// cloning them into a temporary [`Matrix`] per call.
+    ///
+    /// # Panics
+    /// If `self.cols != w_rows` or `w.len() != w_rows * w_cols`.
+    pub fn matmul_slice(&self, w: &[f32], w_rows: usize, w_cols: usize) -> Matrix {
+        assert_eq!(self.cols, w_rows, "matmul shape mismatch");
+        assert_eq!(w.len(), w_rows * w_cols, "matrix data length mismatch");
+        let (m, k, n) = (self.rows, self.cols, w_cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &w[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
     /// `selfᵀ * other` — `[k x m]ᵀ * [k x n] -> [m x n]`.
     ///
     /// Used for weight gradients (`Xᵀ·dZ`) without materializing a transpose.
@@ -141,6 +170,34 @@ impl Matrix {
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `self * wᵀ` where `w` is a borrowed row-major `[n x k]` buffer.
+    ///
+    /// Identical floating-point operation order to [`Matrix::matmul_nt`];
+    /// the borrowed twin used by backprop's `dZ·Wᵀ` to skip the per-call
+    /// weight clone.
+    ///
+    /// # Panics
+    /// If `self.cols != w_cols` or `w.len() != w_rows * w_cols`.
+    pub fn matmul_nt_slice(&self, w: &[f32], w_rows: usize, w_cols: usize) -> Matrix {
+        assert_eq!(self.cols, w_cols, "matmul_nt shape mismatch");
+        assert_eq!(w.len(), w_rows * w_cols, "matrix data length mismatch");
+        let (m, k, n) = (self.rows, self.cols, w_rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &w[j * k..(j + 1) * k];
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
                     acc += a * b;
@@ -264,6 +321,20 @@ mod tests {
         let got = a.matmul_nt(&b);
         let bt = m(3, 4, &[1.0, 0.5, 2.0, -3.0, 0.0, 1.5, 2.0, 1.0, 2.0, -1.0, 2.0, 0.0]);
         assert_eq!(got, a.matmul(&bt));
+    }
+
+    #[test]
+    fn matmul_slice_matches_matmul() {
+        let a = m(2, 3, &[1.0, 2.0, 0.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        assert_eq!(a.matmul_slice(b.data(), 3, 2), a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_slice_matches_matmul_nt() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, 0.5, 1.5, -1.0, 2.0, 2.0, 2.0, -3.0, 1.0, 0.0]);
+        assert_eq!(a.matmul_nt_slice(b.data(), 4, 3), a.matmul_nt(&b));
     }
 
     #[test]

@@ -39,6 +39,13 @@ impl Mlp {
         self.layers[0].in_dim()
     }
 
+    /// The dense layers, first layer first — read access for inference
+    /// kernels that re-lay-out the weights (e.g. `setlearn`'s frozen
+    /// serving path).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
     /// Output width of the last layer.
     pub fn out_dim(&self) -> usize {
         self.layers.last().expect("non-empty").out_dim()
